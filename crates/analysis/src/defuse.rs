@@ -1,0 +1,102 @@
+//! Def-use chains over a function's SSA values.
+
+use std::collections::HashMap;
+
+use ipas_ir::{Function, InstId, Value};
+
+/// Def-use information for one function: for every instruction that
+/// produces a value, the list of instructions that consume it.
+///
+/// Users are reported in deterministic order (block layout order, then
+/// intra-block position). An instruction using a value twice (e.g.
+/// `mul %v0, %v0`) appears once per textual use.
+#[derive(Debug, Clone)]
+pub struct DefUse {
+    users: HashMap<InstId, Vec<InstId>>,
+    param_users: Vec<Vec<InstId>>,
+}
+
+impl DefUse {
+    /// Computes def-use chains for `func` (linked instructions only).
+    pub fn compute(func: &Function) -> Self {
+        let mut users: HashMap<InstId, Vec<InstId>> = HashMap::new();
+        let mut param_users: Vec<Vec<InstId>> = vec![Vec::new(); func.params().len()];
+        for bb in func.block_ids() {
+            for &id in func.block(bb).insts() {
+                func.inst(id).for_each_operand(|v| match v {
+                    Value::Inst(def) => users.entry(def).or_default().push(id),
+                    Value::Param(n) => param_users[n as usize].push(id),
+                    Value::Const(_) => {}
+                });
+            }
+        }
+        DefUse { users, param_users }
+    }
+
+    /// Instructions that use the result of `def`.
+    pub fn users(&self, def: InstId) -> &[InstId] {
+        self.users.get(&def).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Instructions that use parameter `n`.
+    pub fn param_users(&self, n: u32) -> &[InstId] {
+        self.param_users
+            .get(n as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of uses of `def`'s result.
+    pub fn num_uses(&self, def: InstId) -> usize {
+        self.users(def).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipas_ir::parser::parse_function;
+
+    #[test]
+    fn chains_follow_operands() {
+        let f = parse_function(
+            r#"
+fn @f(i64) -> i64 {
+bb0:
+  %v0 = add i64 %arg0, 1
+  %v1 = mul i64 %v0, %v0
+  %v2 = add i64 %v1, %arg0
+  ret %v2
+}
+"#,
+        )
+        .unwrap();
+        let du = DefUse::compute(&f);
+        let v0 = InstId::new(0);
+        let v1 = InstId::new(1);
+        let v2 = InstId::new(2);
+        let ret = InstId::new(3);
+        assert_eq!(du.users(v0), &[v1, v1]); // used twice by the mul
+        assert_eq!(du.users(v1), &[v2]);
+        assert_eq!(du.users(v2), &[ret]);
+        assert_eq!(du.num_uses(v2), 1);
+        assert_eq!(du.param_users(0), &[v0, v2]);
+    }
+
+    #[test]
+    fn unused_results_have_no_users() {
+        let f = parse_function(
+            r#"
+fn @f() -> i64 {
+bb0:
+  %v0 = add i64 1, 2
+  %v1 = add i64 3, 4
+  ret %v1
+}
+"#,
+        )
+        .unwrap();
+        let du = DefUse::compute(&f);
+        assert!(du.users(InstId::new(0)).is_empty());
+    }
+}

@@ -1,0 +1,586 @@
+//! The 31-feature instruction characterization of Table 1.
+//!
+//! Features are grouped exactly as in the paper: instruction properties
+//! (1–12), basic-block properties (13–19), function properties (20–24),
+//! and forward-slice composition (25–31). Feature 8 ("is atomic
+//! read/write") is retained for fidelity but is always 0 — the IR has no
+//! atomics because the workloads are MPI (not shared-memory) codes.
+
+use std::collections::HashMap;
+
+use ipas_ir::inst::Callee;
+use ipas_ir::{BlockId, FuncId, Function, Inst, InstId, Module};
+
+use crate::defuse::DefUse;
+use crate::loops::LoopInfo;
+use crate::slice::{forward_slice_with, SliceCounts};
+
+/// Number of features per instruction.
+pub const NUM_FEATURES: usize = 31;
+
+/// Names of the 31 features of Table 1, indexed by [`Feature`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Feature {
+    /// 1 `[Bool]` is binary operation.
+    IsBinaryOp = 0,
+    /// 2 `[Bool]` is add or sub operation.
+    IsAddSub,
+    /// 3 `[Bool]` is multiplication or division operation.
+    IsMulDiv,
+    /// 4 `[Bool]` is division remainder operation.
+    IsRem,
+    /// 5 `[Bool]` is logical operation.
+    IsLogical,
+    /// 6 `[Bool]` is call instruction.
+    IsCall,
+    /// 7 `[Bool]` is comparison instruction.
+    IsCmp,
+    /// 8 `[Bool]` is atomic read/write instruction (always 0 here).
+    IsAtomic,
+    /// 9 `[Bool]` is get-pointer instruction.
+    IsGep,
+    /// 10 `[Bool]` is stack-allocation instruction.
+    IsAlloca,
+    /// 11 `[Bool]` is cast instruction.
+    IsCast,
+    /// 12 `[Int]` bytes in the instruction's result.
+    ResultBytes,
+    /// 13 `[Int]` number of remaining instructions in the basic block.
+    RemainingInBlock,
+    /// 14 `[Int]` size of the basic block.
+    BlockSize,
+    /// 15 `[Int]` number of successor basic blocks.
+    NumSuccessors,
+    /// 16 `[Int]` sum of basic-block sizes of successors.
+    SumSuccessorSizes,
+    /// 17 `[Bool]` basic block is within a loop.
+    InLoop,
+    /// 18 `[Bool]` block has a PHI instruction.
+    HasPhi,
+    /// 19 `[Bool]` block terminator is a branch instruction.
+    TerminatorIsBranch,
+    /// 20 `[Int]` remaining instructions to reach a return.
+    DistanceToReturn,
+    /// 21 `[Int]` number of instructions in the function.
+    FuncInsts,
+    /// 22 `[Int]` number of basic blocks in the function.
+    FuncBlocks,
+    /// 23 `[Int]` number of future function calls.
+    FutureCalls,
+    /// 24 `[Bool]` the function returns a value.
+    ReturnsValue,
+    /// 25 `[Int]` number of instructions in the forward slice.
+    SliceTotal,
+    /// 26 `[Int]` number of loads in the slice.
+    SliceLoads,
+    /// 27 `[Int]` number of stores in the slice.
+    SliceStores,
+    /// 28 `[Int]` number of function calls in the slice.
+    SliceCalls,
+    /// 29 `[Int]` number of binary operations in the slice.
+    SliceBinaries,
+    /// 30 `[Int]` number of stack allocations in the slice.
+    SliceAllocas,
+    /// 31 `[Int]` number of get-pointer instructions in the slice.
+    SliceGeps,
+}
+
+impl Feature {
+    /// All features, in Table 1 order.
+    pub const ALL: [Feature; NUM_FEATURES] = [
+        Feature::IsBinaryOp,
+        Feature::IsAddSub,
+        Feature::IsMulDiv,
+        Feature::IsRem,
+        Feature::IsLogical,
+        Feature::IsCall,
+        Feature::IsCmp,
+        Feature::IsAtomic,
+        Feature::IsGep,
+        Feature::IsAlloca,
+        Feature::IsCast,
+        Feature::ResultBytes,
+        Feature::RemainingInBlock,
+        Feature::BlockSize,
+        Feature::NumSuccessors,
+        Feature::SumSuccessorSizes,
+        Feature::InLoop,
+        Feature::HasPhi,
+        Feature::TerminatorIsBranch,
+        Feature::DistanceToReturn,
+        Feature::FuncInsts,
+        Feature::FuncBlocks,
+        Feature::FutureCalls,
+        Feature::ReturnsValue,
+        Feature::SliceTotal,
+        Feature::SliceLoads,
+        Feature::SliceStores,
+        Feature::SliceCalls,
+        Feature::SliceBinaries,
+        Feature::SliceAllocas,
+        Feature::SliceGeps,
+    ];
+
+    /// A short machine-readable name (used in dataset dumps).
+    pub fn name(self) -> &'static str {
+        match self {
+            Feature::IsBinaryOp => "is_binary_op",
+            Feature::IsAddSub => "is_add_sub",
+            Feature::IsMulDiv => "is_mul_div",
+            Feature::IsRem => "is_rem",
+            Feature::IsLogical => "is_logical",
+            Feature::IsCall => "is_call",
+            Feature::IsCmp => "is_cmp",
+            Feature::IsAtomic => "is_atomic",
+            Feature::IsGep => "is_gep",
+            Feature::IsAlloca => "is_alloca",
+            Feature::IsCast => "is_cast",
+            Feature::ResultBytes => "result_bytes",
+            Feature::RemainingInBlock => "remaining_in_block",
+            Feature::BlockSize => "block_size",
+            Feature::NumSuccessors => "num_successors",
+            Feature::SumSuccessorSizes => "sum_successor_sizes",
+            Feature::InLoop => "in_loop",
+            Feature::HasPhi => "has_phi",
+            Feature::TerminatorIsBranch => "terminator_is_branch",
+            Feature::DistanceToReturn => "distance_to_return",
+            Feature::FuncInsts => "func_insts",
+            Feature::FuncBlocks => "func_blocks",
+            Feature::FutureCalls => "future_calls",
+            Feature::ReturnsValue => "returns_value",
+            Feature::SliceTotal => "slice_total",
+            Feature::SliceLoads => "slice_loads",
+            Feature::SliceStores => "slice_stores",
+            Feature::SliceCalls => "slice_calls",
+            Feature::SliceBinaries => "slice_binaries",
+            Feature::SliceAllocas => "slice_allocas",
+            Feature::SliceGeps => "slice_geps",
+        }
+    }
+}
+
+/// A dense 31-entry feature vector for one instruction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FeatureVector {
+    values: [f64; NUM_FEATURES],
+}
+
+impl FeatureVector {
+    /// Creates a vector from raw values.
+    pub fn from_values(values: [f64; NUM_FEATURES]) -> Self {
+        FeatureVector { values }
+    }
+
+    /// Reads one feature.
+    pub fn get(&self, f: Feature) -> f64 {
+        self.values[f as usize]
+    }
+
+    /// The raw values in Table 1 order.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// Per-function context cached by the extractor.
+struct FuncCtx {
+    defuse: DefUse,
+    loops: LoopInfo,
+    /// Position of each linked instruction: (block, index in block).
+    positions: HashMap<InstId, (BlockId, usize)>,
+    /// Minimal dynamic instructions from the *start* of each block to
+    /// reach (and include) a `ret`; `u64::MAX / 2` when unreachable.
+    dist_from_start: Vec<u64>,
+    /// Total calls in blocks reachable from each block's successors
+    /// (union over successors, each block counted once).
+    future_calls_after_block: Vec<u64>,
+    func_insts: u64,
+}
+
+const UNREACHABLE_DIST: u64 = u64::MAX / 2;
+
+impl FuncCtx {
+    fn build(func: &Function) -> Self {
+        let n = func.num_blocks();
+        let mut positions = HashMap::new();
+        let mut calls_in_block = vec![0u64; n];
+        for bb in func.block_ids() {
+            for (i, &id) in func.block(bb).insts().iter().enumerate() {
+                positions.insert(id, (bb, i));
+                if matches!(func.inst(id), Inst::Call { .. }) {
+                    calls_in_block[bb.index()] += 1;
+                }
+            }
+        }
+
+        // Bellman–Ford (reverse) for distance-to-return.
+        let mut dist = vec![UNREACHABLE_DIST; n];
+        for bb in func.block_ids() {
+            if matches!(
+                func.block(bb).terminator().map(|t| func.inst(t)),
+                Some(Inst::Ret { .. })
+            ) {
+                dist[bb.index()] = func.block(bb).len() as u64;
+            }
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for bb in func.block_ids() {
+                let succs = func.successors(bb);
+                if succs.is_empty() {
+                    continue;
+                }
+                let best = succs
+                    .iter()
+                    .map(|s| dist[s.index()])
+                    .min()
+                    .unwrap_or(UNREACHABLE_DIST);
+                if best >= UNREACHABLE_DIST {
+                    continue;
+                }
+                let cand = func.block(bb).len() as u64 + best;
+                if cand < dist[bb.index()] {
+                    dist[bb.index()] = cand;
+                    changed = true;
+                }
+            }
+        }
+
+        // Reachability closure for future-call counting.
+        let mut future_calls_after_block = vec![0u64; n];
+        for bb in func.block_ids() {
+            let mut seen = vec![false; n];
+            let mut stack: Vec<BlockId> = func.successors(bb);
+            let mut total = 0u64;
+            while let Some(s) = stack.pop() {
+                if seen[s.index()] {
+                    continue;
+                }
+                seen[s.index()] = true;
+                total += calls_in_block[s.index()];
+                for t in func.successors(s) {
+                    stack.push(t);
+                }
+            }
+            future_calls_after_block[bb.index()] = total;
+        }
+
+        FuncCtx {
+            defuse: DefUse::compute(func),
+            loops: LoopInfo::compute(func),
+            positions,
+            dist_from_start: dist,
+            future_calls_after_block,
+            func_insts: func.num_linked_insts() as u64,
+        }
+    }
+}
+
+/// Extracts [`FeatureVector`]s for instructions of a module.
+///
+/// Construction precomputes per-function analyses (def-use chains, loop
+/// membership, distances), so extracting every instruction of a function
+/// is linear in practice apart from slice computation.
+pub struct FeatureExtractor<'m> {
+    module: &'m Module,
+    ctxs: Vec<FuncCtx>,
+}
+
+impl<'m> FeatureExtractor<'m> {
+    /// Builds an extractor over `module`.
+    pub fn new(module: &'m Module) -> Self {
+        let ctxs = module.functions().map(|(_, f)| FuncCtx::build(f)).collect();
+        FeatureExtractor { module, ctxs }
+    }
+
+    /// Extracts the feature vector of instruction `inst` in function
+    /// `fid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inst` is not linked into a block of `fid`.
+    pub fn extract(&self, fid: FuncId, inst: InstId) -> FeatureVector {
+        let func = self.module.function(fid);
+        let ctx = &self.ctxs[fid.index()];
+        let (bb, pos) = *ctx
+            .positions
+            .get(&inst)
+            .unwrap_or_else(|| panic!("instruction {inst} is not linked in `{}`", func.name()));
+        let block = func.block(bb);
+        let i = func.inst(inst);
+
+        let mut v = [0.0f64; NUM_FEATURES];
+        let mut set = |f: Feature, x: f64| v[f as usize] = x;
+        let b = |x: bool| x as u8 as f64;
+
+        // --- Instruction category (1–12). -------------------------------
+        if let Inst::Binary { op, .. } = i {
+            set(Feature::IsBinaryOp, 1.0);
+            set(Feature::IsAddSub, b(op.is_add_sub()));
+            set(Feature::IsMulDiv, b(op.is_mul_div()));
+            set(Feature::IsRem, b(op.is_rem()));
+            set(Feature::IsLogical, b(op.is_logical()));
+        }
+        set(Feature::IsCall, b(matches!(i, Inst::Call { .. })));
+        set(
+            Feature::IsCmp,
+            b(matches!(i, Inst::Icmp { .. } | Inst::Fcmp { .. })),
+        );
+        // Feature 8 (atomics): always 0 — see the module docs.
+        set(Feature::IsGep, b(matches!(i, Inst::Gep { .. })));
+        set(Feature::IsAlloca, b(matches!(i, Inst::Alloca { .. })));
+        set(Feature::IsCast, b(matches!(i, Inst::Cast { .. })));
+        set(Feature::ResultBytes, i.result_type().byte_size() as f64);
+
+        // --- Basic block (13–19). ----------------------------------------
+        let remaining = block.len() - pos - 1;
+        set(Feature::RemainingInBlock, remaining as f64);
+        set(Feature::BlockSize, block.len() as f64);
+        let succs = func.successors(bb);
+        set(Feature::NumSuccessors, succs.len() as f64);
+        let succ_sizes: usize = succs.iter().map(|s| func.block(*s).len()).sum();
+        set(Feature::SumSuccessorSizes, succ_sizes as f64);
+        set(Feature::InLoop, b(ctx.loops.is_in_loop(bb)));
+        let has_phi = block.insts().iter().any(|&x| func.inst(x).is_phi());
+        set(Feature::HasPhi, b(has_phi));
+        let term_is_branch = matches!(
+            block.terminator().map(|t| func.inst(t)),
+            Some(Inst::Br { .. }) | Some(Inst::CondBr { .. })
+        );
+        set(Feature::TerminatorIsBranch, b(term_is_branch));
+
+        // --- Function (20–24). --------------------------------------------
+        let term = block.terminator().map(|t| func.inst(t));
+        let dist = if matches!(term, Some(Inst::Ret { .. })) {
+            remaining as u64
+        } else {
+            let best = succs
+                .iter()
+                .map(|s| ctx.dist_from_start[s.index()])
+                .min()
+                .unwrap_or(UNREACHABLE_DIST);
+            if best >= UNREACHABLE_DIST {
+                // No path to a return: saturate at twice the function size.
+                ctx.func_insts * 2
+            } else {
+                remaining as u64 + best
+            }
+        };
+        set(Feature::DistanceToReturn, dist as f64);
+        set(Feature::FuncInsts, ctx.func_insts as f64);
+        set(Feature::FuncBlocks, func.num_blocks() as f64);
+        let calls_after_here: u64 = block.insts()[pos + 1..]
+            .iter()
+            .filter(|&&x| matches!(func.inst(x), Inst::Call { .. }))
+            .count() as u64;
+        set(
+            Feature::FutureCalls,
+            (calls_after_here + ctx.future_calls_after_block[bb.index()]) as f64,
+        );
+        set(
+            Feature::ReturnsValue,
+            b(func.return_type() != ipas_ir::Type::Void),
+        );
+
+        // --- Forward slice (25–31). ----------------------------------------
+        let slice = forward_slice_with(func, &ctx.defuse, inst);
+        let counts = SliceCounts::tally(func, &slice);
+        set(Feature::SliceTotal, counts.total as f64);
+        set(Feature::SliceLoads, counts.loads as f64);
+        set(Feature::SliceStores, counts.stores as f64);
+        set(Feature::SliceCalls, counts.calls as f64);
+        set(Feature::SliceBinaries, counts.binaries as f64);
+        set(Feature::SliceAllocas, counts.allocas as f64);
+        set(Feature::SliceGeps, counts.geps as f64);
+
+        FeatureVector { values: v }
+    }
+
+    /// Extracts feature vectors for every linked instruction of `fid`,
+    /// in block layout order.
+    pub fn extract_all(&self, fid: FuncId) -> Vec<(InstId, FeatureVector)> {
+        let func = self.module.function(fid);
+        let mut out = Vec::with_capacity(func.num_linked_insts());
+        for bb in func.block_ids() {
+            for &id in func.block(bb).insts() {
+                out.push((id, self.extract(fid, id)));
+            }
+        }
+        out
+    }
+
+    /// The module this extractor reads.
+    pub fn module(&self) -> &Module {
+        self.module
+    }
+}
+
+// Count user-function vs intrinsic calls identically: both are "call
+// instructions" at the IR level, as in LLVM (where libm calls are calls).
+#[allow(dead_code)]
+fn is_user_call(inst: &Inst) -> bool {
+    matches!(
+        inst,
+        Inst::Call {
+            callee: Callee::Func(_),
+            ..
+        }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipas_ir::parser::parse_module;
+
+    fn module_and_extractor(src: &str) -> (Module, Vec<(InstId, FeatureVector)>) {
+        let module = parse_module(src).unwrap();
+        let extractor = FeatureExtractor::new(&module);
+        let (fid, _) = module.functions().next().unwrap();
+        let all = extractor.extract_all(fid);
+        (module, all)
+    }
+
+    const LOOP_SRC: &str = r#"
+fn @f(i64) -> i64 {
+bb0:
+  %v0 = add i64 %arg0, 1
+  br bb1
+bb1:
+  %v1 = phi i64 [bb0: 0, bb2: %v3]
+  %v2 = icmp slt %v1, %v0
+  condbr %v2, bb2, bb3
+bb2:
+  %v3 = add i64 %v1, 1
+  br bb1
+bb3:
+  %v4 = mul i64 %v1, 2
+  ret %v4
+}
+"#;
+
+    #[test]
+    fn instruction_category_features() {
+        let (_, all) = module_and_extractor(LOOP_SRC);
+        let fv_add = &all[0].1; // %v0 add
+        assert_eq!(fv_add.get(Feature::IsBinaryOp), 1.0);
+        assert_eq!(fv_add.get(Feature::IsAddSub), 1.0);
+        assert_eq!(fv_add.get(Feature::IsMulDiv), 0.0);
+        assert_eq!(fv_add.get(Feature::ResultBytes), 8.0);
+        let fv_icmp = &all[3].1; // %v2 icmp
+        assert_eq!(fv_icmp.get(Feature::IsCmp), 1.0);
+        assert_eq!(fv_icmp.get(Feature::IsBinaryOp), 0.0);
+        assert_eq!(fv_icmp.get(Feature::ResultBytes), 1.0);
+    }
+
+    #[test]
+    fn block_features() {
+        let (_, all) = module_and_extractor(LOOP_SRC);
+        let fv_add = &all[0].1; // in bb0: [add, br]
+        assert_eq!(fv_add.get(Feature::BlockSize), 2.0);
+        assert_eq!(fv_add.get(Feature::RemainingInBlock), 1.0);
+        assert_eq!(fv_add.get(Feature::NumSuccessors), 1.0);
+        // bb1 has 3 insts.
+        assert_eq!(fv_add.get(Feature::SumSuccessorSizes), 3.0);
+        assert_eq!(fv_add.get(Feature::InLoop), 0.0);
+        assert_eq!(fv_add.get(Feature::TerminatorIsBranch), 1.0);
+
+        let fv_body_add = &all[5].1; // %v3 in bb2
+        assert_eq!(fv_body_add.get(Feature::InLoop), 1.0);
+
+        let fv_phi_block_icmp = &all[3].1; // icmp in bb1 (has phi)
+        assert_eq!(fv_phi_block_icmp.get(Feature::HasPhi), 1.0);
+    }
+
+    #[test]
+    fn function_features() {
+        let (_, all) = module_and_extractor(LOOP_SRC);
+        let fv = &all[0].1;
+        assert_eq!(fv.get(Feature::FuncInsts), 9.0);
+        assert_eq!(fv.get(Feature::FuncBlocks), 4.0);
+        assert_eq!(fv.get(Feature::ReturnsValue), 1.0);
+        // From %v4 (in bb3: [mul, ret]): one inst remains (the ret).
+        let fv_mul = &all[7].1;
+        assert_eq!(fv_mul.get(Feature::DistanceToReturn), 1.0);
+        // From %v0 in bb0: shortest path br(1) -> bb1 (3) -> bb3 (2) = 6.
+        assert_eq!(fv.get(Feature::DistanceToReturn), 6.0);
+    }
+
+    #[test]
+    fn future_calls_counts_downstream() {
+        let src = r#"
+fn @main() -> f64 {
+bb0:
+  %v0 = call sqrt(2.0) -> f64
+  %v1 = fadd f64 %v0, 1.0
+  %v2 = call sqrt(%v1) -> f64
+  br bb1
+bb1:
+  %v3 = call sqrt(%v2) -> f64
+  ret %v3
+}
+"#;
+        let (_, all) = module_and_extractor(src);
+        let fv_first_call = &all[0].1;
+        // After %v0: one call later in bb0 + one call in bb1.
+        assert_eq!(fv_first_call.get(Feature::FutureCalls), 2.0);
+        assert_eq!(fv_first_call.get(Feature::IsCall), 1.0);
+        let fv_fadd = &all[1].1;
+        assert_eq!(fv_fadd.get(Feature::FutureCalls), 2.0);
+    }
+
+    #[test]
+    fn slice_features_flow_downstream() {
+        let (_, all) = module_and_extractor(LOOP_SRC);
+        let fv_add = &all[0].1; // %v0 feeds the loop bound comparison
+        assert!(fv_add.get(Feature::SliceTotal) >= 3.0);
+        let fv_final_mul = &all[7].1; // %v4 only feeds the ret
+        assert_eq!(fv_final_mul.get(Feature::SliceTotal), 2.0);
+        assert_eq!(fv_final_mul.get(Feature::SliceBinaries), 1.0);
+    }
+
+    #[test]
+    fn atomics_feature_is_zero() {
+        let (_, all) = module_and_extractor(LOOP_SRC);
+        for (_, fv) in &all {
+            assert_eq!(fv.get(Feature::IsAtomic), 0.0);
+        }
+    }
+
+    #[test]
+    fn feature_names_are_unique() {
+        use std::collections::HashSet;
+        let names: HashSet<_> = Feature::ALL.iter().map(|f| f.name()).collect();
+        assert_eq!(names.len(), NUM_FEATURES);
+    }
+
+    #[test]
+    fn vector_round_trips_values() {
+        let mut vals = [0.0; NUM_FEATURES];
+        vals[5] = 2.5;
+        let fv = FeatureVector::from_values(vals);
+        assert_eq!(fv.get(Feature::IsCall), 2.5);
+        assert_eq!(fv.as_slice().len(), NUM_FEATURES);
+    }
+
+    #[test]
+    fn infinite_loop_distance_saturates() {
+        let src = r#"
+fn @f() {
+bb0:
+  %v0 = add i64 1, 1
+  br bb1
+bb1:
+  br bb1
+}
+"#;
+        let module = parse_module(src).unwrap();
+        let extractor = FeatureExtractor::new(&module);
+        let (fid, _) = module.functions().next().unwrap();
+        let fv = extractor.extract(fid, InstId::new(0));
+        // No path to return: saturated, not overflowed.
+        assert_eq!(fv.get(Feature::DistanceToReturn), 6.0); // 2 * 3 insts
+    }
+}

@@ -1,0 +1,184 @@
+//! Natural-loop detection.
+//!
+//! A back edge is a CFG edge `t -> h` where `h` dominates `t`; the
+//! natural loop of the edge is `h` plus every block that can reach `t`
+//! without passing through `h`. Feature 17 of the paper's Table 1 ("basic
+//! block is within a loop") is membership in any natural loop.
+
+use ipas_ir::dom::DomTree;
+use ipas_ir::{BlockId, Function};
+
+/// Per-block loop membership for one function.
+#[derive(Debug, Clone)]
+pub struct LoopInfo {
+    in_loop: Vec<bool>,
+    num_back_edges: usize,
+}
+
+impl LoopInfo {
+    /// Computes loop membership for `func`.
+    pub fn compute(func: &Function) -> Self {
+        let dt = DomTree::compute(func);
+        let preds = func.predecessors();
+        let n = func.num_blocks();
+        let mut in_loop = vec![false; n];
+        let mut num_back_edges = 0;
+
+        for tail in func.block_ids() {
+            if !dt.is_reachable(tail) {
+                continue;
+            }
+            for header in func.successors(tail) {
+                if !dt.dominates(header, tail) {
+                    continue;
+                }
+                num_back_edges += 1;
+                // Natural loop of the back edge: the header plus every
+                // block reaching `tail` without passing through the
+                // header (reverse DFS from the tail, cut at the header).
+                let mut body = vec![false; n];
+                body[header.index()] = true;
+                let mut stack = vec![tail];
+                while let Some(bb) = stack.pop() {
+                    if body[bb.index()] {
+                        continue;
+                    }
+                    body[bb.index()] = true;
+                    for &p in &preds[bb.index()] {
+                        stack.push(p);
+                    }
+                }
+                for (i, member) in body.iter().enumerate() {
+                    if *member {
+                        in_loop[i] = true;
+                    }
+                }
+            }
+        }
+        LoopInfo {
+            in_loop,
+            num_back_edges,
+        }
+    }
+
+    /// Returns `true` if `bb` belongs to any natural loop.
+    pub fn is_in_loop(&self, bb: BlockId) -> bool {
+        self.in_loop[bb.index()]
+    }
+
+    /// Number of back edges found (an upper bound on loop count).
+    pub fn num_back_edges(&self) -> usize {
+        self.num_back_edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipas_ir::parser::parse_function;
+
+    #[test]
+    fn simple_while_loop() {
+        let f = parse_function(
+            r#"
+fn @f(i64) -> i64 {
+bb0:
+  br bb1
+bb1:
+  %v0 = phi i64 [bb0: 0, bb2: %v2]
+  %v1 = icmp slt %v0, %arg0
+  condbr %v1, bb2, bb3
+bb2:
+  %v2 = add i64 %v0, 1
+  br bb1
+bb3:
+  ret %v0
+}
+"#,
+        )
+        .unwrap();
+        let li = LoopInfo::compute(&f);
+        let bbs: Vec<BlockId> = f.block_ids().collect();
+        assert!(!li.is_in_loop(bbs[0]), "entry is outside the loop");
+        assert!(li.is_in_loop(bbs[1]), "header is in the loop");
+        assert!(li.is_in_loop(bbs[2]), "body is in the loop");
+        assert!(!li.is_in_loop(bbs[3]), "exit is outside the loop");
+        assert_eq!(li.num_back_edges(), 1);
+    }
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        let f = parse_function(
+            r#"
+fn @f() {
+bb0:
+  br bb1
+bb1:
+  ret
+}
+"#,
+        )
+        .unwrap();
+        let li = LoopInfo::compute(&f);
+        assert!(!li.is_in_loop(BlockId::new(0)));
+        assert!(!li.is_in_loop(BlockId::new(1)));
+        assert_eq!(li.num_back_edges(), 0);
+    }
+
+    #[test]
+    fn nested_loops_mark_all_members() {
+        let f = parse_function(
+            r#"
+fn @f(i64) {
+bb0:
+  br bb1
+bb1:
+  %v0 = phi i64 [bb0: 0, bb4: %v5]
+  %v1 = icmp slt %v0, %arg0
+  condbr %v1, bb2, bb5
+bb2:
+  %v2 = phi i64 [bb1: 0, bb3: %v4]
+  %v3 = icmp slt %v2, %arg0
+  condbr %v3, bb3, bb4
+bb3:
+  %v4 = add i64 %v2, 1
+  br bb2
+bb4:
+  %v5 = add i64 %v0, 1
+  br bb1
+bb5:
+  ret
+}
+"#,
+        )
+        .unwrap();
+        let li = LoopInfo::compute(&f);
+        for i in 1..=4 {
+            assert!(li.is_in_loop(BlockId::new(i)), "bb{i} should be in a loop");
+        }
+        assert!(!li.is_in_loop(BlockId::new(0)));
+        assert!(!li.is_in_loop(BlockId::new(5)));
+        assert_eq!(li.num_back_edges(), 2);
+    }
+
+    #[test]
+    fn self_loop() {
+        let f = parse_function(
+            r#"
+fn @f() {
+bb0:
+  br bb1
+bb1:
+  %v0 = icmp eq 1, 1
+  condbr %v0, bb1, bb2
+bb2:
+  ret
+}
+"#,
+        )
+        .unwrap();
+        let li = LoopInfo::compute(&f);
+        assert!(li.is_in_loop(BlockId::new(1)));
+        assert!(!li.is_in_loop(BlockId::new(0)));
+    }
+}

@@ -1,0 +1,200 @@
+//! Forward program slicing.
+//!
+//! The paper computes a *forward slice* of each injected instruction —
+//! the set of instructions influenced by its value — using Weiser's
+//! algorithm, and derives features 25–31 from it. Error propagation is
+//! exactly forward value flow, so the slice is the static footprint a
+//! corrupted value can reach.
+//!
+//! This implementation follows the SSA data-flow component of Weiser
+//! slicing within one function: the slice of `x` is the transitive
+//! def-use closure of `x`'s result. Instructions with no result (stores,
+//! branches, returns, void calls) are included in the slice when they
+//! consume a sliced value, but do not propagate further — memory-carried
+//! and inter-procedural flows are cut there (and counted, which is what
+//! the slice-composition features measure).
+
+use std::collections::HashSet;
+
+use ipas_ir::{Function, InstId};
+
+use crate::defuse::DefUse;
+
+/// Computes the forward slice of `root` in `func`, including `root`
+/// itself. Returns the slice as a set of instruction ids.
+pub fn forward_slice(func: &Function, root: InstId) -> HashSet<InstId> {
+    let du = DefUse::compute(func);
+    forward_slice_with(func, &du, root)
+}
+
+/// Like [`forward_slice`] but reuses a precomputed [`DefUse`] (the
+/// feature extractor calls this once per instruction of a function).
+pub fn forward_slice_with(
+    _func: &Function,
+    du: &DefUse,
+    root: InstId,
+) -> HashSet<InstId> {
+    let mut slice: HashSet<InstId> = HashSet::new();
+    slice.insert(root);
+    let mut work = vec![root];
+    while let Some(id) = work.pop() {
+        for &user in du.users(id) {
+            if slice.insert(user) {
+                work.push(user);
+            }
+        }
+    }
+    slice
+}
+
+/// Summary counts over a slice, matching features 25–31 of Table 1.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SliceCounts {
+    /// Total instructions in the slice (feature 25).
+    pub total: usize,
+    /// Loads in the slice (feature 26).
+    pub loads: usize,
+    /// Stores in the slice (feature 27).
+    pub stores: usize,
+    /// Calls in the slice (feature 28).
+    pub calls: usize,
+    /// Binary operations in the slice (feature 29).
+    pub binaries: usize,
+    /// Stack allocations in the slice (feature 30).
+    pub allocas: usize,
+    /// Get-pointer (GEP) instructions in the slice (feature 31).
+    pub geps: usize,
+}
+
+impl SliceCounts {
+    /// Tallies the composition of `slice` inside `func`.
+    pub fn tally(func: &Function, slice: &HashSet<InstId>) -> Self {
+        use ipas_ir::Inst;
+        let mut c = SliceCounts {
+            total: slice.len(),
+            ..SliceCounts::default()
+        };
+        for &id in slice {
+            match func.inst(id) {
+                Inst::Load { .. } => c.loads += 1,
+                Inst::Store { .. } => c.stores += 1,
+                Inst::Call { .. } => c.calls += 1,
+                Inst::Binary { .. } => c.binaries += 1,
+                Inst::Alloca { .. } => c.allocas += 1,
+                Inst::Gep { .. } => c.geps += 1,
+                _ => {}
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipas_ir::parser::parse_function;
+
+    #[test]
+    fn slice_follows_value_flow() {
+        let f = parse_function(
+            r#"
+fn @f(i64) -> i64 {
+bb0:
+  %v0 = add i64 %arg0, 1
+  %v1 = mul i64 %v0, 2
+  %v2 = add i64 %arg0, 5
+  %v3 = add i64 %v1, %v2
+  ret %v3
+}
+"#,
+        )
+        .unwrap();
+        let slice = forward_slice(&f, InstId::new(0));
+        // v0 -> v1 -> v3 -> ret; v2 is NOT influenced by v0.
+        assert!(slice.contains(&InstId::new(0)));
+        assert!(slice.contains(&InstId::new(1)));
+        assert!(!slice.contains(&InstId::new(2)));
+        assert!(slice.contains(&InstId::new(3)));
+        assert!(slice.contains(&InstId::new(4))); // the ret
+        assert_eq!(slice.len(), 4);
+    }
+
+    #[test]
+    fn slice_is_cut_at_stores() {
+        let f = parse_function(
+            r#"
+fn @f(ptr) -> i64 {
+bb0:
+  %v0 = add i64 1, 2
+  store i64 %v0, %arg0
+  %v1 = load i64, %arg0
+  ret %v1
+}
+"#,
+        )
+        .unwrap();
+        let slice = forward_slice(&f, InstId::new(0));
+        // The store consumes the value (in the slice) but the memory
+        // round-trip to the load is not followed.
+        assert!(slice.contains(&InstId::new(1)));
+        assert!(!slice.contains(&InstId::new(2)));
+        let counts = SliceCounts::tally(&f, &slice);
+        assert_eq!(counts.total, 2);
+        assert_eq!(counts.stores, 1);
+        assert_eq!(counts.binaries, 1);
+        assert_eq!(counts.loads, 0);
+    }
+
+    #[test]
+    fn slice_through_loop_phi() {
+        let f = parse_function(
+            r#"
+fn @f(i64) -> i64 {
+bb0:
+  %v0 = add i64 %arg0, 0
+  br bb1
+bb1:
+  %v1 = phi i64 [bb0: %v0, bb2: %v3]
+  %v2 = icmp slt %v1, 100
+  condbr %v2, bb2, bb3
+bb2:
+  %v3 = add i64 %v1, 1
+  br bb1
+bb3:
+  ret %v1
+}
+"#,
+        )
+        .unwrap();
+        let slice = forward_slice(&f, InstId::new(0));
+        // Everything downstream of the induction seed is influenced.
+        for i in [0usize, 2, 3, 4, 5, 7] {
+            assert!(slice.contains(&InstId::new(i)), "inst {i} missing");
+        }
+    }
+
+    #[test]
+    fn counts_classify_gep_alloca_call() {
+        let f = parse_function(
+            r#"
+fn @f() -> i64 {
+bb0:
+  %v0 = add i64 2, 3
+  %v1 = alloca i64, 1
+  %v2 = gep i64 %v1, %v0
+  %v3 = sitofp f64 %v0
+  %v4 = call sqrt(%v3) -> f64
+  %v5 = fptosi i64 %v4
+  ret %v5
+}
+"#,
+        )
+        .unwrap();
+        let slice = forward_slice(&f, InstId::new(0));
+        let counts = SliceCounts::tally(&f, &slice);
+        assert_eq!(counts.geps, 1);
+        assert_eq!(counts.calls, 1);
+        assert_eq!(counts.allocas, 0); // alloca is not downstream of v0
+        assert_eq!(counts.binaries, 1);
+    }
+}

@@ -1,0 +1,124 @@
+//! Criterion benchmarks for the IPAS substrates.
+//!
+//! These cover the timing-oriented rows of the evaluation: classifier
+//! training and the duplication pass (Table 6), plus the interpreter,
+//! frontend, and feature-extraction throughput that determine campaign
+//! cost. Run with `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use ipas_analysis::FeatureExtractor;
+use ipas_core::{protect_module, ProtectionPolicy};
+use ipas_interp::{Machine, RunConfig, RtVal};
+use ipas_svm::{grid_search, Dataset, GridOptions, Svm, SvmParams};
+use ipas_workloads::Kind;
+
+fn bench_frontend(c: &mut Criterion) {
+    let src = ipas_workloads::sources::source(Kind::Comd);
+    c.bench_function("compile_comd_scil", |b| {
+        b.iter(|| ipas_lang::compile_named(src, "CoMD").expect("compiles"))
+    });
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interpreter");
+    group.sample_size(10);
+    for (kind, input) in [(Kind::Is, 512i64), (Kind::Hpccg, 4)] {
+        let module = ipas_lang::compile_named(
+            ipas_workloads::sources::source(kind),
+            kind.name(),
+        )
+        .expect("compiles");
+        let config = RunConfig {
+            entry: "main".into(),
+            args: vec![RtVal::I64(input)],
+            ..RunConfig::default()
+        };
+        group.bench_function(format!("run_{}", kind.name()), |b| {
+            b.iter(|| {
+                Machine::new(&module)
+                    .run(&config)
+                    .expect("workload runs")
+                    .dynamic_insts
+            })
+        });
+    }
+    group.finish();
+}
+
+fn training_dataset(n: usize) -> Dataset {
+    // Synthetic imbalanced data with the dimensionality of Table 1.
+    let dim = ipas_analysis::NUM_FEATURES;
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut row = vec![0.0; dim];
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = ((i * 31 + j * 7) % 13) as f64 + if i % 12 == 0 { 8.0 } else { 0.0 };
+        }
+        x.push(row);
+        y.push(i % 12 == 0);
+    }
+    Dataset::new(x, y).expect("rectangular data")
+}
+
+fn bench_svm(c: &mut Criterion) {
+    let data = training_dataset(250);
+    c.bench_function("svm_train_250x31", |b| {
+        b.iter(|| Svm::train(&data, &SvmParams::new(10.0, 0.05).balanced_for(&data)))
+    });
+    let mut group = c.benchmark_group("model_selection");
+    group.sample_size(10);
+    group.bench_function("grid_search_quick", |b| {
+        b.iter(|| grid_search(&data, &GridOptions::quick()))
+    });
+    group.finish();
+}
+
+fn bench_duplication(c: &mut Criterion) {
+    let module = ipas_lang::compile_named(
+        ipas_workloads::sources::source(Kind::Comd),
+        "CoMD",
+    )
+    .expect("compiles");
+    c.bench_function("duplication_pass_full_comd", |b| {
+        b.iter_batched(
+            || module.clone(),
+            |m| protect_module(&m, &mut |_, _, _| true),
+            BatchSize::SmallInput,
+        )
+    });
+    // The policy-application path (classification + duplication) for a
+    // trivial always-protect policy, Table 6's step-4 shape.
+    c.bench_function("policy_apply_full_comd", |b| {
+        b.iter(|| ProtectionPolicy::FullDuplication.apply(&module))
+    });
+}
+
+fn bench_features(c: &mut Criterion) {
+    let module = ipas_lang::compile_named(
+        ipas_workloads::sources::source(Kind::Amg),
+        "AMG",
+    )
+    .expect("compiles");
+    c.bench_function("feature_extraction_amg_all", |b| {
+        b.iter(|| {
+            let ex = FeatureExtractor::new(&module);
+            let mut total = 0usize;
+            for (fid, _) in module.functions() {
+                total += ex.extract_all(fid).len();
+            }
+            total
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_frontend,
+    bench_interpreter,
+    bench_svm,
+    bench_duplication,
+    bench_features
+);
+criterion_main!(benches);

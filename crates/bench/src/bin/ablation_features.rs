@@ -1,0 +1,80 @@
+//! Feature-group ablation: how much does each category of Table 1
+//! contribute to SOC prediction?
+//!
+//! Trains the class-weighted SVM on cumulative feature groups —
+//! instruction-only (features 1–12), + basic block (13–19), + function
+//! (20–24), + forward slice (25–31) — and reports cross-validated
+//! F-scores. The paper motivates the slice features as capturing error
+//! propagation; this ablation quantifies that design choice.
+
+use ipas_bench::{print_table, Profile};
+use ipas_core::{build_training_set, LabelKind};
+use ipas_faultsim::{run_campaign, CampaignConfig};
+use ipas_svm::{f_score, per_class_accuracy, Classifier, Dataset, Scaler, Svm, SvmParams};
+use ipas_workloads::Kind;
+
+/// Cumulative group boundaries in Table 1 order.
+const GROUPS: [(&str, usize); 4] = [
+    ("instruction", 12),
+    ("+block", 19),
+    ("+function", 24),
+    ("+slice (all)", 31),
+];
+
+fn restrict(data: &Dataset, dims: usize) -> Dataset {
+    let x = data
+        .features()
+        .iter()
+        .map(|r| r[..dims].to_vec())
+        .collect();
+    Dataset::new(x, data.labels().to_vec()).expect("rectangular")
+}
+
+fn cv_f_score(data: &Dataset) -> f64 {
+    let mut predicted = Vec::new();
+    let mut truth = Vec::new();
+    for (tr, te) in data.stratified_kfold(5, 11) {
+        let train_set = data.subset(&tr);
+        let test_set = data.subset(&te);
+        let scaler = Scaler::fit(&train_set);
+        let model = Svm::train(
+            &scaler.transform(&train_set),
+            &SvmParams::new(100.0, 0.05).balanced_for(&train_set),
+        );
+        predicted.extend(model.predict_batch(scaler.transform(&test_set).features()));
+        truth.extend_from_slice(test_set.labels());
+    }
+    f_score(per_class_accuracy(&predicted, &truth))
+}
+
+fn main() {
+    let opts = Profile::from_env().options();
+    let mut rows = Vec::new();
+    for kind in Kind::ALL {
+        eprintln!("[ablation] {}", kind.name());
+        let workload = kind.build(kind.base_input()).expect("workload builds");
+        let campaign = run_campaign(
+            &workload,
+            &CampaignConfig {
+                runs: opts.training_runs,
+                seed: opts.seed,
+                threads: opts.threads,
+            },
+        );
+        let data = build_training_set(&workload, &campaign.records, LabelKind::SocGenerating);
+        if data.num_positive() == 0 || data.num_positive() == data.len() {
+            eprintln!("[ablation]   degenerate labels, skipping");
+            continue;
+        }
+        let mut cells = vec![kind.name().to_string()];
+        for (_, dims) in GROUPS {
+            cells.push(format!("{:.3}", cv_f_score(&restrict(&data, dims))));
+        }
+        rows.push(cells);
+    }
+    print_table(
+        "Feature-group ablation: CV F-score with cumulative Table 1 groups",
+        &["code", GROUPS[0].0, GROUPS[1].0, GROUPS[2].0, GROUPS[3].0],
+        &rows,
+    );
+}

@@ -1,0 +1,61 @@
+//! Sampling-mode ablation: dynamic-instance-uniform vs static-site-uniform
+//! fault injection.
+//!
+//! FlipIt (and therefore the paper) samples dynamic instruction
+//! *instances* uniformly, so hot loops dominate both the training set and
+//! the evaluation statistics. This ablation repeats the campaign with
+//! static-site-uniform sampling and reports (a) how the outcome
+//! distribution shifts and (b) how the training-set class balance
+//! changes — the bias a practitioner should know about before reading
+//! Figure 5 as a statement about *code* rather than about *executions*.
+
+use ipas_bench::{print_table, Profile};
+use ipas_faultsim::{run_campaign_sampled, CampaignConfig, Outcome, SamplingMode};
+use ipas_workloads::Kind;
+
+fn main() {
+    let opts = Profile::from_env().options();
+    let cfg = CampaignConfig {
+        runs: opts.training_runs,
+        seed: opts.seed ^ 0x5A11,
+        threads: opts.threads,
+    };
+    let mut rows = Vec::new();
+    for kind in Kind::ALL {
+        eprintln!("[ablation] {}", kind.name());
+        let workload = kind.build(kind.base_input()).expect("workload builds");
+        let dynamic = run_campaign_sampled(&workload, &cfg, SamplingMode::DynamicUniform);
+        let statics = run_campaign_sampled(&workload, &cfg, SamplingMode::StaticUniform);
+        let distinct = |r: &ipas_faultsim::CampaignResult| {
+            let mut sites: Vec<_> = r.records.iter().map(|x| x.site).collect();
+            sites.sort();
+            sites.dedup();
+            sites.len()
+        };
+        rows.push(vec![
+            kind.name().to_string(),
+            format!("{:.1}%", dynamic.fraction(Outcome::Soc) * 100.0),
+            format!("{:.1}%", statics.fraction(Outcome::Soc) * 100.0),
+            format!("{:.1}%", dynamic.fraction(Outcome::Symptom) * 100.0),
+            format!("{:.1}%", statics.fraction(Outcome::Symptom) * 100.0),
+            distinct(&dynamic).to_string(),
+            distinct(&statics).to_string(),
+        ]);
+    }
+    print_table(
+        &format!(
+            "Sampling ablation over {} injections (dyn = paper's instance-uniform, stat = site-uniform)",
+            cfg.runs
+        ),
+        &[
+            "code",
+            "SOC dyn",
+            "SOC stat",
+            "symptom dyn",
+            "symptom stat",
+            "sites dyn",
+            "sites stat",
+        ],
+        &rows,
+    );
+}

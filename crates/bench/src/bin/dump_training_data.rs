@@ -1,0 +1,61 @@
+//! Exports a workload's labeled training set as CSV (31 features +
+//! outcome + SOC/symptom labels), for offline analysis with external ML
+//! tooling.
+//!
+//! Usage: `dump_training_data [workload] [runs]` — workload is one of
+//! `comd|hpccg|amg|fft|is` (default `hpccg`), runs defaults to the
+//! profile's training size. Output goes to stdout.
+
+use ipas_analysis::{Feature, FeatureExtractor};
+use ipas_bench::Profile;
+use ipas_faultsim::{run_campaign, CampaignConfig, Outcome};
+use ipas_workloads::Kind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let kind = match args.get(1).map(String::as_str) {
+        Some("comd") => Kind::Comd,
+        Some("amg") => Kind::Amg,
+        Some("fft") => Kind::Fft,
+        Some("is") => Kind::Is,
+        _ => Kind::Hpccg,
+    };
+    let opts = Profile::from_env().options();
+    let runs = args
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(opts.training_runs);
+
+    let workload = kind.build(kind.base_input()).expect("workload builds");
+    let campaign = run_campaign(
+        &workload,
+        &CampaignConfig {
+            runs,
+            seed: opts.seed,
+            threads: opts.threads,
+        },
+    );
+    let extractor = FeatureExtractor::new(&workload.module);
+
+    // Header.
+    let mut header: Vec<&str> = Feature::ALL.iter().map(|f| f.name()).collect();
+    header.extend_from_slice(&["bit", "outcome", "soc_label", "symptom_label"]);
+    println!("{}", header.join(","));
+
+    for rec in &campaign.records {
+        let (fid, iid) = rec.site;
+        let fv = extractor.extract(fid, iid);
+        let mut cells: Vec<String> = fv.as_slice().iter().map(|v| v.to_string()).collect();
+        cells.push(rec.bit.to_string());
+        cells.push(rec.outcome.label().to_string());
+        cells.push(((rec.outcome == Outcome::Soc) as u8).to_string());
+        cells.push(((rec.outcome == Outcome::Symptom) as u8).to_string());
+        println!("{}", cells.join(","));
+    }
+    eprintln!(
+        "[dump] {}: {} rows, {:.1}% SOC",
+        kind.name(),
+        campaign.records.len(),
+        campaign.fraction(Outcome::Soc) * 100.0
+    );
+}

@@ -1,0 +1,48 @@
+//! Figure 5: coverage results — the outcome breakdown (symptom /
+//! detected by duplication / masked / SOC) for every protection variant
+//! of every workload, with the §6.2 margins of error.
+//!
+//! Paper shape to look for: the unprotected SOC sits between ~2.6% and
+//! ~10.8%; full duplication and both selective schemes push most SOC
+//! into the *detected* category; Baseline detects more than IPAS because
+//! it protects more instructions.
+
+use ipas_bench::{load_or_run_experiments, print_table, Profile};
+
+fn main() {
+    let summaries = load_or_run_experiments(Profile::from_env());
+    for s in &summaries {
+        let rows: Vec<Vec<String>> = s
+            .variants
+            .iter()
+            .map(|v| {
+                vec![
+                    v.name.clone(),
+                    format!("{:.1}%", v.outcome_fractions[0] * 100.0),
+                    format!("{:.1}%", v.outcome_fractions[1] * 100.0),
+                    format!("{:.1}%", v.outcome_fractions[2] * 100.0),
+                    format!("{:.2}%", v.outcome_fractions[3] * 100.0),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!(
+                "Figure 5 ({}): outcome coverage over {} injections (unprotected SOC {:.2}% ± {:.2}%)",
+                s.workload,
+                s.eval_runs,
+                s.unprotected().soc_pct,
+                s.soc_margin() * 100.0
+            ),
+            &["variant", "symptom", "detected", "masked", "SOC"],
+            &rows,
+        );
+    }
+    println!(
+        "\ntraining class balance (paper: 3-10% SOC): {}",
+        summaries
+            .iter()
+            .map(|s| format!("{} {:.1}%", s.workload, s.training_soc_fraction * 100.0))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+}

@@ -1,0 +1,38 @@
+//! Figure 6: SOC reduction (%) versus slowdown for the top-5 IPAS and
+//! Baseline configurations of every workload.
+//!
+//! Paper shape: IPAS configurations populate the low-slowdown region
+//! (1.04×–1.35× at the ideal-point picks) with SOC reductions comparable
+//! to Baseline, whose points sit at distinctly higher slowdowns
+//! (1.66×–2.1×). IPAS shows more scatter across configurations than
+//! Baseline (its training data is more class-imbalanced).
+
+use ipas_bench::{load_or_run_experiments, print_table, Profile};
+
+fn main() {
+    let summaries = load_or_run_experiments(Profile::from_env());
+    for s in &summaries {
+        let mut rows = Vec::new();
+        for v in s.ipas().iter().chain(s.baseline().iter()) {
+            rows.push(vec![
+                v.name.clone(),
+                format!("{:.3}x", v.slowdown),
+                format!("{:.1}%", v.soc_reduction_pct),
+                format!("{:.2}%", v.soc_pct),
+            ]);
+        }
+        // Full duplication for context (the upper-cost anchor).
+        let f = s.full();
+        rows.push(vec![
+            f.name.clone(),
+            format!("{:.3}x", f.slowdown),
+            format!("{:.1}%", f.soc_reduction_pct),
+            format!("{:.2}%", f.soc_pct),
+        ]);
+        print_table(
+            &format!("Figure 6 ({}): SOC reduction vs slowdown", s.workload),
+            &["config", "slowdown", "SOC reduction", "residual SOC"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Figure 7: average percentage of duplicated instructions for the top-5
+//! configurations of IPAS and Baseline.
+//!
+//! Paper shape: IPAS duplicates a clearly smaller fraction of the code
+//! than Baseline on every workload — that is the mechanism behind its
+//! lower slowdown in Figure 6.
+
+use ipas_bench::{load_or_run_experiments, print_table, Profile};
+
+fn avg(vs: &[&ipas_bench::VariantSummary]) -> f64 {
+    if vs.is_empty() {
+        return 0.0;
+    }
+    vs.iter().map(|v| v.dup_fraction).sum::<f64>() / vs.len() as f64
+}
+
+fn main() {
+    let summaries = load_or_run_experiments(Profile::from_env());
+    let rows: Vec<Vec<String>> = summaries
+        .iter()
+        .map(|s| {
+            let ipas = avg(&s.ipas());
+            let base = avg(&s.baseline());
+            vec![
+                s.workload.clone(),
+                format!("{:.1}%", ipas * 100.0),
+                format!("{:.1}%", base * 100.0),
+                format!("{:.2}x", if ipas > 0.0 { base / ipas } else { f64::NAN }),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 7: average % of duplicated instructions (top-5 configurations)",
+        &["code", "IPAS", "Baseline", "baseline/IPAS"],
+        &rows,
+    );
+}

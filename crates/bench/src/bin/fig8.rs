@@ -1,0 +1,60 @@
+//! Figure 8: strong-scaling slowdown of the best IPAS configuration as
+//! the MPI rank count grows.
+//!
+//! Paper shape: the slowdown stays essentially flat with scale, because
+//! IPAS instruments computation only — communication is untouched. The
+//! reproduction measures the critical-path dynamic instruction count
+//! (max over ranks) of the protected vs unprotected job under the
+//! simulated MPI runtime.
+
+use ipas_bench::{load_or_run_experiments, print_table, protect_with_named_config, Profile};
+use ipas_interp::{RunConfig, RtVal};
+use ipas_mpisim::run_mpi_job;
+use ipas_workloads::Kind;
+
+/// FFT requires the rank count to divide n; every workload divides work
+/// in blocks, so powers of two up to 16 are safe at the base inputs.
+const RANKS: [usize; 5] = [1, 2, 4, 8, 16];
+
+fn main() {
+    let profile = Profile::from_env();
+    let summaries = load_or_run_experiments(profile);
+    let mut rows = Vec::new();
+    for (kind, summary) in Kind::ALL.iter().zip(&summaries) {
+        let best = summary
+            .best_of(&summary.ipas())
+            .expect("IPAS configs exist")
+            .name
+            .clone();
+        eprintln!("[fig8] {}: protecting with {best}", kind.name());
+        let (protected, _) = protect_with_named_config(*kind, profile, &best);
+        let config = RunConfig {
+            entry: "main".into(),
+            args: vec![RtVal::I64(kind.base_input())],
+            ..RunConfig::default()
+        };
+        let mut cells = vec![format!("{} ({best})", kind.name())];
+        for ranks in RANKS {
+            let base = run_mpi_job(&kind.build(kind.base_input()).unwrap().module, ranks, &config, None)
+                .expect("unprotected job runs");
+            let prot =
+                run_mpi_job(&protected, ranks, &config, None).expect("protected job runs");
+            assert!(
+                prot.status.is_completed(),
+                "{}: protected job failed at {ranks} ranks",
+                kind.name()
+            );
+            cells.push(format!(
+                "{:.3}x",
+                prot.max_rank_insts as f64 / base.max_rank_insts as f64
+            ));
+        }
+        rows.push(cells);
+    }
+    print_table(
+        "Figure 8: slowdown (critical-path insts, protected/unprotected) vs MPI ranks",
+        &["code (config)", "1 rank", "2 ranks", "4 ranks", "8 ranks", "16 ranks"],
+        &rows,
+    );
+    println!("\nexpected shape: near-constant slowdown across rank counts");
+}

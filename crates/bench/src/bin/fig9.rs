@@ -1,0 +1,83 @@
+//! Figure 9 (with Table 5): input variation — IPAS is trained on input 1
+//! and evaluated on three larger inputs.
+//!
+//! Paper shape: SOC reduction stays comparable across inputs for every
+//! code except AMG, which shows more variability (its execution profile
+//! changes with the hierarchy).
+
+use ipas_bench::{load_or_run_experiments, print_table, protect_with_named_config, Profile};
+use ipas_core::evaluate_variant;
+use ipas_faultsim::{run_campaign, CampaignConfig, Outcome};
+use ipas_workloads::{rebuild_with_module, Kind};
+
+fn main() {
+    let profile = Profile::from_env();
+    let opts = profile.options();
+    // Cap fig9 campaign size: large inputs are expensive and the trend
+    // needs fewer samples than the coverage bars.
+    let runs = (opts.eval_runs / 2).max(64);
+    let summaries = load_or_run_experiments(profile);
+
+    // Table 5 analog: the input ladders.
+    let ladder_rows: Vec<Vec<String>> = Kind::ALL
+        .iter()
+        .map(|k| {
+            let l = k.input_ladder();
+            vec![
+                k.name().to_string(),
+                format!("{} (training)", l[0]),
+                l[1].to_string(),
+                l[2].to_string(),
+                l[3].to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 5: application inputs (scaled ladder)",
+        &["code", "input 1", "input 2", "input 3", "input 4"],
+        &ladder_rows,
+    );
+
+    let mut rows = Vec::new();
+    for (kind, summary) in Kind::ALL.iter().zip(&summaries) {
+        let best = summary
+            .best_of(&summary.ipas())
+            .expect("IPAS configs exist")
+            .name
+            .clone();
+        eprintln!("[fig9] {}: protecting with {best}", kind.name());
+        let (protected, stats) = protect_with_named_config(*kind, profile, &best);
+        let mut cells = vec![format!("{} ({best})", kind.name())];
+        for (i, input) in kind.input_ladder().into_iter().enumerate() {
+            eprintln!("[fig9]   input {} = {input}", i + 1);
+            // Unprotected reference at this input.
+            let unprot = kind.build(input).expect("workload builds at ladder inputs");
+            let eval = CampaignConfig {
+                runs,
+                seed: opts.seed ^ (0xF19 + i as u64),
+                threads: opts.threads,
+            };
+            let unprot_campaign = run_campaign(&unprot, &eval);
+            let unprot_soc = unprot_campaign.fraction(Outcome::Soc) * 100.0;
+            // Protected module, same input.
+            let prot_wl = rebuild_with_module(*kind, protected.clone(), input)
+                .expect("protected module runs at ladder inputs");
+            let variant = evaluate_variant(
+                &prot_wl,
+                prot_wl.module.clone(),
+                "ipas",
+                stats,
+                Some(unprot_soc),
+                &eval,
+            )
+            .expect("evaluation runs");
+            cells.push(format!("{:.1}%", variant.soc_reduction_pct));
+        }
+        rows.push(cells);
+    }
+    print_table(
+        &format!("Figure 9: SOC reduction across inputs ({runs} injections each; trained on input 1)"),
+        &["code (config)", "input 1", "input 2", "input 3", "input 4"],
+        &rows,
+    );
+}

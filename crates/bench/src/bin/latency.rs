@@ -1,0 +1,89 @@
+//! Detection latency (§2.2): how far does an error propagate before it
+//! is caught?
+//!
+//! The paper argues for instruction duplication over verification-only
+//! detection because duplication catches errors "close to their
+//! occurrence, enabling the use of recent checkpoints rather than
+//! wasting time restarting the entire computation". This binary
+//! quantifies that: for each workload it compares
+//!
+//! * the detection latency of full duplication's checks (instructions
+//!   between injection and the failed `__ipas_check`), against
+//! * the latency a verification-only scheme pays for the same faults —
+//!   the whole remaining run, since verification happens at the end.
+
+use ipas_bench::{print_table, Profile};
+use ipas_core::ProtectionPolicy;
+use ipas_faultsim::{run_campaign, CampaignConfig, Outcome};
+use ipas_workloads::Kind;
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let opts = Profile::from_env().options();
+    let eval = CampaignConfig {
+        runs: opts.eval_runs,
+        seed: opts.seed ^ 0x1A7E,
+        threads: opts.threads,
+    };
+    let mut rows = Vec::new();
+    for kind in Kind::ALL {
+        eprintln!("[latency] {}", kind.name());
+        let workload = kind.build(kind.base_input()).expect("workload builds");
+
+        // Verification-only latencies: SOC runs of the unprotected code
+        // are only caught by the end-of-run verification.
+        let unprot = run_campaign(&workload, &eval);
+        let mut verify_lat: Vec<u64> = unprot
+            .records
+            .iter()
+            .filter(|r| r.outcome == Outcome::Soc)
+            .map(|r| r.latency)
+            .collect();
+        verify_lat.sort_unstable();
+
+        // Duplication latencies: Detected runs of the protected code.
+        let (protected, _) = ProtectionPolicy::FullDuplication.apply(&workload.module);
+        let wl = workload
+            .with_module(&format!("{}-full", kind.name()), protected)
+            .expect("protected module runs");
+        let prot = run_campaign(&wl, &eval);
+        let mut dup_lat: Vec<u64> = prot
+            .records
+            .iter()
+            .filter(|r| r.outcome == Outcome::Detected)
+            .map(|r| r.latency)
+            .collect();
+        dup_lat.sort_unstable();
+
+        rows.push(vec![
+            kind.name().to_string(),
+            dup_lat.len().to_string(),
+            percentile(&dup_lat, 0.5).to_string(),
+            percentile(&dup_lat, 0.95).to_string(),
+            verify_lat.len().to_string(),
+            percentile(&verify_lat, 0.5).to_string(),
+            percentile(&verify_lat, 0.95).to_string(),
+        ]);
+    }
+    print_table(
+        "Detection latency in dynamic instructions (duplication checks vs end-of-run verification)",
+        &[
+            "code",
+            "dup n",
+            "dup p50",
+            "dup p95",
+            "verify n",
+            "verify p50",
+            "verify p95",
+        ],
+        &rows,
+    );
+    println!("\nexpected shape: duplication latencies orders of magnitude below verification");
+}

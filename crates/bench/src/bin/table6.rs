@@ -1,0 +1,29 @@
+//! Table 6: training time (workflow step 3) and classification +
+//! duplication time (step 4) per workload.
+//!
+//! Paper values: training ≈ 30s on every code (it depends only on the
+//! 2,500-sample training-set size), duplication 0.68–6.73s (it scales
+//! with the code size). The shapes to reproduce: training time roughly
+//! constant across codes; duplication time ordered by code size.
+
+use ipas_bench::{load_or_run_experiments, print_table, Profile};
+
+fn main() {
+    let summaries = load_or_run_experiments(Profile::from_env());
+    let rows: Vec<Vec<String>> = summaries
+        .iter()
+        .map(|s| {
+            vec![
+                s.workload.clone(),
+                format!("{:.2}", s.training_secs),
+                format!("{:.3}", s.duplication_secs),
+                format!("{:.2}", s.training_secs + s.duplication_secs),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 6: training and duplication time (seconds)",
+        &["code", "training (s)", "duplication (s)", "total (s)"],
+        &rows,
+    );
+}

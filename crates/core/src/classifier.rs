@@ -1,0 +1,119 @@
+//! Step 3 of the workflow: classifier training and model selection.
+
+use ipas_analysis::features::FeatureVector;
+use ipas_svm::{grid_search, Classifier, ConfigScore, Dataset, GridOptions, Scaler, Svm};
+
+/// A fully trained IPAS classifier: the standardizer fit on the training
+/// set plus the SVM trained with one of the top-ranked (C, γ)
+/// configurations on the *entire* training set.
+#[derive(Debug, Clone)]
+pub struct TrainedClassifier {
+    scaler: Scaler,
+    svm: Svm,
+    score: ConfigScore,
+}
+
+impl TrainedClassifier {
+    /// Cross-validation score of the configuration this model used.
+    pub fn score(&self) -> &ConfigScore {
+        &self.score
+    }
+
+    /// The underlying SVM.
+    pub fn svm(&self) -> &Svm {
+        &self.svm
+    }
+
+    /// Predicts from raw (unstandardized) features.
+    pub fn predict_features(&self, fv: &FeatureVector) -> bool {
+        let row = self.scaler.transform_row(fv.as_slice());
+        self.svm.predict(&row)
+    }
+
+    /// Predicts from a raw feature slice.
+    pub fn predict_raw(&self, features: &[f64]) -> bool {
+        let row = self.scaler.transform_row(features);
+        self.svm.predict(&row)
+    }
+}
+
+/// Runs the (C, γ) grid search on `data` and trains one classifier per
+/// top-`n` configuration (each on the full training set, with balanced
+/// class weights as in the grid search). Returns them best-first.
+///
+/// This is exactly §6.1's protocol: the paper keeps the top-5
+/// configurations by F-score rather than only the single best.
+pub fn train_top_configs(data: &Dataset, grid: &GridOptions, n: usize) -> Vec<TrainedClassifier> {
+    let scores = grid_search(data, grid);
+    let scaler = Scaler::fit(data);
+    let scaled = scaler.transform(data);
+    scores
+        .into_iter()
+        .take(n)
+        .map(|score| {
+            let mut params = score.params;
+            if grid.balanced {
+                params = params.balanced_for(&scaled);
+            }
+            TrainedClassifier {
+                scaler: scaler.clone(),
+                svm: Svm::train(&scaled, &params),
+                score,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clustered_dataset() -> Dataset {
+        // Positives cluster at high feature values.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..80 {
+            x.push(vec![(i % 9) as f64, (i % 7) as f64, 0.0]);
+            y.push(false);
+        }
+        for i in 0..12 {
+            x.push(vec![20.0 + (i % 3) as f64, 20.0 + (i % 4) as f64, 1.0]);
+            y.push(true);
+        }
+        Dataset::new(x, y).unwrap()
+    }
+
+    #[test]
+    fn trains_requested_number_of_configs() {
+        let data = clustered_dataset();
+        let models = train_top_configs(&data, &GridOptions::quick(), 5);
+        assert_eq!(models.len(), 5);
+        // Best-first ordering.
+        for w in models.windows(2) {
+            assert!(w[0].score().f_score >= w[1].score().f_score);
+        }
+    }
+
+    #[test]
+    fn best_model_separates_clusters() {
+        let data = clustered_dataset();
+        let models = train_top_configs(&data, &GridOptions::quick(), 1);
+        let m = &models[0];
+        assert!(m.score().f_score > 0.9, "{:?}", m.score());
+        assert!(m.predict_raw(&[21.0, 21.0, 1.0]));
+        assert!(!m.predict_raw(&[3.0, 3.0, 0.0]));
+    }
+
+    #[test]
+    fn n_larger_than_grid_is_clamped() {
+        let data = clustered_dataset();
+        let grid = GridOptions {
+            num_c: 2,
+            num_gamma: 2,
+            folds: 2,
+            ..GridOptions::default()
+        };
+        let models = train_top_configs(&data, &grid, 100);
+        assert_eq!(models.len(), 4);
+    }
+}

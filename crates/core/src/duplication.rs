@@ -1,0 +1,457 @@
+//! The instruction-duplication pass (§4.4).
+//!
+//! Selected instructions are cloned; a clone's operands are remapped to
+//! the corresponding clones when those exist *in the same basic block*
+//! (duplication paths never span blocks, as in the paper). A
+//! *duplication path* is a maximal chain of selected instructions linked
+//! by def-use inside one block; one `__ipas_check_*` comparison is
+//! inserted at the end of each path — immediately after the clone of the
+//! path's last instruction — so an error is always caught before the
+//! block's terminator. Isolated selected instructions get their check
+//! immediately after their clone, matching the paper's rule.
+//!
+//! Loads and stores are never duplicated (memory is ECC-protected in the
+//! fault model) and neither are control-flow instructions (covered by
+//! control-flow checking); calls are duplicated only when they target
+//! pure math intrinsics.
+
+use std::collections::{HashMap, HashSet};
+
+use ipas_ir::inst::Callee;
+use ipas_ir::{FuncId, Inst, InstId, Intrinsic, Module, Type, Value};
+
+/// Returns `true` if the duplication pass may duplicate `inst`:
+/// computation instructions and pure math calls.
+pub fn duplicable(inst: &Inst) -> bool {
+    match inst {
+        Inst::Binary { .. }
+        | Inst::Icmp { .. }
+        | Inst::Fcmp { .. }
+        | Inst::Cast { .. }
+        | Inst::Select { .. }
+        | Inst::Gep { .. } => true,
+        Inst::Call { callee, .. } => {
+            matches!(callee, Callee::Intrinsic(i) if i.is_pure_math())
+        }
+        _ => false,
+    }
+}
+
+/// Statistics reported by [`protect_module`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DuplicationStats {
+    /// Duplicable instructions in the module (denominator of Figure 7).
+    pub considered: usize,
+    /// Instructions actually duplicated.
+    pub duplicated: usize,
+    /// `__ipas_check_*` comparisons inserted (one per duplication path).
+    pub checks: usize,
+}
+
+impl DuplicationStats {
+    /// Fraction of duplicable instructions that were duplicated
+    /// (Figure 7's "% of duplicated instructions").
+    pub fn duplicated_fraction(&self) -> f64 {
+        if self.considered == 0 {
+            0.0
+        } else {
+            self.duplicated as f64 / self.considered as f64
+        }
+    }
+}
+
+/// Where comparison checks are inserted relative to the duplicated
+/// instructions.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum CheckPlacement {
+    /// One check at the end of each duplication path — the IPAS scheme
+    /// (§4.4). Errors may propagate a few instructions further but are
+    /// always caught before the block's terminator, at a lower check
+    /// count.
+    #[default]
+    PathEnd,
+    /// One check immediately after *every* duplicated instruction — the
+    /// SWIFT-style eager placement the paper contrasts against. More
+    /// checks, earlier detection.
+    EveryInstruction,
+}
+
+/// Clones `module` and duplicates every instruction for which `select`
+/// returns `true` (among [`duplicable`] instructions), inserting one
+/// detector call per duplication path. Returns the protected module and
+/// the pass statistics.
+///
+/// The output module passes `verify_module`; instruction ids of the
+/// original module are *not* stable across this transformation for
+/// inserted instructions, but original instructions keep their ids.
+pub fn protect_module(
+    module: &Module,
+    select: &mut dyn FnMut(FuncId, InstId, &Inst) -> bool,
+) -> (Module, DuplicationStats) {
+    protect_module_placed(module, select, CheckPlacement::PathEnd)
+}
+
+/// Like [`protect_module`] with an explicit [`CheckPlacement`] (the
+/// `ablation_placement` binary compares the two schemes).
+pub fn protect_module_placed(
+    module: &Module,
+    select: &mut dyn FnMut(FuncId, InstId, &Inst) -> bool,
+    placement: CheckPlacement,
+) -> (Module, DuplicationStats) {
+    let mut out = module.clone();
+    let mut stats = DuplicationStats::default();
+
+    let fids: Vec<FuncId> = module.functions().map(|(id, _)| id).collect();
+    for fid in fids {
+        let func = out.function_mut(fid);
+        for bb in func.block_ids().collect::<Vec<_>>() {
+            let original: Vec<InstId> = func.block(bb).insts().to_vec();
+
+            // Which instructions in this block are protected?
+            let mut protected: Vec<InstId> = Vec::new();
+            for &id in &original {
+                let inst = func.inst(id);
+                if duplicable(inst) {
+                    stats.considered += 1;
+                    if select(fid, id, inst) {
+                        protected.push(id);
+                    }
+                }
+            }
+            if protected.is_empty() {
+                continue;
+            }
+            let protected_set: HashSet<InstId> = protected.iter().copied().collect();
+
+            // Path tails: protected instructions not consumed by another
+            // protected instruction in this block.
+            let mut has_protected_user: HashSet<InstId> = HashSet::new();
+            for &user in &protected {
+                func.inst(user).for_each_operand(|v| {
+                    if let Value::Inst(def) = v {
+                        if protected_set.contains(&def) {
+                            has_protected_user.insert(def);
+                        }
+                    }
+                });
+            }
+
+            // Rebuild the block: after each protected instruction, append
+            // its shadow; after a path tail's shadow, append the check.
+            let mut shadow_of: HashMap<InstId, InstId> = HashMap::new();
+            let mut rebuilt: Vec<InstId> = Vec::with_capacity(original.len() * 2);
+            for &id in &original {
+                rebuilt.push(id);
+                if !protected_set.contains(&id) {
+                    continue;
+                }
+                let mut shadow = func.inst(id).clone();
+                shadow.map_operands(|v| match v {
+                    Value::Inst(def) => match shadow_of.get(&def) {
+                        Some(&s) => Value::Inst(s),
+                        None => v,
+                    },
+                    other => other,
+                });
+                let ty = shadow.result_type();
+                // Allocate the shadow in the arena; it will be linked via
+                // the rebuilt list, so append to the block then unlink.
+                let shadow_id = func.append_inst(bb, shadow);
+                func.unlink_inst(bb, shadow_id);
+                shadow_of.insert(id, shadow_id);
+                rebuilt.push(shadow_id);
+                stats.duplicated += 1;
+
+                let needs_check = match placement {
+                    CheckPlacement::PathEnd => !has_protected_user.contains(&id),
+                    CheckPlacement::EveryInstruction => true,
+                };
+                if needs_check {
+                    let check = check_intrinsic(ty);
+                    let check_inst = Inst::Call {
+                        callee: Callee::Intrinsic(check),
+                        args: vec![Value::Inst(id), Value::Inst(shadow_id)],
+                        ret_ty: Type::Void,
+                    };
+                    let check_id = func.append_inst(bb, check_inst);
+                    func.unlink_inst(bb, check_id);
+                    rebuilt.push(check_id);
+                    stats.checks += 1;
+                }
+            }
+            func.set_block_insts(bb, rebuilt);
+        }
+    }
+
+    debug_assert!(
+        ipas_ir::verify::verify_module(&out).is_ok(),
+        "duplication pass produced invalid IR: {:?}",
+        ipas_ir::verify::verify_module(&out)
+    );
+    (out, stats)
+}
+
+fn check_intrinsic(ty: Type) -> Intrinsic {
+    match ty {
+        Type::I64 => Intrinsic::IpasCheckI,
+        Type::F64 => Intrinsic::IpasCheckF,
+        Type::Ptr => Intrinsic::IpasCheckP,
+        Type::Bool => Intrinsic::IpasCheckB,
+        Type::Void => unreachable!("duplicable instructions produce values"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipas_interp::{Machine, RunConfig, RunStatus};
+    use ipas_ir::verify::verify_module;
+
+    fn compile(src: &str) -> Module {
+        ipas_lang::compile(src).expect("test source compiles")
+    }
+
+    const KERNEL: &str = r#"
+fn main() -> int {
+    let s: int = 0;
+    for (let i: int = 0; i < 10; i = i + 1) {
+        s = s + i * i;
+    }
+    output_i(s);
+    return s;
+}
+"#;
+
+    #[test]
+    fn full_duplication_doubles_computation() {
+        let module = compile(KERNEL);
+        let before = module.num_static_insts();
+        let (protected, stats) = protect_module(&module, &mut |_, _, _| true);
+        verify_module(&protected).unwrap();
+        assert_eq!(stats.duplicated, stats.considered);
+        assert!(stats.checks > 0 && stats.checks <= stats.duplicated);
+        assert!(protected.num_static_insts() > before);
+        assert!((stats.duplicated_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn protected_module_behaves_identically_without_faults() {
+        let module = compile(KERNEL);
+        let (protected, _) = protect_module(&module, &mut |_, _, _| true);
+        let clean = Machine::new(&module).run(&RunConfig::default()).unwrap();
+        let prot = Machine::new(&protected).run(&RunConfig::default()).unwrap();
+        assert_eq!(clean.status, prot.status);
+        assert_eq!(clean.outputs, prot.outputs);
+        assert!(prot.dynamic_insts > clean.dynamic_insts, "duplication costs time");
+    }
+
+    #[test]
+    fn empty_selection_is_identity() {
+        let module = compile(KERNEL);
+        let (protected, stats) = protect_module(&module, &mut |_, _, _| false);
+        assert_eq!(stats.duplicated, 0);
+        assert_eq!(stats.checks, 0);
+        assert_eq!(protected.num_static_insts(), module.num_static_insts());
+        assert!(stats.considered > 0);
+    }
+
+    #[test]
+    fn paths_share_one_check() {
+        // A chain a -> b -> c fully protected forms one duplication path
+        // with one check at the tail. The expression below compiles to a
+        // single-block chain of adds and muls.
+        let module = compile(
+            "fn main() -> int { let x: int = mpi_rank(); return (x + 1) * (x + 2) + 3; }",
+        );
+        let (_, stats) = protect_module(&module, &mut |_, _, _| true);
+        // All arithmetic lives in one block and chains into the return
+        // value: expect fewer checks than duplicated instructions.
+        assert!(stats.checks < stats.duplicated, "{stats:?}");
+    }
+
+    #[test]
+    fn clone_operands_use_shadows_within_block() {
+        let module = compile("fn main() -> int { let x: int = mpi_rank(); return (x + 1) * 2; }");
+        let (protected, _) = protect_module(&module, &mut |_, _, _| true);
+        let (_, f) = protected.functions().next().unwrap();
+        // Find a duplicated mul whose operand refers to a duplicated add.
+        let mut found_shadow_chain = false;
+        for bb in f.block_ids() {
+            let insts = f.block(bb).insts();
+            for (i, &id) in insts.iter().enumerate() {
+                if i == 0 {
+                    continue;
+                }
+                if let Inst::Binary { op: ipas_ir::BinOp::Mul, lhs, .. } = f.inst(id) {
+                    // Shadow muls are directly preceded by the original mul.
+                    if let Inst::Binary { op: ipas_ir::BinOp::Mul, lhs: orig_lhs, .. } =
+                        f.inst(insts[i - 1])
+                    {
+                        if lhs != orig_lhs {
+                            found_shadow_chain = true;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(found_shadow_chain, "{}", protected.to_text());
+    }
+
+    #[test]
+    fn detects_injected_faults() {
+        let module = compile(KERNEL);
+        let (protected, _) = protect_module(&module, &mut |_, _, _| true);
+        let mut m = Machine::new(&protected);
+        let clean = m.run(&RunConfig::default()).unwrap();
+        // Inject into every eligible site with bit 40 (high bit => large
+        // error): every completed outcome must be either Detected or the
+        // fault hit a check-independent site (e.g. the duplicate itself,
+        // whose corruption is also caught).
+        let mut detected = 0usize;
+        let total = clean.eligible_results.min(120);
+        for t in 0..total {
+            let out = m
+                .run(&RunConfig {
+                    injection: Some(ipas_interp::Injection::at_global_index(t, 40)),
+                    ..RunConfig::default()
+                })
+                .unwrap();
+            if out.status == RunStatus::Detected {
+                detected += 1;
+            }
+        }
+        assert!(
+            detected * 2 > total as usize,
+            "full duplication should detect most high-bit faults: {detected}/{total}"
+        );
+    }
+
+    #[test]
+    fn loads_stores_calls_not_duplicated() {
+        let module = compile(
+            r#"
+fn main() -> int {
+    let a: [int] = new_int(4);
+    a[0] = mpi_rank();
+    let v: int = a[0];
+    output_i(v);
+    free_arr(a);
+    return v;
+}
+"#,
+        );
+        let (protected, _) = protect_module(&module, &mut |_, _, _| true);
+        let (_, f) = protected.functions().next().unwrap();
+        let mut loads = 0;
+        let mut stores = 0;
+        let mut mallocs = 0;
+        for bb in f.block_ids() {
+            for &id in f.block(bb).insts() {
+                match f.inst(id) {
+                    Inst::Load { .. } => loads += 1,
+                    Inst::Store { .. } => stores += 1,
+                    Inst::Call { callee: Callee::Intrinsic(Intrinsic::Malloc), .. } => mallocs += 1,
+                    _ => {}
+                }
+            }
+        }
+        let (_, orig) = module.functions().next().unwrap();
+        let (mut oloads, mut ostores, mut omallocs) = (0, 0, 0);
+        for bb in orig.block_ids() {
+            for &id in orig.block(bb).insts() {
+                match orig.inst(id) {
+                    Inst::Load { .. } => oloads += 1,
+                    Inst::Store { .. } => ostores += 1,
+                    Inst::Call { callee: Callee::Intrinsic(Intrinsic::Malloc), .. } => {
+                        omallocs += 1
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert_eq!(loads, oloads);
+        assert_eq!(stores, ostores);
+        assert_eq!(mallocs, omallocs);
+    }
+
+    #[test]
+    fn pure_math_calls_are_duplicated() {
+        let module = compile(
+            "fn main() -> int { let x: float = itof(mpi_rank()) + 2.0; output_f(sqrt(x)); return 0; }",
+        );
+        let (protected, _) = protect_module(&module, &mut |_, _, _| true);
+        let (_, f) = protected.functions().next().unwrap();
+        let sqrts = f
+            .block_ids()
+            .flat_map(|bb| f.block(bb).insts().to_vec())
+            .filter(|&id| {
+                matches!(
+                    f.inst(id),
+                    Inst::Call { callee: Callee::Intrinsic(Intrinsic::Sqrt), .. }
+                )
+            })
+            .count();
+        assert_eq!(sqrts, 2, "{}", protected.to_text());
+    }
+
+    #[test]
+    fn selective_protection_costs_less_than_full() {
+        let module = compile(KERNEL);
+        let (full, _) = protect_module(&module, &mut |_, _, _| true);
+        let mut flip = false;
+        let (half, _) = protect_module(&module, &mut |_, _, _| {
+            flip = !flip;
+            flip
+        });
+        let base = Machine::new(&module).run(&RunConfig::default()).unwrap().dynamic_insts;
+        let full_d = Machine::new(&full).run(&RunConfig::default()).unwrap().dynamic_insts;
+        let half_d = Machine::new(&half).run(&RunConfig::default()).unwrap().dynamic_insts;
+        assert!(base < half_d && half_d < full_d, "{base} {half_d} {full_d}");
+    }
+}
+
+#[cfg(test)]
+mod placement_tests {
+    use super::*;
+    use ipas_interp::{Machine, RunConfig};
+
+    #[test]
+    fn every_instruction_placement_adds_more_checks() {
+        let module = ipas_lang::compile(
+            "fn main() -> int { let x: int = mpi_rank(); return (x + 1) * (x + 2) + 3; }",
+        )
+        .expect("compiles");
+        let (_, path_end) =
+            protect_module_placed(&module, &mut |_, _, _| true, CheckPlacement::PathEnd);
+        let (per_inst_mod, per_inst) = protect_module_placed(
+            &module,
+            &mut |_, _, _| true,
+            CheckPlacement::EveryInstruction,
+        );
+        assert_eq!(path_end.duplicated, per_inst.duplicated);
+        assert!(per_inst.checks > path_end.checks);
+        assert_eq!(per_inst.checks, per_inst.duplicated);
+        ipas_ir::verify::verify_module(&per_inst_mod).unwrap();
+    }
+
+    #[test]
+    fn both_placements_preserve_clean_behaviour() {
+        let module = ipas_lang::compile(
+            r#"
+fn main() -> int {
+    let s: int = 0;
+    for (let i: int = 0; i < 20; i = i + 1) { s = s + i * 3 - 1; }
+    output_i(s);
+    return 0;
+}
+"#,
+        )
+        .expect("compiles");
+        let base = Machine::new(&module).run(&RunConfig::default()).unwrap();
+        for placement in [CheckPlacement::PathEnd, CheckPlacement::EveryInstruction] {
+            let (protected, _) = protect_module_placed(&module, &mut |_, _, _| true, placement);
+            let out = Machine::new(&protected).run(&RunConfig::default()).unwrap();
+            assert_eq!(base.outputs, out.outputs, "{placement:?}");
+        }
+    }
+}

@@ -1,0 +1,429 @@
+//! The §6 evaluation protocol, end to end.
+//!
+//! [`run_experiment`] reproduces, for one workload, everything Figures
+//! 5–7 and Tables 4 and 6 need: it runs the training campaign on the
+//! unprotected code, trains the top-N IPAS and baseline (Shoestring-like)
+//! classifiers, builds every protected variant, and evaluates each with
+//! a fresh fault-injection campaign.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use ipas_faultsim::{
+    run_campaign, CampaignConfig, CampaignResult, Outcome, Workload, WorkloadError,
+};
+use ipas_svm::GridOptions;
+
+use crate::classifier::train_top_configs;
+use crate::duplication::DuplicationStats;
+use crate::policy::ProtectionPolicy;
+use crate::selection::ideal_point_index;
+use crate::training::{build_training_set, LabelKind};
+
+/// Options controlling one experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentOptions {
+    /// Injection runs for the training campaign (paper: 2,500).
+    pub training_runs: usize,
+    /// Injection runs per evaluated configuration (paper: 1,024).
+    pub eval_runs: usize,
+    /// Number of top configurations to keep (paper: 5).
+    pub top_n: usize,
+    /// The (C, γ) grid.
+    pub grid: GridOptions,
+    /// Master seed.
+    pub seed: u64,
+    /// Worker threads for campaigns (0 = all cores).
+    pub threads: usize,
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> Self {
+        ExperimentOptions {
+            training_runs: 600,
+            eval_runs: 256,
+            top_n: 5,
+            grid: GridOptions::default(),
+            seed: 2016,
+            threads: 0,
+        }
+    }
+}
+
+impl ExperimentOptions {
+    /// A fast preset for tests: small campaigns and a reduced grid.
+    pub fn quick() -> Self {
+        ExperimentOptions {
+            training_runs: 200,
+            eval_runs: 96,
+            top_n: 2,
+            grid: GridOptions::quick(),
+            ..ExperimentOptions::default()
+        }
+    }
+}
+
+/// One evaluated protection variant.
+#[derive(Debug, Clone)]
+pub struct VariantResult {
+    /// Display name (e.g. `IPAS#1`).
+    pub name: String,
+    /// Duplication statistics of the protecting pass.
+    pub stats: DuplicationStats,
+    /// Dynamic-instruction slowdown vs the unprotected clean run.
+    pub slowdown: f64,
+    /// The evaluation campaign.
+    pub campaign: CampaignResult,
+    /// SOC percentage of the campaign.
+    pub soc_pct: f64,
+    /// SOC reduction relative to the unprotected variant, in percent.
+    pub soc_reduction_pct: f64,
+}
+
+impl VariantResult {
+    /// Fraction of runs with the given outcome.
+    pub fn fraction(&self, outcome: Outcome) -> f64 {
+        self.campaign.fraction(outcome)
+    }
+}
+
+/// The full result of one workload's experiment.
+#[derive(Debug)]
+pub struct ExperimentResult {
+    /// Workload name.
+    pub workload: String,
+    /// The unprotected variant.
+    pub unprotected: VariantResult,
+    /// SWIFT-style full duplication.
+    pub full: VariantResult,
+    /// Top-N IPAS configurations, best CV score first.
+    pub ipas: Vec<VariantResult>,
+    /// Top-N baseline (Shoestring-like) configurations.
+    pub baseline: Vec<VariantResult>,
+    /// Fraction of SOC-labeled samples in the training set (the paper
+    /// reports 3–10%).
+    pub training_soc_fraction: f64,
+    /// Fraction of symptom-labeled samples in the training set.
+    pub training_symptom_fraction: f64,
+    /// Wall-clock time of classifier training including the grid search
+    /// (Table 6 "training time").
+    pub training_time: Duration,
+    /// Wall-clock time of classification + duplication for the best
+    /// IPAS configuration (Table 6 "duplication time").
+    pub duplication_time: Duration,
+}
+
+impl ExperimentResult {
+    /// Index of the ideal-point best IPAS configuration (§6.3).
+    pub fn best_ipas(&self) -> Option<usize> {
+        ideal_point_index(
+            &self
+                .ipas
+                .iter()
+                .map(|v| (v.slowdown, v.soc_reduction_pct))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Index of the ideal-point best baseline configuration.
+    pub fn best_baseline(&self) -> Option<usize> {
+        ideal_point_index(
+            &self
+                .baseline
+                .iter()
+                .map(|v| (v.slowdown, v.soc_reduction_pct))
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+/// Errors from [`run_experiment`].
+#[derive(Debug)]
+pub enum ExperimentError {
+    /// The training campaign produced a single-class dataset (no SOC or
+    /// no symptoms observed) — enlarge `training_runs`.
+    DegenerateTraining(&'static str),
+    /// A protected module failed its clean run (protection-pass bug).
+    Workload(WorkloadError),
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::DegenerateTraining(which) => {
+                write!(f, "training campaign produced no {which} samples")
+            }
+            ExperimentError::Workload(e) => write!(f, "workload preparation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+impl From<WorkloadError> for ExperimentError {
+    fn from(e: WorkloadError) -> Self {
+        ExperimentError::Workload(e)
+    }
+}
+
+/// Evaluates one protected module against the reference workload.
+///
+/// Used both by [`run_experiment`] and by the input-variation experiment
+/// (Figure 9), which re-evaluates an already-protected module on new
+/// inputs.
+///
+/// # Errors
+///
+/// Fails when the protected module's clean run fails.
+pub fn evaluate_variant(
+    reference: &Workload,
+    module: ipas_ir::Module,
+    name: &str,
+    stats: DuplicationStats,
+    unprotected_soc_pct: Option<f64>,
+    eval: &CampaignConfig,
+) -> Result<VariantResult, ExperimentError> {
+    let wl = reference.with_module(name, module)?;
+    let campaign = run_campaign(&wl, eval);
+    let slowdown = wl.nominal_insts as f64 / reference.nominal_insts as f64;
+    let soc_pct = campaign.fraction(Outcome::Soc) * 100.0;
+    let soc_reduction_pct = match unprotected_soc_pct {
+        Some(u) if u > 0.0 => (u - soc_pct) / u * 100.0,
+        _ => 0.0,
+    };
+    Ok(VariantResult {
+        name: name.to_string(),
+        stats,
+        slowdown,
+        campaign,
+        soc_pct,
+        soc_reduction_pct,
+    })
+}
+
+/// Runs the complete §6 protocol on one workload.
+///
+/// # Errors
+///
+/// See [`ExperimentError`].
+pub fn run_experiment(
+    workload: &Workload,
+    opts: &ExperimentOptions,
+) -> Result<ExperimentResult, ExperimentError> {
+    // --- Step 2: training campaign on the unprotected code. -------------
+    let training = run_campaign(
+        workload,
+        &CampaignConfig {
+            runs: opts.training_runs,
+            seed: opts.seed,
+            threads: opts.threads,
+        },
+    );
+    let soc_data = build_training_set(workload, &training.records, LabelKind::SocGenerating);
+    let sym_data = build_training_set(workload, &training.records, LabelKind::SymptomGenerating);
+    if soc_data.num_positive() == 0 {
+        return Err(ExperimentError::DegenerateTraining("SOC"));
+    }
+    if soc_data.num_positive() == soc_data.len() {
+        return Err(ExperimentError::DegenerateTraining("non-SOC"));
+    }
+    if sym_data.num_positive() == 0 {
+        return Err(ExperimentError::DegenerateTraining("symptom"));
+    }
+
+    // --- Step 3: train top-N classifiers for both label kinds. -----------
+    let train_start = Instant::now();
+    let ipas_models = train_top_configs(&soc_data, &opts.grid, opts.top_n);
+    let training_time = train_start.elapsed();
+    let baseline_models = train_top_configs(&sym_data, &opts.grid, opts.top_n);
+
+    // --- Step 4 + evaluation campaigns. -----------------------------------
+    let eval = CampaignConfig {
+        runs: opts.eval_runs,
+        seed: opts.seed ^ 0x00C0_FFEE,
+        threads: opts.threads,
+    };
+
+    let (unprot_module, unprot_stats) = ProtectionPolicy::Unprotected.apply(&workload.module);
+    let unprotected = evaluate_variant(
+        workload,
+        unprot_module,
+        "unprotected",
+        unprot_stats,
+        None,
+        &eval,
+    )?;
+    let unprot_soc = unprotected.soc_pct;
+
+    let (full_module, full_stats) = ProtectionPolicy::FullDuplication.apply(&workload.module);
+    let full = evaluate_variant(
+        workload,
+        full_module,
+        "full",
+        full_stats,
+        Some(unprot_soc),
+        &eval,
+    )?;
+
+    let mut ipas = Vec::with_capacity(ipas_models.len());
+    let mut duplication_time = Duration::ZERO;
+    for (i, model) in ipas_models.into_iter().enumerate() {
+        let policy = ProtectionPolicy::Ipas(model);
+        let dup_start = Instant::now();
+        let (module, stats) = policy.apply(&workload.module);
+        if i == 0 {
+            duplication_time = dup_start.elapsed();
+        }
+        ipas.push(evaluate_variant(
+            workload,
+            module,
+            &format!("IPAS#{}", i + 1),
+            stats,
+            Some(unprot_soc),
+            &eval,
+        )?);
+    }
+
+    let mut baseline = Vec::with_capacity(baseline_models.len());
+    for (i, model) in baseline_models.into_iter().enumerate() {
+        let policy = ProtectionPolicy::Baseline(model);
+        let (module, stats) = policy.apply(&workload.module);
+        baseline.push(evaluate_variant(
+            workload,
+            module,
+            &format!("Baseline#{}", i + 1),
+            stats,
+            Some(unprot_soc),
+            &eval,
+        )?);
+    }
+
+    Ok(ExperimentResult {
+        workload: workload.name.clone(),
+        unprotected,
+        full,
+        ipas,
+        baseline,
+        training_soc_fraction: soc_data.positive_fraction(),
+        training_symptom_fraction: sym_data.positive_fraction(),
+        training_time,
+        duplication_time,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipas_faultsim::GoldenToleranceVerifier;
+
+    fn kernel_workload() -> Workload {
+        // A mixed integer/float kernel with memory traffic: produces all
+        // four outcome classes under injection.
+        let module = ipas_lang::compile(
+            r#"
+fn main() -> int {
+    let n: int = 24;
+    let a: [float] = new_float(n);
+    for (let i: int = 0; i < n; i = i + 1) {
+        a[i] = itof(i) * 0.25 + 1.0;
+    }
+    let s: float = 0.0;
+    for (let i: int = 0; i < n; i = i + 1) {
+        s = s + a[i] * a[i];
+    }
+    output_f(s);
+    free_arr(a);
+    return 0;
+}
+"#,
+        )
+        .unwrap();
+        Workload::serial("kernel", module, 1e-6).unwrap()
+    }
+
+    #[test]
+    fn full_protocol_runs_and_reduces_soc() {
+        let w = kernel_workload();
+        let opts = ExperimentOptions::quick();
+        let result = run_experiment(&w, &opts).expect("experiment succeeds");
+
+        assert_eq!(result.ipas.len(), opts.top_n);
+        assert_eq!(result.baseline.len(), opts.top_n);
+        assert!(result.training_soc_fraction > 0.0);
+        assert!(result.unprotected.soc_pct > 0.0);
+
+        // Full duplication must cut SOC substantially.
+        assert!(
+            result.full.soc_pct < result.unprotected.soc_pct,
+            "full: {} vs unprot: {}",
+            result.full.soc_pct,
+            result.unprotected.soc_pct
+        );
+        // Full duplication costs the most dynamic instructions.
+        assert!(result.full.slowdown > 1.3);
+        for v in result.ipas.iter().chain(&result.baseline) {
+            assert!(
+                v.slowdown <= result.full.slowdown + 1e-9,
+                "{}: {} > full {}",
+                v.name,
+                v.slowdown,
+                result.full.slowdown
+            );
+        }
+        // Selection works.
+        assert!(result.best_ipas().is_some());
+        assert!(result.best_baseline().is_some());
+    }
+
+    #[test]
+    fn degenerate_training_is_reported() {
+        // A kernel whose faults never produce SOC within a tiny campaign:
+        // everything funnels into one output comparison that is checked
+        // exactly; but with an enormous tolerance nothing is ever SOC.
+        let module = ipas_lang::compile(
+            "fn main() -> int { let x: int = mpi_rank(); output_i(x * 0); return 0; }",
+        )
+        .unwrap();
+        let w = Workload::with_custom_verifier("tolerant", module, "main", vec![], |_| {
+            struct AcceptAll;
+            impl ipas_faultsim::OutputVerifier for AcceptAll {
+                fn verify(&self, _: &ipas_interp::RunOutput) -> bool {
+                    true
+                }
+            }
+            Box::new(AcceptAll)
+        })
+        .unwrap();
+        let err = run_experiment(&w, &ExperimentOptions::quick()).unwrap_err();
+        assert!(matches!(err, ExperimentError::DegenerateTraining(_)), "{err}");
+    }
+
+    #[test]
+    fn evaluate_variant_computes_reduction() {
+        let w = kernel_workload();
+        let (module, stats) = ProtectionPolicy::FullDuplication.apply(&w.module);
+        let v = evaluate_variant(
+            &w,
+            module,
+            "full",
+            stats,
+            Some(10.0),
+            &CampaignConfig {
+                runs: 32,
+                seed: 1,
+                threads: 2,
+            },
+        )
+        .unwrap();
+        assert!(v.slowdown > 1.0);
+        assert!(v.soc_reduction_pct <= 100.0);
+    }
+
+    // Keep a reference to the verifier tolerance marker so the import is
+    // exercised in this module too.
+    #[test]
+    fn exact_marker_is_tight() {
+        let exact = GoldenToleranceVerifier::EXACT;
+        assert!(exact < 1e-6, "EXACT should be stricter than workload tolerances");
+    }
+}

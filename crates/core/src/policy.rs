@@ -1,0 +1,95 @@
+//! Protection policies: which instructions get duplicated.
+
+use ipas_analysis::features::FeatureExtractor;
+use ipas_ir::Module;
+
+use crate::classifier::TrainedClassifier;
+use crate::duplication::{protect_module, DuplicationStats};
+
+/// A rule mapping a module to its protected variant.
+#[derive(Debug, Clone)]
+pub enum ProtectionPolicy {
+    /// No protection (the first bar of Figure 5).
+    Unprotected,
+    /// SWIFT-style full duplication of every duplicable instruction
+    /// (the second bar of Figure 5).
+    FullDuplication,
+    /// IPAS: duplicate instructions the classifier predicts as
+    /// SOC-generating (class 1).
+    Ipas(TrainedClassifier),
+    /// Shoestring-style baseline: the classifier is trained on
+    /// symptom labels, and instructions predicted *non*-symptom-
+    /// generating are duplicated (§5.3).
+    Baseline(TrainedClassifier),
+}
+
+impl ProtectionPolicy {
+    /// Short label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProtectionPolicy::Unprotected => "unprotected",
+            ProtectionPolicy::FullDuplication => "full",
+            ProtectionPolicy::Ipas(_) => "IPAS",
+            ProtectionPolicy::Baseline(_) => "baseline",
+        }
+    }
+
+    /// Applies the policy to `module`, returning the protected module
+    /// and duplication statistics.
+    pub fn apply(&self, module: &Module) -> (Module, DuplicationStats) {
+        match self {
+            ProtectionPolicy::Unprotected => {
+                // Identity transform; the pass still counts duplicable
+                // instructions so reports stay consistent.
+                protect_module(module, &mut |_, _, _| false)
+            }
+            ProtectionPolicy::FullDuplication => protect_module(module, &mut |_, _, _| true),
+            ProtectionPolicy::Ipas(model) => {
+                let extractor = FeatureExtractor::new(module);
+                protect_module(module, &mut |fid, iid, _| {
+                    model.predict_features(&extractor.extract(fid, iid))
+                })
+            }
+            ProtectionPolicy::Baseline(model) => {
+                let extractor = FeatureExtractor::new(module);
+                protect_module(module, &mut |fid, iid, _| {
+                    // Protect what is NOT predicted symptom-generating.
+                    !model.predict_features(&extractor.extract(fid, iid))
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unprotected_policy_is_identity_with_stats() {
+        let module = ipas_lang::compile(
+            "fn main() -> int { let x: int = mpi_rank(); return x * 3 + 1; }",
+        )
+        .unwrap();
+        let (out, stats) = ProtectionPolicy::Unprotected.apply(&module);
+        assert_eq!(out.num_static_insts(), module.num_static_insts());
+        assert!(stats.considered > 0);
+        assert_eq!(stats.duplicated, 0);
+    }
+
+    #[test]
+    fn full_policy_duplicates_everything() {
+        let module = ipas_lang::compile(
+            "fn main() -> int { let x: int = mpi_rank(); return x * 3 + 1; }",
+        )
+        .unwrap();
+        let (_, stats) = ProtectionPolicy::FullDuplication.apply(&module);
+        assert_eq!(stats.duplicated, stats.considered);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(ProtectionPolicy::Unprotected.label(), "unprotected");
+        assert_eq!(ProtectionPolicy::FullDuplication.label(), "full");
+    }
+}

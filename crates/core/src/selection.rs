@@ -1,0 +1,64 @@
+//! Ideal-point configuration selection (§6.3).
+//!
+//! The paper picks, among the top-5 configurations, the one whose
+//! (slowdown, SOC-reduction%) point lies closest to the ideal point
+//! (1.0, 100) in Euclidean distance.
+
+/// Distance from a configuration's `(slowdown, soc_reduction_pct)` to
+/// the ideal point `(1.0, 100.0)`.
+pub fn ideal_point_distance(slowdown: f64, soc_reduction_pct: f64) -> f64 {
+    let ds = slowdown - 1.0;
+    let dr = soc_reduction_pct - 100.0;
+    (ds * ds + dr * dr).sqrt()
+}
+
+/// Index of the configuration closest to the ideal point, given
+/// `(slowdown, soc_reduction_pct)` pairs. Returns `None` for an empty
+/// slice.
+pub fn ideal_point_index(points: &[(f64, f64)]) -> Option<usize> {
+    points
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            ideal_point_distance(a.0, a.1)
+                .partial_cmp(&ideal_point_distance(b.0, b.1))
+                .expect("distances are finite")
+        })
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_config_has_zero_distance() {
+        assert_eq!(ideal_point_distance(1.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn reduction_dominates_slowdown() {
+        // The axes are on very different scales (paper's criterion as
+        // written): 10% reduction loss outweighs 1x slowdown gain.
+        let near_ideal_reduction = ideal_point_distance(2.0, 100.0);
+        let lower_reduction = ideal_point_distance(1.0, 90.0);
+        assert!(near_ideal_reduction < lower_reduction);
+    }
+
+    #[test]
+    fn picks_closest() {
+        let points = vec![(1.5, 70.0), (1.1, 85.0), (2.0, 95.0), (1.04, 60.0)];
+        assert_eq!(ideal_point_index(&points), Some(2));
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert_eq!(ideal_point_index(&[]), None);
+    }
+
+    #[test]
+    fn ties_resolve_to_first() {
+        let points = vec![(1.0, 90.0), (1.0, 90.0)];
+        assert_eq!(ideal_point_index(&points), Some(0));
+    }
+}

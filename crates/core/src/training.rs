@@ -1,0 +1,119 @@
+//! Step 2 of the workflow: turning fault-injection records into a
+//! labeled training set.
+
+use ipas_analysis::features::FeatureExtractor;
+use ipas_faultsim::{InjectionRecord, Outcome, Workload};
+use ipas_svm::Dataset;
+
+/// Which label the classifier learns.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum LabelKind {
+    /// Positive = the fault produced SOC (the IPAS classifier).
+    SocGenerating,
+    /// Positive = the fault produced an observable symptom (used to
+    /// emulate Shoestring: the baseline then protects instructions
+    /// predicted *non*-symptom-generating).
+    SymptomGenerating,
+}
+
+impl LabelKind {
+    fn label(self, outcome: Outcome) -> bool {
+        match self {
+            LabelKind::SocGenerating => outcome == Outcome::Soc,
+            LabelKind::SymptomGenerating => outcome == Outcome::Symptom,
+        }
+    }
+}
+
+/// Builds a labeled dataset from campaign records: one row per injection,
+/// whose features are the 31 static features of the injected instruction
+/// and whose label is derived from the observed outcome.
+///
+/// The same static instruction can appear multiple times (different
+/// dynamic instances/bits) with conflicting labels; that is faithful to
+/// the paper's protocol and is exactly the noise the soft-margin SVM
+/// absorbs.
+///
+/// # Panics
+///
+/// Panics if `records` is empty.
+pub fn build_training_set(
+    workload: &Workload,
+    records: &[InjectionRecord],
+    label: LabelKind,
+) -> Dataset {
+    assert!(!records.is_empty(), "no training records");
+    let extractor = FeatureExtractor::new(&workload.module);
+    let mut x = Vec::with_capacity(records.len());
+    let mut y = Vec::with_capacity(records.len());
+    for rec in records {
+        let (fid, iid) = rec.site;
+        let fv = extractor.extract(fid, iid);
+        x.push(fv.as_slice().to_vec());
+        y.push(label.label(rec.outcome));
+    }
+    Dataset::new(x, y).expect("records produce a rectangular dataset")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipas_faultsim::{run_campaign, CampaignConfig, GoldenToleranceVerifier};
+
+    fn sample_workload() -> Workload {
+        let module = ipas_lang::compile(
+            r#"
+fn main() -> int {
+    let s: int = 0;
+    let a: [int] = new_int(32);
+    for (let i: int = 0; i < 32; i = i + 1) { a[i] = i * 3 - 1; }
+    for (let i: int = 0; i < 32; i = i + 1) { s = s + a[i]; }
+    output_i(s);
+    free_arr(a);
+    return 0;
+}
+"#,
+        )
+        .unwrap();
+        Workload::serial("toy", module, GoldenToleranceVerifier::EXACT).unwrap()
+    }
+
+    #[test]
+    fn builds_dataset_with_31_features() {
+        let w = sample_workload();
+        let r = run_campaign(&w, &CampaignConfig { runs: 64, seed: 2, threads: 4 });
+        let data = build_training_set(&w, &r.records, LabelKind::SocGenerating);
+        assert_eq!(data.len(), 64);
+        assert_eq!(data.dim(), ipas_analysis::NUM_FEATURES);
+        // SOC labels must match the records.
+        let expected = r
+            .records
+            .iter()
+            .filter(|rec| rec.outcome == ipas_faultsim::Outcome::Soc)
+            .count();
+        assert_eq!(data.num_positive(), expected);
+    }
+
+    #[test]
+    fn symptom_labels_differ_from_soc_labels() {
+        let w = sample_workload();
+        let r = run_campaign(&w, &CampaignConfig { runs: 96, seed: 3, threads: 4 });
+        let soc = build_training_set(&w, &r.records, LabelKind::SocGenerating);
+        let sym = build_training_set(&w, &r.records, LabelKind::SymptomGenerating);
+        let soc_count = r.records.iter().filter(|x| x.outcome == Outcome::Soc).count();
+        let sym_count = r
+            .records
+            .iter()
+            .filter(|x| x.outcome == Outcome::Symptom)
+            .count();
+        assert_eq!(soc.num_positive(), soc_count);
+        assert_eq!(sym.num_positive(), sym_count);
+    }
+
+    #[test]
+    #[should_panic(expected = "no training records")]
+    fn empty_records_panic() {
+        let w = sample_workload();
+        build_training_set(&w, &[], LabelKind::SocGenerating);
+    }
+}

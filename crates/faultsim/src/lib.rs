@@ -1,0 +1,538 @@
+//! Statistical fault injection (the reproduction's FlipIt).
+//!
+//! The paper uses FlipIt (Calhoun et al.) to inject single-bit flips into
+//! random LLVM instruction instances and classifies each run into the
+//! four outcome categories of §5.5: observable symptom, detected by
+//! duplication, masked, and silent output corruption (SOC). This crate
+//! drives those campaigns against the `ipas-interp` virtual machine:
+//!
+//! * [`Workload`] — a module plus entry point, arguments, and an
+//!   [`OutputVerifier`] that decides whether a completed run's output is
+//!   acceptable (the user-provided verification routine of step 1);
+//! * [`run_campaign`] — N injection runs at uniformly random dynamic
+//!   instruction instances and bits, in parallel across threads, each
+//!   classified into an [`Outcome`];
+//! * [`CampaignResult`] — per-outcome counts, fractions, the margin of
+//!   error of §6.2, and the per-injection records used to build SVM
+//!   training sets.
+//!
+//! # Example
+//!
+//! ```
+//! use ipas_faultsim::{run_campaign, CampaignConfig, GoldenToleranceVerifier, Workload};
+//!
+//! let module = ipas_lang::compile(
+//!     "fn main() -> int { let s: int = 0;
+//!        for (let i: int = 0; i < 50; i = i + 1) { s = s + i * i; }
+//!        output_i(s); return 0; }",
+//! ).unwrap();
+//! let workload = Workload::serial("sum", module, GoldenToleranceVerifier::EXACT).unwrap();
+//! let result = run_campaign(&workload, &CampaignConfig { runs: 40, seed: 7, threads: 2 });
+//! assert_eq!(result.records.len(), 40);
+//! assert!(result.fraction(ipas_faultsim::Outcome::Soc) <= 1.0);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use ipas_interp::{Injection, Machine, OutputStream, RunConfig, RunOutput, RunStatus, RtVal};
+use ipas_ir::{FuncId, InstId, Module};
+use rand::{Rng, SeedableRng};
+
+/// The four §5.5 outcome categories of one fault-injection run.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Outcome {
+    /// Crash, hang, or abort — recoverable by checkpoint/restart.
+    Symptom,
+    /// Caught by an inserted `__ipas_check_*` comparison.
+    Detected,
+    /// Run completed and the verification routine accepted the output.
+    Masked,
+    /// Run completed but the output is corrupted: silent output
+    /// corruption.
+    Soc,
+}
+
+impl Outcome {
+    /// All outcomes, in reporting order.
+    pub const ALL: [Outcome; 4] = [
+        Outcome::Symptom,
+        Outcome::Detected,
+        Outcome::Masked,
+        Outcome::Soc,
+    ];
+
+    /// Short label used in tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Outcome::Symptom => "symptom",
+            Outcome::Detected => "detected",
+            Outcome::Masked => "masked",
+            Outcome::Soc => "SOC",
+        }
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Decides whether a completed faulty run's output is acceptable.
+///
+/// Implementations embed whatever golden data they need (reference
+/// outputs, tolerances, conservation laws). They must be cheap: they run
+/// once per injection.
+pub trait OutputVerifier: Sync + Send {
+    /// Returns `true` when the output is acceptable (fault masked).
+    fn verify(&self, run: &RunOutput) -> bool;
+
+    /// Human-readable description for reports.
+    fn describe(&self) -> String {
+        "unspecified verification routine".to_string()
+    }
+}
+
+/// A verifier comparing the faulty output stream against a golden run:
+/// integer items must match exactly; float items must match within an
+/// absolute-or-relative tolerance; a different item count is SOC.
+#[derive(Debug, Clone)]
+pub struct GoldenToleranceVerifier {
+    golden_ints: Vec<i64>,
+    golden_floats: Vec<f64>,
+    tolerance: f64,
+}
+
+impl GoldenToleranceVerifier {
+    /// Tolerance used by [`Workload::serial`]'s `EXACT` marker: floats
+    /// must match to 1e-9 relative.
+    pub const EXACT: f64 = 1e-9;
+
+    /// Builds a verifier from a golden output stream.
+    pub fn new(golden: &OutputStream, tolerance: f64) -> Self {
+        GoldenToleranceVerifier {
+            golden_ints: golden.as_ints(),
+            golden_floats: golden.as_floats(),
+            tolerance,
+        }
+    }
+}
+
+impl OutputVerifier for GoldenToleranceVerifier {
+    fn verify(&self, run: &RunOutput) -> bool {
+        let ints = run.outputs.as_ints();
+        if ints != self.golden_ints {
+            return false;
+        }
+        let floats = run.outputs.as_floats();
+        if floats.len() != self.golden_floats.len() {
+            return false;
+        }
+        floats.iter().zip(&self.golden_floats).all(|(a, g)| {
+            let scale = g.abs().max(1.0);
+            (a - g).abs() <= self.tolerance * scale && a.is_finite()
+        })
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "golden comparison, {} ints exact, {} floats within {:.0e}",
+            self.golden_ints.len(),
+            self.golden_floats.len(),
+            self.tolerance
+        )
+    }
+}
+
+/// Error preparing a workload.
+#[derive(Debug)]
+pub enum WorkloadError {
+    /// The golden (clean) run did not complete.
+    GoldenRunFailed(String),
+    /// The module has no eligible fault-injection sites.
+    NoEligibleSites,
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::GoldenRunFailed(s) => write!(f, "golden run failed: {s}"),
+            WorkloadError::NoEligibleSites => write!(f, "no eligible fault-injection sites"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+/// A module prepared for fault-injection campaigns: its golden run
+/// statistics, entry configuration, and verification routine.
+pub struct Workload {
+    /// Display name.
+    pub name: String,
+    /// The (possibly protected) module under test.
+    pub module: Module,
+    /// Entry function name.
+    pub entry: String,
+    /// Entry arguments.
+    pub args: Vec<RtVal>,
+    /// The verification routine (shared with protected variants).
+    pub verifier: std::sync::Arc<dyn OutputVerifier>,
+    /// Dynamic instruction count of the clean run.
+    pub nominal_insts: u64,
+    /// Eligible (injectable) dynamic results in the clean run.
+    pub eligible_results: u64,
+    /// Golden outputs of the clean run.
+    pub golden: OutputStream,
+}
+
+impl fmt::Debug for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Workload")
+            .field("name", &self.name)
+            .field("entry", &self.entry)
+            .field("nominal_insts", &self.nominal_insts)
+            .field("eligible_results", &self.eligible_results)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Workload {
+    /// Prepares a workload whose verifier is a golden-output comparison
+    /// with float tolerance `tolerance` (use
+    /// [`GoldenToleranceVerifier::EXACT`] for exact results). The golden
+    /// run uses `main()` with no arguments.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the clean run traps/hangs or there is nothing to
+    /// inject into.
+    pub fn serial(name: &str, module: Module, tolerance: f64) -> Result<Self, WorkloadError> {
+        let golden = golden_run(&module, "main", &[])?;
+        let verifier = std::sync::Arc::new(GoldenToleranceVerifier::new(&golden.outputs, tolerance));
+        Self::with_verifier(name, module, "main", Vec::new(), verifier, golden)
+    }
+
+    /// Prepares a workload with a custom verifier built by `make` from
+    /// the golden run (for conservation-law style checks).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Workload::serial`].
+    pub fn with_custom_verifier(
+        name: &str,
+        module: Module,
+        entry: &str,
+        args: Vec<RtVal>,
+        make: impl FnOnce(&RunOutput) -> Box<dyn OutputVerifier>,
+    ) -> Result<Self, WorkloadError> {
+        let golden = golden_run(&module, entry, &args)?;
+        let verifier = std::sync::Arc::from(make(&golden));
+        Self::with_verifier(name, module, entry, args, verifier, golden)
+    }
+
+    fn with_verifier(
+        name: &str,
+        module: Module,
+        entry: &str,
+        args: Vec<RtVal>,
+        verifier: std::sync::Arc<dyn OutputVerifier>,
+        golden: RunOutput,
+    ) -> Result<Self, WorkloadError> {
+        if golden.eligible_results == 0 {
+            return Err(WorkloadError::NoEligibleSites);
+        }
+        Ok(Workload {
+            name: name.to_string(),
+            module,
+            entry: entry.to_string(),
+            args,
+            verifier,
+            nominal_insts: golden.dynamic_insts,
+            eligible_results: golden.eligible_results,
+            golden: golden.outputs,
+        })
+    }
+
+    /// Re-prepares this workload around a transformed (protected) module,
+    /// re-running the golden run but keeping the same verifier.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the transformed module's clean run fails — which would
+    /// indicate a broken protection pass.
+    pub fn with_module(&self, name: &str, module: Module) -> Result<Workload, WorkloadError>
+    where
+        Self: Sized,
+    {
+        let golden = golden_run(&module, &self.entry, &self.args)?;
+        if golden.eligible_results == 0 {
+            return Err(WorkloadError::NoEligibleSites);
+        }
+        Ok(Workload {
+            name: name.to_string(),
+            module,
+            entry: self.entry.clone(),
+            args: self.args.clone(),
+            verifier: std::sync::Arc::clone(&self.verifier),
+            nominal_insts: golden.dynamic_insts,
+            eligible_results: golden.eligible_results,
+            golden: golden.outputs,
+        })
+    }
+}
+
+fn golden_run(module: &Module, entry: &str, args: &[RtVal]) -> Result<RunOutput, WorkloadError> {
+    let mut machine = Machine::new(module);
+    let out = machine
+        .run(&RunConfig {
+            entry: entry.to_string(),
+            args: args.to_vec(),
+            ..RunConfig::default()
+        })
+        .map_err(|e| WorkloadError::GoldenRunFailed(e.to_string()))?;
+    match out.status {
+        RunStatus::Completed(_) => Ok(out),
+        other => Err(WorkloadError::GoldenRunFailed(format!("{other:?}"))),
+    }
+}
+
+/// Configuration of a fault-injection campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignConfig {
+    /// Number of injection runs (the paper uses 1,024 per configuration
+    /// for evaluation and 2,500 for training).
+    pub runs: usize,
+    /// RNG seed (campaigns are deterministic given the seed).
+    pub seed: u64,
+    /// Worker threads (0 = all available cores).
+    pub threads: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            runs: 256,
+            seed: 0,
+            threads: 0,
+        }
+    }
+}
+
+/// One injection run's record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InjectionRecord {
+    /// The static instruction whose dynamic instance was corrupted.
+    pub site: (FuncId, InstId),
+    /// The dynamic eligible-result index targeted.
+    pub target: u64,
+    /// The bit flipped (before width reduction).
+    pub bit: u32,
+    /// The classified outcome.
+    pub outcome: Outcome,
+    /// Dynamic instructions executed by the faulty run.
+    pub dynamic_insts: u64,
+    /// Dynamic instructions between the injection and the end of the
+    /// run. For [`Outcome::Detected`] this is the detection latency of
+    /// the inserted checks; for [`Outcome::Soc`] it is the latency a
+    /// verification-only scheme would pay (the whole remaining run),
+    /// which is the paper's §2.2 comparison.
+    pub latency: u64,
+}
+
+/// Aggregate result of a campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Per-run records (site, bit, outcome).
+    pub records: Vec<InjectionRecord>,
+    /// Nominal (clean) dynamic instruction count of the workload.
+    pub nominal_insts: u64,
+}
+
+impl CampaignResult {
+    /// Number of runs with the given outcome.
+    pub fn count(&self, outcome: Outcome) -> usize {
+        self.records.iter().filter(|r| r.outcome == outcome).count()
+    }
+
+    /// Fraction of runs with the given outcome.
+    pub fn fraction(&self, outcome: Outcome) -> f64 {
+        if self.records.is_empty() {
+            0.0
+        } else {
+            self.count(outcome) as f64 / self.records.len() as f64
+        }
+    }
+
+    /// The 95% margin of error of the SOC fraction (§6.2): the binomial
+    /// normal-approximation half-width `1.96·√(p(1−p)/n)`.
+    pub fn soc_margin_of_error(&self) -> f64 {
+        margin_of_error(self.fraction(Outcome::Soc), self.records.len())
+    }
+}
+
+/// Binomial 95% margin of error for proportion `p` over `n` samples.
+pub fn margin_of_error(p: f64, n: usize) -> f64 {
+    if n == 0 {
+        return 1.0;
+    }
+    1.96 * (p * (1.0 - p) / n as f64).sqrt()
+}
+
+/// How injection sites are drawn.
+///
+/// The paper (via FlipIt) samples *dynamic instances* uniformly, which
+/// weights static instructions by execution frequency. Sampling static
+/// sites uniformly instead gives rare instructions equal representation
+/// in the training set — the `ablation_sampling` binary studies the
+/// difference.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum SamplingMode {
+    /// Uniform over dynamic eligible results (the paper's protocol).
+    #[default]
+    DynamicUniform,
+    /// Uniform over executed static instructions, then uniform over
+    /// that instruction's dynamic instances.
+    StaticUniform,
+}
+
+/// Runs a statistical fault-injection campaign against `workload`.
+///
+/// Each run targets a uniformly random dynamic instance among the
+/// workload's eligible results and a uniformly random bit, matching the
+/// paper's FlipIt configuration ("random instances of an instruction,
+/// bits within a byte"). Runs execute in parallel across threads; the
+/// result is deterministic for a given seed regardless of thread count.
+pub fn run_campaign(workload: &Workload, config: &CampaignConfig) -> CampaignResult {
+    run_campaign_sampled(workload, config, SamplingMode::DynamicUniform)
+}
+
+/// Like [`run_campaign`] with an explicit [`SamplingMode`].
+pub fn run_campaign_sampled(
+    workload: &Workload,
+    config: &CampaignConfig,
+    sampling: SamplingMode,
+) -> CampaignResult {
+    // Pre-draw all injection plans from one seeded RNG so the outcome
+    // set is independent of scheduling.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let plans: Vec<Injection> = match sampling {
+        SamplingMode::DynamicUniform => (0..config.runs)
+            .map(|_| {
+                Injection::at_global_index(
+                    rng.gen_range(0..workload.eligible_results),
+                    rng.gen_range(0..64),
+                )
+            })
+            .collect(),
+        SamplingMode::StaticUniform => {
+            let profile = profile_sites(workload);
+            (0..config.runs)
+                .map(|_| {
+                    let (site, count) = profile[rng.gen_range(0..profile.len())];
+                    Injection::at_site(site, rng.gen_range(0..count), rng.gen_range(0..64))
+                })
+                .collect()
+        }
+    };
+
+    let budget = RunConfig::budget_from_nominal(workload.nominal_insts);
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        config.threads
+    };
+
+    let next = AtomicUsize::new(0);
+    let records: Vec<std::sync::Mutex<Option<InjectionRecord>>> =
+        (0..plans.len()).map(|_| std::sync::Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.max(1) {
+            scope.spawn(|| {
+                let mut machine = Machine::new(&workload.module);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= plans.len() {
+                        break;
+                    }
+                    let plan = plans[i];
+                    let out = machine
+                        .run(&RunConfig {
+                            entry: workload.entry.clone(),
+                            args: workload.args.clone(),
+                            max_insts: budget,
+                            injection: Some(plan),
+                            profile_sites: false,
+                        })
+                        .expect("golden run validated the entry configuration");
+                    let outcome = classify(&out, &*workload.verifier);
+                    let site = out
+                        .injected_site
+                        .expect("target < eligible_results implies the site is reached");
+                    let injected_at = out
+                        .injected_at_inst
+                        .expect("reached injections record their position");
+                    *records[i].lock().expect("no panics hold the lock") = Some(InjectionRecord {
+                        site,
+                        target: plan.target,
+                        bit: plan.bit,
+                        outcome,
+                        dynamic_insts: out.dynamic_insts,
+                        latency: out.dynamic_insts.saturating_sub(injected_at),
+                    });
+                }
+            });
+        }
+    });
+
+    CampaignResult {
+        records: records
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("scope joined")
+                    .expect("every index was processed")
+            })
+            .collect(),
+        nominal_insts: workload.nominal_insts,
+    }
+}
+
+/// Profiles the workload's per-site eligible-execution counts with one
+/// clean run, returning executed sites in a deterministic order.
+pub fn profile_sites(workload: &Workload) -> Vec<((FuncId, InstId), u64)> {
+    let mut machine = Machine::new(&workload.module);
+    let out = machine
+        .run(&RunConfig {
+            entry: workload.entry.clone(),
+            args: workload.args.clone(),
+            profile_sites: true,
+            ..RunConfig::default()
+        })
+        .expect("golden run validated the entry configuration");
+    let mut sites: Vec<_> = out
+        .site_profile
+        .expect("profiling was requested")
+        .into_iter()
+        .collect();
+    sites.sort_by_key(|((f, i), _)| (f.index(), i.index()));
+    sites
+}
+
+/// Classifies one faulty run per §5.5.
+pub fn classify(run: &RunOutput, verifier: &dyn OutputVerifier) -> Outcome {
+    match run.status {
+        RunStatus::Trapped(_) | RunStatus::Hang => Outcome::Symptom,
+        RunStatus::Detected => Outcome::Detected,
+        RunStatus::Completed(_) => {
+            if verifier.verify(run) {
+                Outcome::Masked
+            } else {
+                Outcome::Soc
+            }
+        }
+    }
+}

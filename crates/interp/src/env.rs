@@ -1,0 +1,147 @@
+//! Execution environment: the MPI surface seen by interpreted programs.
+
+use crate::trap::Trap;
+
+/// The runtime environment backing the MPI intrinsics.
+///
+/// A serial run uses [`SerialEnv`]; `ipas-mpisim` provides a multi-rank
+/// implementation where collectives synchronize OS threads and a poisoned
+/// job aborts every rank with [`Trap::MpiAbort`].
+///
+/// Collectives return `Result` because in the paper's semantics a failed
+/// rank takes the whole job down: when a sibling rank has trapped, every
+/// blocked collective returns [`Trap::MpiAbort`].
+pub trait Env {
+    /// This process's rank in `0..size`.
+    fn rank(&self) -> i64;
+
+    /// Number of ranks in the job.
+    fn size(&self) -> i64;
+
+    /// Global sum of `v` across ranks.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::MpiAbort`] if the job has been poisoned by a failed rank.
+    fn allreduce_sum_f(&mut self, v: f64) -> Result<f64, Trap>;
+
+    /// Global integer sum of `v` across ranks.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::MpiAbort`] if the job has been poisoned.
+    fn allreduce_sum_i(&mut self, v: i64) -> Result<i64, Trap>;
+
+    /// Global max of `v` across ranks.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::MpiAbort`] if the job has been poisoned.
+    fn allreduce_max_f(&mut self, v: f64) -> Result<f64, Trap>;
+
+    /// Barrier across all ranks.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::MpiAbort`] if the job has been poisoned.
+    fn barrier(&mut self) -> Result<(), Trap>;
+
+    /// Allgather: `chunk` is this rank's block (starting at element
+    /// `lo` of the `n`-element array); the returned vector holds all `n`
+    /// elements assembled from every rank.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::MpiAbort`] if the job has been poisoned.
+    fn allgather_f(&mut self, chunk: Vec<f64>, lo: usize, n: usize) -> Result<Vec<f64>, Trap>;
+
+    /// Element-wise sum of `v` across ranks (float).
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::MpiAbort`] if the job has been poisoned.
+    fn allreduce_vec_f(&mut self, v: Vec<f64>) -> Result<Vec<f64>, Trap>;
+
+    /// Element-wise sum of `v` across ranks (integer, wrapping).
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::MpiAbort`] if the job has been poisoned.
+    fn allreduce_vec_i(&mut self, v: Vec<i64>) -> Result<Vec<i64>, Trap>;
+
+    /// Cheap poison poll, checked periodically by the interpreter so that
+    /// a rank spinning in compute code still observes a job abort.
+    fn poisoned(&self) -> bool {
+        false
+    }
+
+    /// Invoked when *this* rank fails, so the implementation can poison
+    /// the job. The default (serial) behaviour is a no-op.
+    fn poison(&mut self) {}
+}
+
+/// Single-process environment: rank 0 of 1; collectives are identities.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SerialEnv;
+
+impl Env for SerialEnv {
+    fn rank(&self) -> i64 {
+        0
+    }
+
+    fn size(&self) -> i64 {
+        1
+    }
+
+    fn allreduce_sum_f(&mut self, v: f64) -> Result<f64, Trap> {
+        Ok(v)
+    }
+
+    fn allreduce_sum_i(&mut self, v: i64) -> Result<i64, Trap> {
+        Ok(v)
+    }
+
+    fn allreduce_max_f(&mut self, v: f64) -> Result<f64, Trap> {
+        Ok(v)
+    }
+
+    fn barrier(&mut self) -> Result<(), Trap> {
+        Ok(())
+    }
+
+    fn allgather_f(&mut self, chunk: Vec<f64>, lo: usize, n: usize) -> Result<Vec<f64>, Trap> {
+        debug_assert_eq!(lo, 0);
+        debug_assert_eq!(chunk.len(), n);
+        Ok(chunk)
+    }
+
+    fn allreduce_vec_f(&mut self, v: Vec<f64>) -> Result<Vec<f64>, Trap> {
+        Ok(v)
+    }
+
+    fn allreduce_vec_i(&mut self, v: Vec<i64>) -> Result<Vec<i64>, Trap> {
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_env_is_identity() {
+        let mut env = SerialEnv;
+        assert_eq!(env.rank(), 0);
+        assert_eq!(env.size(), 1);
+        assert_eq!(env.allreduce_sum_f(2.5), Ok(2.5));
+        assert_eq!(env.allreduce_sum_i(-3), Ok(-3));
+        assert_eq!(env.allreduce_max_f(7.0), Ok(7.0));
+        assert_eq!(env.barrier(), Ok(()));
+        assert_eq!(
+            env.allgather_f(vec![1.0, 2.0], 0, 2),
+            Ok(vec![1.0, 2.0])
+        );
+        assert_eq!(env.allreduce_vec_i(vec![3, 4]), Ok(vec![3, 4]));
+        assert!(!env.poisoned());
+    }
+}

@@ -1,0 +1,1218 @@
+//! The interpreter core.
+
+use std::fmt;
+
+use ipas_ir::inst::Callee;
+use ipas_ir::{BinOp, CastOp, FuncId, Function, Inst, InstId, Intrinsic, Module, Type, Value};
+
+use crate::env::{Env, SerialEnv};
+use crate::memory::Memory;
+use crate::rtval::RtVal;
+use crate::trap::Trap;
+
+/// Maximum call depth before a [`Trap::StackOverflow`].
+const MAX_CALL_DEPTH: usize = 256;
+/// How often (in dynamic instructions) the poison flag is polled.
+const POISON_POLL_INTERVAL: u64 = 4096;
+
+/// Returns `true` if `inst` is an eligible fault-injection site under the
+/// paper's fault model (Section 3): instructions whose *register result*
+/// can be corrupted — ALU ops, comparisons, casts, selects, pointer
+/// arithmetic, and values returned from calls. Loads/stores are
+/// ECC-protected, control flow is covered by control-flow checking, and
+/// phi/alloca do not map to value-producing hardware instructions.
+pub fn is_fault_site(inst: &Inst) -> bool {
+    match inst {
+        Inst::Binary { .. }
+        | Inst::Icmp { .. }
+        | Inst::Fcmp { .. }
+        | Inst::Cast { .. }
+        | Inst::Select { .. }
+        | Inst::Gep { .. } => true,
+        Inst::Call { ret_ty, .. } => *ret_ty != Type::Void,
+        Inst::Load { .. }
+        | Inst::Store { .. }
+        | Inst::Alloca { .. }
+        | Inst::Phi { .. }
+        | Inst::Br { .. }
+        | Inst::CondBr { .. }
+        | Inst::Ret { .. } => false,
+    }
+}
+
+/// A single planned bit flip: corrupt the result of the `target`-th
+/// dynamically executed eligible instruction (0-based), flipping `bit`.
+///
+/// With `site` unset, `target` indexes the run's *global* sequence of
+/// eligible results (dynamic-instance-uniform sampling). With `site`
+/// set, `target` counts only executions of that static instruction
+/// (used by static-site-uniform sampling campaigns).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Injection {
+    /// 0-based index into the targeted sequence of eligible results.
+    pub target: u64,
+    /// Bit to flip; reduced modulo the result type's bit width.
+    pub bit: u32,
+    /// Restrict counting to one static instruction.
+    pub site: Option<(FuncId, InstId)>,
+}
+
+impl Injection {
+    /// A global-index injection (the default FlipIt-style plan).
+    pub fn at_global_index(target: u64, bit: u32) -> Self {
+        Injection {
+            target,
+            bit,
+            site: None,
+        }
+    }
+
+    /// An injection into the `instance`-th execution of one static
+    /// instruction.
+    pub fn at_site(site: (FuncId, InstId), instance: u64, bit: u32) -> Self {
+        Injection {
+            target: instance,
+            bit,
+            site: Some(site),
+        }
+    }
+}
+
+/// Configuration of one interpreter run.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Entry function name.
+    pub entry: String,
+    /// Arguments passed to the entry function.
+    pub args: Vec<RtVal>,
+    /// Dynamic instruction budget; exceeding it reports
+    /// [`RunStatus::Hang`]. Use [`RunConfig::budget_from_nominal`] to
+    /// derive it from a clean run.
+    pub max_insts: u64,
+    /// Optional fault injection plan.
+    pub injection: Option<Injection>,
+    /// Record per-site eligible-execution counts (needed by
+    /// static-site-uniform sampling; off by default — it costs a hash
+    /// update per eligible result).
+    pub profile_sites: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            entry: "main".to_string(),
+            args: Vec::new(),
+            max_insts: u64::MAX,
+            injection: None,
+            profile_sites: false,
+        }
+    }
+}
+
+impl RunConfig {
+    /// Derives a hang budget from a clean run's dynamic instruction
+    /// count: `10 × nominal + 100_000`, the reproduction's equivalent of
+    /// the paper's "substantially longer execution time" criterion.
+    pub fn budget_from_nominal(nominal: u64) -> u64 {
+        nominal.saturating_mul(10).saturating_add(100_000)
+    }
+}
+
+/// How a run ended.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum RunStatus {
+    /// The entry function returned normally.
+    Completed(Option<RtVal>),
+    /// A trap fired (observable symptom).
+    Trapped(Trap),
+    /// An `__ipas_check_*` comparison failed (fault detected by
+    /// duplication).
+    Detected,
+    /// The instruction budget was exhausted (hang symptom).
+    Hang,
+}
+
+impl RunStatus {
+    /// Returns `true` when the run finished without symptom or detection.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, RunStatus::Completed(_))
+    }
+
+    /// Returns `true` for trap or hang (an observable symptom).
+    pub fn is_symptom(&self) -> bool {
+        matches!(self, RunStatus::Trapped(_) | RunStatus::Hang)
+    }
+}
+
+/// The verified output stream produced by `output_i64`/`output_f64`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct OutputStream {
+    items: Vec<OutItem>,
+}
+
+#[derive(Copy, Clone, Debug, PartialEq)]
+enum OutItem {
+    I(i64),
+    F(f64),
+}
+
+impl OutputStream {
+    /// Number of emitted items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` when nothing was emitted.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// All integer items, in emission order (floats are skipped).
+    pub fn as_ints(&self) -> Vec<i64> {
+        self.items
+            .iter()
+            .filter_map(|i| match i {
+                OutItem::I(v) => Some(*v),
+                OutItem::F(_) => None,
+            })
+            .collect()
+    }
+
+    /// All float items, in emission order (integers are skipped).
+    pub fn as_floats(&self) -> Vec<f64> {
+        self.items
+            .iter()
+            .filter_map(|i| match i {
+                OutItem::F(v) => Some(*v),
+                OutItem::I(_) => None,
+            })
+            .collect()
+    }
+
+    fn push_i(&mut self, v: i64) {
+        self.items.push(OutItem::I(v));
+    }
+
+    fn push_f(&mut self, v: f64) {
+        self.items.push(OutItem::F(v));
+    }
+}
+
+/// Everything observed during one run.
+#[derive(Clone, Debug)]
+pub struct RunOutput {
+    /// Final status.
+    pub status: RunStatus,
+    /// Total dynamic instructions executed.
+    pub dynamic_insts: u64,
+    /// Eligible (injectable) results produced — the sample space for
+    /// statistical fault injection.
+    pub eligible_results: u64,
+    /// The verified output stream.
+    pub outputs: OutputStream,
+    /// Lines printed via `print_*` intrinsics.
+    pub console: Vec<String>,
+    /// The static instruction whose result was corrupted, when an
+    /// injection fired.
+    pub injected_site: Option<(FuncId, InstId)>,
+    /// Per-site eligible-execution counts (present when
+    /// [`RunConfig::profile_sites`] was set).
+    pub site_profile: Option<std::collections::HashMap<(FuncId, InstId), u64>>,
+    /// Dynamic instruction count at the moment of injection. Combined
+    /// with [`RunOutput::dynamic_insts`] this gives the *detection
+    /// latency* (how far the error propagated before being caught) —
+    /// the quantity behind the paper's §2.2 argument that duplication
+    /// detects errors close to their occurrence.
+    pub injected_at_inst: Option<u64>,
+}
+
+/// Error for misconfigured runs (not runtime faults).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunError(String);
+
+impl RunError {
+    /// The error description.
+    pub fn message(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "run error: {}", self.0)
+    }
+}
+
+impl std::error::Error for RunError {}
+
+enum Stop {
+    Trap(Trap),
+    Detected,
+    Budget,
+}
+
+struct RunState<'e> {
+    memory: Memory,
+    outputs: OutputStream,
+    console: Vec<String>,
+    dynamic_insts: u64,
+    eligible_results: u64,
+    max_insts: u64,
+    injection: Option<Injection>,
+    injected_site: Option<(FuncId, InstId)>,
+    injected_at_inst: Option<u64>,
+    site_instance: u64,
+    profile_sites: bool,
+    site_profile: std::collections::HashMap<(FuncId, InstId), u64>,
+    env: &'e mut dyn Env,
+}
+
+/// An interpreter bound to a module.
+///
+/// The machine is stateless between runs: each call to [`Machine::run`]
+/// executes with fresh memory, counters, and output streams.
+#[derive(Debug)]
+pub struct Machine<'m> {
+    module: &'m Module,
+}
+
+impl<'m> Machine<'m> {
+    /// Creates a machine for `module`. The module is assumed verified
+    /// (see [`ipas_ir::verify::verify_module`]); the interpreter panics
+    /// on malformed IR rather than trapping.
+    pub fn new(module: &'m Module) -> Self {
+        Machine { module }
+    }
+
+    /// The interpreted module.
+    pub fn module(&self) -> &Module {
+        self.module
+    }
+
+    /// Runs under the serial (single-rank) environment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError`] when the entry function does not exist or the
+    /// argument count/types mismatch. Runtime faults are reported in
+    /// [`RunOutput::status`], not as errors.
+    pub fn run(&mut self, config: &RunConfig) -> Result<RunOutput, RunError> {
+        let mut env = SerialEnv;
+        self.run_with_env(config, &mut env)
+    }
+
+    /// Runs under a caller-provided environment (used by `ipas-mpisim`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Machine::run`].
+    pub fn run_with_env(
+        &mut self,
+        config: &RunConfig,
+        env: &mut dyn Env,
+    ) -> Result<RunOutput, RunError> {
+        let entry = self
+            .module
+            .function_id(&config.entry)
+            .ok_or_else(|| RunError(format!("no function named `{}`", config.entry)))?;
+        let func = self.module.function(entry);
+        if func.params().len() != config.args.len() {
+            return Err(RunError(format!(
+                "`{}` takes {} arguments, {} supplied",
+                config.entry,
+                func.params().len(),
+                config.args.len()
+            )));
+        }
+        for (i, (want, got)) in func.params().iter().zip(&config.args).enumerate() {
+            if *want != got.ty() {
+                return Err(RunError(format!(
+                    "argument {i}: expected {want}, got {:?}",
+                    got.ty()
+                )));
+            }
+        }
+
+        let mut state = RunState {
+            memory: Memory::new(),
+            outputs: OutputStream::default(),
+            console: Vec::new(),
+            dynamic_insts: 0,
+            eligible_results: 0,
+            max_insts: config.max_insts,
+            injection: config.injection,
+            injected_site: None,
+            injected_at_inst: None,
+            site_instance: 0,
+            profile_sites: config.profile_sites,
+            site_profile: std::collections::HashMap::new(),
+            env,
+        };
+
+        let status = match self.exec_function(&mut state, entry, &config.args, 0) {
+            Ok(v) => RunStatus::Completed(v),
+            Err(Stop::Trap(t)) => {
+                state.env.poison();
+                RunStatus::Trapped(t)
+            }
+            Err(Stop::Detected) => {
+                state.env.poison();
+                RunStatus::Detected
+            }
+            Err(Stop::Budget) => {
+                state.env.poison();
+                RunStatus::Hang
+            }
+        };
+
+        Ok(RunOutput {
+            status,
+            dynamic_insts: state.dynamic_insts,
+            eligible_results: state.eligible_results,
+            outputs: state.outputs,
+            console: state.console,
+            injected_site: state.injected_site,
+            injected_at_inst: state.injected_at_inst,
+            site_profile: if config.profile_sites {
+                Some(state.site_profile)
+            } else {
+                None
+            },
+        })
+    }
+
+    fn exec_function(
+        &self,
+        state: &mut RunState<'_>,
+        fid: FuncId,
+        args: &[RtVal],
+        depth: usize,
+    ) -> Result<Option<RtVal>, Stop> {
+        if depth >= MAX_CALL_DEPTH {
+            return Err(Stop::Trap(Trap::StackOverflow));
+        }
+        let func = self.module.function(fid);
+        let mut regs: Vec<RtVal> = vec![RtVal::Unit; func.num_inst_slots()];
+        let mut frame_allocs: Vec<u64> = Vec::new();
+
+        let mut block = func.entry();
+        let mut prev_block: Option<ipas_ir::BlockId> = None;
+
+        let result = 'outer: loop {
+            let insts = func.block(block).insts();
+            let mut idx = 0;
+
+            // Phi nodes: parallel copy from the incoming edge.
+            if let Some(pred) = prev_block {
+                let mut updates: Vec<(InstId, RtVal)> = Vec::new();
+                while idx < insts.len() {
+                    let id = insts[idx];
+                    if let Inst::Phi { incomings, .. } = func.inst(id) {
+                        let (_, v) = incomings
+                            .iter()
+                            .find(|(p, _)| *p == pred)
+                            .expect("verified phi has an incoming per predecessor");
+                        updates.push((id, self.eval(func, &regs, args, *v)));
+                        idx += 1;
+                    } else {
+                        break;
+                    }
+                }
+                state.dynamic_insts += updates.len() as u64;
+                for (id, v) in updates {
+                    regs[id.index()] = v;
+                }
+            }
+
+            while idx < insts.len() {
+                let id = insts[idx];
+                idx += 1;
+                state.dynamic_insts += 1;
+                if state.dynamic_insts > state.max_insts {
+                    break 'outer Err(Stop::Budget);
+                }
+                if state.dynamic_insts.is_multiple_of(POISON_POLL_INTERVAL) && state.env.poisoned() {
+                    break 'outer Err(Stop::Trap(Trap::MpiAbort));
+                }
+
+                let inst = func.inst(id);
+                match inst {
+                    Inst::Phi { .. } => {
+                        // Entry-block phis cannot exist (no predecessors);
+                        // later phis were consumed above.
+                        unreachable!("phi encountered mid-block in verified IR");
+                    }
+                    Inst::Br { target } => {
+                        prev_block = Some(block);
+                        block = *target;
+                        continue 'outer;
+                    }
+                    Inst::CondBr {
+                        cond,
+                        then_bb,
+                        else_bb,
+                    } => {
+                        let c = self.eval(func, &regs, args, *cond).as_bool();
+                        prev_block = Some(block);
+                        block = if c { *then_bb } else { *else_bb };
+                        continue 'outer;
+                    }
+                    Inst::Ret { value } => {
+                        let v = value.map(|v| self.eval(func, &regs, args, v));
+                        break 'outer Ok(v);
+                    }
+                    Inst::Store { value, addr, .. } => {
+                        let v = self.eval(func, &regs, args, *value);
+                        let a = self.eval(func, &regs, args, *addr).as_ptr();
+                        if let Err(t) = state.memory.store(a, v.bits()) {
+                            break 'outer Err(Stop::Trap(t));
+                        }
+                    }
+                    _ => {
+                        let result = match self.exec_value_inst(state, func, &regs, args, inst, depth)
+                        {
+                            Ok(v) => v,
+                            Err(stop) => break 'outer Err(stop),
+                        };
+                        let result = if is_fault_site(inst) {
+                            self.maybe_inject(state, fid, id, result)
+                        } else {
+                            result
+                        };
+                        if let Inst::Alloca { .. } = inst {
+                            frame_allocs.push(result.as_ptr());
+                        }
+                        regs[id.index()] = result;
+                    }
+                }
+            }
+            unreachable!("verified blocks end in terminators");
+        };
+
+        // Release stack regions on every exit path.
+        for base in frame_allocs {
+            // Frame regions are always valid bases; ignore double-free
+            // that can only arise from user `free` of an alloca pointer.
+            let _ = state.memory.free(base);
+        }
+        result
+    }
+
+    fn maybe_inject(
+        &self,
+        state: &mut RunState<'_>,
+        fid: FuncId,
+        id: InstId,
+        value: RtVal,
+    ) -> RtVal {
+        let n = state.eligible_results;
+        state.eligible_results += 1;
+        if state.profile_sites {
+            *state
+                .site_profile
+                .entry((fid, id))
+                .or_insert(0) += 1;
+        }
+        let counter = match state.injection {
+            Some(Injection { site: Some(s), .. }) => {
+                if s != (fid, id) {
+                    return value;
+                }
+                let c = state.site_instance;
+                state.site_instance += 1;
+                c
+            }
+            _ => n,
+        };
+        match state.injection {
+            Some(inj) if inj.target == counter => {
+                state.injected_site = Some((fid, id));
+                state.injected_at_inst = Some(state.dynamic_insts);
+                let width = value.ty().bit_width().max(1);
+                value.flip_bit(inj.bit % width)
+            }
+            _ => value,
+        }
+    }
+
+    fn eval(&self, _func: &Function, regs: &[RtVal], args: &[RtVal], v: Value) -> RtVal {
+        match v {
+            Value::Inst(id) => regs[id.index()],
+            Value::Param(n) => args[n as usize],
+            Value::Const(c) => match c {
+                ipas_ir::Constant::I64(x) => RtVal::I64(x),
+                ipas_ir::Constant::F64Bits(b) => RtVal::F64(f64::from_bits(b)),
+                ipas_ir::Constant::Bool(b) => RtVal::Bool(b),
+                ipas_ir::Constant::Null => RtVal::Ptr(0),
+            },
+        }
+    }
+
+    fn exec_value_inst(
+        &self,
+        state: &mut RunState<'_>,
+        func: &Function,
+        regs: &[RtVal],
+        args: &[RtVal],
+        inst: &Inst,
+        depth: usize,
+    ) -> Result<RtVal, Stop> {
+        match inst {
+            Inst::Binary { op, lhs, rhs, .. } => {
+                let l = self.eval(func, regs, args, *lhs);
+                let r = self.eval(func, regs, args, *rhs);
+                exec_binary(*op, l, r).map_err(Stop::Trap)
+            }
+            Inst::Icmp { pred, lhs, rhs } => {
+                let l = self.eval(func, regs, args, *lhs);
+                let r = self.eval(func, regs, args, *rhs);
+                let (a, b) = match (l, r) {
+                    (RtVal::Ptr(a), RtVal::Ptr(b)) => (a as i64, b as i64),
+                    (RtVal::Bool(a), RtVal::Bool(b)) => (a as i64, b as i64),
+                    _ => (l.as_i64(), r.as_i64()),
+                };
+                Ok(RtVal::Bool(pred.eval(a, b)))
+            }
+            Inst::Fcmp { pred, lhs, rhs } => {
+                let l = self.eval(func, regs, args, *lhs).as_f64();
+                let r = self.eval(func, regs, args, *rhs).as_f64();
+                Ok(RtVal::Bool(pred.eval(l, r)))
+            }
+            Inst::Cast { op, arg, .. } => {
+                let v = self.eval(func, regs, args, *arg);
+                Ok(exec_cast(*op, v))
+            }
+            Inst::Select {
+                cond,
+                then_value,
+                else_value,
+                ..
+            } => {
+                let c = self.eval(func, regs, args, *cond).as_bool();
+                Ok(self.eval(func, regs, args, if c { *then_value } else { *else_value }))
+            }
+            Inst::Alloca { count, .. } => {
+                let bytes = (*count as i64) * 8;
+                state.memory.alloc(bytes).map(RtVal::Ptr).map_err(Stop::Trap)
+            }
+            Inst::Load { ty, addr } => {
+                let a = self.eval(func, regs, args, *addr).as_ptr();
+                let bits = state.memory.load(a).map_err(Stop::Trap)?;
+                Ok(RtVal::from_bits(*ty, bits))
+            }
+            Inst::Gep { base, index, .. } => {
+                let b = self.eval(func, regs, args, *base).as_ptr();
+                let i = self.eval(func, regs, args, *index).as_i64();
+                Ok(RtVal::Ptr(b.wrapping_add((i as u64).wrapping_mul(8))))
+            }
+            Inst::Call { callee, args: call_args, .. } => {
+                let mut vals = Vec::with_capacity(call_args.len());
+                for a in call_args {
+                    vals.push(self.eval(func, regs, args, *a));
+                }
+                match callee {
+                    Callee::Func(fid) => self
+                        .exec_function(state, *fid, &vals, depth + 1)
+                        .map(|r| r.unwrap_or(RtVal::Unit)),
+                    Callee::Intrinsic(intr) => exec_intrinsic(state, *intr, &vals),
+                }
+            }
+            Inst::Phi { .. }
+            | Inst::Store { .. }
+            | Inst::Br { .. }
+            | Inst::CondBr { .. }
+            | Inst::Ret { .. } => {
+                unreachable!("handled by the block loop")
+            }
+        }
+    }
+}
+
+fn exec_binary(op: BinOp, l: RtVal, r: RtVal) -> Result<RtVal, Trap> {
+    use BinOp::*;
+    if op.is_float() {
+        let a = l.as_f64();
+        let b = r.as_f64();
+        let v = match op {
+            Fadd => a + b,
+            Fsub => a - b,
+            Fmul => a * b,
+            Fdiv => a / b,
+            Frem => a % b,
+            _ => unreachable!("is_float covers float opcodes"),
+        };
+        return Ok(RtVal::F64(v));
+    }
+    // Bitwise on booleans.
+    if let (RtVal::Bool(a), RtVal::Bool(b)) = (l, r) {
+        let v = match op {
+            And => a & b,
+            Or => a | b,
+            Xor => a ^ b,
+            _ => unreachable!("verifier restricts bool binaries to bitwise"),
+        };
+        return Ok(RtVal::Bool(v));
+    }
+    let a = l.as_i64();
+    let b = r.as_i64();
+    let v = match op {
+        Add => a.wrapping_add(b),
+        Sub => a.wrapping_sub(b),
+        Mul => a.wrapping_mul(b),
+        Sdiv => {
+            if b == 0 {
+                return Err(Trap::DivByZero);
+            }
+            if a == i64::MIN && b == -1 {
+                return Err(Trap::DivOverflow);
+            }
+            a / b
+        }
+        Srem => {
+            if b == 0 {
+                return Err(Trap::DivByZero);
+            }
+            if a == i64::MIN && b == -1 {
+                return Err(Trap::DivOverflow);
+            }
+            a % b
+        }
+        And => a & b,
+        Or => a | b,
+        Xor => a ^ b,
+        Shl => a.wrapping_shl((b & 63) as u32),
+        Lshr => ((a as u64).wrapping_shr((b & 63) as u32)) as i64,
+        Ashr => a.wrapping_shr((b & 63) as u32),
+        Fadd | Fsub | Fmul | Fdiv | Frem => unreachable!("handled above"),
+    };
+    Ok(RtVal::I64(v))
+}
+
+fn exec_cast(op: CastOp, v: RtVal) -> RtVal {
+    match op {
+        CastOp::Sitofp => RtVal::F64(v.as_i64() as f64),
+        CastOp::Fptosi => RtVal::I64(ipas_ir::passes::constfold::saturating_f64_to_i64(v.as_f64())),
+        CastOp::Zext => RtVal::I64(v.as_bool() as i64),
+        CastOp::Trunc => RtVal::Bool(v.as_i64() & 1 == 1),
+        CastOp::Bitcast => match v {
+            RtVal::I64(x) => RtVal::F64(f64::from_bits(x as u64)),
+            RtVal::F64(x) => RtVal::I64(x.to_bits() as i64),
+            other => panic!("bitcast of {other:?}"),
+        },
+        CastOp::Ptrtoint => RtVal::I64(v.as_ptr() as i64),
+        CastOp::Inttoptr => RtVal::Ptr(v.as_i64() as u64),
+    }
+}
+
+fn exec_intrinsic(state: &mut RunState<'_>, intr: Intrinsic, vals: &[RtVal]) -> Result<RtVal, Stop> {
+    let f1 = |i: usize| vals[i].as_f64();
+    let out = match intr {
+        Intrinsic::Sqrt => RtVal::F64(f1(0).sqrt()),
+        Intrinsic::Sin => RtVal::F64(f1(0).sin()),
+        Intrinsic::Cos => RtVal::F64(f1(0).cos()),
+        Intrinsic::Exp => RtVal::F64(f1(0).exp()),
+        Intrinsic::Log => RtVal::F64(f1(0).ln()),
+        Intrinsic::Pow => RtVal::F64(f1(0).powf(f1(1))),
+        Intrinsic::Fabs => RtVal::F64(f1(0).abs()),
+        Intrinsic::Floor => RtVal::F64(f1(0).floor()),
+        Intrinsic::Malloc => {
+            let p = state.memory.alloc(vals[0].as_i64()).map_err(Stop::Trap)?;
+            RtVal::Ptr(p)
+        }
+        Intrinsic::Free => {
+            state.memory.free(vals[0].as_ptr()).map_err(Stop::Trap)?;
+            RtVal::Unit
+        }
+        Intrinsic::PrintI64 => {
+            state.console.push(vals[0].as_i64().to_string());
+            RtVal::Unit
+        }
+        Intrinsic::PrintF64 => {
+            state.console.push(format!("{}", vals[0].as_f64()));
+            RtVal::Unit
+        }
+        Intrinsic::OutputI64 => {
+            state.outputs.push_i(vals[0].as_i64());
+            RtVal::Unit
+        }
+        Intrinsic::OutputF64 => {
+            state.outputs.push_f(vals[0].as_f64());
+            RtVal::Unit
+        }
+        Intrinsic::MpiRank => RtVal::I64(state.env.rank()),
+        Intrinsic::MpiSize => RtVal::I64(state.env.size()),
+        Intrinsic::MpiAllreduceSum => {
+            RtVal::F64(state.env.allreduce_sum_f(f1(0)).map_err(Stop::Trap)?)
+        }
+        Intrinsic::MpiAllreduceSumI => RtVal::I64(
+            state
+                .env
+                .allreduce_sum_i(vals[0].as_i64())
+                .map_err(Stop::Trap)?,
+        ),
+        Intrinsic::MpiAllreduceMax => {
+            RtVal::F64(state.env.allreduce_max_f(f1(0)).map_err(Stop::Trap)?)
+        }
+        Intrinsic::MpiBarrier => {
+            state.env.barrier().map_err(Stop::Trap)?;
+            RtVal::Unit
+        }
+        Intrinsic::MpiAllgatherF => {
+            let base = vals[0].as_ptr();
+            let n = collective_len(vals[1].as_i64())?;
+            let (lo, hi) = block_partition(state.env.rank(), state.env.size(), n);
+            let mut chunk = Vec::with_capacity(hi - lo);
+            for i in lo..hi {
+                let bits = state.memory.load(base + (i as u64) * 8).map_err(Stop::Trap)?;
+                chunk.push(f64::from_bits(bits));
+            }
+            let full = state.env.allgather_f(chunk, lo, n).map_err(Stop::Trap)?;
+            debug_assert_eq!(full.len(), n);
+            for (i, v) in full.into_iter().enumerate() {
+                state
+                    .memory
+                    .store(base + (i as u64) * 8, v.to_bits())
+                    .map_err(Stop::Trap)?;
+            }
+            RtVal::Unit
+        }
+        Intrinsic::MpiAllreduceArrF | Intrinsic::MpiAllreduceArrI => {
+            let base = vals[0].as_ptr();
+            let n = collective_len(vals[1].as_i64())?;
+            let mut data = Vec::with_capacity(n);
+            for i in 0..n {
+                data.push(state.memory.load(base + (i as u64) * 8).map_err(Stop::Trap)?);
+            }
+            let reduced: Vec<u64> = if intr == Intrinsic::MpiAllreduceArrF {
+                state
+                    .env
+                    .allreduce_vec_f(data.into_iter().map(f64::from_bits).collect())
+                    .map_err(Stop::Trap)?
+                    .into_iter()
+                    .map(f64::to_bits)
+                    .collect()
+            } else {
+                state
+                    .env
+                    .allreduce_vec_i(data.into_iter().map(|b| b as i64).collect())
+                    .map_err(Stop::Trap)?
+                    .into_iter()
+                    .map(|v| v as u64)
+                    .collect()
+            };
+            for (i, v) in reduced.into_iter().enumerate() {
+                state.memory.store(base + (i as u64) * 8, v).map_err(Stop::Trap)?;
+            }
+            RtVal::Unit
+        }
+        Intrinsic::IpasCheckI
+        | Intrinsic::IpasCheckF
+        | Intrinsic::IpasCheckP
+        | Intrinsic::IpasCheckB => {
+            if vals[0].bits() != vals[1].bits() {
+                return Err(Stop::Detected);
+            }
+            RtVal::Unit
+        }
+    };
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipas_ir::parser::parse_module;
+
+    fn run_src(src: &str) -> RunOutput {
+        let module = parse_module(src).unwrap();
+        ipas_ir::verify::verify_module(&module).unwrap();
+        Machine::new(&module).run(&RunConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_output() {
+        let out = run_src(
+            r#"
+fn @main() -> i64 {
+bb0:
+  %v0 = mul i64 6, 7
+  %v1 = call output_i64(%v0) -> void
+  ret %v0
+}
+"#,
+        );
+        assert_eq!(out.status, RunStatus::Completed(Some(RtVal::I64(42))));
+        assert_eq!(out.outputs.as_ints(), vec![42]);
+    }
+
+    #[test]
+    fn loop_executes_and_counts() {
+        let out = run_src(
+            r#"
+fn @main() -> i64 {
+bb0:
+  br bb1
+bb1:
+  %v0 = phi i64 [bb0: 0, bb2: %v3]
+  %v1 = phi i64 [bb0: 0, bb2: %v4]
+  %v2 = icmp slt %v0, 10
+  condbr %v2, bb2, bb3
+bb2:
+  %v4 = add i64 %v1, %v0
+  %v3 = add i64 %v0, 1
+  br bb1
+bb3:
+  ret %v1
+}
+"#,
+        );
+        assert_eq!(out.status, RunStatus::Completed(Some(RtVal::I64(45))));
+        assert!(out.dynamic_insts > 40);
+        // adds + icmps are eligible sites.
+        assert!(out.eligible_results > 20);
+    }
+
+    #[test]
+    fn memory_and_calls() {
+        let out = run_src(
+            r#"
+fn @main() -> f64 {
+bb0:
+  %v0 = call malloc(16) -> ptr
+  %v1 = gep f64 %v0, 1
+  store f64 2.25, %v1
+  %v2 = load f64, %v1
+  %v3 = call @twice(%v2) -> f64
+  %v4 = call free(%v0) -> void
+  ret %v3
+}
+fn @twice(f64) -> f64 {
+bb0:
+  %v0 = fadd f64 %arg0, %arg0
+  ret %v0
+}
+"#,
+        );
+        assert_eq!(out.status, RunStatus::Completed(Some(RtVal::F64(4.5))));
+    }
+
+    #[test]
+    fn div_by_zero_traps() {
+        let out = run_src(
+            r#"
+fn @main() -> i64 {
+bb0:
+  %v0 = add i64 0, 0
+  %v1 = sdiv i64 5, %v0
+  ret %v1
+}
+"#,
+        );
+        assert_eq!(out.status, RunStatus::Trapped(Trap::DivByZero));
+    }
+
+    #[test]
+    fn null_deref_traps() {
+        let out = run_src(
+            r#"
+fn @main() {
+bb0:
+  store i64 1, null
+  ret
+}
+"#,
+        );
+        assert_eq!(out.status, RunStatus::Trapped(Trap::NullDeref));
+    }
+
+    #[test]
+    fn infinite_loop_hits_budget() {
+        let module = parse_module(
+            r#"
+fn @main() {
+bb0:
+  br bb0
+}
+"#,
+        )
+        .unwrap();
+        let mut m = Machine::new(&module);
+        let out = m
+            .run(&RunConfig {
+                max_insts: 1000,
+                ..RunConfig::default()
+            })
+            .unwrap();
+        assert_eq!(out.status, RunStatus::Hang);
+    }
+
+    #[test]
+    fn deep_recursion_traps() {
+        let out = run_src(
+            r#"
+fn @main() -> i64 {
+bb0:
+  %v0 = call @rec(0) -> i64
+  ret %v0
+}
+fn @rec(i64) -> i64 {
+bb0:
+  %v0 = add i64 %arg0, 1
+  %v1 = call @rec(%v0) -> i64
+  ret %v1
+}
+"#,
+        );
+        assert_eq!(out.status, RunStatus::Trapped(Trap::StackOverflow));
+    }
+
+    #[test]
+    fn injection_flips_chosen_result() {
+        let src = r#"
+fn @main() -> i64 {
+bb0:
+  %v0 = add i64 1, 1
+  %v1 = add i64 %v0, 1
+  %v2 = call output_i64(%v1) -> void
+  ret %v1
+}
+"#;
+        let module = parse_module(src).unwrap();
+        let mut m = Machine::new(&module);
+        // Clean run: outputs 3; two eligible sites (two adds).
+        let clean = m.run(&RunConfig::default()).unwrap();
+        assert_eq!(clean.outputs.as_ints(), vec![3]);
+        assert_eq!(clean.eligible_results, 2);
+        // Flip bit 3 (value 8) of the first add's result: 2^8=10 -> 11.
+        let out = m
+            .run(&RunConfig {
+                injection: Some(Injection::at_global_index(0, 3)),
+                ..RunConfig::default()
+            })
+            .unwrap();
+        assert_eq!(out.outputs.as_ints(), vec![11]);
+        assert!(out.injected_site.is_some());
+    }
+
+    #[test]
+    fn injection_bit_is_reduced_modulo_width() {
+        let src = r#"
+fn @main() -> i64 {
+bb0:
+  %v0 = icmp eq 1, 1
+  %v1 = zext i64 %v0
+  ret %v1
+}
+"#;
+        let module = parse_module(src).unwrap();
+        let mut m = Machine::new(&module);
+        // icmp result is a bool (1 bit); bit 17 % 1 == 0 flips it.
+        let out = m
+            .run(&RunConfig {
+                injection: Some(Injection::at_global_index(0, 17)),
+                ..RunConfig::default()
+            })
+            .unwrap();
+        assert_eq!(out.status, RunStatus::Completed(Some(RtVal::I64(0))));
+    }
+
+    #[test]
+    fn ipas_check_detects_mismatch() {
+        let out = run_src(
+            r#"
+fn @main() {
+bb0:
+  %v0 = add i64 1, 2
+  %v1 = call __ipas_check_i(%v0, 4) -> void
+  ret
+}
+"#,
+        );
+        assert_eq!(out.status, RunStatus::Detected);
+    }
+
+    #[test]
+    fn ipas_check_passes_on_match() {
+        let out = run_src(
+            r#"
+fn @main() {
+bb0:
+  %v0 = add i64 1, 2
+  %v1 = call __ipas_check_i(%v0, 3) -> void
+  ret
+}
+"#,
+        );
+        assert!(out.status.is_completed());
+    }
+
+    #[test]
+    fn corrupted_pointer_usually_traps() {
+        // Flip a high bit in a gep result: address lands far outside.
+        let src = r#"
+fn @main() -> i64 {
+bb0:
+  %v0 = call malloc(64) -> ptr
+  %v1 = gep i64 %v0, 2
+  store i64 5, %v1
+  %v2 = load i64, %v1
+  ret %v2
+}
+"#;
+        let module = parse_module(src).unwrap();
+        let mut m = Machine::new(&module);
+        let out = m
+            .run(&RunConfig {
+                injection: Some(Injection::at_global_index(0, 55)),
+                ..RunConfig::default()
+            })
+            .unwrap();
+        assert_eq!(out.status, RunStatus::Trapped(Trap::OutOfBounds));
+    }
+
+    #[test]
+    fn alloca_frees_on_return() {
+        let src = r#"
+fn @main() -> i64 {
+bb0:
+  %v0 = call @local() -> i64
+  %v1 = call @local() -> i64
+  %v2 = add i64 %v0, %v1
+  ret %v2
+}
+fn @local() -> i64 {
+bb0:
+  %v0 = alloca i64, 4
+  store i64 21, %v0
+  %v1 = load i64, %v0
+  ret %v1
+}
+"#;
+        let module = parse_module(src).unwrap();
+        let mut m = Machine::new(&module);
+        let out = m.run(&RunConfig::default()).unwrap();
+        assert_eq!(out.status, RunStatus::Completed(Some(RtVal::I64(42))));
+    }
+
+    #[test]
+    fn console_capture() {
+        let out = run_src(
+            r#"
+fn @main() {
+bb0:
+  %v0 = call print_i64(7) -> void
+  %v1 = call print_f64(1.5) -> void
+  ret
+}
+"#,
+        );
+        assert_eq!(out.console, vec!["7".to_string(), "1.5".to_string()]);
+    }
+
+    #[test]
+    fn missing_entry_is_run_error() {
+        let module = parse_module("fn @foo() {\nbb0:\n  ret\n}\n").unwrap();
+        let mut m = Machine::new(&module);
+        assert!(m.run(&RunConfig::default()).is_err());
+    }
+
+    #[test]
+    fn entry_args_are_passed() {
+        let module =
+            parse_module("fn @main(i64) -> i64 {\nbb0:\n  %v0 = mul i64 %arg0, 2\n  ret %v0\n}\n")
+                .unwrap();
+        let mut m = Machine::new(&module);
+        let out = m
+            .run(&RunConfig {
+                args: vec![RtVal::I64(21)],
+                ..RunConfig::default()
+            })
+            .unwrap();
+        assert_eq!(out.status, RunStatus::Completed(Some(RtVal::I64(42))));
+    }
+}
+
+/// Validates an array-collective element count. A fault-corrupted
+/// length must become a trap (the §5.5 symptom path), never a host OOM
+/// from a pre-sized buffer: counts are capped at the memory model's
+/// largest possible allocation.
+fn collective_len(n: i64) -> Result<usize, Stop> {
+    const MAX_ELEMS: i64 = (1 << 30) / 8; // Memory::MAX_ALLOC_BYTES / cell
+    if !(0..=MAX_ELEMS).contains(&n) {
+        return Err(Stop::Trap(Trap::BadAlloc));
+    }
+    Ok(n as usize)
+}
+
+/// The block `[r·n/P, (r+1)·n/P)` owned by rank `r` of `p` over `n`
+/// elements (the standard contiguous partition used by the MPI
+/// collectives).
+pub fn block_partition(rank: i64, size: i64, n: usize) -> (usize, usize) {
+    let r = rank.max(0) as usize;
+    let p = size.max(1) as usize;
+    (r * n / p, (r + 1) * n / p)
+}
+
+#[cfg(test)]
+mod collective_len_tests {
+    use super::*;
+    use ipas_ir::parser::parse_module;
+
+    #[test]
+    fn corrupted_collective_length_traps_instead_of_oom() {
+        // A huge length reaching an array collective must trap like any
+        // other bad allocation — this is reachable via fault injection
+        // into the length computation.
+        let module = parse_module(
+            r#"
+fn @main() {
+bb0:
+  %v0 = call malloc(64) -> ptr
+  %v1 = mul i64 1099511627776, 4
+  %v2 = call mpi_allgather_f(%v0, %v1) -> void
+  ret
+}
+"#,
+        )
+        .unwrap();
+        let mut m = Machine::new(&module);
+        let out = m.run(&RunConfig::default()).unwrap();
+        assert_eq!(out.status, RunStatus::Trapped(Trap::BadAlloc));
+
+        let module = parse_module(
+            r#"
+fn @main() {
+bb0:
+  %v0 = call malloc(64) -> ptr
+  %v1 = mul i64 1099511627776, 4
+  %v2 = call mpi_allreduce_arr_i(%v0, %v1) -> void
+  ret
+}
+"#,
+        )
+        .unwrap();
+        let mut m = Machine::new(&module);
+        let out = m.run(&RunConfig::default()).unwrap();
+        assert_eq!(out.status, RunStatus::Trapped(Trap::BadAlloc));
+    }
+
+    #[test]
+    fn reasonable_collective_lengths_still_work() {
+        let module = parse_module(
+            r#"
+fn @main() -> f64 {
+bb0:
+  %v0 = call malloc(32) -> ptr
+  store f64 2.5, %v0
+  %v1 = call mpi_allgather_f(%v0, 4) -> void
+  %v2 = load f64, %v0
+  ret %v2
+}
+"#,
+        )
+        .unwrap();
+        let mut m = Machine::new(&module);
+        let out = m.run(&RunConfig::default()).unwrap();
+        assert_eq!(out.status, RunStatus::Completed(Some(RtVal::F64(2.5))));
+    }
+}

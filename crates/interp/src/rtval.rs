@@ -1,0 +1,176 @@
+//! Runtime values.
+
+use std::fmt;
+
+use ipas_ir::Type;
+
+/// A value held in a virtual register during interpretation.
+///
+/// The bit-level view ([`RtVal::bits`], [`RtVal::from_bits`],
+/// [`RtVal::flip_bit`]) is what the fault injector manipulates: a soft
+/// error flips one bit of the 64-bit register holding the value (one bit
+/// of the single meaningful bit for booleans).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum RtVal {
+    /// A 64-bit signed integer.
+    I64(i64),
+    /// A 64-bit float.
+    F64(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A pointer (encoded region/offset, see [`crate::memory`]).
+    Ptr(u64),
+    /// The absence of a value (result of void calls).
+    Unit,
+}
+
+impl RtVal {
+    /// The IR type this value inhabits.
+    pub fn ty(self) -> Type {
+        match self {
+            RtVal::I64(_) => Type::I64,
+            RtVal::F64(_) => Type::F64,
+            RtVal::Bool(_) => Type::Bool,
+            RtVal::Ptr(_) => Type::Ptr,
+            RtVal::Unit => Type::Void,
+        }
+    }
+
+    /// The raw 64-bit register image of the value.
+    pub fn bits(self) -> u64 {
+        match self {
+            RtVal::I64(v) => v as u64,
+            RtVal::F64(v) => v.to_bits(),
+            RtVal::Bool(v) => v as u64,
+            RtVal::Ptr(v) => v,
+            RtVal::Unit => 0,
+        }
+    }
+
+    /// Reconstructs a value of type `ty` from a register image.
+    pub fn from_bits(ty: Type, bits: u64) -> Self {
+        match ty {
+            Type::I64 => RtVal::I64(bits as i64),
+            Type::F64 => RtVal::F64(f64::from_bits(bits)),
+            Type::Bool => RtVal::Bool(bits & 1 == 1),
+            Type::Ptr => RtVal::Ptr(bits),
+            Type::Void => RtVal::Unit,
+        }
+    }
+
+    /// Returns a copy of this value with bit `bit` flipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is outside the type's bit width (see
+    /// [`Type::bit_width`]).
+    pub fn flip_bit(self, bit: u32) -> Self {
+        let width = self.ty().bit_width();
+        assert!(bit < width, "bit {bit} out of range for {:?}", self.ty());
+        RtVal::from_bits(self.ty(), self.bits() ^ (1u64 << bit))
+    }
+
+    /// Extracts an `i64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not an integer (IR is verified, so this
+    /// indicates an interpreter bug).
+    pub fn as_i64(self) -> i64 {
+        match self {
+            RtVal::I64(v) => v,
+            other => panic!("expected i64, got {other:?}"),
+        }
+    }
+
+    /// Extracts an `f64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a float.
+    pub fn as_f64(self) -> f64 {
+        match self {
+            RtVal::F64(v) => v,
+            other => panic!("expected f64, got {other:?}"),
+        }
+    }
+
+    /// Extracts a boolean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a boolean.
+    pub fn as_bool(self) -> bool {
+        match self {
+            RtVal::Bool(v) => v,
+            other => panic!("expected bool, got {other:?}"),
+        }
+    }
+
+    /// Extracts a pointer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a pointer.
+    pub fn as_ptr(self) -> u64 {
+        match self {
+            RtVal::Ptr(v) => v,
+            other => panic!("expected ptr, got {other:?}"),
+        }
+    }
+}
+
+impl fmt::Display for RtVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtVal::I64(v) => write!(f, "{v}"),
+            RtVal::F64(v) => write!(f, "{v}"),
+            RtVal::Bool(v) => write!(f, "{v}"),
+            RtVal::Ptr(v) => write!(f, "ptr:{v:#x}"),
+            RtVal::Unit => write!(f, "()"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_round_trip() {
+        for v in [
+            RtVal::I64(-7),
+            RtVal::F64(3.25),
+            RtVal::Bool(true),
+            RtVal::Ptr(0xdead_beef),
+        ] {
+            assert_eq!(RtVal::from_bits(v.ty(), v.bits()), v);
+        }
+    }
+
+    #[test]
+    fn flip_bit_changes_exactly_one_bit() {
+        let v = RtVal::I64(0);
+        let flipped = v.flip_bit(5);
+        assert_eq!(flipped.bits(), 1 << 5);
+        assert_eq!(flipped.flip_bit(5), v);
+    }
+
+    #[test]
+    fn flip_bit_on_float_exponent_is_large() {
+        let v = RtVal::F64(1.0);
+        let flipped = v.flip_bit(62); // top exponent bit
+        assert!(flipped.as_f64() > 1e100 || flipped.as_f64() < 1.0);
+    }
+
+    #[test]
+    fn flip_bool() {
+        assert_eq!(RtVal::Bool(true).flip_bit(0), RtVal::Bool(false));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn flip_bit_out_of_range_panics() {
+        RtVal::Bool(true).flip_bit(1);
+    }
+}

@@ -1,0 +1,102 @@
+//! Architecture-level symptoms (traps).
+
+use std::fmt;
+
+/// A hardware-exception-like condition raised during interpretation.
+///
+/// Traps model the *observable symptoms* of the IPAS outcome taxonomy
+/// (Figure 2 of the paper): in the paper's fault model, a fault that
+/// raises one of these is assumed to be handled by system-level
+/// fault-tolerance (checkpoint/restart), so it never becomes silent
+/// corruption.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Trap {
+    /// Load/store through an address outside any live allocation.
+    OutOfBounds,
+    /// Load/store through a pointer to a freed allocation.
+    UseAfterFree,
+    /// Load/store through the null page.
+    NullDeref,
+    /// Load/store at a non-8-byte-aligned address.
+    Unaligned,
+    /// Integer division or remainder by zero.
+    DivByZero,
+    /// `i64::MIN / -1` style overflow in division.
+    DivOverflow,
+    /// Call stack exceeded the frame limit.
+    StackOverflow,
+    /// `malloc` of a negative, zero, or implausibly large size.
+    BadAlloc,
+    /// Double `free` or `free` of a non-heap pointer.
+    BadFree,
+    /// The MPI job was aborted because another rank failed (the paper's
+    /// "one process fails, all abort" symptom-propagation semantics).
+    MpiAbort,
+}
+
+impl Trap {
+    /// A short identifier used in campaign reports.
+    pub fn code(self) -> &'static str {
+        match self {
+            Trap::OutOfBounds => "oob",
+            Trap::UseAfterFree => "uaf",
+            Trap::NullDeref => "null",
+            Trap::Unaligned => "unaligned",
+            Trap::DivByZero => "divzero",
+            Trap::DivOverflow => "divovf",
+            Trap::StackOverflow => "stackovf",
+            Trap::BadAlloc => "badalloc",
+            Trap::BadFree => "badfree",
+            Trap::MpiAbort => "mpiabort",
+        }
+    }
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Trap::OutOfBounds => "out-of-bounds memory access",
+            Trap::UseAfterFree => "use after free",
+            Trap::NullDeref => "null pointer dereference",
+            Trap::Unaligned => "unaligned memory access",
+            Trap::DivByZero => "integer division by zero",
+            Trap::DivOverflow => "integer division overflow",
+            Trap::StackOverflow => "call stack overflow",
+            Trap::BadAlloc => "invalid allocation size",
+            Trap::BadFree => "invalid free",
+            Trap::MpiAbort => "aborted by MPI runtime",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for Trap {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique() {
+        use std::collections::HashSet;
+        let all = [
+            Trap::OutOfBounds,
+            Trap::UseAfterFree,
+            Trap::NullDeref,
+            Trap::Unaligned,
+            Trap::DivByZero,
+            Trap::DivOverflow,
+            Trap::StackOverflow,
+            Trap::BadAlloc,
+            Trap::BadFree,
+            Trap::MpiAbort,
+        ];
+        let codes: HashSet<_> = all.iter().map(|t| t.code()).collect();
+        assert_eq!(codes.len(), all.len());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!Trap::OutOfBounds.to_string().is_empty());
+    }
+}

@@ -1,0 +1,263 @@
+//! An append-oriented function builder.
+
+use crate::function::{BlockId, Function, InstId};
+use crate::inst::{BinOp, Callee, CastOp, FcmpPred, IcmpPred, Inst, Intrinsic};
+use crate::module::FuncId;
+use crate::types::Type;
+use crate::value::Value;
+
+/// Incrementally constructs a [`Function`].
+///
+/// The builder keeps a *current block*; instruction-emitting methods append
+/// to it and return the result [`Value`]. Use [`FunctionBuilder::finish`]
+/// to extract the function (callers should then run
+/// [`crate::verify::verify_function`]).
+///
+/// # Example
+///
+/// ```
+/// use ipas_ir::{FunctionBuilder, Type, Value, BinOp, IcmpPred};
+///
+/// // fn abs(x: i64) -> i64 { if x < 0 { -x } else { x } }
+/// let mut b = FunctionBuilder::new("abs", &[Type::I64], Type::I64);
+/// let entry = b.entry_block();
+/// let neg_bb = b.new_block();
+/// let pos_bb = b.new_block();
+/// b.switch_to_block(entry);
+/// let x = Value::param(0);
+/// let is_neg = b.icmp(IcmpPred::Slt, x, Value::i64(0));
+/// b.cond_br(is_neg, neg_bb, pos_bb);
+/// b.switch_to_block(neg_bb);
+/// let negated = b.binary(BinOp::Sub, Type::I64, Value::i64(0), x);
+/// b.ret(Some(negated));
+/// b.switch_to_block(pos_bb);
+/// b.ret(Some(x));
+/// let func = b.finish();
+/// ipas_ir::verify::verify_function(&func).unwrap();
+/// ```
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    func: Function,
+    current: BlockId,
+}
+
+impl FunctionBuilder {
+    /// Creates a builder for a function with the given signature. The
+    /// current block starts as the entry block.
+    pub fn new(name: impl Into<String>, params: &[Type], ret: Type) -> Self {
+        let func = Function::new(name, params, ret);
+        let current = func.entry();
+        FunctionBuilder { func, current }
+    }
+
+    /// The entry block id.
+    pub fn entry_block(&self) -> BlockId {
+        self.func.entry()
+    }
+
+    /// Creates a new, empty block (does not switch to it).
+    pub fn new_block(&mut self) -> BlockId {
+        self.func.add_block()
+    }
+
+    /// Makes `bb` the block that subsequent instructions append to.
+    pub fn switch_to_block(&mut self, bb: BlockId) {
+        self.current = bb;
+    }
+
+    /// The block instructions currently append to.
+    pub fn current_block(&self) -> BlockId {
+        self.current
+    }
+
+    /// Returns `true` if the current block already has a terminator.
+    pub fn is_terminated(&self) -> bool {
+        self.func
+            .block(self.current)
+            .terminator()
+            .map(|t| self.func.inst(t).is_terminator())
+            .unwrap_or(false)
+    }
+
+    /// Borrows the function under construction.
+    pub fn func(&self) -> &Function {
+        &self.func
+    }
+
+    /// Finishes construction, yielding the function.
+    pub fn finish(self) -> Function {
+        self.func
+    }
+
+    fn emit(&mut self, inst: Inst) -> InstId {
+        self.func.append_inst(self.current, inst)
+    }
+
+    fn emit_value(&mut self, inst: Inst) -> Value {
+        Value::inst(self.emit(inst))
+    }
+
+    /// Emits a binary operation.
+    pub fn binary(&mut self, op: BinOp, ty: Type, lhs: Value, rhs: Value) -> Value {
+        self.emit_value(Inst::Binary { op, ty, lhs, rhs })
+    }
+
+    /// Emits an integer comparison.
+    pub fn icmp(&mut self, pred: IcmpPred, lhs: Value, rhs: Value) -> Value {
+        self.emit_value(Inst::Icmp { pred, lhs, rhs })
+    }
+
+    /// Emits a float comparison.
+    pub fn fcmp(&mut self, pred: FcmpPred, lhs: Value, rhs: Value) -> Value {
+        self.emit_value(Inst::Fcmp { pred, lhs, rhs })
+    }
+
+    /// Emits a type conversion.
+    pub fn cast(&mut self, op: CastOp, to: Type, arg: Value) -> Value {
+        self.emit_value(Inst::Cast { op, to, arg })
+    }
+
+    /// Emits a select.
+    pub fn select(&mut self, ty: Type, cond: Value, then_value: Value, else_value: Value) -> Value {
+        self.emit_value(Inst::Select {
+            ty,
+            cond,
+            then_value,
+            else_value,
+        })
+    }
+
+    /// Emits a stack allocation of `count` slots.
+    pub fn alloca(&mut self, ty: Type, count: u32) -> Value {
+        self.emit_value(Inst::Alloca { ty, count })
+    }
+
+    /// Emits a load.
+    pub fn load(&mut self, ty: Type, addr: Value) -> Value {
+        self.emit_value(Inst::Load { ty, addr })
+    }
+
+    /// Emits a store.
+    pub fn store(&mut self, ty: Type, value: Value, addr: Value) {
+        self.emit(Inst::Store { ty, value, addr });
+    }
+
+    /// Emits pointer arithmetic (`base + index * 8`).
+    pub fn gep(&mut self, elem_ty: Type, base: Value, index: Value) -> Value {
+        self.emit_value(Inst::Gep {
+            elem_ty,
+            base,
+            index,
+        })
+    }
+
+    /// Emits a call to a module function. Returns the result value (unit
+    /// for void calls; do not use it).
+    pub fn call(&mut self, callee: FuncId, args: Vec<Value>, ret_ty: Type) -> Value {
+        self.emit_value(Inst::Call {
+            callee: Callee::Func(callee),
+            args,
+            ret_ty,
+        })
+    }
+
+    /// Emits a call to an intrinsic.
+    pub fn call_intrinsic(&mut self, intr: Intrinsic, args: Vec<Value>) -> Value {
+        self.emit_value(Inst::Call {
+            callee: Callee::Intrinsic(intr),
+            args,
+            ret_ty: intr.return_type(),
+        })
+    }
+
+    /// Emits a phi node at the *current append position*.
+    ///
+    /// The verifier requires phis to be at the top of a block, so call this
+    /// before emitting other instructions into the block.
+    pub fn phi(&mut self, ty: Type, incomings: Vec<(BlockId, Value)>) -> Value {
+        self.emit_value(Inst::Phi { ty, incomings })
+    }
+
+    /// Emits an unconditional branch.
+    pub fn br(&mut self, target: BlockId) {
+        self.emit(Inst::Br { target });
+    }
+
+    /// Emits a conditional branch.
+    pub fn cond_br(&mut self, cond: Value, then_bb: BlockId, else_bb: BlockId) {
+        self.emit(Inst::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        });
+    }
+
+    /// Emits a return.
+    pub fn ret(&mut self, value: Option<Value>) {
+        self.emit(Inst::Ret { value });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_straight_line_code() {
+        let mut b = FunctionBuilder::new("f", &[Type::F64], Type::F64);
+        let x = Value::param(0);
+        let sq = b.binary(BinOp::Fmul, Type::F64, x, x);
+        let r = b.call_intrinsic(Intrinsic::Sqrt, vec![sq]);
+        b.ret(Some(r));
+        let f = b.finish();
+        assert_eq!(f.num_linked_insts(), 3);
+        crate::verify::verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn is_terminated_tracks_terminators() {
+        let mut b = FunctionBuilder::new("f", &[], Type::Void);
+        assert!(!b.is_terminated());
+        b.ret(None);
+        assert!(b.is_terminated());
+    }
+
+    #[test]
+    fn loop_with_phi_verifies() {
+        // sum 0..n
+        let mut b = FunctionBuilder::new("sum", &[Type::I64], Type::I64);
+        let entry = b.entry_block();
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+
+        b.switch_to_block(entry);
+        b.br(header);
+
+        b.switch_to_block(header);
+        let i = b.phi(Type::I64, vec![(entry, Value::i64(0))]);
+        let acc = b.phi(Type::I64, vec![(entry, Value::i64(0))]);
+        let cond = b.icmp(IcmpPred::Slt, i, Value::param(0));
+        b.cond_br(cond, body, exit);
+
+        b.switch_to_block(body);
+        let acc2 = b.binary(BinOp::Add, Type::I64, acc, i);
+        let i2 = b.binary(BinOp::Add, Type::I64, i, Value::i64(1));
+        b.br(header);
+
+        // Patch the phis with the back-edge values.
+        let mut f = {
+            b.switch_to_block(exit);
+            b.ret(Some(acc));
+            b.finish()
+        };
+        let header_insts: Vec<_> = f.block(header).insts().to_vec();
+        if let Inst::Phi { incomings, .. } = f.inst_mut(header_insts[0]) {
+            incomings.push((body, i2));
+        }
+        if let Inst::Phi { incomings, .. } = f.inst_mut(header_insts[1]) {
+            incomings.push((body, acc2));
+        }
+        crate::verify::verify_function(&f).unwrap();
+    }
+}

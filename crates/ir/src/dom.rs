@@ -1,0 +1,282 @@
+//! Dominator tree and dominance frontiers.
+//!
+//! Implements the Cooper–Harvey–Kennedy iterative algorithm over a reverse
+//! post-order of the CFG. Used by the verifier (SSA dominance checking),
+//! mem2reg (phi placement), and the loop analysis in `ipas-analysis`.
+
+use crate::function::{BlockId, Function};
+
+/// The dominator tree of a function's CFG.
+///
+/// Blocks unreachable from the entry have no immediate dominator and are
+/// reported by [`DomTree::is_reachable`].
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// Immediate dominator per block index; `None` for the entry and for
+    /// unreachable blocks.
+    idom: Vec<Option<BlockId>>,
+    /// Reverse post-order of reachable blocks.
+    rpo: Vec<BlockId>,
+    /// Position of each block in `rpo`; `usize::MAX` if unreachable.
+    rpo_pos: Vec<usize>,
+}
+
+impl DomTree {
+    /// Computes the dominator tree of `func`.
+    pub fn compute(func: &Function) -> Self {
+        let n = func.num_blocks();
+        // DFS post-order.
+        let mut visited = vec![false; n];
+        let mut post = Vec::with_capacity(n);
+        let mut stack: Vec<(BlockId, usize)> = vec![(func.entry(), 0)];
+        visited[func.entry().index()] = true;
+        while let Some(&mut (bb, ref mut next)) = stack.last_mut() {
+            let succs = func.successors(bb);
+            if *next < succs.len() {
+                let s = succs[*next];
+                *next += 1;
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(bb);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<BlockId> = post.into_iter().rev().collect();
+        let mut rpo_pos = vec![usize::MAX; n];
+        for (i, &bb) in rpo.iter().enumerate() {
+            rpo_pos[bb.index()] = i;
+        }
+
+        let preds = func.predecessors();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[func.entry().index()] = Some(func.entry());
+
+        let intersect = |idom: &[Option<BlockId>], rpo_pos: &[usize], mut a: BlockId, mut b: BlockId| {
+            while a != b {
+                while rpo_pos[a.index()] > rpo_pos[b.index()] {
+                    a = idom[a.index()].expect("processed block must have idom");
+                }
+                while rpo_pos[b.index()] > rpo_pos[a.index()] {
+                    b = idom[b.index()].expect("processed block must have idom");
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &bb in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds[bb.index()] {
+                    if idom[p.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_pos, cur, p),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[bb.index()] != Some(ni) {
+                        idom[bb.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        // The entry's self-idom is an algorithmic artifact; clear it.
+        idom[func.entry().index()] = None;
+
+        DomTree { idom, rpo, rpo_pos }
+    }
+
+    /// The immediate dominator of `bb` (`None` for the entry block and
+    /// unreachable blocks).
+    pub fn idom(&self, bb: BlockId) -> Option<BlockId> {
+        self.idom[bb.index()]
+    }
+
+    /// Returns `true` if `bb` is reachable from the entry.
+    pub fn is_reachable(&self, bb: BlockId) -> bool {
+        self.rpo_pos[bb.index()] != usize::MAX
+    }
+
+    /// Reverse post-order of reachable blocks.
+    pub fn reverse_post_order(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Returns `true` if block `a` dominates block `b`.
+    ///
+    /// Every block dominates itself. Unreachable blocks dominate nothing
+    /// and are dominated by nothing.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if !self.is_reachable(a) || !self.is_reachable(b) {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.index()] {
+                Some(next) => cur = next,
+                None => return false,
+            }
+        }
+    }
+
+    /// Computes the dominance frontier of every block.
+    ///
+    /// `frontier[b]` is the set of blocks where `b`'s dominance ends —
+    /// the classic phi-placement set for mem2reg.
+    pub fn dominance_frontiers(&self, func: &Function) -> Vec<Vec<BlockId>> {
+        let n = func.num_blocks();
+        let preds = func.predecessors();
+        let mut df: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for bb in func.block_ids() {
+            if !self.is_reachable(bb) || preds[bb.index()].len() < 2 {
+                continue;
+            }
+            // `stop` is None for the entry block: an entry with
+            // predecessors (a self-loop) is in its own frontier, so the
+            // runner walk must not be cut short.
+            let stop = self.idom(bb);
+            for &p in &preds[bb.index()] {
+                if !self.is_reachable(p) {
+                    continue;
+                }
+                let mut runner = p;
+                loop {
+                    if Some(runner) == stop {
+                        break;
+                    }
+                    if !df[runner.index()].contains(&bb) {
+                        df[runner.index()].push(bb);
+                    }
+                    match self.idom(runner) {
+                        Some(next) => runner = next,
+                        None => break,
+                    }
+                }
+            }
+        }
+        df
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Inst;
+    use crate::types::Type;
+    use crate::value::Value;
+
+    /// Builds the classic diamond: 0 -> {1, 2} -> 3.
+    fn diamond() -> Function {
+        let mut f = Function::new("d", &[], Type::Void);
+        let b0 = f.entry();
+        let b1 = f.add_block();
+        let b2 = f.add_block();
+        let b3 = f.add_block();
+        f.append_inst(
+            b0,
+            Inst::CondBr {
+                cond: Value::bool(true),
+                then_bb: b1,
+                else_bb: b2,
+            },
+        );
+        f.append_inst(b1, Inst::Br { target: b3 });
+        f.append_inst(b2, Inst::Br { target: b3 });
+        f.append_inst(b3, Inst::Ret { value: None });
+        f
+    }
+
+    #[test]
+    fn diamond_idoms() {
+        let f = diamond();
+        let dt = DomTree::compute(&f);
+        let ids: Vec<BlockId> = f.block_ids().collect();
+        assert_eq!(dt.idom(ids[0]), None);
+        assert_eq!(dt.idom(ids[1]), Some(ids[0]));
+        assert_eq!(dt.idom(ids[2]), Some(ids[0]));
+        assert_eq!(dt.idom(ids[3]), Some(ids[0]));
+    }
+
+    #[test]
+    fn diamond_dominance_relation() {
+        let f = diamond();
+        let dt = DomTree::compute(&f);
+        let ids: Vec<BlockId> = f.block_ids().collect();
+        assert!(dt.dominates(ids[0], ids[3]));
+        assert!(!dt.dominates(ids[1], ids[3]));
+        assert!(dt.dominates(ids[3], ids[3]));
+    }
+
+    #[test]
+    fn diamond_frontiers() {
+        let f = diamond();
+        let dt = DomTree::compute(&f);
+        let df = dt.dominance_frontiers(&f);
+        let ids: Vec<BlockId> = f.block_ids().collect();
+        assert_eq!(df[ids[1].index()], vec![ids[3]]);
+        assert_eq!(df[ids[2].index()], vec![ids[3]]);
+        assert!(df[ids[0].index()].is_empty());
+        assert!(df[ids[3].index()].is_empty());
+    }
+
+    #[test]
+    fn loop_frontier_contains_header() {
+        // 0 -> 1 (header) -> 2 (body) -> 1, 1 -> 3 (exit)
+        let mut f = Function::new("l", &[], Type::Void);
+        let b0 = f.entry();
+        let b1 = f.add_block();
+        let b2 = f.add_block();
+        let b3 = f.add_block();
+        f.append_inst(b0, Inst::Br { target: b1 });
+        f.append_inst(
+            b1,
+            Inst::CondBr {
+                cond: Value::bool(true),
+                then_bb: b2,
+                else_bb: b3,
+            },
+        );
+        f.append_inst(b2, Inst::Br { target: b1 });
+        f.append_inst(b3, Inst::Ret { value: None });
+        let dt = DomTree::compute(&f);
+        assert_eq!(dt.idom(b2), Some(b1));
+        assert_eq!(dt.idom(b3), Some(b1));
+        let df = dt.dominance_frontiers(&f);
+        // The body's frontier is the loop header (back edge).
+        assert_eq!(df[b2.index()], vec![b1]);
+        // The header is in its own frontier.
+        assert!(df[b1.index()].contains(&b1));
+    }
+
+    #[test]
+    fn unreachable_blocks_are_flagged() {
+        let mut f = Function::new("u", &[], Type::Void);
+        let b0 = f.entry();
+        let dead = f.add_block();
+        f.append_inst(b0, Inst::Ret { value: None });
+        f.append_inst(dead, Inst::Ret { value: None });
+        let dt = DomTree::compute(&f);
+        assert!(dt.is_reachable(b0));
+        assert!(!dt.is_reachable(dead));
+        assert!(!dt.dominates(b0, dead));
+    }
+
+    #[test]
+    fn rpo_starts_at_entry() {
+        let f = diamond();
+        let dt = DomTree::compute(&f);
+        assert_eq!(dt.reverse_post_order()[0], f.entry());
+        assert_eq!(dt.reverse_post_order().len(), 4);
+    }
+}

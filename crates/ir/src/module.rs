@@ -1,0 +1,155 @@
+//! Modules: collections of functions.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::function::Function;
+
+/// Identifies a function within a [`Module`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncId(u32);
+
+impl FuncId {
+    /// Creates a function id from a raw index.
+    pub fn new(index: usize) -> Self {
+        FuncId(index as u32)
+    }
+
+    /// The raw index of this function.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn{}", self.0)
+    }
+}
+
+/// A compilation unit: a named set of functions.
+///
+/// Function ids are assigned in insertion order and never invalidated.
+#[derive(Clone, Debug, Default)]
+pub struct Module {
+    name: String,
+    funcs: Vec<Function>,
+    by_name: HashMap<String, FuncId>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new(name: impl Into<String>) -> Self {
+        Module {
+            name: name.into(),
+            funcs: Vec::new(),
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// The module's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a function, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a function with the same name already exists.
+    pub fn add_function(&mut self, func: Function) -> FuncId {
+        let id = FuncId::new(self.funcs.len());
+        assert!(
+            self.by_name.insert(func.name().to_string(), id).is_none(),
+            "duplicate function name `{}`",
+            func.name()
+        );
+        self.funcs.push(func);
+        id
+    }
+
+    /// Looks a function up by name.
+    pub fn function_id(&self, name: &str) -> Option<FuncId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Borrows a function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn function(&self, id: FuncId) -> &Function {
+        &self.funcs[id.index()]
+    }
+
+    /// Mutably borrows a function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn function_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.funcs[id.index()]
+    }
+
+    /// Number of functions in the module.
+    pub fn num_functions(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// Iterates over `(id, function)` pairs in insertion order.
+    pub fn functions(&self) -> impl Iterator<Item = (FuncId, &Function)> {
+        self.funcs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FuncId::new(i), f))
+    }
+
+    /// Total linked static instructions across all functions (Table 3).
+    pub fn num_static_insts(&self) -> usize {
+        self.funcs.iter().map(|f| f.num_linked_insts()).sum()
+    }
+
+    /// Renders the module in the textual IR format.
+    pub fn to_text(&self) -> String {
+        crate::printer::print_module(self)
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Type;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut m = Module::new("m");
+        let id = m.add_function(Function::new("foo", &[Type::I64], Type::Void));
+        assert_eq!(m.function_id("foo"), Some(id));
+        assert_eq!(m.function_id("bar"), None);
+        assert_eq!(m.function(id).name(), "foo");
+        assert_eq!(m.num_functions(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate function name")]
+    fn duplicate_names_panic() {
+        let mut m = Module::new("m");
+        m.add_function(Function::new("foo", &[], Type::Void));
+        m.add_function(Function::new("foo", &[], Type::Void));
+    }
+
+    #[test]
+    fn functions_iterate_in_order() {
+        let mut m = Module::new("m");
+        m.add_function(Function::new("a", &[], Type::Void));
+        m.add_function(Function::new("b", &[], Type::Void));
+        let names: Vec<_> = m.functions().map(|(_, f)| f.name().to_string()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

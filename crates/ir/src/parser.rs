@@ -1,0 +1,650 @@
+//! Parser for the textual IR format produced by [`crate::printer`].
+//!
+//! The parser is line-oriented and resolves forward references (phi
+//! back-edges, mutually recursive calls) with a pre-scan pass. Instruction
+//! ids are renumbered densely in definition order, so parsing a printed
+//! function whose arena contained unlinked slots yields an equivalent,
+//! compacted function.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::function::{BlockId, Function, InstId};
+use crate::inst::{BinOp, Callee, CastOp, FcmpPred, IcmpPred, Inst, Intrinsic};
+use crate::module::Module;
+use crate::types::Type;
+use crate::value::{Constant, Value};
+
+/// Error produced when parsing IR text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    line: usize,
+    message: String,
+}
+
+impl ParseError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// The 1-based source line of the error.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// The error description.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a whole module from text.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first offending line.
+pub fn parse_module(text: &str) -> Result<Module, ParseError> {
+    let lines: Vec<(usize, &str)> = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, strip_comment(l).trim()))
+        .filter(|(_, l)| !l.is_empty())
+        .collect();
+
+    let mut idx = 0;
+    let mut name = "module".to_string();
+    if let Some(&(_, first)) = lines.first() {
+        if let Some(rest) = first.strip_prefix("module") {
+            name = rest.trim().trim_matches('"').to_string();
+            idx = 1;
+        }
+    }
+    let mut module = Module::new(name);
+
+    // Pass 1: register all function signatures so calls resolve by name.
+    let mut headers = Vec::new();
+    let mut i = idx;
+    while i < lines.len() {
+        let (ln, line) = lines[i];
+        if line.starts_with("fn @") {
+            let (fname, params, ret) = parse_header(ln, line)?;
+            headers.push((fname.clone(), params.clone(), ret));
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    let mut sig_ids = HashMap::new();
+    for (fname, params, ret) in &headers {
+        let id = module.add_function(Function::new(fname.clone(), params, *ret));
+        sig_ids.insert(fname.clone(), id);
+    }
+
+    // Pass 2: parse bodies.
+    let mut i = idx;
+    while i < lines.len() {
+        let (ln, line) = lines[i];
+        if !line.starts_with("fn @") {
+            return Err(ParseError::new(ln, format!("expected `fn @...`, got `{line}`")));
+        }
+        let (fname, params, ret) = parse_header(ln, line)?;
+        let mut body = Vec::new();
+        i += 1;
+        let mut closed = false;
+        while i < lines.len() {
+            let (ln2, l2) = lines[i];
+            i += 1;
+            if l2 == "}" {
+                closed = true;
+                break;
+            }
+            body.push((ln2, l2));
+        }
+        if !closed {
+            return Err(ParseError::new(ln, "unterminated function body"));
+        }
+        let func = parse_body(&fname, &params, ret, &body, &module)?;
+        let id = sig_ids[&fname];
+        *module.function_mut(id) = func;
+    }
+    Ok(module)
+}
+
+/// Parses a single function (no `module` line, calls to module functions
+/// are unresolvable).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first offending line.
+pub fn parse_function(text: &str) -> Result<Function, ParseError> {
+    let module = parse_module(text)?;
+    let (_, func) = module
+        .functions()
+        .next()
+        .ok_or_else(|| ParseError::new(1, "no function found"))?;
+    Ok(func.clone())
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find(';') {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+fn parse_header(ln: usize, line: &str) -> Result<(String, Vec<Type>, Type), ParseError> {
+    // fn @name(ty, ty) -> ty {
+    let rest = line
+        .strip_prefix("fn @")
+        .ok_or_else(|| ParseError::new(ln, "expected `fn @`"))?;
+    let open = rest
+        .find('(')
+        .ok_or_else(|| ParseError::new(ln, "expected `(` in function header"))?;
+    let name = rest[..open].trim().to_string();
+    let close = rest
+        .find(')')
+        .ok_or_else(|| ParseError::new(ln, "expected `)` in function header"))?;
+    let params_str = &rest[open + 1..close];
+    let mut params = Vec::new();
+    for p in params_str.split(',') {
+        let p = p.trim();
+        if p.is_empty() {
+            continue;
+        }
+        params.push(
+            p.parse::<Type>()
+                .map_err(|e| ParseError::new(ln, e.to_string()))?,
+        );
+    }
+    let tail = rest[close + 1..].trim().trim_end_matches('{').trim();
+    let ret = if let Some(r) = tail.strip_prefix("->") {
+        r.trim()
+            .parse::<Type>()
+            .map_err(|e| ParseError::new(ln, e.to_string()))?
+    } else {
+        Type::Void
+    };
+    Ok((name, params, ret))
+}
+
+struct BodyCtx<'a> {
+    ln: usize,
+    defs: &'a HashMap<u32, InstId>,
+    module: &'a Module,
+}
+
+fn parse_body(
+    name: &str,
+    params: &[Type],
+    ret: Type,
+    body: &[(usize, &str)],
+    module: &Module,
+) -> Result<Function, ParseError> {
+    // Pre-scan: map textual %vN definitions to dense ids, count blocks.
+    let mut defs: HashMap<u32, InstId> = HashMap::new();
+    let mut num_blocks = 0usize;
+    let mut next = 0usize;
+    for &(ln, line) in body {
+        if line.ends_with(':') {
+            num_blocks += 1;
+            continue;
+        }
+        if let Some(eq) = line.find('=') {
+            let lhs = line[..eq].trim();
+            let n = parse_vnum(ln, lhs)?;
+            defs.insert(n, InstId::new(next));
+        }
+        next += 1;
+    }
+    if num_blocks == 0 {
+        return Err(ParseError::new(
+            body.first().map(|&(l, _)| l).unwrap_or(0),
+            "function body has no blocks",
+        ));
+    }
+
+    let mut func = Function::new(name, params, ret);
+    for _ in 1..num_blocks {
+        func.add_block();
+    }
+
+    let mut current: Option<BlockId> = None;
+    for &(ln, line) in body {
+        if let Some(label) = line.strip_suffix(':') {
+            let bb = parse_block_ref(ln, label)?;
+            if bb.index() >= num_blocks {
+                return Err(ParseError::new(ln, format!("block label {label} out of order")));
+            }
+            current = Some(bb);
+            continue;
+        }
+        let bb = current.ok_or_else(|| ParseError::new(ln, "instruction before first block label"))?;
+        let text = match line.find('=') {
+            Some(eq) => line[eq + 1..].trim(),
+            None => line,
+        };
+        let ctx = BodyCtx {
+            ln,
+            defs: &defs,
+            module,
+        };
+        let inst = parse_inst(&ctx, text, num_blocks)?;
+        func.append_inst(bb, inst);
+    }
+    Ok(func)
+}
+
+fn parse_vnum(ln: usize, tok: &str) -> Result<u32, ParseError> {
+    tok.strip_prefix("%v")
+        .and_then(|s| s.parse::<u32>().ok())
+        .ok_or_else(|| ParseError::new(ln, format!("expected `%vN`, got `{tok}`")))
+}
+
+fn parse_block_ref(ln: usize, tok: &str) -> Result<BlockId, ParseError> {
+    tok.strip_prefix("bb")
+        .and_then(|s| s.parse::<usize>().ok())
+        .map(BlockId::new)
+        .ok_or_else(|| ParseError::new(ln, format!("expected `bbN`, got `{tok}`")))
+}
+
+fn parse_value(ctx: &BodyCtx<'_>, tok: &str) -> Result<Value, ParseError> {
+    let tok = tok.trim();
+    if let Some(rest) = tok.strip_prefix("%v") {
+        let n: u32 = rest
+            .parse()
+            .map_err(|_| ParseError::new(ctx.ln, format!("bad value `{tok}`")))?;
+        let id = ctx
+            .defs
+            .get(&n)
+            .ok_or_else(|| ParseError::new(ctx.ln, format!("undefined value `{tok}`")))?;
+        return Ok(Value::Inst(*id));
+    }
+    if let Some(rest) = tok.strip_prefix("%arg") {
+        let n: u32 = rest
+            .parse()
+            .map_err(|_| ParseError::new(ctx.ln, format!("bad parameter `{tok}`")))?;
+        return Ok(Value::Param(n));
+    }
+    match tok {
+        "true" => return Ok(Value::bool(true)),
+        "false" => return Ok(Value::bool(false)),
+        "null" => return Ok(Value::null()),
+        _ => {}
+    }
+    if tok.contains('.') || tok.contains("inf") || tok.contains("NaN") || tok.contains('e') {
+        if let Ok(v) = tok.parse::<f64>() {
+            return Ok(Value::Const(Constant::f64(v)));
+        }
+        if tok == "NaN" {
+            return Ok(Value::Const(Constant::f64(f64::NAN)));
+        }
+    }
+    if let Ok(v) = tok.parse::<i64>() {
+        return Ok(Value::i64(v));
+    }
+    Err(ParseError::new(ctx.ln, format!("unparseable value `{tok}`")))
+}
+
+fn split_commas(s: &str) -> Vec<&str> {
+    s.split(',').map(str::trim).filter(|p| !p.is_empty()).collect()
+}
+
+fn parse_inst(ctx: &BodyCtx<'_>, text: &str, num_blocks: usize) -> Result<Inst, ParseError> {
+    let ln = ctx.ln;
+    let (op, rest) = match text.find(' ') {
+        Some(pos) => (&text[..pos], text[pos + 1..].trim()),
+        None => (text, ""),
+    };
+
+    let check_bb = |bb: BlockId| -> Result<BlockId, ParseError> {
+        if bb.index() >= num_blocks {
+            Err(ParseError::new(ln, format!("branch to unknown block {bb}")))
+        } else {
+            Ok(bb)
+        }
+    };
+
+    if let Some(binop) = BinOp::from_mnemonic(op) {
+        // add i64 a, b
+        let (ty_tok, ops) = rest
+            .split_once(' ')
+            .ok_or_else(|| ParseError::new(ln, "expected type after binary opcode"))?;
+        let ty: Type = ty_tok
+            .parse()
+            .map_err(|e: crate::types::ParseTypeError| ParseError::new(ln, e.to_string()))?;
+        let parts = split_commas(ops);
+        if parts.len() != 2 {
+            return Err(ParseError::new(ln, "binary op takes two operands"));
+        }
+        return Ok(Inst::Binary {
+            op: binop,
+            ty,
+            lhs: parse_value(ctx, parts[0])?,
+            rhs: parse_value(ctx, parts[1])?,
+        });
+    }
+
+    if let Some(castop) = CastOp::from_mnemonic(op) {
+        // sitofp f64 a
+        let (ty_tok, arg) = rest
+            .split_once(' ')
+            .ok_or_else(|| ParseError::new(ln, "expected type after cast opcode"))?;
+        let to: Type = ty_tok
+            .parse()
+            .map_err(|e: crate::types::ParseTypeError| ParseError::new(ln, e.to_string()))?;
+        return Ok(Inst::Cast {
+            op: castop,
+            to,
+            arg: parse_value(ctx, arg)?,
+        });
+    }
+
+    match op {
+        "icmp" | "fcmp" => {
+            let (pred_tok, ops) = rest
+                .split_once(' ')
+                .ok_or_else(|| ParseError::new(ln, "expected predicate"))?;
+            let parts = split_commas(ops);
+            if parts.len() != 2 {
+                return Err(ParseError::new(ln, "comparison takes two operands"));
+            }
+            let lhs = parse_value(ctx, parts[0])?;
+            let rhs = parse_value(ctx, parts[1])?;
+            if op == "icmp" {
+                let pred = IcmpPred::from_mnemonic(pred_tok)
+                    .ok_or_else(|| ParseError::new(ln, format!("bad icmp predicate `{pred_tok}`")))?;
+                Ok(Inst::Icmp { pred, lhs, rhs })
+            } else {
+                let pred = FcmpPred::from_mnemonic(pred_tok)
+                    .ok_or_else(|| ParseError::new(ln, format!("bad fcmp predicate `{pred_tok}`")))?;
+                Ok(Inst::Fcmp { pred, lhs, rhs })
+            }
+        }
+        "select" => {
+            let (ty_tok, ops) = rest
+                .split_once(' ')
+                .ok_or_else(|| ParseError::new(ln, "expected type after select"))?;
+            let ty: Type = ty_tok
+                .parse()
+                .map_err(|e: crate::types::ParseTypeError| ParseError::new(ln, e.to_string()))?;
+            let parts = split_commas(ops);
+            if parts.len() != 3 {
+                return Err(ParseError::new(ln, "select takes three operands"));
+            }
+            Ok(Inst::Select {
+                ty,
+                cond: parse_value(ctx, parts[0])?,
+                then_value: parse_value(ctx, parts[1])?,
+                else_value: parse_value(ctx, parts[2])?,
+            })
+        }
+        "alloca" => {
+            let parts = split_commas(rest);
+            if parts.len() != 2 {
+                return Err(ParseError::new(ln, "alloca takes `ty, count`"));
+            }
+            let ty: Type = parts[0]
+                .parse()
+                .map_err(|e: crate::types::ParseTypeError| ParseError::new(ln, e.to_string()))?;
+            let count: u32 = parts[1]
+                .parse()
+                .map_err(|_| ParseError::new(ln, "bad alloca count"))?;
+            Ok(Inst::Alloca { ty, count })
+        }
+        "load" => {
+            let parts = split_commas(rest);
+            if parts.len() != 2 {
+                return Err(ParseError::new(ln, "load takes `ty, addr`"));
+            }
+            let ty: Type = parts[0]
+                .parse()
+                .map_err(|e: crate::types::ParseTypeError| ParseError::new(ln, e.to_string()))?;
+            Ok(Inst::Load {
+                ty,
+                addr: parse_value(ctx, parts[1])?,
+            })
+        }
+        "store" => {
+            // store ty value, addr
+            let (ty_tok, ops) = rest
+                .split_once(' ')
+                .ok_or_else(|| ParseError::new(ln, "expected type after store"))?;
+            let ty: Type = ty_tok
+                .parse()
+                .map_err(|e: crate::types::ParseTypeError| ParseError::new(ln, e.to_string()))?;
+            let parts = split_commas(ops);
+            if parts.len() != 2 {
+                return Err(ParseError::new(ln, "store takes `value, addr`"));
+            }
+            Ok(Inst::Store {
+                ty,
+                value: parse_value(ctx, parts[0])?,
+                addr: parse_value(ctx, parts[1])?,
+            })
+        }
+        "gep" => {
+            let (ty_tok, ops) = rest
+                .split_once(' ')
+                .ok_or_else(|| ParseError::new(ln, "expected type after gep"))?;
+            let elem_ty: Type = ty_tok
+                .parse()
+                .map_err(|e: crate::types::ParseTypeError| ParseError::new(ln, e.to_string()))?;
+            let parts = split_commas(ops);
+            if parts.len() != 2 {
+                return Err(ParseError::new(ln, "gep takes `base, index`"));
+            }
+            Ok(Inst::Gep {
+                elem_ty,
+                base: parse_value(ctx, parts[0])?,
+                index: parse_value(ctx, parts[1])?,
+            })
+        }
+        "call" => {
+            // call name(args) -> ty   |   call @name(args) -> ty
+            let open = rest
+                .find('(')
+                .ok_or_else(|| ParseError::new(ln, "expected `(` in call"))?;
+            let close = rest
+                .rfind(')')
+                .ok_or_else(|| ParseError::new(ln, "expected `)` in call"))?;
+            let name = rest[..open].trim();
+            let args_str = &rest[open + 1..close];
+            let tail = rest[close + 1..].trim();
+            let ret_ty: Type = tail
+                .strip_prefix("->")
+                .ok_or_else(|| ParseError::new(ln, "expected `-> ty` after call"))?
+                .trim()
+                .parse()
+                .map_err(|e: crate::types::ParseTypeError| ParseError::new(ln, e.to_string()))?;
+            let mut args = Vec::new();
+            for a in split_commas(args_str) {
+                args.push(parse_value(ctx, a)?);
+            }
+            let callee = if let Some(fname) = name.strip_prefix('@') {
+                let id = ctx
+                    .module
+                    .function_id(fname)
+                    .ok_or_else(|| ParseError::new(ln, format!("unknown function `@{fname}`")))?;
+                Callee::Func(id)
+            } else {
+                let intr = Intrinsic::from_name(name)
+                    .ok_or_else(|| ParseError::new(ln, format!("unknown intrinsic `{name}`")))?;
+                Callee::Intrinsic(intr)
+            };
+            Ok(Inst::Call {
+                callee,
+                args,
+                ret_ty,
+            })
+        }
+        "phi" => {
+            // phi ty [bb0: v, bb1: v]
+            let (ty_tok, ops) = rest
+                .split_once(' ')
+                .ok_or_else(|| ParseError::new(ln, "expected type after phi"))?;
+            let ty: Type = ty_tok
+                .parse()
+                .map_err(|e: crate::types::ParseTypeError| ParseError::new(ln, e.to_string()))?;
+            let inner = ops
+                .trim()
+                .strip_prefix('[')
+                .and_then(|s| s.strip_suffix(']'))
+                .ok_or_else(|| ParseError::new(ln, "expected `[...]` after phi type"))?;
+            let mut incomings = Vec::new();
+            for pair in split_commas(inner) {
+                let (bb_tok, v_tok) = pair
+                    .split_once(':')
+                    .ok_or_else(|| ParseError::new(ln, "expected `bbN: value` in phi"))?;
+                let bb = check_bb(parse_block_ref(ln, bb_tok.trim())?)?;
+                incomings.push((bb, parse_value(ctx, v_tok)?));
+            }
+            Ok(Inst::Phi { ty, incomings })
+        }
+        "br" => Ok(Inst::Br {
+            target: check_bb(parse_block_ref(ln, rest)?)?,
+        }),
+        "condbr" => {
+            let parts = split_commas(rest);
+            if parts.len() != 3 {
+                return Err(ParseError::new(ln, "condbr takes `cond, bbT, bbF`"));
+            }
+            Ok(Inst::CondBr {
+                cond: parse_value(ctx, parts[0])?,
+                then_bb: check_bb(parse_block_ref(ln, parts[1])?)?,
+                else_bb: check_bb(parse_block_ref(ln, parts[2])?)?,
+            })
+        }
+        "ret" => {
+            if rest.is_empty() {
+                Ok(Inst::Ret { value: None })
+            } else {
+                Ok(Inst::Ret {
+                    value: Some(parse_value(ctx, rest)?),
+                })
+            }
+        }
+        other => Err(ParseError::new(ln, format!("unknown opcode `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::printer::print_module;
+
+    const SAMPLE: &str = r#"
+module "sample"
+
+fn @sumsq(i64) -> i64 {
+bb0:
+  br bb1
+bb1:
+  %v1 = phi i64 [bb0: 0, bb2: %v4]
+  %v2 = phi i64 [bb0: 0, bb2: %v5]
+  %v3 = icmp slt %v1, %arg0
+  condbr %v3, bb2, bb3
+bb2:
+  %v6 = mul i64 %v1, %v1
+  %v5 = add i64 %v2, %v6
+  %v4 = add i64 %v1, 1
+  br bb1
+bb3:
+  ret %v2
+}
+"#;
+
+    #[test]
+    fn parses_loop_with_forward_refs() {
+        let m = parse_module(SAMPLE).unwrap();
+        let (_, f) = m.functions().next().unwrap();
+        assert_eq!(f.name(), "sumsq");
+        assert_eq!(f.num_blocks(), 4);
+        crate::verify::verify_function(f).unwrap();
+    }
+
+    #[test]
+    fn print_parse_round_trip_is_stable() {
+        let m1 = parse_module(SAMPLE).unwrap();
+        let text1 = print_module(&m1);
+        let m2 = parse_module(&text1).unwrap();
+        let text2 = print_module(&m2);
+        assert_eq!(text1, text2);
+    }
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let text = "module \"m\"\n\nfn @f() {\nbb0: ; entry\n  ret ; done\n}\n";
+        let m = parse_module(text).unwrap();
+        assert_eq!(m.num_functions(), 1);
+    }
+
+    #[test]
+    fn parses_calls_between_functions() {
+        let text = r#"
+module "m"
+fn @main() -> i64 {
+bb0:
+  %v0 = call @helper(3) -> i64
+  ret %v0
+}
+fn @helper(i64) -> i64 {
+bb0:
+  %v0 = add i64 %arg0, 1
+  ret %v0
+}
+"#;
+        let m = parse_module(text).unwrap();
+        assert_eq!(m.num_functions(), 2);
+        let (_, main) = m.functions().next().unwrap();
+        match main.inst(crate::function::InstId::new(0)) {
+            Inst::Call { callee: Callee::Func(id), .. } => {
+                assert_eq!(m.function(*id).name(), "helper");
+            }
+            other => panic!("expected call, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_opcode() {
+        let text = "fn @f() {\nbb0:\n  frobnicate\n}\n";
+        let err = parse_module(text).unwrap_err();
+        assert!(err.message().contains("unknown opcode"));
+    }
+
+    #[test]
+    fn rejects_undefined_value() {
+        let text = "fn @f() -> i64 {\nbb0:\n  ret %v9\n}\n";
+        let err = parse_module(text).unwrap_err();
+        assert!(err.message().contains("undefined value"));
+    }
+
+    #[test]
+    fn rejects_branch_to_unknown_block() {
+        let text = "fn @f() {\nbb0:\n  br bb7\n}\n";
+        assert!(parse_module(text).is_err());
+    }
+
+    #[test]
+    fn parses_float_constants() {
+        let text = "fn @f() -> f64 {\nbb0:\n  %v0 = fadd f64 1.5, -2.25\n  ret %v0\n}\n";
+        let f = parse_function(text).unwrap();
+        match f.inst(InstId::new(0)) {
+            Inst::Binary { lhs, rhs, .. } => {
+                assert_eq!(*lhs, Value::f64(1.5));
+                assert_eq!(*rhs, Value::f64(-2.25));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

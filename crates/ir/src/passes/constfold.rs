@@ -1,0 +1,269 @@
+//! Constant folding.
+//!
+//! Folds binary operations, comparisons, casts, and selects whose operands
+//! are all constants, replacing every use of the folded instruction with
+//! the resulting constant. Division and remainder by a zero constant are
+//! deliberately *not* folded (they trap at run time, and folding would
+//! change observable behaviour).
+
+use std::collections::HashMap;
+
+use crate::function::{Function, InstId};
+use crate::inst::{BinOp, CastOp, Inst};
+use crate::value::{Constant, Value};
+
+/// Folds constants in `func` to a fixpoint. Returns the number of
+/// instructions folded (they are unlinked from their blocks).
+pub fn constant_fold(func: &mut Function) -> usize {
+    let mut total = 0;
+    loop {
+        let mut folded: HashMap<InstId, Constant> = HashMap::new();
+        for bb in func.block_ids() {
+            for &id in func.block(bb).insts() {
+                if let Some(c) = try_fold(func.inst(id)) {
+                    folded.insert(id, c);
+                }
+            }
+        }
+        if folded.is_empty() {
+            break;
+        }
+        total += folded.len();
+        func.map_all_operands(|v| match v {
+            Value::Inst(id) => match folded.get(&id) {
+                Some(&c) => Value::Const(c),
+                None => v,
+            },
+            other => other,
+        });
+        for (id, _) in folded {
+            let bb = func.block_of(id).expect("folded inst must be linked");
+            func.unlink_inst(bb, id);
+        }
+    }
+    total
+}
+
+/// Attempts to evaluate one instruction with constant operands.
+pub fn try_fold(inst: &Inst) -> Option<Constant> {
+    match inst {
+        Inst::Binary { op, lhs, rhs, .. } => {
+            let l = lhs.as_const()?;
+            let r = rhs.as_const()?;
+            fold_binary(*op, l, r)
+        }
+        Inst::Icmp { pred, lhs, rhs } => {
+            let l = lhs.as_const()?.as_i64()?;
+            let r = rhs.as_const()?.as_i64()?;
+            Some(Constant::Bool(pred.eval(l, r)))
+        }
+        Inst::Fcmp { pred, lhs, rhs } => {
+            let l = lhs.as_const()?.as_f64()?;
+            let r = rhs.as_const()?.as_f64()?;
+            Some(Constant::Bool(pred.eval(l, r)))
+        }
+        Inst::Cast { op, arg, .. } => {
+            let c = arg.as_const()?;
+            fold_cast(*op, c)
+        }
+        Inst::Select {
+            cond,
+            then_value,
+            else_value,
+            ..
+        } => {
+            let c = cond.as_const()?.as_bool()?;
+            let chosen = if c { then_value } else { else_value };
+            chosen.as_const()
+        }
+        _ => None,
+    }
+}
+
+fn fold_binary(op: BinOp, l: Constant, r: Constant) -> Option<Constant> {
+    use BinOp::*;
+    if op.is_float() {
+        let a = l.as_f64()?;
+        let b = r.as_f64()?;
+        let v = match op {
+            Fadd => a + b,
+            Fsub => a - b,
+            Fmul => a * b,
+            Fdiv => a / b,
+            Frem => a % b,
+            _ => unreachable!("is_float covers all float opcodes"),
+        };
+        return Some(Constant::f64(v));
+    }
+    // Bitwise ops on booleans.
+    if let (Some(a), Some(b)) = (l.as_bool(), r.as_bool()) {
+        let v = match op {
+            And => a & b,
+            Or => a | b,
+            Xor => a ^ b,
+            _ => return None,
+        };
+        return Some(Constant::Bool(v));
+    }
+    let a = l.as_i64()?;
+    let b = r.as_i64()?;
+    let v = match op {
+        Add => a.wrapping_add(b),
+        Sub => a.wrapping_sub(b),
+        Mul => a.wrapping_mul(b),
+        // Division traps on zero / overflow; leave it to run time.
+        Sdiv => {
+            if b == 0 || (a == i64::MIN && b == -1) {
+                return None;
+            }
+            a / b
+        }
+        Srem => {
+            if b == 0 || (a == i64::MIN && b == -1) {
+                return None;
+            }
+            a % b
+        }
+        And => a & b,
+        Or => a | b,
+        Xor => a ^ b,
+        Shl => a.wrapping_shl((b & 63) as u32),
+        Lshr => ((a as u64).wrapping_shr((b & 63) as u32)) as i64,
+        Ashr => a.wrapping_shr((b & 63) as u32),
+        Fadd | Fsub | Fmul | Fdiv | Frem => unreachable!("handled above"),
+    };
+    Some(Constant::I64(v))
+}
+
+fn fold_cast(op: CastOp, c: Constant) -> Option<Constant> {
+    match op {
+        CastOp::Sitofp => Some(Constant::f64(c.as_i64()? as f64)),
+        CastOp::Fptosi => Some(Constant::I64(saturating_f64_to_i64(c.as_f64()?))),
+        CastOp::Zext => Some(Constant::I64(c.as_bool()? as i64)),
+        CastOp::Trunc => Some(Constant::Bool(c.as_i64()? & 1 == 1)),
+        CastOp::Bitcast => match c {
+            Constant::I64(v) => Some(Constant::F64Bits(v as u64)),
+            Constant::F64Bits(bits) => Some(Constant::I64(bits as i64)),
+            _ => None,
+        },
+        // Pointer casts are not foldable (no constant pointers but null).
+        CastOp::Ptrtoint | CastOp::Inttoptr => None,
+    }
+}
+
+/// Saturating float→int conversion matching the interpreter (`as` in Rust):
+/// NaN becomes 0, out-of-range values clamp.
+pub fn saturating_f64_to_i64(v: f64) -> i64 {
+    if v.is_nan() {
+        0
+    } else if v >= i64::MAX as f64 {
+        i64::MAX
+    } else if v <= i64::MIN as f64 {
+        i64::MIN
+    } else {
+        v as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::IcmpPred;
+    use crate::types::Type;
+    use crate::verify::verify_function;
+
+    #[test]
+    fn folds_arithmetic_chain() {
+        let mut b = FunctionBuilder::new("f", &[], Type::I64);
+        let x = b.binary(BinOp::Add, Type::I64, Value::i64(2), Value::i64(3));
+        let y = b.binary(BinOp::Mul, Type::I64, x, Value::i64(4));
+        b.ret(Some(y));
+        let mut f = b.finish();
+        let n = constant_fold(&mut f);
+        assert_eq!(n, 2);
+        verify_function(&f).unwrap();
+        let term = f.block(f.entry()).terminator().unwrap();
+        assert_eq!(
+            *f.inst(term),
+            Inst::Ret {
+                value: Some(Value::i64(20))
+            }
+        );
+    }
+
+    #[test]
+    fn does_not_fold_division_by_zero() {
+        let mut b = FunctionBuilder::new("f", &[], Type::I64);
+        let x = b.binary(BinOp::Sdiv, Type::I64, Value::i64(1), Value::i64(0));
+        b.ret(Some(x));
+        let mut f = b.finish();
+        assert_eq!(constant_fold(&mut f), 0);
+    }
+
+    #[test]
+    fn does_not_fold_min_div_minus_one() {
+        let mut b = FunctionBuilder::new("f", &[], Type::I64);
+        let x = b.binary(BinOp::Sdiv, Type::I64, Value::i64(i64::MIN), Value::i64(-1));
+        b.ret(Some(x));
+        let mut f = b.finish();
+        assert_eq!(constant_fold(&mut f), 0);
+    }
+
+    #[test]
+    fn folds_comparison_and_select() {
+        let mut b = FunctionBuilder::new("f", &[], Type::I64);
+        let c = b.icmp(IcmpPred::Slt, Value::i64(1), Value::i64(2));
+        let s = b.select(Type::I64, c, Value::i64(10), Value::i64(20));
+        b.ret(Some(s));
+        let mut f = b.finish();
+        assert_eq!(constant_fold(&mut f), 2);
+        let term = f.block(f.entry()).terminator().unwrap();
+        assert_eq!(
+            *f.inst(term),
+            Inst::Ret {
+                value: Some(Value::i64(10))
+            }
+        );
+    }
+
+    #[test]
+    fn folds_float_ops_and_casts() {
+        assert_eq!(
+            fold_binary(BinOp::Fmul, Constant::f64(3.0), Constant::f64(0.5)),
+            Some(Constant::f64(1.5))
+        );
+        assert_eq!(
+            fold_cast(CastOp::Sitofp, Constant::I64(7)),
+            Some(Constant::f64(7.0))
+        );
+        assert_eq!(
+            fold_cast(CastOp::Fptosi, Constant::f64(f64::NAN)),
+            Some(Constant::I64(0))
+        );
+        assert_eq!(
+            fold_cast(CastOp::Fptosi, Constant::f64(1e300)),
+            Some(Constant::I64(i64::MAX))
+        );
+    }
+
+    #[test]
+    fn wrapping_semantics() {
+        assert_eq!(
+            fold_binary(BinOp::Add, Constant::I64(i64::MAX), Constant::I64(1)),
+            Some(Constant::I64(i64::MIN))
+        );
+        assert_eq!(
+            fold_binary(BinOp::Shl, Constant::I64(1), Constant::I64(64)),
+            Some(Constant::I64(1)) // shift masked to 0
+        );
+    }
+
+    #[test]
+    fn bool_bitwise_folds() {
+        assert_eq!(
+            fold_binary(BinOp::Xor, Constant::Bool(true), Constant::Bool(true)),
+            Some(Constant::Bool(false))
+        );
+    }
+}

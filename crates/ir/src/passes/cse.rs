@@ -1,0 +1,298 @@
+//! Dominator-scoped common-subexpression elimination (a light GVN).
+//!
+//! Pure value-producing instructions (arithmetic, comparisons, casts,
+//! selects, GEPs) with identical opcodes and operands compute identical
+//! values; a later occurrence dominated by an earlier one is replaced by
+//! it. Loads, stores, calls, phis, and allocas are never merged (loads
+//! may observe different memory; calls may have effects; allocas are
+//! distinct objects).
+//!
+//! NOTE: this pass — like every optimization here — must run *before*
+//! the IPAS duplication pass: it would otherwise merge the shadow
+//! computations with their originals and disable detection. That is
+//! exactly why the paper performs protection "after all user-level
+//! optimizations" (§3, step 4).
+
+use std::collections::HashMap;
+
+use crate::dom::DomTree;
+use crate::function::{BlockId, Function, InstId};
+use crate::inst::{BinOp, CastOp, FcmpPred, IcmpPred, Inst};
+use crate::types::Type;
+use crate::value::Value;
+
+/// The opcode-specific part of an expression key. An exact enum (not a
+/// hash) so distinct operations can never collide.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum Detail {
+    Binary(BinOp, Type),
+    Icmp(IcmpPred),
+    Fcmp(FcmpPred),
+    Cast(CastOp, Type),
+    Select(Type),
+    Gep(Type),
+}
+
+/// A hashable key identifying a pure computation.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct ExprKey {
+    detail: Detail,
+    operands: Vec<Value>,
+}
+
+fn key_of(inst: &Inst) -> Option<ExprKey> {
+    let detail = match inst {
+        Inst::Binary { op, ty, .. } => Detail::Binary(*op, *ty),
+        Inst::Icmp { pred, .. } => Detail::Icmp(*pred),
+        Inst::Fcmp { pred, .. } => Detail::Fcmp(*pred),
+        Inst::Cast { op, to, .. } => Detail::Cast(*op, *to),
+        Inst::Select { ty, .. } => Detail::Select(*ty),
+        Inst::Gep { elem_ty, .. } => Detail::Gep(*elem_ty),
+        _ => return None,
+    };
+    Some(ExprKey {
+        detail,
+        operands: inst.operands(),
+    })
+}
+
+/// Runs dominator-scoped CSE. Returns the number of instructions merged.
+pub fn eliminate_common_subexpressions(func: &mut Function) -> usize {
+    let dt = DomTree::compute(func);
+    let mut children: Vec<Vec<BlockId>> = vec![Vec::new(); func.num_blocks()];
+    for bb in func.block_ids() {
+        if let Some(parent) = dt.idom(bb) {
+            children[parent.index()].push(bb);
+        }
+    }
+
+    // Scoped walk: available expressions accumulate down the dominator
+    // tree and are popped on the way back up.
+    let mut available: HashMap<ExprKey, Vec<InstId>> = HashMap::new();
+    let mut replacements: HashMap<InstId, Value> = HashMap::new();
+
+    struct Frame {
+        bb: BlockId,
+        child_idx: usize,
+        defined: Vec<ExprKey>,
+    }
+    let mut stack = Vec::new();
+
+    let enter = |func: &Function,
+                     available: &mut HashMap<ExprKey, Vec<InstId>>,
+                     replacements: &mut HashMap<InstId, Value>,
+                     bb: BlockId|
+     -> Vec<ExprKey> {
+        let mut defined = Vec::new();
+        for &id in func.block(bb).insts() {
+            // Resolve operands through already-planned replacements so
+            // chains of equal expressions merge in one pass.
+            let mut inst = func.inst(id).clone();
+            inst.map_operands(|v| match v {
+                Value::Inst(d) => replacements.get(&d).copied().unwrap_or(v),
+                other => other,
+            });
+            let Some(key) = key_of(&inst) else { continue };
+            if let Some(stack) = available.get(&key) {
+                if let Some(&leader) = stack.last() {
+                    replacements.insert(id, Value::inst(leader));
+                    continue;
+                }
+            }
+            available.entry(key.clone()).or_default().push(id);
+            defined.push(key);
+        }
+        defined
+    };
+
+    let defined = enter(func, &mut available, &mut replacements, func.entry());
+    stack.push(Frame {
+        bb: func.entry(),
+        child_idx: 0,
+        defined,
+    });
+    while let Some(frame) = stack.last_mut() {
+        let bb = frame.bb;
+        let idx = frame.child_idx;
+        if idx < children[bb.index()].len() {
+            frame.child_idx += 1;
+            let child = children[bb.index()][idx];
+            let defined = enter(func, &mut available, &mut replacements, child);
+            stack.push(Frame {
+                bb: child,
+                child_idx: 0,
+                defined,
+            });
+        } else {
+            for key in frame.defined.drain(..) {
+                if let Some(v) = available.get_mut(&key) {
+                    v.pop();
+                }
+            }
+            stack.pop();
+        }
+    }
+
+    if replacements.is_empty() {
+        return 0;
+    }
+    let n = replacements.len();
+    func.map_all_operands(|v| match v {
+        Value::Inst(id) => replacements.get(&id).copied().unwrap_or(v),
+        other => other,
+    });
+    for &id in replacements.keys() {
+        if let Some(bb) = func.block_of(id) {
+            func.unlink_inst(bb, id);
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_function;
+    use crate::verify::verify_function;
+
+    #[test]
+    fn merges_identical_expressions_in_block() {
+        let mut f = parse_function(
+            r#"
+fn @f(i64, i64) -> i64 {
+bb0:
+  %v0 = add i64 %arg0, %arg1
+  %v1 = add i64 %arg0, %arg1
+  %v2 = mul i64 %v0, %v1
+  ret %v2
+}
+"#,
+        )
+        .unwrap();
+        assert_eq!(eliminate_common_subexpressions(&mut f), 1);
+        verify_function(&f).unwrap();
+        assert_eq!(f.num_linked_insts(), 3);
+    }
+
+    #[test]
+    fn merges_across_dominating_blocks() {
+        let mut f = parse_function(
+            r#"
+fn @f(i64) -> i64 {
+bb0:
+  %v0 = mul i64 %arg0, 3
+  br bb1
+bb1:
+  %v1 = mul i64 %arg0, 3
+  ret %v1
+}
+"#,
+        )
+        .unwrap();
+        assert_eq!(eliminate_common_subexpressions(&mut f), 1);
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn does_not_merge_across_siblings() {
+        // bb1 and bb2 are dominator-tree siblings: neither's expression
+        // is available in the other.
+        let mut f = parse_function(
+            r#"
+fn @f(i1, i64) -> i64 {
+bb0:
+  condbr %arg0, bb1, bb2
+bb1:
+  %v0 = add i64 %arg1, 5
+  ret %v0
+bb2:
+  %v1 = add i64 %arg1, 5
+  ret %v1
+}
+"#,
+        )
+        .unwrap();
+        assert_eq!(eliminate_common_subexpressions(&mut f), 0);
+    }
+
+    #[test]
+    fn does_not_merge_loads_calls_or_allocas() {
+        let mut f = parse_function(
+            r#"
+fn @f(ptr) -> i64 {
+bb0:
+  %v0 = load i64, %arg0
+  store i64 9, %arg0
+  %v1 = load i64, %arg0
+  %v2 = alloca i64, 1
+  %v3 = alloca i64, 1
+  %v4 = call mpi_rank() -> i64
+  %v5 = call mpi_rank() -> i64
+  %v6 = add i64 %v0, %v1
+  ret %v6
+}
+"#,
+        )
+        .unwrap();
+        assert_eq!(eliminate_common_subexpressions(&mut f), 0);
+    }
+
+    #[test]
+    fn chains_merge_transitively() {
+        let mut f = parse_function(
+            r#"
+fn @f(i64) -> i64 {
+bb0:
+  %v0 = add i64 %arg0, 1
+  %v1 = add i64 %arg0, 1
+  %v2 = mul i64 %v0, 2
+  %v3 = mul i64 %v1, 2
+  %v4 = add i64 %v2, %v3
+  ret %v4
+}
+"#,
+        )
+        .unwrap();
+        // v1 merges into v0; v3's operand resolves to v0, so v3 merges
+        // into v2 in the same pass.
+        assert_eq!(eliminate_common_subexpressions(&mut f), 2);
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn distinguishes_different_predicates_and_types() {
+        let mut f = parse_function(
+            r#"
+fn @f(i64) -> i1 {
+bb0:
+  %v0 = icmp slt %arg0, 5
+  %v1 = icmp sle %arg0, 5
+  %v2 = and i1 %v0, %v1
+  ret %v2
+}
+"#,
+        )
+        .unwrap();
+        assert_eq!(eliminate_common_subexpressions(&mut f), 0);
+    }
+
+    #[test]
+    fn gep_merging_respects_elem_type_and_operands() {
+        let mut f = parse_function(
+            r#"
+fn @f(ptr, i64) -> i64 {
+bb0:
+  %v0 = gep i64 %arg0, %arg1
+  %v1 = gep i64 %arg0, %arg1
+  %v2 = load i64, %v0
+  %v3 = load i64, %v1
+  %v4 = add i64 %v2, %v3
+  ret %v4
+}
+"#,
+        )
+        .unwrap();
+        assert_eq!(eliminate_common_subexpressions(&mut f), 1);
+        verify_function(&f).unwrap();
+    }
+}

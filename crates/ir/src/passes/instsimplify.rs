@@ -1,0 +1,287 @@
+//! Algebraic instruction simplification (a peephole "instcombine lite").
+//!
+//! Rewrites instructions whose result is provably equal to one of their
+//! operands or to a constant, without needing both operands constant
+//! (that is [`crate::passes::constfold`]'s job):
+//!
+//! * `x + 0`, `x - 0`, `x * 1`, `x / 1`, `x | 0`, `x & -1`, `x ^ 0`,
+//!   `x << 0`, `x >> 0` → `x`
+//! * `x * 0`, `x & 0` → `0`; `x ^ x`, `x - x` → `0` (integer only)
+//! * `x % 1` → `0`
+//! * float identities are restricted to cases exact under IEEE-754:
+//!   `x * 1.0`, `x / 1.0` → `x` (note `x + 0.0` is NOT folded: it
+//!   changes `-0.0`)
+//! * `select c, x, x` → `x`; `icmp eq x, x` → `true` (integers)
+//!
+//! Simplified instructions are unlinked and their uses rewritten.
+
+use std::collections::HashMap;
+
+use crate::function::{Function, InstId};
+use crate::inst::{BinOp, IcmpPred, Inst};
+use crate::value::{Constant, Value};
+
+/// Runs algebraic simplification to a fixpoint. Returns the number of
+/// instructions eliminated.
+pub fn simplify_instructions(func: &mut Function) -> usize {
+    let mut total = 0;
+    loop {
+        let mut replacements: HashMap<InstId, Value> = HashMap::new();
+        for bb in func.block_ids() {
+            for &id in func.block(bb).insts() {
+                if let Some(v) = simplify(func.inst(id)) {
+                    replacements.insert(id, v);
+                }
+            }
+        }
+        if replacements.is_empty() {
+            break;
+        }
+        total += replacements.len();
+        func.map_all_operands(|v| match v {
+            Value::Inst(id) => replacements.get(&id).copied().unwrap_or(v),
+            other => other,
+        });
+        for &id in replacements.keys() {
+            let bb = func.block_of(id).expect("simplified inst is linked");
+            func.unlink_inst(bb, id);
+        }
+    }
+    total
+}
+
+/// Returns the value an instruction provably computes, if simpler.
+pub fn simplify(inst: &Inst) -> Option<Value> {
+    match inst {
+        Inst::Binary { op, ty, lhs, rhs } => {
+            if ty.is_float() {
+                return simplify_float(*op, *lhs, *rhs);
+            }
+            simplify_int(*op, *ty, *lhs, *rhs)
+        }
+        Inst::Select {
+            cond: _,
+            then_value,
+            else_value,
+            ..
+        } if then_value == else_value => Some(*then_value),
+        Inst::Icmp { pred, lhs, rhs } if lhs == rhs && !lhs.is_const() => {
+            // x ⋈ x is decided by reflexivity (integers only; the
+            // verifier restricts icmp to int/ptr operands).
+            let v = matches!(pred, IcmpPred::Eq | IcmpPred::Sle | IcmpPred::Sge);
+            Some(Value::bool(v))
+        }
+        _ => None,
+    }
+}
+
+fn as_i64(v: Value) -> Option<i64> {
+    v.as_const().and_then(Constant::as_i64)
+}
+
+fn simplify_int(op: BinOp, ty: crate::types::Type, lhs: Value, rhs: Value) -> Option<Value> {
+    use BinOp::*;
+    let l = as_i64(lhs);
+    let r = as_i64(rhs);
+    // Self-cancelling forms must produce a zero of the operand type:
+    // `xor i1 x, x` is `false`, not the i64 constant 0.
+    let zero = if ty == crate::types::Type::Bool {
+        Value::bool(false)
+    } else {
+        Value::i64(0)
+    };
+    match op {
+        Add => match (l, r) {
+            (Some(0), _) => Some(rhs),
+            (_, Some(0)) => Some(lhs),
+            _ => None,
+        },
+        Sub => {
+            if r == Some(0) {
+                Some(lhs)
+            } else if lhs == rhs && !lhs.is_const() {
+                Some(zero)
+            } else {
+                None
+            }
+        }
+        Mul => match (l, r) {
+            (Some(1), _) => Some(rhs),
+            (_, Some(1)) => Some(lhs),
+            (Some(0), _) | (_, Some(0)) => Some(Value::i64(0)),
+            _ => None,
+        },
+        Sdiv => {
+            // x / 1 = x. (0 / x is NOT folded: x may be 0 and trap.)
+            if r == Some(1) {
+                Some(lhs)
+            } else {
+                None
+            }
+        }
+        Srem => {
+            if r == Some(1) {
+                Some(Value::i64(0))
+            } else {
+                None
+            }
+        }
+        And => match (l, r) {
+            (Some(0), _) | (_, Some(0)) => Some(Value::i64(0)),
+            (Some(-1), _) => Some(rhs),
+            (_, Some(-1)) => Some(lhs),
+            _ if lhs == rhs && !lhs.is_const() => Some(lhs),
+            _ => None,
+        },
+        Or => match (l, r) {
+            (Some(0), _) => Some(rhs),
+            (_, Some(0)) => Some(lhs),
+            (Some(-1), _) | (_, Some(-1)) => Some(Value::i64(-1)),
+            _ if lhs == rhs && !lhs.is_const() => Some(lhs),
+            _ => None,
+        },
+        Xor => {
+            if r == Some(0) {
+                Some(lhs)
+            } else if l == Some(0) {
+                Some(rhs)
+            } else if lhs == rhs && !lhs.is_const() {
+                Some(zero)
+            } else {
+                None
+            }
+        }
+        Shl | Lshr | Ashr => {
+            if r == Some(0) {
+                Some(lhs)
+            } else {
+                None
+            }
+        }
+        Fadd | Fsub | Fmul | Fdiv | Frem => unreachable!("caller dispatched on type"),
+    }
+}
+
+fn simplify_float(op: BinOp, lhs: Value, rhs: Value) -> Option<Value> {
+    use BinOp::*;
+    let r = rhs.as_const().and_then(Constant::as_f64);
+    match op {
+        // Only exact IEEE identities: multiplication/division by 1.0.
+        // (x + 0.0 maps -0.0 to 0.0; x - 0.0 is exact but x may be NaN
+        // with payload semantics we choose not to reason about.)
+        Fmul | Fdiv if r == Some(1.0) => Some(lhs),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::Type;
+    use crate::verify::verify_function;
+
+    fn returned_value(f: &Function) -> Value {
+        let term = f.block(f.entry()).terminator().expect("has terminator");
+        match f.inst(term) {
+            Inst::Ret { value: Some(v) } => *v,
+            other => panic!("expected ret, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn additive_and_multiplicative_identities() {
+        for (op, konst, expect_param) in [
+            (BinOp::Add, 0i64, true),
+            (BinOp::Sub, 0, true),
+            (BinOp::Mul, 1, true),
+            (BinOp::Sdiv, 1, true),
+            (BinOp::Mul, 0, false),
+            (BinOp::Srem, 1, false),
+        ] {
+            let mut b = FunctionBuilder::new("f", &[Type::I64], Type::I64);
+            let v = b.binary(op, Type::I64, Value::param(0), Value::i64(konst));
+            b.ret(Some(v));
+            let mut f = b.finish();
+            let n = simplify_instructions(&mut f);
+            assert_eq!(n, 1, "{op:?} by {konst}");
+            verify_function(&f).unwrap();
+            let got = returned_value(&f);
+            if expect_param {
+                assert_eq!(got, Value::param(0), "{op:?}");
+            } else {
+                assert_eq!(got, Value::i64(0), "{op:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn self_cancelling_forms() {
+        let mut b = FunctionBuilder::new("f", &[Type::I64], Type::I64);
+        let x = Value::param(0);
+        let sub = b.binary(BinOp::Sub, Type::I64, x, x);
+        let xor = b.binary(BinOp::Xor, Type::I64, x, x);
+        let sum = b.binary(BinOp::Add, Type::I64, sub, xor);
+        b.ret(Some(sum));
+        let mut f = b.finish();
+        simplify_instructions(&mut f);
+        // sub and xor fold to 0, then 0 + 0 is left to constfold; the
+        // chain collapses after one constant_fold call.
+        crate::passes::constant_fold(&mut f);
+        assert_eq!(returned_value(&f), Value::i64(0));
+    }
+
+    #[test]
+    fn float_mul_by_one_folds_but_add_zero_does_not() {
+        let mut b = FunctionBuilder::new("f", &[Type::F64], Type::F64);
+        let m = b.binary(BinOp::Fmul, Type::F64, Value::param(0), Value::f64(1.0));
+        let a = b.binary(BinOp::Fadd, Type::F64, m, Value::f64(0.0));
+        b.ret(Some(a));
+        let mut f = b.finish();
+        let n = simplify_instructions(&mut f);
+        assert_eq!(n, 1, "only the fmul folds; fadd 0.0 is not exact");
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn division_by_variable_is_untouched() {
+        let mut b = FunctionBuilder::new("f", &[Type::I64, Type::I64], Type::I64);
+        let v = b.binary(BinOp::Sdiv, Type::I64, Value::i64(0), Value::param(1));
+        b.ret(Some(v));
+        let mut f = b.finish();
+        // 0 / x must stay: x may be zero and the trap is observable.
+        assert_eq!(simplify_instructions(&mut f), 0);
+    }
+
+    #[test]
+    fn reflexive_comparisons() {
+        let mut b = FunctionBuilder::new("f", &[Type::I64], Type::Bool);
+        let c = b.icmp(IcmpPred::Sle, Value::param(0), Value::param(0));
+        b.ret(Some(c));
+        let mut f = b.finish();
+        assert_eq!(simplify_instructions(&mut f), 1);
+        assert_eq!(returned_value(&f), Value::bool(true));
+    }
+
+    #[test]
+    fn select_with_equal_arms() {
+        let mut b = FunctionBuilder::new("f", &[Type::Bool, Type::I64], Type::I64);
+        let s = b.select(Type::I64, Value::param(0), Value::param(1), Value::param(1));
+        b.ret(Some(s));
+        let mut f = b.finish();
+        assert_eq!(simplify_instructions(&mut f), 1);
+        assert_eq!(returned_value(&f), Value::param(1));
+    }
+
+    #[test]
+    fn shift_by_zero() {
+        for op in [BinOp::Shl, BinOp::Lshr, BinOp::Ashr] {
+            let mut b = FunctionBuilder::new("f", &[Type::I64], Type::I64);
+            let v = b.binary(op, Type::I64, Value::param(0), Value::i64(0));
+            b.ret(Some(v));
+            let mut f = b.finish();
+            assert_eq!(simplify_instructions(&mut f), 1, "{op:?}");
+            assert_eq!(returned_value(&f), Value::param(0));
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! Loop-invariant code motion (opt-in).
+//!
+//! Hoists pure, non-trapping instructions whose operands are
+//! loop-invariant out of natural loops into the loop's preheader.
+//! Division and remainder are never hoisted (they trap and hoisting
+//! would introduce the trap on iterations-zero paths); neither are
+//! loads (memory may change inside the loop) nor calls.
+//!
+//! This pass is **not** part of [`crate::passes::optimize_function`]:
+//! the recorded IPAS experiment data was produced by the default
+//! pipeline, and hoisting changes dynamic instruction counts. Enable it
+//! explicitly (`hoist_loop_invariants`) when using the IR library
+//! standalone; rerun campaigns with `IPAS_FRESH=1` afterwards.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::dom::DomTree;
+use crate::function::{BlockId, Function, InstId};
+use crate::inst::{BinOp, Inst};
+use crate::value::Value;
+
+/// A natural loop: its header and full body (header included).
+#[derive(Debug, Clone)]
+struct NaturalLoop {
+    header: BlockId,
+    body: HashSet<BlockId>,
+}
+
+fn find_loops(func: &Function, dt: &DomTree) -> Vec<NaturalLoop> {
+    let preds = func.predecessors();
+    let mut by_header: HashMap<BlockId, HashSet<BlockId>> = HashMap::new();
+    for tail in func.block_ids() {
+        if !dt.is_reachable(tail) {
+            continue;
+        }
+        for header in func.successors(tail) {
+            if !dt.dominates(header, tail) {
+                continue;
+            }
+            let body = by_header.entry(header).or_default();
+            body.insert(header);
+            let mut stack = vec![tail];
+            while let Some(bb) = stack.pop() {
+                if body.insert(bb) {
+                    for &p in &preds[bb.index()] {
+                        stack.push(p);
+                    }
+                }
+            }
+        }
+    }
+    by_header
+        .into_iter()
+        .map(|(header, body)| NaturalLoop { header, body })
+        .collect()
+}
+
+/// The unique predecessor of the header from outside the loop, if any.
+fn preheader(func: &Function, lp: &NaturalLoop) -> Option<BlockId> {
+    let preds = func.predecessors();
+    let outside: Vec<BlockId> = preds[lp.header.index()]
+        .iter()
+        .copied()
+        .filter(|p| !lp.body.contains(p))
+        .collect();
+    match outside.as_slice() {
+        [single] => {
+            // Must branch only to the header (so hoisted code runs iff
+            // the loop is entered).
+            let succs = func.successors(*single);
+            if succs.len() == 1 && succs[0] == lp.header {
+                Some(*single)
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Returns `true` for instructions safe to execute speculatively in the
+/// preheader: pure and non-trapping.
+fn hoistable(inst: &Inst) -> bool {
+    match inst {
+        Inst::Binary { op, .. } => !matches!(op, BinOp::Sdiv | BinOp::Srem),
+        Inst::Icmp { .. } | Inst::Fcmp { .. } | Inst::Cast { .. } | Inst::Select { .. }
+        | Inst::Gep { .. } => true,
+        _ => false,
+    }
+}
+
+/// Hoists loop-invariant instructions. Returns the number moved.
+pub fn hoist_loop_invariants(func: &mut Function) -> usize {
+    let dt = DomTree::compute(func);
+    let loops = find_loops(func, &dt);
+    let inst_blocks = func.inst_blocks();
+    let mut moved = 0;
+
+    for lp in &loops {
+        let Some(pre) = preheader(func, lp) else {
+            continue;
+        };
+        // Values defined outside the loop are invariant; grow the set
+        // with hoisted instructions until a fixpoint.
+        let mut invariant: HashSet<InstId> = HashSet::new();
+        let defined_in_loop = |id: InstId, invariant: &HashSet<InstId>| {
+            !invariant.contains(&id)
+                && inst_blocks
+                    .get(&id)
+                    .map(|bb| lp.body.contains(bb))
+                    .unwrap_or(false)
+        };
+        loop {
+            let mut to_hoist: Vec<(BlockId, InstId)> = Vec::new();
+            for &bb in &lp.body {
+                // In irreducible CFGs a natural-loop body block need not
+                // be dominated by the header; hoisting from such a block
+                // could break SSA dominance. Skip them.
+                if !dt.dominates(lp.header, bb) {
+                    continue;
+                }
+                for &id in func.block(bb).insts() {
+                    if invariant.contains(&id) {
+                        continue;
+                    }
+                    let inst = func.inst(id);
+                    if !hoistable(inst) {
+                        continue;
+                    }
+                    let mut all_invariant = true;
+                    inst.for_each_operand(|v| {
+                        if let Value::Inst(d) = v {
+                            if defined_in_loop(d, &invariant) {
+                                all_invariant = false;
+                            }
+                        }
+                    });
+                    if all_invariant {
+                        to_hoist.push((bb, id));
+                    }
+                }
+            }
+            if to_hoist.is_empty() {
+                break;
+            }
+            for (bb, id) in to_hoist {
+                func.unlink_inst(bb, id);
+                // Insert before the preheader's terminator.
+                let pos = func.block(pre).len() - 1;
+                let inst = func.inst(id).clone();
+                // Relink the same arena slot by rebuilding the list.
+                let mut insts = func.block(pre).insts().to_vec();
+                insts.insert(pos, id);
+                func.set_block_insts(pre, insts);
+                let _ = inst;
+                invariant.insert(id);
+                moved += 1;
+            }
+        }
+    }
+    moved
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_function;
+    use crate::verify::verify_function;
+
+    const LOOP: &str = r#"
+fn @f(i64, i64) -> i64 {
+bb0:
+  br bb1
+bb1:
+  %v0 = phi i64 [bb0: 0, bb2: %v4]
+  %v1 = icmp slt %v0, %arg0
+  condbr %v1, bb2, bb3
+bb2:
+  %v2 = mul i64 %arg1, 3
+  %v3 = add i64 %v0, %v2
+  %v4 = add i64 %v3, 1
+  br bb1
+bb3:
+  ret %v0
+}
+"#;
+
+    #[test]
+    fn hoists_invariant_mul_to_preheader() {
+        let mut f = parse_function(LOOP).unwrap();
+        let moved = hoist_loop_invariants(&mut f);
+        assert_eq!(moved, 1, "{}", crate::printer::print_function(&f, None));
+        verify_function(&f).unwrap();
+        // The mul now sits in bb0 before the br.
+        let entry_ops: Vec<&str> = f
+            .block(f.entry())
+            .insts()
+            .iter()
+            .map(|&id| f.inst(id).opcode_name())
+            .collect();
+        assert_eq!(entry_ops, vec!["mul", "br"]);
+    }
+
+    #[test]
+    fn behaviour_is_preserved() {
+        use ipas_test_interp_shim::run_i64;
+        let mut f = parse_function(LOOP).unwrap();
+        let before = run_i64(&f, &[7, 5]);
+        hoist_loop_invariants(&mut f);
+        let after = run_i64(&f, &[7, 5]);
+        assert_eq!(before, after);
+    }
+
+    // A minimal evaluator for the test above, avoiding a dev-dependency
+    // cycle on the interpreter crate: executes straight-line i64 code
+    // with phis/branches (enough for LOOP).
+    mod ipas_test_interp_shim {
+        use crate::function::Function;
+        use crate::inst::{BinOp, Inst};
+        use crate::value::Value;
+
+        pub fn run_i64(f: &Function, args: &[i64]) -> i64 {
+            let mut regs = vec![0i64; f.num_inst_slots()];
+            let eval = |regs: &Vec<i64>, v: Value| -> i64 {
+                match v {
+                    Value::Inst(id) => regs[id.index()],
+                    Value::Param(n) => args[n as usize],
+                    Value::Const(c) => c.as_i64().or(c.as_bool().map(|b| b as i64)).expect("int"),
+                }
+            };
+            let mut bb = f.entry();
+            let mut prev = None;
+            let mut fuel = 100_000;
+            loop {
+                fuel -= 1;
+                assert!(fuel > 0, "runaway test loop");
+                let insts = f.block(bb).insts().to_vec();
+                let mut updates = Vec::new();
+                for &id in &insts {
+                    match f.inst(id) {
+                        Inst::Phi { incomings, .. } => {
+                            let p = prev.expect("phi not in entry");
+                            let (_, v) =
+                                incomings.iter().find(|(b, _)| *b == p).expect("incoming");
+                            updates.push((id, eval(&regs, *v)));
+                        }
+                        _ => break,
+                    }
+                }
+                for (id, v) in updates {
+                    regs[id.index()] = v;
+                }
+                for &id in &insts {
+                    match f.inst(id) {
+                        Inst::Phi { .. } => {}
+                        Inst::Binary { op, lhs, rhs, .. } => {
+                            let (a, b) = (eval(&regs, *lhs), eval(&regs, *rhs));
+                            regs[id.index()] = match op {
+                                BinOp::Add => a.wrapping_add(b),
+                                BinOp::Mul => a.wrapping_mul(b),
+                                other => panic!("shim does not model {other:?}"),
+                            };
+                        }
+                        Inst::Icmp { pred, lhs, rhs } => {
+                            regs[id.index()] =
+                                pred.eval(eval(&regs, *lhs), eval(&regs, *rhs)) as i64;
+                        }
+                        Inst::Br { target } => {
+                            prev = Some(bb);
+                            bb = *target;
+                        }
+                        Inst::CondBr {
+                            cond,
+                            then_bb,
+                            else_bb,
+                        } => {
+                            let c = eval(&regs, *cond) != 0;
+                            prev = Some(bb);
+                            bb = if c { *then_bb } else { *else_bb };
+                        }
+                        Inst::Ret { value } => {
+                            return eval(&regs, value.expect("returns i64"));
+                        }
+                        other => panic!("shim does not model {other:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn does_not_hoist_division() {
+        let mut f = parse_function(
+            r#"
+fn @f(i64, i64) -> i64 {
+bb0:
+  br bb1
+bb1:
+  %v0 = phi i64 [bb0: 0, bb2: %v3]
+  %v1 = icmp slt %v0, %arg0
+  condbr %v1, bb2, bb3
+bb2:
+  %v2 = sdiv i64 100, %arg1
+  %v3 = add i64 %v0, %v2
+  br bb1
+bb3:
+  ret %v0
+}
+"#,
+        )
+        .unwrap();
+        // arg1 may be zero; if arg0 <= 0 the loop never runs and the
+        // division must not execute. LICM must leave it in place.
+        assert_eq!(hoist_loop_invariants(&mut f), 0);
+    }
+
+    #[test]
+    fn does_not_hoist_variant_computation() {
+        let mut f = parse_function(
+            r#"
+fn @f(i64) -> i64 {
+bb0:
+  br bb1
+bb1:
+  %v0 = phi i64 [bb0: 0, bb2: %v2]
+  %v1 = icmp slt %v0, %arg0
+  condbr %v1, bb2, bb3
+bb2:
+  %v2 = add i64 %v0, 1
+  br bb1
+bb3:
+  ret %v0
+}
+"#,
+        )
+        .unwrap();
+        assert_eq!(hoist_loop_invariants(&mut f), 0);
+    }
+
+    #[test]
+    fn hoists_chains_transitively() {
+        let mut f = parse_function(
+            r#"
+fn @f(i64, i64) -> i64 {
+bb0:
+  br bb1
+bb1:
+  %v0 = phi i64 [bb0: 0, bb2: %v5]
+  %v1 = icmp slt %v0, %arg0
+  condbr %v1, bb2, bb3
+bb2:
+  %v2 = mul i64 %arg1, 3
+  %v3 = add i64 %v2, 7
+  %v4 = add i64 %v0, %v3
+  %v5 = add i64 %v4, 1
+  br bb1
+bb3:
+  ret %v0
+}
+"#,
+        )
+        .unwrap();
+        // v2 and v3 are invariant (v3 depends on hoisted v2); v4/v5 are not.
+        assert_eq!(hoist_loop_invariants(&mut f), 2);
+        verify_function(&f).unwrap();
+    }
+}

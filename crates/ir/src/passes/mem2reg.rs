@@ -1,0 +1,459 @@
+//! Promotion of stack slots to SSA registers (the classic "mem2reg").
+//!
+//! An alloca is *promotable* when it allocates a single slot and every use
+//! is either the address of a [`Inst::Load`] or the address of a
+//! [`Inst::Store`] (never the stored value, a GEP base, or a call
+//! argument — those escape). Promotable allocas are rewritten into pruned
+//! SSA form with phi nodes placed at iterated dominance frontiers, and the
+//! alloca, its loads, and its stores are unlinked.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::dom::DomTree;
+use crate::function::{BlockId, Function, InstId};
+use crate::inst::Inst;
+use crate::types::Type;
+use crate::value::{Constant, Value};
+
+/// Runs mem2reg on `func`. Returns the number of allocas promoted.
+pub fn promote_memory_to_registers(func: &mut Function) -> usize {
+    let candidates = find_promotable(func);
+    if candidates.is_empty() {
+        return 0;
+    }
+    let dt = DomTree::compute(func);
+    let df = dt.dominance_frontiers(func);
+    let inst_blocks = func.inst_blocks();
+
+    // Dominator-tree children (for the renaming walk).
+    let mut children: Vec<Vec<BlockId>> = vec![Vec::new(); func.num_blocks()];
+    for bb in func.block_ids() {
+        if let Some(parent) = dt.idom(bb) {
+            children[parent.index()].push(bb);
+        }
+    }
+
+    let count = candidates.len();
+    let slot_of: HashMap<InstId, usize> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, (id, _))| (*id, i))
+        .collect();
+    let slot_ty: Vec<Type> = candidates.iter().map(|(_, ty)| *ty).collect();
+
+    // --- Phi placement at iterated dominance frontiers. -------------------
+    // def_blocks[slot] = blocks containing a store to the slot.
+    let mut def_blocks: Vec<HashSet<BlockId>> = vec![HashSet::new(); count];
+    for bb in func.block_ids() {
+        for &id in func.block(bb).insts() {
+            if let Inst::Store { addr: Value::Inst(a), .. } = func.inst(id) {
+                if let Some(&slot) = slot_of.get(a) {
+                    def_blocks[slot].insert(bb);
+                }
+            }
+        }
+    }
+
+    // phis[(block, slot)] = phi inst id.
+    let mut phis: HashMap<(BlockId, usize), InstId> = HashMap::new();
+    for slot in 0..count {
+        let mut work: Vec<BlockId> = def_blocks[slot].iter().copied().collect();
+        let mut placed: HashSet<BlockId> = HashSet::new();
+        while let Some(bb) = work.pop() {
+            for &frontier in &df[bb.index()] {
+                if placed.insert(frontier) {
+                    let phi = func.insert_inst(
+                        frontier,
+                        0,
+                        Inst::Phi {
+                            ty: slot_ty[slot],
+                            incomings: Vec::new(),
+                        },
+                    );
+                    phis.insert((frontier, slot), phi);
+                    if !def_blocks[slot].contains(&frontier) {
+                        work.push(frontier);
+                    }
+                }
+            }
+        }
+    }
+
+    // --- Renaming walk over the dominator tree. ---------------------------
+    // Value replacing each promoted load.
+    let mut replacements: HashMap<InstId, Value> = HashMap::new();
+    // Instructions to unlink: (block, inst).
+    let mut to_unlink: Vec<(BlockId, InstId)> = Vec::new();
+
+    struct Frame {
+        bb: BlockId,
+        child_idx: usize,
+        pushed: Vec<usize>, // slots whose stack we pushed in this frame
+    }
+
+    let zero_of = |ty: Type| -> Value {
+        match ty {
+            Type::I64 => Value::i64(0),
+            Type::F64 => Value::f64(0.0),
+            Type::Bool => Value::bool(false),
+            Type::Ptr => Value::Const(Constant::Null),
+            Type::Void => unreachable!("void alloca rejected by find_promotable"),
+        }
+    };
+
+    let mut stacks: Vec<Vec<Value>> = (0..count).map(|_| Vec::new()).collect();
+    let mut stack_frames = vec![Frame {
+        bb: func.entry(),
+        child_idx: 0,
+        pushed: Vec::new(),
+    }];
+    let mut visited_entry: HashSet<BlockId> = HashSet::new();
+    visited_entry.insert(func.entry());
+
+    // First visit processing happens when the frame is pushed.
+    let process_block = |func: &mut Function,
+                             stacks: &mut Vec<Vec<Value>>,
+                             replacements: &mut HashMap<InstId, Value>,
+                             to_unlink: &mut Vec<(BlockId, InstId)>,
+                             bb: BlockId|
+     -> Vec<usize> {
+        let mut pushed = Vec::new();
+        let insts: Vec<InstId> = func.block(bb).insts().to_vec();
+        for id in insts {
+            // Phi nodes we inserted define new values for their slot.
+            if let Some(&slot) = phis
+                .iter()
+                .find(|((pbb, _), pid)| *pbb == bb && **pid == id)
+                .map(|((_, s), _)| s)
+            {
+                stacks[slot].push(Value::inst(id));
+                pushed.push(slot);
+                continue;
+            }
+            match func.inst(id).clone() {
+                Inst::Load { addr: Value::Inst(a), .. } => {
+                    if let Some(&slot) = slot_of.get(&a) {
+                        let cur = stacks[slot]
+                            .last()
+                            .copied()
+                            .unwrap_or_else(|| zero_of(slot_ty[slot]));
+                        replacements.insert(id, cur);
+                        to_unlink.push((bb, id));
+                    }
+                }
+                Inst::Store {
+                    addr: Value::Inst(a),
+                    value,
+                    ..
+                } => {
+                    if let Some(&slot) = slot_of.get(&a) {
+                        stacks[slot].push(value);
+                        pushed.push(slot);
+                        to_unlink.push((bb, id));
+                    }
+                }
+                Inst::Alloca { .. }
+                    if slot_of.contains_key(&id) => {
+                        to_unlink.push((bb, id));
+                    }
+                _ => {}
+            }
+        }
+        // Fill phi incomings of successors.
+        for succ in func.successors(bb) {
+            for slot in 0..count {
+                if let Some(&phi) = phis.get(&(succ, slot)) {
+                    let cur = stacks[slot]
+                        .last()
+                        .copied()
+                        .unwrap_or_else(|| zero_of(slot_ty[slot]));
+                    if let Inst::Phi { incomings, .. } = func.inst_mut(phi) {
+                        if !incomings.iter().any(|(p, _)| *p == bb) {
+                            incomings.push((bb, cur));
+                        }
+                    }
+                }
+            }
+        }
+        pushed
+    };
+
+    // Seed: process the entry block.
+    let pushed = process_block(
+        func,
+        &mut stacks,
+        &mut replacements,
+        &mut to_unlink,
+        func.entry(),
+    );
+    stack_frames.last_mut().expect("entry frame").pushed = pushed;
+
+    while let Some(frame) = stack_frames.last_mut() {
+        let bb = frame.bb;
+        let idx = frame.child_idx;
+        if idx < children[bb.index()].len() {
+            frame.child_idx += 1;
+            let child = children[bb.index()][idx];
+            let pushed = process_block(
+                func,
+                &mut stacks,
+                &mut replacements,
+                &mut to_unlink,
+                child,
+            );
+            stack_frames.push(Frame {
+                bb: child,
+                child_idx: 0,
+                pushed,
+            });
+        } else {
+            for slot in frame.pushed.drain(..) {
+                stacks[slot].pop();
+            }
+            stack_frames.pop();
+        }
+    }
+
+    // Blocks unreachable from the entry are not visited by the dominator
+    // walk, but may still hold loads/stores of promoted slots (e.g. code
+    // after an always-terminating `if`). Replace those loads with the
+    // zero value and drop the stores so no dangling uses remain.
+    for bb in func.block_ids() {
+        if dt.is_reachable(bb) {
+            continue;
+        }
+        let insts: Vec<InstId> = func.block(bb).insts().to_vec();
+        for id in insts {
+            match func.inst(id).clone() {
+                Inst::Load { addr: Value::Inst(a), .. } => {
+                    if let Some(&slot) = slot_of.get(&a) {
+                        replacements.insert(id, zero_of(slot_ty[slot]));
+                        to_unlink.push((bb, id));
+                    }
+                }
+                Inst::Store { addr: Value::Inst(a), .. }
+                    if slot_of.contains_key(&a) => {
+                        to_unlink.push((bb, id));
+                    }
+                _ => {}
+            }
+        }
+    }
+
+    // Resolve replacement chains (a load may be replaced by another
+    // promoted load's value).
+    let resolve = |mut v: Value, replacements: &HashMap<InstId, Value>| -> Value {
+        let mut hops = 0;
+        while let Value::Inst(id) = v {
+            match replacements.get(&id) {
+                Some(&next) => {
+                    v = next;
+                    hops += 1;
+                    assert!(hops < 1_000_000, "replacement cycle in mem2reg");
+                }
+                None => break,
+            }
+        }
+        v
+    };
+
+    func.map_all_operands(|v| resolve(v, &replacements));
+    for (bb, id) in to_unlink {
+        func.unlink_inst(bb, id);
+    }
+
+    // `inst_blocks` was only needed to keep borrows simple; silence unused.
+    let _ = inst_blocks;
+
+    count
+}
+
+/// Finds promotable allocas: single-slot, address-only uses in load/store.
+fn find_promotable(func: &Function) -> Vec<(InstId, Type)> {
+    let mut allocas: HashMap<InstId, Type> = HashMap::new();
+    for bb in func.block_ids() {
+        for &id in func.block(bb).insts() {
+            if let Inst::Alloca { ty, count } = func.inst(id) {
+                if *count == 1 && *ty != Type::Void {
+                    allocas.insert(id, *ty);
+                }
+            }
+        }
+    }
+    if allocas.is_empty() {
+        return Vec::new();
+    }
+    // Disqualify allocas with escaping uses.
+    let mut escaped: HashSet<InstId> = HashSet::new();
+    for bb in func.block_ids() {
+        for &id in func.block(bb).insts() {
+            let inst = func.inst(id);
+            match inst {
+                Inst::Load { addr, ty } => {
+                    if let Value::Inst(a) = addr {
+                        if let Some(slot_ty) = allocas.get(a) {
+                            if slot_ty != ty {
+                                escaped.insert(*a);
+                            }
+                        }
+                    }
+                }
+                Inst::Store { addr, value, ty } => {
+                    if let Value::Inst(a) = addr {
+                        if let Some(slot_ty) = allocas.get(a) {
+                            if slot_ty != ty {
+                                escaped.insert(*a);
+                            }
+                        }
+                    }
+                    // Storing the *address itself* escapes it.
+                    if let Value::Inst(v) = value {
+                        if allocas.contains_key(v) {
+                            escaped.insert(*v);
+                        }
+                    }
+                }
+                other => {
+                    other.for_each_operand(|v| {
+                        if let Value::Inst(a) = v {
+                            if allocas.contains_key(&a) {
+                                escaped.insert(a);
+                            }
+                        }
+                    });
+                }
+            }
+        }
+    }
+    let mut out: Vec<(InstId, Type)> = allocas
+        .into_iter()
+        .filter(|(id, _)| !escaped.contains(id))
+        .collect();
+    out.sort_by_key(|(id, _)| *id);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{BinOp, IcmpPred};
+    use crate::verify::verify_function;
+
+    /// let mut x = 0; if c { x = 1 } else { x = 2 }; return x;
+    fn diamond_local() -> Function {
+        let mut b = FunctionBuilder::new("f", &[Type::Bool], Type::I64);
+        let entry = b.entry_block();
+        let then_bb = b.new_block();
+        let else_bb = b.new_block();
+        let join = b.new_block();
+        b.switch_to_block(entry);
+        let slot = b.alloca(Type::I64, 1);
+        b.store(Type::I64, Value::i64(0), slot);
+        b.cond_br(Value::param(0), then_bb, else_bb);
+        b.switch_to_block(then_bb);
+        b.store(Type::I64, Value::i64(1), slot);
+        b.br(join);
+        b.switch_to_block(else_bb);
+        b.store(Type::I64, Value::i64(2), slot);
+        b.br(join);
+        b.switch_to_block(join);
+        let v = b.load(Type::I64, slot);
+        b.ret(Some(v));
+        b.finish()
+    }
+
+    #[test]
+    fn promotes_diamond_with_phi() {
+        let mut f = diamond_local();
+        let promoted = promote_memory_to_registers(&mut f);
+        assert_eq!(promoted, 1);
+        verify_function(&f).unwrap();
+        // A phi must exist in the join block; no load/store/alloca remain.
+        let mut has_phi = false;
+        for bb in f.block_ids() {
+            for &id in f.block(bb).insts() {
+                match f.inst(id) {
+                    Inst::Phi { .. } => has_phi = true,
+                    Inst::Load { .. } | Inst::Store { .. } | Inst::Alloca { .. } => {
+                        panic!("memory op survived mem2reg")
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(has_phi);
+    }
+
+    #[test]
+    fn promotes_loop_counter() {
+        // i = 0; while (i < n) i = i + 1; return i;
+        let mut b = FunctionBuilder::new("count", &[Type::I64], Type::I64);
+        let entry = b.entry_block();
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.switch_to_block(entry);
+        let slot = b.alloca(Type::I64, 1);
+        b.store(Type::I64, Value::i64(0), slot);
+        b.br(header);
+        b.switch_to_block(header);
+        let i = b.load(Type::I64, slot);
+        let c = b.icmp(IcmpPred::Slt, i, Value::param(0));
+        b.cond_br(c, body, exit);
+        b.switch_to_block(body);
+        let i2 = b.load(Type::I64, slot);
+        let inc = b.binary(BinOp::Add, Type::I64, i2, Value::i64(1));
+        b.store(Type::I64, inc, slot);
+        b.br(header);
+        b.switch_to_block(exit);
+        let out = b.load(Type::I64, slot);
+        b.ret(Some(out));
+        let mut f = b.finish();
+        assert_eq!(promote_memory_to_registers(&mut f), 1);
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn escaping_alloca_is_not_promoted() {
+        let mut b = FunctionBuilder::new("esc", &[], Type::I64);
+        let slot = b.alloca(Type::I64, 1);
+        // GEP use escapes the alloca.
+        let p = b.gep(Type::I64, slot, Value::i64(0));
+        b.store(Type::I64, Value::i64(3), p);
+        let v = b.load(Type::I64, slot);
+        b.ret(Some(v));
+        let mut f = b.finish();
+        assert_eq!(promote_memory_to_registers(&mut f), 0);
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn multi_slot_alloca_is_not_promoted() {
+        let mut b = FunctionBuilder::new("arr", &[], Type::Void);
+        let slot = b.alloca(Type::I64, 4);
+        b.store(Type::I64, Value::i64(1), slot);
+        b.ret(None);
+        let mut f = b.finish();
+        assert_eq!(promote_memory_to_registers(&mut f), 0);
+    }
+
+    #[test]
+    fn load_before_store_yields_zero() {
+        let mut b = FunctionBuilder::new("uninit", &[], Type::I64);
+        let slot = b.alloca(Type::I64, 1);
+        let v = b.load(Type::I64, slot);
+        b.ret(Some(v));
+        let mut f = b.finish();
+        assert_eq!(promote_memory_to_registers(&mut f), 1);
+        verify_function(&f).unwrap();
+        // The return should now be the zero constant.
+        let term = f.block(f.entry()).terminator().unwrap();
+        assert_eq!(
+            *f.inst(term),
+            Inst::Ret {
+                value: Some(Value::i64(0))
+            }
+        );
+    }
+}

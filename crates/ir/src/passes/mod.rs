@@ -1,0 +1,57 @@
+//! IR-to-IR transformation passes.
+//!
+//! The SciL frontend lowers locals to `alloca`/`load`/`store`; the standard
+//! pipeline ([`optimize_function`], [`optimize_module`]) then runs
+//! [`mem2reg`] to build pruned SSA, followed by [`constfold`] and [`dce`]
+//! cleanups. The IPAS paper applies protection *after* user-level
+//! optimizations (Section 3, step 4), which is why the duplication pass in
+//! `ipas-core` consumes the output of this pipeline.
+
+pub mod constfold;
+pub mod cse;
+pub mod dce;
+pub mod instsimplify;
+pub mod licm;
+pub mod mem2reg;
+pub mod simplifycfg;
+
+pub use constfold::constant_fold;
+pub use cse::eliminate_common_subexpressions;
+pub use dce::eliminate_dead_code;
+pub use instsimplify::simplify_instructions;
+pub use licm::hoist_loop_invariants;
+pub use mem2reg::promote_memory_to_registers;
+pub use simplifycfg::simplify_cfg;
+
+use crate::function::Function;
+use crate::module::Module;
+
+/// Runs the standard optimization pipeline on one function:
+/// mem2reg → (constant folding → algebraic simplification → CSE → DCE →
+/// CFG simplification) to fixpoint.
+///
+/// Protection (the IPAS duplication pass) must run *after* this
+/// pipeline: CSE in particular would merge shadow computations back
+/// into their originals, which is exactly the interaction §3 step 4 of
+/// the paper avoids by protecting post-optimization code.
+pub fn optimize_function(func: &mut Function) {
+    promote_memory_to_registers(func);
+    loop {
+        let folded = constant_fold(func);
+        let simplified = simplify_instructions(func);
+        let merged = eliminate_common_subexpressions(func);
+        let removed = eliminate_dead_code(func);
+        let blocks = simplify_cfg(func);
+        if folded == 0 && simplified == 0 && merged == 0 && removed == 0 && blocks == 0 {
+            break;
+        }
+    }
+}
+
+/// Runs [`optimize_function`] on every function of the module.
+pub fn optimize_module(module: &mut Module) {
+    let ids: Vec<_> = module.functions().map(|(id, _)| id).collect();
+    for id in ids {
+        optimize_function(module.function_mut(id));
+    }
+}

@@ -1,0 +1,375 @@
+//! Control-flow graph simplification.
+//!
+//! Three classic cleanups, run to a fixpoint:
+//!
+//! 1. **Branch threading** — `condbr true/false, a, b` becomes `br`;
+//! 2. **Block merging** — a block whose only successor has exactly one
+//!    predecessor is merged with it (phi-free successors only);
+//! 3. **Unreachable-block pruning** — blocks unreachable from the entry
+//!    are removed entirely (the function is rebuilt with compact block
+//!    ids; instruction ids are preserved).
+//!
+//! The frontend's lowering leaves chains of single-predecessor blocks
+//! (merge blocks, loop preheaders); running this pass after mem2reg
+//! yields IR much closer to what Clang+LLVM give the original IPAS.
+
+use std::collections::HashMap;
+
+use crate::dom::DomTree;
+use crate::function::{BlockId, Function, InstId};
+use crate::inst::Inst;
+use crate::value::Value;
+
+/// Simplifies `func`'s CFG to a fixpoint. Returns the number of blocks
+/// removed (by merging or unreachability).
+pub fn simplify_cfg(func: &mut Function) -> usize {
+    let before = func.num_blocks();
+    loop {
+        let changed = thread_constant_branches(func)
+            | repair_phis(func)
+            | collapse_single_incoming_phis(func)
+            | merge_linear_chains(func);
+        prune_unreachable(func);
+        if !changed {
+            break;
+        }
+    }
+    before - func.num_blocks()
+}
+
+/// Drops phi incomings whose source block is no longer a CFG
+/// predecessor (branch threading removes edges without touching phis).
+fn repair_phis(func: &mut Function) -> bool {
+    let preds = func.predecessors();
+    let mut changed = false;
+    for bb in func.block_ids().collect::<Vec<_>>() {
+        for &id in func.block(bb).insts().to_vec().iter() {
+            let actual = &preds[bb.index()];
+            if let Inst::Phi { incomings, .. } = func.inst_mut(id) {
+                let n = incomings.len();
+                incomings.retain(|(p, _)| actual.contains(p));
+                changed |= incomings.len() != n;
+            }
+        }
+    }
+    changed
+}
+
+/// Replaces phis with exactly one incoming edge by that value (created
+/// by branch threading and pruning).
+fn collapse_single_incoming_phis(func: &mut Function) -> bool {
+    let mut replacements: HashMap<InstId, Value> = HashMap::new();
+    for bb in func.block_ids().collect::<Vec<_>>() {
+        for &id in func.block(bb).insts().to_vec().iter() {
+            if let Inst::Phi { incomings, .. } = func.inst(id) {
+                if incomings.len() == 1 {
+                    replacements.insert(id, incomings[0].1);
+                }
+            }
+        }
+    }
+    if replacements.is_empty() {
+        return false;
+    }
+    // Resolve chains of collapsing phis.
+    let resolve = |mut v: Value| {
+        let mut hops = 0;
+        while let Value::Inst(id) = v {
+            match replacements.get(&id) {
+                Some(&next) => {
+                    v = next;
+                    hops += 1;
+                    assert!(hops <= replacements.len(), "phi replacement cycle");
+                }
+                None => break,
+            }
+        }
+        v
+    };
+    func.map_all_operands(resolve);
+    for &id in replacements.keys() {
+        if let Some(bb) = func.block_of(id) {
+            func.unlink_inst(bb, id);
+        }
+    }
+    true
+}
+
+/// Rewrites `condbr` on constant conditions into unconditional `br`.
+fn thread_constant_branches(func: &mut Function) -> bool {
+    let mut changed = false;
+    for bb in func.block_ids().collect::<Vec<_>>() {
+        let Some(term) = func.block(bb).terminator() else {
+            continue;
+        };
+        if let Inst::CondBr {
+            cond: Value::Const(c),
+            then_bb,
+            else_bb,
+        } = *func.inst(term)
+        {
+            let target = if c.as_bool().unwrap_or(false) {
+                then_bb
+            } else {
+                else_bb
+            };
+            *func.inst_mut(term) = Inst::Br { target };
+            changed = true;
+        }
+        // `condbr c, x, x` is an unconditional branch too.
+        if let Inst::CondBr {
+            then_bb, else_bb, ..
+        } = *func.inst(term)
+        {
+            if then_bb == else_bb {
+                *func.inst_mut(term) = Inst::Br { target: then_bb };
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+/// Merges `a -> b` when `a` ends in `br b`, `b`'s only predecessor is
+/// `a`, `b` has no phis, and `b` is not the entry.
+fn merge_linear_chains(func: &mut Function) -> bool {
+    let preds = func.predecessors();
+    let mut changed = false;
+    for a in func.block_ids().collect::<Vec<_>>() {
+        let Some(term) = func.block(a).terminator() else {
+            continue;
+        };
+        let Inst::Br { target: b } = *func.inst(term) else {
+            continue;
+        };
+        if b == func.entry() || b == a || preds[b.index()].len() != 1 {
+            continue;
+        }
+        let has_phi = func
+            .block(b)
+            .insts()
+            .iter()
+            .any(|&id| func.inst(id).is_phi());
+        if has_phi {
+            continue;
+        }
+        // Splice b's instructions after a's body (dropping a's br).
+        let mut merged: Vec<InstId> = func.block(a).insts().to_vec();
+        merged.pop();
+        merged.extend_from_slice(func.block(b).insts());
+        func.set_block_insts(a, merged);
+        func.set_block_insts(b, Vec::new());
+        // b is now empty and unreachable; prune_unreachable removes it.
+        // Phis in b's former successors must re-attribute the edge to a.
+        for succ in func.successors(a) {
+            for &id in func.block(succ).insts().to_vec().iter() {
+                if let Inst::Phi { incomings, .. } = func.inst_mut(id) {
+                    for (pred, _) in incomings.iter_mut() {
+                        if *pred == b {
+                            *pred = a;
+                        }
+                    }
+                }
+            }
+        }
+        changed = true;
+        // Only one merge per iteration keeps predecessor info fresh.
+        return changed;
+    }
+    changed
+}
+
+/// Rebuilds the function without unreachable blocks, compacting block
+/// ids (instruction ids are untouched).
+fn prune_unreachable(func: &mut Function) {
+    let dt = DomTree::compute(func);
+    let reachable: Vec<BlockId> = func.block_ids().filter(|&b| dt.is_reachable(b)).collect();
+    if reachable.len() == func.num_blocks() {
+        return;
+    }
+    let remap: HashMap<BlockId, BlockId> = reachable
+        .iter()
+        .enumerate()
+        .map(|(i, &old)| (old, BlockId::new(i)))
+        .collect();
+    // Unlinked arena slots may still name removed blocks; they are never
+    // executed, so any in-range target keeps the IR well-formed.
+    let remap_or_entry =
+        |bb: &BlockId| remap.get(bb).copied().unwrap_or_else(|| BlockId::new(0));
+
+    // Copy every arena slot (including unlinked ones) so InstIds stay
+    // stable, rewriting block references through the remap.
+    let mut arena: Vec<Inst> = Vec::with_capacity(func.num_inst_slots());
+    for i in 0..func.num_inst_slots() {
+        arena.push(func.inst(InstId::new(i)).clone());
+    }
+    for inst in &mut arena {
+        match inst {
+            Inst::Br { target } => {
+                *target = remap_or_entry(target);
+            }
+            Inst::CondBr {
+                then_bb, else_bb, ..
+            } => {
+                *then_bb = remap_or_entry(then_bb);
+                *else_bb = remap_or_entry(else_bb);
+            }
+            Inst::Phi { incomings, .. } => {
+                // Drop incoming edges from removed predecessors.
+                incomings.retain(|(p, _)| remap.contains_key(p));
+                for (p, _) in incomings.iter_mut() {
+                    *p = remap[p];
+                }
+            }
+            _ => {}
+        }
+    }
+    // Rebuild through the public surface: allocate arena ids 1:1 via a
+    // scratch append/unlink, then install the per-block lists.
+    let mut new_func = Function::new(func.name(), func.params(), func.return_type());
+    for _ in 1..reachable.len() {
+        new_func.add_block();
+    }
+    for inst in arena {
+        let id = new_func.append_inst(new_func.entry(), inst);
+        new_func.unlink_inst(new_func.entry(), id);
+    }
+    for (i, &old) in reachable.iter().enumerate() {
+        new_func.set_block_insts(BlockId::new(i), func.block(old).insts().to_vec());
+    }
+    *func = new_func;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_function;
+    use crate::verify::verify_function;
+
+    #[test]
+    fn threads_constant_branches_and_merges() {
+        let mut f = parse_function(
+            r#"
+fn @f(i64) -> i64 {
+bb0:
+  condbr true, bb1, bb2
+bb1:
+  %v0 = add i64 %arg0, 1
+  br bb3
+bb2:
+  %v1 = add i64 %arg0, 2
+  br bb3
+bb3:
+  %v2 = phi i64 [bb1: %v0, bb2: %v1]
+  ret %v2
+}
+"#,
+        )
+        .unwrap();
+        let removed = simplify_cfg(&mut f);
+        assert!(removed >= 1, "bb2 must be pruned");
+        verify_function(&f).unwrap();
+        // The phi collapses to a single incoming (bb2 edge dropped).
+        let has_dangling = f
+            .block_ids()
+            .flat_map(|bb| f.block(bb).insts().to_vec())
+            .any(|id| match f.inst(id) {
+                Inst::Phi { incomings, .. } => incomings.len() != 1,
+                _ => false,
+            });
+        assert!(!has_dangling);
+    }
+
+    #[test]
+    fn merges_straight_line_chain() {
+        let mut f = parse_function(
+            r#"
+fn @f() -> i64 {
+bb0:
+  %v0 = add i64 1, 2
+  br bb1
+bb1:
+  %v1 = mul i64 %v0, 3
+  br bb2
+bb2:
+  ret %v1
+}
+"#,
+        )
+        .unwrap();
+        let removed = simplify_cfg(&mut f);
+        assert_eq!(removed, 2);
+        assert_eq!(f.num_blocks(), 1);
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn keeps_loops_intact() {
+        let mut f = parse_function(
+            r#"
+fn @f(i64) -> i64 {
+bb0:
+  br bb1
+bb1:
+  %v0 = phi i64 [bb0: 0, bb2: %v2]
+  %v1 = icmp slt %v0, %arg0
+  condbr %v1, bb2, bb3
+bb2:
+  %v2 = add i64 %v0, 1
+  br bb1
+bb3:
+  ret %v0
+}
+"#,
+        )
+        .unwrap();
+        // bb0 -> bb1 cannot merge (bb1 has two preds); loop stays.
+        simplify_cfg(&mut f);
+        verify_function(&f).unwrap();
+        assert!(f.num_blocks() >= 3);
+    }
+
+    #[test]
+    fn same_target_condbr_becomes_br() {
+        let mut f = parse_function(
+            r#"
+fn @f(i1) -> i64 {
+bb0:
+  condbr %arg0, bb1, bb1
+bb1:
+  ret 7
+}
+"#,
+        )
+        .unwrap();
+        simplify_cfg(&mut f);
+        verify_function(&f).unwrap();
+        assert_eq!(f.num_blocks(), 1);
+    }
+
+    #[test]
+    fn prunes_unreachable_diamond_arm() {
+        let mut f = parse_function(
+            r#"
+fn @f() -> i64 {
+bb0:
+  condbr false, bb1, bb2
+bb1:
+  %v0 = add i64 1, 1
+  br bb3
+bb2:
+  %v1 = add i64 2, 2
+  br bb3
+bb3:
+  %v2 = phi i64 [bb1: %v0, bb2: %v1]
+  ret %v2
+}
+"#,
+        )
+        .unwrap();
+        simplify_cfg(&mut f);
+        verify_function(&f).unwrap();
+        // Everything folds into a straight line through bb2.
+        assert_eq!(f.num_blocks(), 1, "{}", crate::printer::print_function(&f, None));
+    }
+}

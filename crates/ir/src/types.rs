@@ -1,0 +1,148 @@
+//! Scalar types of the IR.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The scalar type of an SSA value.
+///
+/// The IR is deliberately small: the five workloads only require 64-bit
+/// integers, 64-bit floats, booleans, and opaque pointers. `Void` is the
+/// result type of instructions that produce no value (stores, branches,
+/// void calls).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Type {
+    /// No value (result of stores, branches, void calls).
+    Void,
+    /// A one-bit boolean (`i1` in the textual format).
+    Bool,
+    /// A 64-bit signed integer (`i64`).
+    I64,
+    /// A 64-bit IEEE-754 float (`f64`).
+    F64,
+    /// An opaque pointer (`ptr`).
+    Ptr,
+}
+
+impl Type {
+    /// Number of bytes occupied by a value of this type in a register.
+    ///
+    /// This is feature 12 of the IPAS feature table ("bytes in the
+    /// instruction's result"). `Void` occupies zero bytes.
+    pub fn byte_size(self) -> u32 {
+        match self {
+            Type::Void => 0,
+            Type::Bool => 1,
+            Type::I64 | Type::F64 | Type::Ptr => 8,
+        }
+    }
+
+    /// Number of meaningful bits in a register holding this type.
+    ///
+    /// Used by the fault injector to pick a random bit to flip.
+    pub fn bit_width(self) -> u32 {
+        match self {
+            Type::Void => 0,
+            Type::Bool => 1,
+            Type::I64 | Type::F64 | Type::Ptr => 64,
+        }
+    }
+
+    /// Returns `true` for every type other than [`Type::Void`].
+    pub fn is_value(self) -> bool {
+        self != Type::Void
+    }
+
+    /// Returns `true` if this is an integer-like type (`Bool` or `I64`).
+    pub fn is_int(self) -> bool {
+        matches!(self, Type::Bool | Type::I64)
+    }
+
+    /// Returns `true` if this is the floating-point type.
+    pub fn is_float(self) -> bool {
+        self == Type::F64
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Type::Void => "void",
+            Type::Bool => "i1",
+            Type::I64 => "i64",
+            Type::F64 => "f64",
+            Type::Ptr => "ptr",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error returned when parsing a [`Type`] from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTypeError(pub(crate) String);
+
+impl fmt::Display for ParseTypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown type `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseTypeError {}
+
+impl FromStr for Type {
+    type Err = ParseTypeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "void" => Ok(Type::Void),
+            "i1" => Ok(Type::Bool),
+            "i64" => Ok(Type::I64),
+            "f64" => Ok(Type::F64),
+            "ptr" => Ok(Type::Ptr),
+            other => Err(ParseTypeError(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_sizes() {
+        assert_eq!(Type::Void.byte_size(), 0);
+        assert_eq!(Type::Bool.byte_size(), 1);
+        assert_eq!(Type::I64.byte_size(), 8);
+        assert_eq!(Type::F64.byte_size(), 8);
+        assert_eq!(Type::Ptr.byte_size(), 8);
+    }
+
+    #[test]
+    fn bit_widths() {
+        assert_eq!(Type::Bool.bit_width(), 1);
+        assert_eq!(Type::I64.bit_width(), 64);
+    }
+
+    #[test]
+    fn display_round_trips_through_from_str() {
+        for ty in [Type::Void, Type::Bool, Type::I64, Type::F64, Type::Ptr] {
+            let text = ty.to_string();
+            assert_eq!(text.parse::<Type>().unwrap(), ty);
+        }
+    }
+
+    #[test]
+    fn from_str_rejects_unknown() {
+        assert!("i32".parse::<Type>().is_err());
+        assert!("".parse::<Type>().is_err());
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Type::I64.is_int());
+        assert!(Type::Bool.is_int());
+        assert!(!Type::F64.is_int());
+        assert!(Type::F64.is_float());
+        assert!(!Type::Void.is_value());
+        assert!(Type::Ptr.is_value());
+    }
+}

@@ -1,0 +1,228 @@
+//! SSA values and constants.
+
+use std::fmt;
+
+use crate::function::InstId;
+
+/// A compile-time constant operand.
+///
+/// Floats are stored by their IEEE-754 bit pattern so that constants are
+/// `Eq`/`Hash` (needed by value-numbering style passes); use
+/// [`Constant::f64`] to construct one and [`Constant::as_f64`] to read it.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Constant {
+    /// A 64-bit signed integer constant.
+    I64(i64),
+    /// A 64-bit float constant, stored as raw bits.
+    F64Bits(u64),
+    /// A boolean constant.
+    Bool(bool),
+    /// The null pointer constant.
+    Null,
+}
+
+impl Constant {
+    /// Creates a float constant from an `f64`.
+    pub fn f64(v: f64) -> Self {
+        Constant::F64Bits(v.to_bits())
+    }
+
+    /// Returns the float value if this is a float constant.
+    pub fn as_f64(self) -> Option<f64> {
+        match self {
+            Constant::F64Bits(bits) => Some(f64::from_bits(bits)),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer value if this is an integer constant.
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            Constant::I64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean value if this is a boolean constant.
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            Constant::Bool(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The [`crate::Type`] of this constant.
+    pub fn ty(self) -> crate::Type {
+        match self {
+            Constant::I64(_) => crate::Type::I64,
+            Constant::F64Bits(_) => crate::Type::F64,
+            Constant::Bool(_) => crate::Type::Bool,
+            Constant::Null => crate::Type::Ptr,
+        }
+    }
+}
+
+impl fmt::Display for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constant::I64(v) => write!(f, "{v}"),
+            Constant::F64Bits(bits) => {
+                let v = f64::from_bits(*bits);
+                // Print with enough precision to round-trip exactly; the
+                // parser re-reads via `f64::from_str`.
+                if v.is_finite() && v == v.trunc() && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v:?}")
+                }
+            }
+            Constant::Bool(v) => write!(f, "{v}"),
+            Constant::Null => write!(f, "null"),
+        }
+    }
+}
+
+impl From<i64> for Constant {
+    fn from(v: i64) -> Self {
+        Constant::I64(v)
+    }
+}
+
+impl From<f64> for Constant {
+    fn from(v: f64) -> Self {
+        Constant::f64(v)
+    }
+}
+
+impl From<bool> for Constant {
+    fn from(v: bool) -> Self {
+        Constant::Bool(v)
+    }
+}
+
+/// An SSA operand: the result of an instruction, a function parameter, or
+/// a constant.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// The result of the instruction with the given id.
+    Inst(InstId),
+    /// The `n`-th parameter of the enclosing function.
+    Param(u32),
+    /// An immediate constant.
+    Const(Constant),
+}
+
+impl Value {
+    /// Convenience constructor for an instruction-result value.
+    pub fn inst(id: InstId) -> Self {
+        Value::Inst(id)
+    }
+
+    /// Convenience constructor for a parameter value.
+    pub fn param(index: u32) -> Self {
+        Value::Param(index)
+    }
+
+    /// Convenience constructor for an integer constant.
+    pub fn i64(v: i64) -> Self {
+        Value::Const(Constant::I64(v))
+    }
+
+    /// Convenience constructor for a float constant.
+    pub fn f64(v: f64) -> Self {
+        Value::Const(Constant::f64(v))
+    }
+
+    /// Convenience constructor for a boolean constant.
+    pub fn bool(v: bool) -> Self {
+        Value::Const(Constant::Bool(v))
+    }
+
+    /// The null pointer value.
+    pub fn null() -> Self {
+        Value::Const(Constant::Null)
+    }
+
+    /// Returns the instruction id if this value is an instruction result.
+    pub fn as_inst(self) -> Option<InstId> {
+        match self {
+            Value::Inst(id) => Some(id),
+            _ => None,
+        }
+    }
+
+    /// Returns the constant if this value is a constant.
+    pub fn as_const(self) -> Option<Constant> {
+        match self {
+            Value::Const(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if this value is a constant.
+    pub fn is_const(self) -> bool {
+        matches!(self, Value::Const(_))
+    }
+}
+
+impl From<Constant> for Value {
+    fn from(c: Constant) -> Self {
+        Value::Const(c)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Inst(id) => write!(f, "%v{}", id.index()),
+            Value::Param(n) => write!(f, "%arg{n}"),
+            Value::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_accessors() {
+        assert_eq!(Constant::I64(7).as_i64(), Some(7));
+        assert_eq!(Constant::I64(7).as_f64(), None);
+        assert_eq!(Constant::f64(1.5).as_f64(), Some(1.5));
+        assert_eq!(Constant::Bool(true).as_bool(), Some(true));
+        assert_eq!(Constant::Null.ty(), crate::Type::Ptr);
+    }
+
+    #[test]
+    fn float_constants_hash_by_bits() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Constant::f64(0.1));
+        assert!(set.contains(&Constant::f64(0.1)));
+        assert!(!set.contains(&Constant::f64(0.2)));
+    }
+
+    #[test]
+    fn value_display() {
+        assert_eq!(Value::param(3).to_string(), "%arg3");
+        assert_eq!(Value::i64(-4).to_string(), "-4");
+        assert_eq!(Value::f64(2.0).to_string(), "2.0");
+        assert_eq!(Value::bool(true).to_string(), "true");
+        assert_eq!(Value::null().to_string(), "null");
+    }
+
+    #[test]
+    fn value_conversions() {
+        let v: Value = Constant::I64(1).into();
+        assert!(v.is_const());
+        assert_eq!(v.as_const(), Some(Constant::I64(1)));
+        assert_eq!(v.as_inst(), None);
+    }
+
+    #[test]
+    fn nan_constant_round_trips() {
+        let c = Constant::f64(f64::NAN);
+        assert!(c.as_f64().unwrap().is_nan());
+    }
+}

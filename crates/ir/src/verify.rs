@@ -1,0 +1,587 @@
+//! Structural, type, and SSA-dominance verification.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::dom::DomTree;
+use crate::function::{BlockId, Function, InstId};
+use crate::inst::{Callee, CastOp, Inst};
+use crate::module::Module;
+use crate::types::Type;
+use crate::value::Value;
+
+/// Error describing an IR invariant violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    func: String,
+    message: String,
+}
+
+impl VerifyError {
+    fn new(func: &str, message: impl Into<String>) -> Self {
+        VerifyError {
+            func: func.to_string(),
+            message: message.into(),
+        }
+    }
+
+    /// Name of the offending function.
+    pub fn function(&self) -> &str {
+        &self.func
+    }
+
+    /// The violation description.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "verification failed in `{}`: {}", self.func, self.message)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies every function in `module`, including call signatures.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
+    for (_, func) in module.functions() {
+        verify_function_inner(func, Some(module))?;
+    }
+    Ok(())
+}
+
+/// Verifies a single function (calls to module functions are checked for
+/// arity only when a module is unavailable — use [`verify_module`] for the
+/// full check).
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn verify_function(func: &Function) -> Result<(), VerifyError> {
+    verify_function_inner(func, None)
+}
+
+fn verify_function_inner(func: &Function, module: Option<&Module>) -> Result<(), VerifyError> {
+    let name = func.name();
+    let err = |msg: String| Err(VerifyError::new(name, msg));
+
+    // --- Structure: blocks end with exactly one terminator. -------------
+    for bb in func.block_ids() {
+        let block = func.block(bb);
+        if block.is_empty() {
+            return err(format!("{bb} is empty"));
+        }
+        for (i, &id) in block.insts().iter().enumerate() {
+            let inst = func.inst(id);
+            let last = i + 1 == block.len();
+            if inst.is_terminator() != last {
+                return err(format!(
+                    "{bb}: terminator placement violation at {id} (`{}`)",
+                    inst.opcode_name()
+                ));
+            }
+            if inst.is_phi() {
+                // Phis must be contiguous at the top.
+                let prefix_ok = block.insts()[..i]
+                    .iter()
+                    .all(|&p| func.inst(p).is_phi());
+                if !prefix_ok {
+                    return err(format!("{bb}: phi {id} is not at the top of the block"));
+                }
+            }
+        }
+        // Branch targets must be in range.
+        if let Some(t) = block.terminator() {
+            for succ in func.inst(t).successors() {
+                if succ.index() >= func.num_blocks() {
+                    return err(format!("{bb}: branch to out-of-range {succ}"));
+                }
+            }
+        }
+    }
+
+    // --- An instruction may be linked at most once. ---------------------
+    let mut seen: HashSet<InstId> = HashSet::new();
+    for bb in func.block_ids() {
+        for &id in func.block(bb).insts() {
+            if !seen.insert(id) {
+                return err(format!("instruction {id} linked into multiple positions"));
+            }
+            if id.index() >= func.num_inst_slots() {
+                return err(format!("instruction {id} out of arena range"));
+            }
+        }
+    }
+
+    // --- Types. ----------------------------------------------------------
+    let value_ok = |v: Value| -> Result<Type, VerifyError> {
+        match v {
+            Value::Param(n) => {
+                if (n as usize) < func.params().len() {
+                    Ok(func.params()[n as usize])
+                } else {
+                    Err(VerifyError::new(name, format!("out-of-range parameter %arg{n}")))
+                }
+            }
+            Value::Inst(id) => {
+                if id.index() >= func.num_inst_slots() {
+                    return Err(VerifyError::new(name, format!("use of out-of-range {id}")));
+                }
+                if !seen.contains(&id) {
+                    return Err(VerifyError::new(name, format!("use of unlinked instruction {id}")));
+                }
+                let ty = func.inst(id).result_type();
+                if ty == Type::Void {
+                    return Err(VerifyError::new(name, format!("use of void result {id}")));
+                }
+                Ok(ty)
+            }
+            Value::Const(c) => Ok(c.ty()),
+        }
+    };
+
+    let preds = func.predecessors();
+    for bb in func.block_ids() {
+        for &id in func.block(bb).insts() {
+            let inst = func.inst(id);
+            match inst {
+                Inst::Binary { op, ty, lhs, rhs } => {
+                    if *ty == Type::Void || *ty == Type::Ptr {
+                        return err(format!("{id}: binary op on {ty}"));
+                    }
+                    if op.is_float() != ty.is_float() {
+                        return err(format!("{id}: opcode {op} does not match type {ty}"));
+                    }
+                    // Booleans only support the bitwise opcodes; the
+                    // interpreter has no arithmetic on i1.
+                    if *ty == Type::Bool
+                        && !matches!(op, crate::inst::BinOp::And
+                            | crate::inst::BinOp::Or
+                            | crate::inst::BinOp::Xor)
+                    {
+                        return err(format!("{id}: opcode {op} is not defined on i1"));
+                    }
+                    for v in [lhs, rhs] {
+                        let vt = value_ok(*v)?;
+                        if vt != *ty {
+                            return err(format!("{id}: operand type {vt} != {ty}"));
+                        }
+                    }
+                }
+                Inst::Icmp { lhs, rhs, .. } => {
+                    let lt = value_ok(*lhs)?;
+                    let rt = value_ok(*rhs)?;
+                    if lt != rt {
+                        return err(format!("{id}: icmp operand types differ ({lt} vs {rt})"));
+                    }
+                    if !(lt.is_int() || lt == Type::Ptr) {
+                        return err(format!("{id}: icmp on {lt}"));
+                    }
+                }
+                Inst::Fcmp { lhs, rhs, .. } => {
+                    for v in [lhs, rhs] {
+                        let vt = value_ok(*v)?;
+                        if vt != Type::F64 {
+                            return err(format!("{id}: fcmp on {vt}"));
+                        }
+                    }
+                }
+                Inst::Cast { op, to, arg } => {
+                    let from = value_ok(*arg)?;
+                    let ok = match op {
+                        CastOp::Sitofp => from == Type::I64 && *to == Type::F64,
+                        CastOp::Fptosi => from == Type::F64 && *to == Type::I64,
+                        CastOp::Zext => from == Type::Bool && *to == Type::I64,
+                        CastOp::Trunc => from == Type::I64 && *to == Type::Bool,
+                        CastOp::Bitcast => {
+                            (from == Type::I64 && *to == Type::F64)
+                                || (from == Type::F64 && *to == Type::I64)
+                        }
+                        CastOp::Ptrtoint => from == Type::Ptr && *to == Type::I64,
+                        CastOp::Inttoptr => from == Type::I64 && *to == Type::Ptr,
+                    };
+                    if !ok {
+                        return err(format!("{id}: invalid cast {op} {from} -> {to}"));
+                    }
+                }
+                Inst::Select {
+                    ty,
+                    cond,
+                    then_value,
+                    else_value,
+                } => {
+                    if value_ok(*cond)? != Type::Bool {
+                        return err(format!("{id}: select condition is not i1"));
+                    }
+                    for v in [then_value, else_value] {
+                        if value_ok(*v)? != *ty {
+                            return err(format!("{id}: select arm type mismatch"));
+                        }
+                    }
+                }
+                Inst::Alloca { ty, count } => {
+                    if *ty == Type::Void {
+                        return err(format!("{id}: alloca of void"));
+                    }
+                    if *count == 0 {
+                        return err(format!("{id}: zero-sized alloca"));
+                    }
+                }
+                Inst::Load { ty, addr } => {
+                    if *ty == Type::Void {
+                        return err(format!("{id}: load of void"));
+                    }
+                    if value_ok(*addr)? != Type::Ptr {
+                        return err(format!("{id}: load address is not a pointer"));
+                    }
+                }
+                Inst::Store { ty, value, addr } => {
+                    if value_ok(*value)? != *ty {
+                        return err(format!("{id}: stored value type mismatch"));
+                    }
+                    if value_ok(*addr)? != Type::Ptr {
+                        return err(format!("{id}: store address is not a pointer"));
+                    }
+                }
+                Inst::Gep { base, index, .. } => {
+                    if value_ok(*base)? != Type::Ptr {
+                        return err(format!("{id}: gep base is not a pointer"));
+                    }
+                    if value_ok(*index)? != Type::I64 {
+                        return err(format!("{id}: gep index is not i64"));
+                    }
+                }
+                Inst::Call {
+                    callee,
+                    args,
+                    ret_ty,
+                } => {
+                    let arg_tys: Result<Vec<Type>, VerifyError> =
+                        args.iter().map(|a| value_ok(*a)).collect();
+                    let arg_tys = arg_tys?;
+                    match callee {
+                        Callee::Intrinsic(intr) => {
+                            if arg_tys.as_slice() != intr.param_types() {
+                                return err(format!(
+                                    "{id}: intrinsic `{intr}` argument types {arg_tys:?} do not match {:?}",
+                                    intr.param_types()
+                                ));
+                            }
+                            if *ret_ty != intr.return_type() {
+                                return err(format!(
+                                    "{id}: intrinsic `{intr}` returns {}, declared {ret_ty}",
+                                    intr.return_type()
+                                ));
+                            }
+                        }
+                        Callee::Func(fid) => {
+                            if let Some(m) = module {
+                                if fid.index() >= m.num_functions() {
+                                    return err(format!("{id}: call to out-of-range {fid}"));
+                                }
+                                let callee_fn = m.function(*fid);
+                                if arg_tys.as_slice() != callee_fn.params() {
+                                    return err(format!(
+                                        "{id}: call to `{}` argument types mismatch",
+                                        callee_fn.name()
+                                    ));
+                                }
+                                if *ret_ty != callee_fn.return_type() {
+                                    return err(format!(
+                                        "{id}: call to `{}` return type mismatch",
+                                        callee_fn.name()
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+                Inst::Phi { ty, incomings } => {
+                    if *ty == Type::Void {
+                        return err(format!("{id}: phi of void"));
+                    }
+                    let mut incoming_blocks: Vec<BlockId> =
+                        incomings.iter().map(|(b, _)| *b).collect();
+                    incoming_blocks.sort();
+                    incoming_blocks.dedup();
+                    if incoming_blocks.len() != incomings.len() {
+                        return err(format!("{id}: duplicate phi predecessor"));
+                    }
+                    let mut actual: Vec<BlockId> = preds[bb.index()].clone();
+                    actual.sort();
+                    actual.dedup();
+                    if incoming_blocks != actual {
+                        return err(format!(
+                            "{id}: phi predecessors {incoming_blocks:?} do not match CFG predecessors {actual:?}"
+                        ));
+                    }
+                    for (_, v) in incomings {
+                        if value_ok(*v)? != *ty {
+                            return err(format!("{id}: phi incoming type mismatch"));
+                        }
+                    }
+                }
+                Inst::Br { .. } => {}
+                Inst::CondBr { cond, .. } => {
+                    if value_ok(*cond)? != Type::Bool {
+                        return err(format!("{id}: condbr condition is not i1"));
+                    }
+                }
+                Inst::Ret { value } => match (value, func.return_type()) {
+                    (None, Type::Void) => {}
+                    (Some(v), ret) => {
+                        if ret == Type::Void {
+                            return err(format!("{id}: returning a value from a void function"));
+                        }
+                        if value_ok(*v)? != ret {
+                            return err(format!("{id}: return type mismatch"));
+                        }
+                    }
+                    (None, _) => {
+                        return err(format!("{id}: missing return value"));
+                    }
+                },
+            }
+        }
+    }
+
+    // --- SSA dominance. ---------------------------------------------------
+    let dt = DomTree::compute(func);
+    let inst_blocks = func.inst_blocks();
+    for bb in func.block_ids() {
+        if !dt.is_reachable(bb) {
+            continue;
+        }
+        let block = func.block(bb);
+        for (pos, &id) in block.insts().iter().enumerate() {
+            let inst = func.inst(id);
+            if let Inst::Phi { incomings, .. } = inst {
+                for (pred, v) in incomings {
+                    if let Value::Inst(def) = v {
+                        let def_bb = inst_blocks[def];
+                        if !dt.dominates(def_bb, *pred) {
+                            return err(format!(
+                                "{id}: phi incoming {def} from {pred} not dominated by its definition"
+                            ));
+                        }
+                    }
+                }
+                continue;
+            }
+            let mut bad = None;
+            inst.for_each_operand(|v| {
+                if bad.is_some() {
+                    return;
+                }
+                if let Value::Inst(def) = v {
+                    let def_bb = inst_blocks[&def];
+                    let ok = if def_bb == bb {
+                        // Same block: definition must come first.
+                        let def_pos = block.insts().iter().position(|&x| x == def);
+                        matches!(def_pos, Some(dp) if dp < pos)
+                    } else {
+                        dt.dominates(def_bb, bb)
+                    };
+                    if !ok {
+                        bad = Some(def);
+                    }
+                }
+            });
+            if let Some(def) = bad {
+                return err(format!("{id}: use of {def} not dominated by its definition"));
+            }
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{BinOp, Intrinsic};
+
+    #[test]
+    fn accepts_valid_function() {
+        let mut b = FunctionBuilder::new("ok", &[Type::I64], Type::I64);
+        let v = b.binary(BinOp::Add, Type::I64, Value::param(0), Value::i64(1));
+        b.ret(Some(v));
+        assert!(verify_function(&b.finish()).is_ok());
+    }
+
+    #[test]
+    fn rejects_missing_terminator() {
+        let mut f = Function::new("f", &[], Type::Void);
+        f.append_inst(
+            f.entry(),
+            Inst::Binary {
+                op: BinOp::Add,
+                ty: Type::I64,
+                lhs: Value::i64(1),
+                rhs: Value::i64(2),
+            },
+        );
+        let e = verify_function(&f).unwrap_err();
+        assert!(e.message().contains("terminator"), "{e}");
+    }
+
+    #[test]
+    fn rejects_empty_block() {
+        let mut f = Function::new("f", &[], Type::Void);
+        f.append_inst(f.entry(), Inst::Ret { value: None });
+        f.add_block();
+        assert!(verify_function(&f).is_err());
+    }
+
+    #[test]
+    fn rejects_type_mismatch_in_binary() {
+        let mut b = FunctionBuilder::new("f", &[Type::F64], Type::Void);
+        b.binary(BinOp::Add, Type::I64, Value::param(0), Value::i64(1));
+        b.ret(None);
+        let e = verify_function(&b.finish()).unwrap_err();
+        assert!(e.message().contains("operand type"), "{e}");
+    }
+
+    #[test]
+    fn rejects_float_opcode_on_int_type() {
+        let mut b = FunctionBuilder::new("f", &[], Type::Void);
+        b.binary(BinOp::Fadd, Type::I64, Value::i64(1), Value::i64(2));
+        b.ret(None);
+        assert!(verify_function(&b.finish()).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_intrinsic_arity() {
+        let mut b = FunctionBuilder::new("f", &[], Type::Void);
+        b.call_intrinsic(Intrinsic::Sqrt, vec![]);
+        b.ret(None);
+        let e = verify_function(&b.finish()).unwrap_err();
+        assert!(e.message().contains("sqrt"), "{e}");
+    }
+
+    #[test]
+    fn rejects_use_before_def_in_block() {
+        let mut f = Function::new("f", &[], Type::I64);
+        let entry = f.entry();
+        // %v0 = add i64 %v1, 1 ; %v1 defined after use
+        let use_before = f.append_inst(
+            entry,
+            Inst::Binary {
+                op: BinOp::Add,
+                ty: Type::I64,
+                lhs: Value::inst(InstId::new(1)),
+                rhs: Value::i64(1),
+            },
+        );
+        f.append_inst(
+            entry,
+            Inst::Binary {
+                op: BinOp::Add,
+                ty: Type::I64,
+                lhs: Value::i64(2),
+                rhs: Value::i64(3),
+            },
+        );
+        f.append_inst(entry, Inst::Ret { value: Some(Value::inst(use_before)) });
+        let e = verify_function(&f).unwrap_err();
+        assert!(e.message().contains("not dominated"), "{e}");
+    }
+
+    #[test]
+    fn rejects_phi_with_wrong_predecessors() {
+        let mut f = Function::new("f", &[], Type::I64);
+        let entry = f.entry();
+        let next = f.add_block();
+        f.append_inst(entry, Inst::Br { target: next });
+        f.append_inst(
+            next,
+            Inst::Phi {
+                ty: Type::I64,
+                incomings: vec![(next, Value::i64(0))], // wrong: pred is entry
+            },
+        );
+        let phi = Value::inst(InstId::new(1));
+        f.append_inst(next, Inst::Ret { value: Some(phi) });
+        let e = verify_function(&f).unwrap_err();
+        assert!(e.message().contains("predecessors"), "{e}");
+    }
+
+    #[test]
+    fn rejects_non_pointer_load() {
+        let mut b = FunctionBuilder::new("f", &[], Type::Void);
+        b.load(Type::I64, Value::i64(42));
+        b.ret(None);
+        let e = verify_function(&b.finish()).unwrap_err();
+        assert!(e.message().contains("pointer"), "{e}");
+    }
+
+    #[test]
+    fn rejects_return_type_mismatch() {
+        let mut b = FunctionBuilder::new("f", &[], Type::I64);
+        b.ret(Some(Value::f64(1.0)));
+        assert!(verify_function(&b.finish()).is_err());
+    }
+
+    #[test]
+    fn module_checks_call_signatures() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("callee", &[Type::I64], Type::I64);
+        b.ret(Some(Value::param(0)));
+        let callee = m.add_function(b.finish());
+
+        let mut b = FunctionBuilder::new("caller", &[], Type::Void);
+        b.call(callee, vec![Value::f64(1.0)], Type::I64); // wrong arg type
+        b.ret(None);
+        m.add_function(b.finish());
+
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message().contains("argument types mismatch"), "{e}");
+    }
+}
+
+#[cfg(test)]
+mod bool_binary_tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::BinOp;
+
+    #[test]
+    fn rejects_arithmetic_on_bool() {
+        for op in [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Sdiv, BinOp::Shl] {
+            let mut b = FunctionBuilder::new("f", &[Type::Bool], Type::Bool);
+            let v = b.binary(op, Type::Bool, Value::param(0), Value::param(0));
+            b.ret(Some(v));
+            let e = verify_function(&b.finish()).unwrap_err();
+            assert!(e.message().contains("not defined on i1"), "{op:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn accepts_bitwise_on_bool() {
+        for op in [BinOp::And, BinOp::Or, BinOp::Xor] {
+            let mut b = FunctionBuilder::new("f", &[Type::Bool], Type::Bool);
+            let v = b.binary(op, Type::Bool, Value::param(0), Value::param(0));
+            b.ret(Some(v));
+            verify_function(&b.finish()).unwrap_or_else(|e| panic!("{op:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn bool_xor_self_simplifies_to_bool_false() {
+        use crate::passes::simplify_instructions;
+        let mut b = FunctionBuilder::new("f", &[Type::Bool], Type::Bool);
+        let v = b.binary(BinOp::Xor, Type::Bool, Value::param(0), Value::param(0));
+        b.ret(Some(v));
+        let mut f = b.finish();
+        assert_eq!(simplify_instructions(&mut f), 1);
+        // The replacement constant must be Bool-typed, or this fails.
+        verify_function(&f).unwrap();
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests for dominator analysis over random CFGs.
+
+use proptest::prelude::*;
+
+use ipas_ir::dom::DomTree;
+use ipas_ir::{Function, Inst, Type, Value};
+
+/// Builds a function whose CFG is induced by `edges`: block `i` gets a
+/// conditional branch to `edges[i] = (a, b)` (indices mod the block
+/// count), except blocks marked as exits, which return.
+fn build_cfg(n: usize, edges: &[(usize, usize)], exits: &[bool]) -> Function {
+    let mut f = Function::new("g", &[Type::Bool], Type::Void);
+    for _ in 1..n {
+        f.add_block();
+    }
+    let blocks: Vec<_> = f.block_ids().collect();
+    for (i, &bb) in blocks.iter().enumerate() {
+        if exits[i] {
+            f.append_inst(bb, Inst::Ret { value: None });
+        } else {
+            let (a, b) = edges[i];
+            f.append_inst(
+                bb,
+                Inst::CondBr {
+                    cond: Value::param(0),
+                    then_bb: blocks[a % n],
+                    else_bb: blocks[b % n],
+                },
+            );
+        }
+    }
+    f
+}
+
+/// Reference reachability: can `from` reach `to` while avoiding
+/// `without`? Used to check dominance by definition.
+fn reaches_avoiding(f: &Function, from: usize, to: usize, without: usize) -> bool {
+    let n = f.num_blocks();
+    if from == without {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    let mut stack = vec![from];
+    seen[from] = true;
+    while let Some(cur) = stack.pop() {
+        if cur == to {
+            return true;
+        }
+        let bb = f.block_ids().nth(cur).expect("in range");
+        for s in f.successors(bb) {
+            let si = s.index();
+            if si != without && !seen[si] {
+                seen[si] = true;
+                stack.push(si);
+            }
+        }
+    }
+    false
+}
+
+fn cfg_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize)>, Vec<bool>)> {
+    (2usize..10).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec((0usize..n, 0usize..n), n),
+            proptest::collection::vec(any::<bool>(), n),
+        )
+            .prop_map(|(n, edges, mut exits)| {
+                // Guarantee at least one exit so DFS terminates quickly
+                // (not required for dominators, but keeps CFGs sane).
+                exits[n - 1] = true;
+                (n, edges, exits)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The computed dominance relation matches the definition: `a dom b`
+    /// iff removing `a` disconnects `b` from the entry (for reachable
+    /// `b`, `a != b`).
+    #[test]
+    fn dominance_matches_definition((n, edges, exits) in cfg_strategy()) {
+        let f = build_cfg(n, &edges, &exits);
+        let dt = DomTree::compute(&f);
+        let blocks: Vec<_> = f.block_ids().collect();
+        for (ai, &a) in blocks.iter().enumerate() {
+            for (bi, &b) in blocks.iter().enumerate() {
+                if !dt.is_reachable(b) || !dt.is_reachable(a) {
+                    continue;
+                }
+                let computed = dt.dominates(a, b);
+                let expected = if ai == bi {
+                    true
+                } else {
+                    !reaches_avoiding(&f, 0, bi, ai)
+                };
+                prop_assert_eq!(
+                    computed, expected,
+                    "a={} b={} edges={:?} exits={:?}", ai, bi, &edges, &exits
+                );
+            }
+        }
+    }
+
+    /// The immediate dominator strictly dominates its block and every
+    /// other strict dominator of the block dominates the idom.
+    #[test]
+    fn idom_is_the_closest_strict_dominator((n, edges, exits) in cfg_strategy()) {
+        let f = build_cfg(n, &edges, &exits);
+        let dt = DomTree::compute(&f);
+        let blocks: Vec<_> = f.block_ids().collect();
+        for &b in &blocks {
+            if !dt.is_reachable(b) || b == f.entry() {
+                continue;
+            }
+            let idom = dt.idom(b).expect("reachable non-entry blocks have idoms");
+            prop_assert!(dt.dominates(idom, b));
+            prop_assert_ne!(idom, b);
+            for &d in &blocks {
+                if d != b && dt.dominates(d, b) {
+                    prop_assert!(
+                        dt.dominates(d, idom),
+                        "strict dominator {} must dominate idom {}",
+                        d.index(),
+                        idom.index()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Dominance frontier definition: `y ∈ DF(x)` iff `x` dominates a
+    /// predecessor of `y` but does not strictly dominate `y`.
+    #[test]
+    fn frontier_matches_definition((n, edges, exits) in cfg_strategy()) {
+        let f = build_cfg(n, &edges, &exits);
+        let dt = DomTree::compute(&f);
+        let df = dt.dominance_frontiers(&f);
+        let preds = f.predecessors();
+        let blocks: Vec<_> = f.block_ids().collect();
+        for &x in &blocks {
+            if !dt.is_reachable(x) {
+                continue;
+            }
+            for &y in &blocks {
+                if !dt.is_reachable(y) {
+                    continue;
+                }
+                let expected = preds[y.index()]
+                    .iter()
+                    .any(|&p| dt.is_reachable(p) && dt.dominates(x, p))
+                    && !(dt.dominates(x, y) && x != y);
+                let computed = df[x.index()].contains(&y);
+                // The computed frontier only contains join points (>= 2
+                // preds); single-pred "frontiers" cannot host phis and
+                // are skipped by construction.
+                if preds[y.index()].len() >= 2 {
+                    prop_assert_eq!(computed, expected, "x={} y={}", x.index(), y.index());
+                } else {
+                    prop_assert!(!computed);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! Abstract syntax tree for SciL.
+
+use std::fmt;
+
+/// A source position (1-based line and column).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// Identifies an expression node; assigned densely by the parser and used
+/// by the type checker's side table.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A SciL type.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum LangType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// Boolean.
+    Bool,
+    /// Heap array of `int`.
+    ArrayInt,
+    /// Heap array of `float`.
+    ArrayFloat,
+}
+
+impl LangType {
+    /// The element type of an array type.
+    pub fn element(self) -> Option<LangType> {
+        match self {
+            LangType::ArrayInt => Some(LangType::Int),
+            LangType::ArrayFloat => Some(LangType::Float),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for array types.
+    pub fn is_array(self) -> bool {
+        self.element().is_some()
+    }
+
+    /// The IR type representing values of this SciL type.
+    pub fn ir_type(self) -> ipas_ir::Type {
+        match self {
+            LangType::Int => ipas_ir::Type::I64,
+            LangType::Float => ipas_ir::Type::F64,
+            LangType::Bool => ipas_ir::Type::Bool,
+            LangType::ArrayInt | LangType::ArrayFloat => ipas_ir::Type::Ptr,
+        }
+    }
+}
+
+impl fmt::Display for LangType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LangType::Int => "int",
+            LangType::Float => "float",
+            LangType::Bool => "bool",
+            LangType::ArrayInt => "[int]",
+            LangType::ArrayFloat => "[float]",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Binary operators.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    And,
+    /// `||` (short-circuit)
+    Or,
+}
+
+impl BinaryOp {
+    /// Returns `true` for arithmetic operators.
+    pub fn is_arith(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div | BinaryOp::Rem
+        )
+    }
+
+    /// Returns `true` for comparison operators.
+    pub fn is_cmp(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq | BinaryOp::Ne | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge
+        )
+    }
+
+    /// Returns `true` for the short-circuit logical operators.
+    pub fn is_logic(self) -> bool {
+        matches!(self, BinaryOp::And | BinaryOp::Or)
+    }
+}
+
+/// Unary operators.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Numeric negation.
+    Neg,
+    /// Boolean not.
+    Not,
+}
+
+/// An expression.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Expr {
+    /// Node id for the checker's type table.
+    pub id: NodeId,
+    /// Source position.
+    pub span: Span,
+    /// The expression kind.
+    pub kind: ExprKind,
+}
+
+/// Expression kinds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Boolean literal.
+    Bool(bool),
+    /// Variable reference.
+    Var(String),
+    /// Binary operation.
+    Binary(BinaryOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Unary(UnaryOp, Box<Expr>),
+    /// Function or builtin call.
+    Call(String, Vec<Expr>),
+    /// Array indexing `a[i]`.
+    Index(Box<Expr>, Box<Expr>),
+}
+
+/// A statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `let name: ty = init;`
+    Let {
+        /// Source position.
+        span: Span,
+        /// Variable name.
+        name: String,
+        /// Declared type.
+        ty: LangType,
+        /// Initializer.
+        init: Expr,
+    },
+    /// `name = value;`
+    Assign {
+        /// Source position.
+        span: Span,
+        /// Variable name.
+        name: String,
+        /// Assigned value.
+        value: Expr,
+    },
+    /// `array[index] = value;`
+    Store {
+        /// Source position.
+        span: Span,
+        /// Array variable name.
+        array: String,
+        /// Element index.
+        index: Expr,
+        /// Stored value.
+        value: Expr,
+    },
+    /// `if (cond) { .. } else { .. }`
+    If {
+        /// Source position.
+        span: Span,
+        /// Condition.
+        cond: Expr,
+        /// Then body.
+        then_body: Vec<Stmt>,
+        /// Else body (possibly empty).
+        else_body: Vec<Stmt>,
+    },
+    /// `while (cond) { .. }`
+    While {
+        /// Source position.
+        span: Span,
+        /// Condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `for (init; cond; step) { .. }` — sugar retained in the AST so
+    /// the body's `continue` can branch to the step.
+    For {
+        /// Source position.
+        span: Span,
+        /// Init statement (`let` or assignment).
+        init: Box<Stmt>,
+        /// Condition.
+        cond: Expr,
+        /// Step statement (an assignment).
+        step: Box<Stmt>,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `return expr?;`
+    Return {
+        /// Source position.
+        span: Span,
+        /// Returned value, if any.
+        value: Option<Expr>,
+    },
+    /// `break;`
+    Break {
+        /// Source position.
+        span: Span,
+    },
+    /// `continue;`
+    Continue {
+        /// Source position.
+        span: Span,
+    },
+    /// An expression statement (usually a call).
+    Expr {
+        /// Source position.
+        span: Span,
+        /// The expression.
+        expr: Expr,
+    },
+}
+
+impl Stmt {
+    /// The source position of the statement.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Let { span, .. }
+            | Stmt::Assign { span, .. }
+            | Stmt::Store { span, .. }
+            | Stmt::If { span, .. }
+            | Stmt::While { span, .. }
+            | Stmt::For { span, .. }
+            | Stmt::Return { span, .. }
+            | Stmt::Break { span }
+            | Stmt::Continue { span }
+            | Stmt::Expr { span, .. } => *span,
+        }
+    }
+}
+
+/// A function parameter.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Parameter type.
+    pub ty: LangType,
+}
+
+/// A function definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FnDecl {
+    /// Source position of the `fn` keyword.
+    pub span: Span,
+    /// Function name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Return type; `None` for procedures.
+    pub ret: Option<LangType>,
+    /// Function body.
+    pub body: Vec<Stmt>,
+}
+
+/// A parsed program.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Program {
+    /// Function definitions in source order.
+    pub functions: Vec<FnDecl>,
+    /// Total number of expression nodes allocated by the parser.
+    pub num_nodes: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lang_type_properties() {
+        assert_eq!(LangType::ArrayInt.element(), Some(LangType::Int));
+        assert_eq!(LangType::Int.element(), None);
+        assert!(LangType::ArrayFloat.is_array());
+        assert_eq!(LangType::Float.ir_type(), ipas_ir::Type::F64);
+        assert_eq!(LangType::ArrayInt.ir_type(), ipas_ir::Type::Ptr);
+        assert_eq!(LangType::ArrayFloat.to_string(), "[float]");
+    }
+
+    #[test]
+    fn binary_op_classification() {
+        assert!(BinaryOp::Add.is_arith());
+        assert!(BinaryOp::Lt.is_cmp());
+        assert!(BinaryOp::And.is_logic());
+        assert!(!BinaryOp::Add.is_cmp());
+    }
+}

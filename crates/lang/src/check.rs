@@ -1,0 +1,560 @@
+//! Type checking for SciL.
+
+use std::collections::HashMap;
+
+use crate::ast::*;
+use crate::CompileError;
+
+/// Signature of a built-in function.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BuiltinSig {
+    /// Parameter types; `None` entries accept any array type
+    /// (only `free_arr` uses this).
+    pub params: Vec<Option<LangType>>,
+    /// Return type; `None` for procedures.
+    pub ret: Option<LangType>,
+}
+
+/// Looks up a built-in function signature by name.
+pub fn builtin_signature(name: &str) -> Option<BuiltinSig> {
+    use LangType::*;
+    let sig = |params: Vec<Option<LangType>>, ret: Option<LangType>| BuiltinSig { params, ret };
+    let s = match name {
+        "sqrt" | "sin" | "cos" | "exp" | "log" | "fabs" | "floor" => {
+            sig(vec![Some(Float)], Some(Float))
+        }
+        "pow" => sig(vec![Some(Float), Some(Float)], Some(Float)),
+        "new_int" => sig(vec![Some(Int)], Some(ArrayInt)),
+        "new_float" => sig(vec![Some(Int)], Some(ArrayFloat)),
+        "free_arr" => sig(vec![None], None),
+        "print_i" | "output_i" => sig(vec![Some(Int)], None),
+        "print_f" | "output_f" => sig(vec![Some(Float)], None),
+        "mpi_rank" | "mpi_size" => sig(vec![], Some(Int)),
+        "allreduce_sum_f" | "allreduce_max_f" => sig(vec![Some(Float)], Some(Float)),
+        "allreduce_sum_i" => sig(vec![Some(Int)], Some(Int)),
+        "barrier" => sig(vec![], None),
+        "allgather_f" => sig(vec![Some(ArrayFloat), Some(Int)], None),
+        "allreduce_arr_f" => sig(vec![Some(ArrayFloat), Some(Int)], None),
+        "allreduce_arr_i" => sig(vec![Some(ArrayInt), Some(Int)], None),
+        "itof" => sig(vec![Some(Int)], Some(Float)),
+        "ftoi" => sig(vec![Some(Float)], Some(Int)),
+        _ => return None,
+    };
+    Some(s)
+}
+
+/// A type-checked program: the AST plus a type for every expression node.
+#[derive(Clone, Debug)]
+pub struct CheckedProgram {
+    /// The validated AST.
+    pub program: Program,
+    /// Type of each expression node (`None` for void calls in statement
+    /// position), indexed by [`NodeId`].
+    pub expr_types: Vec<Option<LangType>>,
+}
+
+impl CheckedProgram {
+    /// The type of an expression (`None` = void).
+    pub fn type_of(&self, id: NodeId) -> Option<LangType> {
+        self.expr_types[id.index()]
+    }
+}
+
+/// Type-checks `program`.
+///
+/// # Errors
+///
+/// Returns the first type error with its source position.
+pub fn check(program: &Program) -> Result<CheckedProgram, CompileError> {
+    let mut sigs: HashMap<String, (Vec<LangType>, Option<LangType>)> = HashMap::new();
+    for f in &program.functions {
+        if builtin_signature(&f.name).is_some() {
+            return Err(CompileError::new(
+                f.span.line,
+                f.span.col,
+                format!("`{}` shadows a built-in function", f.name),
+            ));
+        }
+        let params = f.params.iter().map(|p| p.ty).collect();
+        if sigs.insert(f.name.clone(), (params, f.ret)).is_some() {
+            return Err(CompileError::new(
+                f.span.line,
+                f.span.col,
+                format!("duplicate function `{}`", f.name),
+            ));
+        }
+    }
+
+    let mut checker = Checker {
+        sigs,
+        expr_types: vec![None; program.num_nodes],
+        scopes: Vec::new(),
+        loop_depth: 0,
+        current_ret: None,
+    };
+    for f in &program.functions {
+        checker.check_function(f)?;
+    }
+    Ok(CheckedProgram {
+        program: program.clone(),
+        expr_types: checker.expr_types,
+    })
+}
+
+struct Checker {
+    sigs: HashMap<String, (Vec<LangType>, Option<LangType>)>,
+    expr_types: Vec<Option<LangType>>,
+    scopes: Vec<HashMap<String, LangType>>,
+    loop_depth: usize,
+    current_ret: Option<LangType>,
+}
+
+fn err(span: Span, msg: impl Into<String>) -> CompileError {
+    CompileError::new(span.line, span.col, msg)
+}
+
+impl Checker {
+    fn lookup(&self, name: &str) -> Option<LangType> {
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
+    }
+
+    fn declare(&mut self, span: Span, name: &str, ty: LangType) -> Result<(), CompileError> {
+        let scope = self.scopes.last_mut().expect("inside a scope");
+        if scope.insert(name.to_string(), ty).is_some() {
+            return Err(err(span, format!("`{name}` is already defined in this scope")));
+        }
+        Ok(())
+    }
+
+    fn check_function(&mut self, f: &FnDecl) -> Result<(), CompileError> {
+        self.scopes.clear();
+        self.scopes.push(HashMap::new());
+        self.loop_depth = 0;
+        self.current_ret = f.ret;
+        for p in &f.params {
+            self.declare(f.span, &p.name, p.ty)?;
+        }
+        self.check_block(&f.body)?;
+        if f.ret.is_some() && !Self::always_returns(&f.body) {
+            return Err(err(
+                f.span,
+                format!("function `{}` may finish without returning a value", f.name),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Conservative all-paths-return analysis.
+    fn always_returns(stmts: &[Stmt]) -> bool {
+        stmts.iter().any(|s| match s {
+            Stmt::Return { .. } => true,
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => Self::always_returns(then_body) && Self::always_returns(else_body),
+            _ => false,
+        })
+    }
+
+    fn check_block(&mut self, stmts: &[Stmt]) -> Result<(), CompileError> {
+        self.scopes.push(HashMap::new());
+        for s in stmts {
+            self.check_stmt(s)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn check_stmt(&mut self, stmt: &Stmt) -> Result<(), CompileError> {
+        match stmt {
+            Stmt::Let {
+                span,
+                name,
+                ty,
+                init,
+            } => {
+                let it = self.expect_value(init)?;
+                if it != *ty {
+                    return Err(err(*span, format!("`{name}: {ty}` initialized with `{it}`")));
+                }
+                self.declare(*span, name, *ty)
+            }
+            Stmt::Assign { span, name, value } => {
+                let vt = self.expect_value(value)?;
+                let ty = self
+                    .lookup(name)
+                    .ok_or_else(|| err(*span, format!("unknown variable `{name}`")))?;
+                if vt != ty {
+                    return Err(err(*span, format!("assigning `{vt}` to `{name}: {ty}`")));
+                }
+                Ok(())
+            }
+            Stmt::Store {
+                span,
+                array,
+                index,
+                value,
+            } => {
+                let at = self
+                    .lookup(array)
+                    .ok_or_else(|| err(*span, format!("unknown variable `{array}`")))?;
+                let elem = at
+                    .element()
+                    .ok_or_else(|| err(*span, format!("`{array}: {at}` is not an array")))?;
+                let it = self.expect_value(index)?;
+                if it != LangType::Int {
+                    return Err(err(*span, format!("array index has type `{it}`, not `int`")));
+                }
+                let vt = self.expect_value(value)?;
+                if vt != elem {
+                    return Err(err(*span, format!("storing `{vt}` into `[{elem}]`")));
+                }
+                Ok(())
+            }
+            Stmt::If {
+                span,
+                cond,
+                then_body,
+                else_body,
+            } => {
+                self.expect_type(cond, LangType::Bool, *span)?;
+                self.check_block(then_body)?;
+                self.check_block(else_body)
+            }
+            Stmt::While { span, cond, body } => {
+                self.expect_type(cond, LangType::Bool, *span)?;
+                self.loop_depth += 1;
+                let r = self.check_block(body);
+                self.loop_depth -= 1;
+                r
+            }
+            Stmt::For {
+                span,
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                // The init's declaration scopes over cond/step/body.
+                self.scopes.push(HashMap::new());
+                self.check_stmt(init)?;
+                self.expect_type(cond, LangType::Bool, *span)?;
+                self.check_stmt(step)?;
+                self.loop_depth += 1;
+                let r = self.check_block(body);
+                self.loop_depth -= 1;
+                self.scopes.pop();
+                r
+            }
+            Stmt::Return { span, value } => match (value, self.current_ret) {
+                (None, None) => Ok(()),
+                (Some(v), Some(want)) => {
+                    let vt = self.expect_value(v)?;
+                    if vt != want {
+                        return Err(err(*span, format!("returning `{vt}`, expected `{want}`")));
+                    }
+                    Ok(())
+                }
+                (Some(_), None) => Err(err(*span, "returning a value from a procedure")),
+                (None, Some(want)) => Err(err(*span, format!("missing return value of type `{want}`"))),
+            },
+            Stmt::Break { span } | Stmt::Continue { span } => {
+                if self.loop_depth == 0 {
+                    Err(err(*span, "`break`/`continue` outside of a loop"))
+                } else {
+                    Ok(())
+                }
+            }
+            Stmt::Expr { expr, .. } => {
+                // Void calls are allowed here; any other value is
+                // computed and discarded (useful in tests).
+                self.check_expr(expr)?;
+                Ok(())
+            }
+        }
+    }
+
+    fn expect_value(&mut self, e: &Expr) -> Result<LangType, CompileError> {
+        match self.check_expr(e)? {
+            Some(t) => Ok(t),
+            None => Err(err(e.span, "void expression used as a value")),
+        }
+    }
+
+    fn expect_type(&mut self, e: &Expr, want: LangType, span: Span) -> Result<(), CompileError> {
+        let t = self.expect_value(e)?;
+        if t != want {
+            return Err(err(span, format!("expected `{want}`, found `{t}`")));
+        }
+        Ok(())
+    }
+
+    fn check_expr(&mut self, e: &Expr) -> Result<Option<LangType>, CompileError> {
+        let ty: Option<LangType> = match &e.kind {
+            ExprKind::Int(_) => Some(LangType::Int),
+            ExprKind::Float(_) => Some(LangType::Float),
+            ExprKind::Bool(_) => Some(LangType::Bool),
+            ExprKind::Var(name) => Some(
+                self.lookup(name)
+                    .ok_or_else(|| err(e.span, format!("unknown variable `{name}`")))?,
+            ),
+            ExprKind::Unary(op, inner) => {
+                let it = self.expect_value(inner)?;
+                match op {
+                    UnaryOp::Neg => {
+                        if it != LangType::Int && it != LangType::Float {
+                            return Err(err(e.span, format!("cannot negate `{it}`")));
+                        }
+                        Some(it)
+                    }
+                    UnaryOp::Not => {
+                        if it != LangType::Bool {
+                            return Err(err(e.span, format!("cannot apply `!` to `{it}`")));
+                        }
+                        Some(LangType::Bool)
+                    }
+                }
+            }
+            ExprKind::Binary(op, lhs, rhs) => {
+                let lt = self.expect_value(lhs)?;
+                let rt = self.expect_value(rhs)?;
+                if lt != rt {
+                    return Err(err(
+                        e.span,
+                        format!("operands have different types: `{lt}` vs `{rt}`"),
+                    ));
+                }
+                if op.is_arith() {
+                    if lt != LangType::Int && lt != LangType::Float {
+                        return Err(err(e.span, format!("arithmetic on `{lt}`")));
+                    }
+                    Some(lt)
+                } else if op.is_cmp() {
+                    let ordering = matches!(
+                        op,
+                        BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge
+                    );
+                    if ordering && lt != LangType::Int && lt != LangType::Float {
+                        return Err(err(e.span, format!("ordering comparison on `{lt}`")));
+                    }
+                    if !ordering && lt.is_array() {
+                        return Err(err(e.span, "arrays cannot be compared"));
+                    }
+                    Some(LangType::Bool)
+                } else {
+                    // && / ||
+                    if lt != LangType::Bool {
+                        return Err(err(e.span, format!("logical operator on `{lt}`")));
+                    }
+                    Some(LangType::Bool)
+                }
+            }
+            ExprKind::Index(base, index) => {
+                let bt = self.expect_value(base)?;
+                let elem = bt
+                    .element()
+                    .ok_or_else(|| err(e.span, format!("cannot index `{bt}`")))?;
+                self.expect_type(index, LangType::Int, index.span)?;
+                Some(elem)
+            }
+            ExprKind::Call(name, args) => {
+                let mut arg_types = Vec::with_capacity(args.len());
+                for a in args {
+                    arg_types.push(self.expect_value(a)?);
+                }
+                if let Some(sig) = builtin_signature(name) {
+                    if sig.params.len() != arg_types.len() {
+                        return Err(err(
+                            e.span,
+                            format!(
+                                "`{name}` takes {} arguments, {} supplied",
+                                sig.params.len(),
+                                arg_types.len()
+                            ),
+                        ));
+                    }
+                    for (i, (want, got)) in sig.params.iter().zip(&arg_types).enumerate() {
+                        match want {
+                            Some(w) if w != got => {
+                                return Err(err(
+                                    e.span,
+                                    format!("`{name}` argument {i}: expected `{w}`, found `{got}`"),
+                                ))
+                            }
+                            None if !got.is_array() => {
+                                return Err(err(
+                                    e.span,
+                                    format!("`{name}` argument {i}: expected an array, found `{got}`"),
+                                ))
+                            }
+                            _ => {}
+                        }
+                    }
+                    sig.ret
+                } else if let Some((params, ret)) = self.sigs.get(name).cloned() {
+                    if params.len() != arg_types.len() {
+                        return Err(err(
+                            e.span,
+                            format!(
+                                "`{name}` takes {} arguments, {} supplied",
+                                params.len(),
+                                arg_types.len()
+                            ),
+                        ));
+                    }
+                    for (i, (want, got)) in params.iter().zip(&arg_types).enumerate() {
+                        if want != got {
+                            return Err(err(
+                                e.span,
+                                format!("`{name}` argument {i}: expected `{want}`, found `{got}`"),
+                            ));
+                        }
+                    }
+                    ret
+                } else {
+                    return Err(err(e.span, format!("unknown function `{name}`")));
+                }
+            }
+        };
+        self.expr_types[e.id.index()] = ty;
+        Ok(ty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn check_src(src: &str) -> Result<CheckedProgram, CompileError> {
+        check(&parse_program(src).unwrap())
+    }
+
+    #[test]
+    fn accepts_well_typed_program() {
+        check_src(
+            r#"
+fn norm(a: [float], n: int) -> float {
+    let s: float = 0.0;
+    for (let i: int = 0; i < n; i = i + 1) {
+        s = s + a[i] * a[i];
+    }
+    return sqrt(s);
+}
+fn main() -> int {
+    let a: [float] = new_float(4);
+    a[0] = 1.0;
+    output_f(norm(a, 4));
+    free_arr(a);
+    return 0;
+}
+"#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_type_mismatch_in_let() {
+        let e = check_src("fn f() { let x: int = 1.5; }").unwrap_err();
+        assert!(e.message().contains("initialized with"));
+    }
+
+    #[test]
+    fn rejects_mixed_arithmetic() {
+        let e = check_src("fn f() -> float { return 1 + 2.0; }").unwrap_err();
+        assert!(e.message().contains("different types"));
+    }
+
+    #[test]
+    fn rejects_unknown_variable() {
+        let e = check_src("fn f() -> int { return y; }").unwrap_err();
+        assert!(e.message().contains("unknown variable"));
+    }
+
+    #[test]
+    fn rejects_non_bool_condition() {
+        let e = check_src("fn f() { if (1) { } }").unwrap_err();
+        assert!(e.message().contains("expected `bool`"));
+    }
+
+    #[test]
+    fn rejects_break_outside_loop() {
+        let e = check_src("fn f() { break; }").unwrap_err();
+        assert!(e.message().contains("outside of a loop"));
+    }
+
+    #[test]
+    fn rejects_missing_return() {
+        let e = check_src("fn f(c: bool) -> int { if (c) { return 1; } }").unwrap_err();
+        assert!(e.message().contains("without returning"));
+    }
+
+    #[test]
+    fn accepts_return_in_both_branches() {
+        check_src("fn f(c: bool) -> int { if (c) { return 1; } else { return 2; } }").unwrap();
+    }
+
+    #[test]
+    fn rejects_void_in_value_position() {
+        let e = check_src("fn f() -> int { return barrier(); }").unwrap_err();
+        assert!(e.message().contains("void expression"));
+    }
+
+    #[test]
+    fn rejects_wrong_builtin_arity() {
+        let e = check_src("fn f() -> float { return pow(2.0); }").unwrap_err();
+        assert!(e.message().contains("takes 2 arguments"));
+    }
+
+    #[test]
+    fn rejects_shadowing_builtin() {
+        let e = check_src("fn sqrt(x: float) -> float { return x; }").unwrap_err();
+        assert!(e.message().contains("shadows a built-in"));
+    }
+
+    #[test]
+    fn rejects_duplicate_function() {
+        let e = check_src("fn f() {} fn f() {}").unwrap_err();
+        assert!(e.message().contains("duplicate function"));
+    }
+
+    #[test]
+    fn rejects_indexing_scalar() {
+        let e = check_src("fn f(x: int) -> int { return x[0]; }").unwrap_err();
+        assert!(e.message().contains("cannot index"));
+    }
+
+    #[test]
+    fn free_arr_accepts_both_array_types() {
+        check_src("fn f() { free_arr(new_int(1)); free_arr(new_float(1)); }").unwrap();
+        let e = check_src("fn f() { free_arr(3); }").unwrap_err();
+        assert!(e.message().contains("expected an array"));
+    }
+
+    #[test]
+    fn rejects_redeclaration_in_same_scope() {
+        let e = check_src("fn f() { let x: int = 1; let x: int = 2; }").unwrap_err();
+        assert!(e.message().contains("already defined"));
+    }
+
+    #[test]
+    fn allows_shadowing_in_inner_scope() {
+        check_src("fn f() { let x: int = 1; if (true) { let x: float = 2.0; output_f(x); } output_i(x); }")
+            .unwrap();
+    }
+
+    #[test]
+    fn records_expression_types() {
+        let cp = check_src("fn f() -> float { return 1.5 + 2.5; }").unwrap();
+        let has_float = cp.expr_types.iter().flatten().any(|t| *t == LangType::Float);
+        assert!(has_float);
+    }
+
+    #[test]
+    fn user_function_arg_mismatch() {
+        let e = check_src("fn g(x: int) -> int { return x; } fn f() -> int { return g(1.0); }")
+            .unwrap_err();
+        assert!(e.message().contains("expected `int`"));
+    }
+}

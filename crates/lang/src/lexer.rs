@@ -1,0 +1,473 @@
+//! Lexical analysis for SciL.
+
+use std::fmt;
+
+use crate::CompileError;
+
+/// A lexical token kind.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// An identifier or keyword candidate.
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal (contains `.` or an exponent).
+    Float(f64),
+    /// `fn`
+    Fn,
+    /// `let`
+    Let,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `for`
+    For,
+    /// `return`
+    Return,
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `int`
+    TyInt,
+    /// `float`
+    TyFloat,
+    /// `bool`
+    TyBool,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `->`
+    Arrow,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Not,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Int(v) => write!(f, "integer `{v}`"),
+            TokenKind::Float(v) => write!(f, "float `{v}`"),
+            other => {
+                let s = match other {
+                    TokenKind::Fn => "fn",
+                    TokenKind::Let => "let",
+                    TokenKind::If => "if",
+                    TokenKind::Else => "else",
+                    TokenKind::While => "while",
+                    TokenKind::For => "for",
+                    TokenKind::Return => "return",
+                    TokenKind::Break => "break",
+                    TokenKind::Continue => "continue",
+                    TokenKind::True => "true",
+                    TokenKind::False => "false",
+                    TokenKind::TyInt => "int",
+                    TokenKind::TyFloat => "float",
+                    TokenKind::TyBool => "bool",
+                    TokenKind::LParen => "(",
+                    TokenKind::RParen => ")",
+                    TokenKind::LBrace => "{",
+                    TokenKind::RBrace => "}",
+                    TokenKind::LBracket => "[",
+                    TokenKind::RBracket => "]",
+                    TokenKind::Comma => ",",
+                    TokenKind::Semi => ";",
+                    TokenKind::Colon => ":",
+                    TokenKind::Arrow => "->",
+                    TokenKind::Assign => "=",
+                    TokenKind::Plus => "+",
+                    TokenKind::Minus => "-",
+                    TokenKind::Star => "*",
+                    TokenKind::Slash => "/",
+                    TokenKind::Percent => "%",
+                    TokenKind::EqEq => "==",
+                    TokenKind::NotEq => "!=",
+                    TokenKind::Lt => "<",
+                    TokenKind::Le => "<=",
+                    TokenKind::Gt => ">",
+                    TokenKind::Ge => ">=",
+                    TokenKind::AndAnd => "&&",
+                    TokenKind::OrOr => "||",
+                    TokenKind::Not => "!",
+                    TokenKind::Eof => "end of input",
+                    _ => unreachable!(),
+                };
+                write!(f, "`{s}`")
+            }
+        }
+    }
+}
+
+/// A token with its source position (1-based line and column).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The token kind.
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// Converts SciL source into tokens.
+#[derive(Debug)]
+pub struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'s> Lexer<'s> {
+    /// Creates a lexer over `source`.
+    pub fn new(source: &'s str) -> Self {
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    /// Tokenizes the whole input (the final token is [`TokenKind::Eof`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] on unrecognized characters or malformed
+    /// numbers.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, CompileError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia();
+            let (line, col) = (self.line, self.col);
+            let Some(c) = self.peek() else {
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    line,
+                    col,
+                });
+                return Ok(out);
+            };
+            let kind = if c.is_ascii_alphabetic() || c == b'_' {
+                self.lex_word()
+            } else if c.is_ascii_digit() {
+                self.lex_number(line, col)?
+            } else {
+                self.lex_symbol(line, col)?
+            };
+            out.push(Token { kind, line, col });
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn lex_word(&mut self) -> TokenKind {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let word = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii word");
+        match word {
+            "fn" => TokenKind::Fn,
+            "let" | "var" => TokenKind::Let,
+            "if" => TokenKind::If,
+            "else" => TokenKind::Else,
+            "while" => TokenKind::While,
+            "for" => TokenKind::For,
+            "return" => TokenKind::Return,
+            "break" => TokenKind::Break,
+            "continue" => TokenKind::Continue,
+            "true" => TokenKind::True,
+            "false" => TokenKind::False,
+            "int" => TokenKind::TyInt,
+            "float" => TokenKind::TyFloat,
+            "bool" => TokenKind::TyBool,
+            _ => TokenKind::Ident(word.to_string()),
+        }
+    }
+
+    fn lex_number(&mut self, line: usize, col: usize) -> Result<TokenKind, CompileError> {
+        let start = self.pos;
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                self.bump();
+            } else if c == b'.' && self.peek2().is_some_and(|d| d.is_ascii_digit()) {
+                is_float = true;
+                self.bump();
+            } else if (c == b'e' || c == b'E')
+                && self
+                    .peek2()
+                    .is_some_and(|d| d.is_ascii_digit() || d == b'-' || d == b'+')
+            {
+                is_float = true;
+                self.bump(); // e
+                self.bump(); // sign or digit
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii number");
+        if is_float {
+            text.parse::<f64>()
+                .map(TokenKind::Float)
+                .map_err(|_| CompileError::new(line, col, format!("malformed float `{text}`")))
+        } else {
+            text.parse::<i64>()
+                .map(TokenKind::Int)
+                .map_err(|_| CompileError::new(line, col, format!("integer `{text}` out of range")))
+        }
+    }
+
+    fn lex_symbol(&mut self, line: usize, col: usize) -> Result<TokenKind, CompileError> {
+        let c = self.bump().expect("caller checked non-empty");
+        let two = |lexer: &mut Self, next: u8, yes: TokenKind, no: TokenKind| {
+            if lexer.peek() == Some(next) {
+                lexer.bump();
+                yes
+            } else {
+                no
+            }
+        };
+        let kind = match c {
+            b'(' => TokenKind::LParen,
+            b')' => TokenKind::RParen,
+            b'{' => TokenKind::LBrace,
+            b'}' => TokenKind::RBrace,
+            b'[' => TokenKind::LBracket,
+            b']' => TokenKind::RBracket,
+            b',' => TokenKind::Comma,
+            b';' => TokenKind::Semi,
+            b':' => TokenKind::Colon,
+            b'+' => TokenKind::Plus,
+            b'*' => TokenKind::Star,
+            b'/' => TokenKind::Slash,
+            b'%' => TokenKind::Percent,
+            b'-' => two(self, b'>', TokenKind::Arrow, TokenKind::Minus),
+            b'=' => two(self, b'=', TokenKind::EqEq, TokenKind::Assign),
+            b'!' => two(self, b'=', TokenKind::NotEq, TokenKind::Not),
+            b'<' => two(self, b'=', TokenKind::Le, TokenKind::Lt),
+            b'>' => two(self, b'=', TokenKind::Ge, TokenKind::Gt),
+            b'&' => {
+                if self.peek() == Some(b'&') {
+                    self.bump();
+                    TokenKind::AndAnd
+                } else {
+                    return Err(CompileError::new(line, col, "expected `&&`"));
+                }
+            }
+            b'|' => {
+                if self.peek() == Some(b'|') {
+                    self.bump();
+                    TokenKind::OrOr
+                } else {
+                    return Err(CompileError::new(line, col, "expected `||`"));
+                }
+            }
+            other => {
+                return Err(CompileError::new(
+                    line,
+                    col,
+                    format!("unexpected character `{}`", other as char),
+                ))
+            }
+        };
+        Ok(kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(
+            kinds("fn foo let x"),
+            vec![
+                TokenKind::Fn,
+                TokenKind::Ident("foo".into()),
+                TokenKind::Let,
+                TokenKind::Ident("x".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn var_is_alias_for_let() {
+        assert_eq!(kinds("var"), vec![TokenKind::Let, TokenKind::Eof]);
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            kinds("42 3.5 1e3 2.5e-2 7"),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Float(3.5),
+                TokenKind::Float(1e3),
+                TokenKind::Float(2.5e-2),
+                TokenKind::Int(7),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn dot_without_digit_is_not_float() {
+        // `1.foo` lexes as Int(1) then error on `.`.
+        assert!(Lexer::new("1.x").tokenize().is_err());
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            kinds("-> - == = != ! <= < >= > && ||"),
+            vec![
+                TokenKind::Arrow,
+                TokenKind::Minus,
+                TokenKind::EqEq,
+                TokenKind::Assign,
+                TokenKind::NotEq,
+                TokenKind::Not,
+                TokenKind::Le,
+                TokenKind::Lt,
+                TokenKind::Ge,
+                TokenKind::Gt,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_line_comments() {
+        assert_eq!(
+            kinds("1 // comment with fn let\n2"),
+            vec![TokenKind::Int(1), TokenKind::Int(2), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn tracks_positions() {
+        let toks = Lexer::new("a\n  b").tokenize().unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn rejects_stray_ampersand() {
+        assert!(Lexer::new("a & b").tokenize().is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        let err = Lexer::new("a $ b").tokenize().unwrap_err();
+        assert!(err.message().contains("unexpected character"));
+    }
+}

@@ -1,0 +1,508 @@
+//! Lowering of checked SciL to `ipas-ir`.
+//!
+//! Locals are lowered to single-slot `alloca`s with loads/stores (the
+//! classic Clang strategy); the caller then runs mem2reg to obtain pruned
+//! SSA. Short-circuit `&&`/`||` lower to control flow through a boolean
+//! slot. Statements after a `return`/`break`/`continue` in the same list
+//! are unreachable and skipped.
+
+use std::collections::HashMap;
+
+use ipas_ir::{
+    BinOp, BlockId, CastOp, FcmpPred, FuncId, Function, FunctionBuilder, IcmpPred, Intrinsic,
+    Module, Type, Value,
+};
+
+use crate::ast::*;
+use crate::check::CheckedProgram;
+
+/// Lowers a checked program into an IR module (unoptimized).
+pub fn lower(checked: &CheckedProgram, name: &str) -> Module {
+    let mut module = Module::new(name);
+    let mut fids: HashMap<String, FuncId> = HashMap::new();
+    for f in &checked.program.functions {
+        let params: Vec<Type> = f.params.iter().map(|p| p.ty.ir_type()).collect();
+        let ret = f.ret.map(|t| t.ir_type()).unwrap_or(Type::Void);
+        let fid = module.add_function(Function::new(f.name.clone(), &params, ret));
+        fids.insert(f.name.clone(), fid);
+    }
+    for f in &checked.program.functions {
+        let func = Lowerer::new(checked, &fids, f).lower_fn(f);
+        let fid = fids[&f.name];
+        *module.function_mut(fid) = func;
+    }
+    module
+}
+
+struct Lowerer<'a> {
+    checked: &'a CheckedProgram,
+    fids: &'a HashMap<String, FuncId>,
+    b: FunctionBuilder,
+    /// Scope stack of name → (slot pointer, type).
+    scopes: Vec<HashMap<String, (Value, LangType)>>,
+    /// (continue target, break target) per enclosing loop.
+    loops: Vec<(BlockId, BlockId)>,
+}
+
+impl<'a> Lowerer<'a> {
+    fn new(checked: &'a CheckedProgram, fids: &'a HashMap<String, FuncId>, f: &FnDecl) -> Self {
+        let params: Vec<Type> = f.params.iter().map(|p| p.ty.ir_type()).collect();
+        let ret = f.ret.map(|t| t.ir_type()).unwrap_or(Type::Void);
+        Lowerer {
+            checked,
+            fids,
+            b: FunctionBuilder::new(f.name.clone(), &params, ret),
+            scopes: vec![HashMap::new()],
+            loops: Vec::new(),
+        }
+    }
+
+    fn lower_fn(mut self, f: &FnDecl) -> Function {
+        // Spill parameters into slots so they are assignable; mem2reg
+        // folds this away.
+        for (i, p) in f.params.iter().enumerate() {
+            let slot = self.b.alloca(p.ty.ir_type(), 1);
+            self.b.store(p.ty.ir_type(), Value::param(i as u32), slot);
+            self.scopes
+                .last_mut()
+                .expect("function scope")
+                .insert(p.name.clone(), (slot, p.ty));
+        }
+        self.lower_block(&f.body);
+        if !self.b.is_terminated() {
+            // Void functions fall off the end; for value functions the
+            // checker proved this unreachable — emit a structural ret.
+            match f.ret {
+                None => self.b.ret(None),
+                Some(t) => {
+                    let zero = zero_value(t);
+                    self.b.ret(Some(zero));
+                }
+            }
+        }
+        // Unreachable join blocks created by always-returning branches
+        // may be empty; terminate them structurally.
+        let mut func = self.b.finish();
+        for bb in func.block_ids().collect::<Vec<_>>() {
+            if func.block(bb).is_empty() {
+                let ret = f.ret.map(zero_value);
+                func.append_inst(bb, ipas_ir::Inst::Ret { value: ret });
+            }
+        }
+        func
+    }
+
+    fn ty_of(&self, e: &Expr) -> LangType {
+        self.checked
+            .type_of(e.id)
+            .expect("checker typed every value expression")
+    }
+
+    fn lookup(&self, name: &str) -> (Value, LangType) {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|s| s.get(name))
+            .copied()
+            .unwrap_or_else(|| panic!("checker verified variable `{name}`"))
+    }
+
+    /// Lowers a statement list; returns `true` if it terminated the
+    /// current block (return/break/continue on every path taken here).
+    fn lower_block(&mut self, stmts: &[Stmt]) -> bool {
+        self.scopes.push(HashMap::new());
+        let mut terminated = false;
+        for s in stmts {
+            if terminated {
+                // Unreachable code after return/break/continue: skip.
+                break;
+            }
+            terminated = self.lower_stmt(s);
+        }
+        self.scopes.pop();
+        terminated
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt) -> bool {
+        match stmt {
+            Stmt::Let { name, ty, init, .. } => {
+                let v = self.lower_expr(init);
+                let slot = self.b.alloca(ty.ir_type(), 1);
+                self.b.store(ty.ir_type(), v, slot);
+                self.scopes
+                    .last_mut()
+                    .expect("scope")
+                    .insert(name.clone(), (slot, *ty));
+                false
+            }
+            Stmt::Assign { name, value, .. } => {
+                let v = self.lower_expr(value);
+                let (slot, ty) = self.lookup(name);
+                self.b.store(ty.ir_type(), v, slot);
+                false
+            }
+            Stmt::Store {
+                array,
+                index,
+                value,
+                ..
+            } => {
+                let (slot, aty) = self.lookup(array);
+                let elem = aty.element().expect("checker verified array type");
+                let base = self.b.load(Type::Ptr, slot);
+                let idx = self.lower_expr(index);
+                let addr = self.b.gep(elem.ir_type(), base, idx);
+                let v = self.lower_expr(value);
+                self.b.store(elem.ir_type(), v, addr);
+                false
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => {
+                let c = self.lower_expr(cond);
+                let then_bb = self.b.new_block();
+                let merge = self.b.new_block();
+                let else_bb = if else_body.is_empty() {
+                    merge
+                } else {
+                    self.b.new_block()
+                };
+                self.b.cond_br(c, then_bb, else_bb);
+
+                self.b.switch_to_block(then_bb);
+                let t_term = self.lower_block(then_body);
+                if !t_term {
+                    self.b.br(merge);
+                }
+                let mut e_term = false;
+                if !else_body.is_empty() {
+                    self.b.switch_to_block(else_bb);
+                    e_term = self.lower_block(else_body);
+                    if !e_term {
+                        self.b.br(merge);
+                    }
+                }
+                self.b.switch_to_block(merge);
+                // Even if both arms terminated, continue lowering into the
+                // (unreachable) merge block; empty blocks are fixed up at
+                // the end of lower_fn. Report "not terminated" so callers
+                // keep the structure simple.
+                let _ = t_term && e_term;
+                false
+            }
+            Stmt::While { cond, body, .. } => {
+                let header = self.b.new_block();
+                let body_bb = self.b.new_block();
+                let exit = self.b.new_block();
+                self.b.br(header);
+                self.b.switch_to_block(header);
+                let c = self.lower_expr(cond);
+                self.b.cond_br(c, body_bb, exit);
+                self.b.switch_to_block(body_bb);
+                self.loops.push((header, exit));
+                let term = self.lower_block(body);
+                self.loops.pop();
+                if !term {
+                    self.b.br(header);
+                }
+                self.b.switch_to_block(exit);
+                false
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
+                self.scopes.push(HashMap::new());
+                self.lower_stmt(init);
+                let header = self.b.new_block();
+                let body_bb = self.b.new_block();
+                let step_bb = self.b.new_block();
+                let exit = self.b.new_block();
+                self.b.br(header);
+                self.b.switch_to_block(header);
+                let c = self.lower_expr(cond);
+                self.b.cond_br(c, body_bb, exit);
+                self.b.switch_to_block(body_bb);
+                self.loops.push((step_bb, exit));
+                let term = self.lower_block(body);
+                self.loops.pop();
+                if !term {
+                    self.b.br(step_bb);
+                }
+                self.b.switch_to_block(step_bb);
+                self.lower_stmt(step);
+                self.b.br(header);
+                self.b.switch_to_block(exit);
+                self.scopes.pop();
+                false
+            }
+            Stmt::Return { value, .. } => {
+                let v = value.as_ref().map(|e| self.lower_expr(e));
+                self.b.ret(v);
+                true
+            }
+            Stmt::Break { .. } => {
+                let (_, exit) = *self.loops.last().expect("checker verified loop depth");
+                self.b.br(exit);
+                true
+            }
+            Stmt::Continue { .. } => {
+                let (cont, _) = *self.loops.last().expect("checker verified loop depth");
+                self.b.br(cont);
+                true
+            }
+            Stmt::Expr { expr, .. } => {
+                self.lower_expr_any(expr);
+                false
+            }
+        }
+    }
+
+    /// Lowers an expression that may be void (call in statement position).
+    fn lower_expr_any(&mut self, e: &Expr) {
+        if self.checked.type_of(e.id).is_some() {
+            let _ = self.lower_expr(e);
+        } else {
+            // Void: must be a call.
+            let ExprKind::Call(name, args) = &e.kind else {
+                unreachable!("only calls can be void");
+            };
+            let _ = self.lower_call(name, args);
+        }
+    }
+
+    fn lower_expr(&mut self, e: &Expr) -> Value {
+        match &e.kind {
+            ExprKind::Int(v) => Value::i64(*v),
+            ExprKind::Float(v) => Value::f64(*v),
+            ExprKind::Bool(v) => Value::bool(*v),
+            ExprKind::Var(name) => {
+                let (slot, ty) = self.lookup(name);
+                self.b.load(ty.ir_type(), slot)
+            }
+            ExprKind::Unary(op, inner) => {
+                let v = self.lower_expr(inner);
+                match (op, self.ty_of(inner)) {
+                    (UnaryOp::Neg, LangType::Int) => {
+                        self.b.binary(BinOp::Sub, Type::I64, Value::i64(0), v)
+                    }
+                    (UnaryOp::Neg, LangType::Float) => {
+                        self.b.binary(BinOp::Fsub, Type::F64, Value::f64(-0.0), v)
+                    }
+                    (UnaryOp::Not, _) => {
+                        self.b.binary(BinOp::Xor, Type::Bool, v, Value::bool(true))
+                    }
+                    (op, ty) => unreachable!("checker rejected {op:?} on {ty}"),
+                }
+            }
+            ExprKind::Binary(op, lhs, rhs) => {
+                if op.is_logic() {
+                    return self.lower_short_circuit(*op, lhs, rhs);
+                }
+                let lt = self.ty_of(lhs);
+                let l = self.lower_expr(lhs);
+                let r = self.lower_expr(rhs);
+                if op.is_arith() {
+                    let (irop, ty) = match (op, lt) {
+                        (BinaryOp::Add, LangType::Int) => (BinOp::Add, Type::I64),
+                        (BinaryOp::Sub, LangType::Int) => (BinOp::Sub, Type::I64),
+                        (BinaryOp::Mul, LangType::Int) => (BinOp::Mul, Type::I64),
+                        (BinaryOp::Div, LangType::Int) => (BinOp::Sdiv, Type::I64),
+                        (BinaryOp::Rem, LangType::Int) => (BinOp::Srem, Type::I64),
+                        (BinaryOp::Add, LangType::Float) => (BinOp::Fadd, Type::F64),
+                        (BinaryOp::Sub, LangType::Float) => (BinOp::Fsub, Type::F64),
+                        (BinaryOp::Mul, LangType::Float) => (BinOp::Fmul, Type::F64),
+                        (BinaryOp::Div, LangType::Float) => (BinOp::Fdiv, Type::F64),
+                        (BinaryOp::Rem, LangType::Float) => (BinOp::Frem, Type::F64),
+                        (op, ty) => unreachable!("checker rejected {op:?} on {ty}"),
+                    };
+                    self.b.binary(irop, ty, l, r)
+                } else {
+                    // Comparison.
+                    if lt == LangType::Float {
+                        let pred = match op {
+                            BinaryOp::Eq => FcmpPred::Oeq,
+                            BinaryOp::Ne => FcmpPred::Une,
+                            BinaryOp::Lt => FcmpPred::Olt,
+                            BinaryOp::Le => FcmpPred::Ole,
+                            BinaryOp::Gt => FcmpPred::Ogt,
+                            BinaryOp::Ge => FcmpPred::Oge,
+                            _ => unreachable!("logic handled above"),
+                        };
+                        self.b.fcmp(pred, l, r)
+                    } else {
+                        let pred = match op {
+                            BinaryOp::Eq => IcmpPred::Eq,
+                            BinaryOp::Ne => IcmpPred::Ne,
+                            BinaryOp::Lt => IcmpPred::Slt,
+                            BinaryOp::Le => IcmpPred::Sle,
+                            BinaryOp::Gt => IcmpPred::Sgt,
+                            BinaryOp::Ge => IcmpPred::Sge,
+                            _ => unreachable!("logic handled above"),
+                        };
+                        self.b.icmp(pred, l, r)
+                    }
+                }
+            }
+            ExprKind::Index(base, index) => {
+                let elem = self.ty_of(e);
+                let b = self.lower_expr(base);
+                let i = self.lower_expr(index);
+                let addr = self.b.gep(elem.ir_type(), b, i);
+                self.b.load(elem.ir_type(), addr)
+            }
+            ExprKind::Call(name, args) => self
+                .lower_call(name, args)
+                .expect("checker verified value call"),
+        }
+    }
+
+    fn lower_short_circuit(&mut self, op: BinaryOp, lhs: &Expr, rhs: &Expr) -> Value {
+        // result = lhs; if (need rhs) result = rhs;
+        let slot = self.b.alloca(Type::Bool, 1);
+        let l = self.lower_expr(lhs);
+        self.b.store(Type::Bool, l, slot);
+        let rhs_bb = self.b.new_block();
+        let merge = self.b.new_block();
+        match op {
+            BinaryOp::And => self.b.cond_br(l, rhs_bb, merge),
+            BinaryOp::Or => self.b.cond_br(l, merge, rhs_bb),
+            other => unreachable!("{other:?} is not a logic operator"),
+        }
+        self.b.switch_to_block(rhs_bb);
+        let r = self.lower_expr(rhs);
+        self.b.store(Type::Bool, r, slot);
+        self.b.br(merge);
+        self.b.switch_to_block(merge);
+        self.b.load(Type::Bool, slot)
+    }
+
+    fn lower_call(&mut self, name: &str, args: &[Expr]) -> Option<Value> {
+        let vals: Vec<Value> = args.iter().map(|a| self.lower_expr(a)).collect();
+        let intr = match name {
+            "sqrt" => Some(Intrinsic::Sqrt),
+            "sin" => Some(Intrinsic::Sin),
+            "cos" => Some(Intrinsic::Cos),
+            "exp" => Some(Intrinsic::Exp),
+            "log" => Some(Intrinsic::Log),
+            "pow" => Some(Intrinsic::Pow),
+            "fabs" => Some(Intrinsic::Fabs),
+            "floor" => Some(Intrinsic::Floor),
+            "free_arr" => Some(Intrinsic::Free),
+            "print_i" => Some(Intrinsic::PrintI64),
+            "print_f" => Some(Intrinsic::PrintF64),
+            "output_i" => Some(Intrinsic::OutputI64),
+            "output_f" => Some(Intrinsic::OutputF64),
+            "mpi_rank" => Some(Intrinsic::MpiRank),
+            "mpi_size" => Some(Intrinsic::MpiSize),
+            "allreduce_sum_f" => Some(Intrinsic::MpiAllreduceSum),
+            "allreduce_sum_i" => Some(Intrinsic::MpiAllreduceSumI),
+            "allreduce_max_f" => Some(Intrinsic::MpiAllreduceMax),
+            "barrier" => Some(Intrinsic::MpiBarrier),
+            "allgather_f" => Some(Intrinsic::MpiAllgatherF),
+            "allreduce_arr_f" => Some(Intrinsic::MpiAllreduceArrF),
+            "allreduce_arr_i" => Some(Intrinsic::MpiAllreduceArrI),
+            _ => None,
+        };
+        if let Some(intr) = intr {
+            let v = self.b.call_intrinsic(intr, vals);
+            return if intr.return_type() == Type::Void {
+                None
+            } else {
+                Some(v)
+            };
+        }
+        match name {
+            "itof" => Some(self.b.cast(CastOp::Sitofp, Type::F64, vals[0])),
+            "ftoi" => Some(self.b.cast(CastOp::Fptosi, Type::I64, vals[0])),
+            "new_int" | "new_float" => {
+                let bytes = self
+                    .b
+                    .binary(BinOp::Mul, Type::I64, vals[0], Value::i64(8));
+                Some(self.b.call_intrinsic(Intrinsic::Malloc, vec![bytes]))
+            }
+            _ => {
+                let fid = self.fids[name];
+                let f = &self.checked.program.functions[fid.index()];
+                let ret = f.ret.map(|t| t.ir_type()).unwrap_or(Type::Void);
+                let v = self.b.call(fid, vals, ret);
+                if ret == Type::Void {
+                    None
+                } else {
+                    Some(v)
+                }
+            }
+        }
+    }
+}
+
+fn zero_value(t: LangType) -> Value {
+    match t {
+        LangType::Int => Value::i64(0),
+        LangType::Float => Value::f64(0.0),
+        LangType::Bool => Value::bool(false),
+        LangType::ArrayInt | LangType::ArrayFloat => Value::null(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{compile, compile_unoptimized};
+    use ipas_ir::Inst;
+
+    #[test]
+    fn unoptimized_uses_allocas_optimized_does_not() {
+        let src = "fn main() -> int { let x: int = 3; x = x + 1; return x; }";
+        let raw = compile_unoptimized(src, "t").unwrap();
+        let (_, f) = raw.functions().next().unwrap();
+        let has_alloca = f
+            .block_ids()
+            .flat_map(|bb| f.block(bb).insts().to_vec())
+            .any(|id| matches!(f.inst(id), Inst::Alloca { .. }));
+        assert!(has_alloca);
+
+        let opt = compile(src).unwrap();
+        let (_, f) = opt.functions().next().unwrap();
+        let has_alloca = f
+            .block_ids()
+            .flat_map(|bb| f.block(bb).insts().to_vec())
+            .any(|id| matches!(f.inst(id), Inst::Alloca { .. }));
+        assert!(!has_alloca, "mem2reg should remove scalar allocas:\n{}", opt.to_text());
+    }
+
+    #[test]
+    fn loops_produce_phis_after_mem2reg() {
+        let src = "fn main() -> int { let s: int = 0; for (let i: int = 0; i < 10; i = i + 1) { s = s + i; } return s; }";
+        let m = compile(src).unwrap();
+        let (_, f) = m.functions().next().unwrap();
+        let has_phi = f
+            .block_ids()
+            .flat_map(|bb| f.block(bb).insts().to_vec())
+            .any(|id| f.inst(id).is_phi());
+        assert!(has_phi, "{}", m.to_text());
+    }
+
+    #[test]
+    fn code_after_return_is_dropped() {
+        let src = "fn main() -> int { return 1; output_i(2); }";
+        let m = compile(src).unwrap();
+        let (_, f) = m.functions().next().unwrap();
+        let has_call = f
+            .block_ids()
+            .flat_map(|bb| f.block(bb).insts().to_vec())
+            .any(|id| matches!(f.inst(id), Inst::Call { .. }));
+        assert!(!has_call);
+    }
+
+    #[test]
+    fn both_branches_return_is_structurally_valid() {
+        let src = "fn main() -> int { if (true) { return 1; } else { return 2; } }";
+        compile(src).unwrap();
+    }
+}

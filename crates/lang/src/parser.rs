@@ -1,0 +1,625 @@
+//! Recursive-descent parser for SciL.
+
+use crate::ast::*;
+use crate::lexer::{Lexer, Token, TokenKind};
+use crate::CompileError;
+
+/// Parses a whole SciL program.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntax error.
+pub fn parse_program(source: &str) -> Result<Program, CompileError> {
+    let tokens = Lexer::new(source).tokenize()?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        next_node: 0,
+    };
+    let mut functions = Vec::new();
+    while !p.at(&TokenKind::Eof) {
+        functions.push(p.fn_decl()?);
+    }
+    Ok(Program {
+        functions,
+        num_nodes: p.next_node as usize,
+    })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    next_node: u32,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        &self.peek().kind == kind
+    }
+
+    fn span(&self) -> Span {
+        let t = self.peek();
+        Span {
+            line: t.line,
+            col: t.col,
+        }
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.at(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token, CompileError> {
+        if self.at(kind) {
+            Ok(self.bump())
+        } else {
+            let t = self.peek();
+            Err(CompileError::new(
+                t.line,
+                t.col,
+                format!("expected {kind}, found {}", t.kind),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Span), CompileError> {
+        let span = self.span();
+        match self.peek().kind.clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok((name, span))
+            }
+            other => Err(CompileError::new(
+                span.line,
+                span.col,
+                format!("expected identifier, found {other}"),
+            )),
+        }
+    }
+
+    fn node(&mut self) -> NodeId {
+        let id = NodeId(self.next_node);
+        self.next_node += 1;
+        id
+    }
+
+    fn mk(&mut self, span: Span, kind: ExprKind) -> Expr {
+        Expr {
+            id: self.node(),
+            span,
+            kind,
+        }
+    }
+
+    // ---- types -----------------------------------------------------------
+
+    fn ty(&mut self) -> Result<LangType, CompileError> {
+        let t = self.peek().clone();
+        match t.kind {
+            TokenKind::TyInt => {
+                self.bump();
+                Ok(LangType::Int)
+            }
+            TokenKind::TyFloat => {
+                self.bump();
+                Ok(LangType::Float)
+            }
+            TokenKind::TyBool => {
+                self.bump();
+                Ok(LangType::Bool)
+            }
+            TokenKind::LBracket => {
+                self.bump();
+                let inner = self.ty()?;
+                self.expect(&TokenKind::RBracket)?;
+                match inner {
+                    LangType::Int => Ok(LangType::ArrayInt),
+                    LangType::Float => Ok(LangType::ArrayFloat),
+                    other => Err(CompileError::new(
+                        t.line,
+                        t.col,
+                        format!("arrays of `{other}` are not supported"),
+                    )),
+                }
+            }
+            other => Err(CompileError::new(
+                t.line,
+                t.col,
+                format!("expected a type, found {other}"),
+            )),
+        }
+    }
+
+    // ---- declarations ------------------------------------------------------
+
+    fn fn_decl(&mut self) -> Result<FnDecl, CompileError> {
+        let span = self.span();
+        self.expect(&TokenKind::Fn)?;
+        let (name, _) = self.expect_ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.at(&TokenKind::RParen) {
+            loop {
+                let (pname, _) = self.expect_ident()?;
+                self.expect(&TokenKind::Colon)?;
+                let pty = self.ty()?;
+                params.push(Param {
+                    name: pname,
+                    ty: pty,
+                });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        let ret = if self.eat(&TokenKind::Arrow) {
+            Some(self.ty()?)
+        } else {
+            None
+        };
+        let body = self.block()?;
+        Ok(FnDecl {
+            span,
+            name,
+            params,
+            ret,
+            body,
+        })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.expect(&TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.at(&TokenKind::RBrace) {
+            if self.at(&TokenKind::Eof) {
+                let t = self.peek();
+                return Err(CompileError::new(t.line, t.col, "unterminated block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.expect(&TokenKind::RBrace)?;
+        Ok(stmts)
+    }
+
+    // ---- statements ----------------------------------------------------------
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let span = self.span();
+        match self.peek().kind.clone() {
+            TokenKind::Let => self.let_stmt(),
+            TokenKind::If => self.if_stmt(),
+            TokenKind::While => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::While { span, cond, body })
+            }
+            TokenKind::For => self.for_stmt(),
+            TokenKind::Return => {
+                self.bump();
+                let value = if self.at(&TokenKind::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Return { span, value })
+            }
+            TokenKind::Break => {
+                self.bump();
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Break { span })
+            }
+            TokenKind::Continue => {
+                self.bump();
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Continue { span })
+            }
+            TokenKind::Ident(name) => {
+                // Could be assignment, array store, or expression stmt.
+                let next = self.tokens[self.pos + 1].kind.clone();
+                match next {
+                    TokenKind::Assign => {
+                        self.bump(); // ident
+                        self.bump(); // =
+                        let value = self.expr()?;
+                        self.expect(&TokenKind::Semi)?;
+                        Ok(Stmt::Assign { span, name, value })
+                    }
+                    TokenKind::LBracket => {
+                        // Distinguish `a[i] = v;` from expression `a[i];`
+                        // by scanning for `=` after the matching bracket.
+                        let save = self.pos;
+                        self.bump(); // ident
+                        self.bump(); // [
+                        let index = self.expr()?;
+                        self.expect(&TokenKind::RBracket)?;
+                        if self.eat(&TokenKind::Assign) {
+                            let value = self.expr()?;
+                            self.expect(&TokenKind::Semi)?;
+                            Ok(Stmt::Store {
+                                span,
+                                array: name,
+                                index,
+                                value,
+                            })
+                        } else {
+                            self.pos = save;
+                            self.expr_stmt(span)
+                        }
+                    }
+                    _ => self.expr_stmt(span),
+                }
+            }
+            _ => self.expr_stmt(span),
+        }
+    }
+
+    fn expr_stmt(&mut self, span: Span) -> Result<Stmt, CompileError> {
+        let expr = self.expr()?;
+        self.expect(&TokenKind::Semi)?;
+        Ok(Stmt::Expr { span, expr })
+    }
+
+    fn let_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let span = self.span();
+        self.expect(&TokenKind::Let)?;
+        let (name, _) = self.expect_ident()?;
+        self.expect(&TokenKind::Colon)?;
+        let ty = self.ty()?;
+        self.expect(&TokenKind::Assign)?;
+        let init = self.expr()?;
+        self.expect(&TokenKind::Semi)?;
+        Ok(Stmt::Let {
+            span,
+            name,
+            ty,
+            init,
+        })
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let span = self.span();
+        self.expect(&TokenKind::If)?;
+        self.expect(&TokenKind::LParen)?;
+        let cond = self.expr()?;
+        self.expect(&TokenKind::RParen)?;
+        let then_body = self.block()?;
+        let else_body = if self.eat(&TokenKind::Else) {
+            if self.at(&TokenKind::If) {
+                vec![self.if_stmt()?]
+            } else {
+                self.block()?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If {
+            span,
+            cond,
+            then_body,
+            else_body,
+        })
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let span = self.span();
+        self.expect(&TokenKind::For)?;
+        self.expect(&TokenKind::LParen)?;
+        let init = if self.at(&TokenKind::Let) {
+            self.let_stmt()?
+        } else {
+            let ispan = self.span();
+            let (name, _) = self.expect_ident()?;
+            self.expect(&TokenKind::Assign)?;
+            let value = self.expr()?;
+            self.expect(&TokenKind::Semi)?;
+            Stmt::Assign {
+                span: ispan,
+                name,
+                value,
+            }
+        };
+        let cond = self.expr()?;
+        self.expect(&TokenKind::Semi)?;
+        let sspan = self.span();
+        let (sname, _) = self.expect_ident()?;
+        self.expect(&TokenKind::Assign)?;
+        let svalue = self.expr()?;
+        let step = Stmt::Assign {
+            span: sspan,
+            name: sname,
+            value: svalue,
+        };
+        self.expect(&TokenKind::RParen)?;
+        let body = self.block()?;
+        Ok(Stmt::For {
+            span,
+            init: Box::new(init),
+            cond,
+            step: Box::new(step),
+            body,
+        })
+    }
+
+    // ---- expressions (precedence climbing) ---------------------------------
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.and_expr()?;
+        while self.at(&TokenKind::OrOr) {
+            let span = self.span();
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = self.mk(span, ExprKind::Binary(BinaryOp::Or, Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.at(&TokenKind::AndAnd) {
+            let span = self.span();
+            self.bump();
+            let rhs = self.cmp_expr()?;
+            lhs = self.mk(span, ExprKind::Binary(BinaryOp::And, Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, CompileError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek().kind {
+            TokenKind::EqEq => BinaryOp::Eq,
+            TokenKind::NotEq => BinaryOp::Ne,
+            TokenKind::Lt => BinaryOp::Lt,
+            TokenKind::Le => BinaryOp::Le,
+            TokenKind::Gt => BinaryOp::Gt,
+            TokenKind::Ge => BinaryOp::Ge,
+            _ => return Ok(lhs),
+        };
+        let span = self.span();
+        self.bump();
+        let rhs = self.add_expr()?;
+        Ok(self.mk(span, ExprKind::Binary(op, Box::new(lhs), Box::new(rhs))))
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Plus => BinaryOp::Add,
+                TokenKind::Minus => BinaryOp::Sub,
+                _ => return Ok(lhs),
+            };
+            let span = self.span();
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = self.mk(span, ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)));
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Star => BinaryOp::Mul,
+                TokenKind::Slash => BinaryOp::Div,
+                TokenKind::Percent => BinaryOp::Rem,
+                _ => return Ok(lhs),
+            };
+            let span = self.span();
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = self.mk(span, ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)));
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, CompileError> {
+        let span = self.span();
+        if self.eat(&TokenKind::Minus) {
+            let inner = self.unary_expr()?;
+            return Ok(self.mk(span, ExprKind::Unary(UnaryOp::Neg, Box::new(inner))));
+        }
+        if self.eat(&TokenKind::Not) {
+            let inner = self.unary_expr()?;
+            return Ok(self.mk(span, ExprKind::Unary(UnaryOp::Not, Box::new(inner))));
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, CompileError> {
+        let span = self.span();
+        match self.peek().kind.clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(self.mk(span, ExprKind::Int(v)))
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                Ok(self.mk(span, ExprKind::Float(v)))
+            }
+            TokenKind::True => {
+                self.bump();
+                Ok(self.mk(span, ExprKind::Bool(true)))
+            }
+            TokenKind::False => {
+                self.bump();
+                Ok(self.mk(span, ExprKind::Bool(false)))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.eat(&TokenKind::LParen) {
+                    let mut args = Vec::new();
+                    if !self.at(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                    Ok(self.mk(span, ExprKind::Call(name, args)))
+                } else if self.eat(&TokenKind::LBracket) {
+                    let var = self.mk(span, ExprKind::Var(name));
+                    let idx = self.expr()?;
+                    self.expect(&TokenKind::RBracket)?;
+                    Ok(self.mk(span, ExprKind::Index(Box::new(var), Box::new(idx))))
+                } else {
+                    Ok(self.mk(span, ExprKind::Var(name)))
+                }
+            }
+            other => {
+                let t = self.peek();
+                Err(CompileError::new(
+                    t.line,
+                    t.col,
+                    format!("expected an expression, found {other}"),
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_function() {
+        let p = parse_program("fn main() -> int { return 1; }").unwrap();
+        assert_eq!(p.functions.len(), 1);
+        let f = &p.functions[0];
+        assert_eq!(f.name, "main");
+        assert_eq!(f.ret, Some(LangType::Int));
+        assert_eq!(f.body.len(), 1);
+    }
+
+    #[test]
+    fn parses_params_and_arrays() {
+        let p = parse_program("fn f(a: [float], n: int) { output_f(a[n]); }").unwrap();
+        let f = &p.functions[0];
+        assert_eq!(f.params[0].ty, LangType::ArrayFloat);
+        assert_eq!(f.params[1].ty, LangType::Int);
+        assert_eq!(f.ret, None);
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter() {
+        let p = parse_program("fn f() -> int { return 1 + 2 * 3; }").unwrap();
+        let Stmt::Return { value: Some(e), .. } = &p.functions[0].body[0] else {
+            panic!("expected return");
+        };
+        let ExprKind::Binary(BinaryOp::Add, _, rhs) = &e.kind else {
+            panic!("expected +, got {:?}", e.kind);
+        };
+        assert!(matches!(rhs.kind, ExprKind::Binary(BinaryOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn comparison_is_non_associative() {
+        // `a < b < c` parses as `(a < b) < c`? No — cmp is single-level,
+        // so the second `<` is a syntax error at statement level.
+        assert!(parse_program("fn f() -> bool { return 1 < 2 < 3; }").is_err());
+    }
+
+    #[test]
+    fn parses_if_else_chain() {
+        let p = parse_program(
+            "fn f(x: int) -> int { if (x < 0) { return -1; } else if (x == 0) { return 0; } else { return 1; } }",
+        )
+        .unwrap();
+        let Stmt::If { else_body, .. } = &p.functions[0].body[0] else {
+            panic!("expected if");
+        };
+        assert!(matches!(else_body[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn parses_for_loop() {
+        let p = parse_program(
+            "fn f(n: int) -> int { let s: int = 0; for (let i: int = 0; i < n; i = i + 1) { s = s + i; } return s; }",
+        )
+        .unwrap();
+        assert!(matches!(p.functions[0].body[1], Stmt::For { .. }));
+    }
+
+    #[test]
+    fn parses_store_vs_index_expr() {
+        let p = parse_program("fn f(a: [int]) { a[0] = 1; output_i(a[0]); }").unwrap();
+        assert!(matches!(p.functions[0].body[0], Stmt::Store { .. }));
+        assert!(matches!(p.functions[0].body[1], Stmt::Expr { .. }));
+    }
+
+    #[test]
+    fn parses_logical_operators_with_precedence() {
+        let p = parse_program("fn f(a: bool, b: bool, c: bool) -> bool { return a || b && c; }")
+            .unwrap();
+        let Stmt::Return { value: Some(e), .. } = &p.functions[0].body[0] else {
+            panic!();
+        };
+        // || at top, && below.
+        assert!(matches!(e.kind, ExprKind::Binary(BinaryOp::Or, _, _)));
+    }
+
+    #[test]
+    fn parses_unary_chains() {
+        let p = parse_program("fn f(x: int) -> int { return --x; }").unwrap();
+        let Stmt::Return { value: Some(e), .. } = &p.functions[0].body[0] else {
+            panic!();
+        };
+        assert!(matches!(e.kind, ExprKind::Unary(UnaryOp::Neg, _)));
+    }
+
+    #[test]
+    fn error_has_position() {
+        let err = parse_program("fn main() -> int {\n  return @;\n}").unwrap_err();
+        assert_eq!(err.line(), 2);
+    }
+
+    #[test]
+    fn rejects_unterminated_block() {
+        assert!(parse_program("fn main() { return;").is_err());
+    }
+
+    #[test]
+    fn rejects_array_of_bool() {
+        assert!(parse_program("fn f(a: [bool]) {}").is_err());
+    }
+
+    #[test]
+    fn node_ids_are_unique() {
+        let p = parse_program("fn f() -> int { return 1 + 2 * 3 - 4; }").unwrap();
+        assert!(p.num_nodes >= 7);
+    }
+}

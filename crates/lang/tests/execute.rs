@@ -1,0 +1,280 @@
+//! End-to-end tests: compile SciL and execute it on the interpreter.
+
+use ipas_interp::{Machine, RunConfig, RunStatus, RtVal};
+
+fn run(src: &str) -> ipas_interp::RunOutput {
+    let module = ipas_lang::compile(src).expect("compiles");
+    Machine::new(&module)
+        .run(&RunConfig::default())
+        .expect("runs")
+}
+
+fn run_expect_i64(src: &str, want: i64) {
+    let out = run(src);
+    assert_eq!(
+        out.status,
+        RunStatus::Completed(Some(RtVal::I64(want))),
+        "program output: {:?}",
+        out.console
+    );
+}
+
+#[test]
+fn arithmetic_precedence() {
+    run_expect_i64("fn main() -> int { return 2 + 3 * 4 - 6 / 2; }", 11);
+}
+
+#[test]
+fn float_math_and_casts() {
+    let out = run(
+        "fn main() -> int { let x: float = sqrt(2.0); let y: float = x * x; return ftoi(y + 0.5); }",
+    );
+    assert_eq!(out.status, RunStatus::Completed(Some(RtVal::I64(2))));
+}
+
+#[test]
+fn while_loop_sum() {
+    run_expect_i64(
+        "fn main() -> int { let s: int = 0; let i: int = 0; while (i < 100) { s = s + i; i = i + 1; } return s; }",
+        4950,
+    );
+}
+
+#[test]
+fn for_loop_with_continue_and_break() {
+    run_expect_i64(
+        r#"
+fn main() -> int {
+    let s: int = 0;
+    for (let i: int = 0; i < 100; i = i + 1) {
+        if (i % 2 == 0) { continue; }
+        if (i > 10) { break; }
+        s = s + i;
+    }
+    return s;  // 1 + 3 + 5 + 7 + 9 = 25
+}
+"#,
+        25,
+    );
+}
+
+#[test]
+fn nested_function_calls() {
+    run_expect_i64(
+        r#"
+fn square(x: int) -> int { return x * x; }
+fn sum_squares(n: int) -> int {
+    let s: int = 0;
+    for (let i: int = 1; i <= n; i = i + 1) { s = s + square(i); }
+    return s;
+}
+fn main() -> int { return sum_squares(5); }
+"#,
+        55,
+    );
+}
+
+#[test]
+fn recursion() {
+    run_expect_i64(
+        r#"
+fn fib(n: int) -> int {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+fn main() -> int { return fib(15); }
+"#,
+        610,
+    );
+}
+
+#[test]
+fn arrays_and_outputs() {
+    let out = run(
+        r#"
+fn main() -> int {
+    let a: [int] = new_int(10);
+    for (let i: int = 0; i < 10; i = i + 1) { a[i] = i * i; }
+    let s: int = 0;
+    for (let i: int = 0; i < 10; i = i + 1) { s = s + a[i]; }
+    output_i(s);
+    free_arr(a);
+    return 0;
+}
+"#,
+    );
+    assert_eq!(out.outputs.as_ints(), vec![285]);
+}
+
+#[test]
+fn float_arrays() {
+    let out = run(
+        r#"
+fn main() -> int {
+    let a: [float] = new_float(4);
+    a[0] = 1.5; a[1] = 2.5; a[2] = 3.0; a[3] = -1.0;
+    let s: float = 0.0;
+    for (let i: int = 0; i < 4; i = i + 1) { s = s + a[i]; }
+    output_f(s);
+    free_arr(a);
+    return 0;
+}
+"#,
+    );
+    assert_eq!(out.outputs.as_floats(), vec![6.0]);
+}
+
+#[test]
+fn short_circuit_and_avoids_rhs() {
+    // If && were eager, a[10] would trap (out of bounds); short-circuit
+    // evaluation must complete normally.
+    let out = run(
+        r#"
+fn main() -> int {
+    let a: [int] = new_int(4);
+    let i: int = 10;
+    if (i < 4 && a[i] > 0) { return 1; }
+    return 0;
+}
+"#,
+    );
+    assert_eq!(out.status, RunStatus::Completed(Some(RtVal::I64(0))));
+}
+
+#[test]
+fn short_circuit_or_avoids_rhs() {
+    let out = run(
+        r#"
+fn main() -> int {
+    let a: [int] = new_int(4);
+    let i: int = 10;
+    if (i >= 4 || a[i] > 0) { return 1; }
+    return 0;
+}
+"#,
+    );
+    assert_eq!(out.status, RunStatus::Completed(Some(RtVal::I64(1))));
+}
+
+#[test]
+fn logical_operators_compute_correctly() {
+    run_expect_i64(
+        r#"
+fn b2i(b: bool) -> int { if (b) { return 1; } return 0; }
+fn main() -> int {
+    let t: bool = true;
+    let f: bool = false;
+    return b2i(t && t) * 1000 + b2i(t && f) * 100 + b2i(f || t) * 10 + b2i(f || f);
+}
+"#,
+        1010,
+    );
+}
+
+#[test]
+fn unary_operators() {
+    run_expect_i64(
+        "fn main() -> int { let x: int = 5; if (!(x < 0)) { return -x; } return x; }",
+        -5,
+    );
+}
+
+#[test]
+fn float_remainder_and_floor() {
+    let out = run("fn main() -> int { output_f(7.5 % 2.0); output_f(floor(2.9)); return 0; }");
+    assert_eq!(out.outputs.as_floats(), vec![1.5, 2.0]);
+}
+
+#[test]
+fn integer_division_by_zero_traps() {
+    let src = "fn main() -> int { let z: int = 0; return 4 / z; }";
+    let module = ipas_lang::compile(src).unwrap();
+    let out = Machine::new(&module).run(&RunConfig::default()).unwrap();
+    assert!(matches!(out.status, RunStatus::Trapped(_)));
+}
+
+#[test]
+fn out_of_bounds_traps() {
+    let src = "fn main() -> int { let a: [int] = new_int(2); return a[5]; }";
+    let module = ipas_lang::compile(src).unwrap();
+    let out = Machine::new(&module).run(&RunConfig::default()).unwrap();
+    assert!(matches!(out.status, RunStatus::Trapped(_)));
+}
+
+#[test]
+fn mpi_intrinsics_in_serial_mode() {
+    let out = run(
+        r#"
+fn main() -> int {
+    let r: int = mpi_rank();
+    let s: int = mpi_size();
+    let total: float = allreduce_sum_f(2.5);
+    barrier();
+    output_f(total);
+    return r * 100 + s;
+}
+"#,
+    );
+    assert_eq!(out.status, RunStatus::Completed(Some(RtVal::I64(1))));
+    assert_eq!(out.outputs.as_floats(), vec![2.5]);
+}
+
+#[test]
+fn else_if_chain() {
+    let src = r#"
+fn classify(x: int) -> int {
+    if (x < 0) { return 0; }
+    else if (x == 0) { return 1; }
+    else if (x < 10) { return 2; }
+    else { return 3; }
+}
+fn main() -> int {
+    return classify(-5) * 1000 + classify(0) * 100 + classify(5) * 10 + classify(50);
+}
+"#;
+    run_expect_i64(src, 123);
+}
+
+#[test]
+fn shadowed_variables_resolve_lexically() {
+    run_expect_i64(
+        r#"
+fn main() -> int {
+    let x: int = 1;
+    if (true) {
+        let x: int = 2;
+        x = x + 10;
+        if (x != 12) { return -1; }
+    }
+    return x;
+}
+"#,
+        1,
+    );
+}
+
+#[test]
+fn dot_product_kernel() {
+    let out = run(
+        r#"
+fn dot(a: [float], b: [float], n: int) -> float {
+    let s: float = 0.0;
+    for (let i: int = 0; i < n; i = i + 1) { s = s + a[i] * b[i]; }
+    return allreduce_sum_f(s);
+}
+fn main() -> int {
+    let n: int = 16;
+    let a: [float] = new_float(n);
+    let b: [float] = new_float(n);
+    for (let i: int = 0; i < n; i = i + 1) {
+        a[i] = itof(i);
+        b[i] = 2.0;
+    }
+    output_f(dot(a, b, n));
+    free_arr(a); free_arr(b);
+    return 0;
+}
+"#,
+    );
+    assert_eq!(out.outputs.as_floats(), vec![240.0]);
+}

@@ -1,0 +1,64 @@
+//! Robustness fuzzing for the frontend: arbitrary inputs must produce
+//! diagnostics, never panics.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary ASCII soup never panics the lexer/parser/checker.
+    #[test]
+    fn compile_is_total_on_ascii(src in "[ -~\n]{0,200}") {
+        let _ = ipas_lang::compile(&src);
+    }
+
+    /// Arbitrary token-shaped soup (keywords, idents, punctuation mixed
+    /// with structure) never panics either.
+    #[test]
+    fn compile_is_total_on_token_soup(
+        toks in proptest::collection::vec(
+            prop_oneof![
+                Just("fn".to_string()),
+                Just("let".to_string()),
+                Just("if".to_string()),
+                Just("while".to_string()),
+                Just("return".to_string()),
+                Just("int".to_string()),
+                Just("float".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just("{".to_string()),
+                Just("}".to_string()),
+                Just("[".to_string()),
+                Just("]".to_string()),
+                Just(";".to_string()),
+                Just(":".to_string()),
+                Just("=".to_string()),
+                Just("+".to_string()),
+                Just("->".to_string()),
+                Just("x".to_string()),
+                Just("main".to_string()),
+                Just("1".to_string()),
+                Just("2.5".to_string()),
+            ],
+            0..60,
+        )
+    ) {
+        let src = toks.join(" ");
+        let _ = ipas_lang::compile(&src);
+    }
+
+    /// Single-character corruptions of a valid program are diagnosed,
+    /// not panicked on.
+    #[test]
+    fn mutated_valid_program_is_total(pos in 0usize..200, replacement in 0u8..127) {
+        let base = "fn helper(a: int) -> int { return a * 2; }\n\
+                    fn main() -> int { let x: int = 3; if (x < 10) { x = helper(x); } return x; }";
+        let mut bytes = base.as_bytes().to_vec();
+        let idx = pos % bytes.len();
+        bytes[idx] = replacement.max(b' ');
+        if let Ok(src) = String::from_utf8(bytes) {
+            let _ = ipas_lang::compile(&src);
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! A simulated MPI runtime for multi-rank interpretation.
+//!
+//! Each rank runs the same module on its own OS thread with a private
+//! [`ipas_interp::Machine`]; collectives rendezvous through a shared
+//! [`Communicator`] (a generation-counted reusable barrier that also
+//! reduces/gathers contributions). The runtime reproduces the paper's
+//! §4.4.1 failure semantics: when one rank traps, hangs, or detects a
+//! fault, the job is *poisoned* and every other rank aborts with
+//! [`ipas_interp::Trap::MpiAbort`] — the "if a process fails, the rest
+//! of the processes abort" behaviour IPAS relies on to turn local
+//! detections into job-level symptoms.
+//!
+//! Desynchronized collectives (e.g. a corrupted loop bound making one
+//! rank skip an allreduce) are detected: a rank finishing while others
+//! wait poisons the job rather than deadlocking.
+//!
+//! # Example
+//!
+//! ```
+//! use ipas_mpisim::run_mpi_job;
+//! use ipas_interp::{RunConfig, RtVal};
+//!
+//! let module = ipas_lang::compile(r#"
+//! fn main() -> int {
+//!     let mine: float = itof(mpi_rank() + 1);
+//!     let total: float = allreduce_sum_f(mine);
+//!     if (mpi_rank() == 0) { output_f(total); }
+//!     return 0;
+//! }
+//! "#).unwrap();
+//! let job = run_mpi_job(&module, 4, &RunConfig::default(), None).unwrap();
+//! assert_eq!(job.rank_outputs[0].outputs.as_floats(), vec![10.0]);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use ipas_interp::{
+    Env, Injection, Machine, RunConfig, RunError, RunOutput, RunStatus, Trap,
+};
+use ipas_ir::Module;
+
+/// Aggregate result of one multi-rank job.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Per-rank run outputs, indexed by rank.
+    pub rank_outputs: Vec<RunOutput>,
+    /// The job-level status: `Completed` only when every rank completed;
+    /// otherwise the first failing rank's status (detection and symptoms
+    /// propagate job-wide, per the paper's abort semantics).
+    pub status: RunStatus,
+    /// Maximum per-rank dynamic instruction count — the SPMD proxy for
+    /// job execution time used by the scalability experiment.
+    pub max_rank_insts: u64,
+    /// Total dynamic instructions across ranks.
+    pub total_insts: u64,
+}
+
+/// Internal state of one in-flight collective operation.
+#[derive(Default)]
+struct CollectiveState {
+    generation: u64,
+    arrived: usize,
+    // Accumulators for the in-flight operation.
+    acc_f: f64,
+    acc_i: i64,
+    acc_max: f64,
+    acc_vec_f: Vec<f64>,
+    acc_vec_i: Vec<i64>,
+    gather: Vec<f64>,
+    // Results of the completed generation (read by late wakers).
+    res_f: f64,
+    res_i: i64,
+    res_max: f64,
+    res_vec_f: Vec<f64>,
+    res_vec_i: Vec<i64>,
+    res_gather: Vec<f64>,
+}
+
+/// The shared rendezvous object of a job.
+pub struct Communicator {
+    size: usize,
+    state: Mutex<CollectiveState>,
+    cv: Condvar,
+    poison: AtomicBool,
+    finished_ranks: AtomicUsize,
+}
+
+impl Communicator {
+    /// Creates a communicator for `size` ranks.
+    pub fn new(size: usize) -> Self {
+        Communicator {
+            size,
+            state: Mutex::new(CollectiveState {
+                acc_max: f64::NEG_INFINITY,
+                ..CollectiveState::default()
+            }),
+            cv: Condvar::new(),
+            poison: AtomicBool::new(false),
+            finished_ranks: AtomicUsize::new(0),
+        }
+    }
+
+    /// Marks the job failed; wakes all waiters.
+    pub fn poison(&self) {
+        self.poison.store(true, Ordering::SeqCst);
+        self.cv.notify_all();
+    }
+
+    /// Returns `true` once the job is poisoned.
+    pub fn is_poisoned(&self) -> bool {
+        self.poison.load(Ordering::SeqCst)
+    }
+
+    /// Called when a rank's interpretation ends (any status). If other
+    /// ranks are blocked in a collective that can now never complete,
+    /// the job is poisoned.
+    fn rank_finished(&self) {
+        self.finished_ranks.fetch_add(1, Ordering::SeqCst);
+        let st = self.state.lock().expect("communicator lock");
+        if st.arrived > 0 {
+            // Someone is waiting on a collective this rank will never
+            // join: certain deadlock.
+            drop(st);
+            self.poison();
+        }
+    }
+
+    /// Generic collective: `contribute` folds this rank's value into the
+    /// accumulators; `extract` reads the completed result.
+    fn collective<T>(
+        &self,
+        contribute: impl FnOnce(&mut CollectiveState),
+        extract: impl Fn(&CollectiveState) -> T,
+    ) -> Result<T, Trap> {
+        if self.is_poisoned() {
+            return Err(Trap::MpiAbort);
+        }
+        let mut st = self.state.lock().expect("communicator lock");
+        let my_gen = st.generation;
+        contribute(&mut st);
+        st.arrived += 1;
+        let alive = self.size - self.finished_ranks.load(Ordering::SeqCst);
+        if st.arrived >= alive {
+            if st.arrived < self.size {
+                // Some ranks finished without this collective: the SPMD
+                // program desynchronized — abort the job.
+                st.arrived = 0;
+                drop(st);
+                self.poison();
+                return Err(Trap::MpiAbort);
+            }
+            // Last rank in: publish results, advance the generation.
+            st.res_f = st.acc_f;
+            st.res_i = st.acc_i;
+            st.res_max = st.acc_max;
+            st.res_vec_f = std::mem::take(&mut st.acc_vec_f);
+            st.res_vec_i = std::mem::take(&mut st.acc_vec_i);
+            st.res_gather = std::mem::take(&mut st.gather);
+            st.acc_f = 0.0;
+            st.acc_i = 0;
+            st.acc_max = f64::NEG_INFINITY;
+            st.arrived = 0;
+            st.generation += 1;
+            let out = extract(&st);
+            drop(st);
+            self.cv.notify_all();
+            return Ok(out);
+        }
+        // Wait for the generation to advance (or the job to die).
+        loop {
+            let (guard, timeout) = self
+                .cv
+                .wait_timeout(st, Duration::from_millis(50))
+                .expect("communicator lock");
+            st = guard;
+            if st.generation != my_gen {
+                return Ok(extract(&st));
+            }
+            if self.is_poisoned() {
+                return Err(Trap::MpiAbort);
+            }
+            let _ = timeout;
+        }
+    }
+}
+
+/// The per-rank [`Env`] implementation.
+pub struct RankEnv<'c> {
+    rank: i64,
+    comm: &'c Communicator,
+}
+
+impl<'c> RankEnv<'c> {
+    /// Creates the environment for `rank` over `comm`.
+    pub fn new(rank: usize, comm: &'c Communicator) -> Self {
+        RankEnv {
+            rank: rank as i64,
+            comm,
+        }
+    }
+}
+
+impl Env for RankEnv<'_> {
+    fn rank(&self) -> i64 {
+        self.rank
+    }
+
+    fn size(&self) -> i64 {
+        self.comm.size as i64
+    }
+
+    fn allreduce_sum_f(&mut self, v: f64) -> Result<f64, Trap> {
+        self.comm.collective(|st| st.acc_f += v, |st| st.res_f)
+    }
+
+    fn allreduce_sum_i(&mut self, v: i64) -> Result<i64, Trap> {
+        self.comm
+            .collective(|st| st.acc_i = st.acc_i.wrapping_add(v), |st| st.res_i)
+    }
+
+    fn allreduce_max_f(&mut self, v: f64) -> Result<f64, Trap> {
+        self.comm
+            .collective(|st| st.acc_max = st.acc_max.max(v), |st| st.res_max)
+    }
+
+    fn barrier(&mut self) -> Result<(), Trap> {
+        self.comm.collective(|_| {}, |_| ())
+    }
+
+    fn allgather_f(&mut self, chunk: Vec<f64>, lo: usize, n: usize) -> Result<Vec<f64>, Trap> {
+        self.comm.collective(
+            move |st| {
+                if st.gather.len() < n {
+                    st.gather.resize(n, 0.0);
+                }
+                // Clamp against the *current* buffer: a fault-corrupted
+                // rank may pass a mismatched (lo, n); desynchronized data
+                // must surface as corruption or an abort, never as a
+                // panic that poisons the communicator mutex.
+                let len = st.gather.len();
+                let lo = lo.min(len);
+                let hi = (lo + chunk.len()).min(len);
+                st.gather[lo..hi].copy_from_slice(&chunk[..hi - lo]);
+            },
+            |st| st.res_gather.clone(),
+        )
+    }
+
+    fn allreduce_vec_f(&mut self, v: Vec<f64>) -> Result<Vec<f64>, Trap> {
+        self.comm.collective(
+            move |st| {
+                if st.acc_vec_f.len() != v.len() {
+                    st.acc_vec_f = vec![0.0; v.len()];
+                }
+                for (a, b) in st.acc_vec_f.iter_mut().zip(&v) {
+                    *a += b;
+                }
+            },
+            |st| st.res_vec_f.clone(),
+        )
+    }
+
+    fn allreduce_vec_i(&mut self, v: Vec<i64>) -> Result<Vec<i64>, Trap> {
+        self.comm.collective(
+            move |st| {
+                if st.acc_vec_i.len() != v.len() {
+                    st.acc_vec_i = vec![0; v.len()];
+                }
+                for (a, b) in st.acc_vec_i.iter_mut().zip(&v) {
+                    *a = a.wrapping_add(*b);
+                }
+            },
+            |st| st.res_vec_i.clone(),
+        )
+    }
+
+    fn poisoned(&self) -> bool {
+        self.comm.is_poisoned()
+    }
+
+    fn poison(&mut self) {
+        self.comm.poison();
+    }
+}
+
+/// Runs `module` as an SPMD job over `ranks` ranks. `injection`, when
+/// present, plants a fault into the given rank's run.
+///
+/// # Errors
+///
+/// Returns [`RunError`] for configuration problems (bad entry name or
+/// arguments); runtime faults are reported in the per-rank statuses.
+pub fn run_mpi_job(
+    module: &Module,
+    ranks: usize,
+    config: &RunConfig,
+    injection: Option<(usize, Injection)>,
+) -> Result<JobResult, RunError> {
+    assert!(ranks >= 1, "a job needs at least one rank");
+    let comm = Communicator::new(ranks);
+    let results: Vec<Mutex<Option<Result<RunOutput, RunError>>>> =
+        (0..ranks).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for rank in 0..ranks {
+            let comm = &comm;
+            let results = &results;
+            let mut rank_config = config.clone();
+            if let Some((target_rank, inj)) = injection {
+                if target_rank == rank {
+                    rank_config.injection = Some(inj);
+                } else {
+                    rank_config.injection = None;
+                }
+            }
+            scope.spawn(move || {
+                let mut env = RankEnv::new(rank, comm);
+                let mut machine = Machine::new(module);
+                let out = machine.run_with_env(&rank_config, &mut env);
+                comm.rank_finished();
+                *results[rank].lock().expect("result slot") = Some(out);
+            });
+        }
+    });
+
+    let mut rank_outputs: Vec<RunOutput> = Vec::with_capacity(ranks);
+    for slot in results {
+        let out = slot.into_inner().expect("scope joined").expect("slot filled")?;
+        rank_outputs.push(out);
+    }
+
+    let mut status = RunStatus::Completed(None);
+    for out in &rank_outputs {
+        match out.status {
+            RunStatus::Completed(_) => {}
+            // Prefer reporting a primary failure over secondary aborts.
+            RunStatus::Trapped(Trap::MpiAbort) => {
+                if status.is_completed() {
+                    status = out.status;
+                }
+            }
+            other => {
+                status = other;
+                break;
+            }
+        }
+    }
+    let max_rank_insts = rank_outputs.iter().map(|o| o.dynamic_insts).max().unwrap_or(0);
+    let total_insts = rank_outputs.iter().map(|o| o.dynamic_insts).sum();
+    Ok(JobResult {
+        rank_outputs,
+        status,
+        max_rank_insts,
+        total_insts,
+    })
+}

@@ -1,0 +1,240 @@
+//! Multi-rank job tests: collectives, abort propagation, scalability.
+
+use ipas_interp::{Injection, RunConfig, RtVal};
+use ipas_mpisim::run_mpi_job;
+
+#[test]
+fn allreduce_sums_across_ranks() {
+    let module = ipas_lang::compile(
+        r#"
+fn main() -> int {
+    let mine: int = mpi_rank() + 1;
+    let total: int = allreduce_sum_i(mine);
+    if (mpi_rank() == 0) { output_i(total); }
+    return 0;
+}
+"#,
+    )
+    .unwrap();
+    for ranks in [1, 2, 3, 8] {
+        let job = run_mpi_job(&module, ranks, &RunConfig::default(), None).unwrap();
+        assert!(job.status.is_completed());
+        let expect = (ranks * (ranks + 1) / 2) as i64;
+        assert_eq!(job.rank_outputs[0].outputs.as_ints(), vec![expect], "ranks={ranks}");
+        // Non-root ranks emit nothing.
+        for r in 1..ranks {
+            assert!(job.rank_outputs[r].outputs.is_empty());
+        }
+    }
+}
+
+#[test]
+fn allgather_assembles_blocks() {
+    let module = ipas_lang::compile(
+        r#"
+fn main() -> int {
+    let n: int = 8;
+    let a: [float] = new_float(n);
+    let rank: int = mpi_rank();
+    let size: int = mpi_size();
+    let lo: int = rank * n / size;
+    let hi: int = (rank + 1) * n / size;
+    for (let i: int = lo; i < hi; i = i + 1) { a[i] = itof(i * 10); }
+    allgather_f(a, n);
+    if (rank == 0) {
+        for (let i: int = 0; i < n; i = i + 1) { output_f(a[i]); }
+    }
+    free_arr(a);
+    return 0;
+}
+"#,
+    )
+    .unwrap();
+    for ranks in [1, 2, 4, 8] {
+        let job = run_mpi_job(&module, ranks, &RunConfig::default(), None).unwrap();
+        assert!(job.status.is_completed(), "ranks={ranks}: {:?}", job.status);
+        let got = job.rank_outputs[0].outputs.as_floats();
+        let expect: Vec<f64> = (0..8).map(|i| (i * 10) as f64).collect();
+        assert_eq!(got, expect, "ranks={ranks}");
+    }
+}
+
+#[test]
+fn allreduce_arr_merges_histograms() {
+    let module = ipas_lang::compile(
+        r#"
+fn main() -> int {
+    let counts: [int] = new_int(4);
+    counts[mpi_rank() % 4] = 1;
+    allreduce_arr_i(counts, 4);
+    if (mpi_rank() == 0) {
+        for (let k: int = 0; k < 4; k = k + 1) { output_i(counts[k]); }
+    }
+    free_arr(counts);
+    return 0;
+}
+"#,
+    )
+    .unwrap();
+    let job = run_mpi_job(&module, 4, &RunConfig::default(), None).unwrap();
+    assert_eq!(job.rank_outputs[0].outputs.as_ints(), vec![1, 1, 1, 1]);
+}
+
+#[test]
+fn trap_on_one_rank_aborts_the_job() {
+    // Rank 1 divides by zero before the collective; the others must
+    // abort instead of deadlocking.
+    let module = ipas_lang::compile(
+        r#"
+fn main() -> int {
+    let r: int = mpi_rank();
+    if (r == 1) {
+        let z: int = r - 1;
+        output_i(4 / z);
+    }
+    barrier();
+    return 0;
+}
+"#,
+    )
+    .unwrap();
+    let job = run_mpi_job(&module, 4, &RunConfig::default(), None).unwrap();
+    assert!(job.status.is_symptom(), "{:?}", job.status);
+}
+
+#[test]
+fn desynchronized_collectives_poison_the_job() {
+    // Rank 0 skips the barrier entirely: certain deadlock without the
+    // finished-rank detection.
+    let module = ipas_lang::compile(
+        r#"
+fn main() -> int {
+    if (mpi_rank() > 0) { barrier(); }
+    return 0;
+}
+"#,
+    )
+    .unwrap();
+    let job = run_mpi_job(&module, 3, &RunConfig::default(), None).unwrap();
+    assert!(job.status.is_symptom(), "{:?}", job.status);
+}
+
+#[test]
+fn injection_into_one_rank_can_abort_all() {
+    // Corrupt rank 0's computation massively (pointer bit): its trap
+    // must propagate to every rank.
+    let module = ipas_lang::compile(
+        r#"
+fn main() -> int {
+    let a: [float] = new_float(16);
+    let rank: int = mpi_rank();
+    for (let i: int = 0; i < 16; i = i + 1) { a[i] = itof(i + rank); }
+    let s: float = 0.0;
+    for (let i: int = 0; i < 16; i = i + 1) { s = s + a[i]; }
+    let total: float = allreduce_sum_f(s);
+    if (rank == 0) { output_f(total); }
+    free_arr(a);
+    return 0;
+}
+"#,
+    )
+    .unwrap();
+    // Scan early sites with a high-bit flip until one traps (GEPs do).
+    let mut aborted = None;
+    for target in 0..40 {
+        let job = run_mpi_job(
+            &module,
+            3,
+            &RunConfig {
+                max_insts: 1_000_000,
+                ..RunConfig::default()
+            },
+            Some((0, Injection::at_global_index(target, 55))),
+        )
+        .unwrap();
+        if job.status.is_symptom() {
+            aborted = Some(job);
+            break;
+        }
+    }
+    let job = aborted.expect("some high-bit flip must trap rank 0");
+    // Every other rank aborted rather than completing.
+    for out in &job.rank_outputs[1..] {
+        assert!(!out.status.is_completed(), "{:?}", out.status);
+    }
+}
+
+#[test]
+fn workloads_give_same_answers_at_any_rank_count() {
+    // HPCCG's convergence result must be invariant to the rank count.
+    let w = ipas_workloads::hpccg(4).unwrap();
+    let config = RunConfig {
+        entry: "main".into(),
+        args: vec![RtVal::I64(4)],
+        ..RunConfig::default()
+    };
+    let serial = run_mpi_job(&w.module, 1, &config, None).unwrap();
+    let parallel = run_mpi_job(&w.module, 4, &config, None).unwrap();
+    assert!(serial.status.is_completed());
+    assert!(parallel.status.is_completed());
+    let e1 = serial.rank_outputs[0].outputs.as_floats()[0];
+    let e4 = parallel.rank_outputs[0].outputs.as_floats()[0];
+    assert!(
+        (e1 - e4).abs() < 1e-9,
+        "convergence differs across rank counts: {e1} vs {e4}"
+    );
+}
+
+#[test]
+fn strong_scaling_reduces_per_rank_work() {
+    let w = ipas_workloads::comd(3).unwrap();
+    let config = RunConfig {
+        entry: "main".into(),
+        args: vec![RtVal::I64(3)],
+        ..RunConfig::default()
+    };
+    let one = run_mpi_job(&w.module, 1, &config, None).unwrap();
+    let four = run_mpi_job(&w.module, 4, &config, None).unwrap();
+    assert!(one.status.is_completed() && four.status.is_completed());
+    // The O(N²) force loop dominates: 4 ranks should cut the critical
+    // path well below the serial count.
+    assert!(
+        four.max_rank_insts * 2 < one.max_rank_insts,
+        "serial {} vs 4-rank max {}",
+        one.max_rank_insts,
+        four.max_rank_insts
+    );
+    // Energies match.
+    let e1 = one.rank_outputs[0].outputs.as_floats();
+    let e4 = four.rank_outputs[0].outputs.as_floats();
+    for (a, b) in e1.iter().zip(&e4) {
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+}
+
+#[test]
+fn protected_job_slowdown_is_stable_across_ranks() {
+    // The heart of Figure 8: protect CoMD fully, then verify that the
+    // slowdown (protected / unprotected critical path) stays roughly
+    // constant as ranks increase.
+    let w = ipas_workloads::comd(3).unwrap();
+    let (protected, _) = ipas_core::ProtectionPolicy::FullDuplication.apply(&w.module);
+    let config = RunConfig {
+        entry: "main".into(),
+        args: vec![RtVal::I64(3)],
+        ..RunConfig::default()
+    };
+    let mut slowdowns = Vec::new();
+    for ranks in [1, 2, 4] {
+        let base = run_mpi_job(&w.module, ranks, &config, None).unwrap();
+        let prot = run_mpi_job(&protected, ranks, &config, None).unwrap();
+        assert!(prot.status.is_completed());
+        slowdowns.push(prot.max_rank_insts as f64 / base.max_rank_insts as f64);
+    }
+    let min = slowdowns.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = slowdowns.iter().cloned().fold(0.0, f64::max);
+    assert!(
+        max / min < 1.15,
+        "slowdown should be flat across ranks: {slowdowns:?}"
+    );
+}

@@ -1,0 +1,294 @@
+//! Datasets, standardization, and stratified splitting.
+
+use std::fmt;
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Error constructing a [`Dataset`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// Feature matrix and label vector lengths differ.
+    LengthMismatch,
+    /// Rows have inconsistent dimensionality.
+    RaggedRows,
+    /// The dataset is empty.
+    Empty,
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DatasetError::LengthMismatch => "feature and label counts differ",
+            DatasetError::RaggedRows => "feature rows have different lengths",
+            DatasetError::Empty => "dataset is empty",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+/// A binary-labeled dataset (`true` = class 1 = SOC-generating in the
+/// IPAS pipeline).
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    x: Vec<Vec<f64>>,
+    y: Vec<bool>,
+}
+
+impl Dataset {
+    /// Creates a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty, ragged, or mismatched inputs.
+    pub fn new(x: Vec<Vec<f64>>, y: Vec<bool>) -> Result<Self, DatasetError> {
+        if x.len() != y.len() {
+            return Err(DatasetError::LengthMismatch);
+        }
+        if x.is_empty() {
+            return Err(DatasetError::Empty);
+        }
+        let d = x[0].len();
+        if x.iter().any(|row| row.len() != d) {
+            return Err(DatasetError::RaggedRows);
+        }
+        Ok(Dataset { x, y })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Returns `true` when the dataset has no samples (unreachable for a
+    /// constructed dataset; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.x[0].len()
+    }
+
+    /// The feature rows.
+    pub fn features(&self) -> &[Vec<f64>] {
+        &self.x
+    }
+
+    /// The labels.
+    pub fn labels(&self) -> &[bool] {
+        &self.y
+    }
+
+    /// Number of positive (class 1) samples.
+    pub fn num_positive(&self) -> usize {
+        self.y.iter().filter(|&&b| b).count()
+    }
+
+    /// Fraction of positive samples — the class imbalance the paper
+    /// reports as 3–10% for SOC data.
+    pub fn positive_fraction(&self) -> f64 {
+        self.num_positive() as f64 / self.len() as f64
+    }
+
+    /// Selects a subset by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn subset(&self, idx: &[usize]) -> Dataset {
+        Dataset {
+            x: idx.iter().map(|&i| self.x[i].clone()).collect(),
+            y: idx.iter().map(|&i| self.y[i]).collect(),
+        }
+    }
+
+    /// Stratified k-fold split: each fold preserves the class ratio.
+    /// Returns `(train_indices, test_indices)` pairs.
+    ///
+    /// Folds are deterministic for a given `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`.
+    pub fn stratified_kfold(&self, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+        assert!(k >= 2, "k-fold requires k >= 2");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut pos: Vec<usize> = (0..self.len()).filter(|&i| self.y[i]).collect();
+        let mut neg: Vec<usize> = (0..self.len()).filter(|&i| !self.y[i]).collect();
+        pos.shuffle(&mut rng);
+        neg.shuffle(&mut rng);
+
+        let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for (i, &idx) in pos.iter().enumerate() {
+            folds[i % k].push(idx);
+        }
+        for (i, &idx) in neg.iter().enumerate() {
+            folds[i % k].push(idx);
+        }
+
+        (0..k)
+            .map(|t| {
+                let test = folds[t].clone();
+                let train = (0..k).filter(|&j| j != t).flat_map(|j| folds[j].clone()).collect();
+                (train, test)
+            })
+            .collect()
+    }
+}
+
+/// Per-feature standardization (zero mean, unit variance), fit on
+/// training data and applied to everything the classifier sees.
+///
+/// Constant features keep their raw value shifted by the mean (divider
+/// clamps at a small epsilon).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scaler {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl Scaler {
+    /// Fits a scaler on `data`.
+    pub fn fit(data: &Dataset) -> Self {
+        let n = data.len() as f64;
+        let d = data.dim();
+        let mut mean = vec![0.0; d];
+        for row in data.features() {
+            for (m, v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0; d];
+        for row in data.features() {
+            for ((s, v), m) in var.iter_mut().zip(row).zip(&mean) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        let std = var
+            .into_iter()
+            .map(|s| (s / n).sqrt().max(1e-12))
+            .collect();
+        Scaler { mean, std }
+    }
+
+    /// Standardizes one row.
+    pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
+        row.iter()
+            .zip(&self.mean)
+            .zip(&self.std)
+            .map(|((v, m), s)| (v - m) / s)
+            .collect()
+    }
+
+    /// Standardizes a whole dataset.
+    pub fn transform(&self, data: &Dataset) -> Dataset {
+        Dataset {
+            x: data
+                .features()
+                .iter()
+                .map(|r| self.transform_row(r))
+                .collect(),
+            y: data.labels().to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n_pos: usize, n_neg: usize) -> Dataset {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n_pos {
+            x.push(vec![i as f64, 1.0]);
+            y.push(true);
+        }
+        for i in 0..n_neg {
+            x.push(vec![i as f64, -1.0]);
+            y.push(false);
+        }
+        Dataset::new(x, y).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert_eq!(
+            Dataset::new(vec![vec![1.0]], vec![true, false]).unwrap_err(),
+            DatasetError::LengthMismatch
+        );
+        assert_eq!(
+            Dataset::new(vec![], vec![]).unwrap_err(),
+            DatasetError::Empty
+        );
+        assert_eq!(
+            Dataset::new(vec![vec![1.0], vec![1.0, 2.0]], vec![true, false]).unwrap_err(),
+            DatasetError::RaggedRows
+        );
+    }
+
+    #[test]
+    fn class_statistics() {
+        let d = toy(3, 7);
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.num_positive(), 3);
+        assert!((d.positive_fraction() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stratified_folds_cover_everything_once() {
+        let d = toy(10, 40);
+        let folds = d.stratified_kfold(5, 42);
+        assert_eq!(folds.len(), 5);
+        let mut seen = vec![0usize; d.len()];
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), d.len());
+            for &i in test {
+                seen[i] += 1;
+            }
+            // Stratification: each test fold holds ~2 of the 10 positives.
+            let pos_in_test = test.iter().filter(|&&i| d.labels()[i]).count();
+            assert_eq!(pos_in_test, 2);
+        }
+        assert!(seen.iter().all(|&c| c == 1), "each sample tested exactly once");
+    }
+
+    #[test]
+    fn folds_are_deterministic_per_seed() {
+        let d = toy(10, 40);
+        assert_eq!(d.stratified_kfold(5, 7), d.stratified_kfold(5, 7));
+        assert_ne!(d.stratified_kfold(5, 7), d.stratified_kfold(5, 8));
+    }
+
+    #[test]
+    fn scaler_standardizes() {
+        let d = Dataset::new(
+            vec![vec![1.0, 10.0], vec![3.0, 10.0], vec![5.0, 10.0]],
+            vec![true, false, true],
+        )
+        .unwrap();
+        let s = Scaler::fit(&d);
+        let t = s.transform(&d);
+        // First feature: mean 3, values symmetric.
+        let col0: Vec<f64> = t.features().iter().map(|r| r[0]).collect();
+        assert!((col0[0] + col0[2]).abs() < 1e-9);
+        assert!(col0[1].abs() < 1e-9);
+        // Constant feature maps to 0 without dividing by zero.
+        assert!(t.features().iter().all(|r| r[1].abs() < 1e-6));
+    }
+
+    #[test]
+    fn subset_selects_rows() {
+        let d = toy(2, 2);
+        let s = d.subset(&[0, 3]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.labels(), &[true, false]);
+    }
+}

@@ -1,0 +1,101 @@
+//! k-nearest-neighbor reference classifier (see §4.3.1 of the paper).
+
+use crate::dataset::Dataset;
+use crate::Classifier;
+
+/// A k-NN classifier over (pre-standardized) feature vectors.
+#[derive(Debug, Clone)]
+pub struct Knn {
+    k: usize,
+    x: Vec<Vec<f64>>,
+    y: Vec<bool>,
+}
+
+impl Knn {
+    /// Builds a classifier that votes among the `k` nearest training
+    /// samples (Euclidean distance; ties in the vote go to negative,
+    /// matching majority behaviour under imbalance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn train(data: &Dataset, k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Knn {
+            k: k.min(data.len()),
+            x: data.features().to_vec(),
+            y: data.labels().to_vec(),
+        }
+    }
+
+    /// The effective `k` (clamped to the training size).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl Classifier for Knn {
+    fn predict(&self, x: &[f64]) -> bool {
+        let mut dists: Vec<(f64, bool)> = self
+            .x
+            .iter()
+            .zip(&self.y)
+            .map(|(row, &label)| {
+                let d: f64 = row.iter().zip(x).map(|(a, b)| (a - b) * (a - b)).sum();
+                (d, label)
+            })
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+        let votes = dists[..self.k].iter().filter(|(_, l)| *l).count();
+        votes * 2 > self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clusters() -> Dataset {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..10 {
+            x.push(vec![i as f64 * 0.1, 0.0]);
+            y.push(false);
+            x.push(vec![5.0 + i as f64 * 0.1, 0.0]);
+            y.push(true);
+        }
+        Dataset::new(x, y).unwrap()
+    }
+
+    #[test]
+    fn classifies_clusters() {
+        let knn = Knn::train(&clusters(), 3);
+        assert!(!knn.predict(&[0.4, 0.0]));
+        assert!(knn.predict(&[5.4, 0.0]));
+    }
+
+    #[test]
+    fn k_is_clamped_to_dataset_size() {
+        let d = Dataset::new(vec![vec![0.0], vec![1.0]], vec![false, true]).unwrap();
+        let knn = Knn::train(&d, 100);
+        assert_eq!(knn.k(), 2);
+    }
+
+    #[test]
+    fn vote_ties_go_negative() {
+        let d = Dataset::new(
+            vec![vec![0.0], vec![1.0]],
+            vec![false, true],
+        )
+        .unwrap();
+        let knn = Knn::train(&d, 2);
+        // Both neighbors vote, 1-1 tie -> negative.
+        assert!(!knn.predict(&[0.5]));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        Knn::train(&clusters(), 0);
+    }
+}

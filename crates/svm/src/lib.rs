@@ -1,0 +1,62 @@
+//! Machine-learning substrate for IPAS: a C-SVM with RBF kernel, trained
+//! by sequential minimal optimization (SMO), plus the model-selection
+//! machinery of Section 4.3 of the paper.
+//!
+//! The paper trains a LIBSVM-style C-SVM (Chang & Lin) on class-imbalanced
+//! fault-injection data (3–10% positive), tunes `C ∈ [1, 1e5]` and
+//! `γ ∈ [1e-5, 1]` over 500 grid configurations with cross validation,
+//! ranks configurations by the F-score of Eq. 1 (the harmonic mean of the
+//! per-class accuracies), and keeps the top-N. This crate reproduces all
+//! of that:
+//!
+//! * [`Dataset`] — feature matrix + binary labels, standardization,
+//!   stratified k-fold splitting;
+//! * [`Svm`]/[`SvmParams`] — the classifier, with per-class penalty
+//!   weights for imbalance;
+//! * [`metrics`] — per-class accuracies and the Eq. 1 F-score;
+//! * [`grid_search`] — the 500-point (C, γ) sweep with k-fold CV;
+//! * [`tree`]/[`knn`] — decision-tree and nearest-neighbor reference
+//!   classifiers (the alternatives the paper rejected in §4.3.1).
+//!
+//! # Example
+//!
+//! ```
+//! use ipas_svm::{Classifier, Dataset, Svm, SvmParams};
+//!
+//! // XOR-ish data: RBF kernel separates what a linear model cannot.
+//! let x = vec![
+//!     vec![0.0, 0.0], vec![1.0, 1.0], // class false
+//!     vec![0.0, 1.0], vec![1.0, 0.0], // class true
+//! ];
+//! let y = vec![false, false, true, true];
+//! let data = Dataset::new(x, y).unwrap();
+//! let svm = Svm::train(&data, &SvmParams::new(10.0, 1.0));
+//! assert!(svm.predict(&[0.05, 0.95]));
+//! assert!(!svm.predict(&[0.95, 0.95]));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod gridsearch;
+pub mod knn;
+pub mod metrics;
+pub mod svm;
+pub mod tree;
+
+pub use dataset::{Dataset, DatasetError, Scaler};
+pub use gridsearch::{grid_search, ConfigScore, GridOptions};
+pub use knn::Knn;
+pub use metrics::{f_score, per_class_accuracy, ClassAccuracy};
+pub use svm::{Svm, SvmParams};
+
+/// Common interface implemented by every classifier in this crate.
+pub trait Classifier {
+    /// Predicts the class of one standardized feature vector.
+    fn predict(&self, x: &[f64]) -> bool;
+
+    /// Predicts a batch.
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<bool> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+}

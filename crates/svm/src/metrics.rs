@@ -1,0 +1,125 @@
+//! Classification metrics, including the F-score of Eq. 1.
+
+/// Per-class accuracies of a binary classifier.
+///
+/// `acc1` is the fraction of positive (class 1 / SOC-generating) samples
+/// classified correctly; `acc2` the fraction of negatives classified
+/// correctly. These are the two terms of the paper's Eq. 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassAccuracy {
+    /// Accuracy on class 1 (positives).
+    pub acc1: f64,
+    /// Accuracy on class 2 (negatives).
+    pub acc2: f64,
+}
+
+/// Computes per-class accuracies from predictions and truth.
+///
+/// A class with no samples scores accuracy 0 (so its F-score is 0, which
+/// correctly deprioritizes degenerate folds).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn per_class_accuracy(predicted: &[bool], truth: &[bool]) -> ClassAccuracy {
+    assert_eq!(predicted.len(), truth.len(), "length mismatch");
+    let mut pos_total = 0usize;
+    let mut pos_hit = 0usize;
+    let mut neg_total = 0usize;
+    let mut neg_hit = 0usize;
+    for (&p, &t) in predicted.iter().zip(truth) {
+        if t {
+            pos_total += 1;
+            if p {
+                pos_hit += 1;
+            }
+        } else {
+            neg_total += 1;
+            if !p {
+                neg_hit += 1;
+            }
+        }
+    }
+    let frac = |hit: usize, total: usize| {
+        if total == 0 {
+            0.0
+        } else {
+            hit as f64 / total as f64
+        }
+    };
+    ClassAccuracy {
+        acc1: frac(pos_hit, pos_total),
+        acc2: frac(neg_hit, neg_total),
+    }
+}
+
+/// The F-score of Eq. 1: `2·acc1·acc2 / (acc1 + acc2)` — the harmonic
+/// mean of the per-class accuracies. Best 1, worst 0.
+pub fn f_score(acc: ClassAccuracy) -> f64 {
+    let denom = acc.acc1 + acc.acc2;
+    if denom == 0.0 {
+        0.0
+    } else {
+        2.0 * acc.acc1 * acc.acc2 / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_classifier_scores_one() {
+        let truth = vec![true, false, true, false];
+        let acc = per_class_accuracy(&truth, &truth);
+        assert_eq!(acc, ClassAccuracy { acc1: 1.0, acc2: 1.0 });
+        assert_eq!(f_score(acc), 1.0);
+    }
+
+    #[test]
+    fn always_negative_scores_zero() {
+        // Predicting the majority class everywhere gets F-score 0 — the
+        // whole point of Eq. 1 under class imbalance.
+        let truth = vec![true, false, false, false, false];
+        let pred = vec![false; 5];
+        let acc = per_class_accuracy(&pred, &truth);
+        assert_eq!(acc.acc1, 0.0);
+        assert_eq!(acc.acc2, 1.0);
+        assert_eq!(f_score(acc), 0.0);
+    }
+
+    #[test]
+    fn partial_accuracy() {
+        let truth = vec![true, true, false, false];
+        let pred = vec![true, false, false, true];
+        let acc = per_class_accuracy(&pred, &truth);
+        assert_eq!(acc.acc1, 0.5);
+        assert_eq!(acc.acc2, 0.5);
+        assert!((f_score(acc) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_mean_punishes_skew() {
+        let acc = ClassAccuracy {
+            acc1: 0.1,
+            acc2: 1.0,
+        };
+        let f = f_score(acc);
+        assert!(f < 0.2, "harmonic mean must stay near the weak class: {f}");
+    }
+
+    #[test]
+    fn empty_class_scores_zero_not_nan() {
+        let truth = vec![false, false];
+        let pred = vec![false, false];
+        let acc = per_class_accuracy(&pred, &truth);
+        assert_eq!(acc.acc1, 0.0);
+        assert!(!f_score(acc).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        per_class_accuracy(&[true], &[true, false]);
+    }
+}

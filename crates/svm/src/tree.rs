@@ -1,0 +1,240 @@
+//! A CART-style decision tree (reference classifier).
+//!
+//! Section 4.3.1 of the paper reports that decision trees and nearest
+//! neighbor were evaluated and rejected in favor of SVMs, primarily for
+//! their behaviour on class-imbalanced data. This implementation exists
+//! so the reproduction can rerun that comparison.
+
+use crate::dataset::Dataset;
+use crate::Classifier;
+
+/// Decision-tree hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeParams {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples required to split a node.
+    pub min_samples_split: usize,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams {
+            max_depth: 8,
+            min_samples_split: 4,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf(bool),
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A trained decision tree (gini impurity, axis-aligned splits).
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+}
+
+fn gini(pos: usize, total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let p = pos as f64 / total as f64;
+    2.0 * p * (1.0 - p)
+}
+
+impl DecisionTree {
+    /// Trains a tree on `data`.
+    pub fn train(data: &Dataset, params: &TreeParams) -> Self {
+        let idx: Vec<usize> = (0..data.len()).collect();
+        let mut nodes = Vec::new();
+        Self::build(data, params, &idx, 0, &mut nodes);
+        DecisionTree { nodes }
+    }
+
+    fn build(
+        data: &Dataset,
+        params: &TreeParams,
+        idx: &[usize],
+        depth: usize,
+        nodes: &mut Vec<Node>,
+    ) -> usize {
+        let pos = idx.iter().filter(|&&i| data.labels()[i]).count();
+        let majority = pos * 2 >= idx.len();
+        let pure = pos == 0 || pos == idx.len();
+        if pure || depth >= params.max_depth || idx.len() < params.min_samples_split {
+            nodes.push(Node::Leaf(majority));
+            return nodes.len() - 1;
+        }
+
+        // Best gini split over all features and midpoints.
+        let parent_gini = gini(pos, idx.len());
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+        for f in 0..data.dim() {
+            let mut vals: Vec<(f64, bool)> = idx
+                .iter()
+                .map(|&i| (data.features()[i][f], data.labels()[i]))
+                .collect();
+            vals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
+            let total_pos = pos;
+            let mut left_pos = 0usize;
+            for (k, w) in vals.windows(2).enumerate() {
+                if w[0].1 {
+                    left_pos += 1;
+                }
+                if w[0].0 == w[1].0 {
+                    continue;
+                }
+                let left_n = k + 1;
+                let right_n = idx.len() - left_n;
+                let right_pos = total_pos - left_pos;
+                let weighted = (left_n as f64 * gini(left_pos, left_n)
+                    + right_n as f64 * gini(right_pos, right_n))
+                    / idx.len() as f64;
+                let gain = parent_gini - weighted;
+                let threshold = (w[0].0 + w[1].0) / 2.0;
+                // Accept zero-gain splits (XOR-style data has no
+                // first-level gain); prefer strictly better ones.
+                if best.map(|(_, _, g)| gain > g + 1e-12).unwrap_or(gain >= -1e-12) {
+                    best = Some((f, threshold, gain));
+                }
+            }
+        }
+
+        let Some((feature, threshold, _)) = best else {
+            nodes.push(Node::Leaf(majority));
+            return nodes.len() - 1;
+        };
+
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
+            .iter()
+            .partition(|&&i| data.features()[i][feature] <= threshold);
+        // Reserve this node's slot before recursing.
+        nodes.push(Node::Leaf(majority));
+        let slot = nodes.len() - 1;
+        let left = Self::build(data, params, &left_idx, depth + 1, nodes);
+        let right = Self::build(data, params, &right_idx, depth + 1, nodes);
+        nodes[slot] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        slot
+    }
+
+    /// Number of nodes in the tree.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn predict(&self, x: &[f64]) -> bool {
+        let mut cur = 0usize;
+        loop {
+            match &self.nodes[cur] {
+                Node::Leaf(v) => return *v,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    cur = if x[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_axis_aligned_data() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<bool> = (0..20).map(|i| i >= 10).collect();
+        let data = Dataset::new(x, y).unwrap();
+        let tree = DecisionTree::train(&data, &TreeParams::default());
+        assert!(!tree.predict(&[3.0]));
+        assert!(tree.predict(&[15.0]));
+        // One split suffices.
+        assert_eq!(tree.num_nodes(), 3);
+    }
+
+    #[test]
+    fn handles_xor_with_depth_two() {
+        let x = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+        ];
+        let y = vec![false, false, true, true];
+        let data = Dataset::new(x, y).unwrap();
+        let tree = DecisionTree::train(
+            &data,
+            &TreeParams {
+                max_depth: 4,
+                min_samples_split: 2,
+            },
+        );
+        assert!(!tree.predict(&[0.0, 0.0]));
+        assert!(tree.predict(&[0.0, 1.0]));
+        assert!(tree.predict(&[1.0, 0.0]));
+        assert!(!tree.predict(&[1.0, 1.0]));
+    }
+
+    #[test]
+    fn depth_limit_prunes() {
+        let x: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let y: Vec<bool> = (0..64).map(|i| i % 2 == 0).collect();
+        let data = Dataset::new(x, y).unwrap();
+        let tree = DecisionTree::train(
+            &data,
+            &TreeParams {
+                max_depth: 2,
+                min_samples_split: 2,
+            },
+        );
+        assert!(tree.num_nodes() <= 7);
+    }
+
+    #[test]
+    fn pure_node_is_leaf() {
+        let data = Dataset::new(vec![vec![0.0], vec![1.0]], vec![true, true]).unwrap();
+        let tree = DecisionTree::train(&data, &TreeParams::default());
+        assert_eq!(tree.num_nodes(), 1);
+        assert!(tree.predict(&[0.5]));
+    }
+
+    #[test]
+    fn majority_vote_biases_to_negative_under_imbalance() {
+        // Overlapping classes, 1:9 imbalance: an unweighted tree leaf
+        // votes majority — exactly the weakness the paper describes.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..90 {
+            x.push(vec![(i % 10) as f64]);
+            y.push(false);
+        }
+        for i in 0..10 {
+            x.push(vec![(i % 10) as f64]); // same support as negatives
+            y.push(true);
+        }
+        let data = Dataset::new(x, y).unwrap();
+        let tree = DecisionTree::train(&data, &TreeParams::default());
+        let hits = (0..10).filter(|&v| tree.predict(&[v as f64])).count();
+        assert_eq!(hits, 0, "unweighted tree should never predict the minority class here");
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for the ML substrate's invariants.
+
+use proptest::prelude::*;
+
+use ipas_svm::{
+    f_score, per_class_accuracy, Classifier, Dataset, Knn, Scaler, Svm, SvmParams,
+};
+
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    // 2-4 features, 12-60 rows, both classes guaranteed.
+    (2usize..5, 6usize..30).prop_flat_map(|(dim, half)| {
+        (
+            proptest::collection::vec(
+                proptest::collection::vec(-100.0f64..100.0, dim),
+                half * 2,
+            ),
+            Just(half),
+        )
+            .prop_map(move |(x, half)| {
+                let y: Vec<bool> = (0..half * 2).map(|i| i < half).collect();
+                Dataset::new(x, y).expect("rectangular")
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Standardization makes every feature zero-mean, unit-or-less
+    /// variance (constant features collapse to zero).
+    #[test]
+    fn scaler_standardizes_any_dataset(data in dataset_strategy()) {
+        let scaler = Scaler::fit(&data);
+        let t = scaler.transform(&data);
+        let n = t.len() as f64;
+        for j in 0..t.dim() {
+            let mean: f64 = t.features().iter().map(|r| r[j]).sum::<f64>() / n;
+            prop_assert!(mean.abs() < 1e-6, "feature {j} mean {mean}");
+            let var: f64 = t.features().iter().map(|r| (r[j] - mean).powi(2)).sum::<f64>() / n;
+            prop_assert!(var < 1.0 + 1e-6, "feature {j} var {var}");
+        }
+    }
+
+    /// The F-score is always within [0, 1] and equals 0 whenever either
+    /// class accuracy is 0.
+    #[test]
+    fn f_score_bounds(pred in proptest::collection::vec(any::<bool>(), 1..64),
+                      truth in proptest::collection::vec(any::<bool>(), 1..64)) {
+        let n = pred.len().min(truth.len());
+        let acc = per_class_accuracy(&pred[..n], &truth[..n]);
+        let f = f_score(acc);
+        prop_assert!((0.0..=1.0).contains(&f));
+        if acc.acc1 == 0.0 || acc.acc2 == 0.0 {
+            prop_assert_eq!(f, 0.0);
+        }
+        // Harmonic mean never exceeds the arithmetic mean.
+        prop_assert!(f <= (acc.acc1 + acc.acc2) / 2.0 + 1e-12);
+    }
+
+    /// SVM training is total on any two-class dataset and the decision
+    /// function is finite everywhere.
+    #[test]
+    fn svm_training_is_total(data in dataset_strategy(), c in 0.5f64..100.0, gamma in 1e-3f64..1.0) {
+        let scaler = Scaler::fit(&data);
+        let scaled = scaler.transform(&data);
+        let model = Svm::train(&scaled, &SvmParams::new(c, gamma).balanced_for(&scaled));
+        for row in scaled.features() {
+            let d = model.decision_function(row);
+            prop_assert!(d.is_finite());
+        }
+        prop_assert!(model.num_support_vectors() <= data.len());
+    }
+
+    /// 1-NN perfectly memorizes its training set when all points are
+    /// distinct.
+    #[test]
+    fn one_nn_memorizes(data in dataset_strategy()) {
+        // Make rows unique by nudging each with its index.
+        let x: Vec<Vec<f64>> = data
+            .features()
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let mut r = r.clone();
+                r[0] += i as f64 * 1e-3;
+                r
+            })
+            .collect();
+        let data = Dataset::new(x, data.labels().to_vec()).expect("rectangular");
+        let knn = Knn::train(&data, 1);
+        for (row, &label) in data.features().iter().zip(data.labels()) {
+            prop_assert_eq!(knn.predict(row), label);
+        }
+    }
+
+    /// Stratified folds partition the dataset exactly, for any k.
+    #[test]
+    fn kfold_partitions(data in dataset_strategy(), k in 2usize..6, seed in any::<u64>()) {
+        let folds = data.stratified_kfold(k, seed);
+        prop_assert_eq!(folds.len(), k);
+        let mut seen = vec![0usize; data.len()];
+        for (train, test) in &folds {
+            prop_assert_eq!(train.len() + test.len(), data.len());
+            for &i in test {
+                seen[i] += 1;
+            }
+            // Train and test are disjoint.
+            for &i in test {
+                prop_assert!(!train.contains(&i));
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+    }
+}

@@ -1,0 +1,570 @@
+//! SciL source code of the five workloads.
+//!
+//! Each program takes its problem size as `main`'s argument (so the
+//! input-variation experiment of Figure 9 reuses one compiled module
+//! across inputs) and partitions its heavy loops across MPI ranks with
+//! the same `lo = rank·n/size` block rule the interpreter's collectives
+//! use. Under the serial environment every collective degenerates to the
+//! identity.
+
+use crate::Kind;
+
+/// CoMD: Lennard-Jones molecular dynamics.
+pub const COMD: &str = r#"
+// CoMD mini-app (scaled): Lennard-Jones MD with an O(N^2) cutoff pair
+// loop and kick-drift integration, emitting total energy per step.
+
+fn lj_forces(x: [float], y: [float], z: [float],
+             fx: [float], fy: [float], fz: [float],
+             natoms: int, cutoff2: float, lo: int, hi: int) -> float {
+    let pe: float = 0.0;
+    for (let i: int = lo; i < hi; i = i + 1) {
+        fx[i] = 0.0;
+        fy[i] = 0.0;
+        fz[i] = 0.0;
+    }
+    for (let i: int = lo; i < hi; i = i + 1) {
+        for (let j: int = 0; j < natoms; j = j + 1) {
+            if (j != i) {
+                let dx: float = x[i] - x[j];
+                let dy: float = y[i] - y[j];
+                let dz: float = z[i] - z[j];
+                let r2: float = dx * dx + dy * dy + dz * dz;
+                if (r2 < cutoff2) {
+                    let inv2: float = 1.0 / r2;
+                    let inv6: float = inv2 * inv2 * inv2;
+                    let ff: float = 24.0 * (2.0 * inv6 * inv6 - inv6) * inv2;
+                    fx[i] = fx[i] + ff * dx;
+                    fy[i] = fy[i] + ff * dy;
+                    fz[i] = fz[i] + ff * dz;
+                    // Half of 4*(inv12 - inv6): each pair is visited twice.
+                    pe = pe + 2.0 * (inv6 * inv6 - inv6);
+                }
+            }
+        }
+    }
+    return allreduce_sum_f(pe);
+}
+
+fn main(nside: int) -> int {
+    let natoms: int = nside * nside * nside;
+    let x: [float] = new_float(natoms);
+    let y: [float] = new_float(natoms);
+    let z: [float] = new_float(natoms);
+    let vx: [float] = new_float(natoms);
+    let vy: [float] = new_float(natoms);
+    let vz: [float] = new_float(natoms);
+    let fx: [float] = new_float(natoms);
+    let fy: [float] = new_float(natoms);
+    let fz: [float] = new_float(natoms);
+
+    // Cubic lattice near the LJ minimum with a deterministic jitter.
+    let spacing: float = 1.1225;
+    for (let i: int = 0; i < natoms; i = i + 1) {
+        let ix: int = i % nside;
+        let iy: int = (i / nside) % nside;
+        let iz: int = i / (nside * nside);
+        x[i] = itof(ix) * spacing + 0.02 * sin(itof(i) * 12.9898);
+        y[i] = itof(iy) * spacing + 0.02 * sin(itof(i) * 78.2330);
+        z[i] = itof(iz) * spacing + 0.02 * sin(itof(i) * 37.7190);
+        vx[i] = 0.1 * sin(itof(i) * 3.17);
+        vy[i] = 0.1 * cos(itof(i) * 5.31);
+        vz[i] = 0.1 * sin(itof(i) * 7.93);
+    }
+
+    let rank: int = mpi_rank();
+    let size: int = mpi_size();
+    let lo: int = rank * natoms / size;
+    let hi: int = (rank + 1) * natoms / size;
+
+    let dt: float = 0.002;
+    let cutoff2: float = 6.25;
+    let steps: int = 10;
+    for (let s: int = 0; s < steps; s = s + 1) {
+        let pe: float = lj_forces(x, y, z, fx, fy, fz, natoms, cutoff2, lo, hi);
+        let ke: float = 0.0;
+        for (let i: int = lo; i < hi; i = i + 1) {
+            vx[i] = vx[i] + dt * fx[i];
+            vy[i] = vy[i] + dt * fy[i];
+            vz[i] = vz[i] + dt * fz[i];
+            x[i] = x[i] + dt * vx[i];
+            y[i] = y[i] + dt * vy[i];
+            z[i] = z[i] + dt * vz[i];
+            ke = ke + 0.5 * (vx[i] * vx[i] + vy[i] * vy[i] + vz[i] * vz[i]);
+        }
+        allgather_f(x, natoms);
+        allgather_f(y, natoms);
+        allgather_f(z, natoms);
+        let total_ke: float = allreduce_sum_f(ke);
+        output_f(total_ke + pe);
+    }
+
+    free_arr(x); free_arr(y); free_arr(z);
+    free_arr(vx); free_arr(vy); free_arr(vz);
+    free_arr(fx); free_arr(fy); free_arr(fz);
+    return 0;
+}
+"#;
+
+/// HPCCG: conjugate gradient on the 7-point 3D Poisson operator.
+pub const HPCCG: &str = r#"
+// HPCCG mini-app (scaled): matrix-free CG for A x = b on the 7-point
+// Poisson stencil, b chosen so that the exact solution is all ones.
+
+fn apply_stencil(p: [float], ap: [float], nx: int, lo: int, hi: int) {
+    let nx2: int = nx * nx;
+    for (let i: int = lo; i < hi; i = i + 1) {
+        let ix: int = i % nx;
+        let iy: int = (i / nx) % nx;
+        let iz: int = i / nx2;
+        let v: float = 6.0 * p[i];
+        if (ix > 0) { v = v - p[i - 1]; }
+        if (ix < nx - 1) { v = v - p[i + 1]; }
+        if (iy > 0) { v = v - p[i - nx]; }
+        if (iy < nx - 1) { v = v - p[i + nx]; }
+        if (iz > 0) { v = v - p[i - nx2]; }
+        if (iz < nx - 1) { v = v - p[i + nx2]; }
+        ap[i] = v;
+    }
+}
+
+fn dot_part(a: [float], b: [float], lo: int, hi: int) -> float {
+    let s: float = 0.0;
+    for (let i: int = lo; i < hi; i = i + 1) {
+        s = s + a[i] * b[i];
+    }
+    return allreduce_sum_f(s);
+}
+
+fn main(nx: int) -> int {
+    let n: int = nx * nx * nx;
+    let xv: [float] = new_float(n);
+    let b: [float] = new_float(n);
+    let r: [float] = new_float(n);
+    let p: [float] = new_float(n);
+    let ap: [float] = new_float(n);
+    let ones: [float] = new_float(n);
+
+    let rank: int = mpi_rank();
+    let size: int = mpi_size();
+    let lo: int = rank * n / size;
+    let hi: int = (rank + 1) * n / size;
+
+    for (let i: int = 0; i < n; i = i + 1) {
+        ones[i] = 1.0;
+        xv[i] = 0.0;
+    }
+    apply_stencil(ones, b, nx, lo, hi);
+    allgather_f(b, n);
+    for (let i: int = 0; i < n; i = i + 1) {
+        r[i] = b[i];
+        p[i] = b[i];
+    }
+
+    let rr: float = dot_part(r, r, lo, hi);
+    let tol2: float = 1.0e-14;
+    let maxit: int = 200;
+    let it: int = 0;
+    let done: bool = false;
+    while (it < maxit && !done) {
+        apply_stencil(p, ap, nx, lo, hi);
+        let pap: float = dot_part(p, ap, lo, hi);
+        let alpha: float = rr / pap;
+        for (let i: int = lo; i < hi; i = i + 1) {
+            xv[i] = xv[i] + alpha * p[i];
+            r[i] = r[i] - alpha * ap[i];
+        }
+        let rr_new: float = dot_part(r, r, lo, hi);
+        let beta: float = rr_new / rr;
+        for (let i: int = lo; i < hi; i = i + 1) {
+            p[i] = r[i] + beta * p[i];
+        }
+        allgather_f(p, n);
+        rr = rr_new;
+        it = it + 1;
+        if (rr < tol2) { done = true; }
+    }
+
+    // Error against the known exact solution (all ones).
+    let e2: float = 0.0;
+    for (let i: int = lo; i < hi; i = i + 1) {
+        let d: float = xv[i] - 1.0;
+        e2 = e2 + d * d;
+    }
+    let err: float = sqrt(allreduce_sum_f(e2));
+    output_f(err);
+    output_i(it);
+
+    free_arr(xv); free_arr(b); free_arr(r);
+    free_arr(p); free_arr(ap); free_arr(ones);
+    return 0;
+}
+"#;
+
+/// AMG: geometric multigrid V-cycles on 2D Poisson.
+pub const AMG: &str = r#"
+// AMG solve kernel (scaled): 3-level V-cycles on the 2D 5-point Poisson
+// problem with weighted-Jacobi smoothing, cell-averaged restriction,
+// and constant prolongation. The fine level is rank-partitioned; the
+// coarse levels are computed redundantly on every rank.
+
+fn smooth(u: [float], f: [float], tmp: [float], n: int, sweeps: int,
+          lo: int, hi: int, dist: bool) {
+    let nn: int = n * n;
+    for (let s: int = 0; s < sweeps; s = s + 1) {
+        for (let i: int = lo; i < hi; i = i + 1) {
+            let ix: int = i % n;
+            let iy: int = i / n;
+            let nb: float = 0.0;
+            if (ix > 0) { nb = nb + u[i - 1]; }
+            if (ix < n - 1) { nb = nb + u[i + 1]; }
+            if (iy > 0) { nb = nb + u[i - n]; }
+            if (iy < n - 1) { nb = nb + u[i + n]; }
+            tmp[i] = 0.2 * u[i] + 0.8 * 0.25 * (f[i] + nb);
+        }
+        if (dist) { allgather_f(tmp, nn); }
+        for (let i: int = 0; i < nn; i = i + 1) {
+            u[i] = tmp[i];
+        }
+    }
+}
+
+fn residual(u: [float], f: [float], r: [float], n: int, lo: int, hi: int) {
+    for (let i: int = lo; i < hi; i = i + 1) {
+        let ix: int = i % n;
+        let iy: int = i / n;
+        let v: float = 4.0 * u[i];
+        if (ix > 0) { v = v - u[i - 1]; }
+        if (ix < n - 1) { v = v - u[i + 1]; }
+        if (iy > 0) { v = v - u[i - n]; }
+        if (iy < n - 1) { v = v - u[i + n]; }
+        r[i] = f[i] - v;
+    }
+}
+
+fn restrict_to(r: [float], fc: [float], n: int) {
+    // Cell-averaged restriction with the x4 scaling of the rediscretized
+    // coarse operator.
+    let nc: int = n / 2;
+    for (let cy: int = 0; cy < nc; cy = cy + 1) {
+        for (let cx: int = 0; cx < nc; cx = cx + 1) {
+            let f00: float = r[(2 * cy) * n + 2 * cx];
+            let f10: float = r[(2 * cy) * n + 2 * cx + 1];
+            let f01: float = r[(2 * cy + 1) * n + 2 * cx];
+            let f11: float = r[(2 * cy + 1) * n + 2 * cx + 1];
+            fc[cy * nc + cx] = f00 + f10 + f01 + f11;
+        }
+    }
+}
+
+fn prolong_add(u: [float], uc: [float], n: int) {
+    let nc: int = n / 2;
+    for (let cy: int = 0; cy < nc; cy = cy + 1) {
+        for (let cx: int = 0; cx < nc; cx = cx + 1) {
+            let v: float = uc[cy * nc + cx];
+            u[(2 * cy) * n + 2 * cx] = u[(2 * cy) * n + 2 * cx] + v;
+            u[(2 * cy) * n + 2 * cx + 1] = u[(2 * cy) * n + 2 * cx + 1] + v;
+            u[(2 * cy + 1) * n + 2 * cx] = u[(2 * cy + 1) * n + 2 * cx] + v;
+            u[(2 * cy + 1) * n + 2 * cx + 1] = u[(2 * cy + 1) * n + 2 * cx + 1] + v;
+        }
+    }
+}
+
+fn zero_fill(a: [float], n: int) {
+    for (let i: int = 0; i < n; i = i + 1) {
+        a[i] = 0.0;
+    }
+}
+
+fn norm_part(a: [float], lo: int, hi: int) -> float {
+    let s: float = 0.0;
+    for (let i: int = lo; i < hi; i = i + 1) {
+        s = s + a[i] * a[i];
+    }
+    return sqrt(allreduce_sum_f(s));
+}
+
+fn main(n: int) -> int {
+    let nn: int = n * n;
+    let n1: int = n / 2;
+    let n2: int = n / 4;
+    let u0: [float] = new_float(nn);
+    let f0: [float] = new_float(nn);
+    let r0: [float] = new_float(nn);
+    let t0: [float] = new_float(nn);
+    let u1: [float] = new_float(n1 * n1);
+    let f1: [float] = new_float(n1 * n1);
+    let r1: [float] = new_float(n1 * n1);
+    let t1: [float] = new_float(n1 * n1);
+    let u2: [float] = new_float(n2 * n2);
+    let f2: [float] = new_float(n2 * n2);
+    let t2: [float] = new_float(n2 * n2);
+
+    let rank: int = mpi_rank();
+    let size: int = mpi_size();
+    let lo: int = rank * nn / size;
+    let hi: int = (rank + 1) * nn / size;
+
+    for (let i: int = 0; i < nn; i = i + 1) {
+        u0[i] = 0.0;
+        f0[i] = 1.0;
+    }
+    let fnorm: float = norm_part(f0, lo, hi);
+
+    let tol: float = 1.0e-6;
+    let maxcycles: int = 60;
+    let cycles: int = 0;
+    let rel: float = 1.0;
+    while (cycles < maxcycles && rel > tol) {
+        // Pre-smooth on the fine grid (distributed).
+        smooth(u0, f0, t0, n, 3, lo, hi, true);
+        residual(u0, f0, r0, n, lo, hi);
+        allgather_f(r0, nn);
+
+        // Level 1 (redundant on all ranks).
+        restrict_to(r0, f1, n);
+        zero_fill(u1, n1 * n1);
+        smooth(u1, f1, t1, n1, 3, 0, n1 * n1, false);
+        residual(u1, f1, r1, n1, 0, n1 * n1);
+
+        // Level 2: coarse solve by many sweeps.
+        restrict_to(r1, f2, n1);
+        zero_fill(u2, n2 * n2);
+        smooth(u2, f2, t2, n2, 30, 0, n2 * n2, false);
+
+        // Back up the hierarchy.
+        prolong_add(u1, u2, n1);
+        smooth(u1, f1, t1, n1, 3, 0, n1 * n1, false);
+        prolong_add(u0, u1, n);
+        smooth(u0, f0, t0, n, 3, lo, hi, true);
+
+        residual(u0, f0, r0, n, lo, hi);
+        rel = norm_part(r0, lo, hi) / fnorm;
+        cycles = cycles + 1;
+    }
+
+    output_f(rel);
+    output_i(cycles);
+
+    free_arr(u0); free_arr(f0); free_arr(r0); free_arr(t0);
+    free_arr(u1); free_arr(f1); free_arr(r1); free_arr(t1);
+    free_arr(u2); free_arr(f2); free_arr(t2);
+    return 0;
+}
+"#;
+
+/// FFT: radix-2 2D FFT and inverse.
+pub const FFT: &str = r#"
+// FFT kernel (scaled): 2D radix-2 FFT of an n x n matrix followed by the
+// inverse transform; rows are rank-partitioned (ranks must divide n).
+
+fn bit_reverse(v: int, bits: int) -> int {
+    let r: int = 0;
+    let x: int = v;
+    for (let b: int = 0; b < bits; b = b + 1) {
+        r = r * 2 + x % 2;
+        x = x / 2;
+    }
+    return r;
+}
+
+fn fft_row(re: [float], im: [float], row: int, n: int, bits: int, sign: float) {
+    let base: int = row * n;
+    for (let i: int = 0; i < n; i = i + 1) {
+        let j: int = bit_reverse(i, bits);
+        if (j > i) {
+            let tr: float = re[base + i];
+            re[base + i] = re[base + j];
+            re[base + j] = tr;
+            let ti: float = im[base + i];
+            im[base + i] = im[base + j];
+            im[base + j] = ti;
+        }
+    }
+    let len: int = 2;
+    while (len <= n) {
+        let ang: float = sign * 6.283185307179586 / itof(len);
+        let half: int = len / 2;
+        for (let start: int = 0; start < n; start = start + len) {
+            for (let k: int = 0; k < half; k = k + 1) {
+                let wr: float = cos(ang * itof(k));
+                let wi: float = sin(ang * itof(k));
+                let a: int = base + start + k;
+                let bidx: int = a + half;
+                let xr: float = re[bidx] * wr - im[bidx] * wi;
+                let xi: float = re[bidx] * wi + im[bidx] * wr;
+                re[bidx] = re[a] - xr;
+                im[bidx] = im[a] - xi;
+                re[a] = re[a] + xr;
+                im[a] = im[a] + xi;
+            }
+        }
+        len = len * 2;
+    }
+}
+
+fn transpose(sre: [float], sim: [float], dre: [float], dim: [float], n: int) {
+    for (let i: int = 0; i < n; i = i + 1) {
+        for (let j: int = 0; j < n; j = j + 1) {
+            dre[j * n + i] = sre[i * n + j];
+            dim[j * n + i] = sim[i * n + j];
+        }
+    }
+}
+
+fn fft2d(re: [float], im: [float], tr: [float], ti: [float],
+         n: int, bits: int, sign: float, rlo: int, rhi: int) {
+    let nn: int = n * n;
+    for (let r: int = rlo; r < rhi; r = r + 1) {
+        fft_row(re, im, r, n, bits, sign);
+    }
+    allgather_f(re, nn);
+    allgather_f(im, nn);
+    transpose(re, im, tr, ti, n);
+    for (let r: int = rlo; r < rhi; r = r + 1) {
+        fft_row(tr, ti, r, n, bits, sign);
+    }
+    allgather_f(tr, nn);
+    allgather_f(ti, nn);
+    transpose(tr, ti, re, im, n);
+}
+
+fn main(n: int) -> int {
+    let nn: int = n * n;
+    let bits: int = 0;
+    let t: int = 1;
+    while (t < n) {
+        t = t * 2;
+        bits = bits + 1;
+    }
+
+    let re: [float] = new_float(nn);
+    let im: [float] = new_float(nn);
+    let tr: [float] = new_float(nn);
+    let ti: [float] = new_float(nn);
+    for (let i: int = 0; i < n; i = i + 1) {
+        for (let j: int = 0; j < n; j = j + 1) {
+            re[i * n + j] = sin(0.7 * itof(i)) * cos(0.3 * itof(j) + 0.5);
+            im[i * n + j] = 0.0;
+        }
+    }
+
+    let rank: int = mpi_rank();
+    let size: int = mpi_size();
+    let rlo: int = rank * n / size;
+    let rhi: int = (rank + 1) * n / size;
+    let elo: int = rank * nn / size;
+    let ehi: int = (rank + 1) * nn / size;
+
+    let iters: int = 2;
+    for (let it: int = 0; it < iters; it = it + 1) {
+        fft2d(re, im, tr, ti, n, bits, -1.0, rlo, rhi);
+        fft2d(re, im, tr, ti, n, bits, 1.0, rlo, rhi);
+        // Normalize the inverse transform.
+        let inv: float = 1.0 / itof(nn);
+        for (let i: int = elo; i < ehi; i = i + 1) {
+            re[i] = re[i] * inv;
+            im[i] = im[i] * inv;
+        }
+        allgather_f(re, nn);
+        allgather_f(im, nn);
+    }
+
+    if (rank == 0) {
+        for (let i: int = 0; i < nn; i = i + 1) {
+            output_f(re[i]);
+        }
+    }
+
+    free_arr(re); free_arr(im); free_arr(tr); free_arr(ti);
+    return 0;
+}
+"#;
+
+/// IS: NPB-style integer (counting) sort.
+pub const IS: &str = r#"
+// IS benchmark (scaled): counting sort of hash-generated keys; the
+// histogram is merged across ranks with an element-wise allreduce.
+
+fn key_hash(i: int, maxkey: int) -> int {
+    let h: int = i * 2654435761 % 2147483648;
+    h = (h * 1103515245 + 12345) % 2147483648;
+    h = (h / 65536) % maxkey;
+    return h;
+}
+
+fn main(nkeys: int) -> int {
+    let maxkey: int = 2048;
+    let keys: [int] = new_int(nkeys);
+    let counts: [int] = new_int(maxkey);
+
+    let rank: int = mpi_rank();
+    let size: int = mpi_size();
+    let lo: int = rank * nkeys / size;
+    let hi: int = (rank + 1) * nkeys / size;
+
+    for (let k: int = 0; k < maxkey; k = k + 1) {
+        counts[k] = 0;
+    }
+    for (let i: int = lo; i < hi; i = i + 1) {
+        keys[i] = key_hash(i, maxkey);
+        counts[keys[i]] = counts[keys[i]] + 1;
+    }
+    allreduce_arr_i(counts, maxkey);
+
+    if (rank == 0) {
+        for (let k: int = 0; k < maxkey; k = k + 1) {
+            for (let c: int = 0; c < counts[k]; c = c + 1) {
+                output_i(k);
+            }
+        }
+    }
+
+    free_arr(keys);
+    free_arr(counts);
+    return 0;
+}
+"#;
+
+/// Returns the SciL source of a workload.
+pub fn source(kind: Kind) -> &'static str {
+    match kind {
+        Kind::Comd => COMD,
+        Kind::Hpccg => HPCCG,
+        Kind::Amg => AMG,
+        Kind::Fft => FFT,
+        Kind::Is => IS,
+    }
+}
+
+/// Non-blank, non-comment source lines (the "lines of code" of Table 3).
+pub fn lines_of_code(kind: Kind) -> usize {
+    source(kind)
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with("//"))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_sources_compile() {
+        for kind in Kind::ALL {
+            ipas_lang::compile_named(source(kind), kind.name())
+                .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+        }
+    }
+
+    #[test]
+    fn loc_counts_are_positive_and_ordered_sensibly() {
+        for kind in Kind::ALL {
+            assert!(lines_of_code(kind) > 20, "{}", kind.name());
+        }
+        // CoMD and AMG are the biggest codes, IS the smallest, loosely
+        // mirroring Table 3's ordering.
+        assert!(lines_of_code(Kind::Amg) > lines_of_code(Kind::Is));
+    }
+}

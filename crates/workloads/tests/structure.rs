@@ -1,0 +1,120 @@
+//! Structural checks over the compiled workload modules: the IR that
+//! the classifier, duplication pass, and campaigns all consume.
+
+use ipas_analysis::{Feature, FeatureExtractor};
+use ipas_ir::verify::verify_module;
+use ipas_workloads::{sources, Kind};
+
+fn module(kind: Kind) -> ipas_ir::Module {
+    ipas_lang::compile_named(sources::source(kind), kind.name()).expect("compiles")
+}
+
+#[test]
+fn all_modules_verify_and_round_trip_textually() {
+    for kind in Kind::ALL {
+        let m = module(kind);
+        verify_module(&m).unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+        let normalized = ipas_ir::parser::parse_module(&m.to_text())
+            .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+        verify_module(&normalized).unwrap_or_else(|e| panic!("{} reparse: {e}", kind.name()));
+        let again = ipas_ir::parser::parse_module(&normalized.to_text()).expect("stable");
+        assert_eq!(normalized.to_text(), again.to_text(), "{}", kind.name());
+    }
+}
+
+#[test]
+fn optimized_modules_have_no_allocas_or_trivial_ops() {
+    use ipas_ir::Inst;
+    for kind in Kind::ALL {
+        let m = module(kind);
+        for (_, f) in m.functions() {
+            for bb in f.block_ids() {
+                for &id in f.block(bb).insts() {
+                    assert!(
+                        !matches!(f.inst(id), Inst::Alloca { .. }),
+                        "{}: scalar alloca survived mem2reg in {}",
+                        kind.name(),
+                        f.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn feature_extraction_is_total_and_sane_on_all_workloads() {
+    for kind in Kind::ALL {
+        let m = module(kind);
+        let extractor = FeatureExtractor::new(&m);
+        for (fid, f) in m.functions() {
+            let all = extractor.extract_all(fid);
+            assert_eq!(all.len(), f.num_linked_insts(), "{}", kind.name());
+            for (id, fv) in all {
+                for (feat, &v) in Feature::ALL.iter().zip(fv.as_slice()) {
+                    assert!(
+                        v.is_finite() && v >= 0.0,
+                        "{}: {} of {id} = {v}",
+                        kind.name(),
+                        feat.name()
+                    );
+                }
+                // Consistency: function-level features match the function.
+                assert_eq!(
+                    fv.get(Feature::FuncInsts) as usize,
+                    f.num_linked_insts(),
+                    "{}",
+                    kind.name()
+                );
+                assert_eq!(
+                    fv.get(Feature::FuncBlocks) as usize,
+                    f.num_blocks(),
+                    "{}",
+                    kind.name()
+                );
+                // The slice always contains at least the instruction.
+                assert!(fv.get(Feature::SliceTotal) >= 1.0);
+                // Block-local position is inside the block.
+                assert!(fv.get(Feature::RemainingInBlock) < fv.get(Feature::BlockSize));
+            }
+        }
+    }
+}
+
+#[test]
+fn every_workload_contains_loops_and_calls() {
+    // The feature space must be non-degenerate: loops exist, calls
+    // exist, and both boolean polarities of InLoop appear.
+    for kind in Kind::ALL {
+        let m = module(kind);
+        let extractor = FeatureExtractor::new(&m);
+        let mut in_loop = 0usize;
+        let mut out_of_loop = 0usize;
+        let mut calls = 0usize;
+        for (fid, _) in m.functions() {
+            for (_, fv) in extractor.extract_all(fid) {
+                if fv.get(Feature::InLoop) > 0.5 {
+                    in_loop += 1;
+                } else {
+                    out_of_loop += 1;
+                }
+                if fv.get(Feature::IsCall) > 0.5 {
+                    calls += 1;
+                }
+            }
+        }
+        assert!(in_loop > 0, "{}: no loop instructions", kind.name());
+        assert!(out_of_loop > 0, "{}: everything in loops", kind.name());
+        assert!(calls > 0, "{}: no calls", kind.name());
+    }
+}
+
+#[test]
+fn loc_matches_reported_table() {
+    // Guard against the Table 3 harness drifting from the sources.
+    for kind in Kind::ALL {
+        let loc = sources::lines_of_code(kind);
+        let raw_lines = sources::source(kind).lines().count();
+        assert!(loc > 0 && loc <= raw_lines);
+    }
+}

@@ -1,0 +1,93 @@
+//! Writing a custom verification routine.
+//!
+//! IPAS is only as good as the verification routine that labels its
+//! training data (step 1 of the workflow). This example protects a
+//! Monte-Carlo-style π estimator whose output is *statistical*: exact
+//! golden comparison would flag harmless sampling noise as corruption,
+//! so we write an `OutputVerifier` that accepts any estimate within a
+//! confidence band — the "relaxed methodology" the paper's §7 discusses
+//! for outputs without exact solutions.
+//!
+//! Run with: `cargo run --release --example custom_verifier`
+
+use ipas::faultsim::{run_campaign, CampaignConfig, Outcome, OutputVerifier, Workload};
+use ipas::interp::RunOutput;
+
+/// Deterministic quasi-Monte-Carlo π estimator: R2 low-discrepancy
+/// points in the unit square, counting hits inside the quarter circle.
+const PI_ESTIMATOR: &str = r#"
+fn frac(x: float) -> float {
+    return x - floor(x);
+}
+fn main() -> int {
+    let n: int = 4000;
+    let hits: int = 0;
+    for (let i: int = 0; i < n; i = i + 1) {
+        // The R2 sequence: x = frac(i/p), y = frac(i/p^2) for the
+        // plastic number p — a uniform low-discrepancy point set.
+        let x: float = frac(itof(i) * 0.7548776662466927);
+        let y: float = frac(itof(i) * 0.5698402909980532);
+        if (x * x + y * y < 1.0) { hits = hits + 1; }
+    }
+    output_f(4.0 * itof(hits) / itof(n));
+    return 0;
+}
+"#;
+
+/// Accepts any single finite estimate within `band` of π.
+#[derive(Debug)]
+struct PiBandVerifier {
+    band: f64,
+}
+
+impl OutputVerifier for PiBandVerifier {
+    fn verify(&self, run: &RunOutput) -> bool {
+        let floats = run.outputs.as_floats();
+        let [estimate] = floats.as_slice() else {
+            return false; // wrong output shape is always corruption
+        };
+        estimate.is_finite() && (estimate - std::f64::consts::PI).abs() <= self.band
+    }
+
+    fn describe(&self) -> String {
+        format!("pi estimate within ±{}", self.band)
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let module = ipas::lang::compile(PI_ESTIMATOR)?;
+    let workload = Workload::with_custom_verifier(
+        "pi",
+        module,
+        "main",
+        vec![],
+        |_golden| Box::new(PiBandVerifier { band: 0.05 }),
+    )?;
+    println!(
+        "golden estimate: {:?} (verifier: {})",
+        workload.golden.as_floats(),
+        workload.verifier.describe()
+    );
+
+    let campaign = run_campaign(
+        &workload,
+        &CampaignConfig {
+            runs: 256,
+            seed: 314,
+            threads: 0,
+        },
+    );
+    for outcome in Outcome::ALL {
+        println!(
+            "{:>9}: {:>5.1}%",
+            outcome.label(),
+            campaign.fraction(outcome) * 100.0
+        );
+    }
+    println!(
+        "\nNote the masking rate: faults that perturb the estimate within the
+confidence band are *not* corruption for this workload — a strict golden
+comparison would have misclassified them as SOC and overtrained IPAS."
+    );
+    Ok(())
+}

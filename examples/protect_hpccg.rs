@@ -1,0 +1,98 @@
+//! Protecting a real solver: IPAS on the HPCCG conjugate-gradient
+//! mini-app, compared against SWIFT-style full duplication.
+//!
+//! This is the scenario from the paper's introduction: a scientific code
+//! whose output can be verified (the CG error against a known exact
+//! solution), where blanket duplication is too expensive and IPAS learns
+//! which instructions actually endanger the result.
+//!
+//! Run with: `cargo run --release --example protect_hpccg`
+
+use ipas::core::{
+    build_training_set, protect_module, train_top_configs, LabelKind, ProtectionPolicy,
+};
+use ipas::faultsim::{run_campaign, CampaignConfig, Outcome};
+use ipas::svm::GridOptions;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = ipas::workloads::hpccg(5)?;
+    println!(
+        "HPCCG 5x5x5: {} static insts, {} dynamic insts, converged to {:.2e} in {} iterations",
+        workload.module.num_static_insts(),
+        workload.nominal_insts,
+        workload.golden.as_floats()[0],
+        workload.golden.as_ints()[0],
+    );
+
+    // Label SOC-generating instructions by fault injection.
+    let training = run_campaign(
+        &workload,
+        &CampaignConfig {
+            runs: 400,
+            seed: 42,
+            threads: 0,
+        },
+    );
+    let data = build_training_set(&workload, &training.records, LabelKind::SocGenerating);
+    println!(
+        "training campaign: {} runs, {:.1}% SOC",
+        data.len(),
+        data.positive_fraction() * 100.0
+    );
+
+    // Train and keep the best configuration by cross-validated F-score.
+    let model = train_top_configs(&data, &GridOptions::quick(), 1)
+        .into_iter()
+        .next()
+        .expect("grid search returns configurations");
+    println!(
+        "best SVM config: C={:.1}, gamma={:.4}, F-score={:.3}",
+        model.score().params.c,
+        model.score().params.gamma,
+        model.score().f_score
+    );
+
+    // Protect with IPAS and with full duplication; compare.
+    let eval = CampaignConfig {
+        runs: 256,
+        seed: 1042,
+        threads: 0,
+    };
+    let unprot = run_campaign(&workload, &eval);
+
+    let (ipas_module, ipas_stats) = ProtectionPolicy::Ipas(model).apply(&workload.module);
+    let ipas_wl = workload.with_module("HPCCG+IPAS", ipas_module)?;
+    let ipas_run = run_campaign(&ipas_wl, &eval);
+
+    let (full_module, full_stats) = protect_module(&workload.module, &mut |_, _, _| true);
+    let full_wl = workload.with_module("HPCCG+full", full_module)?;
+    let full_run = run_campaign(&full_wl, &eval);
+
+    println!("\n{:<12} {:>11} {:>9} {:>9}", "variant", "duplicated", "SOC", "slowdown");
+    println!(
+        "{:<12} {:>11} {:>8.1}% {:>8.2}x",
+        "unprotected",
+        "0",
+        unprot.fraction(Outcome::Soc) * 100.0,
+        1.0
+    );
+    println!(
+        "{:<12} {:>11} {:>8.1}% {:>8.2}x",
+        "IPAS",
+        format!("{:.0}%", ipas_stats.duplicated_fraction() * 100.0),
+        ipas_run.fraction(Outcome::Soc) * 100.0,
+        ipas_wl.nominal_insts as f64 / workload.nominal_insts as f64
+    );
+    println!(
+        "{:<12} {:>11} {:>8.1}% {:>8.2}x",
+        "full",
+        format!("{:.0}%", full_stats.duplicated_fraction() * 100.0),
+        full_run.fraction(Outcome::Soc) * 100.0,
+        full_wl.nominal_insts as f64 / workload.nominal_insts as f64
+    );
+    println!(
+        "\nIPAS protected {} of {} duplicable instructions and inserted {} checks.",
+        ipas_stats.duplicated, ipas_stats.considered, ipas_stats.checks
+    );
+    Ok(())
+}

@@ -1,0 +1,329 @@
+//! `ipas` — command-line driver for the IPAS workflow.
+//!
+//! Protects a SciL program end to end: compiles it, runs the
+//! fault-injection training campaign against a golden-output
+//! verification routine, trains the classifier, applies selective
+//! duplication, and writes the protected IR.
+//!
+//! ```text
+//! USAGE:
+//!   ipas protect <file.scil> [--runs N] [--eval N] [--top N]
+//!                [--tolerance T] [--seed S] [--out FILE] [--policy P]
+//!   ipas run <file.scil>            # compile + execute, print outputs
+//!   ipas ir <file.scil>             # compile + print optimized IR
+//!   ipas inject <file.scil> --target K --bit B   # single fault run
+//!   ipas explain <file.scil> [--runs N]    # per-instruction decisions
+//! ```
+//!
+//! `--policy` selects `ipas` (default), `full`, or `baseline`.
+//! The program's verified output stream is whatever it emits through
+//! `output_i`/`output_f`; verification compares against the fault-free
+//! run with float tolerance `--tolerance` (default 1e-9).
+
+use std::process::ExitCode;
+
+use ipas::core::{
+    build_training_set, evaluate_variant, train_top_configs, LabelKind, ProtectionPolicy,
+};
+use ipas::faultsim::{run_campaign, CampaignConfig, Outcome, Workload};
+use ipas::interp::{Injection, Machine, RunConfig};
+use ipas::svm::GridOptions;
+
+struct Args {
+    positional: Vec<String>,
+    flags: std::collections::HashMap<String, String>,
+}
+
+impl Args {
+    fn parse() -> Self {
+        let mut positional = Vec::new();
+        let mut flags = std::collections::HashMap::new();
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = it.next().unwrap_or_default();
+                flags.insert(name.to_string(), value);
+            } else {
+                positional.push(a);
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.flags
+            .get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: ipas <protect|run|ir|inject> <file.scil> [--runs N] [--eval N] [--top N] \
+         [--tolerance T] [--seed S] [--out FILE] [--policy ipas|full|baseline] \
+         [--target K] [--bit B]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args = Args::parse();
+    let (Some(cmd), Some(path)) = (args.positional.first(), args.positional.get(1)) else {
+        return usage();
+    };
+    if !matches!(cmd.as_str(), "protect" | "run" | "ir" | "inject" | "explain") {
+        return usage();
+    }
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ipas: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let module = match ipas::lang::compile(&source) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("ipas: {path}:{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match cmd.as_str() {
+        "ir" => {
+            print!("{module}");
+            ExitCode::SUCCESS
+        }
+        "run" => {
+            let out = Machine::new(&module)
+                .run(&RunConfig::default())
+                .expect("main() exists in compiled modules");
+            for v in out.outputs.as_ints() {
+                println!("{v}");
+            }
+            for v in out.outputs.as_floats() {
+                println!("{v}");
+            }
+            eprintln!(
+                "[ipas] status {:?}, {} dynamic instructions",
+                out.status, out.dynamic_insts
+            );
+            ExitCode::SUCCESS
+        }
+        "inject" => {
+            let target = args.get("target", 0u64);
+            let bit = args.get("bit", 0u32);
+            let out = Machine::new(&module)
+                .run(&RunConfig {
+                    injection: Some(Injection::at_global_index(target, bit)),
+                    max_insts: 500_000_000,
+                    ..RunConfig::default()
+                })
+                .expect("main() exists in compiled modules");
+            eprintln!(
+                "[ipas] injected bit {bit} at eligible result {target} (site {:?})",
+                out.injected_site
+            );
+            eprintln!("[ipas] status {:?}", out.status);
+            for v in out.outputs.as_ints() {
+                println!("{v}");
+            }
+            for v in out.outputs.as_floats() {
+                println!("{v}");
+            }
+            ExitCode::SUCCESS
+        }
+        "explain" => {
+            let runs = args.get("runs", 400usize);
+            let seed = args.get("seed", 2016u64);
+            let workload = match Workload::serial("cli", module, args.get("tolerance", 1e-9f64)) {
+                Ok(w) => w,
+                Err(e) => {
+                    eprintln!("ipas: golden run failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            eprintln!("[ipas] training campaign: {runs} injections ...");
+            let campaign = run_campaign(
+                &workload,
+                &CampaignConfig {
+                    runs,
+                    seed,
+                    threads: 0,
+                },
+            );
+            let data =
+                build_training_set(&workload, &campaign.records, LabelKind::SocGenerating);
+            if data.num_positive() == 0 || data.num_positive() == data.len() {
+                eprintln!("ipas: degenerate training labels; raise --runs");
+                return ExitCode::FAILURE;
+            }
+            let model = train_top_configs(&data, &GridOptions::quick(), 1)
+                .into_iter()
+                .next()
+                .expect("grid is non-empty");
+            let extractor = ipas::analysis::FeatureExtractor::new(&workload.module);
+            // Observed outcomes per site, for context next to predictions.
+            let mut observed: std::collections::HashMap<_, [usize; 4]> =
+                std::collections::HashMap::new();
+            for rec in &campaign.records {
+                let slot = match rec.outcome {
+                    Outcome::Symptom => 0,
+                    Outcome::Detected => 1,
+                    Outcome::Masked => 2,
+                    Outcome::Soc => 3,
+                };
+                observed.entry(rec.site).or_insert([0; 4])[slot] += 1;
+            }
+            println!("{:<10} {:>5} {:<8} {:>8} {:>6} {:>6}", "function", "inst", "opcode", "protect?", "SOC", "hits");
+            for (fid, func) in workload.module.functions() {
+                for bb in func.block_ids() {
+                    for &id in func.block(bb).insts() {
+                        if !ipas::core::duplicable(func.inst(id)) {
+                            continue;
+                        }
+                        let fv = extractor.extract(fid, id);
+                        let protect = model.predict_features(&fv);
+                        let counts = observed.get(&(fid, id)).copied().unwrap_or([0; 4]);
+                        let hits: usize = counts.iter().sum();
+                        println!(
+                            "{:<10} {:>5} {:<8} {:>8} {:>6} {:>6}",
+                            func.name(),
+                            id.index(),
+                            func.inst(id).opcode_name(),
+                            if protect { "yes" } else { "-" },
+                            counts[3],
+                            hits
+                        );
+                    }
+                }
+            }
+            eprintln!(
+                "[ipas] classifier C={:.1} gamma={:.4} F-score={:.3} (SOC column = observed SOC outcomes among `hits` sampled injections at that site)",
+                model.score().params.c,
+                model.score().params.gamma,
+                model.score().f_score
+            );
+            ExitCode::SUCCESS
+        }
+        "protect" => {
+            let tolerance = args.get("tolerance", 1e-9f64);
+            let runs = args.get("runs", 400usize);
+            let eval_runs = args.get("eval", 192usize);
+            let top = args.get("top", 3usize);
+            let seed = args.get("seed", 2016u64);
+            let policy_name = args
+                .flags
+                .get("policy")
+                .cloned()
+                .unwrap_or_else(|| "ipas".into());
+
+            let workload = match Workload::serial("cli", module, tolerance) {
+                Ok(w) => w,
+                Err(e) => {
+                    eprintln!("ipas: golden run failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            eprintln!(
+                "[ipas] golden run: {} dynamic insts, {} eligible fault sites",
+                workload.nominal_insts, workload.eligible_results
+            );
+
+            // Steps 2-3: campaign + classifier (not needed for `full`).
+            let policy = match policy_name.as_str() {
+                "full" => ProtectionPolicy::FullDuplication,
+                name @ ("ipas" | "baseline") => {
+                    eprintln!("[ipas] training campaign: {runs} injections ...");
+                    let campaign = run_campaign(
+                        &workload,
+                        &CampaignConfig {
+                            runs,
+                            seed,
+                            threads: 0,
+                        },
+                    );
+                    let label = if name == "ipas" {
+                        LabelKind::SocGenerating
+                    } else {
+                        LabelKind::SymptomGenerating
+                    };
+                    let data = build_training_set(&workload, &campaign.records, label);
+                    eprintln!(
+                        "[ipas] training set: {} samples, {:.1}% positive",
+                        data.len(),
+                        data.positive_fraction() * 100.0
+                    );
+                    if data.num_positive() == 0 || data.num_positive() == data.len() {
+                        eprintln!("ipas: degenerate training labels; raise --runs");
+                        return ExitCode::FAILURE;
+                    }
+                    let models = train_top_configs(&data, &GridOptions::quick(), top);
+                    let best = models.into_iter().next().expect("grid is non-empty");
+                    eprintln!(
+                        "[ipas] best config: C={:.1} gamma={:.4} F-score={:.3}",
+                        best.score().params.c,
+                        best.score().params.gamma,
+                        best.score().f_score
+                    );
+                    if name == "ipas" {
+                        ProtectionPolicy::Ipas(best)
+                    } else {
+                        ProtectionPolicy::Baseline(best)
+                    }
+                }
+                other => {
+                    eprintln!("ipas: unknown policy `{other}`");
+                    return ExitCode::FAILURE;
+                }
+            };
+
+            // Step 4: protect and evaluate.
+            let (protected, stats) = policy.apply(&workload.module);
+            eprintln!(
+                "[ipas] duplicated {}/{} instructions, {} checks",
+                stats.duplicated, stats.considered, stats.checks
+            );
+            let eval = CampaignConfig {
+                runs: eval_runs,
+                seed: seed ^ 0xE7A1,
+                threads: 0,
+            };
+            let unprot = run_campaign(&workload, &eval);
+            let unprot_soc = unprot.fraction(Outcome::Soc) * 100.0;
+            match evaluate_variant(
+                &workload,
+                protected.clone(),
+                policy.label(),
+                stats,
+                Some(unprot_soc),
+                &eval,
+            ) {
+                Ok(v) => {
+                    eprintln!(
+                        "[ipas] SOC {unprot_soc:.2}% -> {:.2}% ({:.1}% reduction) at {:.2}x slowdown",
+                        v.soc_pct, v.soc_reduction_pct, v.slowdown
+                    );
+                }
+                Err(e) => {
+                    eprintln!("ipas: evaluation failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+
+            let out_path = args
+                .flags
+                .get("out")
+                .cloned()
+                .unwrap_or_else(|| format!("{path}.protected.ir"));
+            if let Err(e) = std::fs::write(&out_path, protected.to_text()) {
+                eprintln!("ipas: cannot write {out_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("[ipas] protected IR written to {out_path}");
+            ExitCode::SUCCESS
+        }
+        _ => unreachable!("subcommand validated above"),
+    }
+}

@@ -1,0 +1,17 @@
+//! Facade crate for the IPAS reproduction workspace.
+//!
+//! Re-exports every sub-crate under a short name so that examples and
+//! integration tests can depend on a single crate. See the repository
+//! README for an overview and `DESIGN.md` for the system inventory.
+
+#![warn(missing_docs)]
+
+pub use ipas_analysis as analysis;
+pub use ipas_core as core;
+pub use ipas_faultsim as faultsim;
+pub use ipas_interp as interp;
+pub use ipas_ir as ir;
+pub use ipas_lang as lang;
+pub use ipas_mpisim as mpisim;
+pub use ipas_svm as svm;
+pub use ipas_workloads as workloads;

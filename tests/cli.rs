@@ -1,0 +1,141 @@
+//! End-to-end tests of the `ipas` CLI binary, driven as a user would.
+
+use std::io::Write as _;
+use std::process::Command;
+
+fn ipas() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ipas"))
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("ipas-cli-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).expect("create temp file");
+    f.write_all(contents.as_bytes()).expect("write");
+    path
+}
+
+const KERNEL: &str = r#"
+fn main() -> int {
+    let n: int = 12;
+    let a: [float] = new_float(n);
+    for (let i: int = 0; i < n; i = i + 1) { a[i] = itof(i) * 0.5; }
+    let s: float = 0.0;
+    for (let i: int = 0; i < n; i = i + 1) { s = s + a[i] * a[i]; }
+    output_f(s);
+    free_arr(a);
+    return 0;
+}
+"#;
+
+#[test]
+fn run_prints_outputs() {
+    let path = write_temp("run.scil", KERNEL);
+    let out = ipas().arg("run").arg(&path).output().expect("spawns");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // sum of (i/2)^2 for i < 12 = 126.5
+    assert_eq!(stdout.trim(), "126.5");
+}
+
+#[test]
+fn ir_emits_parseable_module() {
+    let path = write_temp("ir.scil", KERNEL);
+    let out = ipas().arg("ir").arg(&path).output().expect("spawns");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let module = ipas::ir::parser::parse_module(&text).expect("CLI IR parses back");
+    ipas::ir::verify::verify_module(&module).expect("CLI IR verifies");
+}
+
+#[test]
+fn inject_reports_site_and_status() {
+    let path = write_temp("inject.scil", KERNEL);
+    let out = ipas()
+        .args(["inject"])
+        .arg(&path)
+        .args(["--target", "3", "--bit", "55"])
+        .output()
+        .expect("spawns");
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("injected bit 55"), "{stderr}");
+    assert!(stderr.contains("status"), "{stderr}");
+}
+
+#[test]
+fn protect_writes_checked_ir_and_reports_reduction() {
+    let path = write_temp("protect.scil", KERNEL);
+    let out_path = std::env::temp_dir().join("ipas-cli-tests/protect.out.ir");
+    let out = ipas()
+        .arg("protect")
+        .arg(&path)
+        .args(["--runs", "120", "--eval", "48", "--policy", "full"])
+        .arg("--out")
+        .arg(&out_path)
+        .output()
+        .expect("spawns");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("duplicated"), "{stderr}");
+    assert!(stderr.contains("slowdown"), "{stderr}");
+    let ir = std::fs::read_to_string(&out_path).expect("protected IR written");
+    assert!(ir.contains("__ipas_check"), "protection inserted checks");
+    let module = ipas::ir::parser::parse_module(&ir).expect("parses");
+    ipas::ir::verify::verify_module(&module).expect("verifies");
+}
+
+#[test]
+fn missing_file_fails_with_message() {
+    let out = ipas().args(["run", "/nonexistent.scil"]).output().expect("spawns");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn syntax_error_reports_position() {
+    let path = write_temp("bad.scil", "fn main() -> int {\n  return @;\n}\n");
+    let out = ipas().arg("run").arg(&path).output().expect("spawns");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("2:10"), "{stderr}");
+}
+
+#[test]
+fn unknown_subcommand_prints_usage() {
+    let out = ipas().args(["frobnicate", "x.scil"]).output().expect("spawns");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn unknown_policy_fails() {
+    let path = write_temp("policy.scil", KERNEL);
+    let out = ipas()
+        .arg("protect")
+        .arg(&path)
+        .args(["--policy", "wat"])
+        .output()
+        .expect("spawns");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown policy"));
+}
+
+#[test]
+fn explain_lists_duplicable_instructions_with_decisions() {
+    let path = write_temp("explain.scil", KERNEL);
+    let out = ipas()
+        .arg("explain")
+        .arg(&path)
+        .args(["--runs", "120"])
+        .output()
+        .expect("spawns");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("protect?"), "{stdout}");
+    // At least one instruction is selected and at least one is skipped.
+    assert!(stdout.contains("yes"), "{stdout}");
+    let lines: Vec<&str> = stdout.lines().skip(1).collect();
+    assert!(!lines.is_empty());
+}

@@ -1,0 +1,164 @@
+//! Cross-crate integration tests: the full IPAS stack end to end.
+
+use ipas::core::{run_experiment, ExperimentOptions, ProtectionPolicy};
+use ipas::faultsim::{run_campaign, CampaignConfig, Outcome};
+use ipas::interp::{Machine, RunConfig};
+use ipas::workloads::Kind;
+
+/// Every workload's protected variants (full duplication) must behave
+/// identically to the original in the absence of faults — same outputs,
+/// same golden verification — and pass the IR verifier.
+#[test]
+fn protection_preserves_semantics_on_all_workloads() {
+    for kind in Kind::ALL {
+        let w = kind.build(kind.base_input()).unwrap();
+        let (protected, stats) = ProtectionPolicy::FullDuplication.apply(&w.module);
+        ipas::ir::verify::verify_module(&protected)
+            .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+        assert!(stats.duplicated > 0, "{}", kind.name());
+
+        let config = RunConfig {
+            entry: w.entry.clone(),
+            args: w.args.clone(),
+            ..RunConfig::default()
+        };
+        let base = Machine::new(&w.module).run(&config).unwrap();
+        let prot = Machine::new(&protected).run(&config).unwrap();
+        assert_eq!(base.outputs, prot.outputs, "{}", kind.name());
+        assert!(
+            prot.dynamic_insts > base.dynamic_insts,
+            "{}: duplication must cost instructions",
+            kind.name()
+        );
+        // The protected clean run still satisfies the verifier.
+        assert!(w.verifier.verify(&prot), "{}", kind.name());
+    }
+}
+
+/// Full duplication detects the large majority of otherwise-SOC faults
+/// on the IS workload (the paper's Figure 5 full-duplication bars).
+#[test]
+fn full_duplication_detects_most_soc() {
+    let w = Kind::Is.build(512).unwrap();
+    let eval = CampaignConfig {
+        runs: 96,
+        seed: 5,
+        threads: 0,
+    };
+    let unprot = run_campaign(&w, &eval);
+    let (protected, _) = ProtectionPolicy::FullDuplication.apply(&w.module);
+    let wp = w.with_module("IS-full", protected).unwrap();
+    let prot = run_campaign(&wp, &eval);
+    assert!(unprot.count(Outcome::Soc) > 0, "unprotected IS must show SOC");
+    assert!(
+        prot.fraction(Outcome::Soc) < unprot.fraction(Outcome::Soc) / 2.0,
+        "full duplication must cut SOC at least in half: {} vs {}",
+        prot.fraction(Outcome::Soc),
+        unprot.fraction(Outcome::Soc)
+    );
+    assert!(prot.count(Outcome::Detected) > 0);
+}
+
+/// A small end-to-end experiment on IS: IPAS must cost less than full
+/// duplication while reducing SOC.
+#[test]
+fn ipas_costs_less_than_full_duplication() {
+    let w = Kind::Is.build(512).unwrap();
+    let result = run_experiment(&w, &ExperimentOptions::quick()).unwrap();
+    for v in &result.ipas {
+        assert!(v.slowdown < result.full.slowdown);
+    }
+    let best = &result.ipas[result.best_ipas().unwrap()];
+    assert!(
+        best.soc_reduction_pct > 30.0,
+        "best IPAS config should remove a substantial share of SOC: {:?}",
+        result
+            .ipas
+            .iter()
+            .map(|v| (v.slowdown, v.soc_reduction_pct))
+            .collect::<Vec<_>>()
+    );
+}
+
+/// The facade crate re-exports a coherent API across all layers.
+#[test]
+fn facade_exposes_all_layers() {
+    let module = ipas::lang::compile("fn main() -> int { return 2 + 2; }").unwrap();
+    let extractor = ipas::analysis::FeatureExtractor::new(&module);
+    let (fid, f) = module.functions().next().unwrap();
+    let first = f.block(f.entry()).insts()[0];
+    let _fv = extractor.extract(fid, first);
+    let out = ipas::interp::Machine::new(&module)
+        .run(&ipas::interp::RunConfig::default())
+        .unwrap();
+    assert!(out.status.is_completed());
+}
+
+/// Campaign determinism holds through the whole stack: identical seeds
+/// give identical experiment outcomes.
+#[test]
+fn experiments_are_reproducible() {
+    let w1 = Kind::Is.build(512).unwrap();
+    let w2 = Kind::Is.build(512).unwrap();
+    let opts = ExperimentOptions {
+        training_runs: 150,
+        eval_runs: 48,
+        top_n: 1,
+        grid: ipas::svm::GridOptions::quick(),
+        seed: 99,
+        threads: 0,
+    };
+    let r1 = run_experiment(&w1, &opts).unwrap();
+    let r2 = run_experiment(&w2, &opts).unwrap();
+    assert_eq!(r1.unprotected.soc_pct, r2.unprotected.soc_pct);
+    assert_eq!(r1.ipas[0].slowdown, r2.ipas[0].slowdown);
+    assert_eq!(r1.ipas[0].soc_pct, r2.ipas[0].soc_pct);
+}
+
+/// Duplication's checks catch faults far closer to their occurrence
+/// than end-of-run verification would (§2.2's motivation). Uses HPCCG,
+/// whose verification happens after the solve: on codes that emit most
+/// output in a tail loop (IS), SOC faults cluster near the end and the
+/// gap narrows by construction.
+#[test]
+fn duplication_detects_close_to_occurrence() {
+    let w = Kind::Hpccg.build(4).unwrap();
+    let eval = CampaignConfig {
+        runs: 128,
+        seed: 77,
+        threads: 0,
+    };
+    let unprot = run_campaign(&w, &eval);
+    let (protected, _) = ProtectionPolicy::FullDuplication.apply(&w.module);
+    let wp = w.with_module("HPCCG-full", protected).unwrap();
+    let prot = run_campaign(&wp, &eval);
+
+    let median = |mut v: Vec<u64>| -> u64 {
+        v.sort_unstable();
+        if v.is_empty() {
+            0
+        } else {
+            v[v.len() / 2]
+        }
+    };
+    let dup_latency = median(
+        prot.records
+            .iter()
+            .filter(|r| r.outcome == Outcome::Detected)
+            .map(|r| r.latency)
+            .collect(),
+    );
+    let verify_latency = median(
+        unprot
+            .records
+            .iter()
+            .filter(|r| r.outcome == Outcome::Soc)
+            .map(|r| r.latency)
+            .collect(),
+    );
+    assert!(dup_latency > 0 && verify_latency > 0);
+    assert!(
+        dup_latency * 10 < verify_latency,
+        "checks should fire much earlier than verification: {dup_latency} vs {verify_latency}"
+    );
+}

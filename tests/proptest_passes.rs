@@ -1,0 +1,97 @@
+//! Property-based pass-correctness tests: optimization and duplication
+//! must preserve program behaviour.
+
+use proptest::prelude::*;
+
+use ipas::interp::{Machine, RunConfig, RtVal};
+
+/// A small random program template: a loop accumulating a mix of
+/// integer and float arithmetic over an array, parameterized by
+/// generated constants. Covers loads/stores, GEPs, casts, calls,
+/// branches, and both arithmetic domains.
+fn program(a: i64, b: i64, c: i64, scale: i64, n: u8) -> String {
+    let n = (n % 24) + 2;
+    format!(
+        r#"
+fn mix(v: float, k: int) -> float {{
+    if (k % 3 == 0) {{ return v * 1.5 + 0.25; }}
+    else if (k % 3 == 1) {{ return sqrt(fabs(v) + 1.0); }}
+    return v - itof(k) * 0.125;
+}}
+fn main(x: int) -> int {{
+    let n: int = {n};
+    let arr: [float] = new_float(n);
+    let acc: int = x;
+    for (let i: int = 0; i < n; i = i + 1) {{
+        arr[i] = itof(i * {a} + {b}) * 0.5;
+    }}
+    let facc: float = 0.0;
+    for (let i: int = 0; i < n; i = i + 1) {{
+        facc = facc + mix(arr[i], i + {c});
+        if (i % 2 == 0) {{
+            acc = acc + ftoi(facc) % 97;
+        }} else {{
+            acc = acc - i * {scale};
+        }}
+    }}
+    output_i(acc);
+    output_f(facc);
+    free_arr(arr);
+    return acc;
+}}
+"#
+    )
+}
+
+fn run(module: &ipas::ir::Module, x: i64) -> (Vec<i64>, Vec<f64>, ipas::interp::RunStatus) {
+    let out = Machine::new(module)
+        .run(&RunConfig {
+            args: vec![RtVal::I64(x)],
+            ..RunConfig::default()
+        })
+        .expect("program runs");
+    (out.outputs.as_ints(), out.outputs.as_floats(), out.status)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// mem2reg + constant folding + DCE preserve observable behaviour.
+    #[test]
+    fn optimization_preserves_behaviour(
+        a in -20i64..20, b in -20i64..20, c in 0i64..10, scale in -5i64..5, n in any::<u8>(), x in -50i64..50
+    ) {
+        let src = program(a, b, c, scale, n);
+        let unopt = ipas::lang::compile_unoptimized(&src, "t").map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let opt = ipas::lang::compile(&src).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let (i1, f1, s1) = run(&unopt, x);
+        let (i2, f2, s2) = run(&opt, x);
+        prop_assert_eq!(s1, s2);
+        prop_assert_eq!(i1, i2);
+        prop_assert_eq!(f1, f2);
+    }
+
+    /// Duplicating any subset of instructions preserves fault-free
+    /// behaviour (the clone pipeline is a semantic no-op without
+    /// injections).
+    #[test]
+    fn duplication_preserves_behaviour(
+        a in -20i64..20, b in -20i64..20, c in 0i64..10, scale in -5i64..5, n in any::<u8>(),
+        x in -50i64..50, mask in any::<u64>()
+    ) {
+        let src = program(a, b, c, scale, n);
+        let module = ipas::lang::compile(&src).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let mut counter = 0u32;
+        let (protected, stats) = ipas::core::protect_module(&module, &mut |_, _, _| {
+            counter += 1;
+            (mask >> (counter % 64)) & 1 == 1
+        });
+        ipas::ir::verify::verify_module(&protected).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let (i1, f1, s1) = run(&module, x);
+        let (i2, f2, s2) = run(&protected, x);
+        prop_assert_eq!(s1, s2);
+        prop_assert_eq!(i1, i2);
+        prop_assert_eq!(f1, f2);
+        prop_assert!(stats.duplicated <= stats.considered);
+    }
+}
