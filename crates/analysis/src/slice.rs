@@ -29,11 +29,7 @@ pub fn forward_slice(func: &Function, root: InstId) -> HashSet<InstId> {
 
 /// Like [`forward_slice`] but reuses a precomputed [`DefUse`] (the
 /// feature extractor calls this once per instruction of a function).
-pub fn forward_slice_with(
-    _func: &Function,
-    du: &DefUse,
-    root: InstId,
-) -> HashSet<InstId> {
+pub fn forward_slice_with(_func: &Function, du: &DefUse, root: InstId) -> HashSet<InstId> {
     let mut slice: HashSet<InstId> = HashSet::new();
     slice.insert(root);
     let mut work = vec![root];

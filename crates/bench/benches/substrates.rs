@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use ipas_analysis::FeatureExtractor;
 use ipas_core::{protect_module, ProtectionPolicy};
-use ipas_interp::{Machine, RunConfig, RtVal};
+use ipas_interp::{Machine, RtVal, RunConfig};
 use ipas_svm::{grid_search, Dataset, GridOptions, Svm, SvmParams};
 use ipas_workloads::Kind;
 
@@ -24,11 +24,8 @@ fn bench_interpreter(c: &mut Criterion) {
     let mut group = c.benchmark_group("interpreter");
     group.sample_size(10);
     for (kind, input) in [(Kind::Is, 512i64), (Kind::Hpccg, 4)] {
-        let module = ipas_lang::compile_named(
-            ipas_workloads::sources::source(kind),
-            kind.name(),
-        )
-        .expect("compiles");
+        let module = ipas_lang::compile_named(ipas_workloads::sources::source(kind), kind.name())
+            .expect("compiles");
         let config = RunConfig {
             entry: "main".into(),
             args: vec![RtVal::I64(input)],
@@ -76,11 +73,8 @@ fn bench_svm(c: &mut Criterion) {
 }
 
 fn bench_duplication(c: &mut Criterion) {
-    let module = ipas_lang::compile_named(
-        ipas_workloads::sources::source(Kind::Comd),
-        "CoMD",
-    )
-    .expect("compiles");
+    let module = ipas_lang::compile_named(ipas_workloads::sources::source(Kind::Comd), "CoMD")
+        .expect("compiles");
     c.bench_function("duplication_pass_full_comd", |b| {
         b.iter_batched(
             || module.clone(),
@@ -96,11 +90,8 @@ fn bench_duplication(c: &mut Criterion) {
 }
 
 fn bench_features(c: &mut Criterion) {
-    let module = ipas_lang::compile_named(
-        ipas_workloads::sources::source(Kind::Amg),
-        "AMG",
-    )
-    .expect("compiles");
+    let module = ipas_lang::compile_named(ipas_workloads::sources::source(Kind::Amg), "AMG")
+        .expect("compiles");
     c.bench_function("feature_extraction_amg_all", |b| {
         b.iter(|| {
             let ex = FeatureExtractor::new(&module);

@@ -14,15 +14,10 @@ use ipas_bench::{print_table, Profile};
 use ipas_core::{build_training_set, LabelKind};
 use ipas_faultsim::{run_campaign, CampaignConfig};
 use ipas_svm::tree::{DecisionTree, TreeParams};
-use ipas_svm::{
-    f_score, per_class_accuracy, Classifier, Dataset, Knn, Scaler, Svm, SvmParams,
-};
+use ipas_svm::{f_score, per_class_accuracy, Classifier, Dataset, Knn, Scaler, Svm, SvmParams};
 use ipas_workloads::Kind;
 
-fn cross_validate<C: Classifier>(
-    data: &Dataset,
-    train: impl Fn(&Dataset) -> C,
-) -> (f64, f64, f64) {
+fn cross_validate<C: Classifier>(data: &Dataset, train: impl Fn(&Dataset) -> C) -> (f64, f64, f64) {
     let mut predicted = Vec::new();
     let mut truth = Vec::new();
     for (tr, te) in data.stratified_kfold(5, 7) {
@@ -51,7 +46,8 @@ fn main() {
                 seed: opts.seed,
                 threads: opts.threads,
             },
-        );
+        )
+        .expect("training campaign completes");
         let data = build_training_set(&workload, &campaign.records, LabelKind::SocGenerating);
         if data.num_positive() == 0 || data.num_positive() == data.len() {
             eprintln!("[ablation]   degenerate labels, skipping");
@@ -61,9 +57,8 @@ fn main() {
         let (s1, s2, sf) = cross_validate(&data, |d| {
             Svm::train(d, &SvmParams::new(100.0, 0.05).balanced_for(d))
         });
-        let (t1, t2, tf) = cross_validate(&data, |d| {
-            DecisionTree::train(d, &TreeParams::default())
-        });
+        let (t1, t2, tf) =
+            cross_validate(&data, |d| DecisionTree::train(d, &TreeParams::default()));
         let (k1, k2, kf) = cross_validate(&data, |d| Knn::train(d, 5));
 
         rows.push(vec![
@@ -76,7 +71,13 @@ fn main() {
     }
     print_table(
         "Classifier ablation (§4.3.1): F-score (acc1/acc2) under 5-fold CV",
-        &["code", "SOC rate", "SVM (weighted)", "decision tree", "5-NN"],
+        &[
+            "code",
+            "SOC rate",
+            "SVM (weighted)",
+            "decision tree",
+            "5-NN",
+        ],
         &rows,
     );
 }

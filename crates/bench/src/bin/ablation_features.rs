@@ -22,11 +22,7 @@ const GROUPS: [(&str, usize); 4] = [
 ];
 
 fn restrict(data: &Dataset, dims: usize) -> Dataset {
-    let x = data
-        .features()
-        .iter()
-        .map(|r| r[..dims].to_vec())
-        .collect();
+    let x = data.features().iter().map(|r| r[..dims].to_vec()).collect();
     Dataset::new(x, data.labels().to_vec()).expect("rectangular")
 }
 
@@ -60,7 +56,8 @@ fn main() {
                 seed: opts.seed,
                 threads: opts.threads,
             },
-        );
+        )
+        .expect("training campaign completes");
         let data = build_training_set(&workload, &campaign.records, LabelKind::SocGenerating);
         if data.num_positive() == 0 || data.num_positive() == data.len() {
             eprintln!("[ablation]   degenerate labels, skipping");

@@ -31,7 +31,7 @@ fn main() {
             let wl = workload
                 .with_module(&format!("{}-{placement:?}", kind.name()), module)
                 .expect("protected module runs");
-            let campaign = run_campaign(&wl, &eval);
+            let campaign = run_campaign(&wl, &eval).expect("campaign completes");
             cells.push(format!(
                 "{:.2}x / {:.1}% det / {} checks",
                 wl.nominal_insts as f64 / workload.nominal_insts as f64,

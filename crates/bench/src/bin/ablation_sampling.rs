@@ -24,8 +24,10 @@ fn main() {
     for kind in Kind::ALL {
         eprintln!("[ablation] {}", kind.name());
         let workload = kind.build(kind.base_input()).expect("workload builds");
-        let dynamic = run_campaign_sampled(&workload, &cfg, SamplingMode::DynamicUniform);
-        let statics = run_campaign_sampled(&workload, &cfg, SamplingMode::StaticUniform);
+        let dynamic = run_campaign_sampled(&workload, &cfg, SamplingMode::DynamicUniform)
+            .expect("campaign completes");
+        let statics = run_campaign_sampled(&workload, &cfg, SamplingMode::StaticUniform)
+            .expect("campaign completes");
         let distinct = |r: &ipas_faultsim::CampaignResult| {
             let mut sites: Vec<_> = r.records.iter().map(|x| x.site).collect();
             sites.sort();

@@ -34,7 +34,8 @@ fn main() {
             seed: opts.seed,
             threads: opts.threads,
         },
-    );
+    )
+    .expect("training campaign completes");
     let extractor = FeatureExtractor::new(&workload.module);
 
     // Header.

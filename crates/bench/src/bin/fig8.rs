@@ -8,7 +8,7 @@
 //! simulated MPI runtime.
 
 use ipas_bench::{load_or_run_experiments, print_table, protect_with_named_config, Profile};
-use ipas_interp::{RunConfig, RtVal};
+use ipas_interp::{RtVal, RunConfig};
 use ipas_mpisim::run_mpi_job;
 use ipas_workloads::Kind;
 
@@ -35,10 +35,14 @@ fn main() {
         };
         let mut cells = vec![format!("{} ({best})", kind.name())];
         for ranks in RANKS {
-            let base = run_mpi_job(&kind.build(kind.base_input()).unwrap().module, ranks, &config, None)
-                .expect("unprotected job runs");
-            let prot =
-                run_mpi_job(&protected, ranks, &config, None).expect("protected job runs");
+            let base = run_mpi_job(
+                &kind.build(kind.base_input()).unwrap().module,
+                ranks,
+                &config,
+                None,
+            )
+            .expect("unprotected job runs");
+            let prot = run_mpi_job(&protected, ranks, &config, None).expect("protected job runs");
             assert!(
                 prot.status.is_completed(),
                 "{}: protected job failed at {ranks} ranks",
@@ -53,7 +57,14 @@ fn main() {
     }
     print_table(
         "Figure 8: slowdown (critical-path insts, protected/unprotected) vs MPI ranks",
-        &["code (config)", "1 rank", "2 ranks", "4 ranks", "8 ranks", "16 ranks"],
+        &[
+            "code (config)",
+            "1 rank",
+            "2 ranks",
+            "4 ranks",
+            "8 ranks",
+            "16 ranks",
+        ],
         &rows,
     );
     println!("\nexpected shape: near-constant slowdown across rank counts");

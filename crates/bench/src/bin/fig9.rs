@@ -57,7 +57,8 @@ fn main() {
                 seed: opts.seed ^ (0xF19 + i as u64),
                 threads: opts.threads,
             };
-            let unprot_campaign = run_campaign(&unprot, &eval);
+            let unprot_campaign =
+                run_campaign(&unprot, &eval).expect("unprotected campaign completes");
             let unprot_soc = unprot_campaign.fraction(Outcome::Soc) * 100.0;
             // Protected module, same input.
             let prot_wl = rebuild_with_module(*kind, protected.clone(), input)
@@ -69,6 +70,7 @@ fn main() {
                 stats,
                 Some(unprot_soc),
                 &eval,
+                opts.journal_dir.as_deref(),
             )
             .expect("evaluation runs");
             cells.push(format!("{:.1}%", variant.soc_reduction_pct));
@@ -76,7 +78,9 @@ fn main() {
         rows.push(cells);
     }
     print_table(
-        &format!("Figure 9: SOC reduction across inputs ({runs} injections each; trained on input 1)"),
+        &format!(
+            "Figure 9: SOC reduction across inputs ({runs} injections each; trained on input 1)"
+        ),
         &["code (config)", "input 1", "input 2", "input 3", "input 4"],
         &rows,
     );

@@ -39,7 +39,7 @@ fn main() {
 
         // Verification-only latencies: SOC runs of the unprotected code
         // are only caught by the end-of-run verification.
-        let unprot = run_campaign(&workload, &eval);
+        let unprot = run_campaign(&workload, &eval).expect("campaign completes");
         let mut verify_lat: Vec<u64> = unprot
             .records
             .iter()
@@ -53,7 +53,7 @@ fn main() {
         let wl = workload
             .with_module(&format!("{}-full", kind.name()), protected)
             .expect("protected module runs");
-        let prot = run_campaign(&wl, &eval);
+        let prot = run_campaign(&wl, &eval).expect("campaign completes");
         let mut dup_lat: Vec<u64> = prot
             .records
             .iter()

@@ -22,7 +22,9 @@ fn main() {
     let mut rows = Vec::new();
     for s in &summaries {
         let ipas = s.best_of(&s.ipas()).expect("top-N IPAS configs exist");
-        let base = s.best_of(&s.baseline()).expect("top-N baseline configs exist");
+        let base = s
+            .best_of(&s.baseline())
+            .expect("top-N baseline configs exist");
         rows.push(vec![
             s.workload.clone(),
             format!("{:.2}", ipas.soc_reduction_pct),

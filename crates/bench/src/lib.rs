@@ -12,6 +12,12 @@
 //! * `quick` — small campaigns and a reduced grid (~1 min total);
 //! * `default` — the documented reproduction scale;
 //! * `paper` — the paper's 2,500-training / 1,024-eval scale (slow).
+//!
+//! Long runs can be made interruption-safe with `IPAS_JOURNAL_DIR`:
+//! when set, every campaign checkpoints its records to JSONL journals
+//! in that directory, and re-running a killed binary resumes the
+//! interrupted campaign instead of restarting it (see
+//! docs/campaign-resilience.md).
 
 #![warn(missing_docs)]
 
@@ -68,6 +74,7 @@ impl Profile {
                 },
                 seed: 2016,
                 threads: 0,
+                journal_dir: journal_dir_from_env(),
             },
             Profile::Default => ExperimentOptions {
                 training_runs: 600,
@@ -81,6 +88,7 @@ impl Profile {
                 },
                 seed: 2016,
                 threads: 0,
+                journal_dir: journal_dir_from_env(),
             },
             Profile::Paper => ExperimentOptions {
                 training_runs: 2500,
@@ -89,9 +97,15 @@ impl Profile {
                 grid: GridOptions::default(),
                 seed: 2016,
                 threads: 0,
+                journal_dir: journal_dir_from_env(),
             },
         }
     }
+}
+
+/// The campaign checkpoint directory selected via `IPAS_JOURNAL_DIR`.
+fn journal_dir_from_env() -> Option<PathBuf> {
+    std::env::var_os("IPAS_JOURNAL_DIR").map(PathBuf::from)
 }
 
 /// One evaluated variant, flattened for caching and table printing.
@@ -340,14 +354,26 @@ pub fn protect_with_named_config(
 ) -> (ipas_ir::Module, ipas_core::DuplicationStats) {
     let opts = profile.options();
     let workload = kind.build(kind.base_input()).expect("base workload builds");
-    let training = ipas_faultsim::run_campaign(
+    // Reuse the experiment's training journal (same name, seed, and
+    // scale), so retraining after a cached experiment costs nothing
+    // extra to checkpoint.
+    let campaign_opts = ipas_faultsim::CampaignOptions {
+        journal: opts.journal_dir.as_deref().map(|dir| {
+            let _ = std::fs::create_dir_all(dir);
+            ipas_core::campaign_journal_path(dir, &workload.name, "training", opts.seed)
+        }),
+        ..ipas_faultsim::CampaignOptions::default()
+    };
+    let training = ipas_faultsim::run_campaign_with(
         &workload,
         &ipas_faultsim::CampaignConfig {
             runs: opts.training_runs,
             seed: opts.seed,
             threads: opts.threads,
         },
-    );
+        &campaign_opts,
+    )
+    .unwrap_or_else(|e| panic!("{} training campaign failed: {e}", kind.name()));
     let index: usize = config_name
         .rsplit('#')
         .next()

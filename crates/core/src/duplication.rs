@@ -242,7 +242,10 @@ fn main() -> int {
         let prot = Machine::new(&protected).run(&RunConfig::default()).unwrap();
         assert_eq!(clean.status, prot.status);
         assert_eq!(clean.outputs, prot.outputs);
-        assert!(prot.dynamic_insts > clean.dynamic_insts, "duplication costs time");
+        assert!(
+            prot.dynamic_insts > clean.dynamic_insts,
+            "duplication costs time"
+        );
     }
 
     #[test]
@@ -260,9 +263,8 @@ fn main() -> int {
         // A chain a -> b -> c fully protected forms one duplication path
         // with one check at the tail. The expression below compiles to a
         // single-block chain of adds and muls.
-        let module = compile(
-            "fn main() -> int { let x: int = mpi_rank(); return (x + 1) * (x + 2) + 3; }",
-        );
+        let module =
+            compile("fn main() -> int { let x: int = mpi_rank(); return (x + 1) * (x + 2) + 3; }");
         let (_, stats) = protect_module(&module, &mut |_, _, _| true);
         // All arithmetic lives in one block and chains into the return
         // value: expect fewer checks than duplicated instructions.
@@ -282,10 +284,18 @@ fn main() -> int {
                 if i == 0 {
                     continue;
                 }
-                if let Inst::Binary { op: ipas_ir::BinOp::Mul, lhs, .. } = f.inst(id) {
+                if let Inst::Binary {
+                    op: ipas_ir::BinOp::Mul,
+                    lhs,
+                    ..
+                } = f.inst(id)
+                {
                     // Shadow muls are directly preceded by the original mul.
-                    if let Inst::Binary { op: ipas_ir::BinOp::Mul, lhs: orig_lhs, .. } =
-                        f.inst(insts[i - 1])
+                    if let Inst::Binary {
+                        op: ipas_ir::BinOp::Mul,
+                        lhs: orig_lhs,
+                        ..
+                    } = f.inst(insts[i - 1])
                     {
                         if lhs != orig_lhs {
                             found_shadow_chain = true;
@@ -350,7 +360,10 @@ fn main() -> int {
                 match f.inst(id) {
                     Inst::Load { .. } => loads += 1,
                     Inst::Store { .. } => stores += 1,
-                    Inst::Call { callee: Callee::Intrinsic(Intrinsic::Malloc), .. } => mallocs += 1,
+                    Inst::Call {
+                        callee: Callee::Intrinsic(Intrinsic::Malloc),
+                        ..
+                    } => mallocs += 1,
                     _ => {}
                 }
             }
@@ -362,9 +375,10 @@ fn main() -> int {
                 match orig.inst(id) {
                     Inst::Load { .. } => oloads += 1,
                     Inst::Store { .. } => ostores += 1,
-                    Inst::Call { callee: Callee::Intrinsic(Intrinsic::Malloc), .. } => {
-                        omallocs += 1
-                    }
+                    Inst::Call {
+                        callee: Callee::Intrinsic(Intrinsic::Malloc),
+                        ..
+                    } => omallocs += 1,
                     _ => {}
                 }
             }
@@ -387,7 +401,10 @@ fn main() -> int {
             .filter(|&id| {
                 matches!(
                     f.inst(id),
-                    Inst::Call { callee: Callee::Intrinsic(Intrinsic::Sqrt), .. }
+                    Inst::Call {
+                        callee: Callee::Intrinsic(Intrinsic::Sqrt),
+                        ..
+                    }
                 )
             })
             .count();
@@ -403,9 +420,18 @@ fn main() -> int {
             flip = !flip;
             flip
         });
-        let base = Machine::new(&module).run(&RunConfig::default()).unwrap().dynamic_insts;
-        let full_d = Machine::new(&full).run(&RunConfig::default()).unwrap().dynamic_insts;
-        let half_d = Machine::new(&half).run(&RunConfig::default()).unwrap().dynamic_insts;
+        let base = Machine::new(&module)
+            .run(&RunConfig::default())
+            .unwrap()
+            .dynamic_insts;
+        let full_d = Machine::new(&full)
+            .run(&RunConfig::default())
+            .unwrap()
+            .dynamic_insts;
+        let half_d = Machine::new(&half)
+            .run(&RunConfig::default())
+            .unwrap()
+            .dynamic_insts;
         assert!(base < half_d && half_d < full_d, "{base} {half_d} {full_d}");
     }
 }

@@ -7,10 +7,12 @@
 //! a fresh fault-injection campaign.
 
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use ipas_faultsim::{
-    run_campaign, CampaignConfig, CampaignResult, Outcome, Workload, WorkloadError,
+    run_campaign_with, CampaignConfig, CampaignError, CampaignOptions, CampaignResult,
+    JournalError, Outcome, Workload, WorkloadError,
 };
 use ipas_svm::GridOptions;
 
@@ -35,6 +37,11 @@ pub struct ExperimentOptions {
     pub seed: u64,
     /// Worker threads for campaigns (0 = all cores).
     pub threads: usize,
+    /// Directory for campaign checkpoint journals. When set, every
+    /// campaign (training and per-variant evaluation) journals its
+    /// records there and a re-invocation of the experiment resumes the
+    /// interrupted campaign instead of restarting it.
+    pub journal_dir: Option<PathBuf>,
 }
 
 impl Default for ExperimentOptions {
@@ -46,6 +53,7 @@ impl Default for ExperimentOptions {
             grid: GridOptions::default(),
             seed: 2016,
             threads: 0,
+            journal_dir: None,
         }
     }
 }
@@ -145,6 +153,8 @@ pub enum ExperimentError {
     DegenerateTraining(&'static str),
     /// A protected module failed its clean run (protection-pass bug).
     Workload(WorkloadError),
+    /// A fault-injection campaign failed (journal or run-setup error).
+    Campaign(CampaignError),
 }
 
 impl fmt::Display for ExperimentError {
@@ -154,15 +164,67 @@ impl fmt::Display for ExperimentError {
                 write!(f, "training campaign produced no {which} samples")
             }
             ExperimentError::Workload(e) => write!(f, "workload preparation failed: {e}"),
+            ExperimentError::Campaign(e) => write!(f, "campaign failed: {e}"),
         }
     }
 }
 
-impl std::error::Error for ExperimentError {}
+impl std::error::Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExperimentError::Workload(e) => Some(e),
+            ExperimentError::Campaign(e) => Some(e),
+            ExperimentError::DegenerateTraining(_) => None,
+        }
+    }
+}
 
 impl From<WorkloadError> for ExperimentError {
     fn from(e: WorkloadError) -> Self {
         ExperimentError::Workload(e)
+    }
+}
+
+impl From<CampaignError> for ExperimentError {
+    fn from(e: CampaignError) -> Self {
+        ExperimentError::Campaign(e)
+    }
+}
+
+/// The journal file used for one campaign of an experiment: a slug of
+/// the workload and campaign label plus the seed, so concurrent
+/// experiments in one directory never collide and a changed seed never
+/// resumes a stale journal.
+pub fn campaign_journal_path(dir: &Path, workload: &str, label: &str, seed: u64) -> PathBuf {
+    fn slug(s: &str) -> String {
+        s.chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '-'
+                }
+            })
+            .collect()
+    }
+    dir.join(format!(
+        "{}-{}-seed{seed}.jsonl",
+        slug(workload),
+        slug(label)
+    ))
+}
+
+/// Campaign options for one experiment campaign, journaling under
+/// `journal_dir` when it is set.
+fn campaign_options(
+    journal_dir: Option<&Path>,
+    workload: &str,
+    label: &str,
+    seed: u64,
+) -> CampaignOptions {
+    CampaignOptions {
+        journal: journal_dir.map(|dir| campaign_journal_path(dir, workload, label, seed)),
+        ..CampaignOptions::default()
     }
 }
 
@@ -174,7 +236,8 @@ impl From<WorkloadError> for ExperimentError {
 ///
 /// # Errors
 ///
-/// Fails when the protected module's clean run fails.
+/// Fails when the protected module's clean run fails or the evaluation
+/// campaign cannot complete (e.g. its checkpoint journal is broken).
 pub fn evaluate_variant(
     reference: &Workload,
     module: ipas_ir::Module,
@@ -182,9 +245,11 @@ pub fn evaluate_variant(
     stats: DuplicationStats,
     unprotected_soc_pct: Option<f64>,
     eval: &CampaignConfig,
+    journal_dir: Option<&Path>,
 ) -> Result<VariantResult, ExperimentError> {
     let wl = reference.with_module(name, module)?;
-    let campaign = run_campaign(&wl, eval);
+    let options = campaign_options(journal_dir, &reference.name, name, eval.seed);
+    let campaign = run_campaign_with(&wl, eval, &options)?;
     let slowdown = wl.nominal_insts as f64 / reference.nominal_insts as f64;
     let soc_pct = campaign.fraction(Outcome::Soc) * 100.0;
     let soc_reduction_pct = match unprotected_soc_pct {
@@ -210,15 +275,26 @@ pub fn run_experiment(
     workload: &Workload,
     opts: &ExperimentOptions,
 ) -> Result<ExperimentResult, ExperimentError> {
+    if let Some(dir) = &opts.journal_dir {
+        std::fs::create_dir_all(dir).map_err(|error| {
+            CampaignError::Journal(JournalError::Io {
+                path: dir.clone(),
+                error,
+            })
+        })?;
+    }
+    let journal_dir = opts.journal_dir.as_deref();
+
     // --- Step 2: training campaign on the unprotected code. -------------
-    let training = run_campaign(
+    let training = run_campaign_with(
         workload,
         &CampaignConfig {
             runs: opts.training_runs,
             seed: opts.seed,
             threads: opts.threads,
         },
-    );
+        &campaign_options(journal_dir, &workload.name, "training", opts.seed),
+    )?;
     let soc_data = build_training_set(workload, &training.records, LabelKind::SocGenerating);
     let sym_data = build_training_set(workload, &training.records, LabelKind::SymptomGenerating);
     if soc_data.num_positive() == 0 {
@@ -229,6 +305,9 @@ pub fn run_experiment(
     }
     if sym_data.num_positive() == 0 {
         return Err(ExperimentError::DegenerateTraining("symptom"));
+    }
+    if sym_data.num_positive() == sym_data.len() {
+        return Err(ExperimentError::DegenerateTraining("non-symptom"));
     }
 
     // --- Step 3: train top-N classifiers for both label kinds. -----------
@@ -252,6 +331,7 @@ pub fn run_experiment(
         unprot_stats,
         None,
         &eval,
+        journal_dir,
     )?;
     let unprot_soc = unprotected.soc_pct;
 
@@ -263,6 +343,7 @@ pub fn run_experiment(
         full_stats,
         Some(unprot_soc),
         &eval,
+        journal_dir,
     )?;
 
     let mut ipas = Vec::with_capacity(ipas_models.len());
@@ -281,6 +362,7 @@ pub fn run_experiment(
             stats,
             Some(unprot_soc),
             &eval,
+            journal_dir,
         )?);
     }
 
@@ -295,6 +377,7 @@ pub fn run_experiment(
             stats,
             Some(unprot_soc),
             &eval,
+            journal_dir,
         )?);
     }
 
@@ -395,7 +478,10 @@ fn main() -> int {
         })
         .unwrap();
         let err = run_experiment(&w, &ExperimentOptions::quick()).unwrap_err();
-        assert!(matches!(err, ExperimentError::DegenerateTraining(_)), "{err}");
+        assert!(
+            matches!(err, ExperimentError::DegenerateTraining(_)),
+            "{err}"
+        );
     }
 
     #[test]
@@ -413,6 +499,7 @@ fn main() -> int {
                 seed: 1,
                 threads: 2,
             },
+            None,
         )
         .unwrap();
         assert!(v.slowdown > 1.0);
@@ -424,6 +511,9 @@ fn main() -> int {
     #[test]
     fn exact_marker_is_tight() {
         let exact = GoldenToleranceVerifier::EXACT;
-        assert!(exact < 1e-6, "EXACT should be stricter than workload tolerances");
+        assert!(
+            exact < 1e-6,
+            "EXACT should be stricter than workload tolerances"
+        );
     }
 }

@@ -40,7 +40,8 @@
 //! let (protected, stats) = ProtectionPolicy::FullDuplication.apply(&workload.module);
 //! assert!(stats.duplicated > 0);
 //! let protected_wl = workload.with_module("sum-full", protected).unwrap();
-//! let result = run_campaign(&protected_wl, &CampaignConfig { runs: 48, seed: 1, threads: 2 });
+//! let result = run_campaign(&protected_wl, &CampaignConfig { runs: 48, seed: 1, threads: 2 })
+//!     .expect("campaign completes");
 //! assert!(result.count(Outcome::Detected) > 0);
 //! ```
 
@@ -54,8 +55,13 @@ pub mod selection;
 pub mod training;
 
 pub use classifier::{train_top_configs, TrainedClassifier};
-pub use duplication::{duplicable, protect_module, protect_module_placed, CheckPlacement, DuplicationStats};
-pub use experiment::{evaluate_variant, run_experiment, ExperimentOptions, ExperimentResult, VariantResult};
+pub use duplication::{
+    duplicable, protect_module, protect_module_placed, CheckPlacement, DuplicationStats,
+};
+pub use experiment::{
+    campaign_journal_path, evaluate_variant, run_experiment, ExperimentOptions, ExperimentResult,
+    VariantResult,
+};
 pub use policy::ProtectionPolicy;
 pub use selection::ideal_point_index;
 pub use training::{build_training_set, LabelKind};

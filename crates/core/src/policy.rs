@@ -67,10 +67,9 @@ mod tests {
 
     #[test]
     fn unprotected_policy_is_identity_with_stats() {
-        let module = ipas_lang::compile(
-            "fn main() -> int { let x: int = mpi_rank(); return x * 3 + 1; }",
-        )
-        .unwrap();
+        let module =
+            ipas_lang::compile("fn main() -> int { let x: int = mpi_rank(); return x * 3 + 1; }")
+                .unwrap();
         let (out, stats) = ProtectionPolicy::Unprotected.apply(&module);
         assert_eq!(out.num_static_insts(), module.num_static_insts());
         assert!(stats.considered > 0);
@@ -79,10 +78,9 @@ mod tests {
 
     #[test]
     fn full_policy_duplicates_everything() {
-        let module = ipas_lang::compile(
-            "fn main() -> int { let x: int = mpi_rank(); return x * 3 + 1; }",
-        )
-        .unwrap();
+        let module =
+            ipas_lang::compile("fn main() -> int { let x: int = mpi_rank(); return x * 3 + 1; }")
+                .unwrap();
         let (_, stats) = ProtectionPolicy::FullDuplication.apply(&module);
         assert_eq!(stats.duplicated, stats.considered);
     }

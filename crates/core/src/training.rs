@@ -81,7 +81,15 @@ fn main() -> int {
     #[test]
     fn builds_dataset_with_31_features() {
         let w = sample_workload();
-        let r = run_campaign(&w, &CampaignConfig { runs: 64, seed: 2, threads: 4 });
+        let r = run_campaign(
+            &w,
+            &CampaignConfig {
+                runs: 64,
+                seed: 2,
+                threads: 4,
+            },
+        )
+        .expect("campaign completes");
         let data = build_training_set(&w, &r.records, LabelKind::SocGenerating);
         assert_eq!(data.len(), 64);
         assert_eq!(data.dim(), ipas_analysis::NUM_FEATURES);
@@ -97,10 +105,22 @@ fn main() -> int {
     #[test]
     fn symptom_labels_differ_from_soc_labels() {
         let w = sample_workload();
-        let r = run_campaign(&w, &CampaignConfig { runs: 96, seed: 3, threads: 4 });
+        let r = run_campaign(
+            &w,
+            &CampaignConfig {
+                runs: 96,
+                seed: 3,
+                threads: 4,
+            },
+        )
+        .expect("campaign completes");
         let soc = build_training_set(&w, &r.records, LabelKind::SocGenerating);
         let sym = build_training_set(&w, &r.records, LabelKind::SymptomGenerating);
-        let soc_count = r.records.iter().filter(|x| x.outcome == Outcome::Soc).count();
+        let soc_count = r
+            .records
+            .iter()
+            .filter(|x| x.outcome == Outcome::Soc)
+            .count();
         let sym_count = r
             .records
             .iter()

@@ -1,0 +1,714 @@
+//! Campaign journaling: crash-safe checkpoint/resume for injection
+//! campaigns.
+//!
+//! A [`CampaignJournal`] is a JSONL file. The first line is a header
+//! that pins the campaign's identity (workload, seed, run count,
+//! sampling mode, and the workload fingerprint); every subsequent line
+//! is one completed plan index — either an [`InjectionRecord`] or a
+//! [`HarnessFailure`]. Lines are appended and flushed one at a time, so
+//! a killed campaign loses at most the entry being written; a torn
+//! final line is detected and ignored on resume.
+//!
+//! The format is deliberately flat (string and integer fields only) so
+//! it can be written and parsed without a serialization dependency, and
+//! inspected with standard line tools.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use ipas_ir::{FuncId, InstId};
+
+use crate::{HarnessFailure, InjectionRecord, Outcome, SamplingMode};
+
+/// Journal format version, bumped on incompatible line-format changes.
+const FORMAT_VERSION: u64 = 1;
+
+/// Why a journal could not be used.
+#[derive(Debug)]
+pub enum JournalError {
+    /// An I/O failure on the journal file.
+    Io {
+        /// The journal path.
+        path: PathBuf,
+        /// The underlying error.
+        error: std::io::Error,
+    },
+    /// The journal on disk belongs to a different campaign: resuming it
+    /// would silently mix records from incompatible runs.
+    Mismatch {
+        /// Which header field disagreed.
+        field: &'static str,
+        /// Value recorded in the journal.
+        journal: String,
+        /// Value of the campaign being started.
+        campaign: String,
+    },
+    /// A non-final line could not be parsed (final-line corruption is
+    /// expected after a crash and tolerated).
+    Corrupt {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io { path, error } => {
+                write!(f, "journal I/O error at {}: {error}", path.display())
+            }
+            JournalError::Mismatch {
+                field,
+                journal,
+                campaign,
+            } => write!(
+                f,
+                "journal belongs to a different campaign: {field} is {journal} \
+                 in the journal but {campaign} in this campaign"
+            ),
+            JournalError::Corrupt { line, reason } => {
+                write!(f, "journal line {line} is corrupt: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+/// The campaign identity pinned by a journal's header line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalHeader {
+    /// Workload display name.
+    pub workload: String,
+    /// Entry function name.
+    pub entry: String,
+    /// Campaign RNG seed.
+    pub seed: u64,
+    /// Total planned runs.
+    pub runs: usize,
+    /// Site sampling mode.
+    pub sampling: SamplingMode,
+    /// Eligible dynamic results of the clean run (workload fingerprint:
+    /// a changed module draws different plans for the same seed).
+    pub eligible_results: u64,
+    /// Dynamic instruction count of the clean run (fingerprint).
+    pub nominal_insts: u64,
+}
+
+/// Entries recovered from an existing journal, keyed by plan index.
+#[derive(Debug, Default)]
+pub struct ResumeState {
+    /// Plan indices already classified.
+    pub records: HashMap<usize, InjectionRecord>,
+    /// Plan indices that exhausted their retry budget.
+    pub failures: HashMap<usize, HarnessFailure>,
+}
+
+impl ResumeState {
+    /// Number of recovered plan indices.
+    pub fn len(&self) -> usize {
+        self.records.len() + self.failures.len()
+    }
+
+    /// True when nothing was recovered.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty() && self.failures.is_empty()
+    }
+
+    /// True when `plan` needs no re-execution.
+    pub fn contains(&self, plan: usize) -> bool {
+        self.records.contains_key(&plan) || self.failures.contains_key(&plan)
+    }
+}
+
+/// An append-only campaign checkpoint file (see module docs).
+#[derive(Debug)]
+pub struct CampaignJournal {
+    path: PathBuf,
+    file: Mutex<File>,
+}
+
+impl CampaignJournal {
+    /// Opens (or creates) the journal at `path` for the campaign
+    /// described by `header`, returning the journal and any entries
+    /// recovered from a previous, interrupted invocation.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Mismatch`] when an existing journal was written
+    /// by a different campaign; [`JournalError::Corrupt`] when a
+    /// non-final line cannot be parsed; [`JournalError::Io`] on file
+    /// errors.
+    pub fn open(
+        path: &Path,
+        header: &JournalHeader,
+    ) -> Result<(CampaignJournal, ResumeState), JournalError> {
+        let io_err = |error| JournalError::Io {
+            path: path.to_path_buf(),
+            error,
+        };
+        let mut resume = ResumeState::default();
+        let preexisting = path.exists();
+        if preexisting {
+            let mut text = String::new();
+            File::open(path)
+                .and_then(|mut f| f.read_to_string(&mut text))
+                .map_err(io_err)?;
+            resume = parse_journal(&text, header)?;
+        }
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(io_err)?;
+        if !preexisting {
+            file.write_all(encode_header(header).as_bytes())
+                .and_then(|()| file.flush())
+                .map_err(io_err)?;
+        }
+        Ok((
+            CampaignJournal {
+                path: path.to_path_buf(),
+                file: Mutex::new(file),
+            },
+            resume,
+        ))
+    }
+
+    /// Appends one classified record and flushes it to disk.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] when the append fails; the campaign should
+    /// stop rather than continue without its checkpoint.
+    pub fn append_record(&self, plan: usize, record: &InjectionRecord) -> Result<(), JournalError> {
+        self.append_line(&encode_record(plan, record))
+    }
+
+    /// Appends one harness failure and flushes it to disk.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CampaignJournal::append_record`].
+    pub fn append_failure(&self, failure: &HarnessFailure) -> Result<(), JournalError> {
+        self.append_line(&encode_failure(failure))
+    }
+
+    fn append_line(&self, line: &str) -> Result<(), JournalError> {
+        // Recover the file from a poisoned lock: the holder only ever
+        // writes a complete line or fails, and a torn tail is tolerated
+        // on resume anyway.
+        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        file.write_all(line.as_bytes())
+            .and_then(|()| file.flush())
+            .map_err(|error| JournalError::Io {
+                path: self.path.clone(),
+                error,
+            })
+    }
+}
+
+fn sampling_label(mode: SamplingMode) -> &'static str {
+    match mode {
+        SamplingMode::DynamicUniform => "dynamic",
+        SamplingMode::StaticUniform => "static",
+    }
+}
+
+fn outcome_label(outcome: Outcome) -> &'static str {
+    // Stable wire names, independent of the display labels.
+    match outcome {
+        Outcome::Symptom => "symptom",
+        Outcome::Detected => "detected",
+        Outcome::Masked => "masked",
+        Outcome::Soc => "soc",
+    }
+}
+
+fn parse_outcome(label: &str) -> Option<Outcome> {
+    match label {
+        "symptom" => Some(Outcome::Symptom),
+        "detected" => Some(Outcome::Detected),
+        "masked" => Some(Outcome::Masked),
+        "soc" => Some(Outcome::Soc),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Flat JSON encoding (strings and unsigned integers only).
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+struct LineBuilder {
+    buf: String,
+}
+
+impl LineBuilder {
+    fn new(kind: &str) -> Self {
+        let mut buf = String::with_capacity(128);
+        buf.push_str("{\"kind\":\"");
+        buf.push_str(kind);
+        buf.push('"');
+        LineBuilder { buf }
+    }
+
+    fn num(mut self, key: &str, value: u64) -> Self {
+        self.buf.push_str(",\"");
+        self.buf.push_str(key);
+        self.buf.push_str("\":");
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    fn str(mut self, key: &str, value: &str) -> Self {
+        self.buf.push_str(",\"");
+        self.buf.push_str(key);
+        self.buf.push_str("\":\"");
+        escape_into(&mut self.buf, value);
+        self.buf.push('"');
+        self
+    }
+
+    fn finish(mut self) -> String {
+        self.buf.push_str("}\n");
+        self.buf
+    }
+}
+
+fn encode_header(h: &JournalHeader) -> String {
+    LineBuilder::new("header")
+        .num("version", FORMAT_VERSION)
+        .str("workload", &h.workload)
+        .str("entry", &h.entry)
+        .num("seed", h.seed)
+        .num("runs", h.runs as u64)
+        .str("sampling", sampling_label(h.sampling))
+        .num("eligible", h.eligible_results)
+        .num("nominal", h.nominal_insts)
+        .finish()
+}
+
+fn encode_record(plan: usize, r: &InjectionRecord) -> String {
+    LineBuilder::new("record")
+        .num("plan", plan as u64)
+        .num("func", r.site.0.index() as u64)
+        .num("inst", r.site.1.index() as u64)
+        .num("target", r.target)
+        .num("bit", r.bit as u64)
+        .str("outcome", outcome_label(r.outcome))
+        .num("insts", r.dynamic_insts)
+        .num("latency", r.latency)
+        .num("attempts", r.attempts as u64)
+        .finish()
+}
+
+fn encode_failure(f: &HarnessFailure) -> String {
+    LineBuilder::new("harness_error")
+        .num("plan", f.plan_index as u64)
+        .num("target", f.target)
+        .num("bit", f.bit as u64)
+        .num("attempts", f.attempts as u64)
+        .str("error", &f.error)
+        .finish()
+}
+
+// ---------------------------------------------------------------------
+// Flat JSON parsing.
+
+#[derive(Debug, PartialEq)]
+enum JsonVal {
+    Num(u64),
+    Str(String),
+}
+
+/// Parses one flat JSON object (`{"k":123,"k2":"v"}`) into key/value
+/// pairs. Returns `None` on any syntax error.
+fn parse_flat(line: &str) -> Option<Vec<(String, JsonVal)>> {
+    let mut chars = line.trim().chars().peekable();
+    if chars.next()? != '{' {
+        return None;
+    }
+    let mut fields = Vec::new();
+    loop {
+        match chars.peek()? {
+            '}' => {
+                chars.next();
+                break;
+            }
+            ',' => {
+                chars.next();
+            }
+            _ => {}
+        }
+        if *chars.peek()? != '"' {
+            return None;
+        }
+        let key = parse_string(&mut chars)?;
+        if chars.next()? != ':' {
+            return None;
+        }
+        let value = match chars.peek()? {
+            '"' => JsonVal::Str(parse_string(&mut chars)?),
+            c if c.is_ascii_digit() => {
+                let mut digits = String::new();
+                while chars.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    digits.push(chars.next().expect("peeked"));
+                }
+                JsonVal::Num(digits.parse().ok()?)
+            }
+            _ => return None,
+        };
+        fields.push((key, value));
+    }
+    if chars.next().is_some() {
+        return None; // trailing garbage
+    }
+    Some(fields)
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<String> {
+    if chars.next()? != '"' {
+        return None;
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        code = code * 16 + chars.next()?.to_digit(16)?;
+                    }
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+struct Fields(Vec<(String, JsonVal)>);
+
+impl Fields {
+    fn num(&self, key: &str) -> Option<u64> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| match v {
+                JsonVal::Num(n) => Some(*n),
+                JsonVal::Str(_) => None,
+            })
+    }
+
+    fn str(&self, key: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| match v {
+                JsonVal::Str(s) => Some(s.as_str()),
+                JsonVal::Num(_) => None,
+            })
+    }
+}
+
+fn parse_journal(text: &str, expect: &JournalHeader) -> Result<ResumeState, JournalError> {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut resume = ResumeState::default();
+    // A torn write can only affect the final line (appends are
+    // sequential); anything unparsable before that is real corruption.
+    let last = lines.len();
+    for (i, line) in lines.iter().enumerate() {
+        let line_no = i + 1;
+        let is_last = line_no == last;
+        let corrupt = |reason: String| JournalError::Corrupt {
+            line: line_no,
+            reason,
+        };
+        let Some(fields) = parse_flat(line).map(Fields) else {
+            if is_last {
+                break; // torn tail from a crash mid-append
+            }
+            return Err(corrupt("not a flat JSON object".into()));
+        };
+        let kind = fields.str("kind").unwrap_or("");
+        if i == 0 {
+            if kind != "header" {
+                return Err(corrupt(format!(
+                    "expected header line, found kind `{kind}`"
+                )));
+            }
+            check_header(&fields, expect)?;
+            continue;
+        }
+        match kind {
+            "record" => {
+                let missing = || corrupt("record line missing a field".into());
+                let plan = fields.num("plan").ok_or_else(missing)? as usize;
+                if plan >= expect.runs {
+                    return Err(corrupt(format!(
+                        "plan index {plan} out of range for {} runs",
+                        expect.runs
+                    )));
+                }
+                let outcome = fields
+                    .str("outcome")
+                    .and_then(parse_outcome)
+                    .ok_or_else(|| corrupt("unknown outcome".into()))?;
+                let record = InjectionRecord {
+                    site: (
+                        FuncId::new(fields.num("func").ok_or_else(missing)? as usize),
+                        InstId::new(fields.num("inst").ok_or_else(missing)? as usize),
+                    ),
+                    target: fields.num("target").ok_or_else(missing)?,
+                    bit: fields.num("bit").ok_or_else(missing)? as u32,
+                    outcome,
+                    dynamic_insts: fields.num("insts").ok_or_else(missing)?,
+                    latency: fields.num("latency").ok_or_else(missing)?,
+                    attempts: fields.num("attempts").ok_or_else(missing)? as u32,
+                };
+                resume.failures.remove(&plan);
+                resume.records.insert(plan, record);
+            }
+            "harness_error" => {
+                let missing = || corrupt("harness_error line missing a field".into());
+                let plan = fields.num("plan").ok_or_else(missing)? as usize;
+                if plan >= expect.runs {
+                    return Err(corrupt(format!(
+                        "plan index {plan} out of range for {} runs",
+                        expect.runs
+                    )));
+                }
+                let failure = HarnessFailure {
+                    plan_index: plan,
+                    target: fields.num("target").ok_or_else(missing)?,
+                    bit: fields.num("bit").ok_or_else(missing)? as u32,
+                    attempts: fields.num("attempts").ok_or_else(missing)? as u32,
+                    error: fields.str("error").ok_or_else(missing)?.to_string(),
+                };
+                if !resume.records.contains_key(&plan) {
+                    resume.failures.insert(plan, failure);
+                }
+            }
+            other => {
+                if is_last {
+                    break;
+                }
+                return Err(corrupt(format!("unknown line kind `{other}`")));
+            }
+        }
+    }
+    Ok(resume)
+}
+
+fn check_header(fields: &Fields, expect: &JournalHeader) -> Result<(), JournalError> {
+    let mismatch = |field: &'static str, journal: String, campaign: String| {
+        Err(JournalError::Mismatch {
+            field,
+            journal,
+            campaign,
+        })
+    };
+    let version = fields.num("version").unwrap_or(0);
+    if version != FORMAT_VERSION {
+        return mismatch(
+            "format version",
+            version.to_string(),
+            FORMAT_VERSION.to_string(),
+        );
+    }
+    let checks: [(&'static str, String, String); 7] = [
+        (
+            "workload",
+            fields.str("workload").unwrap_or("").to_string(),
+            expect.workload.clone(),
+        ),
+        (
+            "entry",
+            fields.str("entry").unwrap_or("").to_string(),
+            expect.entry.clone(),
+        ),
+        (
+            "seed",
+            fields.num("seed").unwrap_or(0).to_string(),
+            expect.seed.to_string(),
+        ),
+        (
+            "runs",
+            fields.num("runs").unwrap_or(0).to_string(),
+            expect.runs.to_string(),
+        ),
+        (
+            "sampling mode",
+            fields.str("sampling").unwrap_or("").to_string(),
+            sampling_label(expect.sampling).to_string(),
+        ),
+        (
+            "eligible results",
+            fields.num("eligible").unwrap_or(0).to_string(),
+            expect.eligible_results.to_string(),
+        ),
+        (
+            "nominal instruction count",
+            fields.num("nominal").unwrap_or(0).to_string(),
+            expect.nominal_insts.to_string(),
+        ),
+    ];
+    for (field, journal, campaign) in checks {
+        if journal != campaign {
+            return mismatch(field, journal, campaign);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> JournalHeader {
+        JournalHeader {
+            workload: "sum".into(),
+            entry: "main".into(),
+            seed: 7,
+            runs: 16,
+            sampling: SamplingMode::DynamicUniform,
+            eligible_results: 100,
+            nominal_insts: 500,
+        }
+    }
+
+    fn record(plan: usize) -> InjectionRecord {
+        InjectionRecord {
+            site: (FuncId::new(1), InstId::new(2 + plan)),
+            target: 40 + plan as u64,
+            bit: 13,
+            outcome: Outcome::Masked,
+            dynamic_insts: 501,
+            latency: 17,
+            attempts: 1,
+        }
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("ipas-journal-tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let unique = format!(
+            "{tag}-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        );
+        dir.join(unique)
+    }
+
+    #[test]
+    fn round_trips_records_and_failures() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (journal, resume) = CampaignJournal::open(&path, &header()).expect("fresh");
+            assert!(resume.is_empty());
+            journal.append_record(3, &record(3)).expect("append");
+            journal
+                .append_failure(&HarnessFailure {
+                    plan_index: 5,
+                    target: 9,
+                    bit: 63,
+                    attempts: 3,
+                    error: "panicked: \"quoted\"\nline two".into(),
+                })
+                .expect("append");
+        }
+        let (_journal, resume) = CampaignJournal::open(&path, &header()).expect("reopen");
+        assert_eq!(resume.len(), 2);
+        assert_eq!(resume.records[&3], record(3));
+        assert_eq!(resume.failures[&5].error, "panicked: \"quoted\"\nline two");
+        assert!(resume.contains(3) && resume.contains(5) && !resume.contains(0));
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn rejects_mismatched_campaign() {
+        let path = temp_path("mismatch");
+        let _ = std::fs::remove_file(&path);
+        drop(CampaignJournal::open(&path, &header()).expect("fresh"));
+        let other = JournalHeader {
+            seed: 8,
+            ..header()
+        };
+        match CampaignJournal::open(&path, &other) {
+            Err(JournalError::Mismatch { field: "seed", .. }) => {}
+            other => panic!("expected seed mismatch, got {other:?}"),
+        }
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn tolerates_torn_final_line_only() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (journal, _) = CampaignJournal::open(&path, &header()).expect("fresh");
+            journal.append_record(0, &record(0)).expect("append");
+        }
+        let mut text = std::fs::read_to_string(&path).expect("read");
+        text.push_str("{\"kind\":\"record\",\"plan\":1,\"fu"); // torn append
+        std::fs::write(&path, &text).expect("write");
+        let (_j, resume) = CampaignJournal::open(&path, &header()).expect("torn tail tolerated");
+        assert_eq!(resume.len(), 1);
+
+        // The same garbage before a valid line is corruption.
+        let torn_middle = text.replace(
+            "{\"kind\":\"record\",\"plan\":0",
+            "{\"kind\":\"rec,\n{\"kind\":\"record\",\"plan\":0",
+        );
+        std::fs::write(&path, &torn_middle).expect("write");
+        match CampaignJournal::open(&path, &header()) {
+            Err(JournalError::Corrupt { line: 2, .. }) => {}
+            other => panic!("expected corruption at line 2, got {other:?}"),
+        }
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn flat_json_parser_handles_escapes() {
+        let fields = parse_flat(r#"{"kind":"x","n":42,"s":"a\"b\\c\ndA"}"#).map(Fields);
+        let fields = fields.expect("parses");
+        assert_eq!(fields.num("n"), Some(42));
+        assert_eq!(fields.str("s"), Some("a\"b\\c\ndA"));
+        assert!(parse_flat("{\"unterminated\":\"").is_none());
+        assert!(parse_flat("{\"a\":1} trailing").is_none());
+    }
+}

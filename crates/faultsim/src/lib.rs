@@ -16,6 +16,26 @@
 //!   error of §6.2, and the per-injection records used to build SVM
 //!   training sets.
 //!
+//! # Campaign resilience
+//!
+//! Campaigns are long (thousands of interpreter runs), so the runtime is
+//! built to survive its own failures:
+//!
+//! * every run executes under [`std::panic::catch_unwind`], so a panic in
+//!   the interpreter or in a user [`OutputVerifier`] poisons one record,
+//!   not the campaign;
+//! * failed runs are retried up to [`RetryPolicy::max_attempts`] times
+//!   with deterministic, jittered exponential backoff, then degrade to a
+//!   [`HarnessFailure`] — reported separately and excluded from the §5.5
+//!   outcome fractions;
+//! * with [`CampaignOptions::journal`] set, each record is atomically
+//!   appended to a JSONL [`CampaignJournal`]; re-running a killed
+//!   campaign resumes from the journal, skipping completed plan indices
+//!   while preserving seed-determinism across thread counts;
+//! * [`CampaignOptions::run_deadline`] arms a wall-clock watchdog in the
+//!   interpreter, classifying runaway runs as hangs even when the
+//!   instruction budget cannot catch them.
+//!
 //! # Example
 //!
 //! ```
@@ -27,19 +47,28 @@
 //!        output_i(s); return 0; }",
 //! ).unwrap();
 //! let workload = Workload::serial("sum", module, GoldenToleranceVerifier::EXACT).unwrap();
-//! let result = run_campaign(&workload, &CampaignConfig { runs: 40, seed: 7, threads: 2 });
+//! let result = run_campaign(&workload, &CampaignConfig { runs: 40, seed: 7, threads: 2 })
+//!     .expect("campaign completes");
 //! assert_eq!(result.records.len(), 40);
 //! assert!(result.fraction(ipas_faultsim::Outcome::Soc) <= 1.0);
 //! ```
 
 #![warn(missing_docs)]
 
-use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+mod journal;
 
-use ipas_interp::{Injection, Machine, OutputStream, RunConfig, RunOutput, RunStatus, RtVal};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use ipas_interp::{Injection, Machine, OutputStream, RtVal, RunConfig, RunOutput, RunStatus};
 use ipas_ir::{FuncId, InstId, Module};
 use rand::{Rng, SeedableRng};
+
+pub use journal::{CampaignJournal, JournalError, JournalHeader, ResumeState};
 
 /// The four §5.5 outcome categories of one fault-injection run.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -85,7 +114,9 @@ impl fmt::Display for Outcome {
 ///
 /// Implementations embed whatever golden data they need (reference
 /// outputs, tolerances, conservation laws). They must be cheap: they run
-/// once per injection.
+/// once per injection. A panicking verifier does not abort the campaign:
+/// the affected run degrades to a [`HarnessFailure`] after the retry
+/// budget is exhausted.
 pub trait OutputVerifier: Sync + Send {
     /// Returns `true` when the output is acceptable (fault masked).
     fn verify(&self, run: &RunOutput) -> bool;
@@ -211,7 +242,8 @@ impl Workload {
     /// inject into.
     pub fn serial(name: &str, module: Module, tolerance: f64) -> Result<Self, WorkloadError> {
         let golden = golden_run(&module, "main", &[])?;
-        let verifier = std::sync::Arc::new(GoldenToleranceVerifier::new(&golden.outputs, tolerance));
+        let verifier =
+            std::sync::Arc::new(GoldenToleranceVerifier::new(&golden.outputs, tolerance));
         Self::with_verifier(name, module, "main", Vec::new(), verifier, golden)
     }
 
@@ -263,10 +295,7 @@ impl Workload {
     ///
     /// Fails when the transformed module's clean run fails — which would
     /// indicate a broken protection pass.
-    pub fn with_module(&self, name: &str, module: Module) -> Result<Workload, WorkloadError>
-    where
-        Self: Sized,
-    {
+    pub fn with_module(&self, name: &str, module: Module) -> Result<Workload, WorkloadError> {
         let golden = golden_run(&module, &self.entry, &self.args)?;
         if golden.eligible_results == 0 {
             return Err(WorkloadError::NoEligibleSites);
@@ -321,6 +350,145 @@ impl Default for CampaignConfig {
     }
 }
 
+/// Retry schedule for runs that fail for harness reasons (an interpreter
+/// or verifier panic, or an invalid run). The backoff before attempt
+/// `k+1` is `base_backoff · 2^(k-1)` capped at `max_backoff`, scaled by
+/// a deterministic jitter in `[0.5, 1.0]` derived from the campaign
+/// seed, plan index, and attempt — so retry timing never perturbs
+/// campaign determinism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per plan before degrading to a
+    /// [`HarnessFailure`] (minimum 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(200),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (each plan gets exactly one attempt).
+    pub fn no_retries() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+}
+
+/// One plan that exhausted its retry budget without producing a
+/// classifiable run. Harness failures are campaign-infrastructure
+/// problems, not fault outcomes: they are excluded from the §5.5
+/// fractions and reported separately.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HarnessFailure {
+    /// Index of the plan in the campaign's pre-drawn plan list.
+    pub plan_index: usize,
+    /// The dynamic eligible-result index that was targeted.
+    pub target: u64,
+    /// The bit that was to be flipped.
+    pub bit: u32,
+    /// Attempts consumed (equals the policy's `max_attempts`).
+    pub attempts: u32,
+    /// The last attempt's error (panic message or run error).
+    pub error: String,
+}
+
+impl fmt::Display for HarnessFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "plan {} (target {}, bit {}) failed after {} attempts: {}",
+            self.plan_index, self.target, self.bit, self.attempts, self.error
+        )
+    }
+}
+
+/// Knobs of the resilient campaign runtime, beyond the basic
+/// [`CampaignConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct CampaignOptions {
+    /// How injection sites are drawn.
+    pub sampling: SamplingMode,
+    /// Retry schedule for harness failures.
+    pub retry: RetryPolicy,
+    /// Checkpoint journal path. When set, every classified record is
+    /// appended (and flushed) to this JSONL file, and a re-invocation
+    /// resumes from it, re-executing only missing plan indices.
+    pub journal: Option<PathBuf>,
+    /// Wall-clock watchdog per run, classified as a hang
+    /// ([`Outcome::Symptom`]) like the instruction budget.
+    pub run_deadline: Option<Duration>,
+}
+
+/// Error running a campaign.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// The interpreter rejected the run configuration (bad entry name or
+    /// argument types) during `stage`.
+    Run {
+        /// What the campaign was doing.
+        stage: &'static str,
+        /// The interpreter's message.
+        message: String,
+    },
+    /// Site profiling was requested but the interpreter returned no
+    /// profile.
+    MissingProfile,
+    /// The checkpoint journal failed (I/O, identity mismatch, or
+    /// corruption).
+    Journal(JournalError),
+    /// Internal invariant violation: some plan indices were left
+    /// unprocessed.
+    Incomplete {
+        /// Number of plan indices without a record or failure.
+        missing: usize,
+    },
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Run { stage, message } => {
+                write!(f, "campaign {stage} failed: {message}")
+            }
+            CampaignError::MissingProfile => {
+                f.write_str("interpreter returned no site profile despite profiling being enabled")
+            }
+            CampaignError::Journal(e) => write!(f, "campaign journal failed: {e}"),
+            CampaignError::Incomplete { missing } => {
+                write!(f, "campaign left {missing} plan indices unprocessed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CampaignError::Journal(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<JournalError> for CampaignError {
+    fn from(e: JournalError) -> Self {
+        CampaignError::Journal(e)
+    }
+}
+
 /// One injection run's record.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct InjectionRecord {
@@ -340,13 +508,23 @@ pub struct InjectionRecord {
     /// verification-only scheme would pay (the whole remaining run),
     /// which is the paper's §2.2 comparison.
     pub latency: u64,
+    /// Attempts the run took to classify (1 unless earlier attempts hit
+    /// harness failures and were retried).
+    pub attempts: u32,
 }
 
 /// Aggregate result of a campaign.
 #[derive(Debug, Clone)]
 pub struct CampaignResult {
-    /// Per-run records (site, bit, outcome).
+    /// Per-run records (site, bit, outcome), in plan order.
     pub records: Vec<InjectionRecord>,
+    /// Plans that exhausted their retry budget, in plan order. Excluded
+    /// from [`CampaignResult::fraction`]; a non-empty list means the
+    /// outcome fractions rest on fewer samples than configured.
+    pub harness_failures: Vec<HarnessFailure>,
+    /// Entries recovered from the checkpoint journal instead of being
+    /// re-executed (0 without a journal or on a fresh campaign).
+    pub resumed: usize,
     /// Nominal (clean) dynamic instruction count of the workload.
     pub nominal_insts: u64,
 }
@@ -357,7 +535,8 @@ impl CampaignResult {
         self.records.iter().filter(|r| r.outcome == outcome).count()
     }
 
-    /// Fraction of runs with the given outcome.
+    /// Fraction of classified runs with the given outcome (harness
+    /// failures are excluded from the denominator).
     pub fn fraction(&self, outcome: Outcome) -> f64 {
         if self.records.is_empty() {
             0.0
@@ -405,20 +584,64 @@ pub enum SamplingMode {
 /// paper's FlipIt configuration ("random instances of an instruction,
 /// bits within a byte"). Runs execute in parallel across threads; the
 /// result is deterministic for a given seed regardless of thread count.
-pub fn run_campaign(workload: &Workload, config: &CampaignConfig) -> CampaignResult {
-    run_campaign_sampled(workload, config, SamplingMode::DynamicUniform)
+///
+/// # Errors
+///
+/// See [`run_campaign_with`].
+pub fn run_campaign(
+    workload: &Workload,
+    config: &CampaignConfig,
+) -> Result<CampaignResult, CampaignError> {
+    run_campaign_with(workload, config, &CampaignOptions::default())
 }
 
 /// Like [`run_campaign`] with an explicit [`SamplingMode`].
+///
+/// # Errors
+///
+/// See [`run_campaign_with`].
 pub fn run_campaign_sampled(
     workload: &Workload,
     config: &CampaignConfig,
     sampling: SamplingMode,
-) -> CampaignResult {
+) -> Result<CampaignResult, CampaignError> {
+    run_campaign_with(
+        workload,
+        config,
+        &CampaignOptions {
+            sampling,
+            ..CampaignOptions::default()
+        },
+    )
+}
+
+/// A completed plan index: either classified or degraded.
+enum Slot {
+    Record(InjectionRecord),
+    Failure(HarnessFailure),
+}
+
+/// Runs a campaign under the full resilient runtime (see the crate docs'
+/// *Campaign resilience* section and [`CampaignOptions`]).
+///
+/// # Errors
+///
+/// [`CampaignError::Run`] when static-site profiling cannot execute the
+/// workload; [`CampaignError::Journal`] when the checkpoint journal
+/// cannot be opened, resumed, or written. Failures of individual
+/// injection runs are *not* errors: they surface as
+/// [`CampaignResult::harness_failures`].
+pub fn run_campaign_with(
+    workload: &Workload,
+    config: &CampaignConfig,
+    options: &CampaignOptions,
+) -> Result<CampaignResult, CampaignError> {
     // Pre-draw all injection plans from one seeded RNG so the outcome
-    // set is independent of scheduling.
+    // set is independent of scheduling — and of resume state: a resumed
+    // campaign draws the identical plan list and simply skips the
+    // journaled indices.
     let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
-    let plans: Vec<Injection> = match sampling {
+    let plans: Vec<Injection> = match options.sampling {
         SamplingMode::DynamicUniform => (0..config.runs)
             .map(|_| {
                 Injection::at_global_index(
@@ -428,7 +651,7 @@ pub fn run_campaign_sampled(
             })
             .collect(),
         SamplingMode::StaticUniform => {
-            let profile = profile_sites(workload);
+            let profile = profile_sites(workload)?;
             (0..config.runs)
                 .map(|_| {
                     let (site, count) = profile[rng.gen_range(0..profile.len())];
@@ -438,72 +661,232 @@ pub fn run_campaign_sampled(
         }
     };
 
+    let (journal, resume) = match &options.journal {
+        Some(path) => {
+            let header = JournalHeader {
+                workload: workload.name.clone(),
+                entry: workload.entry.clone(),
+                seed: config.seed,
+                runs: config.runs,
+                sampling: options.sampling,
+                eligible_results: workload.eligible_results,
+                nominal_insts: workload.nominal_insts,
+            };
+            let (journal, resume) = CampaignJournal::open(path, &header)?;
+            (Some(journal), resume)
+        }
+        None => (None, ResumeState::default()),
+    };
+    let resumed = resume.len();
+
+    let slots: Vec<Mutex<Option<Slot>>> = (0..plans.len()).map(|_| Mutex::new(None)).collect();
+    let ResumeState { records, failures } = resume;
+    for (i, record) in records {
+        *lock_ignoring_poison(&slots[i]) = Some(Slot::Record(record));
+    }
+    for (i, failure) in failures {
+        *lock_ignoring_poison(&slots[i]) = Some(Slot::Failure(failure));
+    }
+    let pending: Vec<usize> = (0..plans.len())
+        .filter(|i| lock_ignoring_poison(&slots[*i]).is_none())
+        .collect();
+
     let budget = RunConfig::budget_from_nominal(workload.nominal_insts);
     let threads = if config.threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     } else {
         config.threads
     };
 
     let next = AtomicUsize::new(0);
-    let records: Vec<std::sync::Mutex<Option<InjectionRecord>>> =
-        (0..plans.len()).map(|_| std::sync::Mutex::new(None)).collect();
+    let abort = AtomicBool::new(false);
+    let journal_error: Mutex<Option<JournalError>> = Mutex::new(None);
 
     std::thread::scope(|scope| {
         for _ in 0..threads.max(1) {
-            scope.spawn(|| {
-                let mut machine = Machine::new(&workload.module);
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= plans.len() {
+            scope.spawn(|| loop {
+                if abort.load(Ordering::Relaxed) {
+                    break;
+                }
+                let n = next.fetch_add(1, Ordering::Relaxed);
+                if n >= pending.len() {
+                    break;
+                }
+                let i = pending[n];
+                let slot = execute_plan(workload, config.seed, options, budget, i, plans[i]);
+                if let Some(journal) = &journal {
+                    let written = match &slot {
+                        Slot::Record(record) => journal.append_record(i, record),
+                        Slot::Failure(failure) => journal.append_failure(failure),
+                    };
+                    if let Err(e) = written {
+                        // Losing the checkpoint makes further work
+                        // unresumable; stop the campaign instead of
+                        // silently continuing without it.
+                        lock_ignoring_poison(&journal_error).get_or_insert(e);
+                        abort.store(true, Ordering::Relaxed);
                         break;
                     }
-                    let plan = plans[i];
-                    let out = machine
-                        .run(&RunConfig {
-                            entry: workload.entry.clone(),
-                            args: workload.args.clone(),
-                            max_insts: budget,
-                            injection: Some(plan),
-                            profile_sites: false,
-                        })
-                        .expect("golden run validated the entry configuration");
-                    let outcome = classify(&out, &*workload.verifier);
-                    let site = out
-                        .injected_site
-                        .expect("target < eligible_results implies the site is reached");
-                    let injected_at = out
-                        .injected_at_inst
-                        .expect("reached injections record their position");
-                    *records[i].lock().expect("no panics hold the lock") = Some(InjectionRecord {
-                        site,
-                        target: plan.target,
-                        bit: plan.bit,
-                        outcome,
-                        dynamic_insts: out.dynamic_insts,
-                        latency: out.dynamic_insts.saturating_sub(injected_at),
-                    });
                 }
+                *lock_ignoring_poison(&slots[i]) = Some(slot);
             });
         }
     });
 
-    CampaignResult {
-        records: records
-            .into_iter()
-            .map(|m| {
-                m.into_inner()
-                    .expect("scope joined")
-                    .expect("every index was processed")
-            })
-            .collect(),
+    if let Some(e) = lock_ignoring_poison(&journal_error).take() {
+        return Err(CampaignError::Journal(e));
+    }
+
+    let mut records = Vec::with_capacity(plans.len());
+    let mut harness_failures = Vec::new();
+    let mut missing = 0usize;
+    for slot in slots {
+        match slot.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            Some(Slot::Record(record)) => records.push(record),
+            Some(Slot::Failure(failure)) => harness_failures.push(failure),
+            None => missing += 1,
+        }
+    }
+    if missing > 0 {
+        return Err(CampaignError::Incomplete { missing });
+    }
+    harness_failures.sort_by_key(|f| f.plan_index);
+
+    Ok(CampaignResult {
+        records,
+        harness_failures,
+        resumed,
         nominal_insts: workload.nominal_insts,
+    })
+}
+
+/// Locks a mutex, recovering the data from a poisoned lock. The holders
+/// in this module only ever replace the value wholesale, so a panic
+/// mid-critical-section cannot leave it torn.
+fn lock_ignoring_poison<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Executes one plan under panic isolation and the retry policy.
+fn execute_plan(
+    workload: &Workload,
+    seed: u64,
+    options: &CampaignOptions,
+    budget: u64,
+    plan_index: usize,
+    plan: Injection,
+) -> Slot {
+    let max_attempts = options.retry.max_attempts.max(1);
+    let mut last_error = String::new();
+    for attempt in 1..=max_attempts {
+        // The machine is recreated per attempt: it is stateless, and a
+        // panicking attempt must not leak state into the retry. The
+        // verifier runs inside the same isolation boundary — a panic in
+        // user verification code is a harness failure, not an abort.
+        let attempt_result = catch_unwind(AssertUnwindSafe(|| {
+            classify_plan(workload, options, budget, plan, attempt)
+        }));
+        match attempt_result {
+            Ok(Ok(record)) => return Slot::Record(record),
+            Ok(Err(message)) => last_error = message,
+            Err(payload) => last_error = format!("panicked: {}", panic_message(&payload)),
+        }
+        if attempt < max_attempts {
+            std::thread::sleep(backoff_delay(&options.retry, seed, plan_index, attempt));
+        }
+    }
+    Slot::Failure(HarnessFailure {
+        plan_index,
+        target: plan.target,
+        bit: plan.bit,
+        attempts: max_attempts,
+        error: last_error,
+    })
+}
+
+/// One isolated attempt: run the interpreter and classify the output.
+fn classify_plan(
+    workload: &Workload,
+    options: &CampaignOptions,
+    budget: u64,
+    plan: Injection,
+    attempt: u32,
+) -> Result<InjectionRecord, String> {
+    let mut machine = Machine::new(&workload.module);
+    let out = machine
+        .run(&RunConfig {
+            entry: workload.entry.clone(),
+            args: workload.args.clone(),
+            max_insts: budget,
+            injection: Some(plan),
+            profile_sites: false,
+            wall_limit: options.run_deadline,
+        })
+        .map_err(|e| format!("interpreter rejected the run: {e}"))?;
+    let site = out
+        .injected_site
+        .ok_or_else(|| format!("injection target {} was never reached", plan.target))?;
+    let injected_at = out
+        .injected_at_inst
+        .ok_or_else(|| "reached injection recorded no position".to_string())?;
+    let outcome = classify(&out, &*workload.verifier);
+    Ok(InjectionRecord {
+        site,
+        target: plan.target,
+        bit: plan.bit,
+        outcome,
+        dynamic_insts: out.dynamic_insts,
+        latency: out.dynamic_insts.saturating_sub(injected_at),
+        attempts: attempt,
+    })
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "opaque panic payload"
     }
 }
 
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic jittered exponential backoff before retry `attempt+1`
+/// of `plan_index` (see [`RetryPolicy`]).
+fn backoff_delay(retry: &RetryPolicy, seed: u64, plan_index: usize, attempt: u32) -> Duration {
+    let exponential = retry
+        .base_backoff
+        .saturating_mul(1u32 << (attempt - 1).min(16))
+        .min(retry.max_backoff);
+    let mut state =
+        seed ^ (plan_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ ((attempt as u64) << 32);
+    let unit = (splitmix64(&mut state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    exponential.mul_f64(0.5 + 0.5 * unit)
+}
+
+/// A static site paired with its eligible-execution count from a clean
+/// profiling run.
+pub type SiteCount = ((FuncId, InstId), u64);
+
 /// Profiles the workload's per-site eligible-execution counts with one
 /// clean run, returning executed sites in a deterministic order.
-pub fn profile_sites(workload: &Workload) -> Vec<((FuncId, InstId), u64)> {
+///
+/// # Errors
+///
+/// [`CampaignError::Run`] when the workload's entry configuration is
+/// invalid; [`CampaignError::MissingProfile`] when the interpreter
+/// returns no profile despite it being requested.
+pub fn profile_sites(workload: &Workload) -> Result<Vec<SiteCount>, CampaignError> {
     let mut machine = Machine::new(&workload.module);
     let out = machine
         .run(&RunConfig {
@@ -512,14 +895,17 @@ pub fn profile_sites(workload: &Workload) -> Vec<((FuncId, InstId), u64)> {
             profile_sites: true,
             ..RunConfig::default()
         })
-        .expect("golden run validated the entry configuration");
+        .map_err(|e| CampaignError::Run {
+            stage: "site profiling",
+            message: e.to_string(),
+        })?;
     let mut sites: Vec<_> = out
         .site_profile
-        .expect("profiling was requested")
+        .ok_or(CampaignError::MissingProfile)?
         .into_iter()
         .collect();
     sites.sort_by_key(|((f, i), _)| (f.index(), i.index()));
-    sites
+    Ok(sites)
 }
 
 /// Classifies one faulty run per §5.5.

@@ -40,7 +40,8 @@ fn campaign_classifies_every_run() {
             seed: 3,
             threads: 4,
         },
-    );
+    )
+    .expect("campaign completes");
     assert_eq!(r.records.len(), 64);
     let total: usize = Outcome::ALL.iter().map(|&o| r.count(o)).sum();
     assert_eq!(total, 64);
@@ -64,23 +65,48 @@ fn campaigns_are_deterministic_across_thread_counts() {
         seed: 11,
         threads: 4,
     };
-    let a = run_campaign(&w, &cfg1);
-    let b = run_campaign(&w, &cfg4);
+    let a = run_campaign(&w, &cfg1).expect("campaign completes");
+    let b = run_campaign(&w, &cfg4).expect("campaign completes");
     assert_eq!(a.records, b.records);
+    assert!(a.harness_failures.is_empty() && b.harness_failures.is_empty());
 }
 
 #[test]
 fn different_seeds_differ() {
     let w = sum_workload();
-    let a = run_campaign(&w, &CampaignConfig { runs: 32, seed: 1, threads: 2 });
-    let b = run_campaign(&w, &CampaignConfig { runs: 32, seed: 2, threads: 2 });
+    let a = run_campaign(
+        &w,
+        &CampaignConfig {
+            runs: 32,
+            seed: 1,
+            threads: 2,
+        },
+    )
+    .expect("campaign completes");
+    let b = run_campaign(
+        &w,
+        &CampaignConfig {
+            runs: 32,
+            seed: 2,
+            threads: 2,
+        },
+    )
+    .expect("campaign completes");
     assert_ne!(a.records, b.records);
 }
 
 #[test]
 fn sites_are_recorded_and_valid() {
     let w = sum_workload();
-    let r = run_campaign(&w, &CampaignConfig { runs: 16, seed: 5, threads: 2 });
+    let r = run_campaign(
+        &w,
+        &CampaignConfig {
+            runs: 16,
+            seed: 5,
+            threads: 2,
+        },
+    )
+    .expect("campaign completes");
     for rec in &r.records {
         let (fid, iid) = rec.site;
         let f = w.module.function(fid);
@@ -123,7 +149,9 @@ fn nan_output_is_soc() {
     let nan_module =
         ipas_lang::compile("fn main() -> int { let z: float = 0.0; output_f(z / z); return 0; }")
             .unwrap();
-    let out = Machine::new(&nan_module).run(&RunConfig::default()).unwrap();
+    let out = Machine::new(&nan_module)
+        .run(&RunConfig::default())
+        .unwrap();
     assert_eq!(classify(&out, &*w.verifier), Outcome::Soc);
 }
 
@@ -159,7 +187,15 @@ fn main() -> int {
     )
     .unwrap();
     let w = Workload::serial("ptr", module, GoldenToleranceVerifier::EXACT).unwrap();
-    let r = run_campaign(&w, &CampaignConfig { runs: 128, seed: 9, threads: 4 });
+    let r = run_campaign(
+        &w,
+        &CampaignConfig {
+            runs: 128,
+            seed: 9,
+            threads: 4,
+        },
+    )
+    .expect("campaign completes");
     // GEP corruption should trap at least occasionally.
     assert!(
         r.count(Outcome::Symptom) > 0,
@@ -177,7 +213,15 @@ fn hang_detection_classifies_as_symptom() {
     )
     .unwrap();
     let w = Workload::serial("countdown", module, GoldenToleranceVerifier::EXACT).unwrap();
-    let r = run_campaign(&w, &CampaignConfig { runs: 96, seed: 17, threads: 4 });
+    let r = run_campaign(
+        &w,
+        &CampaignConfig {
+            runs: 96,
+            seed: 17,
+            threads: 4,
+        },
+    )
+    .expect("campaign completes");
     // With a sign/high-bit flip in `i`, the countdown never reaches 0
     // until wraparound: dynamic count explodes, flagged as Symptom.
     assert!(r.count(Outcome::Symptom) > 0);
@@ -213,10 +257,15 @@ fn main() -> int {
         seed: 21,
         threads: 2,
     };
-    let dynamic = run_campaign_sampled(&w, &cfg, SamplingMode::DynamicUniform);
-    let statics = run_campaign_sampled(&w, &cfg, SamplingMode::StaticUniform);
+    let dynamic =
+        run_campaign_sampled(&w, &cfg, SamplingMode::DynamicUniform).expect("campaign completes");
+    let statics =
+        run_campaign_sampled(&w, &cfg, SamplingMode::StaticUniform).expect("campaign completes");
 
-    let profile: HashMap<_, _> = profile_sites(&w).into_iter().collect();
+    let profile: HashMap<_, _> = profile_sites(&w)
+        .expect("profiling runs")
+        .into_iter()
+        .collect();
     let cold_hits = |r: &ipas_faultsim::CampaignResult| {
         r.records
             .iter()
@@ -244,7 +293,7 @@ fn site_targeted_injection_hits_requested_site() {
     use ipas_interp::{Injection, Machine, RunConfig};
 
     let w = sum_workload();
-    let profile = profile_sites(&w);
+    let profile = profile_sites(&w).expect("profiling runs");
     let (site, count) = profile[profile.len() / 2];
     let mut m = Machine::new(&w.module);
     let out = m

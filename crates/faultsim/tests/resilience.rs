@@ -1,0 +1,267 @@
+//! Resilience tests for the campaign runtime: panic isolation,
+//! retry accounting, and journal-based checkpoint/resume.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use ipas_faultsim::{
+    run_campaign, run_campaign_with, CampaignConfig, CampaignError, CampaignOptions,
+    GoldenToleranceVerifier, JournalError, OutputVerifier, RetryPolicy, Workload,
+};
+use ipas_interp::RunOutput;
+
+const SUM_SRC: &str = r#"
+fn main() -> int {
+    let s: int = 0;
+    for (let i: int = 0; i < 200; i = i + 1) {
+        s = s + i * i - i / 3;
+    }
+    output_i(s);
+    return 0;
+}
+"#;
+
+fn sum_workload() -> Workload {
+    let module = ipas_lang::compile(SUM_SRC).unwrap();
+    Workload::serial("sum", module, GoldenToleranceVerifier::EXACT).unwrap()
+}
+
+/// A unique scratch path for this test invocation.
+fn scratch_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("ipas-resilience-tests");
+    fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{}-{}.jsonl", name, std::process::id()))
+}
+
+/// A deliberately buggy verifier: it crashes on corrupted outputs whose
+/// leading value is even (modelling an unhandled edge case in
+/// user-supplied verification code) and classifies the rest normally.
+struct PanickingVerifier {
+    golden: Vec<i64>,
+}
+
+impl OutputVerifier for PanickingVerifier {
+    fn verify(&self, run: &RunOutput) -> bool {
+        let ints = run.outputs.as_ints();
+        if ints == self.golden {
+            return true;
+        }
+        if ints.first().is_some_and(|v| v % 2 == 0) {
+            panic!("verifier bug: even corrupted output");
+        }
+        false
+    }
+}
+
+fn panicking_workload() -> Workload {
+    let module = ipas_lang::compile(SUM_SRC).unwrap();
+    Workload::with_custom_verifier("sum-panicky", module, "main", vec![], |golden| {
+        Box::new(PanickingVerifier {
+            golden: golden.outputs.as_ints(),
+        })
+    })
+    .unwrap()
+}
+
+/// A panicking verifier must poison individual plans, not the campaign:
+/// every plan ends as either a record or a harness failure, retry
+/// counts are deterministic, and the campaign still returns normally.
+#[test]
+fn panicking_verifier_degrades_to_harness_failures() {
+    let w = panicking_workload();
+    let cfg = CampaignConfig {
+        runs: 48,
+        seed: 17,
+        threads: 2,
+    };
+    let options = CampaignOptions {
+        retry: RetryPolicy {
+            max_attempts: 2,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        },
+        ..CampaignOptions::default()
+    };
+    let a = run_campaign_with(&w, &cfg, &options).expect("campaign completes despite panics");
+    assert_eq!(a.records.len() + a.harness_failures.len(), 48);
+    // Flips in an integer-sum kernel must corrupt at least some outputs,
+    // and each corrupt output trips the verifier panic.
+    assert!(!a.harness_failures.is_empty(), "no harness failures seen");
+    // Panics are deterministic, so every failed plan burned the full
+    // retry budget, and surviving records classified on attempt 1.
+    for f in &a.harness_failures {
+        assert_eq!(f.attempts, 2, "{f}");
+        assert!(f.error.contains("panic"), "unexpected error: {}", f.error);
+    }
+    assert!(!a.records.is_empty(), "campaign produced no records at all");
+    for r in &a.records {
+        assert_eq!(r.attempts, 1);
+    }
+    // The whole degradation is reproducible, retry counts included.
+    let b = run_campaign_with(&w, &cfg, &options).expect("campaign completes despite panics");
+    assert_eq!(a.records, b.records);
+    assert_eq!(a.harness_failures, b.harness_failures);
+}
+
+/// Journalling half a campaign and re-invoking it must resume the
+/// missing half and reproduce the uninterrupted run byte for byte.
+#[test]
+fn journal_resume_matches_uninterrupted_campaign() {
+    let w = sum_workload();
+    let cfg = CampaignConfig {
+        runs: 48,
+        seed: 9,
+        threads: 1,
+    };
+    let uninterrupted = run_campaign(&w, &cfg).expect("campaign completes");
+
+    // Produce a complete journal (threads: 1 appends in plan order),
+    // then truncate it to the header plus the first half of the records
+    // to simulate a campaign killed mid-flight.
+    let full_path = scratch_path("resume-full");
+    let _ = fs::remove_file(&full_path);
+    let options = CampaignOptions {
+        journal: Some(full_path.clone()),
+        ..CampaignOptions::default()
+    };
+    run_campaign_with(&w, &cfg, &options).expect("journaled campaign completes");
+    let text = fs::read_to_string(&full_path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 1 + 48, "header plus one line per record");
+    let half_path = scratch_path("resume-half");
+    fs::write(&half_path, format!("{}\n", lines[..1 + 24].join("\n"))).unwrap();
+
+    // Resume from the half journal, on a different thread count.
+    let resumed = run_campaign_with(
+        &w,
+        &CampaignConfig { threads: 4, ..cfg },
+        &CampaignOptions {
+            journal: Some(half_path.clone()),
+            ..CampaignOptions::default()
+        },
+    )
+    .expect("resumed campaign completes");
+    assert_eq!(resumed.resumed, 24);
+    assert_eq!(resumed.records, uninterrupted.records);
+    assert!(resumed.harness_failures.is_empty());
+
+    // A second re-invocation replays entirely from the journal.
+    let replayed = run_campaign_with(
+        &w,
+        &cfg,
+        &CampaignOptions {
+            journal: Some(half_path.clone()),
+            ..CampaignOptions::default()
+        },
+    )
+    .expect("replayed campaign completes");
+    assert_eq!(replayed.resumed, 48);
+    assert_eq!(replayed.records, uninterrupted.records);
+
+    let _ = fs::remove_file(&full_path);
+    let _ = fs::remove_file(&half_path);
+}
+
+/// A torn final journal line (the process died mid-append) must be
+/// tolerated on resume rather than rejected as corruption.
+#[test]
+fn torn_final_journal_line_is_tolerated() {
+    let w = sum_workload();
+    let cfg = CampaignConfig {
+        runs: 32,
+        seed: 5,
+        threads: 1,
+    };
+    let uninterrupted = run_campaign(&w, &cfg).expect("campaign completes");
+
+    let full_path = scratch_path("torn-full");
+    let _ = fs::remove_file(&full_path);
+    run_campaign_with(
+        &w,
+        &cfg,
+        &CampaignOptions {
+            journal: Some(full_path.clone()),
+            ..CampaignOptions::default()
+        },
+    )
+    .expect("journaled campaign completes");
+    let text = fs::read_to_string(&full_path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+
+    let torn_path = scratch_path("torn-half");
+    let mut file = fs::File::create(&torn_path).unwrap();
+    writeln!(file, "{}", lines[..1 + 16].join("\n")).unwrap();
+    // Half of the next record line, no trailing newline.
+    let next = lines[1 + 16];
+    write!(file, "{}", &next[..next.len() / 2]).unwrap();
+    drop(file);
+
+    let resumed = run_campaign_with(
+        &w,
+        &cfg,
+        &CampaignOptions {
+            journal: Some(torn_path.clone()),
+            ..CampaignOptions::default()
+        },
+    )
+    .expect("resume tolerates a torn final line");
+    assert_eq!(resumed.resumed, 16);
+    assert_eq!(resumed.records, uninterrupted.records);
+
+    let _ = fs::remove_file(&full_path);
+    let _ = fs::remove_file(&torn_path);
+}
+
+/// A journal written by a different campaign (here: another seed) must
+/// be rejected with a typed identity mismatch, not silently reused.
+#[test]
+fn journal_identity_mismatch_is_rejected() {
+    let w = sum_workload();
+    let path = scratch_path("mismatch");
+    let _ = fs::remove_file(&path);
+    let cfg = CampaignConfig {
+        runs: 16,
+        seed: 1,
+        threads: 1,
+    };
+    let options = CampaignOptions {
+        journal: Some(path.clone()),
+        ..CampaignOptions::default()
+    };
+    run_campaign_with(&w, &cfg, &options).expect("journaled campaign completes");
+
+    let err = run_campaign_with(&w, &CampaignConfig { seed: 2, ..cfg }, &options)
+        .expect_err("mismatched journal must be rejected");
+    match err {
+        CampaignError::Journal(JournalError::Mismatch { field, .. }) => {
+            assert_eq!(field, "seed");
+        }
+        other => panic!("expected identity mismatch, got: {other}"),
+    }
+
+    let _ = fs::remove_file(&path);
+}
+
+/// A generous per-run wall-clock deadline must not perturb outcomes.
+#[test]
+fn generous_run_deadline_leaves_outcomes_unchanged() {
+    let w = sum_workload();
+    let cfg = CampaignConfig {
+        runs: 32,
+        seed: 3,
+        threads: 2,
+    };
+    let plain = run_campaign(&w, &cfg).expect("campaign completes");
+    let guarded = run_campaign_with(
+        &w,
+        &cfg,
+        &CampaignOptions {
+            run_deadline: Some(Duration::from_secs(3600)),
+            ..CampaignOptions::default()
+        },
+    )
+    .expect("guarded campaign completes");
+    assert_eq!(plain.records, guarded.records);
+}

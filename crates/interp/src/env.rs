@@ -137,10 +137,7 @@ mod tests {
         assert_eq!(env.allreduce_sum_i(-3), Ok(-3));
         assert_eq!(env.allreduce_max_f(7.0), Ok(7.0));
         assert_eq!(env.barrier(), Ok(()));
-        assert_eq!(
-            env.allgather_f(vec![1.0, 2.0], 0, 2),
-            Ok(vec![1.0, 2.0])
-        );
+        assert_eq!(env.allgather_f(vec![1.0, 2.0], 0, 2), Ok(vec![1.0, 2.0]));
         assert_eq!(env.allreduce_vec_i(vec![3, 4]), Ok(vec![3, 4]));
         assert!(!env.poisoned());
     }

@@ -1,6 +1,7 @@
 //! The interpreter core.
 
 use std::fmt;
+use std::time::{Duration, Instant};
 
 use ipas_ir::inst::Callee;
 use ipas_ir::{BinOp, CastOp, FuncId, Function, Inst, InstId, Intrinsic, Module, Type, Value};
@@ -89,6 +90,14 @@ pub struct RunConfig {
     /// [`RunStatus::Hang`]. Use [`RunConfig::budget_from_nominal`] to
     /// derive it from a clean run.
     pub max_insts: u64,
+    /// Optional wall-clock deadline for the run. Exceeding it reports
+    /// [`RunStatus::Hang`], like the instruction budget: it is the
+    /// campaign runtime's watchdog against runs that burn real time
+    /// without retiring instructions fast enough for `max_insts` to
+    /// catch them. Checked at the poison-poll cadence (every 4096
+    /// dynamic instructions), so very short limits are quantized to
+    /// that granularity.
+    pub wall_limit: Option<Duration>,
     /// Optional fault injection plan.
     pub injection: Option<Injection>,
     /// Record per-site eligible-execution counts (needed by
@@ -105,6 +114,7 @@ impl Default for RunConfig {
             max_insts: u64::MAX,
             injection: None,
             profile_sites: false,
+            wall_limit: None,
         }
     }
 }
@@ -258,6 +268,7 @@ struct RunState<'e> {
     dynamic_insts: u64,
     eligible_results: u64,
     max_insts: u64,
+    deadline: Option<Instant>,
     injection: Option<Injection>,
     injected_site: Option<(FuncId, InstId)>,
     injected_at_inst: Option<u64>,
@@ -340,6 +351,7 @@ impl<'m> Machine<'m> {
             dynamic_insts: 0,
             eligible_results: 0,
             max_insts: config.max_insts,
+            deadline: config.wall_limit.map(|limit| Instant::now() + limit),
             injection: config.injection,
             injected_site: None,
             injected_at_inst: None,
@@ -431,8 +443,15 @@ impl<'m> Machine<'m> {
                 if state.dynamic_insts > state.max_insts {
                     break 'outer Err(Stop::Budget);
                 }
-                if state.dynamic_insts.is_multiple_of(POISON_POLL_INTERVAL) && state.env.poisoned() {
-                    break 'outer Err(Stop::Trap(Trap::MpiAbort));
+                if state.dynamic_insts.is_multiple_of(POISON_POLL_INTERVAL) {
+                    if state.env.poisoned() {
+                        break 'outer Err(Stop::Trap(Trap::MpiAbort));
+                    }
+                    if let Some(deadline) = state.deadline {
+                        if Instant::now() >= deadline {
+                            break 'outer Err(Stop::Budget);
+                        }
+                    }
                 }
 
                 let inst = func.inst(id);
@@ -469,11 +488,11 @@ impl<'m> Machine<'m> {
                         }
                     }
                     _ => {
-                        let result = match self.exec_value_inst(state, func, &regs, args, inst, depth)
-                        {
-                            Ok(v) => v,
-                            Err(stop) => break 'outer Err(stop),
-                        };
+                        let result =
+                            match self.exec_value_inst(state, func, &regs, args, inst, depth) {
+                                Ok(v) => v,
+                                Err(stop) => break 'outer Err(stop),
+                            };
                         let result = if is_fault_site(inst) {
                             self.maybe_inject(state, fid, id, result)
                         } else {
@@ -508,10 +527,7 @@ impl<'m> Machine<'m> {
         let n = state.eligible_results;
         state.eligible_results += 1;
         if state.profile_sites {
-            *state
-                .site_profile
-                .entry((fid, id))
-                .or_insert(0) += 1;
+            *state.site_profile.entry((fid, id)).or_insert(0) += 1;
         }
         let counter = match state.injection {
             Some(Injection { site: Some(s), .. }) => {
@@ -593,7 +609,11 @@ impl<'m> Machine<'m> {
             }
             Inst::Alloca { count, .. } => {
                 let bytes = (*count as i64) * 8;
-                state.memory.alloc(bytes).map(RtVal::Ptr).map_err(Stop::Trap)
+                state
+                    .memory
+                    .alloc(bytes)
+                    .map(RtVal::Ptr)
+                    .map_err(Stop::Trap)
             }
             Inst::Load { ty, addr } => {
                 let a = self.eval(func, regs, args, *addr).as_ptr();
@@ -605,7 +625,11 @@ impl<'m> Machine<'m> {
                 let i = self.eval(func, regs, args, *index).as_i64();
                 Ok(RtVal::Ptr(b.wrapping_add((i as u64).wrapping_mul(8))))
             }
-            Inst::Call { callee, args: call_args, .. } => {
+            Inst::Call {
+                callee,
+                args: call_args,
+                ..
+            } => {
                 let mut vals = Vec::with_capacity(call_args.len());
                 for a in call_args {
                     vals.push(self.eval(func, regs, args, *a));
@@ -691,7 +715,9 @@ fn exec_binary(op: BinOp, l: RtVal, r: RtVal) -> Result<RtVal, Trap> {
 fn exec_cast(op: CastOp, v: RtVal) -> RtVal {
     match op {
         CastOp::Sitofp => RtVal::F64(v.as_i64() as f64),
-        CastOp::Fptosi => RtVal::I64(ipas_ir::passes::constfold::saturating_f64_to_i64(v.as_f64())),
+        CastOp::Fptosi => RtVal::I64(ipas_ir::passes::constfold::saturating_f64_to_i64(
+            v.as_f64(),
+        )),
         CastOp::Zext => RtVal::I64(v.as_bool() as i64),
         CastOp::Trunc => RtVal::Bool(v.as_i64() & 1 == 1),
         CastOp::Bitcast => match v {
@@ -704,7 +730,11 @@ fn exec_cast(op: CastOp, v: RtVal) -> RtVal {
     }
 }
 
-fn exec_intrinsic(state: &mut RunState<'_>, intr: Intrinsic, vals: &[RtVal]) -> Result<RtVal, Stop> {
+fn exec_intrinsic(
+    state: &mut RunState<'_>,
+    intr: Intrinsic,
+    vals: &[RtVal],
+) -> Result<RtVal, Stop> {
     let f1 = |i: usize| vals[i].as_f64();
     let out = match intr {
         Intrinsic::Sqrt => RtVal::F64(f1(0).sqrt()),
@@ -763,7 +793,10 @@ fn exec_intrinsic(state: &mut RunState<'_>, intr: Intrinsic, vals: &[RtVal]) -> 
             let (lo, hi) = block_partition(state.env.rank(), state.env.size(), n);
             let mut chunk = Vec::with_capacity(hi - lo);
             for i in lo..hi {
-                let bits = state.memory.load(base + (i as u64) * 8).map_err(Stop::Trap)?;
+                let bits = state
+                    .memory
+                    .load(base + (i as u64) * 8)
+                    .map_err(Stop::Trap)?;
                 chunk.push(f64::from_bits(bits));
             }
             let full = state.env.allgather_f(chunk, lo, n).map_err(Stop::Trap)?;
@@ -781,7 +814,12 @@ fn exec_intrinsic(state: &mut RunState<'_>, intr: Intrinsic, vals: &[RtVal]) -> 
             let n = collective_len(vals[1].as_i64())?;
             let mut data = Vec::with_capacity(n);
             for i in 0..n {
-                data.push(state.memory.load(base + (i as u64) * 8).map_err(Stop::Trap)?);
+                data.push(
+                    state
+                        .memory
+                        .load(base + (i as u64) * 8)
+                        .map_err(Stop::Trap)?,
+                );
             }
             let reduced: Vec<u64> = if intr == Intrinsic::MpiAllreduceArrF {
                 state
@@ -801,7 +839,10 @@ fn exec_intrinsic(state: &mut RunState<'_>, intr: Intrinsic, vals: &[RtVal]) -> 
                     .collect()
             };
             for (i, v) in reduced.into_iter().enumerate() {
-                state.memory.store(base + (i as u64) * 8, v).map_err(Stop::Trap)?;
+                state
+                    .memory
+                    .store(base + (i as u64) * 8, v)
+                    .map_err(Stop::Trap)?;
             }
             RtVal::Unit
         }
@@ -944,6 +985,55 @@ bb0:
             })
             .unwrap();
         assert_eq!(out.status, RunStatus::Hang);
+    }
+
+    #[test]
+    fn infinite_loop_hits_wall_clock_watchdog() {
+        let module = parse_module(
+            r#"
+fn @main() {
+bb0:
+  br bb0
+}
+"#,
+        )
+        .unwrap();
+        let mut m = Machine::new(&module);
+        // No instruction budget: only the wall-clock deadline can stop
+        // this run.
+        let out = m
+            .run(&RunConfig {
+                wall_limit: Some(Duration::from_millis(20)),
+                ..RunConfig::default()
+            })
+            .unwrap();
+        assert_eq!(out.status, RunStatus::Hang);
+    }
+
+    #[test]
+    fn generous_wall_limit_does_not_fire() {
+        let out_limited = {
+            let module = parse_module(
+                r#"
+fn @main() -> i64 {
+bb0:
+  %v0 = add i64 20, 22
+  ret %v0
+}
+"#,
+            )
+            .unwrap();
+            Machine::new(&module)
+                .run(&RunConfig {
+                    wall_limit: Some(Duration::from_secs(3600)),
+                    ..RunConfig::default()
+                })
+                .unwrap()
+        };
+        assert_eq!(
+            out_limited.status,
+            RunStatus::Completed(Some(RtVal::I64(42)))
+        );
     }
 
     #[test]

@@ -44,7 +44,8 @@ impl Memory {
         }
         let cells = (bytes as usize).div_ceil(8);
         let region = self.regions.len() as u64;
-        self.regions.push(Some(vec![0u64; cells].into_boxed_slice()));
+        self.regions
+            .push(Some(vec![0u64; cells].into_boxed_slice()));
         // Region numbers start at 1 in the address encoding so that 0 is
         // the unmapped null page.
         Ok((region + 1) << OFFSET_BITS)

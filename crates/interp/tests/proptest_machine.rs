@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 
-use ipas_interp::{Machine, Memory, RunConfig, RunStatus, RtVal, Trap};
+use ipas_interp::{Machine, Memory, RtVal, RunConfig, RunStatus, Trap};
 use ipas_ir::Type;
 
 proptest! {

@@ -54,17 +54,18 @@ impl DomTree {
         let mut idom: Vec<Option<BlockId>> = vec![None; n];
         idom[func.entry().index()] = Some(func.entry());
 
-        let intersect = |idom: &[Option<BlockId>], rpo_pos: &[usize], mut a: BlockId, mut b: BlockId| {
-            while a != b {
-                while rpo_pos[a.index()] > rpo_pos[b.index()] {
-                    a = idom[a.index()].expect("processed block must have idom");
+        let intersect =
+            |idom: &[Option<BlockId>], rpo_pos: &[usize], mut a: BlockId, mut b: BlockId| {
+                while a != b {
+                    while rpo_pos[a.index()] > rpo_pos[b.index()] {
+                        a = idom[a.index()].expect("processed block must have idom");
+                    }
+                    while rpo_pos[b.index()] > rpo_pos[a.index()] {
+                        b = idom[b.index()].expect("processed block must have idom");
+                    }
                 }
-                while rpo_pos[b.index()] > rpo_pos[a.index()] {
-                    b = idom[b.index()].expect("processed block must have idom");
-                }
-            }
-            a
-        };
+                a
+            };
 
         let mut changed = true;
         while changed {

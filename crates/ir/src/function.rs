@@ -226,7 +226,8 @@ impl Function {
 
     /// The block that currently contains instruction `id`, if any.
     pub fn block_of(&self, id: InstId) -> Option<BlockId> {
-        self.block_ids().find(|&bb| self.blocks[bb.index()].insts.contains(&id))
+        self.block_ids()
+            .find(|&bb| self.blocks[bb.index()].insts.contains(&id))
     }
 
     /// Builds a map from every linked instruction to its containing block.
@@ -297,7 +298,12 @@ mod tests {
                 rhs: Value::i64(1),
             },
         );
-        f.append_inst(entry, Inst::Ret { value: Some(Value::inst(add)) });
+        f.append_inst(
+            entry,
+            Inst::Ret {
+                value: Some(Value::inst(add)),
+            },
+        );
         f
     }
 

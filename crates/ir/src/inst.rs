@@ -110,10 +110,7 @@ impl BinOp {
 
     /// Returns `true` for multiplication or division (feature 3 of Table 1).
     pub fn is_mul_div(self) -> bool {
-        matches!(
-            self,
-            BinOp::Mul | BinOp::Sdiv | BinOp::Fmul | BinOp::Fdiv
-        )
+        matches!(self, BinOp::Mul | BinOp::Sdiv | BinOp::Fmul | BinOp::Fdiv)
     }
 
     /// Returns `true` for remainder opcodes (feature 4 of Table 1).
@@ -692,7 +689,10 @@ pub enum Inst {
 impl Inst {
     /// Returns `true` if this instruction ends a basic block.
     pub fn is_terminator(&self) -> bool {
-        matches!(self, Inst::Br { .. } | Inst::CondBr { .. } | Inst::Ret { .. })
+        matches!(
+            self,
+            Inst::Br { .. } | Inst::CondBr { .. } | Inst::Ret { .. }
+        )
     }
 
     /// Returns `true` for phi nodes.
@@ -705,7 +705,9 @@ impl Inst {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             Inst::Br { target } => vec![*target],
-            Inst::CondBr { then_bb, else_bb, .. } => vec![*then_bb, *else_bb],
+            Inst::CondBr {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
             _ => Vec::new(),
         }
     }

@@ -96,7 +96,10 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
     while i < lines.len() {
         let (ln, line) = lines[i];
         if !line.starts_with("fn @") {
-            return Err(ParseError::new(ln, format!("expected `fn @...`, got `{line}`")));
+            return Err(ParseError::new(
+                ln,
+                format!("expected `fn @...`, got `{line}`"),
+            ));
         }
         let (fname, params, ret) = parse_header(ln, line)?;
         let mut body = Vec::new();
@@ -224,12 +227,16 @@ fn parse_body(
         if let Some(label) = line.strip_suffix(':') {
             let bb = parse_block_ref(ln, label)?;
             if bb.index() >= num_blocks {
-                return Err(ParseError::new(ln, format!("block label {label} out of order")));
+                return Err(ParseError::new(
+                    ln,
+                    format!("block label {label} out of order"),
+                ));
             }
             current = Some(bb);
             continue;
         }
-        let bb = current.ok_or_else(|| ParseError::new(ln, "instruction before first block label"))?;
+        let bb =
+            current.ok_or_else(|| ParseError::new(ln, "instruction before first block label"))?;
         let text = match line.find('=') {
             Some(eq) => line[eq + 1..].trim(),
             None => line,
@@ -293,11 +300,17 @@ fn parse_value(ctx: &BodyCtx<'_>, tok: &str) -> Result<Value, ParseError> {
     if let Ok(v) = tok.parse::<i64>() {
         return Ok(Value::i64(v));
     }
-    Err(ParseError::new(ctx.ln, format!("unparseable value `{tok}`")))
+    Err(ParseError::new(
+        ctx.ln,
+        format!("unparseable value `{tok}`"),
+    ))
 }
 
 fn split_commas(s: &str) -> Vec<&str> {
-    s.split(',').map(str::trim).filter(|p| !p.is_empty()).collect()
+    s.split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .collect()
 }
 
 fn parse_inst(ctx: &BodyCtx<'_>, text: &str, num_blocks: usize) -> Result<Inst, ParseError> {
@@ -362,12 +375,14 @@ fn parse_inst(ctx: &BodyCtx<'_>, text: &str, num_blocks: usize) -> Result<Inst, 
             let lhs = parse_value(ctx, parts[0])?;
             let rhs = parse_value(ctx, parts[1])?;
             if op == "icmp" {
-                let pred = IcmpPred::from_mnemonic(pred_tok)
-                    .ok_or_else(|| ParseError::new(ln, format!("bad icmp predicate `{pred_tok}`")))?;
+                let pred = IcmpPred::from_mnemonic(pred_tok).ok_or_else(|| {
+                    ParseError::new(ln, format!("bad icmp predicate `{pred_tok}`"))
+                })?;
                 Ok(Inst::Icmp { pred, lhs, rhs })
             } else {
-                let pred = FcmpPred::from_mnemonic(pred_tok)
-                    .ok_or_else(|| ParseError::new(ln, format!("bad fcmp predicate `{pred_tok}`")))?;
+                let pred = FcmpPred::from_mnemonic(pred_tok).ok_or_else(|| {
+                    ParseError::new(ln, format!("bad fcmp predicate `{pred_tok}`"))
+                })?;
                 Ok(Inst::Fcmp { pred, lhs, rhs })
             }
         }
@@ -608,7 +623,10 @@ bb0:
         assert_eq!(m.num_functions(), 2);
         let (_, main) = m.functions().next().unwrap();
         match main.inst(crate::function::InstId::new(0)) {
-            Inst::Call { callee: Callee::Func(id), .. } => {
+            Inst::Call {
+                callee: Callee::Func(id),
+                ..
+            } => {
                 assert_eq!(m.function(*id).name(), "helper");
             }
             other => panic!("expected call, got {other:?}"),

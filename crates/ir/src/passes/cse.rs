@@ -79,9 +79,9 @@ pub fn eliminate_common_subexpressions(func: &mut Function) -> usize {
     let mut stack = Vec::new();
 
     let enter = |func: &Function,
-                     available: &mut HashMap<ExprKey, Vec<InstId>>,
-                     replacements: &mut HashMap<InstId, Value>,
-                     bb: BlockId|
+                 available: &mut HashMap<ExprKey, Vec<InstId>>,
+                 replacements: &mut HashMap<InstId, Value>,
+                 bb: BlockId|
      -> Vec<ExprKey> {
         let mut defined = Vec::new();
         for &id in func.block(bb).insts() {

@@ -83,7 +83,10 @@ fn preheader(func: &Function, lp: &NaturalLoop) -> Option<BlockId> {
 fn hoistable(inst: &Inst) -> bool {
     match inst {
         Inst::Binary { op, .. } => !matches!(op, BinOp::Sdiv | BinOp::Srem),
-        Inst::Icmp { .. } | Inst::Fcmp { .. } | Inst::Cast { .. } | Inst::Select { .. }
+        Inst::Icmp { .. }
+        | Inst::Fcmp { .. }
+        | Inst::Cast { .. }
+        | Inst::Select { .. }
         | Inst::Gep { .. } => true,
         _ => false,
     }
@@ -240,8 +243,7 @@ bb3:
                     match f.inst(id) {
                         Inst::Phi { incomings, .. } => {
                             let p = prev.expect("phi not in entry");
-                            let (_, v) =
-                                incomings.iter().find(|(b, _)| *b == p).expect("incoming");
+                            let (_, v) = incomings.iter().find(|(b, _)| *b == p).expect("incoming");
                             updates.push((id, eval(&regs, *v)));
                         }
                         _ => break,

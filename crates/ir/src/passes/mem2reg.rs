@@ -46,7 +46,11 @@ pub fn promote_memory_to_registers(func: &mut Function) -> usize {
     let mut def_blocks: Vec<HashSet<BlockId>> = vec![HashSet::new(); count];
     for bb in func.block_ids() {
         for &id in func.block(bb).insts() {
-            if let Inst::Store { addr: Value::Inst(a), .. } = func.inst(id) {
+            if let Inst::Store {
+                addr: Value::Inst(a),
+                ..
+            } = func.inst(id)
+            {
                 if let Some(&slot) = slot_of.get(a) {
                     def_blocks[slot].insert(bb);
                 }
@@ -112,10 +116,10 @@ pub fn promote_memory_to_registers(func: &mut Function) -> usize {
 
     // First visit processing happens when the frame is pushed.
     let process_block = |func: &mut Function,
-                             stacks: &mut Vec<Vec<Value>>,
-                             replacements: &mut HashMap<InstId, Value>,
-                             to_unlink: &mut Vec<(BlockId, InstId)>,
-                             bb: BlockId|
+                         stacks: &mut Vec<Vec<Value>>,
+                         replacements: &mut HashMap<InstId, Value>,
+                         to_unlink: &mut Vec<(BlockId, InstId)>,
+                         bb: BlockId|
      -> Vec<usize> {
         let mut pushed = Vec::new();
         let insts: Vec<InstId> = func.block(bb).insts().to_vec();
@@ -131,7 +135,10 @@ pub fn promote_memory_to_registers(func: &mut Function) -> usize {
                 continue;
             }
             match func.inst(id).clone() {
-                Inst::Load { addr: Value::Inst(a), .. } => {
+                Inst::Load {
+                    addr: Value::Inst(a),
+                    ..
+                } => {
                     if let Some(&slot) = slot_of.get(&a) {
                         let cur = stacks[slot]
                             .last()
@@ -152,10 +159,9 @@ pub fn promote_memory_to_registers(func: &mut Function) -> usize {
                         to_unlink.push((bb, id));
                     }
                 }
-                Inst::Alloca { .. }
-                    if slot_of.contains_key(&id) => {
-                        to_unlink.push((bb, id));
-                    }
+                Inst::Alloca { .. } if slot_of.contains_key(&id) => {
+                    to_unlink.push((bb, id));
+                }
                 _ => {}
             }
         }
@@ -194,13 +200,7 @@ pub fn promote_memory_to_registers(func: &mut Function) -> usize {
         if idx < children[bb.index()].len() {
             frame.child_idx += 1;
             let child = children[bb.index()][idx];
-            let pushed = process_block(
-                func,
-                &mut stacks,
-                &mut replacements,
-                &mut to_unlink,
-                child,
-            );
+            let pushed = process_block(func, &mut stacks, &mut replacements, &mut to_unlink, child);
             stack_frames.push(Frame {
                 bb: child,
                 child_idx: 0,
@@ -225,16 +225,21 @@ pub fn promote_memory_to_registers(func: &mut Function) -> usize {
         let insts: Vec<InstId> = func.block(bb).insts().to_vec();
         for id in insts {
             match func.inst(id).clone() {
-                Inst::Load { addr: Value::Inst(a), .. } => {
+                Inst::Load {
+                    addr: Value::Inst(a),
+                    ..
+                } => {
                     if let Some(&slot) = slot_of.get(&a) {
                         replacements.insert(id, zero_of(slot_ty[slot]));
                         to_unlink.push((bb, id));
                     }
                 }
-                Inst::Store { addr: Value::Inst(a), .. }
-                    if slot_of.contains_key(&a) => {
-                        to_unlink.push((bb, id));
-                    }
+                Inst::Store {
+                    addr: Value::Inst(a),
+                    ..
+                } if slot_of.contains_key(&a) => {
+                    to_unlink.push((bb, id));
+                }
                 _ => {}
             }
         }

@@ -194,8 +194,7 @@ fn prune_unreachable(func: &mut Function) {
         .collect();
     // Unlinked arena slots may still name removed blocks; they are never
     // executed, so any in-range target keeps the IR well-formed.
-    let remap_or_entry =
-        |bb: &BlockId| remap.get(bb).copied().unwrap_or_else(|| BlockId::new(0));
+    let remap_or_entry = |bb: &BlockId| remap.get(bb).copied().unwrap_or_else(|| BlockId::new(0));
 
     // Copy every arena slot (including unlinked ones) so InstIds stay
     // stable, rewriting block references through the remap.
@@ -370,6 +369,11 @@ bb3:
         simplify_cfg(&mut f);
         verify_function(&f).unwrap();
         // Everything folds into a straight line through bb2.
-        assert_eq!(f.num_blocks(), 1, "{}", crate::printer::print_function(&f, None));
+        assert_eq!(
+            f.num_blocks(),
+            1,
+            "{}",
+            crate::printer::print_function(&f, None)
+        );
     }
 }

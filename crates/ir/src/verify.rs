@@ -38,7 +38,11 @@ impl VerifyError {
 
 impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "verification failed in `{}`: {}", self.func, self.message)
+        write!(
+            f,
+            "verification failed in `{}`: {}",
+            self.func, self.message
+        )
     }
 }
 
@@ -88,9 +92,7 @@ fn verify_function_inner(func: &Function, module: Option<&Module>) -> Result<(),
             }
             if inst.is_phi() {
                 // Phis must be contiguous at the top.
-                let prefix_ok = block.insts()[..i]
-                    .iter()
-                    .all(|&p| func.inst(p).is_phi());
+                let prefix_ok = block.insts()[..i].iter().all(|&p| func.inst(p).is_phi());
                 if !prefix_ok {
                     return err(format!("{bb}: phi {id} is not at the top of the block"));
                 }
@@ -126,7 +128,10 @@ fn verify_function_inner(func: &Function, module: Option<&Module>) -> Result<(),
                 if (n as usize) < func.params().len() {
                     Ok(func.params()[n as usize])
                 } else {
-                    Err(VerifyError::new(name, format!("out-of-range parameter %arg{n}")))
+                    Err(VerifyError::new(
+                        name,
+                        format!("out-of-range parameter %arg{n}"),
+                    ))
                 }
             }
             Value::Inst(id) => {
@@ -134,7 +139,10 @@ fn verify_function_inner(func: &Function, module: Option<&Module>) -> Result<(),
                     return Err(VerifyError::new(name, format!("use of out-of-range {id}")));
                 }
                 if !seen.contains(&id) {
-                    return Err(VerifyError::new(name, format!("use of unlinked instruction {id}")));
+                    return Err(VerifyError::new(
+                        name,
+                        format!("use of unlinked instruction {id}"),
+                    ));
                 }
                 let ty = func.inst(id).result_type();
                 if ty == Type::Void {
@@ -161,9 +169,12 @@ fn verify_function_inner(func: &Function, module: Option<&Module>) -> Result<(),
                     // Booleans only support the bitwise opcodes; the
                     // interpreter has no arithmetic on i1.
                     if *ty == Type::Bool
-                        && !matches!(op, crate::inst::BinOp::And
-                            | crate::inst::BinOp::Or
-                            | crate::inst::BinOp::Xor)
+                        && !matches!(
+                            op,
+                            crate::inst::BinOp::And
+                                | crate::inst::BinOp::Or
+                                | crate::inst::BinOp::Xor
+                        )
                     {
                         return err(format!("{id}: opcode {op} is not defined on i1"));
                     }
@@ -394,7 +405,9 @@ fn verify_function_inner(func: &Function, module: Option<&Module>) -> Result<(),
                 }
             });
             if let Some(def) = bad {
-                return err(format!("{id}: use of {def} not dominated by its definition"));
+                return err(format!(
+                    "{id}: use of {def} not dominated by its definition"
+                ));
             }
         }
     }
@@ -489,7 +502,12 @@ mod tests {
                 rhs: Value::i64(3),
             },
         );
-        f.append_inst(entry, Inst::Ret { value: Some(Value::inst(use_before)) });
+        f.append_inst(
+            entry,
+            Inst::Ret {
+                value: Some(Value::inst(use_before)),
+            },
+        );
         let e = verify_function(&f).unwrap_err();
         assert!(e.message().contains("not dominated"), "{e}");
     }

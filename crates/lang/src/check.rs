@@ -121,7 +121,10 @@ impl Checker {
     fn declare(&mut self, span: Span, name: &str, ty: LangType) -> Result<(), CompileError> {
         let scope = self.scopes.last_mut().expect("inside a scope");
         if scope.insert(name.to_string(), ty).is_some() {
-            return Err(err(span, format!("`{name}` is already defined in this scope")));
+            return Err(err(
+                span,
+                format!("`{name}` is already defined in this scope"),
+            ));
         }
         Ok(())
     }
@@ -176,7 +179,10 @@ impl Checker {
             } => {
                 let it = self.expect_value(init)?;
                 if it != *ty {
-                    return Err(err(*span, format!("`{name}: {ty}` initialized with `{it}`")));
+                    return Err(err(
+                        *span,
+                        format!("`{name}: {ty}` initialized with `{it}`"),
+                    ));
                 }
                 self.declare(*span, name, *ty)
             }
@@ -204,7 +210,10 @@ impl Checker {
                     .ok_or_else(|| err(*span, format!("`{array}: {at}` is not an array")))?;
                 let it = self.expect_value(index)?;
                 if it != LangType::Int {
-                    return Err(err(*span, format!("array index has type `{it}`, not `int`")));
+                    return Err(err(
+                        *span,
+                        format!("array index has type `{it}`, not `int`"),
+                    ));
                 }
                 let vt = self.expect_value(value)?;
                 if vt != elem {
@@ -257,7 +266,9 @@ impl Checker {
                     Ok(())
                 }
                 (Some(_), None) => Err(err(*span, "returning a value from a procedure")),
-                (None, Some(want)) => Err(err(*span, format!("missing return value of type `{want}`"))),
+                (None, Some(want)) => {
+                    Err(err(*span, format!("missing return value of type `{want}`")))
+                }
             },
             Stmt::Break { span } | Stmt::Continue { span } => {
                 if self.loop_depth == 0 {
@@ -385,7 +396,9 @@ impl Checker {
                             None if !got.is_array() => {
                                 return Err(err(
                                     e.span,
-                                    format!("`{name}` argument {i}: expected an array, found `{got}`"),
+                                    format!(
+                                        "`{name}` argument {i}: expected an array, found `{got}`"
+                                    ),
                                 ))
                             }
                             _ => {}
@@ -547,7 +560,11 @@ fn main() -> int {
     #[test]
     fn records_expression_types() {
         let cp = check_src("fn f() -> float { return 1.5 + 2.5; }").unwrap();
-        let has_float = cp.expr_types.iter().flatten().any(|t| *t == LangType::Float);
+        let has_float = cp
+            .expr_types
+            .iter()
+            .flatten()
+            .any(|t| *t == LangType::Float);
         assert!(has_float);
     }
 

@@ -422,9 +422,7 @@ impl<'a> Lowerer<'a> {
             "itof" => Some(self.b.cast(CastOp::Sitofp, Type::F64, vals[0])),
             "ftoi" => Some(self.b.cast(CastOp::Fptosi, Type::I64, vals[0])),
             "new_int" | "new_float" => {
-                let bytes = self
-                    .b
-                    .binary(BinOp::Mul, Type::I64, vals[0], Value::i64(8));
+                let bytes = self.b.binary(BinOp::Mul, Type::I64, vals[0], Value::i64(8));
                 Some(self.b.call_intrinsic(Intrinsic::Malloc, vec![bytes]))
             }
             _ => {
@@ -473,7 +471,11 @@ mod tests {
             .block_ids()
             .flat_map(|bb| f.block(bb).insts().to_vec())
             .any(|id| matches!(f.inst(id), Inst::Alloca { .. }));
-        assert!(!has_alloca, "mem2reg should remove scalar allocas:\n{}", opt.to_text());
+        assert!(
+            !has_alloca,
+            "mem2reg should remove scalar allocas:\n{}",
+            opt.to_text()
+        );
     }
 
     #[test]

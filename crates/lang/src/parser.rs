@@ -374,7 +374,10 @@ impl Parser {
             let span = self.span();
             self.bump();
             let rhs = self.and_expr()?;
-            lhs = self.mk(span, ExprKind::Binary(BinaryOp::Or, Box::new(lhs), Box::new(rhs)));
+            lhs = self.mk(
+                span,
+                ExprKind::Binary(BinaryOp::Or, Box::new(lhs), Box::new(rhs)),
+            );
         }
         Ok(lhs)
     }
@@ -385,7 +388,10 @@ impl Parser {
             let span = self.span();
             self.bump();
             let rhs = self.cmp_expr()?;
-            lhs = self.mk(span, ExprKind::Binary(BinaryOp::And, Box::new(lhs), Box::new(rhs)));
+            lhs = self.mk(
+                span,
+                ExprKind::Binary(BinaryOp::And, Box::new(lhs), Box::new(rhs)),
+            );
         }
         Ok(lhs)
     }

@@ -1,6 +1,6 @@
 //! End-to-end tests: compile SciL and execute it on the interpreter.
 
-use ipas_interp::{Machine, RunConfig, RunStatus, RtVal};
+use ipas_interp::{Machine, RtVal, RunConfig, RunStatus};
 
 fn run(src: &str) -> ipas_interp::RunOutput {
     let module = ipas_lang::compile(src).expect("compiles");
@@ -90,8 +90,7 @@ fn main() -> int { return fib(15); }
 
 #[test]
 fn arrays_and_outputs() {
-    let out = run(
-        r#"
+    let out = run(r#"
 fn main() -> int {
     let a: [int] = new_int(10);
     for (let i: int = 0; i < 10; i = i + 1) { a[i] = i * i; }
@@ -101,15 +100,13 @@ fn main() -> int {
     free_arr(a);
     return 0;
 }
-"#,
-    );
+"#);
     assert_eq!(out.outputs.as_ints(), vec![285]);
 }
 
 #[test]
 fn float_arrays() {
-    let out = run(
-        r#"
+    let out = run(r#"
 fn main() -> int {
     let a: [float] = new_float(4);
     a[0] = 1.5; a[1] = 2.5; a[2] = 3.0; a[3] = -1.0;
@@ -119,8 +116,7 @@ fn main() -> int {
     free_arr(a);
     return 0;
 }
-"#,
-    );
+"#);
     assert_eq!(out.outputs.as_floats(), vec![6.0]);
 }
 
@@ -128,31 +124,27 @@ fn main() -> int {
 fn short_circuit_and_avoids_rhs() {
     // If && were eager, a[10] would trap (out of bounds); short-circuit
     // evaluation must complete normally.
-    let out = run(
-        r#"
+    let out = run(r#"
 fn main() -> int {
     let a: [int] = new_int(4);
     let i: int = 10;
     if (i < 4 && a[i] > 0) { return 1; }
     return 0;
 }
-"#,
-    );
+"#);
     assert_eq!(out.status, RunStatus::Completed(Some(RtVal::I64(0))));
 }
 
 #[test]
 fn short_circuit_or_avoids_rhs() {
-    let out = run(
-        r#"
+    let out = run(r#"
 fn main() -> int {
     let a: [int] = new_int(4);
     let i: int = 10;
     if (i >= 4 || a[i] > 0) { return 1; }
     return 0;
 }
-"#,
-    );
+"#);
     assert_eq!(out.status, RunStatus::Completed(Some(RtVal::I64(1))));
 }
 
@@ -203,8 +195,7 @@ fn out_of_bounds_traps() {
 
 #[test]
 fn mpi_intrinsics_in_serial_mode() {
-    let out = run(
-        r#"
+    let out = run(r#"
 fn main() -> int {
     let r: int = mpi_rank();
     let s: int = mpi_size();
@@ -213,8 +204,7 @@ fn main() -> int {
     output_f(total);
     return r * 100 + s;
 }
-"#,
-    );
+"#);
     assert_eq!(out.status, RunStatus::Completed(Some(RtVal::I64(1))));
     assert_eq!(out.outputs.as_floats(), vec![2.5]);
 }
@@ -255,8 +245,7 @@ fn main() -> int {
 
 #[test]
 fn dot_product_kernel() {
-    let out = run(
-        r#"
+    let out = run(r#"
 fn dot(a: [float], b: [float], n: int) -> float {
     let s: float = 0.0;
     for (let i: int = 0; i < n; i = i + 1) { s = s + a[i] * b[i]; }
@@ -274,7 +263,6 @@ fn main() -> int {
     free_arr(a); free_arr(b);
     return 0;
 }
-"#,
-    );
+"#);
     assert_eq!(out.outputs.as_floats(), vec![240.0]);
 }

@@ -38,9 +38,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
-use ipas_interp::{
-    Env, Injection, Machine, RunConfig, RunError, RunOutput, RunStatus, Trap,
-};
+use ipas_interp::{Env, Injection, Machine, RunConfig, RunError, RunOutput, RunStatus, Trap};
 use ipas_ir::Module;
 
 /// Aggregate result of one multi-rank job.
@@ -329,7 +327,10 @@ pub fn run_mpi_job(
 
     let mut rank_outputs: Vec<RunOutput> = Vec::with_capacity(ranks);
     for slot in results {
-        let out = slot.into_inner().expect("scope joined").expect("slot filled")?;
+        let out = slot
+            .into_inner()
+            .expect("scope joined")
+            .expect("slot filled")?;
         rank_outputs.push(out);
     }
 
@@ -349,7 +350,11 @@ pub fn run_mpi_job(
             }
         }
     }
-    let max_rank_insts = rank_outputs.iter().map(|o| o.dynamic_insts).max().unwrap_or(0);
+    let max_rank_insts = rank_outputs
+        .iter()
+        .map(|o| o.dynamic_insts)
+        .max()
+        .unwrap_or(0);
     let total_insts = rank_outputs.iter().map(|o| o.dynamic_insts).sum();
     Ok(JobResult {
         rank_outputs,

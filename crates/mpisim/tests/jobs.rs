@@ -1,6 +1,6 @@
 //! Multi-rank job tests: collectives, abort propagation, scalability.
 
-use ipas_interp::{Injection, RunConfig, RtVal};
+use ipas_interp::{Injection, RtVal, RunConfig};
 use ipas_mpisim::run_mpi_job;
 
 #[test]
@@ -20,7 +20,11 @@ fn main() -> int {
         let job = run_mpi_job(&module, ranks, &RunConfig::default(), None).unwrap();
         assert!(job.status.is_completed());
         let expect = (ranks * (ranks + 1) / 2) as i64;
-        assert_eq!(job.rank_outputs[0].outputs.as_ints(), vec![expect], "ranks={ranks}");
+        assert_eq!(
+            job.rank_outputs[0].outputs.as_ints(),
+            vec![expect],
+            "ranks={ranks}"
+        );
         // Non-root ranks emit nothing.
         for r in 1..ranks {
             assert!(job.rank_outputs[r].outputs.is_empty());

@@ -133,7 +133,10 @@ impl Dataset {
         (0..k)
             .map(|t| {
                 let test = folds[t].clone();
-                let train = (0..k).filter(|&j| j != t).flat_map(|j| folds[j].clone()).collect();
+                let train = (0..k)
+                    .filter(|&j| j != t)
+                    .flat_map(|j| folds[j].clone())
+                    .collect();
                 (train, test)
             })
             .collect()
@@ -171,10 +174,7 @@ impl Scaler {
                 *s += (v - m) * (v - m);
             }
         }
-        let std = var
-            .into_iter()
-            .map(|s| (s / n).sqrt().max(1e-12))
-            .collect();
+        let std = var.into_iter().map(|s| (s / n).sqrt().max(1e-12)).collect();
         Scaler { mean, std }
     }
 
@@ -257,7 +257,10 @@ mod tests {
             let pos_in_test = test.iter().filter(|&&i| d.labels()[i]).count();
             assert_eq!(pos_in_test, 2);
         }
-        assert!(seen.iter().all(|&c| c == 1), "each sample tested exactly once");
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "each sample tested exactly once"
+        );
     }
 
     #[test]

@@ -108,8 +108,16 @@ pub fn grid_search(data: &Dataset, opts: &GridOptions) -> Vec<ConfigScore> {
         test_truth: Vec<bool>,
         dist2: Vec<f64>, // n_train × n_train squared distances
     }
+    // A fold whose training split lost one class entirely (possible when
+    // the minority class has fewer samples than folds) cannot train an
+    // SVM; skip it rather than abort the whole search. Its test samples
+    // simply don't contribute to the cross-validated score.
     let fold_data: Vec<FoldData> = folds
         .iter()
+        .filter(|(tr, _)| {
+            let positives = tr.iter().filter(|&&i| data.labels()[i]).count();
+            positives > 0 && positives < tr.len()
+        })
         .map(|(tr, te)| {
             let train_raw = data.subset(tr);
             let test_raw = data.subset(te);
@@ -121,11 +129,7 @@ pub fn grid_search(data: &Dataset, opts: &GridOptions) -> Vec<ConfigScore> {
             let mut dist2 = vec![0.0f64; n * n];
             for i in 0..n {
                 for j in (i + 1)..n {
-                    let d: f64 = x[i]
-                        .iter()
-                        .zip(&x[j])
-                        .map(|(a, b)| (a - b) * (a - b))
-                        .sum();
+                    let d: f64 = x[i].iter().zip(&x[j]).map(|(a, b)| (a - b) * (a - b)).sum();
                     dist2[i * n + j] = d;
                     dist2[j * n + i] = d;
                 }
@@ -239,6 +243,26 @@ mod tests {
             y.push(true);
         }
         Dataset::new(x, y).unwrap()
+    }
+
+    #[test]
+    fn tolerates_fewer_minority_samples_than_folds() {
+        // One positive among 30 negatives with 3 folds: one fold's
+        // training split has no positive and must be skipped, not
+        // panic the search.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..30 {
+            x.push(vec![i as f64 * 0.1, -(i as f64) * 0.05]);
+            y.push(false);
+        }
+        x.push(vec![5.0, 5.0]);
+        y.push(true);
+        let data = Dataset::new(x, y).unwrap();
+        let opts = GridOptions::quick();
+        let scores = grid_search(&data, &opts);
+        assert_eq!(scores.len(), opts.num_c * opts.num_gamma);
+        assert!(scores.iter().all(|s| s.f_score.is_finite()));
     }
 
     #[test]

@@ -83,11 +83,7 @@ mod tests {
 
     #[test]
     fn vote_ties_go_negative() {
-        let d = Dataset::new(
-            vec![vec![0.0], vec![1.0]],
-            vec![false, true],
-        )
-        .unwrap();
+        let d = Dataset::new(vec![vec![0.0], vec![1.0]], vec![false, true]).unwrap();
         let knn = Knn::train(&d, 2);
         // Both neighbors vote, 1-1 tie -> negative.
         assert!(!knn.predict(&[0.5]));

@@ -72,7 +72,13 @@ mod tests {
     fn perfect_classifier_scores_one() {
         let truth = vec![true, false, true, false];
         let acc = per_class_accuracy(&truth, &truth);
-        assert_eq!(acc, ClassAccuracy { acc1: 1.0, acc2: 1.0 });
+        assert_eq!(
+            acc,
+            ClassAccuracy {
+                acc1: 1.0,
+                acc2: 1.0
+            }
+        );
         assert_eq!(f_score(acc), 1.0);
     }
 

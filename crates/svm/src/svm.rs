@@ -94,7 +94,11 @@ impl Svm {
     pub fn train_prepared(data: &Dataset, params: &SvmParams, kernel: &[f64]) -> Self {
         let n = data.len();
         assert_eq!(kernel.len(), n * n, "kernel matrix size mismatch");
-        let y: Vec<f64> = data.labels().iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
+        let y: Vec<f64> = data
+            .labels()
+            .iter()
+            .map(|&b| if b { 1.0 } else { -1.0 })
+            .collect();
         assert!(
             data.num_positive() > 0 && data.num_positive() < n,
             "training data must contain both classes"
@@ -116,71 +120,67 @@ impl Svm {
         let tol = params.tol;
         let eps = 1e-12;
 
-        let take_step = |alpha: &mut Vec<f64>,
-                             err: &mut Vec<f64>,
-                             b: &mut f64,
-                             i1: usize,
-                             i2: usize|
-         -> bool {
-            if i1 == i2 {
-                return false;
-            }
-            let (a1, a2) = (alpha[i1], alpha[i2]);
-            let (y1, y2) = (y[i1], y[i2]);
-            let (e1, e2) = (err[i1], err[i2]);
-            let s = y1 * y2;
-            let (c1, c2) = (c_of(i1), c_of(i2));
-            let (low, high) = if s < 0.0 {
-                ((a2 - a1).max(0.0), (c2.min(c1 + a2 - a1)))
-            } else {
-                ((a1 + a2 - c1).max(0.0), c2.min(a1 + a2))
-            };
-            if high - low < eps {
-                return false;
-            }
-            let eta = k(i1, i1) + k(i2, i2) - 2.0 * k(i1, i2);
-            let a2_new = if eta > eps {
-                (a2 + y2 * (e1 - e2) / eta).clamp(low, high)
-            } else {
-                // Degenerate kernel direction: pick the better bound.
-                let lobj = y2 * (e1 - e2) * low;
-                let hobj = y2 * (e1 - e2) * high;
-                if lobj > hobj + eps {
-                    low
-                } else if hobj > lobj + eps {
-                    high
-                } else {
+        let take_step =
+            |alpha: &mut Vec<f64>, err: &mut Vec<f64>, b: &mut f64, i1: usize, i2: usize| -> bool {
+                if i1 == i2 {
                     return false;
                 }
-            };
-            if (a2_new - a2).abs() < eps * (a2_new + a2 + eps) {
-                return false;
-            }
-            let a1_new = a1 + s * (a2 - a2_new);
+                let (a1, a2) = (alpha[i1], alpha[i2]);
+                let (y1, y2) = (y[i1], y[i2]);
+                let (e1, e2) = (err[i1], err[i2]);
+                let s = y1 * y2;
+                let (c1, c2) = (c_of(i1), c_of(i2));
+                let (low, high) = if s < 0.0 {
+                    ((a2 - a1).max(0.0), (c2.min(c1 + a2 - a1)))
+                } else {
+                    ((a1 + a2 - c1).max(0.0), c2.min(a1 + a2))
+                };
+                if high - low < eps {
+                    return false;
+                }
+                let eta = k(i1, i1) + k(i2, i2) - 2.0 * k(i1, i2);
+                let a2_new = if eta > eps {
+                    (a2 + y2 * (e1 - e2) / eta).clamp(low, high)
+                } else {
+                    // Degenerate kernel direction: pick the better bound.
+                    let lobj = y2 * (e1 - e2) * low;
+                    let hobj = y2 * (e1 - e2) * high;
+                    if lobj > hobj + eps {
+                        low
+                    } else if hobj > lobj + eps {
+                        high
+                    } else {
+                        return false;
+                    }
+                };
+                if (a2_new - a2).abs() < eps * (a2_new + a2 + eps) {
+                    return false;
+                }
+                let a1_new = a1 + s * (a2 - a2_new);
 
-            // Bias update (Platt's b1/b2 rule).
-            let b1 = *b - e1 - y1 * (a1_new - a1) * k(i1, i1) - y2 * (a2_new - a2) * k(i1, i2);
-            let b2 = *b - e2 - y1 * (a1_new - a1) * k(i1, i2) - y2 * (a2_new - a2) * k(i2, i2);
-            let b_new = if a1_new > eps && a1_new < c1 - eps {
-                b1
-            } else if a2_new > eps && a2_new < c2 - eps {
-                b2
-            } else {
-                (b1 + b2) / 2.0
-            };
+                // Bias update (Platt's b1/b2 rule).
+                let b1 = *b - e1 - y1 * (a1_new - a1) * k(i1, i1) - y2 * (a2_new - a2) * k(i1, i2);
+                let b2 = *b - e2 - y1 * (a1_new - a1) * k(i1, i2) - y2 * (a2_new - a2) * k(i2, i2);
+                let b_new = if a1_new > eps && a1_new < c1 - eps {
+                    b1
+                } else if a2_new > eps && a2_new < c2 - eps {
+                    b2
+                } else {
+                    (b1 + b2) / 2.0
+                };
 
-            // Update the error cache for every sample.
-            let d1 = y1 * (a1_new - a1);
-            let d2 = y2 * (a2_new - a2);
-            let db = b_new - *b;
-            for (t, e) in err.iter_mut().enumerate() {
-                *e += d1 * k(i1, t) + d2 * k(i2, t) + db;
-            }
-            alpha[i1] = a1_new;
-            alpha[i2] = a2_new;
-            *b = b_new;
-            true
-        };
+                // Update the error cache for every sample.
+                let d1 = y1 * (a1_new - a1);
+                let d2 = y2 * (a2_new - a2);
+                let db = b_new - *b;
+                for (t, e) in err.iter_mut().enumerate() {
+                    *e += d1 * k(i1, t) + d2 * k(i2, t) + db;
+                }
+                alpha[i1] = a1_new;
+                alpha[i2] = a2_new;
+                *b = b_new;
+                true
+            };
 
         // Platt's outer loop: alternate full sweeps and non-bound sweeps.
         let mut examine_all = true;
@@ -340,14 +340,20 @@ mod tests {
             y.push(false);
         }
         for i in 0..4 {
-            x.push(vec![20.0 + (i % 2) as f64 * 0.1, 20.0 + (i / 2) as f64 * 0.1]);
+            x.push(vec![
+                20.0 + (i % 2) as f64 * 0.1,
+                20.0 + (i / 2) as f64 * 0.1,
+            ]);
             y.push(true);
         }
         let data = Dataset::new(x, y).unwrap();
         let params = SvmParams::new(1.0, 0.05).balanced_for(&data);
         assert!(params.pos_weight > 10.0);
         let svm = Svm::train(&data, &params);
-        assert!(svm.predict(&[20.05, 20.05]), "minority cluster must be recovered");
+        assert!(
+            svm.predict(&[20.05, 20.05]),
+            "minority cluster must be recovered"
+        );
         assert!(!svm.predict(&[5.0, 5.0]));
     }
 
@@ -365,7 +371,10 @@ mod tests {
         let a = Svm::train(&data, &SvmParams::new(10.0, 0.3));
         let b = Svm::train(&data, &SvmParams::new(10.0, 0.3));
         assert_eq!(a.num_support_vectors(), b.num_support_vectors());
-        assert_eq!(a.decision_function(&[0.2, 0.8]), b.decision_function(&[0.2, 0.8]));
+        assert_eq!(
+            a.decision_function(&[0.2, 0.8]),
+            b.decision_function(&[0.2, 0.8])
+        );
     }
 
     #[test]

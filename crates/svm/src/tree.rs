@@ -103,7 +103,10 @@ impl DecisionTree {
                 let threshold = (w[0].0 + w[1].0) / 2.0;
                 // Accept zero-gain splits (XOR-style data has no
                 // first-level gain); prefer strictly better ones.
-                if best.map(|(_, _, g)| gain > g + 1e-12).unwrap_or(gain >= -1e-12) {
+                if best
+                    .map(|(_, _, g)| gain > g + 1e-12)
+                    .unwrap_or(gain >= -1e-12)
+                {
                     best = Some((f, threshold, gain));
                 }
             }
@@ -149,7 +152,11 @@ impl Classifier for DecisionTree {
                     left,
                     right,
                 } => {
-                    cur = if x[*feature] <= *threshold { *left } else { *right };
+                    cur = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -235,6 +242,9 @@ mod tests {
         let data = Dataset::new(x, y).unwrap();
         let tree = DecisionTree::train(&data, &TreeParams::default());
         let hits = (0..10).filter(|&v| tree.predict(&[v as f64])).count();
-        assert_eq!(hits, 0, "unweighted tree should never predict the minority class here");
+        assert_eq!(
+            hits, 0,
+            "unweighted tree should never predict the minority class here"
+        );
     }
 }

@@ -2,18 +2,13 @@
 
 use proptest::prelude::*;
 
-use ipas_svm::{
-    f_score, per_class_accuracy, Classifier, Dataset, Knn, Scaler, Svm, SvmParams,
-};
+use ipas_svm::{f_score, per_class_accuracy, Classifier, Dataset, Knn, Scaler, Svm, SvmParams};
 
 fn dataset_strategy() -> impl Strategy<Value = Dataset> {
     // 2-4 features, 12-60 rows, both classes guaranteed.
     (2usize..5, 6usize..30).prop_flat_map(|(dim, half)| {
         (
-            proptest::collection::vec(
-                proptest::collection::vec(-100.0f64..100.0, dim),
-                half * 2,
-            ),
+            proptest::collection::vec(proptest::collection::vec(-100.0f64..100.0, dim), half * 2),
             Just(half),
         )
             .prop_map(move |(x, half)| {

@@ -121,13 +121,9 @@ fn compile(kind: Kind) -> ipas_ir::Module {
 /// Fails if the golden run does not complete (crate bug).
 pub fn comd(nside: i64) -> Result<Workload, WorkloadError> {
     let module = compile(Kind::Comd);
-    Workload::with_custom_verifier(
-        "CoMD",
-        module,
-        "main",
-        vec![RtVal::I64(nside)],
-        |golden| Box::new(EnergyVerifier::from_golden(&golden.outputs)),
-    )
+    Workload::with_custom_verifier("CoMD", module, "main", vec![RtVal::I64(nside)], |golden| {
+        Box::new(EnergyVerifier::from_golden(&golden.outputs))
+    })
 }
 
 /// HPCCG: CG on the 7-point 3D Poisson operator over an `nx³` grid;
@@ -238,7 +234,12 @@ mod tests {
     fn all_workloads_build_and_converge() {
         for kind in Kind::ALL {
             let w = kind.build(kind.base_input()).unwrap();
-            assert!(w.nominal_insts > 10_000, "{}: {}", kind.name(), w.nominal_insts);
+            assert!(
+                w.nominal_insts > 10_000,
+                "{}: {}",
+                kind.name(),
+                w.nominal_insts
+            );
             assert!(w.eligible_results > 1_000, "{}", kind.name());
             assert!(!w.golden.is_empty(), "{}", kind.name());
         }

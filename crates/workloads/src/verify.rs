@@ -19,7 +19,11 @@ impl EnergyVerifier {
         let energies = golden.as_floats();
         let n = energies.len().max(1) as f64;
         let mean = energies.iter().sum::<f64>() / n;
-        let var = energies.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / n;
+        let var = energies
+            .iter()
+            .map(|e| (e - mean) * (e - mean))
+            .sum::<f64>()
+            / n;
         let sigma = var.sqrt();
         // Guard against a perfectly flat golden series: allow at least a
         // tiny relative band so FP noise from masked faults passes.
@@ -88,7 +92,10 @@ impl OutputVerifier for ConvergenceVerifier {
     }
 
     fn describe(&self) -> String {
-        format!("converged below {:.0e} within {} iterations", self.tol, self.max_iters)
+        format!(
+            "converged below {:.0e} within {} iterations",
+            self.tol, self.max_iters
+        )
     }
 }
 
@@ -205,7 +212,8 @@ mod tests {
         assert!(!v.verify(&diverged));
         let missing = run("fn main() -> int { output_i(42); return 0; }");
         assert!(!v.verify(&missing));
-        let nan = run("fn main() -> int { let z: float = 0.0; output_f(z/z); output_i(1); return 0; }");
+        let nan =
+            run("fn main() -> int { let z: float = 0.0; output_f(z/z); output_i(1); return 0; }");
         assert!(!v.verify(&nan));
     }
 

@@ -56,13 +56,9 @@ impl OutputVerifier for PiBandVerifier {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let module = ipas::lang::compile(PI_ESTIMATOR)?;
-    let workload = Workload::with_custom_verifier(
-        "pi",
-        module,
-        "main",
-        vec![],
-        |_golden| Box::new(PiBandVerifier { band: 0.05 }),
-    )?;
+    let workload = Workload::with_custom_verifier("pi", module, "main", vec![], |_golden| {
+        Box::new(PiBandVerifier { band: 0.05 })
+    })?;
     println!(
         "golden estimate: {:?} (verifier: {})",
         workload.golden.as_floats(),
@@ -76,7 +72,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             seed: 314,
             threads: 0,
         },
-    );
+    )
+    .expect("campaign completes");
     for outcome in Outcome::ALL {
         println!(
             "{:>9}: {:>5.1}%",

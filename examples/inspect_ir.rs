@@ -74,13 +74,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.duplicated, stats.checks
     );
     let pfunc = protected.function(fid);
-    print!("{}", ipas::ir::printer::print_function(pfunc, Some(&protected)));
+    print!(
+        "{}",
+        ipas::ir::printer::print_function(pfunc, Some(&protected))
+    );
 
     // The protected module still computes the same answer.
-    let base = ipas::interp::Machine::new(&module)
-        .run(&ipas::interp::RunConfig::default())?;
-    let prot = ipas::interp::Machine::new(&protected)
-        .run(&ipas::interp::RunConfig::default())?;
+    let base = ipas::interp::Machine::new(&module).run(&ipas::interp::RunConfig::default())?;
+    let prot = ipas::interp::Machine::new(&protected).run(&ipas::interp::RunConfig::default())?;
     assert_eq!(base.outputs, prot.outputs);
     println!(
         "\nsame output, {} -> {} dynamic instructions ({:.2}x)",

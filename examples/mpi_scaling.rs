@@ -8,13 +8,12 @@
 //!
 //! Run with: `cargo run --release --example mpi_scaling`
 
-use ipas::interp::{Injection, RunConfig, RtVal};
+use ipas::interp::{Injection, RtVal, RunConfig};
 use ipas::mpisim::run_mpi_job;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload = ipas::workloads::comd(3)?;
-    let (protected, stats) =
-        ipas::core::ProtectionPolicy::FullDuplication.apply(&workload.module);
+    let (protected, stats) = ipas::core::ProtectionPolicy::FullDuplication.apply(&workload.module);
     println!(
         "CoMD with {} duplicated instructions and {} checks",
         stats.duplicated, stats.checks
@@ -26,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..RunConfig::default()
     };
 
-    println!("\n{:<6} {:>16} {:>16} {:>9}", "ranks", "base crit. path", "prot. crit. path", "slowdown");
+    println!(
+        "\n{:<6} {:>16} {:>16} {:>9}",
+        "ranks", "base crit. path", "prot. crit. path", "slowdown"
+    );
     for ranks in [1, 2, 4, 8] {
         let base = run_mpi_job(&workload.module, ranks, &config, None)?;
         let prot = run_mpi_job(&protected, ranks, &config, None)?;
@@ -51,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         Some((1, Injection::at_global_index(2000, 62))),
     )?;
-    println!("\ninjected a high-bit fault on rank 1: job status = {:?}", job.status);
+    println!(
+        "\ninjected a high-bit fault on rank 1: job status = {:?}",
+        job.status
+    );
     for (r, out) in job.rank_outputs.iter().enumerate() {
         println!("  rank {r}: {:?}", out.status);
     }

@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             seed: 42,
             threads: 0,
         },
-    );
+    )?;
     let data = build_training_set(&workload, &training.records, LabelKind::SocGenerating);
     println!(
         "training campaign: {} runs, {:.1}% SOC",
@@ -58,17 +58,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 1042,
         threads: 0,
     };
-    let unprot = run_campaign(&workload, &eval);
+    let unprot = run_campaign(&workload, &eval)?;
 
     let (ipas_module, ipas_stats) = ProtectionPolicy::Ipas(model).apply(&workload.module);
     let ipas_wl = workload.with_module("HPCCG+IPAS", ipas_module)?;
-    let ipas_run = run_campaign(&ipas_wl, &eval);
+    let ipas_run = run_campaign(&ipas_wl, &eval)?;
 
     let (full_module, full_stats) = protect_module(&workload.module, &mut |_, _, _| true);
     let full_wl = workload.with_module("HPCCG+full", full_module)?;
-    let full_run = run_campaign(&full_wl, &eval);
+    let full_run = run_campaign(&full_wl, &eval)?;
 
-    println!("\n{:<12} {:>11} {:>9} {:>9}", "variant", "duplicated", "SOC", "slowdown");
+    println!(
+        "\n{:<12} {:>11} {:>9} {:>9}",
+        "variant", "duplicated", "SOC", "slowdown"
+    );
     println!(
         "{:<12} {:>11} {:>8.1}% {:>8.2}x",
         "unprotected",

@@ -60,6 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         grid: ipas::svm::GridOptions::quick(),
         seed: 7,
         threads: 0,
+        journal_dir: std::env::var_os("IPAS_JOURNAL_DIR").map(std::path::PathBuf::from),
     };
     let result = run_experiment(&workload, &opts)?;
 
@@ -67,7 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\ntraining set: {:.1}% SOC-generating samples",
         result.training_soc_fraction * 100.0
     );
-    println!("\n{:<12} {:>9} {:>9} {:>9} {:>7} {:>9}", "variant", "symptom", "detected", "masked", "SOC", "slowdown");
+    println!(
+        "\n{:<12} {:>9} {:>9} {:>9} {:>7} {:>9}",
+        "variant", "symptom", "detected", "masked", "SOC", "slowdown"
+    );
     let show = |v: &ipas::core::VariantResult| {
         println!(
             "{:<12} {:>8.1}% {:>8.1}% {:>8.1}% {:>6.1}% {:>8.2}x",

@@ -72,7 +72,10 @@ fn main() -> ExitCode {
     let (Some(cmd), Some(path)) = (args.positional.first(), args.positional.get(1)) else {
         return usage();
     };
-    if !matches!(cmd.as_str(), "protect" | "run" | "ir" | "inject" | "explain") {
+    if !matches!(
+        cmd.as_str(),
+        "protect" | "run" | "ir" | "inject" | "explain"
+    ) {
         return usage();
     }
     let source = match std::fs::read_to_string(path) {
@@ -145,16 +148,21 @@ fn main() -> ExitCode {
                 }
             };
             eprintln!("[ipas] training campaign: {runs} injections ...");
-            let campaign = run_campaign(
+            let campaign = match run_campaign(
                 &workload,
                 &CampaignConfig {
                     runs,
                     seed,
                     threads: 0,
                 },
-            );
-            let data =
-                build_training_set(&workload, &campaign.records, LabelKind::SocGenerating);
+            ) {
+                Ok(campaign) => campaign,
+                Err(err) => {
+                    eprintln!("ipas: training campaign failed: {err}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let data = build_training_set(&workload, &campaign.records, LabelKind::SocGenerating);
             if data.num_positive() == 0 || data.num_positive() == data.len() {
                 eprintln!("ipas: degenerate training labels; raise --runs");
                 return ExitCode::FAILURE;
@@ -176,7 +184,10 @@ fn main() -> ExitCode {
                 };
                 observed.entry(rec.site).or_insert([0; 4])[slot] += 1;
             }
-            println!("{:<10} {:>5} {:<8} {:>8} {:>6} {:>6}", "function", "inst", "opcode", "protect?", "SOC", "hits");
+            println!(
+                "{:<10} {:>5} {:<8} {:>8} {:>6} {:>6}",
+                "function", "inst", "opcode", "protect?", "SOC", "hits"
+            );
             for (fid, func) in workload.module.functions() {
                 for bb in func.block_ids() {
                     for &id in func.block(bb).insts() {
@@ -236,14 +247,20 @@ fn main() -> ExitCode {
                 "full" => ProtectionPolicy::FullDuplication,
                 name @ ("ipas" | "baseline") => {
                     eprintln!("[ipas] training campaign: {runs} injections ...");
-                    let campaign = run_campaign(
+                    let campaign = match run_campaign(
                         &workload,
                         &CampaignConfig {
                             runs,
                             seed,
                             threads: 0,
                         },
-                    );
+                    ) {
+                        Ok(campaign) => campaign,
+                        Err(err) => {
+                            eprintln!("ipas: training campaign failed: {err}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
                     let label = if name == "ipas" {
                         LabelKind::SocGenerating
                     } else {
@@ -290,7 +307,14 @@ fn main() -> ExitCode {
                 seed: seed ^ 0xE7A1,
                 threads: 0,
             };
-            let unprot = run_campaign(&workload, &eval);
+            let journal_dir = std::env::var_os("IPAS_JOURNAL_DIR").map(std::path::PathBuf::from);
+            let unprot = match run_campaign(&workload, &eval) {
+                Ok(unprot) => unprot,
+                Err(err) => {
+                    eprintln!("ipas: unprotected campaign failed: {err}");
+                    return ExitCode::FAILURE;
+                }
+            };
             let unprot_soc = unprot.fraction(Outcome::Soc) * 100.0;
             match evaluate_variant(
                 &workload,
@@ -299,6 +323,7 @@ fn main() -> ExitCode {
                 stats,
                 Some(unprot_soc),
                 &eval,
+                journal_dir.as_deref(),
             ) {
                 Ok(v) => {
                     eprintln!(

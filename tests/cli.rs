@@ -76,7 +76,11 @@ fn protect_writes_checked_ir_and_reports_reduction() {
         .arg(&out_path)
         .output()
         .expect("spawns");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("duplicated"), "{stderr}");
     assert!(stderr.contains("slowdown"), "{stderr}");
@@ -88,7 +92,10 @@ fn protect_writes_checked_ir_and_reports_reduction() {
 
 #[test]
 fn missing_file_fails_with_message() {
-    let out = ipas().args(["run", "/nonexistent.scil"]).output().expect("spawns");
+    let out = ipas()
+        .args(["run", "/nonexistent.scil"])
+        .output()
+        .expect("spawns");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
 }
@@ -104,7 +111,10 @@ fn syntax_error_reports_position() {
 
 #[test]
 fn unknown_subcommand_prints_usage() {
-    let out = ipas().args(["frobnicate", "x.scil"]).output().expect("spawns");
+    let out = ipas()
+        .args(["frobnicate", "x.scil"])
+        .output()
+        .expect("spawns");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
 }
@@ -131,7 +141,11 @@ fn explain_lists_duplicable_instructions_with_decisions() {
         .args(["--runs", "120"])
         .output()
         .expect("spawns");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("protect?"), "{stdout}");
     // At least one instruction is selected and at least one is skipped.

@@ -45,11 +45,14 @@ fn full_duplication_detects_most_soc() {
         seed: 5,
         threads: 0,
     };
-    let unprot = run_campaign(&w, &eval);
+    let unprot = run_campaign(&w, &eval).expect("campaign completes");
     let (protected, _) = ProtectionPolicy::FullDuplication.apply(&w.module);
     let wp = w.with_module("IS-full", protected).unwrap();
-    let prot = run_campaign(&wp, &eval);
-    assert!(unprot.count(Outcome::Soc) > 0, "unprotected IS must show SOC");
+    let prot = run_campaign(&wp, &eval).expect("campaign completes");
+    assert!(
+        unprot.count(Outcome::Soc) > 0,
+        "unprotected IS must show SOC"
+    );
     assert!(
         prot.fraction(Outcome::Soc) < unprot.fraction(Outcome::Soc) / 2.0,
         "full duplication must cut SOC at least in half: {} vs {}",
@@ -107,6 +110,7 @@ fn experiments_are_reproducible() {
         grid: ipas::svm::GridOptions::quick(),
         seed: 99,
         threads: 0,
+        journal_dir: None,
     };
     let r1 = run_experiment(&w1, &opts).unwrap();
     let r2 = run_experiment(&w2, &opts).unwrap();
@@ -128,10 +132,10 @@ fn duplication_detects_close_to_occurrence() {
         seed: 77,
         threads: 0,
     };
-    let unprot = run_campaign(&w, &eval);
+    let unprot = run_campaign(&w, &eval).expect("campaign completes");
     let (protected, _) = ProtectionPolicy::FullDuplication.apply(&w.module);
     let wp = w.with_module("HPCCG-full", protected).unwrap();
-    let prot = run_campaign(&wp, &eval);
+    let prot = run_campaign(&wp, &eval).expect("campaign completes");
 
     let median = |mut v: Vec<u64>| -> u64 {
         v.sort_unstable();

@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 
-use ipas::interp::{Machine, RunConfig, RunStatus, RtVal, Trap};
+use ipas::interp::{Machine, RtVal, RunConfig, RunStatus, Trap};
 
 /// A miniature expression AST with its own reference evaluator.
 #[derive(Clone, Debug)]
@@ -32,13 +32,16 @@ impl E {
         use Eval::*;
         macro_rules! bin {
             ($a:expr, $b:expr, $f:expr) => {{
-                let (Val(a), Val(b)) = (match $a.eval(x) {
-                    Val(v) => Val(v),
-                    e => return e,
-                }, match $b.eval(x) {
-                    Val(v) => Val(v),
-                    e => return e,
-                }) else {
+                let (Val(a), Val(b)) = (
+                    match $a.eval(x) {
+                        Val(v) => Val(v),
+                        e => return e,
+                    },
+                    match $b.eval(x) {
+                        Val(v) => Val(v),
+                        e => return e,
+                    },
+                ) else {
                     unreachable!()
                 };
                 #[allow(clippy::redundant_closure_call)]
@@ -142,8 +145,12 @@ fn expr_strategy() -> impl Strategy<Value = E> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Div(a.into(), b.into())),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Rem(a.into(), b.into())),
             inner.clone().prop_map(|a| E::Neg(a.into())),
-            (inner.clone(), inner.clone(), inner.clone(), inner)
-                .prop_map(|(a, b, c, d)| E::IfLt(a.into(), b.into(), c.into(), d.into())),
+            (inner.clone(), inner.clone(), inner.clone(), inner).prop_map(|(a, b, c, d)| E::IfLt(
+                a.into(),
+                b.into(),
+                c.into(),
+                d.into()
+            )),
         ]
     })
 }

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 
-use ipas::interp::{Machine, RunConfig, RtVal};
+use ipas::interp::{Machine, RtVal, RunConfig};
 
 /// A small random program template: a loop accumulating a mix of
 /// integer and float arithmetic over an array, parameterized by

@@ -1,0 +1,69 @@
+//! Collection strategies.
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+use crate::strategy::{BoxedStrategy, Strategy};
+
+/// A length specification for [`vec`]: either exact or a half-open
+/// range.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec length range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+/// Generates `Vec`s whose elements come from `element` and whose length
+/// is drawn from `size`.
+pub fn vec<S>(element: S, size: impl Into<SizeRange>) -> BoxedStrategy<Vec<S::Value>>
+where
+    S: Strategy + 'static,
+    S::Value: Debug,
+{
+    let size = size.into();
+    BoxedStrategy(std::rc::Rc::new(move |rng| {
+        let span = (size.hi - size.lo) as u64;
+        let len = size.lo
+            + if span == 0 {
+                0
+            } else {
+                rng.below(span) as usize
+            };
+        (0..len).map(|_| element.sample(rng)).collect()
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TestRng;
+
+    #[test]
+    fn vec_respects_length_spec() {
+        let mut rng = TestRng::from_seed(4);
+        let exact = vec(0u8..10, 7usize);
+        assert_eq!(exact.sample(&mut rng).len(), 7);
+        let ranged = vec(0u8..10, 2usize..5);
+        for _ in 0..100 {
+            let v = ranged.sample(&mut rng);
+            assert!((2..5).contains(&v.len()), "{}", v.len());
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! The usual glob-import surface: `use proptest::prelude::*;`.
+
+pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+pub use crate::{
+    prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, ProptestConfig,
+    TestCaseError, TestRng,
+};
+
+/// Alias of the crate root, mirroring `proptest::prelude::prop`.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}

@@ -1,0 +1,313 @@
+//! The [`Strategy`] trait and the combinators the workspace uses.
+
+use std::fmt::Debug;
+use std::ops::Range;
+use std::rc::Rc;
+
+use crate::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// This stand-in keeps only the sampling half of proptest's contract;
+/// there is no shrinking tree. Combinators all return a
+/// [`BoxedStrategy`], which keeps signatures simple and matches how the
+/// workspace's tests compose strategies.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Type-erases this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| self.sample(rng)))
+    }
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> BoxedStrategy<U>
+    where
+        Self: Sized + 'static,
+        U: Debug,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| f(self.sample(rng))))
+    }
+
+    /// Generates a value, then samples from the strategy `f` builds
+    /// from it (dependent generation).
+    fn prop_flat_map<S, F>(self, f: F) -> BoxedStrategy<S::Value>
+    where
+        Self: Sized + 'static,
+        S: Strategy,
+        F: Fn(Self::Value) -> S + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| f(self.sample(rng)).sample(rng)))
+    }
+
+    /// Recursive generation: `self` is the leaf case and `f` builds the
+    /// branch case from a strategy for the sub-trees. `depth` bounds the
+    /// recursion; the `_desired_size` and `_expected_branch_size` hints
+    /// are accepted for signature compatibility and ignored.
+    fn prop_recursive<F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> BoxedStrategy<Self::Value> + 'static,
+    {
+        fn at_depth<T: Debug + 'static>(
+            leaf: BoxedStrategy<T>,
+            f: Rc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+            depth: u32,
+        ) -> BoxedStrategy<T> {
+            if depth == 0 {
+                return leaf;
+            }
+            BoxedStrategy(Rc::new(move |rng| {
+                // Terminate early 1 time in 4 so sampled trees vary in
+                // size instead of always reaching full depth.
+                if rng.below(4) == 0 {
+                    leaf.sample(rng)
+                } else {
+                    f(at_depth(leaf.clone(), f.clone(), depth - 1)).sample(rng)
+                }
+            }))
+        }
+        at_depth(self.boxed(), Rc::new(f), depth)
+    }
+}
+
+/// A type-erased, reference-counted strategy.
+pub struct BoxedStrategy<T>(pub(crate) Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+
+    fn boxed(self) -> BoxedStrategy<T>
+    where
+        Self: Sized + 'static,
+    {
+        self
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among type-erased strategies.
+pub fn one_of<T: Debug + 'static>(options: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+    assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+    BoxedStrategy(Rc::new(move |rng| {
+        options[rng.below(options.len() as u64) as usize].sample(rng)
+    }))
+}
+
+macro_rules! impl_int_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                ((self.start as i128) + rng.below(span) as i128) as $ty
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let v = self.start + rng.unit_f64() * (self.end - self.start);
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Values generatable by [`any`].
+pub trait Arbitrary: Debug + Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, wide-range values; NaN/Inf-specific tests should opt
+        // in explicitly rather than receive them by surprise.
+        let mag = rng.unit_f64() * 1e12;
+        if rng.next_u64() & 1 == 1 {
+            -mag
+        } else {
+            mag
+        }
+    }
+}
+
+/// An unconstrained strategy for `T`, mirroring `proptest::any`.
+pub fn any<T: Arbitrary + 'static>() -> BoxedStrategy<T> {
+    BoxedStrategy(Rc::new(|rng| T::arbitrary(rng)))
+}
+
+/// String strategies from regex-like patterns (see [`crate::string`]).
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        crate::string::sample_pattern(self, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(99)
+    }
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (3i64..17).sample(&mut r);
+            assert!((3..17).contains(&v));
+            let f = (-2.0f64..2.0).sample(&mut r);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut r = rng();
+        let s = (0u32..10)
+            .prop_map(|v| v * 2)
+            .prop_flat_map(|v| 0u32..(v + 1));
+        for _ in 0..200 {
+            assert!(s.sample(&mut r) < 20);
+        }
+    }
+
+    #[test]
+    fn one_of_reaches_every_option() {
+        let mut r = rng();
+        let s = one_of(vec![
+            Just(1u8).boxed(),
+            Just(2u8).boxed(),
+            Just(3u8).boxed(),
+        ]);
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[s.sample(&mut r) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            #[allow(dead_code)]
+            Leaf(i64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let s = (0i64..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(5, 32, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(a.into(), b.into()))
+            });
+        let mut r = rng();
+        let mut max_seen = 0;
+        for _ in 0..200 {
+            let t = s.sample(&mut r);
+            max_seen = max_seen.max(depth(&t));
+            assert!(depth(&t) <= 5);
+        }
+        assert!(max_seen >= 2, "recursion should sometimes nest: {max_seen}");
+    }
+}
