@@ -18,6 +18,13 @@ use crate::slice::{forward_slice_with, SliceCounts};
 /// Number of features per instruction.
 pub const NUM_FEATURES: usize = 31;
 
+/// Version of the feature schema (the set, order, and semantics of the
+/// [`Feature`] columns). Artifact-store fingerprints of anything derived
+/// from feature vectors include this number, so changing how features
+/// are computed invalidates cached training sets and models instead of
+/// silently reusing rows extracted under the old definition.
+pub const FEATURE_SCHEMA_VERSION: u32 = 1;
+
 /// Names of the 31 features of Table 1, indexed by [`Feature`].
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 #[repr(usize)]

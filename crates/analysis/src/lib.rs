@@ -40,6 +40,8 @@ pub mod loops;
 pub mod slice;
 
 pub use defuse::DefUse;
-pub use features::{Feature, FeatureExtractor, FeatureVector, NUM_FEATURES};
+pub use features::{
+    Feature, FeatureExtractor, FeatureVector, FEATURE_SCHEMA_VERSION, NUM_FEATURES,
+};
 pub use loops::LoopInfo;
 pub use slice::forward_slice;

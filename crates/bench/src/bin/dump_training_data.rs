@@ -1,18 +1,48 @@
-//! Exports a workload's labeled training set as CSV (31 features +
-//! outcome + SOC/symptom labels), for offline analysis with external ML
-//! tooling.
+//! Exports a workload's labeled training set in the artifact store's
+//! `TrainingSet` format (31 features + bit + outcome + SOC/symptom
+//! labels), for archival and offline analysis.
 //!
-//! Usage: `dump_training_data [workload] [runs]` — workload is one of
-//! `comd|hpccg|amg|fft|is` (default `hpccg`), runs defaults to the
-//! profile's training size. Output goes to stdout.
+//! Usage:
+//!
+//! * `dump_training_data [workload] [runs]` — run (or, with
+//!   `IPAS_STORE_DIR` set, memoize) a training campaign and print the
+//!   `training-set` artifact to stdout. Workload is one of
+//!   `comd|hpccg|amg|fft|is` (default `hpccg`); runs defaults to the
+//!   profile's training size.
+//! * `dump_training_data decode <file>` — decode a saved artifact and
+//!   print its rows as CSV for external ML tooling.
 
-use ipas_analysis::{Feature, FeatureExtractor};
 use ipas_bench::Profile;
-use ipas_faultsim::{run_campaign, CampaignConfig, Outcome};
+use ipas_faultsim::{run_campaign, CampaignConfig};
+use ipas_store::{Key, MemoError, Store, TrainingSet};
 use ipas_workloads::Kind;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("decode") {
+        let path = args.get(2).unwrap_or_else(|| {
+            eprintln!("usage: dump_training_data decode <artifact-file>");
+            std::process::exit(2);
+        });
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("[dump] cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        let set: TrainingSet = ipas_store::artifact::decode_from(&text, path).unwrap_or_else(|e| {
+            eprintln!("[dump] cannot decode {path}: {e}");
+            std::process::exit(1);
+        });
+        print!("{}", set.to_csv());
+        eprintln!(
+            "[dump] {}: {} rows, {} SOC, {} symptom",
+            set.workload,
+            set.rows.len(),
+            set.num_soc(),
+            set.num_symptom()
+        );
+        return;
+    }
+
     let kind = match args.get(1).map(String::as_str) {
         Some("comd") => Kind::Comd,
         Some("amg") => Kind::Amg,
@@ -27,36 +57,49 @@ fn main() {
         .unwrap_or(opts.training_runs);
 
     let workload = kind.build(kind.base_input()).expect("workload builds");
-    let campaign = run_campaign(
-        &workload,
-        &CampaignConfig {
-            runs,
-            seed: opts.seed,
-            threads: opts.threads,
-        },
-    )
-    .expect("training campaign completes");
-    let extractor = FeatureExtractor::new(&workload.module);
+    let config = CampaignConfig {
+        runs,
+        seed: opts.seed,
+        threads: opts.threads,
+    };
+    let run_training = || -> Result<TrainingSet, ipas_faultsim::CampaignError> {
+        let campaign = run_campaign(&workload, &config)?;
+        Ok(ipas_core::training_set_artifact(&workload, &campaign))
+    };
+    let store = Store::from_env().unwrap_or_else(|e| {
+        eprintln!("[dump] artifact store unavailable: {e}");
+        std::process::exit(1);
+    });
+    let set = match &store {
+        Some(store) => {
+            let key = Key::of(&ipas_core::campaign_fingerprint(&workload.module, &config));
+            let (set, outcome) = store.memoize(&key, run_training).unwrap_or_else(|e| {
+                let msg = match e {
+                    MemoError::Store(e) => e.to_string(),
+                    MemoError::Compute(e) => e.to_string(),
+                };
+                eprintln!("[dump] training campaign failed: {msg}");
+                std::process::exit(1);
+            });
+            eprintln!(
+                "[dump] store: campaign {} ({})",
+                outcome.label(),
+                key.short()
+            );
+            set
+        }
+        None => run_training().unwrap_or_else(|e| {
+            eprintln!("[dump] training campaign failed: {e}");
+            std::process::exit(1);
+        }),
+    };
 
-    // Header.
-    let mut header: Vec<&str> = Feature::ALL.iter().map(|f| f.name()).collect();
-    header.extend_from_slice(&["bit", "outcome", "soc_label", "symptom_label"]);
-    println!("{}", header.join(","));
-
-    for rec in &campaign.records {
-        let (fid, iid) = rec.site;
-        let fv = extractor.extract(fid, iid);
-        let mut cells: Vec<String> = fv.as_slice().iter().map(|v| v.to_string()).collect();
-        cells.push(rec.bit.to_string());
-        cells.push(rec.outcome.label().to_string());
-        cells.push(((rec.outcome == Outcome::Soc) as u8).to_string());
-        cells.push(((rec.outcome == Outcome::Symptom) as u8).to_string());
-        println!("{}", cells.join(","));
-    }
+    print!("{}", ipas_store::artifact::encode(&set));
     eprintln!(
-        "[dump] {}: {} rows, {:.1}% SOC",
+        "[dump] {}: {} rows, {} SOC, {} symptom",
         kind.name(),
-        campaign.records.len(),
-        campaign.fraction(Outcome::Soc) * 100.0
+        set.rows.len(),
+        set.num_soc(),
+        set.num_symptom()
     );
 }

@@ -18,6 +18,12 @@
 //! in that directory, and re-running a killed binary resumes the
 //! interrupted campaign instead of restarting it (see
 //! docs/campaign-resilience.md).
+//!
+//! With `IPAS_STORE_DIR` set, the training campaign, grid search, and
+//! duplication stages of every experiment are additionally memoized in
+//! the artifact store by input fingerprint (see docs/artifact-store.md),
+//! so re-running a finished experiment — or sharing one store across
+//! binaries — skips those stages entirely.
 
 #![warn(missing_docs)]
 
@@ -75,6 +81,7 @@ impl Profile {
                 seed: 2016,
                 threads: 0,
                 journal_dir: journal_dir_from_env(),
+                store_dir: store_dir_from_env(),
             },
             Profile::Default => ExperimentOptions {
                 training_runs: 600,
@@ -89,6 +96,7 @@ impl Profile {
                 seed: 2016,
                 threads: 0,
                 journal_dir: journal_dir_from_env(),
+                store_dir: store_dir_from_env(),
             },
             Profile::Paper => ExperimentOptions {
                 training_runs: 2500,
@@ -98,6 +106,7 @@ impl Profile {
                 seed: 2016,
                 threads: 0,
                 journal_dir: journal_dir_from_env(),
+                store_dir: store_dir_from_env(),
             },
         }
     }
@@ -106,6 +115,11 @@ impl Profile {
 /// The campaign checkpoint directory selected via `IPAS_JOURNAL_DIR`.
 fn journal_dir_from_env() -> Option<PathBuf> {
     std::env::var_os("IPAS_JOURNAL_DIR").map(PathBuf::from)
+}
+
+/// The artifact-store directory selected via `IPAS_STORE_DIR`.
+fn store_dir_from_env() -> Option<PathBuf> {
+    std::env::var_os(ipas_store::STORE_DIR_ENV).map(PathBuf::from)
 }
 
 /// One evaluated variant, flattened for caching and table printing.
@@ -354,43 +368,78 @@ pub fn protect_with_named_config(
 ) -> (ipas_ir::Module, ipas_core::DuplicationStats) {
     let opts = profile.options();
     let workload = kind.build(kind.base_input()).expect("base workload builds");
-    // Reuse the experiment's training journal (same name, seed, and
-    // scale), so retraining after a cached experiment costs nothing
-    // extra to checkpoint.
-    let campaign_opts = ipas_faultsim::CampaignOptions {
-        journal: opts.journal_dir.as_deref().map(|dir| {
-            let _ = std::fs::create_dir_all(dir);
-            ipas_core::campaign_journal_path(dir, &workload.name, "training", opts.seed)
-        }),
-        ..ipas_faultsim::CampaignOptions::default()
+    let store = opts
+        .store_dir
+        .as_ref()
+        .map(ipas_store::Store::open)
+        .transpose()
+        .expect("artifact store opens");
+    let train_cfg = ipas_faultsim::CampaignConfig {
+        runs: opts.training_runs,
+        seed: opts.seed,
+        threads: opts.threads,
     };
-    let training = ipas_faultsim::run_campaign_with(
-        &workload,
-        &ipas_faultsim::CampaignConfig {
-            runs: opts.training_runs,
-            seed: opts.seed,
-            threads: opts.threads,
+    let campaign_fp = ipas_core::campaign_fingerprint(&workload.module, &train_cfg);
+    // The campaign, training set, and models share keys with the cached
+    // experiment, so after `load_or_run_experiments` with a store this
+    // retraining resolves entirely from artifacts. Without a store, it
+    // still reuses the experiment's checkpoint journal.
+    let run_training = || {
+        let campaign_opts = ipas_faultsim::CampaignOptions {
+            journal: opts.journal_dir.as_deref().map(|dir| {
+                let _ = std::fs::create_dir_all(dir);
+                ipas_core::campaign_journal_path(dir, &workload.name, "training", opts.seed)
+            }),
+            ..ipas_faultsim::CampaignOptions::default()
+        };
+        let training = ipas_faultsim::run_campaign_with(&workload, &train_cfg, &campaign_opts)
+            .unwrap_or_else(|e| panic!("{} training campaign failed: {e}", kind.name()));
+        Ok::<_, std::convert::Infallible>(ipas_core::training_set_artifact(&workload, &training))
+    };
+    let set = match &store {
+        Some(store) => {
+            store
+                .memoize(&ipas_store::Key::of(&campaign_fp), run_training)
+                .unwrap_or_else(|e| match e {
+                    ipas_store::MemoError::Store(e) => panic!("artifact store failed: {e}"),
+                    ipas_store::MemoError::Compute(e) => match e {},
+                })
+                .0
+        }
+        None => match run_training() {
+            Ok(set) => set,
         },
-        &campaign_opts,
-    )
-    .unwrap_or_else(|e| panic!("{} training campaign failed: {e}", kind.name()));
+    };
     let index: usize = config_name
         .rsplit('#')
         .next()
         .and_then(|s| s.parse::<usize>().ok())
         .expect("config names look like IPAS#k")
         - 1;
-    let data = ipas_core::build_training_set(
-        &workload,
-        &training.records,
+    let training_fp = ipas_core::training_fingerprint(
+        &campaign_fp,
         ipas_core::LabelKind::SocGenerating,
+        &opts.grid,
+        opts.top_n,
     );
-    let models = ipas_core::train_top_configs(&data, &opts.grid, opts.top_n);
+    let (models, _) = ipas_core::memoized_models(store.as_ref(), &training_fp, opts.top_n, || {
+        let data = ipas_core::dataset_from_artifact(&set, ipas_core::LabelKind::SocGenerating);
+        ipas_core::train_top_configs(&data, &opts.grid, opts.top_n)
+    })
+    .expect("artifact store writes models");
     let model = models
         .into_iter()
         .nth(index)
         .expect("best index within top-N");
-    ipas_core::ProtectionPolicy::Ipas(model).apply(&workload.module)
+    let model_key = ipas_store::Key::ranked(&training_fp, index);
+    let (module, stats, _) = ipas_core::memoized_protect(
+        store.as_ref(),
+        &workload.module,
+        &ipas_core::ProtectionPolicy::Ipas(model),
+        Some(&model_key),
+    )
+    .expect("duplication pass succeeds");
+    (module, stats)
 }
 
 /// Prints a simple aligned table: `header` then rows.

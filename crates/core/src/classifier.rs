@@ -1,7 +1,11 @@
 //! Step 3 of the workflow: classifier training and model selection.
 
 use ipas_analysis::features::FeatureVector;
-use ipas_svm::{grid_search, Classifier, ConfigScore, Dataset, GridOptions, Scaler, Svm};
+use ipas_store::TrainedModel;
+use ipas_svm::{
+    grid_search, ClassAccuracy, Classifier, ConfigScore, Dataset, GridOptions, Scaler, Svm,
+    SvmParams,
+};
 
 /// A fully trained IPAS classifier: the standardizer fit on the training
 /// set plus the SVM trained with one of the top-ranked (C, γ)
@@ -34,6 +38,72 @@ impl TrainedClassifier {
     pub fn predict_raw(&self, features: &[f64]) -> bool {
         let row = self.scaler.transform_row(features);
         self.svm.predict(&row)
+    }
+
+    /// Exports this classifier as a store artifact. All floats are
+    /// carried as bit patterns, so `from_export(export(m))` yields a
+    /// model with bit-identical decision function.
+    pub fn export(&self) -> TrainedModel {
+        TrainedModel {
+            c: self.score.params.c,
+            gamma: self.score.params.gamma,
+            pos_weight: self.score.params.pos_weight,
+            tol: self.score.params.tol,
+            max_passes: self.score.params.max_passes,
+            f_score: self.score.f_score,
+            acc1: self.score.accuracy.acc1,
+            acc2: self.score.accuracy.acc2,
+            scaler_mean: self.scaler.mean().to_vec(),
+            scaler_std: self.scaler.std().to_vec(),
+            support: self.svm.support_vectors().to_vec(),
+            coef: self.svm.coefficients().to_vec(),
+            bias: self.svm.bias(),
+        }
+    }
+
+    /// Reconstructs a classifier from an exported artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the inconsistency when the artifact's
+    /// parts do not form a valid model (mismatched lengths, ragged
+    /// support vectors, non-finite `γ`, non-positive scaler
+    /// deviations).
+    pub fn from_export(model: &TrainedModel) -> Result<Self, String> {
+        let scaler = Scaler::from_parts(model.scaler_mean.clone(), model.scaler_std.clone())?;
+        let svm = Svm::from_parts(
+            model.support.clone(),
+            model.coef.clone(),
+            model.bias,
+            model.gamma,
+        )?;
+        if let Some(sv) = svm.support_vectors().first() {
+            if sv.len() != scaler.mean().len() {
+                return Err(format!(
+                    "support vector dimension {} does not match scaler dimension {}",
+                    sv.len(),
+                    scaler.mean().len()
+                ));
+            }
+        }
+        Ok(TrainedClassifier {
+            scaler,
+            svm,
+            score: ConfigScore {
+                params: SvmParams {
+                    c: model.c,
+                    gamma: model.gamma,
+                    pos_weight: model.pos_weight,
+                    tol: model.tol,
+                    max_passes: model.max_passes,
+                },
+                accuracy: ClassAccuracy {
+                    acc1: model.acc1,
+                    acc2: model.acc2,
+                },
+                f_score: model.f_score,
+            },
+        })
     }
 }
 

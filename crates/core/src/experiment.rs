@@ -14,13 +14,15 @@ use ipas_faultsim::{
     run_campaign_with, CampaignConfig, CampaignError, CampaignOptions, CampaignResult,
     JournalError, Outcome, Workload, WorkloadError,
 };
+use ipas_store::{Key, ProtectedModule, Store, StoreError, TrainingSet};
 use ipas_svm::GridOptions;
 
 use crate::classifier::train_top_configs;
 use crate::duplication::DuplicationStats;
+use crate::memo;
 use crate::policy::ProtectionPolicy;
 use crate::selection::ideal_point_index;
-use crate::training::{build_training_set, LabelKind};
+use crate::training::LabelKind;
 
 /// Options controlling one experiment.
 #[derive(Debug, Clone)]
@@ -42,6 +44,11 @@ pub struct ExperimentOptions {
     /// records there and a re-invocation of the experiment resumes the
     /// interrupted campaign instead of restarting it.
     pub journal_dir: Option<PathBuf>,
+    /// Artifact-store directory (`IPAS_STORE_DIR`). When set, the
+    /// training campaign, classifier training, and duplication stages
+    /// are memoized by input fingerprint: a re-run with identical
+    /// inputs resolves them from the store instead of recomputing.
+    pub store_dir: Option<PathBuf>,
 }
 
 impl Default for ExperimentOptions {
@@ -54,6 +61,7 @@ impl Default for ExperimentOptions {
             seed: 2016,
             threads: 0,
             journal_dir: None,
+            store_dir: None,
         }
     }
 }
@@ -155,6 +163,8 @@ pub enum ExperimentError {
     Workload(WorkloadError),
     /// A fault-injection campaign failed (journal or run-setup error).
     Campaign(CampaignError),
+    /// The artifact store failed (I/O underneath `store_dir`).
+    Store(StoreError),
 }
 
 impl fmt::Display for ExperimentError {
@@ -165,6 +175,7 @@ impl fmt::Display for ExperimentError {
             }
             ExperimentError::Workload(e) => write!(f, "workload preparation failed: {e}"),
             ExperimentError::Campaign(e) => write!(f, "campaign failed: {e}"),
+            ExperimentError::Store(e) => write!(f, "artifact store failed: {e}"),
         }
     }
 }
@@ -174,8 +185,15 @@ impl std::error::Error for ExperimentError {
         match self {
             ExperimentError::Workload(e) => Some(e),
             ExperimentError::Campaign(e) => Some(e),
+            ExperimentError::Store(e) => Some(e),
             ExperimentError::DegenerateTraining(_) => None,
         }
+    }
+}
+
+impl From<StoreError> for ExperimentError {
+    fn from(e: StoreError) -> Self {
+        ExperimentError::Store(e)
     }
 }
 
@@ -226,6 +244,46 @@ fn campaign_options(
         journal: journal_dir.map(|dir| campaign_journal_path(dir, workload, label, seed)),
         ..CampaignOptions::default()
     }
+}
+
+/// Applies `policy` to `module`, memoized through the store when one is
+/// configured: a fingerprint hit returns the previously protected
+/// module (byte-identical IR text) without re-running classification or
+/// duplication.
+pub fn memoized_protect(
+    store: Option<&Store>,
+    module: &ipas_ir::Module,
+    policy: &ProtectionPolicy,
+    model_key: Option<&Key>,
+) -> Result<(ipas_ir::Module, DuplicationStats, ipas_store::CacheOutcome), ExperimentError> {
+    let Some(store) = store else {
+        let (m, stats) = policy.apply(module);
+        return Ok((m, stats, ipas_store::CacheOutcome::Miss));
+    };
+    let fp = memo::protect_fingerprint(module, policy.label(), model_key);
+    let (artifact, outcome) = store
+        .memoize(&Key::of(&fp), || {
+            let (m, stats) = policy.apply(module);
+            Ok::<_, ExperimentError>(ProtectedModule::from_module(
+                &m,
+                stats.considered as u64,
+                stats.duplicated as u64,
+                stats.checks as u64,
+            ))
+        })
+        .map_err(|e| memo::flatten_memo(e, ExperimentError::Store))?;
+    let m = artifact.module().map_err(|e| {
+        ExperimentError::Store(StoreError::Corrupt {
+            source: format!("protected-module {}", Key::of(&fp)),
+            reason: format!("stored IR no longer parses: {e}"),
+        })
+    })?;
+    let stats = DuplicationStats {
+        considered: artifact.considered as usize,
+        duplicated: artifact.duplicated as usize,
+        checks: artifact.checks as usize,
+    };
+    Ok((m, stats, outcome))
 }
 
 /// Evaluates one protected module against the reference workload.
@@ -284,19 +342,39 @@ pub fn run_experiment(
         })?;
     }
     let journal_dir = opts.journal_dir.as_deref();
+    let store = opts
+        .store_dir
+        .as_ref()
+        .map(Store::open)
+        .transpose()
+        .map_err(ExperimentError::Store)?;
 
     // --- Step 2: training campaign on the unprotected code. -------------
-    let training = run_campaign_with(
-        workload,
-        &CampaignConfig {
-            runs: opts.training_runs,
-            seed: opts.seed,
-            threads: opts.threads,
-        },
-        &campaign_options(journal_dir, &workload.name, "training", opts.seed),
-    )?;
-    let soc_data = build_training_set(workload, &training.records, LabelKind::SocGenerating);
-    let sym_data = build_training_set(workload, &training.records, LabelKind::SymptomGenerating);
+    let train_cfg = CampaignConfig {
+        runs: opts.training_runs,
+        seed: opts.seed,
+        threads: opts.threads,
+    };
+    let campaign_fp = memo::campaign_fingerprint(&workload.module, &train_cfg);
+    let run_training = || -> Result<TrainingSet, ExperimentError> {
+        let training = run_campaign_with(
+            workload,
+            &train_cfg,
+            &campaign_options(journal_dir, &workload.name, "training", opts.seed),
+        )?;
+        Ok(memo::training_set_artifact(workload, &training))
+    };
+    let training_set = match &store {
+        Some(store) => {
+            store
+                .memoize(&Key::of(&campaign_fp), run_training)
+                .map_err(|e| memo::flatten_memo(e, ExperimentError::Store))?
+                .0
+        }
+        None => run_training()?,
+    };
+    let soc_data = memo::dataset_from_artifact(&training_set, LabelKind::SocGenerating);
+    let sym_data = memo::dataset_from_artifact(&training_set, LabelKind::SymptomGenerating);
     if soc_data.num_positive() == 0 {
         return Err(ExperimentError::DegenerateTraining("SOC"));
     }
@@ -311,10 +389,27 @@ pub fn run_experiment(
     }
 
     // --- Step 3: train top-N classifiers for both label kinds. -----------
+    let ipas_fp = memo::training_fingerprint(
+        &campaign_fp,
+        LabelKind::SocGenerating,
+        &opts.grid,
+        opts.top_n,
+    );
+    let baseline_fp = memo::training_fingerprint(
+        &campaign_fp,
+        LabelKind::SymptomGenerating,
+        &opts.grid,
+        opts.top_n,
+    );
     let train_start = Instant::now();
-    let ipas_models = train_top_configs(&soc_data, &opts.grid, opts.top_n);
+    let (ipas_models, _) = memo::memoized_models(store.as_ref(), &ipas_fp, opts.top_n, || {
+        train_top_configs(&soc_data, &opts.grid, opts.top_n)
+    })?;
     let training_time = train_start.elapsed();
-    let baseline_models = train_top_configs(&sym_data, &opts.grid, opts.top_n);
+    let (baseline_models, _) =
+        memo::memoized_models(store.as_ref(), &baseline_fp, opts.top_n, || {
+            train_top_configs(&sym_data, &opts.grid, opts.top_n)
+        })?;
 
     // --- Step 4 + evaluation campaigns. -----------------------------------
     let eval = CampaignConfig {
@@ -350,8 +445,10 @@ pub fn run_experiment(
     let mut duplication_time = Duration::ZERO;
     for (i, model) in ipas_models.into_iter().enumerate() {
         let policy = ProtectionPolicy::Ipas(model);
+        let model_key = Key::ranked(&ipas_fp, i);
         let dup_start = Instant::now();
-        let (module, stats) = policy.apply(&workload.module);
+        let (module, stats, _) =
+            memoized_protect(store.as_ref(), &workload.module, &policy, Some(&model_key))?;
         if i == 0 {
             duplication_time = dup_start.elapsed();
         }
@@ -369,7 +466,9 @@ pub fn run_experiment(
     let mut baseline = Vec::with_capacity(baseline_models.len());
     for (i, model) in baseline_models.into_iter().enumerate() {
         let policy = ProtectionPolicy::Baseline(model);
-        let (module, stats) = policy.apply(&workload.module);
+        let model_key = Key::ranked(&baseline_fp, i);
+        let (module, stats, _) =
+            memoized_protect(store.as_ref(), &workload.module, &policy, Some(&model_key))?;
         baseline.push(evaluate_variant(
             workload,
             module,

@@ -50,6 +50,7 @@
 pub mod classifier;
 pub mod duplication;
 pub mod experiment;
+pub mod memo;
 pub mod policy;
 pub mod selection;
 pub mod training;
@@ -59,8 +60,12 @@ pub use duplication::{
     duplicable, protect_module, protect_module_placed, CheckPlacement, DuplicationStats,
 };
 pub use experiment::{
-    campaign_journal_path, evaluate_variant, run_experiment, ExperimentOptions, ExperimentResult,
-    VariantResult,
+    campaign_journal_path, evaluate_variant, memoized_protect, run_experiment, ExperimentOptions,
+    ExperimentResult, VariantResult,
+};
+pub use memo::{
+    campaign_fingerprint, dataset_from_artifact, eval_fingerprint, memoized_models,
+    module_fingerprint, protect_fingerprint, training_fingerprint, training_set_artifact,
 };
 pub use policy::ProtectionPolicy;
 pub use selection::ideal_point_index;

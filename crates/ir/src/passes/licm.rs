@@ -49,10 +49,14 @@ fn find_loops(func: &Function, dt: &DomTree) -> Vec<NaturalLoop> {
             }
         }
     }
-    by_header
+    // Sorted by header so hoisting order (and thus the printed IR) is
+    // deterministic — content-addressed artifact keys depend on it.
+    let mut loops: Vec<NaturalLoop> = by_header
         .into_iter()
         .map(|(header, body)| NaturalLoop { header, body })
-        .collect()
+        .collect();
+    loops.sort_by_key(|lp| lp.header.index());
+    loops
 }
 
 /// The unique predecessor of the header from outside the loop, if any.
@@ -113,9 +117,11 @@ pub fn hoist_loop_invariants(func: &mut Function) -> usize {
                     .map(|bb| lp.body.contains(bb))
                     .unwrap_or(false)
         };
+        let mut body: Vec<BlockId> = lp.body.iter().copied().collect();
+        body.sort_by_key(|b| b.index());
         loop {
             let mut to_hoist: Vec<(BlockId, InstId)> = Vec::new();
-            for &bb in &lp.body {
+            for &bb in &body {
                 // In irreducible CFGs a natural-loop body block need not
                 // be dominated by the header; hoisting from such a block
                 // could break SSA dominance. Skip them.

@@ -61,7 +61,11 @@ pub fn promote_memory_to_registers(func: &mut Function) -> usize {
     // phis[(block, slot)] = phi inst id.
     let mut phis: HashMap<(BlockId, usize), InstId> = HashMap::new();
     for slot in 0..count {
+        // Sorted so phi InstIds (and thus printed value numbers) are
+        // stable across runs — the store keys protected modules by the
+        // printed IR text.
         let mut work: Vec<BlockId> = def_blocks[slot].iter().copied().collect();
+        work.sort_by_key(|b| b.index());
         let mut placed: HashSet<BlockId> = HashSet::new();
         while let Some(bb) = work.pop() {
             for &frontier in &df[bb.index()] {

@@ -1,0 +1,147 @@
+//! Property-based tests for printer → parser round-trips.
+//!
+//! The artifact store content-addresses modules by their printed text
+//! (`ipas-store` hashes `Module::to_text`), so the text form must be a
+//! lossless, stable encoding: parsing a printed module and printing it
+//! again must reproduce the same text, and every non-NaN float constant
+//! must survive with its exact bit pattern. NaN payloads are the one
+//! documented exception — the printer canonicalizes every NaN to `NaN`.
+
+use proptest::prelude::*;
+
+use ipas_ir::builder::FunctionBuilder;
+use ipas_ir::parser::parse_module;
+use ipas_ir::{BinOp, Constant, Inst, Module, Type, Value};
+
+/// Builds a module exercising the float-heavy printer paths: a chain of
+/// float arithmetic over the given constants, a comparison, and a
+/// select, split across two functions.
+fn float_module(bits: &[u64]) -> Module {
+    let mut module = Module::new("prop");
+
+    let mut b = FunctionBuilder::new("acc", &[Type::F64], Type::F64);
+    let mut cur = Value::param(0);
+    for (i, &pattern) in bits.iter().enumerate() {
+        let c = Value::Const(Constant::F64Bits(pattern));
+        let op = match i % 4 {
+            0 => BinOp::Fadd,
+            1 => BinOp::Fsub,
+            2 => BinOp::Fmul,
+            _ => BinOp::Fdiv,
+        };
+        cur = b.binary(op, Type::F64, cur, c);
+    }
+    b.ret(Some(cur));
+    module.add_function(b.finish());
+
+    let mut b = FunctionBuilder::new("pick", &[Type::F64], Type::F64);
+    let first = Value::Const(Constant::F64Bits(bits.first().copied().unwrap_or(0)));
+    let c = b.fcmp(ipas_ir::FcmpPred::Olt, Value::param(0), first);
+    let s = b.select(Type::F64, c, Value::param(0), first);
+    b.ret(Some(s));
+    module.add_function(b.finish());
+
+    module
+}
+
+/// Collects every float constant (as bits) in module order.
+fn float_bits(module: &Module) -> Vec<u64> {
+    let mut out = Vec::new();
+    for (_, func) in module.functions() {
+        for bb in func.block_ids() {
+            for &id in func.block(bb).insts() {
+                func.inst(id).for_each_operand(|v| {
+                    if let Value::Const(Constant::F64Bits(bits)) = v {
+                        out.push(bits);
+                    }
+                });
+            }
+        }
+    }
+    out
+}
+
+fn is_nan(bits: u64) -> bool {
+    f64::from_bits(bits).is_nan()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// print → parse → print is a fixpoint for arbitrary f64 bit
+    /// patterns (including NaNs and infinities), and non-NaN constants
+    /// round-trip bit-exactly.
+    #[test]
+    fn printed_module_is_a_stable_lossless_encoding(
+        bits in proptest::collection::vec(any::<u64>(), 1..12)
+    ) {
+        let module = float_module(&bits);
+        let text = module.to_text();
+        let reparsed = parse_module(&text).expect("printed module parses");
+        let text2 = reparsed.to_text();
+        prop_assert_eq!(&text, &text2, "printed text must be a fixpoint");
+
+        let before = float_bits(&module);
+        let after = float_bits(&reparsed);
+        prop_assert_eq!(before.len(), after.len());
+        for (b, a) in before.iter().zip(after.iter()) {
+            if is_nan(*b) {
+                prop_assert!(is_nan(*a), "NaN must stay NaN");
+            } else {
+                prop_assert_eq!(b, a, "non-NaN constants must be bit-exact");
+            }
+        }
+    }
+
+    /// Interesting boundary values round-trip bit-exactly (subnormals,
+    /// signed zero, max/min finite, near-integer values that hit the
+    /// `{v:.1}` fast path).
+    #[test]
+    fn boundary_floats_roundtrip(exp in 0u64..0x7ff, frac in any::<u64>(), sign in any::<bool>()) {
+        // exp < 0x7ff keeps the exponent out of the NaN/inf range.
+        let bits = ((sign as u64) << 63) | (exp << 52) | (frac & ((1 << 52) - 1));
+        let module = float_module(&[bits, 0.0f64.to_bits(), (-0.0f64).to_bits(), 1e15f64.to_bits()]);
+        let reparsed = parse_module(&module.to_text()).expect("parses");
+        prop_assert_eq!(float_bits(&module), float_bits(&reparsed));
+    }
+}
+
+/// Non-property check: a handful of directed patterns that have burned
+/// float printers before.
+#[test]
+fn directed_float_patterns_roundtrip() {
+    let patterns: &[u64] = &[
+        0,                     // +0.0
+        0x8000_0000_0000_0000, // -0.0
+        1,                     // smallest subnormal
+        0x000f_ffff_ffff_ffff, // largest subnormal
+        0x7fef_ffff_ffff_ffff, // f64::MAX
+        0x7ff0_0000_0000_0000, // +inf
+        0xfff0_0000_0000_0000, // -inf
+        (std::f64::consts::PI / 3.0).to_bits(),
+        1e15f64.to_bits(), // edge of the `{v:.1}` fast path
+        (1e15f64 - 1.0).to_bits(),
+        0.1f64.to_bits(),
+    ];
+    let module = float_module(patterns);
+    let text = module.to_text();
+    let reparsed = parse_module(&text).expect("parses");
+    assert_eq!(text, reparsed.to_text());
+    assert_eq!(float_bits(&module), float_bits(&reparsed));
+}
+
+/// A module with no floats at all still round-trips (guards the integer
+/// and control-flow printer paths this suite otherwise skips).
+#[test]
+fn integer_module_roundtrips() {
+    let mut module = Module::new("ints");
+    let mut b = FunctionBuilder::new("f", &[Type::I64], Type::I64);
+    let x = b.binary(BinOp::Add, Type::I64, Value::param(0), Value::i64(i64::MIN));
+    let y = b.binary(BinOp::Xor, Type::I64, x, Value::i64(i64::MAX));
+    b.ret(Some(y));
+    module.add_function(b.finish());
+    let text = module.to_text();
+    let reparsed = parse_module(&text).expect("parses");
+    assert_eq!(text, reparsed.to_text());
+    let _ = Inst::Ret { value: None }; // silence unused-import lints on feature subsets
+}

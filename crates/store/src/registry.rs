@@ -1,0 +1,254 @@
+//! The model registry: human-chosen names for store keys.
+//!
+//! A store key is a fingerprint — stable but unmemorable. The registry
+//! maps names like `mm-base` to `(kind, key)` pairs so models can be
+//! saved once (`ipas train --save-model mm-base`) and reused by name
+//! (`ipas protect --model mm-base`). It is a single line-oriented TSV
+//! file, rewritten atomically through the store's staging directory:
+//!
+//! ```text
+//! name<TAB>kind-tag<TAB>key<TAB>note
+//! ```
+//!
+//! Registered entries are the gc roots: [`crate::Store::gc`] removes
+//! every object the registry does not reference.
+
+use std::fs;
+use std::path::PathBuf;
+
+use crate::artifact::{ArtifactKind, StoreError};
+use crate::store::Key;
+
+/// One named entry in the registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegistryEntry {
+    /// Human-chosen name (no whitespace).
+    pub name: String,
+    /// Kind of the referenced artifact.
+    pub kind: ArtifactKind,
+    /// Store key of the referenced artifact.
+    pub key: Key,
+    /// Free-form note (workload, date, ...); tabs/newlines stripped.
+    pub note: String,
+}
+
+/// Handle to a store's `registry.tsv`.
+#[derive(Debug)]
+pub struct Registry {
+    path: PathBuf,
+    tmp_dir: PathBuf,
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+}
+
+fn sanitize_note(note: &str) -> String {
+    note.chars()
+        .map(|c| {
+            if c == '\t' || c == '\n' || c == '\r' {
+                ' '
+            } else {
+                c
+            }
+        })
+        .collect()
+}
+
+impl Registry {
+    pub(crate) fn new(path: PathBuf, tmp_dir: PathBuf) -> Self {
+        Registry { path, tmp_dir }
+    }
+
+    /// Reads all entries (empty when the file does not exist yet).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on read failure, [`StoreError::Corrupt`] on
+    /// a malformed line.
+    pub fn entries(&self) -> Result<Vec<RegistryEntry>, StoreError> {
+        let text = match fs::read_to_string(&self.path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => {
+                return Err(StoreError::Io {
+                    path: self.path.clone(),
+                    error: e,
+                })
+            }
+        };
+        let source = self.path.display().to_string();
+        let corrupt = |reason: String| StoreError::Corrupt {
+            source: source.clone(),
+            reason,
+        };
+        let mut out = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let mut cols = line.splitn(4, '\t');
+            let name = cols.next().unwrap_or_default();
+            let tag = cols.next().unwrap_or_default();
+            let key = cols.next().unwrap_or_default();
+            let note = cols.next().unwrap_or_default();
+            let kind = ArtifactKind::from_tag(tag)
+                .ok_or_else(|| corrupt(format!("line {}: unknown kind {tag:?}", lineno + 1)))?;
+            if !valid_name(name) {
+                return Err(corrupt(format!("line {}: bad name {name:?}", lineno + 1)));
+            }
+            out.push(RegistryEntry {
+                name: name.to_string(),
+                kind,
+                key: Key::parse(key)?,
+                note: note.to_string(),
+            });
+        }
+        Ok(out)
+    }
+
+    fn write(&self, entries: &[RegistryEntry]) -> Result<(), StoreError> {
+        let mut text = String::new();
+        for e in entries {
+            text.push_str(&format!(
+                "{}\t{}\t{}\t{}\n",
+                e.name,
+                e.kind.tag(),
+                e.key,
+                sanitize_note(&e.note)
+            ));
+        }
+        let tmp = self
+            .tmp_dir
+            .join(format!("registry-{}.tmp", std::process::id()));
+        fs::write(&tmp, &text).map_err(|e| StoreError::Io {
+            path: tmp.clone(),
+            error: e,
+        })?;
+        fs::rename(&tmp, &self.path).map_err(|e| StoreError::Io {
+            path: self.path.clone(),
+            error: e,
+        })
+    }
+
+    /// Registers (or re-points) `name` at `(kind, key)`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::BadName`] for invalid names, plus read/write
+    /// failures from the underlying file.
+    pub fn register(
+        &self,
+        name: &str,
+        kind: ArtifactKind,
+        key: &Key,
+        note: &str,
+    ) -> Result<(), StoreError> {
+        if !valid_name(name) {
+            return Err(StoreError::BadName(name.to_string()));
+        }
+        let mut entries = self.entries()?;
+        entries.retain(|e| e.name != name);
+        entries.push(RegistryEntry {
+            name: name.to_string(),
+            kind,
+            key: key.clone(),
+            note: note.to_string(),
+        });
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        self.write(&entries)
+    }
+
+    /// Removes `name`; returns whether it existed.
+    ///
+    /// # Errors
+    ///
+    /// Read/write failures from the underlying file.
+    pub fn unregister(&self, name: &str) -> Result<bool, StoreError> {
+        let mut entries = self.entries()?;
+        let before = entries.len();
+        entries.retain(|e| e.name != name);
+        if entries.len() == before {
+            return Ok(false);
+        }
+        self.write(&entries)?;
+        Ok(true)
+    }
+
+    /// Looks up `name`.
+    ///
+    /// # Errors
+    ///
+    /// Read failures from the underlying file.
+    pub fn lookup(&self, name: &str) -> Result<Option<RegistryEntry>, StoreError> {
+        Ok(self.entries()?.into_iter().find(|e| e.name == name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::Store;
+
+    fn tmp_store(name: &str) -> Store {
+        let dir = std::env::temp_dir()
+            .join("ipas-store-tests")
+            .join(format!("reg-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        Store::open(dir).unwrap()
+    }
+
+    #[test]
+    fn register_lookup_unregister() {
+        let store = tmp_store("basic");
+        let reg = store.registry();
+        assert!(reg.entries().unwrap().is_empty());
+        let key = Key::parse("abcd").unwrap();
+        reg.register("mm-base", ArtifactKind::TrainedModel, &key, "matmul")
+            .unwrap();
+        let hit = reg.lookup("mm-base").unwrap().unwrap();
+        assert_eq!(hit.kind, ArtifactKind::TrainedModel);
+        assert_eq!(hit.key, key);
+        assert_eq!(hit.note, "matmul");
+        assert!(reg.lookup("other").unwrap().is_none());
+        assert!(reg.unregister("mm-base").unwrap());
+        assert!(!reg.unregister("mm-base").unwrap());
+        assert!(reg.entries().unwrap().is_empty());
+    }
+
+    #[test]
+    fn reregister_repoints() {
+        let store = tmp_store("repoint");
+        let reg = store.registry();
+        let k1 = Key::parse("1111").unwrap();
+        let k2 = Key::parse("2222").unwrap();
+        reg.register("m", ArtifactKind::TrainedModel, &k1, "")
+            .unwrap();
+        reg.register("m", ArtifactKind::TrainedModel, &k2, "")
+            .unwrap();
+        let entries = reg.entries().unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].key, k2);
+    }
+
+    #[test]
+    fn bad_names_rejected_and_notes_sanitized() {
+        let store = tmp_store("names");
+        let reg = store.registry();
+        let key = Key::parse("9999").unwrap();
+        for bad in ["", "has space", "tab\tname", "a/b"] {
+            assert!(matches!(
+                reg.register(bad, ArtifactKind::TrainedModel, &key, ""),
+                Err(StoreError::BadName(_))
+            ));
+        }
+        reg.register("ok", ArtifactKind::TrainedModel, &key, "line1\nline2\tcol")
+            .unwrap();
+        let entry = reg.lookup("ok").unwrap().unwrap();
+        assert_eq!(entry.note, "line1 line2 col");
+    }
+}

@@ -1,0 +1,550 @@
+//! The on-disk artifact store.
+//!
+//! Layout under the store root (`IPAS_STORE_DIR`):
+//!
+//! ```text
+//! <root>/objects/<kind>/<key>.art   one artifact per file
+//! <root>/tmp/                       staging area for atomic writes
+//! <root>/registry.tsv               name → (kind, key) model registry
+//! ```
+//!
+//! Keys are fingerprints of the artifact's *inputs* (see
+//! [`crate::hash::FingerprintBuilder`]), so the store doubles as a memo
+//! table: a pipeline stage derives its input key, calls
+//! [`Store::memoize`], and either gets the cached output back or
+//! computes and persists it. Writes go through a per-process staging
+//! file followed by an atomic rename, so concurrent campaigns sharing
+//! one store never observe half-written artifacts — at worst two
+//! processes both compute the same deterministic artifact and the
+//! second rename wins with identical bytes.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::artifact::{decode_from, encode, inspect, ArtifactKind, Payload, StoreError};
+use crate::hash::Fingerprint;
+use crate::registry::Registry;
+
+/// Environment variable naming the store directory (mirrors
+/// `IPAS_JOURNAL_DIR`).
+pub const STORE_DIR_ENV: &str = "IPAS_STORE_DIR";
+
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A validated store key: a fingerprint hex string, optionally with a
+/// `-NN` rank suffix (used when one stage yields several artifacts,
+/// e.g. the top-N models of a grid search).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Key(String);
+
+impl Key {
+    /// Wraps a raw key string, validating its character set.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::BadKey`] unless the key is nonempty, at most 128
+    /// characters, and uses only `[0-9a-f-]` (no path separators, no
+    /// dots — keys are used as file names).
+    pub fn parse(s: &str) -> Result<Self, StoreError> {
+        let ok = !s.is_empty()
+            && s.len() <= 128
+            && s.chars().all(|c| matches!(c, '0'..='9' | 'a'..='f' | '-'));
+        if ok {
+            Ok(Key(s.to_string()))
+        } else {
+            Err(StoreError::BadKey(s.to_string()))
+        }
+    }
+
+    /// The key for a stage fingerprint.
+    pub fn of(fp: &Fingerprint) -> Self {
+        Key(fp.hex())
+    }
+
+    /// The key for the `rank`-th artifact of a stage fingerprint.
+    pub fn ranked(fp: &Fingerprint, rank: usize) -> Self {
+        Key(format!("{}-{rank:02}", fp.hex()))
+    }
+
+    /// The raw key string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// A 16-character abbreviation for log lines.
+    pub fn short(&self) -> &str {
+        &self.0[..self.0.len().min(16)]
+    }
+}
+
+impl std::fmt::Display for Key {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// One object in a [`Store`] listing.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// Artifact kind.
+    pub kind: ArtifactKind,
+    /// Store key.
+    pub key: Key,
+    /// File size in bytes.
+    pub bytes: u64,
+}
+
+/// The verification status of one object (from [`Store::verify`]).
+#[derive(Debug)]
+pub struct VerifyReport {
+    /// The object.
+    pub entry: Entry,
+    /// `Ok(schema)` when the checksum and envelope are intact, `Err`
+    /// with the typed failure otherwise.
+    pub status: Result<u32, StoreError>,
+}
+
+/// What [`Store::gc`] did.
+#[derive(Debug, Default)]
+pub struct GcReport {
+    /// Objects kept because the registry references them.
+    pub kept: usize,
+    /// Objects removed (kind, key).
+    pub removed: Vec<(ArtifactKind, Key)>,
+}
+
+/// Whether a memoized stage was served from the store.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The artifact was found and decoded.
+    Hit,
+    /// No artifact existed for the key; it was computed and stored.
+    Miss,
+    /// An artifact existed but was damaged or version-skewed; it was
+    /// recomputed and overwritten.
+    Recovered,
+}
+
+impl CacheOutcome {
+    /// `true` when the stage's compute step was skipped.
+    pub fn is_hit(self) -> bool {
+        matches!(self, CacheOutcome::Hit)
+    }
+
+    /// Log label (`hit` / `miss` / `recovered`).
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::Recovered => "recovered",
+        }
+    }
+}
+
+/// A content-addressed artifact store rooted at a directory.
+#[derive(Debug, Clone)]
+pub struct Store {
+    root: PathBuf,
+}
+
+fn io_err(path: &Path, error: std::io::Error) -> StoreError {
+    StoreError::Io {
+        path: path.to_path_buf(),
+        error,
+    }
+}
+
+impl Store {
+    /// Opens (creating if needed) a store at `root`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the directories cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let root = root.into();
+        for sub in ["objects", "tmp"] {
+            let dir = root.join(sub);
+            fs::create_dir_all(&dir).map_err(|e| io_err(&dir, e))?;
+        }
+        Ok(Store { root })
+    }
+
+    /// Opens the store named by `IPAS_STORE_DIR`, if set.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the variable is set but the directory
+    /// cannot be created.
+    pub fn from_env() -> Result<Option<Self>, StoreError> {
+        match std::env::var_os(STORE_DIR_ENV) {
+            Some(dir) if !dir.is_empty() => Store::open(PathBuf::from(dir)).map(Some),
+            _ => Ok(None),
+        }
+    }
+
+    /// The store root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The model registry of this store.
+    pub fn registry(&self) -> Registry {
+        Registry::new(self.root.join("registry.tsv"), self.root.join("tmp"))
+    }
+
+    /// The on-disk path of an artifact (whether or not it exists).
+    pub fn object_path(&self, kind: ArtifactKind, key: &Key) -> PathBuf {
+        self.root
+            .join("objects")
+            .join(kind.tag())
+            .join(format!("{key}.art"))
+    }
+
+    /// Atomically writes `text` to `path` via a staged temp file.
+    fn write_atomic(&self, path: &Path, text: &str) -> Result<(), StoreError> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent).map_err(|e| io_err(parent, e))?;
+        }
+        let tmp = self.root.join("tmp").join(format!(
+            "{}-{}-{}.tmp",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed),
+            path.file_name().and_then(|n| n.to_str()).unwrap_or("obj")
+        ));
+        fs::write(&tmp, text).map_err(|e| io_err(&tmp, e))?;
+        fs::rename(&tmp, path).map_err(|e| io_err(path, e))
+    }
+
+    /// Stores `payload` under `key`, atomically.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`].
+    pub fn put<P: Payload>(&self, key: &Key, payload: &P) -> Result<(), StoreError> {
+        let path = self.object_path(P::KIND, key);
+        self.write_atomic(&path, &encode(payload))
+    }
+
+    /// Loads the payload stored under `key`, or `None` when absent.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] / [`StoreError::SchemaSkew`] /
+    /// [`StoreError::KindMismatch`] on a damaged or incompatible
+    /// artifact — never a silent misread — and [`StoreError::Io`] on
+    /// filesystem failures.
+    pub fn get<P: Payload>(&self, key: &Key) -> Result<Option<P>, StoreError> {
+        let path = self.object_path(P::KIND, key);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(io_err(&path, e)),
+        };
+        decode_from::<P>(&text, &path.display().to_string()).map(Some)
+    }
+
+    /// Returns whether an object exists for `key` (no decode).
+    pub fn contains(&self, kind: ArtifactKind, key: &Key) -> bool {
+        self.object_path(kind, key).exists()
+    }
+
+    /// Removes the object under `key`, if present.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`].
+    pub fn remove(&self, kind: ArtifactKind, key: &Key) -> Result<bool, StoreError> {
+        let path = self.object_path(kind, key);
+        match fs::remove_file(&path) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(io_err(&path, e)),
+        }
+    }
+
+    /// Lists every object in the store, sorted by kind then key.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`].
+    pub fn list(&self) -> Result<Vec<Entry>, StoreError> {
+        let mut out = Vec::new();
+        for kind in ArtifactKind::ALL {
+            let dir = self.root.join("objects").join(kind.tag());
+            let iter = match fs::read_dir(&dir) {
+                Ok(it) => it,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(io_err(&dir, e)),
+            };
+            for dent in iter {
+                let dent = dent.map_err(|e| io_err(&dir, e))?;
+                let name = dent.file_name();
+                let Some(stem) = name.to_str().and_then(|n| n.strip_suffix(".art")) else {
+                    continue;
+                };
+                let Ok(key) = Key::parse(stem) else { continue };
+                let bytes = dent.metadata().map(|m| m.len()).unwrap_or(0);
+                out.push(Entry { kind, key, bytes });
+            }
+        }
+        out.sort_by(|a, b| (a.kind.tag(), a.key.as_str()).cmp(&(b.kind.tag(), b.key.as_str())));
+        Ok(out)
+    }
+
+    /// Checksum- and envelope-verifies every object.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the store itself cannot be read;
+    /// per-object damage is reported in the returned list, not raised.
+    pub fn verify(&self) -> Result<Vec<VerifyReport>, StoreError> {
+        let mut reports = Vec::new();
+        for entry in self.list()? {
+            let path = self.object_path(entry.kind, &entry.key);
+            let status = match fs::read_to_string(&path) {
+                Err(e) => Err(io_err(&path, e)),
+                Ok(text) => {
+                    inspect(&text, &path.display().to_string()).and_then(|(kind, schema)| {
+                        if kind != entry.kind {
+                            Err(StoreError::KindMismatch {
+                                found: kind.tag().to_string(),
+                                expected: entry.kind,
+                            })
+                        } else if schema != entry.kind.current_schema() {
+                            Err(StoreError::SchemaSkew {
+                                kind: entry.kind,
+                                found: schema,
+                                expected: entry.kind.current_schema(),
+                            })
+                        } else {
+                            Ok(schema)
+                        }
+                    })
+                }
+            };
+            reports.push(VerifyReport { entry, status });
+        }
+        Ok(reports)
+    }
+
+    /// Garbage-collects the memo cache: every object not referenced by
+    /// the model registry is removed. Registered models (and any other
+    /// registry-referenced artifact) survive; memoized stage outputs
+    /// are cache and will be re-derived on the next cold run.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`].
+    pub fn gc(&self) -> Result<GcReport, StoreError> {
+        let live: std::collections::HashSet<(ArtifactKind, String)> = self
+            .registry()
+            .entries()?
+            .into_iter()
+            .map(|e| (e.kind, e.key.as_str().to_string()))
+            .collect();
+        let mut report = GcReport::default();
+        for entry in self.list()? {
+            if live.contains(&(entry.kind, entry.key.as_str().to_string())) {
+                report.kept += 1;
+            } else {
+                self.remove(entry.kind, &entry.key)?;
+                report.removed.push((entry.kind, entry.key));
+            }
+        }
+        Ok(report)
+    }
+
+    /// Memoizes one pipeline stage: returns the cached payload for
+    /// `key` when present and intact, otherwise runs `compute`, stores
+    /// the result, and returns it. A damaged or version-skewed cache
+    /// entry is recomputed and overwritten (reported as
+    /// [`CacheOutcome::Recovered`]), never propagated.
+    ///
+    /// # Errors
+    ///
+    /// [`MemoError::Store`] for store read/write failures,
+    /// [`MemoError::Compute`] carrying the closure's error verbatim.
+    pub fn memoize<P: Payload, E>(
+        &self,
+        key: &Key,
+        compute: impl FnOnce() -> Result<P, E>,
+    ) -> Result<(P, CacheOutcome), MemoError<E>> {
+        let mut outcome = CacheOutcome::Miss;
+        match self.get::<P>(key) {
+            Ok(Some(p)) => return Ok((p, CacheOutcome::Hit)),
+            Ok(None) => {}
+            Err(StoreError::Io { path, error }) => {
+                return Err(MemoError::Store(StoreError::Io { path, error }))
+            }
+            // Damaged / skewed cache entry: recompute and overwrite.
+            Err(_) => outcome = CacheOutcome::Recovered,
+        }
+        let payload = compute().map_err(MemoError::Compute)?;
+        self.put(key, &payload).map_err(MemoError::Store)?;
+        Ok((payload, outcome))
+    }
+}
+
+/// Error from [`Store::memoize`]: either the store failed or the
+/// stage's compute closure did.
+#[derive(Debug)]
+pub enum MemoError<E> {
+    /// The store could not be read or written.
+    Store(StoreError),
+    /// The compute closure failed (cache untouched).
+    Compute(E),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::CampaignSummary;
+
+    fn tmp_store(name: &str) -> Store {
+        let dir = std::env::temp_dir()
+            .join("ipas-store-tests")
+            .join(format!("{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        Store::open(dir).unwrap()
+    }
+
+    fn summary(seed: u64) -> CampaignSummary {
+        CampaignSummary {
+            workload: "w".into(),
+            runs: 64,
+            seed,
+            nominal_insts: 1000,
+            counts: [10, 20, 30, 4],
+            harness_failures: 0,
+        }
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let store = tmp_store("putget");
+        let key = Key::parse("aa11").unwrap();
+        assert!(store.get::<CampaignSummary>(&key).unwrap().is_none());
+        store.put(&key, &summary(7)).unwrap();
+        let back = store.get::<CampaignSummary>(&key).unwrap().unwrap();
+        assert_eq!(back, summary(7));
+        assert!(store.contains(ArtifactKind::CampaignSummary, &key));
+    }
+
+    #[test]
+    fn key_validation_rejects_path_tricks() {
+        assert!(Key::parse("abc123-00").is_ok());
+        for bad in ["", "ABC", "../x", "a/b", "a.art", "zz"] {
+            assert!(Key::parse(bad).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn list_and_verify_cover_all_kinds() {
+        let store = tmp_store("list");
+        store.put(&Key::parse("01").unwrap(), &summary(1)).unwrap();
+        store.put(&Key::parse("02").unwrap(), &summary(2)).unwrap();
+        let entries = store.list().unwrap();
+        assert_eq!(entries.len(), 2);
+        let reports = store.verify().unwrap();
+        assert!(reports.iter().all(|r| r.status.is_ok()));
+    }
+
+    #[test]
+    fn verify_flags_corruption() {
+        let store = tmp_store("verify");
+        let key = Key::parse("0badc0de").unwrap();
+        store.put(&key, &summary(3)).unwrap();
+        let path = store.object_path(ArtifactKind::CampaignSummary, &key);
+        let mut text = fs::read_to_string(&path).unwrap();
+        text = text.replace("counts 10", "counts 11");
+        fs::write(&path, text).unwrap();
+        let reports = store.verify().unwrap();
+        assert_eq!(reports.len(), 1);
+        assert!(matches!(reports[0].status, Err(StoreError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn gc_keeps_only_registered() {
+        let store = tmp_store("gc");
+        let keep = Key::parse("aaaa").unwrap();
+        let drop1 = Key::parse("bbbb").unwrap();
+        store.put(&keep, &summary(1)).unwrap();
+        store.put(&drop1, &summary(2)).unwrap();
+        store
+            .registry()
+            .register("baseline", ArtifactKind::CampaignSummary, &keep, "test")
+            .unwrap();
+        let report = store.gc().unwrap();
+        assert_eq!(report.kept, 1);
+        assert_eq!(report.removed.len(), 1);
+        assert_eq!(report.removed[0].1, drop1);
+        assert!(store.contains(ArtifactKind::CampaignSummary, &keep));
+        assert!(!store.contains(ArtifactKind::CampaignSummary, &drop1));
+    }
+
+    #[test]
+    fn memoize_hits_after_miss_and_recovers_corruption() {
+        let store = tmp_store("memo");
+        let key = Key::parse("feed").unwrap();
+        let mut computes = 0;
+        let (v, out) = store
+            .memoize::<CampaignSummary, ()>(&key, || {
+                computes += 1;
+                Ok(summary(9))
+            })
+            .unwrap();
+        assert_eq!(out, CacheOutcome::Miss);
+        assert_eq!(v.seed, 9);
+        let (_, out) = store
+            .memoize::<CampaignSummary, ()>(&key, || {
+                computes += 1;
+                Ok(summary(9))
+            })
+            .unwrap();
+        assert!(out.is_hit());
+        assert_eq!(computes, 1, "hit must skip compute");
+
+        // Damage the entry: memoize recomputes and overwrites.
+        let path = store.object_path(ArtifactKind::CampaignSummary, &key);
+        fs::write(&path, "garbage\n").unwrap();
+        let (_, out) = store
+            .memoize::<CampaignSummary, ()>(&key, || {
+                computes += 1;
+                Ok(summary(9))
+            })
+            .unwrap();
+        assert_eq!(out, CacheOutcome::Recovered);
+        assert_eq!(computes, 2);
+        assert!(store.get::<CampaignSummary>(&key).unwrap().is_some());
+    }
+
+    #[test]
+    fn concurrent_puts_are_safe() {
+        let store = tmp_store("concurrent");
+        let key = Key::parse("cafe").unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let store = store.clone();
+                let key = key.clone();
+                scope.spawn(move || {
+                    for _ in 0..20 {
+                        store.put(&key, &summary(42)).unwrap();
+                        if let Some(back) = store.get::<CampaignSummary>(&key).unwrap() {
+                            assert_eq!(back, summary(42));
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn compute_error_leaves_cache_untouched() {
+        let store = tmp_store("computeerr");
+        let key = Key::parse("dead").unwrap();
+        let res = store.memoize::<CampaignSummary, &str>(&key, || Err("boom"));
+        assert!(matches!(res, Err(MemoError::Compute("boom"))));
+        assert!(!store.contains(ArtifactKind::CampaignSummary, &key));
+    }
+}

@@ -1,0 +1,147 @@
+//! End-to-end model round-trip through the artifact store, plus the
+//! two failure modes the envelope must turn into typed errors:
+//! corruption (checksum mismatch) and schema skew.
+
+use ipas_store::hash::{hex, sha256};
+use ipas_store::{ArtifactKind, Key, Store, StoreError, TrainedModel};
+use ipas_svm::{Dataset, Svm, SvmParams};
+
+fn temp_store(tag: &str) -> (std::path::PathBuf, Store) {
+    let dir = std::env::temp_dir().join(format!("ipas-model-rt-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let store = Store::open(&dir).expect("store opens");
+    (dir, store)
+}
+
+/// The XOR fixture: not linearly separable, so the RBF solution keeps
+/// all four points as support vectors — a meaningful export.
+fn xor_svm() -> Svm {
+    let x = vec![
+        vec![0.0, 0.0],
+        vec![1.0, 1.0],
+        vec![0.0, 1.0],
+        vec![1.0, 0.0],
+    ];
+    let y = vec![false, false, true, true];
+    let data = Dataset::new(x, y).expect("dataset builds");
+    Svm::train(&data, &SvmParams::new(100.0, 2.0))
+}
+
+fn export(svm: &Svm, params: &SvmParams) -> TrainedModel {
+    TrainedModel {
+        c: params.c,
+        gamma: params.gamma,
+        pos_weight: params.pos_weight,
+        tol: params.tol,
+        max_passes: params.max_passes,
+        f_score: 1.0,
+        acc1: 1.0,
+        acc2: 1.0,
+        scaler_mean: vec![0.5, 0.5],
+        scaler_std: vec![0.5, 0.5],
+        support: svm.support_vectors().to_vec(),
+        coef: svm.coefficients().to_vec(),
+        bias: svm.bias(),
+    }
+}
+
+#[test]
+fn exported_model_reimports_bit_identically() {
+    let (dir, store) = temp_store("ok");
+    let params = SvmParams::new(100.0, 2.0);
+    let svm = xor_svm();
+    let model = export(&svm, &params);
+
+    let key = Key::parse("ab12").unwrap();
+    store.put(&key, &model).expect("put succeeds");
+    let loaded: TrainedModel = store
+        .get(&key)
+        .expect("get succeeds")
+        .expect("artifact present");
+    let rebuilt = Svm::from_parts(
+        loaded.support.clone(),
+        loaded.coef.clone(),
+        loaded.bias,
+        loaded.gamma,
+    )
+    .expect("parts are consistent");
+
+    // Bit-identical decision values over a probe grid, including points
+    // far from the training data (where kernel sums are tiny).
+    for i in 0..=10 {
+        for j in 0..=10 {
+            let p = [i as f64 * 0.3 - 1.0, j as f64 * 0.3 - 1.0];
+            let a = svm.decision_function(&p);
+            let b = rebuilt.decision_function(&p);
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "decision_function({p:?}) must be bit-identical: {a} vs {b}"
+            );
+        }
+    }
+    // And the decision boundary still solves XOR.
+    assert!(rebuilt.decision_function(&[0.1, 0.9]) > 0.0);
+    assert!(rebuilt.decision_function(&[0.9, 0.9]) < 0.0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn flipped_byte_is_a_checksum_error() {
+    let (dir, store) = temp_store("flip");
+    let key = Key::parse("beef").unwrap();
+    store
+        .put(&key, &export(&xor_svm(), &SvmParams::new(100.0, 2.0)))
+        .expect("put succeeds");
+
+    let path = store.object_path(ArtifactKind::TrainedModel, &key);
+    let text = std::fs::read_to_string(&path).expect("artifact readable");
+    // Flip one byte in the body (the first support-vector line).
+    let damaged = text.replacen("bias ", "bias-x ", 1);
+    assert_ne!(text, damaged, "replacement must hit");
+    std::fs::write(&path, damaged).unwrap();
+
+    match store.get::<TrainedModel>(&key) {
+        Err(StoreError::Corrupt { reason, .. }) => {
+            assert!(reason.contains("checksum"), "reason: {reason}")
+        }
+        other => panic!("expected Corrupt{{checksum}}, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bumped_schema_is_a_version_skew_error() {
+    let (dir, store) = temp_store("skew");
+    let key = Key::parse("cafe").unwrap();
+    store
+        .put(&key, &export(&xor_svm(), &SvmParams::new(100.0, 2.0)))
+        .expect("put succeeds");
+
+    let path = store.object_path(ArtifactKind::TrainedModel, &key);
+    let text = std::fs::read_to_string(&path).expect("artifact readable");
+    // Bump the schema header and re-checksum so only the version skews:
+    // the file must fail as SchemaSkew, not as corruption.
+    let covered = text
+        .split("checksum ")
+        .next()
+        .expect("has checksum trailer")
+        .replacen("schema 1\n", "schema 999\n", 1);
+    let reforged = format!("{covered}checksum {}\n", hex(&sha256(covered.as_bytes())));
+    std::fs::write(&path, reforged).unwrap();
+
+    match store.get::<TrainedModel>(&key) {
+        Err(StoreError::SchemaSkew {
+            kind,
+            found,
+            expected,
+        }) => {
+            assert_eq!(kind, ArtifactKind::TrainedModel);
+            assert_eq!(found, 999);
+            assert_eq!(expected, 1);
+        }
+        other => panic!("expected SchemaSkew, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

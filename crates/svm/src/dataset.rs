@@ -178,6 +178,37 @@ impl Scaler {
         Scaler { mean, std }
     }
 
+    /// The per-feature means the scaler subtracts.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// The per-feature standard deviations the scaler divides by
+    /// (clamped at 1e-12 for constant features).
+    pub fn std(&self) -> &[f64] {
+        &self.std
+    }
+
+    /// Reconstructs a scaler from exported parts. Exact inverse of
+    /// reading [`Scaler::mean`] / [`Scaler::std`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects mismatched lengths and non-positive deviations.
+    pub fn from_parts(mean: Vec<f64>, std: Vec<f64>) -> Result<Self, String> {
+        if mean.len() != std.len() {
+            return Err(format!(
+                "scaler mean/std length mismatch: {} vs {}",
+                mean.len(),
+                std.len()
+            ));
+        }
+        if std.iter().any(|&s| s.is_nan() || s <= 0.0) {
+            return Err("scaler std must be positive".to_string());
+        }
+        Ok(Scaler { mean, std })
+    }
+
     /// Standardizes one row.
     pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
         row.iter()

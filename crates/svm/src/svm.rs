@@ -279,6 +279,68 @@ impl Svm {
     pub fn num_support_vectors(&self) -> usize {
         self.support_x.len()
     }
+
+    /// The support vectors (one feature row per retained sample).
+    pub fn support_vectors(&self) -> &[Vec<f64>] {
+        &self.support_x
+    }
+
+    /// The dual coefficients `alpha_i * y_i`, aligned with
+    /// [`Svm::support_vectors`].
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coef
+    }
+
+    /// The bias term `b` of the decision function.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    /// The RBF kernel coefficient `γ` the model was trained with.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Reconstructs a model from exported parts (the inverse of reading
+    /// [`Svm::support_vectors`] / [`Svm::coefficients`] / [`Svm::bias`]
+    /// / [`Svm::gamma`]). The reconstruction is exact: the decision
+    /// function is a pure fold over these four values, so a model
+    /// rebuilt from bit-identical parts produces bit-identical
+    /// [`Svm::decision_function`] outputs.
+    ///
+    /// # Errors
+    ///
+    /// Rejects mismatched lengths, ragged support vectors, and
+    /// non-finite `gamma`.
+    pub fn from_parts(
+        support_x: Vec<Vec<f64>>,
+        coef: Vec<f64>,
+        bias: f64,
+        gamma: f64,
+    ) -> Result<Self, String> {
+        if support_x.len() != coef.len() {
+            return Err(format!(
+                "support vector / coefficient count mismatch: {} vs {}",
+                support_x.len(),
+                coef.len()
+            ));
+        }
+        if let Some(first) = support_x.first() {
+            let d = first.len();
+            if support_x.iter().any(|sv| sv.len() != d) {
+                return Err("ragged support vectors".to_string());
+            }
+        }
+        if !gamma.is_finite() {
+            return Err(format!("non-finite gamma {gamma}"));
+        }
+        Ok(Svm {
+            support_x,
+            coef,
+            bias,
+            gamma,
+        })
+    }
 }
 
 impl Classifier for Svm {

@@ -1,0 +1,85 @@
+//! Printer → parser round-trip over every bundled workload.
+//!
+//! The artifact store keys campaigns and protected modules by the
+//! printed IR text, and `protected-module` artifacts embed that text
+//! verbatim. Workload modules print with their in-memory (sparse,
+//! post-optimization) value numbers while the parser assigns dense
+//! ones, so the first parse canonicalizes the numbering; from then on
+//! print → parse → print must be an exact fixpoint, and the round trip
+//! must preserve structure and constants losslessly throughout.
+
+use ipas_ir::parser::parse_module;
+use ipas_ir::{Constant, Module, Value};
+use ipas_workloads::Kind;
+
+/// Structural summary that must survive re-parsing: per-function name,
+/// block count, opcode sequence, and every constant operand in order.
+fn shape(module: &Module) -> Vec<(String, usize, Vec<&'static str>, Vec<Constant>)> {
+    module
+        .functions()
+        .map(|(_, func)| {
+            let mut opcodes = Vec::new();
+            let mut consts = Vec::new();
+            for bb in func.block_ids() {
+                for &id in func.block(bb).insts() {
+                    let inst = func.inst(id);
+                    opcodes.push(inst.opcode_name());
+                    inst.for_each_operand(|v| {
+                        if let Value::Const(c) = v {
+                            consts.push(c);
+                        }
+                    });
+                }
+            }
+            (func.name().to_string(), func.num_blocks(), opcodes, consts)
+        })
+        .collect()
+}
+
+#[test]
+fn every_workload_module_roundtrips_losslessly() {
+    for kind in Kind::ALL {
+        let workload = kind
+            .build(kind.base_input())
+            .unwrap_or_else(|e| panic!("{} builds: {e}", kind.name()));
+        let text = workload.module.to_text();
+        let reparsed = parse_module(&text)
+            .unwrap_or_else(|e| panic!("{} printed module parses: {e}", kind.name()));
+        assert_eq!(
+            shape(&workload.module),
+            shape(&reparsed),
+            "{}: structure and constants preserved",
+            kind.name()
+        );
+
+        // After the parser's dense renumbering, the text is canonical:
+        // further round trips are exact fixpoints.
+        let canonical = reparsed.to_text();
+        let reparsed2 = parse_module(&canonical)
+            .unwrap_or_else(|e| panic!("{} canonical module parses: {e}", kind.name()));
+        assert_eq!(
+            canonical,
+            reparsed2.to_text(),
+            "{}: canonical print → parse → print must be a fixpoint",
+            kind.name()
+        );
+        assert_eq!(shape(&reparsed), shape(&reparsed2));
+    }
+}
+
+#[test]
+fn workload_builds_are_deterministic() {
+    for kind in Kind::ALL {
+        let a = kind
+            .build(kind.base_input())
+            .expect("builds")
+            .module
+            .to_text();
+        let b = kind
+            .build(kind.base_input())
+            .expect("builds")
+            .module
+            .to_text();
+        assert_eq!(a, b, "{}: rebuild must print identically", kind.name());
+    }
+}

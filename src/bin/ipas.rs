@@ -9,6 +9,11 @@
 //! USAGE:
 //!   ipas protect <file.scil> [--runs N] [--eval N] [--top N]
 //!                [--tolerance T] [--seed S] [--out FILE] [--policy P]
+//!                [--model NAME|KEY]
+//!   ipas train <file.scil> [--runs N] [--top N] [--seed S]
+//!              [--tolerance T] [--policy ipas|baseline]
+//!              [--save-model NAME]
+//!   ipas models <list|verify|gc>   # requires IPAS_STORE_DIR
 //!   ipas run <file.scil>            # compile + execute, print outputs
 //!   ipas ir <file.scil>             # compile + print optimized IR
 //!   ipas inject <file.scil> --target K --bit B   # single fault run
@@ -19,15 +24,26 @@
 //! The program's verified output stream is whatever it emits through
 //! `output_i`/`output_f`; verification compares against the fault-free
 //! run with float tolerance `--tolerance` (default 1e-9).
+//!
+//! When `IPAS_STORE_DIR` is set, every expensive stage (training
+//! campaign, grid search, duplication, evaluation campaigns) is
+//! memoized in the artifact store: re-running an identical command
+//! resolves the stages from the store and performs zero injection runs
+//! and zero SMO iterations. `ipas train --save-model NAME` registers
+//! the best model under a human-chosen name; `ipas protect --model
+//! NAME` reuses it without retraining.
 
 use std::process::ExitCode;
 
 use ipas::core::{
-    build_training_set, evaluate_variant, train_top_configs, LabelKind, ProtectionPolicy,
+    campaign_fingerprint, dataset_from_artifact, eval_fingerprint, evaluate_variant,
+    memoized_models, memoized_protect, train_top_configs, training_fingerprint,
+    training_set_artifact, LabelKind, ProtectionPolicy, TrainedClassifier,
 };
-use ipas::faultsim::{run_campaign, CampaignConfig, Outcome, Workload};
+use ipas::faultsim::{run_campaign, CampaignConfig, CampaignResult, Outcome, Workload};
 use ipas::interp::{Injection, Machine, RunConfig};
-use ipas::svm::GridOptions;
+use ipas::store::{CacheOutcome, CampaignSummary, Key, Store, TrainedModel, TrainingSet};
+use ipas::svm::{Dataset, GridOptions};
 
 struct Args {
     positional: Vec<String>,
@@ -60,21 +76,277 @@ impl Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: ipas <protect|run|ir|inject> <file.scil> [--runs N] [--eval N] [--top N] \
-         [--tolerance T] [--seed S] [--out FILE] [--policy ipas|full|baseline] \
-         [--target K] [--bit B]"
+        "usage: ipas <protect|train|run|ir|inject|explain> <file.scil> [--runs N] [--eval N] \
+         [--top N] [--tolerance T] [--seed S] [--out FILE] [--policy ipas|full|baseline] \
+         [--model NAME|KEY] [--save-model NAME] [--target K] [--bit B]\n\
+         \x20      ipas models <list|verify|gc>   (requires IPAS_STORE_DIR)"
     );
     ExitCode::FAILURE
 }
 
+/// Opens the store named by `IPAS_STORE_DIR`, exiting loudly on error.
+fn store_from_env() -> Result<Option<Store>, ExitCode> {
+    match Store::from_env() {
+        Ok(s) => Ok(s),
+        Err(e) => {
+            eprintln!("ipas: cannot open artifact store: {e}");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn log_stage(stage: &str, outcome: CacheOutcome, key: &Key) {
+    eprintln!(
+        "[ipas] store: {stage} stage {} ({})",
+        outcome.label(),
+        key.short()
+    );
+}
+
+/// Summarizes a finished campaign for the store.
+fn summarize(name: &str, config: &CampaignConfig, r: &CampaignResult) -> CampaignSummary {
+    CampaignSummary {
+        workload: name.to_string(),
+        runs: config.runs as u64,
+        seed: config.seed,
+        nominal_insts: r.nominal_insts,
+        counts: Outcome::ALL.map(|o| r.count(o) as u64),
+        harness_failures: r.harness_failures.len() as u64,
+    }
+}
+
+/// Resolves `--model`: a registry name first, then a raw store key.
+fn resolve_model(store: &Store, spec: &str) -> Result<(Key, TrainedClassifier), String> {
+    let entry = store
+        .registry()
+        .lookup(spec)
+        .map_err(|e| format!("registry lookup failed: {e}"))?;
+    let key = match entry {
+        Some(e) => e.key,
+        None => Key::parse(spec)
+            .map_err(|_| format!("`{spec}` is neither a registered model name nor a store key"))?,
+    };
+    let artifact = store
+        .get::<TrainedModel>(&key)
+        .map_err(|e| format!("cannot load model {key}: {e}"))?
+        .ok_or_else(|| format!("no trained-model artifact under key {key}"))?;
+    let model = TrainedClassifier::from_export(&artifact)
+        .map_err(|e| format!("model {key} is inconsistent: {e}"))?;
+    Ok((key, model))
+}
+
+/// Runs the training campaign (memoized when a store is configured) and
+/// returns the training-set artifact.
+fn training_stage(
+    store: Option<&Store>,
+    workload: &Workload,
+    config: &CampaignConfig,
+) -> Result<TrainingSet, String> {
+    let fp = campaign_fingerprint(&workload.module, config);
+    let key = Key::of(&fp);
+    let run = || -> Result<TrainingSet, String> {
+        eprintln!("[ipas] training campaign: {} injections ...", config.runs);
+        let campaign =
+            run_campaign(workload, config).map_err(|e| format!("training campaign failed: {e}"))?;
+        Ok(training_set_artifact(workload, &campaign))
+    };
+    match store {
+        Some(store) => {
+            let (set, outcome) = store.memoize(&key, run).map_err(|e| match e {
+                ipas::store::MemoError::Store(e) => format!("artifact store failed: {e}"),
+                ipas::store::MemoError::Compute(e) => e,
+            })?;
+            log_stage("campaign", outcome, &key);
+            Ok(set)
+        }
+        None => run(),
+    }
+}
+
+/// Trains (or loads) the top-`top` classifiers for `label`.
+fn classifier_stage(
+    store: Option<&Store>,
+    set: &TrainingSet,
+    campaign_fp: &ipas::store::Fingerprint,
+    label: LabelKind,
+    grid: &GridOptions,
+    top: usize,
+) -> Result<(Vec<TrainedClassifier>, Key), String> {
+    let data: Dataset = dataset_from_artifact(set, label);
+    eprintln!(
+        "[ipas] training set: {} samples, {:.1}% positive",
+        data.len(),
+        data.positive_fraction() * 100.0
+    );
+    if data.num_positive() == 0 || data.num_positive() == data.len() {
+        return Err("degenerate training labels; raise --runs".to_string());
+    }
+    let fp = training_fingerprint(campaign_fp, label, grid, top);
+    let (models, outcome) =
+        memoized_models(store, &fp, top, || train_top_configs(&data, grid, top))
+            .map_err(|e| format!("artifact store failed: {e}"))?;
+    if store.is_some() {
+        log_stage("training", outcome, &Key::of(&fp));
+    }
+    Ok((models, Key::ranked(&fp, 0)))
+}
+
+/// Evaluates a variant campaign via the store (warm runs perform zero
+/// injections), or live when no store is configured.
+#[allow(clippy::too_many_arguments)]
+fn eval_stage(
+    store: Option<&Store>,
+    workload: &Workload,
+    variant_module: &ipas::ir::Module,
+    name: &str,
+    config: &CampaignConfig,
+) -> Result<CampaignSummary, String> {
+    let run = || -> Result<CampaignSummary, String> {
+        eprintln!("[ipas] {name} campaign: {} injections ...", config.runs);
+        let wl = if std::ptr::eq(variant_module, &workload.module) {
+            None
+        } else {
+            Some(
+                workload
+                    .with_module(name, variant_module.clone())
+                    .map_err(|e| format!("{name}: clean run failed: {e}"))?,
+            )
+        };
+        let wl = wl.as_ref().unwrap_or(workload);
+        let campaign =
+            run_campaign(wl, config).map_err(|e| format!("{name} campaign failed: {e}"))?;
+        Ok(summarize(name, config, &campaign))
+    };
+    match store {
+        Some(store) => {
+            let fp = eval_fingerprint(&workload.module, variant_module, name, config);
+            let key = Key::of(&fp);
+            let (summary, outcome) = store.memoize(&key, run).map_err(|e| match e {
+                ipas::store::MemoError::Store(e) => format!("artifact store failed: {e}"),
+                ipas::store::MemoError::Compute(e) => e,
+            })?;
+            log_stage("eval", outcome, &key);
+            Ok(summary)
+        }
+        None => run(),
+    }
+}
+
+fn models_command(args: &Args) -> ExitCode {
+    let action = args.positional.get(1).map(String::as_str).unwrap_or("list");
+    let store = match store_from_env() {
+        Ok(Some(s)) => s,
+        Ok(None) => {
+            eprintln!("ipas: `ipas models` needs IPAS_STORE_DIR to point at an artifact store");
+            return ExitCode::FAILURE;
+        }
+        Err(code) => return code,
+    };
+    match action {
+        "list" => {
+            let entries = match store.list() {
+                Ok(e) => e,
+                Err(e) => {
+                    eprintln!("ipas: cannot list store: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!("{:<18} {:>9}  key", "kind", "bytes");
+            for e in &entries {
+                println!("{:<18} {:>9}  {}", e.kind.tag(), e.bytes, e.key);
+            }
+            match store.registry().entries() {
+                Ok(named) if !named.is_empty() => {
+                    println!("\nregistered models:");
+                    for n in named {
+                        println!("  {:<20} {} ({})", n.name, n.key.short(), n.note);
+                    }
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    eprintln!("ipas: registry unreadable: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            eprintln!(
+                "[ipas] {} artifacts in {}",
+                entries.len(),
+                store.root().display()
+            );
+            ExitCode::SUCCESS
+        }
+        "verify" => {
+            let reports = match store.verify() {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("ipas: cannot verify store: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut bad = 0usize;
+            for r in &reports {
+                match &r.status {
+                    Ok(schema) => println!(
+                        "ok       {:<18} {} (schema {schema})",
+                        r.entry.kind.tag(),
+                        r.entry.key
+                    ),
+                    Err(e) => {
+                        bad += 1;
+                        println!("CORRUPT  {:<18} {}: {e}", r.entry.kind.tag(), r.entry.key);
+                    }
+                }
+            }
+            eprintln!(
+                "[ipas] verified {} artifacts, {} damaged",
+                reports.len(),
+                bad
+            );
+            if bad == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        "gc" => {
+            let report = match store.gc() {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("ipas: gc failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            for (kind, key) in &report.removed {
+                println!("removed {:<18} {key}", kind.tag());
+            }
+            eprintln!(
+                "[ipas] gc: kept {} registered, removed {} unreferenced",
+                report.kept,
+                report.removed.len()
+            );
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("ipas: unknown models action `{other}` (expected list|verify|gc)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args = Args::parse();
-    let (Some(cmd), Some(path)) = (args.positional.first(), args.positional.get(1)) else {
+    let Some(cmd) = args.positional.first() else {
+        return usage();
+    };
+    if cmd == "models" {
+        return models_command(&args);
+    }
+    let Some(path) = args.positional.get(1) else {
         return usage();
     };
     if !matches!(
         cmd.as_str(),
-        "protect" | "run" | "ir" | "inject" | "explain"
+        "protect" | "train" | "run" | "ir" | "inject" | "explain"
     ) {
         return usage();
     }
@@ -162,7 +434,11 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let data = build_training_set(&workload, &campaign.records, LabelKind::SocGenerating);
+            let data = ipas::core::build_training_set(
+                &workload,
+                &campaign.records,
+                LabelKind::SocGenerating,
+            );
             if data.num_positive() == 0 || data.num_positive() == data.len() {
                 eprintln!("ipas: degenerate training labels; raise --runs");
                 return ExitCode::FAILURE;
@@ -218,6 +494,91 @@ fn main() -> ExitCode {
             );
             ExitCode::SUCCESS
         }
+        "train" => {
+            let tolerance = args.get("tolerance", 1e-9f64);
+            let runs = args.get("runs", 400usize);
+            let top = args.get("top", 3usize);
+            let seed = args.get("seed", 2016u64);
+            let policy_name = args
+                .flags
+                .get("policy")
+                .cloned()
+                .unwrap_or_else(|| "ipas".into());
+            let label = match policy_name.as_str() {
+                "ipas" => LabelKind::SocGenerating,
+                "baseline" => LabelKind::SymptomGenerating,
+                other => {
+                    eprintln!("ipas: cannot train policy `{other}` (expected ipas|baseline)");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let store = match store_from_env() {
+                Ok(s) => s,
+                Err(code) => return code,
+            };
+            let save_as = args.flags.get("save-model");
+            if save_as.is_some() && store.is_none() {
+                eprintln!("ipas: --save-model needs IPAS_STORE_DIR to point at an artifact store");
+                return ExitCode::FAILURE;
+            }
+
+            let workload = match Workload::serial("cli", module, tolerance) {
+                Ok(w) => w,
+                Err(e) => {
+                    eprintln!("ipas: golden run failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let config = CampaignConfig {
+                runs,
+                seed,
+                threads: 0,
+            };
+            let set = match training_stage(store.as_ref(), &workload, &config) {
+                Ok(set) => set,
+                Err(e) => {
+                    eprintln!("ipas: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let campaign_fp = campaign_fingerprint(&workload.module, &config);
+            let (models, best_key) = match classifier_stage(
+                store.as_ref(),
+                &set,
+                &campaign_fp,
+                label,
+                &GridOptions::quick(),
+                top,
+            ) {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("ipas: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let best = &models[0];
+            eprintln!(
+                "[ipas] best config: C={:.1} gamma={:.4} F-score={:.3} ({} support vectors)",
+                best.score().params.c,
+                best.score().params.gamma,
+                best.score().f_score,
+                best.svm().num_support_vectors()
+            );
+            if let (Some(name), Some(store)) = (save_as, &store) {
+                let note = format!("{policy_name} model for {path}");
+                if let Err(e) = store.registry().register(
+                    name,
+                    ipas::store::ArtifactKind::TrainedModel,
+                    &best_key,
+                    &note,
+                ) {
+                    eprintln!("ipas: cannot register model `{name}`: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("[ipas] model saved as `{name}` -> {}", best_key.short());
+            }
+            ExitCode::SUCCESS
+        }
         "protect" => {
             let tolerance = args.get("tolerance", 1e-9f64);
             let runs = args.get("runs", 400usize);
@@ -229,6 +590,13 @@ fn main() -> ExitCode {
                 .get("policy")
                 .cloned()
                 .unwrap_or_else(|| "ipas".into());
+            let store = match store_from_env() {
+                Ok(s) => s,
+                Err(code) => return code,
+            };
+            if let Some(store) = &store {
+                eprintln!("[ipas] artifact store: {}", store.root().display());
+            }
 
             let workload = match Workload::serial("cli", module, tolerance) {
                 Ok(w) => w,
@@ -243,52 +611,74 @@ fn main() -> ExitCode {
             );
 
             // Steps 2-3: campaign + classifier (not needed for `full`).
-            let policy = match policy_name.as_str() {
-                "full" => ProtectionPolicy::FullDuplication,
+            let (policy, model_key) = match policy_name.as_str() {
+                "full" => (ProtectionPolicy::FullDuplication, None),
                 name @ ("ipas" | "baseline") => {
-                    eprintln!("[ipas] training campaign: {runs} injections ...");
-                    let campaign = match run_campaign(
-                        &workload,
-                        &CampaignConfig {
-                            runs,
-                            seed,
-                            threads: 0,
-                        },
-                    ) {
-                        Ok(campaign) => campaign,
-                        Err(err) => {
-                            eprintln!("ipas: training campaign failed: {err}");
-                            return ExitCode::FAILURE;
-                        }
-                    };
                     let label = if name == "ipas" {
                         LabelKind::SocGenerating
                     } else {
                         LabelKind::SymptomGenerating
                     };
-                    let data = build_training_set(&workload, &campaign.records, label);
-                    eprintln!(
-                        "[ipas] training set: {} samples, {:.1}% positive",
-                        data.len(),
-                        data.positive_fraction() * 100.0
-                    );
-                    if data.num_positive() == 0 || data.num_positive() == data.len() {
-                        eprintln!("ipas: degenerate training labels; raise --runs");
-                        return ExitCode::FAILURE;
-                    }
-                    let models = train_top_configs(&data, &GridOptions::quick(), top);
-                    let best = models.into_iter().next().expect("grid is non-empty");
+                    let (best, key) = if let Some(spec) = args.flags.get("model") {
+                        let Some(store) = &store else {
+                            eprintln!(
+                                "ipas: --model needs IPAS_STORE_DIR to point at an artifact store"
+                            );
+                            return ExitCode::FAILURE;
+                        };
+                        match resolve_model(store, spec) {
+                            Ok((key, model)) => {
+                                eprintln!("[ipas] store: using model `{spec}` ({})", key.short());
+                                (model, key)
+                            }
+                            Err(e) => {
+                                eprintln!("ipas: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        }
+                    } else {
+                        let config = CampaignConfig {
+                            runs,
+                            seed,
+                            threads: 0,
+                        };
+                        let set = match training_stage(store.as_ref(), &workload, &config) {
+                            Ok(set) => set,
+                            Err(e) => {
+                                eprintln!("ipas: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        };
+                        let campaign_fp = campaign_fingerprint(&workload.module, &config);
+                        let (models, best_key) = match classifier_stage(
+                            store.as_ref(),
+                            &set,
+                            &campaign_fp,
+                            label,
+                            &GridOptions::quick(),
+                            top,
+                        ) {
+                            Ok(v) => v,
+                            Err(e) => {
+                                eprintln!("ipas: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        };
+                        let best = models.into_iter().next().expect("grid is non-empty");
+                        (best, best_key)
+                    };
                     eprintln!(
                         "[ipas] best config: C={:.1} gamma={:.4} F-score={:.3}",
                         best.score().params.c,
                         best.score().params.gamma,
                         best.score().f_score
                     );
-                    if name == "ipas" {
+                    let policy = if name == "ipas" {
                         ProtectionPolicy::Ipas(best)
                     } else {
                         ProtectionPolicy::Baseline(best)
-                    }
+                    };
+                    (policy, Some(key))
                 }
                 other => {
                     eprintln!("ipas: unknown policy `{other}`");
@@ -296,44 +686,102 @@ fn main() -> ExitCode {
                 }
             };
 
-            // Step 4: protect and evaluate.
-            let (protected, stats) = policy.apply(&workload.module);
+            // Step 4: protect (memoized: a warm run re-emits the stored,
+            // byte-identical module without re-running duplication).
+            let (protected, stats, dup_outcome) = match memoized_protect(
+                store.as_ref(),
+                &workload.module,
+                &policy,
+                model_key.as_ref(),
+            ) {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("ipas: duplication failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if store.is_some() {
+                eprintln!("[ipas] store: duplication stage {}", dup_outcome.label());
+            }
             eprintln!(
                 "[ipas] duplicated {}/{} instructions, {} checks",
                 stats.duplicated, stats.considered, stats.checks
             );
+
+            // Evaluation campaigns (memoized as summaries).
             let eval = CampaignConfig {
                 runs: eval_runs,
                 seed: seed ^ 0xE7A1,
                 threads: 0,
             };
-            let journal_dir = std::env::var_os("IPAS_JOURNAL_DIR").map(std::path::PathBuf::from);
-            let unprot = match run_campaign(&workload, &eval) {
-                Ok(unprot) => unprot,
-                Err(err) => {
-                    eprintln!("ipas: unprotected campaign failed: {err}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            let unprot_soc = unprot.fraction(Outcome::Soc) * 100.0;
-            match evaluate_variant(
-                &workload,
-                protected.clone(),
-                policy.label(),
-                stats,
-                Some(unprot_soc),
-                &eval,
-                journal_dir.as_deref(),
-            ) {
-                Ok(v) => {
-                    eprintln!(
-                        "[ipas] SOC {unprot_soc:.2}% -> {:.2}% ({:.1}% reduction) at {:.2}x slowdown",
-                        v.soc_pct, v.soc_reduction_pct, v.slowdown
-                    );
-                }
-                Err(e) => {
-                    eprintln!("ipas: evaluation failed: {e}");
-                    return ExitCode::FAILURE;
+            if store.is_some() {
+                let unprot = match eval_stage(
+                    store.as_ref(),
+                    &workload,
+                    &workload.module,
+                    "unprotected",
+                    &eval,
+                ) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("ipas: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let variant = match eval_stage(
+                    store.as_ref(),
+                    &workload,
+                    &protected,
+                    policy.label(),
+                    &eval,
+                ) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("ipas: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let unprot_soc = unprot.soc_pct();
+                let soc = variant.soc_pct();
+                let reduction = if unprot_soc > 0.0 {
+                    (unprot_soc - soc) / unprot_soc * 100.0
+                } else {
+                    0.0
+                };
+                let slowdown = variant.nominal_insts as f64 / workload.nominal_insts as f64;
+                eprintln!(
+                    "[ipas] SOC {unprot_soc:.2}% -> {soc:.2}% ({reduction:.1}% reduction) at {slowdown:.2}x slowdown"
+                );
+            } else {
+                let journal_dir =
+                    std::env::var_os("IPAS_JOURNAL_DIR").map(std::path::PathBuf::from);
+                let unprot = match run_campaign(&workload, &eval) {
+                    Ok(unprot) => unprot,
+                    Err(err) => {
+                        eprintln!("ipas: unprotected campaign failed: {err}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let unprot_soc = unprot.fraction(Outcome::Soc) * 100.0;
+                match evaluate_variant(
+                    &workload,
+                    protected.clone(),
+                    policy.label(),
+                    stats,
+                    Some(unprot_soc),
+                    &eval,
+                    journal_dir.as_deref(),
+                ) {
+                    Ok(v) => {
+                        eprintln!(
+                            "[ipas] SOC {unprot_soc:.2}% -> {:.2}% ({:.1}% reduction) at {:.2}x slowdown",
+                            v.soc_pct, v.soc_reduction_pct, v.slowdown
+                        );
+                    }
+                    Err(e) => {
+                        eprintln!("ipas: evaluation failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
                 }
             }
 

@@ -13,5 +13,6 @@ pub use ipas_interp as interp;
 pub use ipas_ir as ir;
 pub use ipas_lang as lang;
 pub use ipas_mpisim as mpisim;
+pub use ipas_store as store;
 pub use ipas_svm as svm;
 pub use ipas_workloads as workloads;

@@ -111,6 +111,7 @@ fn experiments_are_reproducible() {
         seed: 99,
         threads: 0,
         journal_dir: None,
+        store_dir: None,
     };
     let r1 = run_experiment(&w1, &opts).unwrap();
     let r2 = run_experiment(&w2, &opts).unwrap();
