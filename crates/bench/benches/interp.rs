@@ -1,0 +1,82 @@
+//! Criterion benchmarks for the two execution engines.
+//!
+//! Complements `bench_interp` (the JSON-emitting campaign harness):
+//! these measure the engine primitives in isolation — single-run
+//! execution on each engine, the one-time lowering cost of
+//! [`CompiledProgram::compile`], and machine reuse versus rebuild —
+//! so a throughput regression can be attributed to the right layer.
+//! Run with `cargo bench --bench interp`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ipas_interp::{CompiledMachine, CompiledProgram, Machine, RtVal, RunConfig};
+use ipas_workloads::Kind;
+
+fn workload_module(kind: Kind) -> (ipas_ir::Module, RunConfig) {
+    let module = ipas_lang::compile_named(ipas_workloads::sources::source(kind), kind.name())
+        .expect("compiles");
+    let config = RunConfig {
+        entry: "main".into(),
+        args: vec![RtVal::I64(kind.base_input())],
+        ..RunConfig::default()
+    };
+    (module, config)
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    for kind in [Kind::Is, Kind::Hpccg, Kind::Fft] {
+        let (module, config) = workload_module(kind);
+        group.bench_function(format!("reference_{}", kind.name()), |b| {
+            b.iter(|| {
+                Machine::new(&module)
+                    .run(&config)
+                    .expect("workload runs")
+                    .dynamic_insts
+            })
+        });
+        let program = CompiledProgram::compile(&module);
+        let mut machine = CompiledMachine::new(&program);
+        group.bench_function(format!("compiled_{}", kind.name()), |b| {
+            b.iter(|| machine.run(&config).expect("workload runs").dynamic_insts)
+        });
+    }
+    group.finish();
+}
+
+fn bench_lowering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lowering");
+    for kind in [Kind::Comd, Kind::Amg] {
+        let (module, _) = workload_module(kind);
+        group.bench_function(format!("compile_{}", kind.name()), |b| {
+            b.iter(|| CompiledProgram::compile(&module).num_functions())
+        });
+    }
+    group.finish();
+}
+
+fn bench_machine_reuse(c: &mut Criterion) {
+    // Fresh machine per run vs reset-and-reuse: the allocation savings
+    // the campaign scheduler depends on.
+    let (module, config) = workload_module(Kind::Is);
+    let program = CompiledProgram::compile(&module);
+    let mut group = c.benchmark_group("machine_reuse");
+    group.sample_size(10);
+    group.bench_function("fresh_each_run", |b| {
+        b.iter(|| {
+            CompiledMachine::new(&program)
+                .run(&config)
+                .expect("workload runs")
+                .dynamic_insts
+        })
+    });
+    let mut machine = CompiledMachine::new(&program);
+    group.bench_function("reused", |b| {
+        b.iter(|| machine.run(&config).expect("workload runs").dynamic_insts)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_lowering, bench_machine_reuse);
+criterion_main!(benches);

@@ -45,6 +45,7 @@ fn main() {
                 runs: opts.training_runs,
                 seed: opts.seed,
                 threads: opts.threads,
+                ..CampaignConfig::default()
             },
         )
         .expect("training campaign completes");

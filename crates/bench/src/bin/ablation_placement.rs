@@ -19,6 +19,7 @@ fn main() {
         runs: opts.eval_runs,
         seed: opts.seed ^ 0x91AC,
         threads: opts.threads,
+        ..CampaignConfig::default()
     };
     let mut rows = Vec::new();
     for kind in Kind::ALL {

@@ -19,6 +19,7 @@ fn main() {
         runs: opts.training_runs,
         seed: opts.seed ^ 0x5A11,
         threads: opts.threads,
+        ..CampaignConfig::default()
     };
     let mut rows = Vec::new();
     for kind in Kind::ALL {

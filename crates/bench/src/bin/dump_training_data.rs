@@ -61,6 +61,7 @@ fn main() {
         runs,
         seed: opts.seed,
         threads: opts.threads,
+        ..CampaignConfig::default()
     };
     let run_training = || -> Result<TrainingSet, ipas_faultsim::CampaignError> {
         let campaign = run_campaign(&workload, &config)?;

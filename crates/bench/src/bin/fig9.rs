@@ -56,6 +56,7 @@ fn main() {
                 runs,
                 seed: opts.seed ^ (0xF19 + i as u64),
                 threads: opts.threads,
+                ..CampaignConfig::default()
             };
             let unprot_campaign =
                 run_campaign(&unprot, &eval).expect("unprotected campaign completes");

@@ -31,6 +31,7 @@ fn main() {
         runs: opts.eval_runs,
         seed: opts.seed ^ 0x1A7E,
         threads: opts.threads,
+        ..CampaignConfig::default()
     };
     let mut rows = Vec::new();
     for kind in Kind::ALL {

@@ -31,7 +31,7 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use ipas_core::{run_experiment, ExperimentOptions, ExperimentResult};
-use ipas_faultsim::{margin_of_error, Outcome};
+use ipas_faultsim::{margin_of_error, Engine, Outcome};
 use ipas_svm::GridOptions;
 use ipas_workloads::Kind;
 
@@ -80,6 +80,7 @@ impl Profile {
                 },
                 seed: 2016,
                 threads: 0,
+                engine: Engine::default(),
                 journal_dir: journal_dir_from_env(),
                 store_dir: store_dir_from_env(),
             },
@@ -95,6 +96,7 @@ impl Profile {
                 },
                 seed: 2016,
                 threads: 0,
+                engine: Engine::default(),
                 journal_dir: journal_dir_from_env(),
                 store_dir: store_dir_from_env(),
             },
@@ -105,6 +107,7 @@ impl Profile {
                 grid: GridOptions::default(),
                 seed: 2016,
                 threads: 0,
+                engine: Engine::default(),
                 journal_dir: journal_dir_from_env(),
                 store_dir: store_dir_from_env(),
             },
@@ -378,6 +381,7 @@ pub fn protect_with_named_config(
         runs: opts.training_runs,
         seed: opts.seed,
         threads: opts.threads,
+        engine: opts.engine,
     };
     let campaign_fp = ipas_core::campaign_fingerprint(&workload.module, &train_cfg);
     // The campaign, training set, and models share keys with the cached

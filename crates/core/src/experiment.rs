@@ -11,7 +11,7 @@ use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use ipas_faultsim::{
-    run_campaign_with, CampaignConfig, CampaignError, CampaignOptions, CampaignResult,
+    run_campaign_with, CampaignConfig, CampaignError, CampaignOptions, CampaignResult, Engine,
     JournalError, Outcome, Workload, WorkloadError,
 };
 use ipas_store::{Key, ProtectedModule, Store, StoreError, TrainingSet};
@@ -49,6 +49,10 @@ pub struct ExperimentOptions {
     /// are memoized by input fingerprint: a re-run with identical
     /// inputs resolves them from the store instead of recomputing.
     pub store_dir: Option<PathBuf>,
+    /// Interpreter engine for all campaigns (training and evaluation).
+    /// Engines are bit-identical, so this never changes results or
+    /// store fingerprints — only wall-clock time.
+    pub engine: Engine,
 }
 
 impl Default for ExperimentOptions {
@@ -62,6 +66,7 @@ impl Default for ExperimentOptions {
             threads: 0,
             journal_dir: None,
             store_dir: None,
+            engine: Engine::default(),
         }
     }
 }
@@ -354,6 +359,7 @@ pub fn run_experiment(
         runs: opts.training_runs,
         seed: opts.seed,
         threads: opts.threads,
+        engine: opts.engine,
     };
     let campaign_fp = memo::campaign_fingerprint(&workload.module, &train_cfg);
     let run_training = || -> Result<TrainingSet, ExperimentError> {
@@ -416,6 +422,7 @@ pub fn run_experiment(
         runs: opts.eval_runs,
         seed: opts.seed ^ 0x00C0_FFEE,
         threads: opts.threads,
+        engine: opts.engine,
     };
 
     let (unprot_module, unprot_stats) = ProtectionPolicy::Unprotected.apply(&workload.module);
@@ -597,6 +604,7 @@ fn main() -> int {
                 runs: 32,
                 seed: 1,
                 threads: 2,
+                ..CampaignConfig::default()
             },
             None,
         )

@@ -40,8 +40,8 @@
 //! let (protected, stats) = ProtectionPolicy::FullDuplication.apply(&workload.module);
 //! assert!(stats.duplicated > 0);
 //! let protected_wl = workload.with_module("sum-full", protected).unwrap();
-//! let result = run_campaign(&protected_wl, &CampaignConfig { runs: 48, seed: 1, threads: 2 })
-//!     .expect("campaign completes");
+//! let config = CampaignConfig { runs: 48, seed: 1, threads: 2, ..CampaignConfig::default() };
+//! let result = run_campaign(&protected_wl, &config).expect("campaign completes");
 //! assert!(result.count(Outcome::Detected) > 0);
 //! ```
 

@@ -9,9 +9,10 @@
 //! re-running a pipeline with identical inputs resolves stages from the
 //! store while changing any knob forces a recompute.
 //!
-//! Thread counts are deliberately *excluded* from campaign
-//! fingerprints: campaigns are seed-deterministic across worker counts,
-//! so the same plan on more cores must still hit.
+//! Thread counts and the interpreter engine are deliberately *excluded*
+//! from campaign fingerprints: campaigns are seed-deterministic across
+//! worker counts and bit-identical across engines, so the same plan on
+//! more cores — or re-run under `--engine reference` — must still hit.
 
 use ipas_analysis::{Feature, FEATURE_SCHEMA_VERSION};
 use ipas_faultsim::{CampaignConfig, CampaignResult, Outcome, Workload};
@@ -35,7 +36,9 @@ pub fn module_fingerprint(module: &Module) -> Fingerprint {
 /// Fingerprint of a fault-injection campaign over `module`: the module
 /// text plus the plan-determining knobs (`runs`, `seed`) and the
 /// feature-schema version (the stored artifact embeds feature rows).
-/// `threads` is excluded — campaigns are seed-deterministic.
+/// `threads` is excluded — campaigns are seed-deterministic — and so is
+/// `engine`: both engines produce byte-identical records, so a cached
+/// campaign is valid whichever engine computed it.
 pub fn campaign_fingerprint(module: &Module, config: &CampaignConfig) -> Fingerprint {
     FingerprintBuilder::new("training-campaign")
         .text("ir", &module.to_text())
@@ -252,6 +255,7 @@ mod tests {
             runs: 100,
             seed: 7,
             threads: 1,
+            ..CampaignConfig::default()
         };
         let fp = campaign_fingerprint(&m, &base);
         assert_eq!(
@@ -259,6 +263,13 @@ mod tests {
             campaign_fingerprint(&m, &CampaignConfig { threads: 8, ..base }),
             "thread count must not change the key"
         );
+        for engine in ipas_faultsim::Engine::ALL {
+            assert_eq!(
+                fp,
+                campaign_fingerprint(&m, &CampaignConfig { engine, ..base }),
+                "engine must not change the key (records are engine-independent)"
+            );
+        }
         assert_ne!(
             fp,
             campaign_fingerprint(&m, &CampaignConfig { runs: 101, ..base })
@@ -280,6 +291,7 @@ mod tests {
                 runs: 64,
                 seed: 1,
                 threads: 0,
+                ..CampaignConfig::default()
             },
         );
         let grid = GridOptions::quick();

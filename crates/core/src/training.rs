@@ -87,6 +87,7 @@ fn main() -> int {
                 runs: 64,
                 seed: 2,
                 threads: 4,
+                ..CampaignConfig::default()
             },
         )
         .expect("campaign completes");
@@ -111,6 +112,7 @@ fn main() -> int {
                 runs: 96,
                 seed: 3,
                 threads: 4,
+                ..CampaignConfig::default()
             },
         )
         .expect("campaign completes");

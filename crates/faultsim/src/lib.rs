@@ -47,11 +47,20 @@
 //!        output_i(s); return 0; }",
 //! ).unwrap();
 //! let workload = Workload::serial("sum", module, GoldenToleranceVerifier::EXACT).unwrap();
-//! let result = run_campaign(&workload, &CampaignConfig { runs: 40, seed: 7, threads: 2 })
-//!     .expect("campaign completes");
+//! let config = CampaignConfig { runs: 40, seed: 7, threads: 2, ..CampaignConfig::default() };
+//! let result = run_campaign(&workload, &config).expect("campaign completes");
 //! assert_eq!(result.records.len(), 40);
 //! assert!(result.fraction(ipas_faultsim::Outcome::Soc) <= 1.0);
 //! ```
+//!
+//! # Execution engines
+//!
+//! [`CampaignConfig::engine`] selects the interpreter:
+//! [`Engine::Compiled`] (default) lowers the module once per campaign
+//! and runs it on pre-decoded machines reused per worker thread;
+//! [`Engine::Reference`] tree-walks the IR directly. The two are
+//! bit-identical — same seed, same records, byte for byte — so the knob
+//! only trades throughput, never results (see `docs/interpreter.md`).
 
 #![warn(missing_docs)]
 
@@ -64,10 +73,14 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
-use ipas_interp::{Injection, Machine, OutputStream, RtVal, RunConfig, RunOutput, RunStatus};
+use ipas_interp::{
+    CompiledMachine, CompiledProgram, Injection, Machine, OutputStream, RtVal, RunConfig, RunError,
+    RunOutput, RunStatus,
+};
 use ipas_ir::{FuncId, InstId, Module};
 use rand::{Rng, SeedableRng};
 
+pub use ipas_interp::Engine;
 pub use journal::{CampaignJournal, JournalError, JournalHeader, ResumeState};
 
 /// The four §5.5 outcome categories of one fault-injection run.
@@ -338,6 +351,10 @@ pub struct CampaignConfig {
     pub seed: u64,
     /// Worker threads (0 = all available cores).
     pub threads: usize,
+    /// Which interpreter engine executes the runs. Both engines are
+    /// bit-identical (same records for the same seed), so this is a
+    /// pure throughput knob; the pre-decoded engine is the default.
+    pub engine: Engine,
 }
 
 impl Default for CampaignConfig {
@@ -346,6 +363,7 @@ impl Default for CampaignConfig {
             runs: 256,
             seed: 0,
             threads: 0,
+            engine: Engine::default(),
         }
     }
 }
@@ -621,6 +639,27 @@ enum Slot {
     Failure(HarnessFailure),
 }
 
+/// One worker's execution engine. The compiled variant holds a
+/// resettable machine over the campaign's shared [`CompiledProgram`],
+/// so per-run allocations amortize across the worker's whole plan
+/// stream; the reference variant rebuilds its (stateless) machine per
+/// attempt.
+enum Runner<'w> {
+    Reference(&'w Module),
+    Compiled(CompiledMachine<'w>),
+}
+
+impl Runner<'_> {
+    fn run(&mut self, config: &RunConfig) -> Result<RunOutput, RunError> {
+        match self {
+            Runner::Reference(module) => Machine::new(module).run(config),
+            // `CompiledMachine::run` resets all machine state first, so
+            // a previous panicking attempt cannot contaminate this one.
+            Runner::Compiled(machine) => machine.run(config),
+        }
+    }
+}
+
 /// Runs a campaign under the full resilient runtime (see the crate docs'
 /// *Campaign resilience* section and [`CampaignOptions`]).
 ///
@@ -704,33 +743,54 @@ pub fn run_campaign_with(
     let abort = AtomicBool::new(false);
     let journal_error: Mutex<Option<JournalError>> = Mutex::new(None);
 
+    // One lowering for the whole campaign; worker threads share it and
+    // each run a private resettable machine against it.
+    let compiled = match config.engine {
+        Engine::Compiled => Some(CompiledProgram::compile(&workload.module)),
+        Engine::Reference => None,
+    };
+
     std::thread::scope(|scope| {
         for _ in 0..threads.max(1) {
-            scope.spawn(|| loop {
-                if abort.load(Ordering::Relaxed) {
-                    break;
-                }
-                let n = next.fetch_add(1, Ordering::Relaxed);
-                if n >= pending.len() {
-                    break;
-                }
-                let i = pending[n];
-                let slot = execute_plan(workload, config.seed, options, budget, i, plans[i]);
-                if let Some(journal) = &journal {
-                    let written = match &slot {
-                        Slot::Record(record) => journal.append_record(i, record),
-                        Slot::Failure(failure) => journal.append_failure(failure),
-                    };
-                    if let Err(e) = written {
-                        // Losing the checkpoint makes further work
-                        // unresumable; stop the campaign instead of
-                        // silently continuing without it.
-                        lock_ignoring_poison(&journal_error).get_or_insert(e);
-                        abort.store(true, Ordering::Relaxed);
+            scope.spawn(|| {
+                let mut runner = match &compiled {
+                    Some(program) => Runner::Compiled(CompiledMachine::new(program)),
+                    None => Runner::Reference(&workload.module),
+                };
+                loop {
+                    if abort.load(Ordering::Relaxed) {
                         break;
                     }
+                    let n = next.fetch_add(1, Ordering::Relaxed);
+                    if n >= pending.len() {
+                        break;
+                    }
+                    let i = pending[n];
+                    let slot = execute_plan(
+                        workload,
+                        &mut runner,
+                        config.seed,
+                        options,
+                        budget,
+                        i,
+                        plans[i],
+                    );
+                    if let Some(journal) = &journal {
+                        let written = match &slot {
+                            Slot::Record(record) => journal.append_record(i, record),
+                            Slot::Failure(failure) => journal.append_failure(failure),
+                        };
+                        if let Err(e) = written {
+                            // Losing the checkpoint makes further work
+                            // unresumable; stop the campaign instead of
+                            // silently continuing without it.
+                            lock_ignoring_poison(&journal_error).get_or_insert(e);
+                            abort.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                    *lock_ignoring_poison(&slots[i]) = Some(slot);
                 }
-                *lock_ignoring_poison(&slots[i]) = Some(slot);
             });
         }
     });
@@ -772,6 +832,7 @@ fn lock_ignoring_poison<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 /// Executes one plan under panic isolation and the retry policy.
 fn execute_plan(
     workload: &Workload,
+    runner: &mut Runner<'_>,
     seed: u64,
     options: &CampaignOptions,
     budget: u64,
@@ -781,12 +842,14 @@ fn execute_plan(
     let max_attempts = options.retry.max_attempts.max(1);
     let mut last_error = String::new();
     for attempt in 1..=max_attempts {
-        // The machine is recreated per attempt: it is stateless, and a
-        // panicking attempt must not leak state into the retry. The
-        // verifier runs inside the same isolation boundary — a panic in
-        // user verification code is a harness failure, not an abort.
+        // Every attempt starts from pristine machine state: the
+        // reference machine is rebuilt (it is stateless) and the
+        // compiled machine resets itself on entry, so a panicking
+        // attempt cannot leak state into the retry. The verifier runs
+        // inside the same isolation boundary — a panic in user
+        // verification code is a harness failure, not an abort.
         let attempt_result = catch_unwind(AssertUnwindSafe(|| {
-            classify_plan(workload, options, budget, plan, attempt)
+            classify_plan(workload, &mut *runner, options, budget, plan, attempt)
         }));
         match attempt_result {
             Ok(Ok(record)) => return Slot::Record(record),
@@ -809,13 +872,13 @@ fn execute_plan(
 /// One isolated attempt: run the interpreter and classify the output.
 fn classify_plan(
     workload: &Workload,
+    runner: &mut Runner<'_>,
     options: &CampaignOptions,
     budget: u64,
     plan: Injection,
     attempt: u32,
 ) -> Result<InjectionRecord, String> {
-    let mut machine = Machine::new(&workload.module);
-    let out = machine
+    let out = runner
         .run(&RunConfig {
             entry: workload.entry.clone(),
             args: workload.args.clone(),

@@ -39,6 +39,7 @@ fn campaign_classifies_every_run() {
             runs: 64,
             seed: 3,
             threads: 4,
+            ..CampaignConfig::default()
         },
     )
     .expect("campaign completes");
@@ -59,11 +60,13 @@ fn campaigns_are_deterministic_across_thread_counts() {
         runs: 32,
         seed: 11,
         threads: 1,
+        ..CampaignConfig::default()
     };
     let cfg4 = CampaignConfig {
         runs: 32,
         seed: 11,
         threads: 4,
+        ..CampaignConfig::default()
     };
     let a = run_campaign(&w, &cfg1).expect("campaign completes");
     let b = run_campaign(&w, &cfg4).expect("campaign completes");
@@ -80,6 +83,7 @@ fn different_seeds_differ() {
             runs: 32,
             seed: 1,
             threads: 2,
+            ..CampaignConfig::default()
         },
     )
     .expect("campaign completes");
@@ -89,6 +93,7 @@ fn different_seeds_differ() {
             runs: 32,
             seed: 2,
             threads: 2,
+            ..CampaignConfig::default()
         },
     )
     .expect("campaign completes");
@@ -104,6 +109,7 @@ fn sites_are_recorded_and_valid() {
             runs: 16,
             seed: 5,
             threads: 2,
+            ..CampaignConfig::default()
         },
     )
     .expect("campaign completes");
@@ -193,6 +199,7 @@ fn main() -> int {
             runs: 128,
             seed: 9,
             threads: 4,
+            ..CampaignConfig::default()
         },
     )
     .expect("campaign completes");
@@ -219,6 +226,7 @@ fn hang_detection_classifies_as_symptom() {
             runs: 96,
             seed: 17,
             threads: 4,
+            ..CampaignConfig::default()
         },
     )
     .expect("campaign completes");
@@ -256,6 +264,7 @@ fn main() -> int {
         runs: 200,
         seed: 21,
         threads: 2,
+        ..CampaignConfig::default()
     };
     let dynamic =
         run_campaign_sampled(&w, &cfg, SamplingMode::DynamicUniform).expect("campaign completes");

@@ -1,0 +1,273 @@
+//! Engine bit-identity at campaign scale.
+//!
+//! The `engine` knob on [`CampaignConfig`] is a pure throughput choice:
+//! the same seed must yield *byte-identical* campaign results whether
+//! plans execute on the tree-walking reference or the pre-decoded
+//! engine, at any thread count. These tests run the full cross product
+//! on workloads chosen to exercise every outcome class — clean SOC/
+//! Masked splits, pointer traps, and budget hangs — plus the resilience
+//! machinery (verifier panics, retries, wall-clock watchdogs) under the
+//! compiled engine.
+
+use std::time::Duration;
+
+use ipas_faultsim::{
+    run_campaign, run_campaign_with, CampaignConfig, CampaignOptions, CampaignResult, Engine,
+    GoldenToleranceVerifier, Outcome, OutputVerifier, RetryPolicy, Workload,
+};
+use ipas_interp::RunOutput;
+
+const SUM_SRC: &str = r#"
+fn main() -> int {
+    let s: int = 0;
+    for (let i: int = 0; i < 200; i = i + 1) {
+        s = s + i * i - i / 3;
+    }
+    output_i(s);
+    return 0;
+}
+"#;
+
+/// Pointer chasing: GEP corruption traps, covering Symptom records.
+const PTR_SRC: &str = r#"
+fn main() -> int {
+    let a: [int] = new_int(64);
+    for (let i: int = 0; i < 64; i = i + 1) { a[i] = i * 3; }
+    let s: int = 0;
+    for (let i: int = 0; i < 64; i = i + 1) { s = s + a[i]; }
+    output_i(s);
+    free_arr(a);
+    return 0;
+}
+"#;
+
+/// A countdown loop whose corrupted counter spins into the instruction
+/// budget, covering Hang→Symptom records.
+const HANG_SRC: &str = r#"
+fn main() -> int {
+    let i: int = 20000;
+    while (i > 0) { i = i - 1; }
+    output_i(i);
+    return 0;
+}
+"#;
+
+fn workload(name: &str, src: &str) -> Workload {
+    let module = ipas_lang::compile(src).unwrap();
+    Workload::serial(name, module, GoldenToleranceVerifier::EXACT).unwrap()
+}
+
+/// Runs the same campaign across both engines and threads {1, 4} and
+/// asserts all four results are byte-identical.
+fn assert_engine_identity(w: &Workload, runs: usize, seed: u64) -> CampaignResult {
+    let mut results: Vec<(String, CampaignResult)> = Vec::new();
+    for engine in Engine::ALL {
+        for threads in [1usize, 4] {
+            let r = run_campaign(
+                w,
+                &CampaignConfig {
+                    runs,
+                    seed,
+                    threads,
+                    engine,
+                },
+            )
+            .expect("campaign completes");
+            results.push((format!("{engine}/threads={threads}"), r));
+        }
+    }
+    let (base_label, base) = results.swap_remove(0);
+    for (label, r) in &results {
+        assert_eq!(
+            &base.records, &r.records,
+            "records differ: {base_label} vs {label} on {}",
+            w.name
+        );
+        assert_eq!(
+            &base.harness_failures, &r.harness_failures,
+            "harness failures differ: {base_label} vs {label} on {}",
+            w.name
+        );
+    }
+    base
+}
+
+#[test]
+fn campaign_records_are_engine_and_thread_invariant() {
+    let sum = assert_engine_identity(&workload("sum", SUM_SRC), 64, 11);
+    assert!(sum.count(Outcome::Soc) > 0, "sum flips must reach outputs");
+
+    let ptr = assert_engine_identity(&workload("ptr", PTR_SRC), 96, 9);
+    assert!(
+        ptr.count(Outcome::Symptom) > 0,
+        "pointer faults must produce symptoms under both engines"
+    );
+
+    let hang = assert_engine_identity(&workload("countdown", HANG_SRC), 96, 17);
+    assert!(
+        hang.count(Outcome::Symptom) > 0,
+        "budget hangs must classify as symptoms under both engines"
+    );
+}
+
+/// A deliberately buggy verifier: it crashes on corrupted outputs whose
+/// leading value is even, modelling an unhandled edge case in
+/// user-supplied verification code.
+struct PanickingVerifier {
+    golden: Vec<i64>,
+}
+
+impl OutputVerifier for PanickingVerifier {
+    fn verify(&self, run: &RunOutput) -> bool {
+        let ints = run.outputs.as_ints();
+        if ints == self.golden {
+            return true;
+        }
+        if ints.first().is_some_and(|v| v % 2 == 0) {
+            panic!("verifier bug: even corrupted output");
+        }
+        false
+    }
+}
+
+fn panicking_workload() -> Workload {
+    let module = ipas_lang::compile(SUM_SRC).unwrap();
+    Workload::with_custom_verifier("sum-panicky", module, "main", vec![], |golden| {
+        Box::new(PanickingVerifier {
+            golden: golden.outputs.as_ints(),
+        })
+    })
+    .unwrap()
+}
+
+/// Verifier panics under the compiled engine must degrade to the exact
+/// same retried [`HarnessFailure`] set as under the reference engine:
+/// panic isolation catches the unwind, the retry policy burns the full
+/// deterministic budget, and clean plans still classify on attempt 1.
+#[test]
+fn panicking_verifier_fails_identically_on_both_engines() {
+    let w = panicking_workload();
+    let options = CampaignOptions {
+        retry: RetryPolicy {
+            max_attempts: 2,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        },
+        ..CampaignOptions::default()
+    };
+    let mut per_engine = Vec::new();
+    for engine in Engine::ALL {
+        let cfg = CampaignConfig {
+            runs: 48,
+            seed: 17,
+            threads: 2,
+            engine,
+        };
+        let r = run_campaign_with(&w, &cfg, &options).expect("campaign completes despite panics");
+        assert_eq!(r.records.len() + r.harness_failures.len(), 48);
+        assert!(
+            !r.harness_failures.is_empty(),
+            "{engine}: no harness failures seen"
+        );
+        for f in &r.harness_failures {
+            assert_eq!(f.attempts, 2, "{engine}: {f}");
+            assert!(f.error.contains("panic"), "{engine}: {}", f.error);
+        }
+        for rec in &r.records {
+            assert_eq!(rec.attempts, 1, "{engine}: surviving record retried");
+        }
+        per_engine.push(r);
+    }
+    let [a, b] = per_engine.try_into().expect("two engines");
+    assert_eq!(a.records, b.records);
+    assert_eq!(a.harness_failures, b.harness_failures);
+}
+
+/// The wall-clock watchdog must compose with the compiled engine: a
+/// generous deadline perturbs nothing (still bit-identical to the
+/// reference), while the deadline poll still fires on the same cadence
+/// as the reference engine's.
+#[test]
+fn watchdog_deadline_is_engine_invariant() {
+    let w = workload("sum", SUM_SRC);
+    let options = CampaignOptions {
+        run_deadline: Some(Duration::from_secs(3600)),
+        ..CampaignOptions::default()
+    };
+    let mut per_engine = Vec::new();
+    for engine in Engine::ALL {
+        let cfg = CampaignConfig {
+            runs: 32,
+            seed: 3,
+            threads: 2,
+            engine,
+        };
+        let guarded = run_campaign_with(&w, &cfg, &options).expect("guarded campaign completes");
+        let plain = run_campaign(&w, &cfg).expect("plain campaign completes");
+        assert_eq!(
+            guarded.records, plain.records,
+            "{engine}: generous deadline perturbed outcomes"
+        );
+        per_engine.push(guarded);
+    }
+    let [a, b] = per_engine.try_into().expect("two engines");
+    assert_eq!(a.records, b.records);
+}
+
+/// An already-expired deadline stops compiled-engine runs at the first
+/// poison poll exactly as it stops the reference: no run gets past the
+/// poll interval, so any plan whose target fires early classifies as a
+/// hang ([`Outcome::Symptom`]) and every later target degrades to a
+/// "never reached" harness failure — identically on both engines. The
+/// countdown workload runs well past the poll interval, so without the
+/// deadline every plan would classify normally.
+#[test]
+fn expired_deadline_hangs_every_run_on_both_engines() {
+    let w = workload("countdown", HANG_SRC);
+    let options = CampaignOptions {
+        run_deadline: Some(Duration::ZERO),
+        retry: RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        },
+        ..CampaignOptions::default()
+    };
+    let mut per_engine = Vec::new();
+    for engine in Engine::ALL {
+        let cfg = CampaignConfig {
+            runs: 12,
+            seed: 5,
+            threads: 2,
+            engine,
+        };
+        let r = run_campaign_with(&w, &cfg, &options).expect("campaign completes");
+        assert_eq!(
+            r.records.len() + r.harness_failures.len(),
+            12,
+            "{engine}: every plan accounted for"
+        );
+        assert!(
+            !r.harness_failures.is_empty(),
+            "{engine}: deadline never cut a run short"
+        );
+        for rec in &r.records {
+            assert_eq!(
+                rec.outcome,
+                Outcome::Symptom,
+                "{engine}: expired deadline must classify early-firing plans as hangs"
+            );
+        }
+        for f in &r.harness_failures {
+            assert!(
+                f.error.contains("never reached"),
+                "{engine}: unexpected failure: {}",
+                f.error
+            );
+        }
+        per_engine.push(r);
+    }
+    let [a, b] = per_engine.try_into().expect("two engines");
+    assert_eq!(a.records, b.records);
+    assert_eq!(a.harness_failures, b.harness_failures);
+}

@@ -75,6 +75,7 @@ fn panicking_verifier_degrades_to_harness_failures() {
         runs: 48,
         seed: 17,
         threads: 2,
+        ..CampaignConfig::default()
     };
     let options = CampaignOptions {
         retry: RetryPolicy {
@@ -114,6 +115,7 @@ fn journal_resume_matches_uninterrupted_campaign() {
         runs: 48,
         seed: 9,
         threads: 1,
+        ..CampaignConfig::default()
     };
     let uninterrupted = run_campaign(&w, &cfg).expect("campaign completes");
 
@@ -173,6 +175,7 @@ fn torn_final_journal_line_is_tolerated() {
         runs: 32,
         seed: 5,
         threads: 1,
+        ..CampaignConfig::default()
     };
     let uninterrupted = run_campaign(&w, &cfg).expect("campaign completes");
 
@@ -225,6 +228,7 @@ fn journal_identity_mismatch_is_rejected() {
         runs: 16,
         seed: 1,
         threads: 1,
+        ..CampaignConfig::default()
     };
     let options = CampaignOptions {
         journal: Some(path.clone()),
@@ -252,6 +256,7 @@ fn generous_run_deadline_leaves_outcomes_unchanged() {
         runs: 32,
         seed: 3,
         threads: 2,
+        ..CampaignConfig::default()
     };
     let plain = run_campaign(&w, &cfg).expect("campaign completes");
     let guarded = run_campaign_with(

@@ -18,6 +18,16 @@
 //! * an [`env::Env`] abstraction over the MPI surface so the same
 //!   interpreter core runs serially or under `ipas-mpisim`.
 //!
+//! Two engines execute the same semantics (see `docs/interpreter.md` at
+//! the repository root):
+//!
+//! * [`Machine`] — the tree-walking **reference** interpreter;
+//! * [`CompiledMachine`] — the pre-decoded engine: one
+//!   [`CompiledProgram`] lowering per module, then resettable machines
+//!   that reuse their allocations across runs. Bit-identical to the
+//!   reference (enforced by a differential oracle) and several times
+//!   faster, which makes it the [`Engine::default`].
+//!
 //! # Example
 //!
 //! ```
@@ -39,12 +49,14 @@
 
 #![warn(missing_docs)]
 
+pub mod compiled;
 pub mod env;
 pub mod machine;
 pub mod memory;
 pub mod rtval;
 pub mod trap;
 
+pub use compiled::{CompiledMachine, CompiledProgram, Engine};
 pub use env::{Env, SerialEnv};
 pub use machine::{
     is_fault_site, Injection, Machine, OutputStream, RunConfig, RunError, RunOutput, RunStatus,

@@ -12,9 +12,9 @@ use crate::rtval::RtVal;
 use crate::trap::Trap;
 
 /// Maximum call depth before a [`Trap::StackOverflow`].
-const MAX_CALL_DEPTH: usize = 256;
+pub(crate) const MAX_CALL_DEPTH: usize = 256;
 /// How often (in dynamic instructions) the poison flag is polled.
-const POISON_POLL_INTERVAL: u64 = 4096;
+pub(crate) const POISON_POLL_INTERVAL: u64 = 4096;
 
 /// Returns `true` if `inst` is an eligible fault-injection site under the
 /// paper's fault model (Section 3): instructions whose *register result*
@@ -226,7 +226,10 @@ pub struct RunOutput {
     /// injection fired.
     pub injected_site: Option<(FuncId, InstId)>,
     /// Per-site eligible-execution counts (present when
-    /// [`RunConfig::profile_sites`] was set).
+    /// [`RunConfig::profile_sites`] was set). Map iteration order is
+    /// unspecified: anything that serializes, fingerprints, or records
+    /// this profile must sort by site first (as
+    /// `ipas_faultsim::profile_sites` does).
     pub site_profile: Option<std::collections::HashMap<(FuncId, InstId), u64>>,
     /// Dynamic instruction count at the moment of injection. Combined
     /// with [`RunOutput::dynamic_insts`] this gives the *detection
@@ -255,27 +258,369 @@ impl fmt::Display for RunError {
 
 impl std::error::Error for RunError {}
 
-enum Stop {
+/// Why execution stopped before the entry function returned. Shared by
+/// the reference and compiled engines.
+pub(crate) enum Stop {
     Trap(Trap),
     Detected,
     Budget,
 }
 
-struct RunState<'e> {
-    memory: Memory,
-    outputs: OutputStream,
-    console: Vec<String>,
-    dynamic_insts: u64,
+/// Mutable per-run state shared by both engines: memory, streams, the
+/// dynamic/eligible counters, and the injection plan. Keeping one
+/// definition here guarantees the two engines count and inject through
+/// the exact same code paths.
+pub(crate) struct RunState<'e> {
+    pub(crate) memory: Memory,
+    pub(crate) outputs: OutputStream,
+    pub(crate) console: Vec<String>,
+    pub(crate) dynamic_insts: u64,
+    pub(crate) eligible_results: u64,
+    pub(crate) max_insts: u64,
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) injection: Option<Injection>,
+    pub(crate) injected_site: Option<(FuncId, InstId)>,
+    pub(crate) injected_at_inst: Option<u64>,
+    pub(crate) site_instance: u64,
+    pub(crate) profile_sites: bool,
+    pub(crate) site_profile: std::collections::HashMap<(FuncId, InstId), u64>,
+    pub(crate) env: &'e mut dyn Env,
+    /// Next `dynamic_insts` value at which [`HotCounters::tick`] must
+    /// run its slow path (budget exhaustion or poison/deadline poll) —
+    /// always `min(max_insts + 1, next poll multiple)`. Maintained only
+    /// by the compiled engine; the reference re-derives both conditions
+    /// every tick.
+    pub(crate) next_stop: u64,
+    /// Global eligible-result index the compiled engine's injection
+    /// fast path compares against (`u64::MAX` when no global-index
+    /// injection is armed).
+    pub(crate) fast_target: u64,
+    /// True when injection bookkeeping needs the full path: site
+    /// profiling or a site-restricted plan.
+    pub(crate) slow_inject: bool,
+}
+
+impl<'e> RunState<'e> {
+    /// Builds the starting state for one run, taking ownership of a
+    /// (possibly recycled) memory so engines can pool allocations.
+    pub(crate) fn start(memory: Memory, config: &RunConfig, env: &'e mut dyn Env) -> Self {
+        RunState {
+            memory,
+            outputs: OutputStream::default(),
+            console: Vec::new(),
+            dynamic_insts: 0,
+            eligible_results: 0,
+            max_insts: config.max_insts,
+            deadline: config.wall_limit.map(|limit| Instant::now() + limit),
+            injection: config.injection,
+            injected_site: None,
+            injected_at_inst: None,
+            site_instance: 0,
+            profile_sites: config.profile_sites,
+            site_profile: std::collections::HashMap::new(),
+            env,
+            next_stop: POISON_POLL_INTERVAL.min(config.max_insts.saturating_add(1)),
+            fast_target: match config.injection {
+                Some(Injection {
+                    site: None, target, ..
+                }) => target,
+                _ => u64::MAX,
+            },
+            slow_inject: config.profile_sites
+                || matches!(config.injection, Some(Injection { site: Some(_), .. })),
+        }
+    }
+
+    /// Folds a finished frame execution into the run's status, poisoning
+    /// the environment on abnormal exits so other ranks observe it.
+    pub(crate) fn finish(&mut self, result: Result<Option<RtVal>, Stop>) -> RunStatus {
+        match result {
+            Ok(v) => RunStatus::Completed(v),
+            Err(Stop::Trap(t)) => {
+                self.env.poison();
+                RunStatus::Trapped(t)
+            }
+            Err(Stop::Detected) => {
+                self.env.poison();
+                RunStatus::Detected
+            }
+            Err(Stop::Budget) => {
+                self.env.poison();
+                RunStatus::Hang
+            }
+        }
+    }
+
+    /// Assembles the [`RunOutput`], leaving the state empty.
+    pub(crate) fn into_output(self, status: RunStatus) -> (RunOutput, Memory) {
+        let output = RunOutput {
+            status,
+            dynamic_insts: self.dynamic_insts,
+            eligible_results: self.eligible_results,
+            outputs: self.outputs,
+            console: self.console,
+            injected_site: self.injected_site,
+            injected_at_inst: self.injected_at_inst,
+            site_profile: if self.profile_sites {
+                Some(self.site_profile)
+            } else {
+                None
+            },
+        };
+        (output, self.memory)
+    }
+}
+
+/// Charges one dynamic (non-phi) instruction against the budget and, at
+/// the poll cadence, checks the poison flag and wall-clock deadline.
+/// Both engines call this before executing each instruction, so budget
+/// exhaustion and watchdog firings land on identical counter values.
+#[inline]
+pub(crate) fn tick(state: &mut RunState<'_>) -> Result<(), Stop> {
+    state.dynamic_insts += 1;
+    if state.dynamic_insts > state.max_insts {
+        return Err(Stop::Budget);
+    }
+    if state.dynamic_insts.is_multiple_of(POISON_POLL_INTERVAL) {
+        if state.env.poisoned() {
+            return Err(Stop::Trap(Trap::MpiAbort));
+        }
+        if let Some(deadline) = state.deadline {
+            if Instant::now() >= deadline {
+                return Err(Stop::Budget);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Counts one eligible result and applies the injection plan to it.
+/// This is the single implementation behind both engines: the eligible
+/// sequence (and therefore every campaign plan) is engine-independent.
+#[inline]
+pub(crate) fn maybe_inject(
+    state: &mut RunState<'_>,
+    fid: FuncId,
+    id: InstId,
+    value: RtVal,
+) -> RtVal {
+    let n = state.eligible_results;
+    state.eligible_results += 1;
+    if state.profile_sites {
+        *state.site_profile.entry((fid, id)).or_insert(0) += 1;
+    }
+    let counter = match state.injection {
+        Some(Injection { site: Some(s), .. }) => {
+            if s != (fid, id) {
+                return value;
+            }
+            let c = state.site_instance;
+            state.site_instance += 1;
+            c
+        }
+        _ => n,
+    };
+    match state.injection {
+        Some(inj) if inj.target == counter => {
+            state.injected_site = Some((fid, id));
+            state.injected_at_inst = Some(state.dynamic_insts);
+            let width = value.ty().bit_width().max(1);
+            value.flip_bit(inj.bit % width)
+        }
+        _ => value,
+    }
+}
+
+/// Register-resident image of the per-instruction counters, for the
+/// compiled engine's hot loop.
+///
+/// The reference engine updates [`RunState::dynamic_insts`] and
+/// [`RunState::eligible_results`] through the state pointer on every
+/// instruction; at pre-decoded speeds those round-trips are a
+/// measurable fraction of the whole instruction. The compiled engine
+/// instead loads the counters into this plain struct at frame entry
+/// ([`HotCounters::load`]), updates them as locals the optimizer keeps
+/// in registers, and writes them back ([`HotCounters::flush`]) at frame
+/// exit, around calls into another frame, and before any slow path that
+/// reads the true counts from `RunState` (watermark processing,
+/// full injection bookkeeping). `flush` is idempotent, so every exit
+/// edge — returns, traps, budget stops — can flush unconditionally.
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct HotCounters {
+    pub(crate) dynamic_insts: u64,
+    next_stop: u64,
     eligible_results: u64,
-    max_insts: u64,
-    deadline: Option<Instant>,
-    injection: Option<Injection>,
-    injected_site: Option<(FuncId, InstId)>,
-    injected_at_inst: Option<u64>,
-    site_instance: u64,
-    profile_sites: bool,
-    site_profile: std::collections::HashMap<(FuncId, InstId), u64>,
-    env: &'e mut dyn Env,
+    fast_target: u64,
+    slow_inject: bool,
+}
+
+impl HotCounters {
+    pub(crate) fn load(state: &RunState<'_>) -> Self {
+        HotCounters {
+            dynamic_insts: state.dynamic_insts,
+            next_stop: state.next_stop,
+            eligible_results: state.eligible_results,
+            fast_target: state.fast_target,
+            slow_inject: state.slow_inject,
+        }
+    }
+
+    pub(crate) fn flush(&self, state: &mut RunState<'_>) {
+        state.dynamic_insts = self.dynamic_insts;
+        state.eligible_results = self.eligible_results;
+    }
+
+    /// Exact-cadence budget/poll charge for the compiled engine.
+    ///
+    /// Semantically identical to [`tick`] — same budget stop instant,
+    /// same poison/deadline poll at every [`POISON_POLL_INTERVAL`]
+    /// multiple — but folded into a single comparison against the
+    /// precomputed [`RunState::next_stop`] watermark, which is always
+    /// the earlier of "budget exceeded" (`max_insts + 1`) and the next
+    /// poll multiple. Phi-move charges can jump the counter past the
+    /// watermark without checking (as in the reference); the next tick
+    /// then lands in the slow path, which re-derives both conditions
+    /// exactly.
+    #[inline]
+    pub(crate) fn tick(&mut self, state: &mut RunState<'_>) -> Result<(), Stop> {
+        self.dynamic_insts += 1;
+        if self.dynamic_insts >= self.next_stop {
+            self.flush(state);
+            tick_watermark(state)?;
+            self.next_stop = state.next_stop;
+        }
+        Ok(())
+    }
+
+    /// Bit-image twin of [`maybe_inject`] for the pre-decoded engine,
+    /// which stores raw 64-bit register images instead of [`RtVal`]s.
+    /// `width` is the static bit width of the result type
+    /// (`bit_width().max(1)`, precomputed at lowering), so the flip
+    /// `bits ^ (1 << (inj.bit % width))` lands on exactly the bit
+    /// [`RtVal::flip_bit`] would flip. Booleans stay canonical (`0`/`1`)
+    /// because their width is 1.
+    ///
+    /// The fast path covers the campaign-dominant configurations (no
+    /// injection, or a global-index plan) with one counter bump and one
+    /// compare against [`RunState::fast_target`]; site-restricted plans
+    /// and site profiling divert to [`inject_slow_bits`], which
+    /// replicates [`maybe_inject`]'s full bookkeeping. Both paths must
+    /// stay in lock-step with `maybe_inject`;
+    /// `injection_bits_twin_agrees` in the compiled-engine tests pins
+    /// the equivalence.
+    #[inline]
+    pub(crate) fn inject(
+        &mut self,
+        state: &mut RunState<'_>,
+        fid: FuncId,
+        id: InstId,
+        width: u32,
+        bits: u64,
+    ) -> u64 {
+        let n = self.eligible_results;
+        self.eligible_results = n + 1;
+        if self.slow_inject {
+            self.flush(state);
+            return inject_slow_bits(state, n, fid, id, width, bits);
+        }
+        if n != self.fast_target {
+            return bits;
+        }
+        match state.injection {
+            Some(inj) => {
+                state.injected_site = Some((fid, id));
+                state.injected_at_inst = Some(self.dynamic_insts);
+                bits ^ (1u64 << (inj.bit % width))
+            }
+            None => bits,
+        }
+    }
+}
+
+#[cold]
+fn tick_watermark(state: &mut RunState<'_>) -> Result<(), Stop> {
+    if state.dynamic_insts > state.max_insts {
+        return Err(Stop::Budget);
+    }
+    if state.dynamic_insts.is_multiple_of(POISON_POLL_INTERVAL) {
+        if state.env.poisoned() {
+            return Err(Stop::Trap(Trap::MpiAbort));
+        }
+        if let Some(deadline) = state.deadline {
+            if Instant::now() >= deadline {
+                return Err(Stop::Budget);
+            }
+        }
+    }
+    let next_poll = (state.dynamic_insts / POISON_POLL_INTERVAL + 1) * POISON_POLL_INTERVAL;
+    state.next_stop = next_poll.min(state.max_insts.saturating_add(1));
+    Ok(())
+}
+
+/// Full injection bookkeeping (site profiling, site-restricted plans)
+/// for the bit-image engine. `n` is the eligible index already claimed
+/// by the caller.
+fn inject_slow_bits(
+    state: &mut RunState<'_>,
+    n: u64,
+    fid: FuncId,
+    id: InstId,
+    width: u32,
+    bits: u64,
+) -> u64 {
+    if state.profile_sites {
+        *state.site_profile.entry((fid, id)).or_insert(0) += 1;
+    }
+    let counter = match state.injection {
+        Some(Injection { site: Some(s), .. }) => {
+            if s != (fid, id) {
+                return bits;
+            }
+            let c = state.site_instance;
+            state.site_instance += 1;
+            c
+        }
+        _ => n,
+    };
+    match state.injection {
+        Some(inj) if inj.target == counter => {
+            state.injected_site = Some((fid, id));
+            state.injected_at_inst = Some(state.dynamic_insts);
+            bits ^ (1u64 << (inj.bit % width))
+        }
+        _ => bits,
+    }
+}
+
+/// Validates an entry-point signature against a run configuration,
+/// producing the same [`RunError`] messages from both engines.
+pub(crate) fn validate_entry(
+    entry: &str,
+    params: &[Type],
+    config: &RunConfig,
+) -> Result<(), RunError> {
+    if params.len() != config.args.len() {
+        return Err(RunError(format!(
+            "`{}` takes {} arguments, {} supplied",
+            entry,
+            params.len(),
+            config.args.len()
+        )));
+    }
+    for (i, (want, got)) in params.iter().zip(&config.args).enumerate() {
+        if *want != got.ty() {
+            return Err(RunError(format!(
+                "argument {i}: expected {want}, got {:?}",
+                got.ty()
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// The same `no function named ...` error both engines report.
+pub(crate) fn no_such_function(entry: &str) -> RunError {
+    RunError(format!("no function named `{entry}`"))
 }
 
 /// An interpreter bound to a module.
@@ -325,72 +670,15 @@ impl<'m> Machine<'m> {
         let entry = self
             .module
             .function_id(&config.entry)
-            .ok_or_else(|| RunError(format!("no function named `{}`", config.entry)))?;
+            .ok_or_else(|| no_such_function(&config.entry))?;
         let func = self.module.function(entry);
-        if func.params().len() != config.args.len() {
-            return Err(RunError(format!(
-                "`{}` takes {} arguments, {} supplied",
-                config.entry,
-                func.params().len(),
-                config.args.len()
-            )));
-        }
-        for (i, (want, got)) in func.params().iter().zip(&config.args).enumerate() {
-            if *want != got.ty() {
-                return Err(RunError(format!(
-                    "argument {i}: expected {want}, got {:?}",
-                    got.ty()
-                )));
-            }
-        }
+        validate_entry(&config.entry, func.params(), config)?;
 
-        let mut state = RunState {
-            memory: Memory::new(),
-            outputs: OutputStream::default(),
-            console: Vec::new(),
-            dynamic_insts: 0,
-            eligible_results: 0,
-            max_insts: config.max_insts,
-            deadline: config.wall_limit.map(|limit| Instant::now() + limit),
-            injection: config.injection,
-            injected_site: None,
-            injected_at_inst: None,
-            site_instance: 0,
-            profile_sites: config.profile_sites,
-            site_profile: std::collections::HashMap::new(),
-            env,
-        };
-
-        let status = match self.exec_function(&mut state, entry, &config.args, 0) {
-            Ok(v) => RunStatus::Completed(v),
-            Err(Stop::Trap(t)) => {
-                state.env.poison();
-                RunStatus::Trapped(t)
-            }
-            Err(Stop::Detected) => {
-                state.env.poison();
-                RunStatus::Detected
-            }
-            Err(Stop::Budget) => {
-                state.env.poison();
-                RunStatus::Hang
-            }
-        };
-
-        Ok(RunOutput {
-            status,
-            dynamic_insts: state.dynamic_insts,
-            eligible_results: state.eligible_results,
-            outputs: state.outputs,
-            console: state.console,
-            injected_site: state.injected_site,
-            injected_at_inst: state.injected_at_inst,
-            site_profile: if config.profile_sites {
-                Some(state.site_profile)
-            } else {
-                None
-            },
-        })
+        let mut state = RunState::start(Memory::new(), config, env);
+        let result = self.exec_function(&mut state, entry, &config.args, 0);
+        let status = state.finish(result);
+        let (output, _memory) = state.into_output(status);
+        Ok(output)
     }
 
     fn exec_function(
@@ -439,19 +727,8 @@ impl<'m> Machine<'m> {
             while idx < insts.len() {
                 let id = insts[idx];
                 idx += 1;
-                state.dynamic_insts += 1;
-                if state.dynamic_insts > state.max_insts {
-                    break 'outer Err(Stop::Budget);
-                }
-                if state.dynamic_insts.is_multiple_of(POISON_POLL_INTERVAL) {
-                    if state.env.poisoned() {
-                        break 'outer Err(Stop::Trap(Trap::MpiAbort));
-                    }
-                    if let Some(deadline) = state.deadline {
-                        if Instant::now() >= deadline {
-                            break 'outer Err(Stop::Budget);
-                        }
-                    }
+                if let Err(stop) = tick(state) {
+                    break 'outer Err(stop);
                 }
 
                 let inst = func.inst(id);
@@ -494,7 +771,7 @@ impl<'m> Machine<'m> {
                                 Err(stop) => break 'outer Err(stop),
                             };
                         let result = if is_fault_site(inst) {
-                            self.maybe_inject(state, fid, id, result)
+                            maybe_inject(state, fid, id, result)
                         } else {
                             result
                         };
@@ -515,40 +792,6 @@ impl<'m> Machine<'m> {
             let _ = state.memory.free(base);
         }
         result
-    }
-
-    fn maybe_inject(
-        &self,
-        state: &mut RunState<'_>,
-        fid: FuncId,
-        id: InstId,
-        value: RtVal,
-    ) -> RtVal {
-        let n = state.eligible_results;
-        state.eligible_results += 1;
-        if state.profile_sites {
-            *state.site_profile.entry((fid, id)).or_insert(0) += 1;
-        }
-        let counter = match state.injection {
-            Some(Injection { site: Some(s), .. }) => {
-                if s != (fid, id) {
-                    return value;
-                }
-                let c = state.site_instance;
-                state.site_instance += 1;
-                c
-            }
-            _ => n,
-        };
-        match state.injection {
-            Some(inj) if inj.target == counter => {
-                state.injected_site = Some((fid, id));
-                state.injected_at_inst = Some(state.dynamic_insts);
-                let width = value.ty().bit_width().max(1);
-                value.flip_bit(inj.bit % width)
-            }
-            _ => value,
-        }
     }
 
     fn eval(&self, _func: &Function, regs: &[RtVal], args: &[RtVal], v: Value) -> RtVal {
@@ -652,7 +895,7 @@ impl<'m> Machine<'m> {
     }
 }
 
-fn exec_binary(op: BinOp, l: RtVal, r: RtVal) -> Result<RtVal, Trap> {
+pub(crate) fn exec_binary(op: BinOp, l: RtVal, r: RtVal) -> Result<RtVal, Trap> {
     use BinOp::*;
     if op.is_float() {
         let a = l.as_f64();
@@ -712,7 +955,7 @@ fn exec_binary(op: BinOp, l: RtVal, r: RtVal) -> Result<RtVal, Trap> {
     Ok(RtVal::I64(v))
 }
 
-fn exec_cast(op: CastOp, v: RtVal) -> RtVal {
+pub(crate) fn exec_cast(op: CastOp, v: RtVal) -> RtVal {
     match op {
         CastOp::Sitofp => RtVal::F64(v.as_i64() as f64),
         CastOp::Fptosi => RtVal::I64(ipas_ir::passes::constfold::saturating_f64_to_i64(
@@ -730,7 +973,7 @@ fn exec_cast(op: CastOp, v: RtVal) -> RtVal {
     }
 }
 
-fn exec_intrinsic(
+pub(crate) fn exec_intrinsic(
     state: &mut RunState<'_>,
     intr: Intrinsic,
     vals: &[RtVal],
@@ -1226,7 +1469,7 @@ bb0:
 /// length must become a trap (the §5.5 symptom path), never a host OOM
 /// from a pre-sized buffer: counts are capped at the memory model's
 /// largest possible allocation.
-fn collective_len(n: i64) -> Result<usize, Stop> {
+pub(crate) fn collective_len(n: i64) -> Result<usize, Stop> {
     const MAX_ELEMS: i64 = (1 << 30) / 8; // Memory::MAX_ALLOC_BYTES / cell
     if !(0..=MAX_ELEMS).contains(&n) {
         return Err(Stop::Trap(Trap::BadAlloc));

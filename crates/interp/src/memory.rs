@@ -103,6 +103,15 @@ impl Memory {
         }
     }
 
+    /// Clears all regions while keeping the region table's capacity, so
+    /// a pooled memory can be reused across runs without reallocating
+    /// the table. Freshly allocated regions after a reset start at
+    /// region number 1 again, exactly like a new memory — addresses are
+    /// reproducible run to run.
+    pub fn reset(&mut self) {
+        self.regions.clear();
+    }
+
     /// Number of live regions (for leak assertions in tests).
     pub fn live_regions(&self) -> usize {
         self.regions.iter().filter(|r| r.is_some()).count()
@@ -202,6 +211,19 @@ mod tests {
         let base = m.alloc(16).unwrap();
         assert_eq!(m.free(base + 8), Err(Trap::BadFree));
         assert_eq!(m.live_regions(), 1);
+    }
+
+    #[test]
+    fn reset_reproduces_fresh_addressing() {
+        let mut m = Memory::new();
+        let a = m.alloc(16).unwrap();
+        let _ = m.alloc(8).unwrap();
+        m.store(a, 7).unwrap();
+        m.reset();
+        assert_eq!(m.live_regions(), 0);
+        let a2 = m.alloc(16).unwrap();
+        assert_eq!(a, a2, "addresses replay after reset");
+        assert_eq!(m.load(a2).unwrap(), 0, "memory after reset is zeroed");
     }
 
     #[test]

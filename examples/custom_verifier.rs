@@ -71,6 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             runs: 256,
             seed: 314,
             threads: 0,
+            ..CampaignConfig::default()
         },
     )
     .expect("campaign completes");

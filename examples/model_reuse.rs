@@ -42,6 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         runs: 300,
         seed: 11,
         threads: 0,
+        ..CampaignConfig::default()
     };
     let campaign = run_campaign(&workload, &config)?;
     let set = ipas::core::training_set_artifact(&workload, &campaign);

@@ -31,6 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             runs: 400,
             seed: 42,
             threads: 0,
+            ..CampaignConfig::default()
         },
     )?;
     let data = build_training_set(&workload, &training.records, LabelKind::SocGenerating);
@@ -57,6 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         runs: 256,
         seed: 1042,
         threads: 0,
+        ..CampaignConfig::default()
     };
     let unprot = run_campaign(&workload, &eval)?;
 

@@ -62,6 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         threads: 0,
         journal_dir: std::env::var_os("IPAS_JOURNAL_DIR").map(std::path::PathBuf::from),
         store_dir: std::env::var_os(ipas::store::STORE_DIR_ENV).map(std::path::PathBuf::from),
+        ..ExperimentOptions::default()
     };
     let result = run_experiment(&workload, &opts)?;
 

@@ -20,6 +20,12 @@
 //!   ipas explain <file.scil> [--runs N]    # per-instruction decisions
 //! ```
 //!
+//! `--engine` selects the execution engine for every interpreted run:
+//! `compiled` (default; the pre-decoded engine) or `reference` (the
+//! tree-walking interpreter). Both produce bit-identical results — the
+//! knob only trades throughput, and exists so any discrepancy can be
+//! cross-checked against the reference semantics.
+//!
 //! `--policy` selects `ipas` (default), `full`, or `baseline`.
 //! The program's verified output stream is whatever it emits through
 //! `output_i`/`output_f`; verification compares against the fault-free
@@ -40,8 +46,8 @@ use ipas::core::{
     memoized_models, memoized_protect, train_top_configs, training_fingerprint,
     training_set_artifact, LabelKind, ProtectionPolicy, TrainedClassifier,
 };
-use ipas::faultsim::{run_campaign, CampaignConfig, CampaignResult, Outcome, Workload};
-use ipas::interp::{Injection, Machine, RunConfig};
+use ipas::faultsim::{run_campaign, CampaignConfig, CampaignResult, Engine, Outcome, Workload};
+use ipas::interp::{CompiledMachine, CompiledProgram, Injection, Machine, RunConfig};
 use ipas::store::{CacheOutcome, CampaignSummary, Key, Store, TrainedModel, TrainingSet};
 use ipas::svm::{Dataset, GridOptions};
 
@@ -79,6 +85,7 @@ fn usage() -> ExitCode {
         "usage: ipas <protect|train|run|ir|inject|explain> <file.scil> [--runs N] [--eval N] \
          [--top N] [--tolerance T] [--seed S] [--out FILE] [--policy ipas|full|baseline] \
          [--model NAME|KEY] [--save-model NAME] [--target K] [--bit B]\n\
+         \x20      [--engine reference|compiled]\n\
          \x20      ipas models <list|verify|gc>   (requires IPAS_STORE_DIR)"
     );
     ExitCode::FAILURE
@@ -333,10 +340,35 @@ fn models_command(args: &Args) -> ExitCode {
     }
 }
 
+/// Runs `module` once on the selected engine.
+fn execute(
+    module: &ipas::ir::Module,
+    engine: Engine,
+    config: &RunConfig,
+) -> Result<ipas::interp::RunOutput, ipas::interp::RunError> {
+    match engine {
+        Engine::Reference => Machine::new(module).run(config),
+        Engine::Compiled => {
+            let program = CompiledProgram::compile(module);
+            CompiledMachine::new(&program).run(config)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args = Args::parse();
     let Some(cmd) = args.positional.first() else {
         return usage();
+    };
+    let engine = match args.flags.get("engine") {
+        None => Engine::default(),
+        Some(v) => match v.parse::<Engine>() {
+            Ok(engine) => engine,
+            Err(e) => {
+                eprintln!("ipas: {e}");
+                return usage();
+            }
+        },
     };
     if cmd == "models" {
         return models_command(&args);
@@ -371,8 +403,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "run" => {
-            let out = Machine::new(&module)
-                .run(&RunConfig::default())
+            let out = execute(&module, engine, &RunConfig::default())
                 .expect("main() exists in compiled modules");
             for v in out.outputs.as_ints() {
                 println!("{v}");
@@ -389,13 +420,16 @@ fn main() -> ExitCode {
         "inject" => {
             let target = args.get("target", 0u64);
             let bit = args.get("bit", 0u32);
-            let out = Machine::new(&module)
-                .run(&RunConfig {
+            let out = execute(
+                &module,
+                engine,
+                &RunConfig {
                     injection: Some(Injection::at_global_index(target, bit)),
                     max_insts: 500_000_000,
                     ..RunConfig::default()
-                })
-                .expect("main() exists in compiled modules");
+                },
+            )
+            .expect("main() exists in compiled modules");
             eprintln!(
                 "[ipas] injected bit {bit} at eligible result {target} (site {:?})",
                 out.injected_site
@@ -426,6 +460,7 @@ fn main() -> ExitCode {
                     runs,
                     seed,
                     threads: 0,
+                    engine,
                 },
             ) {
                 Ok(campaign) => campaign,
@@ -533,6 +568,7 @@ fn main() -> ExitCode {
                 runs,
                 seed,
                 threads: 0,
+                engine,
             };
             let set = match training_stage(store.as_ref(), &workload, &config) {
                 Ok(set) => set,
@@ -641,6 +677,7 @@ fn main() -> ExitCode {
                             runs,
                             seed,
                             threads: 0,
+                            engine,
                         };
                         let set = match training_stage(store.as_ref(), &workload, &config) {
                             Ok(set) => set,
@@ -713,6 +750,7 @@ fn main() -> ExitCode {
                 runs: eval_runs,
                 seed: seed ^ 0xE7A1,
                 threads: 0,
+                engine,
             };
             if store.is_some() {
                 let unprot = match eval_stage(

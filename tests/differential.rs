@@ -1,0 +1,252 @@
+//! Differential oracle for the two execution engines.
+//!
+//! The pre-decoded engine ([`ipas::interp::CompiledMachine`]) must be
+//! *bit-identical* to the tree-walking reference ([`ipas::interp::Machine`])
+//! on every observable: outputs, console lines, final status (including
+//! traps), dynamic instruction counts, eligible-result counts, and
+//! injection bookkeeping. This suite drives both engines over all five
+//! SciL workloads — fault-free and under injection sweeps — and over
+//! proptest-generated programs, and asserts full equality each time.
+//!
+//! The compiled machine is deliberately *reused* across runs (as the
+//! campaign scheduler reuses it), so any state leaking between runs
+//! shows up here as a divergence from the freshly-built reference.
+
+use proptest::prelude::*;
+
+use ipas::interp::{
+    CompiledMachine, CompiledProgram, Engine, Injection, Machine, RtVal, RunConfig, RunOutput,
+};
+use ipas::ir::Module;
+use ipas::workloads::Kind;
+
+/// Asserts every observable field of two runs is identical.
+fn assert_identical(label: &str, reference: &RunOutput, compiled: &RunOutput) {
+    assert_eq!(reference.status, compiled.status, "{label}: status");
+    assert_eq!(
+        reference.dynamic_insts, compiled.dynamic_insts,
+        "{label}: dynamic instruction count"
+    );
+    assert_eq!(
+        reference.eligible_results, compiled.eligible_results,
+        "{label}: eligible result count"
+    );
+    assert_eq!(
+        reference.outputs.as_ints(),
+        compiled.outputs.as_ints(),
+        "{label}: integer outputs"
+    );
+    assert_eq!(
+        reference.outputs.as_floats().to_bits_vec(),
+        compiled.outputs.as_floats().to_bits_vec(),
+        "{label}: float outputs (bitwise)"
+    );
+    assert_eq!(reference.console, compiled.console, "{label}: console");
+    assert_eq!(
+        reference.injected_site, compiled.injected_site,
+        "{label}: injected site"
+    );
+    assert_eq!(
+        reference.injected_at_inst, compiled.injected_at_inst,
+        "{label}: injection instant"
+    );
+    assert_eq!(
+        reference.site_profile, compiled.site_profile,
+        "{label}: site profile"
+    );
+}
+
+/// Bitwise view of a float vec so NaN payloads and signed zeros count.
+trait BitsVec {
+    fn to_bits_vec(&self) -> Vec<u64>;
+}
+
+impl BitsVec for Vec<f64> {
+    fn to_bits_vec(&self) -> Vec<u64> {
+        self.iter().map(|f| f.to_bits()).collect()
+    }
+}
+
+/// Runs `config` on a fresh reference machine and on `compiled`
+/// (reused), asserting identity; returns the reference output.
+fn run_both(
+    label: &str,
+    module: &Module,
+    compiled: &mut CompiledMachine<'_>,
+    config: &RunConfig,
+) -> RunOutput {
+    let reference = Machine::new(module).run(config).expect("reference runs");
+    let fast = compiled.run(config).expect("compiled runs");
+    assert_identical(label, &reference, &fast);
+    reference
+}
+
+/// Fault-free equivalence plus an injection sweep over one module: a
+/// spread of target indices across the eligible-result space, each at a
+/// handful of bit positions covering low mantissa, high mantissa,
+/// exponent, and sign ranges.
+fn differential_sweep(label: &str, module: &Module, args: Vec<RtVal>) {
+    let program = CompiledProgram::compile(module);
+    let mut machine = CompiledMachine::new(&program);
+    let base = RunConfig {
+        args,
+        ..RunConfig::default()
+    };
+    let clean = run_both(&format!("{label}/clean"), module, &mut machine, &base);
+    assert!(
+        matches!(clean.status, ipas::interp::RunStatus::Completed(_)),
+        "{label}: fault-free run completes"
+    );
+    // An injection can corrupt a loop bound; bound the hang exactly as
+    // campaigns do, so both engines hit the same budget stop.
+    let budget = RunConfig::budget_from_nominal(clean.dynamic_insts);
+    let eligible = clean.eligible_results.max(1);
+    for step in 0..6u64 {
+        let target = step * eligible / 6;
+        for bit in [0u32, 17, 42, 62] {
+            run_both(
+                &format!("{label}/inject t={target} b={bit}"),
+                module,
+                &mut machine,
+                &RunConfig {
+                    injection: Some(Injection::at_global_index(target, bit)),
+                    max_insts: budget,
+                    ..base.clone()
+                },
+            );
+        }
+    }
+}
+
+#[test]
+fn engines_agree_on_all_workloads() {
+    for kind in Kind::ALL {
+        let workload = kind.build(kind.base_input()).expect("workload builds");
+        differential_sweep(kind.name(), &workload.module, workload.args.clone());
+    }
+}
+
+#[test]
+fn engines_agree_on_workload_input_ladder() {
+    // Second-smallest ladder input exercises different trip counts than
+    // the base input without inflating the suite's runtime.
+    for kind in Kind::ALL {
+        let input = kind.input_ladder()[1];
+        let workload = kind.build(input).expect("workload builds");
+        let program = CompiledProgram::compile(&workload.module);
+        let mut machine = CompiledMachine::new(&program);
+        run_both(
+            &format!("{}@{input}", kind.name()),
+            &workload.module,
+            &mut machine,
+            &RunConfig {
+                args: workload.args.clone(),
+                ..RunConfig::default()
+            },
+        );
+    }
+}
+
+#[test]
+fn engines_agree_on_site_profiles() {
+    for kind in Kind::ALL {
+        let workload = kind.build(kind.base_input()).expect("workload builds");
+        let program = CompiledProgram::compile(&workload.module);
+        let mut machine = CompiledMachine::new(&program);
+        run_both(
+            &format!("{}/profile", kind.name()),
+            &workload.module,
+            &mut machine,
+            &RunConfig {
+                args: workload.args.clone(),
+                profile_sites: true,
+                ..RunConfig::default()
+            },
+        );
+    }
+}
+
+#[test]
+fn engine_knob_round_trips_through_strings() {
+    for engine in Engine::ALL {
+        let parsed: Engine = engine.label().parse().expect("label parses back");
+        assert_eq!(parsed, engine);
+    }
+}
+
+/// The proptest template: loops, arrays, GEPs, casts, calls, float and
+/// integer arithmetic, conditionals — the same surface the pass-
+/// correctness suite uses, compiled optimized so the IR exercises the
+/// full instruction set the engines must agree on.
+fn program(a: i64, b: i64, c: i64, scale: i64, n: u8) -> String {
+    let n = (n % 24) + 2;
+    format!(
+        r#"
+fn mix(v: float, k: int) -> float {{
+    if (k % 3 == 0) {{ return v * 1.5 + 0.25; }}
+    else if (k % 3 == 1) {{ return sqrt(fabs(v) + 1.0); }}
+    return v - itof(k) * 0.125;
+}}
+fn main(x: int) -> int {{
+    let n: int = {n};
+    let arr: [float] = new_float(n);
+    let acc: int = x;
+    for (let i: int = 0; i < n; i = i + 1) {{
+        arr[i] = itof(i * {a} + {b}) * 0.5;
+    }}
+    let facc: float = 0.0;
+    for (let i: int = 0; i < n; i = i + 1) {{
+        facc = facc + mix(arr[i], i + {c});
+        if (i % 2 == 0) {{
+            acc = acc + ftoi(facc) % 97;
+        }} else {{
+            acc = acc - i * {scale};
+        }}
+    }}
+    output_i(acc);
+    output_f(facc);
+    free_arr(arr);
+    return acc;
+}}
+"#
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Generated programs agree fault-free and under a generated
+    /// injection, on both the optimized and unoptimized module (the
+    /// latter keeps phi-heavy, alloca-heavy IR in the mix that the
+    /// optimizer would otherwise clean away).
+    #[test]
+    fn engines_agree_on_generated_programs(
+        a in -20i64..20, b in -20i64..20, c in 0i64..10, scale in -5i64..5, n in any::<u8>(),
+        x in -50i64..50, target in any::<u64>(), bit in 0u32..64
+    ) {
+        let src = program(a, b, c, scale, n);
+        let optimized = ipas::lang::compile(&src).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let unoptimized = ipas::lang::compile_unoptimized(&src, "t")
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        for (tag, module) in [("opt", &optimized), ("unopt", &unoptimized)] {
+            let compiled = CompiledProgram::compile(module);
+            let mut machine = CompiledMachine::new(&compiled);
+            let base = RunConfig {
+                args: vec![RtVal::I64(x)],
+                ..RunConfig::default()
+            };
+            let clean = run_both(&format!("gen/{tag}/clean"), module, &mut machine, &base);
+            let eligible = clean.eligible_results.max(1);
+            run_both(
+                &format!("gen/{tag}/inject"),
+                module,
+                &mut machine,
+                &RunConfig {
+                    injection: Some(Injection::at_global_index(target % eligible, bit)),
+                    max_insts: RunConfig::budget_from_nominal(clean.dynamic_insts),
+                    ..base
+                },
+            );
+        }
+    }
+}

@@ -44,6 +44,7 @@ fn full_duplication_detects_most_soc() {
         runs: 96,
         seed: 5,
         threads: 0,
+        ..CampaignConfig::default()
     };
     let unprot = run_campaign(&w, &eval).expect("campaign completes");
     let (protected, _) = ProtectionPolicy::FullDuplication.apply(&w.module);
@@ -112,6 +113,7 @@ fn experiments_are_reproducible() {
         threads: 0,
         journal_dir: None,
         store_dir: None,
+        ..ExperimentOptions::default()
     };
     let r1 = run_experiment(&w1, &opts).unwrap();
     let r2 = run_experiment(&w2, &opts).unwrap();
@@ -132,6 +134,7 @@ fn duplication_detects_close_to_occurrence() {
         runs: 128,
         seed: 77,
         threads: 0,
+        ..CampaignConfig::default()
     };
     let unprot = run_campaign(&w, &eval).expect("campaign completes");
     let (protected, _) = ProtectionPolicy::FullDuplication.apply(&w.module);
