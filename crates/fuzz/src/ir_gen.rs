@@ -1,0 +1,594 @@
+//! Seeded structured generator for verified IR modules.
+//!
+//! Programs are grown through [`FunctionBuilder`] so every output
+//! passes `verify_module` by construction: the generator tracks the
+//! type of every value it has in scope and only combines values the
+//! verifier's typing rules allow. Control flow is structured —
+//! straight-line runs, diamonds with join phis, and bounded self-loops
+//! — so every generated program terminates within a small instruction
+//! budget (traps excepted: division by zero, wild indices, and
+//! overflowing `gep`s are generated *on purpose*, because trap paths
+//! are exactly where the two engines historically disagreed).
+
+use ipas_ir::inst::{BinOp, CastOp, FcmpPred, IcmpPred, Intrinsic};
+use ipas_ir::{FuncId, FunctionBuilder, Inst, InstId, Module, Type, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Interesting integer constants: identities, small numbers, and the
+/// extremes that historically broke wrapping address arithmetic.
+const INT_POOL: [i64; 12] = [
+    0,
+    1,
+    -1,
+    2,
+    3,
+    7,
+    -8,
+    100,
+    1023,
+    1 << 40,
+    i64::MAX,
+    i64::MIN,
+];
+
+/// Interesting float constants, including signed zero and values whose
+/// bit patterns expose non-bitwise comparisons.
+const FLOAT_POOL: [f64; 10] = [
+    0.0,
+    -0.0,
+    1.0,
+    -1.5,
+    0.5,
+    std::f64::consts::PI,
+    1e10,
+    -1e-10,
+    1e300,
+    2.0,
+];
+
+const INT_OPS: [BinOp; 9] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+    BinOp::Shl,
+    BinOp::Lshr,
+    BinOp::Ashr,
+];
+
+const FLOAT_OPS: [BinOp; 5] = [
+    BinOp::Fadd,
+    BinOp::Fsub,
+    BinOp::Fmul,
+    BinOp::Fdiv,
+    BinOp::Frem,
+];
+
+const ICMPS: [IcmpPred; 6] = [
+    IcmpPred::Eq,
+    IcmpPred::Ne,
+    IcmpPred::Slt,
+    IcmpPred::Sle,
+    IcmpPred::Sgt,
+    IcmpPred::Sge,
+];
+
+const FCMPS: [FcmpPred; 6] = [
+    FcmpPred::Oeq,
+    FcmpPred::Une,
+    FcmpPred::Olt,
+    FcmpPred::Ole,
+    FcmpPred::Ogt,
+    FcmpPred::Oge,
+];
+
+const MATH1: [Intrinsic; 7] = [
+    Intrinsic::Sqrt,
+    Intrinsic::Sin,
+    Intrinsic::Cos,
+    Intrinsic::Exp,
+    Intrinsic::Log,
+    Intrinsic::Fabs,
+    Intrinsic::Floor,
+];
+
+fn pick<T: Copy>(rng: &mut StdRng, xs: &[T]) -> T {
+    xs[rng.gen_range(0..xs.len())]
+}
+
+/// A `(phi, incoming-slot)` pair to patch with a back-edge value once
+/// the loop body has produced it (the builder requires incomings up
+/// front, before the latch value exists).
+struct PhiPatch {
+    phi: InstId,
+    slot: usize,
+    value: InstId,
+}
+
+struct FnGen<'r> {
+    b: FunctionBuilder,
+    rng: &'r mut StdRng,
+    /// Values in scope of the *current* block, with their types. Only
+    /// values defined in blocks dominating the current one are kept —
+    /// the segment emitters snapshot and restore around branches.
+    avail: Vec<(Type, Value)>,
+    /// Helper functions callable from this one (no recursion).
+    callables: Vec<(FuncId, Vec<Type>, Type)>,
+    patches: Vec<PhiPatch>,
+    /// Output calls emitted so far (kept small so streams stay short).
+    outputs: usize,
+}
+
+impl<'r> FnGen<'r> {
+    fn new(
+        rng: &'r mut StdRng,
+        name: &str,
+        params: &[Type],
+        ret: Type,
+        callables: Vec<(FuncId, Vec<Type>, Type)>,
+    ) -> Self {
+        let b = FunctionBuilder::new(name, params, ret);
+        let mut avail: Vec<(Type, Value)> = params
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, Value::param(i as u32)))
+            .collect();
+        avail.push((Type::I64, Value::i64(0)));
+        avail.push((Type::F64, Value::f64(1.0)));
+        FnGen {
+            b,
+            rng,
+            avail,
+            callables,
+            patches: Vec::new(),
+            outputs: 0,
+        }
+    }
+
+    fn vals_of(&self, ty: Type) -> Vec<Value> {
+        self.avail
+            .iter()
+            .filter(|(t, _)| *t == ty)
+            .map(|(_, v)| v)
+            .copied()
+            .collect()
+    }
+
+    fn int_val(&mut self) -> Value {
+        let vs = self.vals_of(Type::I64);
+        if vs.is_empty() || self.rng.gen_bool(0.3) {
+            Value::i64(pick(self.rng, &INT_POOL))
+        } else {
+            pick(self.rng, &vs)
+        }
+    }
+
+    fn float_val(&mut self) -> Value {
+        let vs = self.vals_of(Type::F64);
+        if vs.is_empty() || self.rng.gen_bool(0.3) {
+            Value::f64(pick(self.rng, &FLOAT_POOL))
+        } else {
+            pick(self.rng, &vs)
+        }
+    }
+
+    fn bool_val(&mut self) -> Value {
+        let vs = self.vals_of(Type::Bool);
+        if vs.is_empty() || self.rng.gen_bool(0.25) {
+            Value::bool(self.rng.gen_bool(0.5))
+        } else {
+            pick(self.rng, &vs)
+        }
+    }
+
+    fn push(&mut self, ty: Type, v: Value) {
+        self.avail.push((ty, v));
+    }
+
+    /// One straight-line instruction.
+    fn emit_op(&mut self) {
+        match self.rng.gen_range(0..10u32) {
+            0..=2 => {
+                // Integer arithmetic / bitwise.
+                let (lhs, rhs) = (self.int_val(), self.int_val());
+                let op = pick(self.rng, &INT_OPS);
+                let v = self.b.binary(op, Type::I64, lhs, rhs);
+                self.push(Type::I64, v);
+            }
+            3 => {
+                // Division: mostly safe constant divisors, sometimes a
+                // live value so DivByZero/DivOverflow paths execute.
+                let lhs = self.int_val();
+                let rhs = if self.rng.gen_bool(0.8) {
+                    Value::i64(pick(self.rng, &[1, 2, 3, 7, -1, 16]))
+                } else {
+                    self.int_val()
+                };
+                let op = if self.rng.gen_bool(0.5) {
+                    BinOp::Sdiv
+                } else {
+                    BinOp::Srem
+                };
+                let v = self.b.binary(op, Type::I64, lhs, rhs);
+                self.push(Type::I64, v);
+            }
+            4..=5 => {
+                let (lhs, rhs) = (self.float_val(), self.float_val());
+                let op = pick(self.rng, &FLOAT_OPS);
+                let v = self.b.binary(op, Type::F64, lhs, rhs);
+                self.push(Type::F64, v);
+            }
+            6 => {
+                // Comparison producing a bool.
+                let v = if self.rng.gen_bool(0.5) {
+                    let (a, b) = (self.int_val(), self.int_val());
+                    self.b.icmp(pick(self.rng, &ICMPS), a, b)
+                } else {
+                    let (a, b) = (self.float_val(), self.float_val());
+                    self.b.fcmp(pick(self.rng, &FCMPS), a, b)
+                };
+                self.push(Type::Bool, v);
+            }
+            7 => {
+                // A valid cast.
+                let v = match self.rng.gen_range(0..6u32) {
+                    0 => {
+                        let a = self.int_val();
+                        (Type::F64, self.b.cast(CastOp::Sitofp, Type::F64, a))
+                    }
+                    1 => {
+                        let a = self.float_val();
+                        (Type::I64, self.b.cast(CastOp::Fptosi, Type::I64, a))
+                    }
+                    2 => {
+                        let a = self.bool_val();
+                        (Type::I64, self.b.cast(CastOp::Zext, Type::I64, a))
+                    }
+                    3 => {
+                        let a = self.int_val();
+                        (Type::Bool, self.b.cast(CastOp::Trunc, Type::Bool, a))
+                    }
+                    4 => {
+                        let a = self.int_val();
+                        (Type::F64, self.b.cast(CastOp::Bitcast, Type::F64, a))
+                    }
+                    _ => {
+                        let a = self.float_val();
+                        (Type::I64, self.b.cast(CastOp::Bitcast, Type::I64, a))
+                    }
+                };
+                self.push(v.0, v.1);
+            }
+            8 => {
+                // Select over a random type.
+                let cond = self.bool_val();
+                let (ty, t, e) = match self.rng.gen_range(0..2u32) {
+                    0 => (Type::I64, self.int_val(), self.int_val()),
+                    _ => (Type::F64, self.float_val(), self.float_val()),
+                };
+                let v = self.b.select(ty, cond, t, e);
+                self.push(ty, v);
+            }
+            _ => {
+                // Math intrinsic.
+                if self.rng.gen_bool(0.8) {
+                    let a = self.float_val();
+                    let v = self.b.call_intrinsic(pick(self.rng, &MATH1), vec![a]);
+                    self.push(Type::F64, v);
+                } else {
+                    let (a, b) = (self.float_val(), self.float_val());
+                    let v = self.b.call_intrinsic(Intrinsic::Pow, vec![a, b]);
+                    self.push(Type::F64, v);
+                }
+            }
+        }
+    }
+
+    fn emit_output(&mut self) {
+        if self.outputs >= 8 {
+            return;
+        }
+        self.outputs += 1;
+        if self.rng.gen_bool(0.5) {
+            let v = self.int_val();
+            self.b.call_intrinsic(Intrinsic::OutputI64, vec![v]);
+        } else {
+            let v = self.float_val();
+            self.b.call_intrinsic(Intrinsic::OutputF64, vec![v]);
+        }
+    }
+
+    /// A short run of straight-line instructions.
+    fn seg_straight(&mut self) {
+        for _ in 0..self.rng.gen_range(2..7usize) {
+            self.emit_op();
+        }
+        if self.rng.gen_bool(0.5) {
+            self.emit_output();
+        }
+    }
+
+    /// Alloca + in-bounds constant accesses + one random-index access
+    /// (which may trap: both engines must trap identically).
+    fn seg_memory(&mut self) {
+        let count = self.rng.gen_range(1..8u32);
+        let elem = if self.rng.gen_bool(0.5) {
+            Type::I64
+        } else {
+            Type::F64
+        };
+        let base = self.b.alloca(elem, count);
+        self.push(Type::Ptr, base);
+        // A couple of in-bounds constant stores and loads.
+        for _ in 0..self.rng.gen_range(1..4usize) {
+            let idx = Value::i64(self.rng.gen_range(0..count as i64));
+            let addr = self.b.gep(elem, base, idx);
+            if self.rng.gen_bool(0.6) {
+                let v = if elem == Type::I64 {
+                    self.int_val()
+                } else {
+                    self.float_val()
+                };
+                self.b.store(elem, v, addr);
+            } else {
+                let v = self.b.load(elem, addr);
+                self.push(elem, v);
+            }
+        }
+        // One dynamic index: usually live data, sometimes deliberately
+        // wild (out of range or overflowing — the poison-address path).
+        let idx = if self.rng.gen_bool(0.7) {
+            let i = self.int_val();
+            // Clamp into range with a mask when count is a power of two,
+            // otherwise leave it wild.
+            if count.is_power_of_two() {
+                self.b
+                    .binary(BinOp::And, Type::I64, i, Value::i64(count as i64 - 1))
+            } else {
+                i
+            }
+        } else {
+            Value::i64(pick(self.rng, &[-1, 8, 1 << 32, i64::MAX, i64::MIN]))
+        };
+        let addr = self.b.gep(elem, base, idx);
+        let v = self.b.load(elem, addr);
+        self.push(elem, v);
+    }
+
+    /// An if/else diamond with join phis.
+    fn seg_diamond(&mut self) {
+        let cond = self.bool_val();
+        let then_bb = self.b.new_block();
+        let else_bb = self.b.new_block();
+        let join = self.b.new_block();
+        self.b.cond_br(cond, then_bb, else_bb);
+
+        let snapshot = self.avail.clone();
+
+        self.b.switch_to_block(then_bb);
+        for _ in 0..self.rng.gen_range(1..4usize) {
+            self.emit_op();
+        }
+        let (ti, tf) = (self.int_val(), self.float_val());
+        self.b.br(join);
+
+        self.avail = snapshot.clone();
+        self.b.switch_to_block(else_bb);
+        for _ in 0..self.rng.gen_range(1..4usize) {
+            self.emit_op();
+        }
+        let (ei, ef) = (self.int_val(), self.float_val());
+        self.b.br(join);
+
+        // Values defined inside the branches do not dominate the join.
+        self.avail = snapshot;
+        self.b.switch_to_block(join);
+        let pi = self.b.phi(Type::I64, vec![(then_bb, ti), (else_bb, ei)]);
+        let pf = self.b.phi(Type::F64, vec![(then_bb, tf), (else_bb, ef)]);
+        self.push(Type::I64, pi);
+        self.push(Type::F64, pf);
+    }
+
+    /// A bounded counted self-loop with an accumulator phi.
+    fn seg_loop(&mut self) {
+        let trips = self.rng.gen_range(2..9i64);
+        let pre = self.b.current_block();
+        let header = self.b.new_block();
+        let exit = self.b.new_block();
+        self.b.br(header);
+
+        let snapshot = self.avail.clone();
+        self.b.switch_to_block(header);
+        // Incomings must be ordered like the CFG predecessors (pre was
+        // created before header). Back-edge values don't exist yet, so
+        // they are placeholders patched after `finish`.
+        let iphi = self.b.phi(
+            Type::I64,
+            vec![(pre, Value::i64(0)), (header, Value::i64(0))],
+        );
+        let acc_init = Value::f64(0.0);
+        let acc = self
+            .b
+            .phi(Type::F64, vec![(pre, acc_init), (header, Value::f64(0.0))]);
+        self.avail = snapshot;
+        self.push(Type::I64, iphi);
+        self.push(Type::F64, acc);
+
+        for _ in 0..self.rng.gen_range(1..4usize) {
+            self.emit_op();
+        }
+        let step = self.float_val();
+        let acc_next = self.b.binary(BinOp::Fadd, Type::F64, acc, step);
+        let i_next = self.b.binary(BinOp::Add, Type::I64, iphi, Value::i64(1));
+        let cont = self.b.icmp(IcmpPred::Slt, i_next, Value::i64(trips));
+        self.b.cond_br(cont, header, exit);
+
+        self.patches.push(PhiPatch {
+            phi: iphi.as_inst().expect("phi is an inst"),
+            slot: 1,
+            value: i_next.as_inst().expect("add is an inst"),
+        });
+        self.patches.push(PhiPatch {
+            phi: acc.as_inst().expect("phi is an inst"),
+            slot: 1,
+            value: acc_next.as_inst().expect("fadd is an inst"),
+        });
+
+        // Everything defined in the header dominates the exit block.
+        self.b.switch_to_block(exit);
+        self.push(Type::F64, acc_next);
+        self.push(Type::I64, i_next);
+    }
+
+    /// A call to a previously generated helper.
+    fn seg_call(&mut self) {
+        if self.callables.is_empty() {
+            self.seg_straight();
+            return;
+        }
+        let (fid, params, ret) = {
+            let idx = self.rng.gen_range(0..self.callables.len());
+            self.callables[idx].clone()
+        };
+        let args: Vec<Value> = params
+            .iter()
+            .map(|&t| {
+                if t == Type::I64 {
+                    self.int_val()
+                } else {
+                    self.float_val()
+                }
+            })
+            .collect();
+        let v = self.b.call(fid, args, ret);
+        if ret != Type::Void {
+            self.push(ret, v);
+        }
+    }
+
+    /// Emits the whole body and returns the finished function.
+    fn generate(mut self, segments: usize, is_main: bool) -> ipas_ir::Function {
+        for _ in 0..segments {
+            match self.rng.gen_range(0..8u32) {
+                0..=2 => self.seg_straight(),
+                3 => self.seg_memory(),
+                4..=5 => self.seg_diamond(),
+                6 => self.seg_loop(),
+                _ => self.seg_call(),
+            }
+        }
+        if is_main {
+            // Ensure the program observably outputs something.
+            self.outputs = 0;
+            self.emit_output();
+            self.emit_output();
+        }
+        let ret_ty = {
+            let f = self.b.func();
+            f.return_type()
+        };
+        let rv = match ret_ty {
+            Type::I64 => Some(self.int_val()),
+            Type::F64 => Some(self.float_val()),
+            Type::Bool => Some(self.bool_val()),
+            Type::Ptr => Some(Value::null()),
+            Type::Void => None,
+        };
+        self.b.ret(rv);
+        let mut func = self.b.finish();
+        for p in &self.patches {
+            if let Inst::Phi { incomings, .. } = func.inst_mut(p.phi) {
+                incomings[p.slot].1 = Value::inst(p.value);
+            }
+        }
+        func
+    }
+}
+
+/// Generates one verified module: up to two leaf helpers plus `main`.
+///
+/// The output always passes `ipas_ir::verify::verify_module` (the
+/// campaign asserts this — a failure is a generator bug, not a finding)
+/// and terminates within a small instruction budget unless it traps.
+pub fn gen_module(rng: &mut StdRng) -> Module {
+    let mut module = Module::new("fuzz");
+    let mut callables: Vec<(FuncId, Vec<Type>, Type)> = Vec::new();
+
+    let n_helpers = rng.gen_range(0..3usize);
+    for h in 0..n_helpers {
+        let params: Vec<Type> = (0..rng.gen_range(0..3usize))
+            .map(|_| {
+                if rng.gen_bool(0.5) {
+                    Type::I64
+                } else {
+                    Type::F64
+                }
+            })
+            .collect();
+        let ret = if rng.gen_bool(0.5) {
+            Type::I64
+        } else {
+            Type::F64
+        };
+        let name = format!("helper{h}");
+        let segments = rng.gen_range(1..3usize);
+        let func = FnGen::new(rng, &name, &params, ret, Vec::new()).generate(segments, false);
+        let fid = module.add_function(func);
+        callables.push((fid, params, ret));
+    }
+
+    let segments = rng.gen_range(2..5usize);
+    let main = FnGen::new(rng, "main", &[], Type::I64, callables).generate(segments, true);
+    module.add_function(main);
+    module
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipas_ir::verify::verify_module;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_modules_verify() {
+        for seed in 0..300u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let m = gen_module(&mut rng);
+            verify_module(&m).unwrap_or_else(|e| {
+                panic!(
+                    "seed {seed}: generator broke the verifier: {e:?}\n{}",
+                    m.to_text()
+                )
+            });
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = gen_module(&mut StdRng::seed_from_u64(42));
+        let b = gen_module(&mut StdRng::seed_from_u64(42));
+        assert_eq!(a.to_text(), b.to_text());
+    }
+
+    #[test]
+    fn generated_modules_terminate_or_trap() {
+        use ipas_interp::{Machine, RunConfig, RunStatus};
+        let mut hangs = 0usize;
+        for seed in 0..100u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let m = gen_module(&mut rng);
+            let cfg = RunConfig {
+                max_insts: 1_000_000,
+                ..RunConfig::default()
+            };
+            let out = Machine::new(&m).run(&cfg).expect("well-formed run");
+            if out.status == RunStatus::Hang {
+                hangs += 1;
+            }
+        }
+        assert_eq!(hangs, 0, "structured loops must terminate");
+    }
+}

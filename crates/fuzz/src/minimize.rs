@@ -1,0 +1,372 @@
+//! Delta-debugging minimizer.
+//!
+//! Given an input that trips an oracle, the minimizer greedily shrinks
+//! it while *re-verifying and re-running the oracle on every
+//! candidate*: a reduction is kept only when the smaller input is still
+//! a valid program (for IR, it must pass the verifier) that reproduces
+//! a divergence on the same oracle. The result is a repro small enough
+//! to read, check in, and keep as a regression test.
+//!
+//! Three granularities for IR modules — block stubbing (replace a whole
+//! non-entry block with a bare `ret`), conditional-branch collapsing
+//! (`cond_br` → `br`), and chunked instruction deletion (classic ddmin
+//! with halving chunk sizes, deleted results replaced by typed default
+//! constants) — plus line- and span-level ddmin for textual inputs.
+
+use ipas_ir::verify::verify_module;
+use ipas_ir::{Function, Inst, InstId, Module, Type, Value};
+
+use crate::oracle::{check_module, OracleKind};
+
+/// Counters describing one minimization run.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct MinimizeStats {
+    /// Reduction candidates generated and checked.
+    pub candidates: usize,
+    /// Candidates that kept the divergence and were accepted.
+    pub accepted: usize,
+}
+
+/// Safety valve: greedy minimization stops after this many candidate
+/// evaluations even if a fixpoint was not reached.
+const MAX_CANDIDATES: usize = 4000;
+
+fn default_value(ty: Type) -> Option<Value> {
+    match ty {
+        Type::I64 => Some(Value::i64(0)),
+        Type::F64 => Some(Value::f64(0.0)),
+        Type::Bool => Some(Value::bool(false)),
+        Type::Ptr => Some(Value::null()),
+        Type::Void => None,
+    }
+}
+
+fn replace_uses(func: &mut Function, from: InstId, to: Value) {
+    func.map_all_operands(|v| if v == Value::Inst(from) { to } else { v });
+}
+
+/// Removes `pred`'s incoming from every phi of block `bb`.
+fn strip_phi_incomings(func: &mut Function, bb: ipas_ir::BlockId, pred: ipas_ir::BlockId) {
+    let ids: Vec<InstId> = func.block(bb).insts().to_vec();
+    for id in ids {
+        if let Inst::Phi { incomings, .. } = func.inst_mut(id) {
+            incomings.retain(|(b, _)| *b != pred);
+        }
+    }
+}
+
+/// Candidate: replace one non-entry block's body with a bare `ret`.
+fn stub_block(module: &Module, fid: ipas_ir::FuncId, bb: ipas_ir::BlockId) -> Module {
+    let mut cand = module.clone();
+    let func = cand.function_mut(fid);
+    let succs: Vec<_> = func
+        .block(bb)
+        .terminator()
+        .map(|t| func.inst(t).successors())
+        .unwrap_or_default();
+    let ret = Inst::Ret {
+        value: default_value(func.return_type()),
+    };
+    let ret_id = func.append_inst(bb, ret);
+    func.set_block_insts(bb, vec![ret_id]);
+    for s in succs {
+        strip_phi_incomings(func, s, bb);
+    }
+    cand
+}
+
+/// Candidate: collapse a `cond_br` to an unconditional `br`.
+fn collapse_condbr(
+    module: &Module,
+    fid: ipas_ir::FuncId,
+    bb: ipas_ir::BlockId,
+    keep_then: bool,
+) -> Option<Module> {
+    let mut cand = module.clone();
+    let func = cand.function_mut(fid);
+    let term = func.block(bb).terminator()?;
+    let (then_bb, else_bb) = match func.inst(term) {
+        Inst::CondBr {
+            then_bb, else_bb, ..
+        } => (*then_bb, *else_bb),
+        _ => return None,
+    };
+    let (kept, dropped) = if keep_then {
+        (then_bb, else_bb)
+    } else {
+        (else_bb, then_bb)
+    };
+    *func.inst_mut(term) = Inst::Br { target: kept };
+    if kept != dropped {
+        strip_phi_incomings(func, dropped, bb);
+    }
+    Some(cand)
+}
+
+/// Candidate: delete a chunk of instructions, replacing each deleted
+/// result with its type's default constant.
+fn drop_insts(module: &Module, fid: ipas_ir::FuncId, chunk: &[InstId]) -> Module {
+    let mut cand = module.clone();
+    let func = cand.function_mut(fid);
+    let blocks = func.inst_blocks();
+    for &id in chunk {
+        let Some(&bb) = blocks.get(&id) else { continue };
+        let ty = func.inst(id).result_type();
+        func.unlink_inst(bb, id);
+        if let Some(v) = default_value(ty) {
+            replace_uses(func, id, v);
+        }
+    }
+    cand
+}
+
+struct Minimizer {
+    oracle: OracleKind,
+    stats: MinimizeStats,
+}
+
+impl Minimizer {
+    /// Accepts `cand` iff it is still a valid module that diverges on
+    /// the same oracle.
+    fn accept(&mut self, cand: &Module) -> bool {
+        self.stats.candidates += 1;
+        let ok = verify_module(cand).is_ok() && check_module(self.oracle, cand).is_some();
+        if ok {
+            self.stats.accepted += 1;
+        }
+        ok
+    }
+
+    fn exhausted(&self) -> bool {
+        self.stats.candidates >= MAX_CANDIDATES
+    }
+
+    /// One full sweep of all reductions; returns the (possibly smaller)
+    /// module and whether anything was accepted.
+    fn sweep(&mut self, module: Module) -> (Module, bool) {
+        let mut current = module;
+        let mut changed = false;
+
+        // 1. Block stubbing, coarsest first.
+        let fids: Vec<_> = current.functions().map(|(id, _)| id).collect();
+        for fid in fids.clone() {
+            let blocks: Vec<_> = current
+                .function(fid)
+                .block_ids()
+                .filter(|&bb| bb != current.function(fid).entry())
+                .collect();
+            for bb in blocks {
+                if self.exhausted() {
+                    return (current, changed);
+                }
+                let cand = stub_block(&current, fid, bb);
+                if cand.to_text() != current.to_text() && self.accept(&cand) {
+                    current = cand;
+                    changed = true;
+                }
+            }
+        }
+
+        // 2. Conditional-branch collapsing.
+        for fid in fids.clone() {
+            let blocks: Vec<_> = current.function(fid).block_ids().collect();
+            for bb in blocks {
+                for keep_then in [true, false] {
+                    if self.exhausted() {
+                        return (current, changed);
+                    }
+                    let Some(cand) = collapse_condbr(&current, fid, bb, keep_then) else {
+                        continue;
+                    };
+                    if cand.to_text() != current.to_text() && self.accept(&cand) {
+                        current = cand;
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // 3. Chunked instruction deletion (ddmin): halve the chunk size
+        //    until single instructions are tried.
+        for fid in fids {
+            loop {
+                let droppable: Vec<InstId> = {
+                    let func = current.function(fid);
+                    func.block_ids()
+                        .flat_map(|bb| func.block(bb).insts().to_vec())
+                        .filter(|&id| !current.function(fid).inst(id).is_terminator())
+                        .collect()
+                };
+                if droppable.is_empty() {
+                    break;
+                }
+                let mut chunk = droppable.len().div_ceil(2);
+                let mut any = false;
+                while chunk >= 1 {
+                    for window in droppable.chunks(chunk) {
+                        if self.exhausted() {
+                            return (current, changed);
+                        }
+                        let cand = drop_insts(&current, fid, window);
+                        if self.accept(&cand) {
+                            current = cand;
+                            changed = true;
+                            any = true;
+                            break;
+                        }
+                    }
+                    if any {
+                        break; // re-collect the droppable list
+                    }
+                    if chunk == 1 {
+                        break;
+                    }
+                    chunk /= 2;
+                }
+                if !any {
+                    break;
+                }
+            }
+        }
+
+        (current, changed)
+    }
+}
+
+/// Shrinks a divergent module to a smaller module that still diverges
+/// on `oracle`. The input must already diverge; if it does not, it is
+/// returned unchanged.
+pub fn minimize_module(module: &Module, oracle: OracleKind) -> (Module, MinimizeStats) {
+    let mut m = Minimizer {
+        oracle,
+        stats: MinimizeStats::default(),
+    };
+    if check_module(oracle, module).is_none() {
+        return (module.clone(), m.stats);
+    }
+    let mut current = module.clone();
+    loop {
+        let (next, changed) = m.sweep(current);
+        current = next;
+        if !changed || m.exhausted() {
+            break;
+        }
+    }
+    (current, m.stats)
+}
+
+/// Shrinks a failing text input (SciL source or raw IR) with ddmin over
+/// lines, then over character spans. `still_fails` decides whether a
+/// candidate keeps the property of interest (for the no-panic oracle:
+/// "still panics").
+pub fn minimize_text(src: &str, still_fails: &dyn Fn(&str) -> bool) -> (String, MinimizeStats) {
+    let mut stats = MinimizeStats::default();
+    if !still_fails(src) {
+        return (src.to_string(), stats);
+    }
+    let mut current = src.to_string();
+
+    // Pass 1: drop line chunks.
+    loop {
+        let lines: Vec<&str> = current.lines().collect();
+        if lines.len() < 2 {
+            break;
+        }
+        let mut chunk = lines.len().div_ceil(2);
+        let mut accepted: Option<String> = None;
+        'outer: while chunk >= 1 {
+            let lines: Vec<&str> = current.lines().collect();
+            let mut start = 0;
+            while start < lines.len() {
+                let end = (start + chunk).min(lines.len());
+                let cand: String = lines[..start]
+                    .iter()
+                    .chain(lines[end..].iter())
+                    .copied()
+                    .collect::<Vec<_>>()
+                    .join("\n");
+                stats.candidates += 1;
+                if stats.candidates >= MAX_CANDIDATES {
+                    return (current, stats);
+                }
+                if still_fails(&cand) {
+                    stats.accepted += 1;
+                    accepted = Some(cand);
+                    break 'outer;
+                }
+                start = end;
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+        match accepted {
+            Some(next) => current = next,
+            None => break,
+        }
+    }
+
+    // Pass 2: drop character spans within the surviving lines.
+    let mut span = current.chars().count().div_ceil(2);
+    while span >= 1 {
+        let chars: Vec<char> = current.chars().collect();
+        let mut start = 0;
+        let mut any = false;
+        while start < chars.len() {
+            let end = (start + span).min(chars.len());
+            let cand: String = chars[..start].iter().chain(chars[end..].iter()).collect();
+            stats.candidates += 1;
+            if stats.candidates >= MAX_CANDIDATES {
+                return (current, stats);
+            }
+            if still_fails(&cand) {
+                stats.accepted += 1;
+                current = cand;
+                any = true;
+                break;
+            }
+            start = end;
+        }
+        if !any {
+            if span == 1 {
+                break;
+            }
+            span /= 2;
+        } else {
+            span = current.chars().count().div_ceil(2).max(1);
+        }
+    }
+
+    (current, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_minimizer_finds_the_failing_atom() {
+        // "Fails" when it contains the byte sequence "BAD".
+        let src = "line one\nline BAD two\nline three\nline four\n";
+        let (min, stats) = minimize_text(src, &|s| s.contains("BAD"));
+        assert_eq!(min, "BAD");
+        assert!(stats.accepted > 0);
+    }
+
+    #[test]
+    fn text_minimizer_returns_non_failing_input_unchanged() {
+        let (min, stats) = minimize_text("hello", &|_| false);
+        assert_eq!(min, "hello");
+        assert_eq!(stats.accepted, 0);
+    }
+
+    #[test]
+    fn module_minimizer_is_identity_on_clean_modules() {
+        let module = ipas_lang::compile("fn main() -> int { output_i(1); return 0; }").unwrap();
+        let (min, stats) = minimize_module(&module, OracleKind::EngineDiff);
+        assert_eq!(min.to_text(), module.to_text());
+        assert_eq!(stats.accepted, 0);
+    }
+}

@@ -1,0 +1,491 @@
+//! The five differential oracles.
+//!
+//! Each oracle takes a well-formed input and returns `Some(Divergence)`
+//! when the property it guards is violated, `None` when the input is
+//! clean. Float-carrying state is always compared **bitwise** — NaN
+//! payloads and signed zeros count, exactly as in the checked-in
+//! differential tests — because a fuzzer that compares with `==` would
+//! dismiss the one class of mismatch it exists to find.
+
+use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use ipas_core::policy::ProtectionPolicy;
+use ipas_interp::{
+    CompiledMachine, CompiledProgram, Injection, Machine, RtVal, RunConfig, RunOutput, RunStatus,
+};
+use ipas_ir::verify::verify_module;
+use ipas_ir::{parser::parse_module, Module};
+
+/// Which differential property an oracle checks.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum OracleKind {
+    /// Reference interpreter vs pre-decoded compiled engine: every
+    /// observable field of [`RunOutput`] must match bit-for-bit, on
+    /// clean runs and under injected faults.
+    EngineDiff,
+    /// Printed IR must re-parse to a module that prints identically.
+    Roundtrip,
+    /// mem2reg + LICM must preserve semantics (outputs, console,
+    /// status) on every function of the module.
+    Passes,
+    /// Full duplication with zero faults must be invisible: same
+    /// outputs, same status, and never a spurious `Detected`.
+    Duplication,
+    /// Malformed input must produce a typed error or trap — the
+    /// frontends and engines must not panic the host.
+    NoPanic,
+}
+
+impl OracleKind {
+    /// All oracles, in campaign order.
+    pub const ALL: [OracleKind; 5] = [
+        OracleKind::EngineDiff,
+        OracleKind::Roundtrip,
+        OracleKind::Passes,
+        OracleKind::Duplication,
+        OracleKind::NoPanic,
+    ];
+
+    /// Stable CLI/artifact name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OracleKind::EngineDiff => "engine-diff",
+            OracleKind::Roundtrip => "roundtrip",
+            OracleKind::Passes => "passes",
+            OracleKind::Duplication => "duplication",
+            OracleKind::NoPanic => "no-panic",
+        }
+    }
+
+    /// Parses a CLI/artifact name.
+    pub fn from_name(name: &str) -> Option<OracleKind> {
+        OracleKind::ALL.into_iter().find(|o| o.name() == name)
+    }
+}
+
+/// A violated oracle: which property broke and a human-readable
+/// description of the mismatch.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// The violated property.
+    pub oracle: OracleKind,
+    /// What differed (already formatted for humans; floats as bits).
+    pub message: String,
+}
+
+impl Divergence {
+    fn new(oracle: OracleKind, message: impl Into<String>) -> Self {
+        Divergence {
+            oracle,
+            message: message.into(),
+        }
+    }
+}
+
+/// Bounded config used for all oracle runs: generated programs retire
+/// well under this budget unless they genuinely hang.
+fn oracle_config() -> RunConfig {
+    RunConfig {
+        max_insts: 2_000_000,
+        ..RunConfig::default()
+    }
+}
+
+/// Renders a status with float payloads as bit patterns.
+fn fmt_status(s: &RunStatus) -> String {
+    match s {
+        RunStatus::Completed(Some(RtVal::F64(v))) => {
+            format!("Completed(F64 bits {:#018x})", v.to_bits())
+        }
+        other => format!("{other:?}"),
+    }
+}
+
+/// A canonical, bit-exact rendering of every observable field of a
+/// [`RunOutput`]. Two runs are identical iff their fingerprints match.
+fn fingerprint(out: &RunOutput) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "status {}", fmt_status(&out.status));
+    let _ = writeln!(s, "dynamic-insts {}", out.dynamic_insts);
+    let _ = writeln!(s, "eligible-results {}", out.eligible_results);
+    let _ = writeln!(s, "output-ints {:?}", out.outputs.as_ints());
+    let bits: Vec<String> = out
+        .outputs
+        .as_floats()
+        .iter()
+        .map(|f| format!("{:#018x}", f.to_bits()))
+        .collect();
+    let _ = writeln!(s, "output-floats {bits:?}");
+    let _ = writeln!(s, "console {:?}", out.console);
+    let _ = writeln!(s, "injected-site {:?}", out.injected_site);
+    let _ = writeln!(s, "injected-at {:?}", out.injected_at_inst);
+    s
+}
+
+/// The *semantic* slice of a fingerprint: what a correct transform must
+/// preserve (outputs, console, status) — not instruction counts, which
+/// transforms legitimately change.
+fn semantic_fingerprint(out: &RunOutput) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "status {}", fmt_status(&out.status));
+    let _ = writeln!(s, "output-ints {:?}", out.outputs.as_ints());
+    let bits: Vec<String> = out
+        .outputs
+        .as_floats()
+        .iter()
+        .map(|f| format!("{:#018x}", f.to_bits()))
+        .collect();
+    let _ = writeln!(s, "output-floats {bits:?}");
+    let _ = writeln!(s, "console {:?}", out.console);
+    s
+}
+
+fn diff_message(label: &str, a: &str, b: &str) -> String {
+    format!("{label}:\n--- reference ---\n{a}--- candidate ---\n{b}")
+}
+
+/// Oracle 1: reference vs compiled engine, clean and under injection.
+pub fn check_engine_diff(module: &Module) -> Option<Divergence> {
+    let cfg = oracle_config();
+    let reference = match Machine::new(module).run(&cfg) {
+        Ok(out) => out,
+        Err(e) => {
+            return Some(Divergence::new(
+                OracleKind::EngineDiff,
+                format!("reference engine refused the module: {e:?}"),
+            ))
+        }
+    };
+    let program = CompiledProgram::compile(module);
+    let mut compiled = CompiledMachine::new(&program);
+    let fast = match compiled.run(&cfg) {
+        Ok(out) => out,
+        Err(e) => {
+            return Some(Divergence::new(
+                OracleKind::EngineDiff,
+                format!("compiled engine refused the module: {e:?}"),
+            ))
+        }
+    };
+    let (fa, fb) = (fingerprint(&reference), fingerprint(&fast));
+    if fa != fb {
+        return Some(Divergence::new(
+            OracleKind::EngineDiff,
+            diff_message("clean run diverged", &fa, &fb),
+        ));
+    }
+
+    // A few deterministic injected runs across the eligible-result
+    // space: both engines must corrupt the same dynamic result the
+    // same way and then agree on everything downstream.
+    if reference.eligible_results == 0 || reference.status == RunStatus::Hang {
+        return None;
+    }
+    let budget = RunConfig::budget_from_nominal(reference.dynamic_insts);
+    for k in 0..3u64 {
+        let target = (reference.eligible_results * (2 * k + 1)) / 6;
+        let bit = [0u32, 31, 63][k as usize % 3];
+        let inj_cfg = RunConfig {
+            max_insts: budget,
+            injection: Some(Injection::at_global_index(target, bit)),
+            ..RunConfig::default()
+        };
+        let r = Machine::new(module).run(&inj_cfg);
+        let f = compiled.run(&inj_cfg);
+        match (r, f) {
+            (Ok(r), Ok(f)) => {
+                let (fa, fb) = (fingerprint(&r), fingerprint(&f));
+                if fa != fb {
+                    return Some(Divergence::new(
+                        OracleKind::EngineDiff,
+                        diff_message(
+                            &format!("injected run (target {target}, bit {bit}) diverged"),
+                            &fa,
+                            &fb,
+                        ),
+                    ));
+                }
+            }
+            (r, f) => {
+                return Some(Divergence::new(
+                    OracleKind::EngineDiff,
+                    format!(
+                        "injected run (target {target}, bit {bit}): reference {:?} vs compiled {:?}",
+                        r.err(),
+                        f.err()
+                    ),
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// Oracle 2: printed IR re-parses to a semantically identical module,
+/// and one round-trip canonicalizes the text (the parser renumbers
+/// values densely, so a *second* round-trip must be a fixpoint).
+pub fn check_roundtrip(module: &Module) -> Option<Divergence> {
+    let printed = module.to_text();
+    let reparsed = match parse_module(&printed) {
+        Ok(m) => m,
+        Err(e) => {
+            return Some(Divergence::new(
+                OracleKind::Roundtrip,
+                format!(
+                    "printer emitted unparseable IR: line {}: {}\n{printed}",
+                    e.line(),
+                    e.message()
+                ),
+            ))
+        }
+    };
+    let canonical = reparsed.to_text();
+    let again = match parse_module(&canonical) {
+        Ok(m) => m,
+        Err(e) => {
+            return Some(Divergence::new(
+                OracleKind::Roundtrip,
+                format!(
+                    "canonicalized IR failed to re-parse: line {}: {}\n{canonical}",
+                    e.line(),
+                    e.message()
+                ),
+            ))
+        }
+    };
+    if again.to_text() != canonical {
+        return Some(Divergence::new(
+            OracleKind::Roundtrip,
+            diff_message(
+                "canonical print→parse→print not a fixpoint",
+                &canonical,
+                &again.to_text(),
+            ),
+        ));
+    }
+    // Renumbering must be the ONLY thing a round-trip changes: the
+    // reparsed module has to behave identically.
+    if let (Ok(before), Ok(after)) = (baseline(module), baseline(&reparsed)) {
+        if before.status != RunStatus::Hang {
+            let (fa, fb) = (semantic_fingerprint(&before), semantic_fingerprint(&after));
+            if fa != fb {
+                return Some(Divergence::new(
+                    OracleKind::Roundtrip,
+                    diff_message("round-trip changed semantics", &fa, &fb),
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// Runs both engines and returns the reference output (they already
+/// passed or will separately fail [`check_engine_diff`]; here we only
+/// need one trustworthy baseline).
+fn baseline(module: &Module) -> Result<RunOutput, String> {
+    Machine::new(module)
+        .run(&oracle_config())
+        .map_err(|e| format!("{e:?}"))
+}
+
+/// Oracle 3: the optimization pipeline preserves semantics.
+pub fn check_passes(module: &Module) -> Option<Divergence> {
+    let before = match baseline(module) {
+        Ok(out) => out,
+        Err(e) => {
+            return Some(Divergence::new(
+                OracleKind::Passes,
+                format!("baseline run failed: {e}"),
+            ))
+        }
+    };
+    // A hang baseline gives no semantics to preserve within budget.
+    if before.status == RunStatus::Hang {
+        return None;
+    }
+    let mut optimized = module.clone();
+    let ids: Vec<_> = optimized.functions().map(|(id, _)| id).collect();
+    for id in ids {
+        let f = optimized.function_mut(id);
+        ipas_ir::passes::mem2reg::promote_memory_to_registers(f);
+        ipas_ir::passes::licm::hoist_loop_invariants(f);
+    }
+    if let Err(e) = verify_module(&optimized) {
+        return Some(Divergence::new(
+            OracleKind::Passes,
+            format!(
+                "pass pipeline broke the verifier: {e:?}\n{}",
+                optimized.to_text()
+            ),
+        ));
+    }
+    let after = match baseline(&optimized) {
+        Ok(out) => out,
+        Err(e) => {
+            return Some(Divergence::new(
+                OracleKind::Passes,
+                format!("optimized module failed to run: {e}"),
+            ))
+        }
+    };
+    let (fa, fb) = (semantic_fingerprint(&before), semantic_fingerprint(&after));
+    if fa != fb {
+        return Some(Divergence::new(
+            OracleKind::Passes,
+            diff_message("mem2reg+LICM changed semantics", &fa, &fb),
+        ));
+    }
+    None
+}
+
+/// Oracle 4: full duplication under zero faults is invisible.
+pub fn check_duplication(module: &Module) -> Option<Divergence> {
+    let before = match baseline(module) {
+        Ok(out) => out,
+        Err(e) => {
+            return Some(Divergence::new(
+                OracleKind::Duplication,
+                format!("baseline run failed: {e}"),
+            ))
+        }
+    };
+    if before.status == RunStatus::Hang {
+        return None;
+    }
+    let (protected, _stats) = ProtectionPolicy::FullDuplication.apply(module);
+    if let Err(e) = verify_module(&protected) {
+        return Some(Divergence::new(
+            OracleKind::Duplication,
+            format!(
+                "duplication broke the verifier: {e:?}\n{}",
+                protected.to_text()
+            ),
+        ));
+    }
+    // The protected module executes more instructions; give it room.
+    let cfg = RunConfig {
+        max_insts: RunConfig::budget_from_nominal(before.dynamic_insts),
+        ..RunConfig::default()
+    };
+    let after = match Machine::new(&protected).run(&cfg) {
+        Ok(out) => out,
+        Err(e) => {
+            return Some(Divergence::new(
+                OracleKind::Duplication,
+                format!("protected module failed to run: {e:?}"),
+            ))
+        }
+    };
+    if after.status == RunStatus::Detected {
+        return Some(Divergence::new(
+            OracleKind::Duplication,
+            "spurious detection: duplication fired with zero injected faults".to_string(),
+        ));
+    }
+    let (fa, fb) = (semantic_fingerprint(&before), semantic_fingerprint(&after));
+    if fa != fb {
+        return Some(Divergence::new(
+            OracleKind::Duplication,
+            diff_message("duplication changed fault-free semantics", &fa, &fb),
+        ));
+    }
+    None
+}
+
+/// Extracts a printable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Oracle 5 for SciL text: the full frontend + both engines must never
+/// panic, whatever the input looks like.
+pub fn check_no_panic_scil(src: &str) -> Option<Divergence> {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        if let Ok(module) = ipas_lang::compile(src) {
+            let cfg = oracle_config();
+            let _ = Machine::new(&module).run(&cfg);
+            let program = CompiledProgram::compile(&module);
+            let _ = CompiledMachine::new(&program).run(&cfg);
+        }
+    }));
+    result.err().map(|p| {
+        Divergence::new(
+            OracleKind::NoPanic,
+            format!("SciL pipeline panicked: {}", panic_message(&*p)),
+        )
+    })
+}
+
+/// Oracle 5 for IR text: the parser (and, when it accepts, the
+/// verifier and engines) must never panic.
+pub fn check_no_panic_ir(text: &str) -> Option<Divergence> {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        if let Ok(module) = parse_module(text) {
+            if verify_module(&module).is_ok() {
+                let cfg = oracle_config();
+                let _ = Machine::new(&module).run(&cfg);
+                let program = CompiledProgram::compile(&module);
+                let _ = CompiledMachine::new(&program).run(&cfg);
+            }
+        }
+    }));
+    result.err().map(|p| {
+        Divergence::new(
+            OracleKind::NoPanic,
+            format!("IR pipeline panicked: {}", panic_message(&*p)),
+        )
+    })
+}
+
+/// Runs one module-level oracle (everything except no-panic, which
+/// operates on text).
+pub fn check_module(oracle: OracleKind, module: &Module) -> Option<Divergence> {
+    match oracle {
+        OracleKind::EngineDiff => check_engine_diff(module),
+        OracleKind::Roundtrip => check_roundtrip(module),
+        OracleKind::Passes => check_passes(module),
+        OracleKind::Duplication => check_duplication(module),
+        OracleKind::NoPanic => check_no_panic_ir(&module.to_text()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_names_round_trip() {
+        for o in OracleKind::ALL {
+            assert_eq!(OracleKind::from_name(o.name()), Some(o));
+        }
+        assert_eq!(OracleKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn clean_module_passes_every_oracle() {
+        let module =
+            ipas_lang::compile("fn main() -> int { output_i(41 + 1); return 0; }").unwrap();
+        for o in OracleKind::ALL {
+            assert!(
+                check_module(o, &module).is_none(),
+                "oracle {} flagged a trivially clean module",
+                o.name()
+            );
+        }
+    }
+
+    #[test]
+    fn no_panic_accepts_garbage_quietly() {
+        for junk in ["", "fn", "fn main( -> int {", "λλλ", "fn @f)(", "42"] {
+            assert!(check_no_panic_scil(junk).is_none(), "scil: {junk:?}");
+            assert!(check_no_panic_ir(junk).is_none(), "ir: {junk:?}");
+        }
+    }
+}

@@ -81,7 +81,7 @@ use crate::machine::{
     exec_intrinsic, is_fault_site, no_such_function, validate_entry, HotCounters, RunConfig,
     RunError, RunOutput, RunState, Stop, MAX_CALL_DEPTH,
 };
-use crate::memory::Memory;
+use crate::memory::{gep_addr, Memory, POISON_ADDR};
 use crate::rtval::RtVal;
 use crate::trap::Trap;
 
@@ -320,10 +320,12 @@ enum CInst {
         site: InstId,
     },
     /// `gep` whose index is a compile-time constant: the byte offset is
-    /// folded.
+    /// folded. Lowering only folds when `index * 8` does not overflow
+    /// (otherwise the generic [`CInst::Gep`] runs and poisons the
+    /// address), so `offset` is always exact.
     GepConst {
         base: u32,
-        offset: u64,
+        offset: i64,
         dst: u32,
         site: InstId,
     },
@@ -343,7 +345,7 @@ enum CInst {
     /// Constant-index [`CInst::GepLoad`].
     GepConstLoad {
         base: u32,
-        offset: u64,
+        offset: i64,
         gep_dst: u32,
         site: InstId,
         load_dst: u32,
@@ -363,7 +365,7 @@ enum CInst {
     /// Constant-index [`CInst::GepStore`].
     GepConstStore {
         base: u32,
-        offset: u64,
+        offset: i64,
         gep_dst: u32,
         site: InstId,
         value: u32,
@@ -524,6 +526,15 @@ fn lower_edge(
 /// through the preceding `gep` ([`CInst::GepLoad`] and friends). Both
 /// lowering passes use this single predicate, so instruction indices
 /// stay consistent.
+/// Address computation for the pre-folded `GepConst*` variants. The
+/// byte offset is exact (lowering refuses to fold an overflowing
+/// `index * 8`), so this matches [`gep_addr`] bit for bit on the same
+/// operands — only base-plus-offset overflow remains to poison.
+#[inline]
+fn gep_const_addr(base: u64, offset: i64) -> u64 {
+    base.checked_add_signed(offset).unwrap_or(POISON_ADDR)
+}
+
 fn fuses_with_prev(func: &Function, insts: &[InstId], k: usize) -> bool {
     if k == 0 {
         return false;
@@ -768,30 +779,35 @@ fn compile_function(fid: FuncId, func: &Function) -> CompiledFunction {
                     let base = slots.opnd(*base);
                     let fused_next = (k + 1 < insts.len() && fuses_with_prev(func, insts, k + 1))
                         .then(|| func.inst(insts[k + 1]));
-                    match (index, fused_next) {
-                        (Value::Const(Constant::I64(i)), None) => CInst::GepConst {
+                    // Only fold constant indices whose byte offset is
+                    // exact; an overflowing `index * 8` takes the
+                    // generic path and poisons the address at run time.
+                    let const_off = match index {
+                        Value::Const(Constant::I64(i)) => i.checked_mul(8),
+                        _ => None,
+                    };
+                    match (const_off, fused_next) {
+                        (Some(offset), None) => CInst::GepConst {
                             base,
-                            offset: (*i as u64).wrapping_mul(8),
+                            offset,
                             dst,
                             site: id,
                         },
-                        (_, None) => CInst::Gep {
+                        (None, None) => CInst::Gep {
                             base,
                             index: slots.opnd(*index),
                             dst,
                             site: id,
                         },
-                        (Value::Const(Constant::I64(i)), Some(Inst::Load { ty, .. })) => {
-                            CInst::GepConstLoad {
-                                base,
-                                offset: (*i as u64).wrapping_mul(8),
-                                gep_dst: dst,
-                                site: id,
-                                load_dst: slot_of[insts[k + 1].index()],
-                                mask: if *ty == Type::Bool { 1 } else { u64::MAX },
-                            }
-                        }
-                        (_, Some(Inst::Load { ty, .. })) => CInst::GepLoad {
+                        (Some(offset), Some(Inst::Load { ty, .. })) => CInst::GepConstLoad {
+                            base,
+                            offset,
+                            gep_dst: dst,
+                            site: id,
+                            load_dst: slot_of[insts[k + 1].index()],
+                            mask: if *ty == Type::Bool { 1 } else { u64::MAX },
+                        },
+                        (None, Some(Inst::Load { ty, .. })) => CInst::GepLoad {
                             base,
                             index: slots.opnd(*index),
                             gep_dst: dst,
@@ -799,16 +815,14 @@ fn compile_function(fid: FuncId, func: &Function) -> CompiledFunction {
                             load_dst: slot_of[insts[k + 1].index()],
                             mask: if *ty == Type::Bool { 1 } else { u64::MAX },
                         },
-                        (Value::Const(Constant::I64(i)), Some(Inst::Store { value, .. })) => {
-                            CInst::GepConstStore {
-                                base,
-                                offset: (*i as u64).wrapping_mul(8),
-                                gep_dst: dst,
-                                site: id,
-                                value: slots.opnd(*value),
-                            }
-                        }
-                        (_, Some(Inst::Store { value, .. })) => CInst::GepStore {
+                        (Some(offset), Some(Inst::Store { value, .. })) => CInst::GepConstStore {
+                            base,
+                            offset,
+                            gep_dst: dst,
+                            site: id,
+                            value: slots.opnd(*value),
+                        },
+                        (None, Some(Inst::Store { value, .. })) => CInst::GepStore {
                             base,
                             index: slots.opnd(*index),
                             gep_dst: dst,
@@ -1325,7 +1339,7 @@ impl<'p> CompiledMachine<'p> {
                 } => {
                     let p = self.read(base, *b);
                     let i = self.read(base, *index);
-                    let v = p.wrapping_add(i.wrapping_mul(8));
+                    let v = gep_addr(p, i as i64);
                     let bits = hot.inject(state, f.fid, *site, W64, v);
                     self.write(base, *dst, bits);
                 }
@@ -1335,7 +1349,7 @@ impl<'p> CompiledMachine<'p> {
                     dst,
                     site,
                 } => {
-                    let v = self.read(base, *b).wrapping_add(*offset);
+                    let v = gep_const_addr(self.read(base, *b), *offset);
                     let bits = hot.inject(state, f.fid, *site, W64, v);
                     self.write(base, *dst, bits);
                 }
@@ -1349,7 +1363,7 @@ impl<'p> CompiledMachine<'p> {
                 } => {
                     let p = self.read(base, *b);
                     let i = self.read(base, *index);
-                    let v = p.wrapping_add(i.wrapping_mul(8));
+                    let v = gep_addr(p, i as i64);
                     let addr = hot.inject(state, f.fid, *site, W64, v);
                     self.write(base, *gep_dst, addr);
                     // The folded load is still its own instruction.
@@ -1365,7 +1379,7 @@ impl<'p> CompiledMachine<'p> {
                     load_dst,
                     mask,
                 } => {
-                    let v = self.read(base, *b).wrapping_add(*offset);
+                    let v = gep_const_addr(self.read(base, *b), *offset);
                     let addr = hot.inject(state, f.fid, *site, W64, v);
                     self.write(base, *gep_dst, addr);
                     hot.tick(state)?;
@@ -1381,7 +1395,7 @@ impl<'p> CompiledMachine<'p> {
                 } => {
                     let p = self.read(base, *b);
                     let i = self.read(base, *index);
-                    let v = p.wrapping_add(i.wrapping_mul(8));
+                    let v = gep_addr(p, i as i64);
                     let addr = hot.inject(state, f.fid, *site, W64, v);
                     // Address lands in its slot before the value is
                     // read: the stored value may be the address itself.
@@ -1397,7 +1411,7 @@ impl<'p> CompiledMachine<'p> {
                     site,
                     value,
                 } => {
-                    let v = self.read(base, *b).wrapping_add(*offset);
+                    let v = gep_const_addr(self.read(base, *b), *offset);
                     let addr = hot.inject(state, f.fid, *site, W64, v);
                     self.write(base, *gep_dst, addr);
                     hot.tick(state)?;

@@ -61,6 +61,6 @@ pub use env::{Env, SerialEnv};
 pub use machine::{
     is_fault_site, Injection, Machine, OutputStream, RunConfig, RunError, RunOutput, RunStatus,
 };
-pub use memory::Memory;
+pub use memory::{gep_addr, Memory, POISON_ADDR};
 pub use rtval::RtVal;
 pub use trap::Trap;

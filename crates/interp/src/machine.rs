@@ -7,7 +7,7 @@ use ipas_ir::inst::Callee;
 use ipas_ir::{BinOp, CastOp, FuncId, Function, Inst, InstId, Intrinsic, Module, Type, Value};
 
 use crate::env::{Env, SerialEnv};
-use crate::memory::Memory;
+use crate::memory::{gep_addr, Memory};
 use crate::rtval::RtVal;
 use crate::trap::Trap;
 
@@ -866,7 +866,7 @@ impl<'m> Machine<'m> {
             Inst::Gep { base, index, .. } => {
                 let b = self.eval(func, regs, args, *base).as_ptr();
                 let i = self.eval(func, regs, args, *index).as_i64();
-                Ok(RtVal::Ptr(b.wrapping_add((i as u64).wrapping_mul(8))))
+                Ok(RtVal::Ptr(gep_addr(b, i)))
             }
             Inst::Call {
                 callee,
@@ -1038,7 +1038,7 @@ pub(crate) fn exec_intrinsic(
             for i in lo..hi {
                 let bits = state
                     .memory
-                    .load(base + (i as u64) * 8)
+                    .load(gep_addr(base, i as i64))
                     .map_err(Stop::Trap)?;
                 chunk.push(f64::from_bits(bits));
             }
@@ -1047,7 +1047,7 @@ pub(crate) fn exec_intrinsic(
             for (i, v) in full.into_iter().enumerate() {
                 state
                     .memory
-                    .store(base + (i as u64) * 8, v.to_bits())
+                    .store(gep_addr(base, i as i64), v.to_bits())
                     .map_err(Stop::Trap)?;
             }
             RtVal::Unit
@@ -1060,7 +1060,7 @@ pub(crate) fn exec_intrinsic(
                 data.push(
                     state
                         .memory
-                        .load(base + (i as u64) * 8)
+                        .load(gep_addr(base, i as i64))
                         .map_err(Stop::Trap)?,
                 );
             }
@@ -1084,7 +1084,7 @@ pub(crate) fn exec_intrinsic(
             for (i, v) in reduced.into_iter().enumerate() {
                 state
                     .memory
-                    .store(base + (i as u64) * 8, v)
+                    .store(gep_addr(base, i as i64), v)
                     .map_err(Stop::Trap)?;
             }
             RtVal::Unit

@@ -19,6 +19,29 @@ const OFFSET_BITS: u32 = 32;
 /// Largest single allocation accepted by `malloc`/`alloca`, in bytes.
 const MAX_ALLOC_BYTES: i64 = 1 << 30;
 
+/// Canonical poison address produced by overflowing address arithmetic.
+///
+/// `gep` is speculatable (LICM hoists it out of loops), so it must never
+/// trap itself. Instead, arithmetic that overflows the address space
+/// collapses to this sentinel, which deterministically traps on any
+/// subsequent access. Both engines share [`gep_addr`], so the reference
+/// and compiled interpreters stay bit-identical on these paths.
+pub const POISON_ADDR: u64 = u64::MAX;
+
+/// Computes `base + index * 8` for an 8-byte element `gep`, collapsing
+/// any overflow to [`POISON_ADDR`] instead of wrapping.
+///
+/// Wrapping arithmetic here was a real bug: a huge index could wrap the
+/// address back into a live region and silently alias unrelated data —
+/// exactly the class of silent corruption this project exists to catch.
+#[inline]
+pub fn gep_addr(base: u64, index: i64) -> u64 {
+    match index.checked_mul(8) {
+        Some(off) => base.checked_add_signed(off).unwrap_or(POISON_ADDR),
+        None => POISON_ADDR,
+    }
+}
+
 /// Region-table memory with trap-checked accesses.
 #[derive(Debug, Default)]
 pub struct Memory {
@@ -58,6 +81,10 @@ impl Memory {
     /// Returns [`Trap::BadFree`] for non-base pointers, double frees, and
     /// addresses that never came from [`Memory::alloc`].
     pub fn free(&mut self, addr: u64) -> Result<(), Trap> {
+        if addr >> OFFSET_BITS == 0 {
+            // The null page never came from `alloc`.
+            return Err(Trap::BadFree);
+        }
         let (region, offset) = Self::split(addr);
         if offset != 0 {
             return Err(Trap::BadFree);
@@ -125,6 +152,9 @@ impl Memory {
     }
 
     fn check(addr: u64) -> Result<(usize, usize), Trap> {
+        if addr == POISON_ADDR {
+            return Err(Trap::OutOfBounds);
+        }
         if addr >> OFFSET_BITS == 0 {
             return Err(Trap::NullDeref);
         }
@@ -224,6 +254,36 @@ mod tests {
         let a2 = m.alloc(16).unwrap();
         assert_eq!(a, a2, "addresses replay after reset");
         assert_eq!(m.load(a2).unwrap(), 0, "memory after reset is zeroed");
+    }
+
+    #[test]
+    fn free_of_null_page_is_bad_free() {
+        let mut m = Memory::new();
+        assert_eq!(m.free(0), Err(Trap::BadFree));
+        assert_eq!(m.free(8), Err(Trap::BadFree));
+    }
+
+    #[test]
+    fn poison_address_always_traps() {
+        let mut m = Memory::new();
+        let _ = m.alloc(8).unwrap();
+        assert_eq!(m.load(POISON_ADDR), Err(Trap::OutOfBounds));
+        assert_eq!(m.store(POISON_ADDR, 1), Err(Trap::OutOfBounds));
+    }
+
+    #[test]
+    fn gep_addr_overflow_is_poison_not_wrap() {
+        let mut m = Memory::new();
+        let base = m.alloc(16).unwrap();
+        // In-range arithmetic is exact.
+        assert_eq!(gep_addr(base, 1), base + 8);
+        assert_eq!(gep_addr(base + 8, -1), base);
+        // Index * 8 overflow and base + offset overflow both poison: the
+        // old wrapping arithmetic could alias addr back into region 1.
+        assert_eq!(gep_addr(base, i64::MAX), POISON_ADDR);
+        assert_eq!(gep_addr(base, i64::MIN), POISON_ADDR);
+        assert_eq!(gep_addr(u64::MAX - 7, 1), POISON_ADDR);
+        assert_eq!(m.load(gep_addr(base, i64::MAX)), Err(Trap::OutOfBounds));
     }
 
     #[test]

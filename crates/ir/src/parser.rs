@@ -79,14 +79,22 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
         let (ln, line) = lines[i];
         if line.starts_with("fn @") {
             let (fname, params, ret) = parse_header(ln, line)?;
-            headers.push((fname.clone(), params.clone(), ret));
+            headers.push((ln, fname.clone(), params.clone(), ret));
             i += 1;
         } else {
             i += 1;
         }
     }
     let mut sig_ids = HashMap::new();
-    for (fname, params, ret) in &headers {
+    for (ln, fname, params, ret) in &headers {
+        if sig_ids.contains_key(fname) {
+            // `Module::add_function` asserts on duplicates; report a
+            // positioned error instead of panicking.
+            return Err(ParseError::new(
+                *ln,
+                format!("duplicate function `@{fname}`"),
+            ));
+        }
         let id = module.add_function(Function::new(fname.clone(), params, *ret));
         sig_ids.insert(fname.clone(), id);
     }
@@ -155,8 +163,14 @@ fn parse_header(ln: usize, line: &str) -> Result<(String, Vec<Type>, Type), Pars
         .find('(')
         .ok_or_else(|| ParseError::new(ln, "expected `(` in function header"))?;
     let name = rest[..open].trim().to_string();
-    let close = rest
+    if name.is_empty() {
+        return Err(ParseError::new(ln, "empty function name"));
+    }
+    // Search for the close paren *after* the open paren: `fn @f)(` used
+    // to pick the earlier `)` and panic on the reversed slice.
+    let close = rest[open..]
         .find(')')
+        .map(|c| open + c)
         .ok_or_else(|| ParseError::new(ln, "expected `)` in function header"))?;
     let params_str = &rest[open + 1..close];
     let mut params = Vec::new();
@@ -295,6 +309,24 @@ fn parse_value(ctx: &BodyCtx<'_>, tok: &str) -> Result<Value, ParseError> {
         }
         if tok == "NaN" {
             return Ok(Value::Const(Constant::f64(f64::NAN)));
+        }
+        // Bit-exact NaN spelling from the printer: `NaN(0x<16 hex>)`
+        // carries the sign and payload bits `{:?}` would erase.
+        if let Some(hex) = tok.strip_prefix("NaN(0x").and_then(|r| r.strip_suffix(')')) {
+            match u64::from_str_radix(hex, 16) {
+                Ok(bits) if f64::from_bits(bits).is_nan() => {
+                    return Ok(Value::Const(Constant::F64Bits(bits)));
+                }
+                Ok(_) => {
+                    return Err(ParseError::new(
+                        ctx.ln,
+                        format!("`{tok}` spells a non-NaN bit pattern"),
+                    ));
+                }
+                Err(_) => {
+                    return Err(ParseError::new(ctx.ln, format!("bad NaN literal `{tok}`")));
+                }
+            }
         }
     }
     if let Ok(v) = tok.parse::<i64>() {
@@ -472,7 +504,8 @@ fn parse_inst(ctx: &BodyCtx<'_>, text: &str, num_blocks: usize) -> Result<Inst, 
                 .ok_or_else(|| ParseError::new(ln, "expected `(` in call"))?;
             let close = rest
                 .rfind(')')
-                .ok_or_else(|| ParseError::new(ln, "expected `)` in call"))?;
+                .filter(|c| *c > open)
+                .ok_or_else(|| ParseError::new(ln, "expected `)` after `(` in call"))?;
             let name = rest[..open].trim();
             let args_str = &rest[open + 1..close];
             let tail = rest[close + 1..].trim();
@@ -651,6 +684,77 @@ bb0:
     fn rejects_branch_to_unknown_block() {
         let text = "fn @f() {\nbb0:\n  br bb7\n}\n";
         assert!(parse_module(text).is_err());
+    }
+
+    #[test]
+    fn rejects_reversed_parens_in_header() {
+        // Minimized fuzz repro: `)` before `(` used to slice-panic.
+        let err = parse_module("fn @f)( {\nbb0:\n  ret\n}\n").unwrap_err();
+        assert!(err.message().contains(")"), "got: {}", err.message());
+        assert!(parse_module("fn @)(\n").is_err());
+    }
+
+    #[test]
+    fn rejects_reversed_parens_in_call() {
+        // Minimized fuzz repro: first `)` preceding the `(` panicked.
+        let text = "fn @f() {\nbb0:\n  %v0 = call output_i64)( -> void\n  ret\n}\n";
+        let err = parse_module(text).unwrap_err();
+        assert!(err.message().contains("call"), "got: {}", err.message());
+    }
+
+    #[test]
+    fn rejects_duplicate_function_names() {
+        // Minimized fuzz repro: `Module::add_function` asserts on
+        // duplicates; the parser must reject them as a ParseError.
+        let text = "fn @f() {\nbb0:\n  ret\n}\nfn @f() {\nbb0:\n  ret\n}\n";
+        let err = parse_module(text).unwrap_err();
+        assert!(
+            err.message().contains("duplicate"),
+            "got: {}",
+            err.message()
+        );
+        assert_eq!(err.line(), 5);
+    }
+
+    #[test]
+    fn rejects_empty_function_name() {
+        assert!(parse_module("fn @() {\nbb0:\n  ret\n}\n").is_err());
+    }
+
+    #[test]
+    fn nan_constants_round_trip_bit_exactly() {
+        // Minimized fuzz repro: x86's `0.0 / 0.0` is the *negative*
+        // quiet NaN `0xfff8…`, which printed as `NaN` and re-parsed as
+        // the positive canonical one — a silent bit flip introduced by
+        // a print→parse round trip.
+        for bits in [
+            0xfff8_0000_0000_0000_u64, // negative quiet NaN
+            0x7ff8_0000_0000_0001,     // payload-carrying quiet NaN
+            0x7ff0_0000_0000_0001,     // signaling NaN
+        ] {
+            let text = format!(
+                "fn @f() -> f64 {{\nbb0:\n  %v0 = fadd f64 NaN(0x{bits:016x}), 0.5\n  ret %v0\n}}\n"
+            );
+            let f = parse_function(&text).unwrap();
+            match f.inst(InstId::new(0)) {
+                Inst::Binary { lhs, .. } => {
+                    assert_eq!(*lhs, Value::Const(Constant::F64Bits(bits)), "0x{bits:016x}")
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // The canonical quiet NaN keeps its bare, readable spelling.
+        assert_eq!(
+            Value::Const(Constant::f64(f64::NAN)).to_string(),
+            "NaN",
+            "canonical NaN spelling"
+        );
+        // Smuggling a non-NaN bit pattern through the NaN spelling is a
+        // parse error, as is malformed hex.
+        for bad in ["NaN(0x3ff0000000000000)", "NaN(0xzz)", "NaN(0x)"] {
+            let text = format!("fn @f() -> f64 {{\nbb0:\n  ret {bad}\n}}\n");
+            assert!(parse_module(&text).is_err(), "{bad} should be rejected");
+        }
     }
 
     #[test]

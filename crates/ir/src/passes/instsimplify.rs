@@ -38,8 +38,22 @@ pub fn simplify_instructions(func: &mut Function) -> usize {
             break;
         }
         total += replacements.len();
+        // One round can plan chained replacements — `%b = sub %a, 0`
+        // simplifies to `%a` while `%a = srem %x, 1` simplifies to `0`
+        // — and every planned instruction gets unlinked below, so each
+        // chain must be resolved to its (acyclic, by SSA dominance)
+        // final value before uses are rewritten.
+        let resolve = |mut v: Value| {
+            while let Value::Inst(id) = v {
+                match replacements.get(&id) {
+                    Some(&next) => v = next,
+                    None => break,
+                }
+            }
+            v
+        };
         func.map_all_operands(|v| match v {
-            Value::Inst(id) => replacements.get(&id).copied().unwrap_or(v),
+            Value::Inst(id) if replacements.contains_key(&id) => resolve(v),
             other => other,
         });
         for &id in replacements.keys() {
@@ -271,6 +285,22 @@ mod tests {
         let mut f = b.finish();
         assert_eq!(simplify_instructions(&mut f), 1);
         assert_eq!(returned_value(&f), Value::param(1));
+    }
+
+    #[test]
+    fn chained_replacements_resolve_transitively() {
+        // Fuzzer-minimized repro: `%a = srem %x, 1` simplifies to `0`
+        // and `%b = sub %a, 0` simplifies to `%a` in the SAME round;
+        // both get unlinked, so the use of `%b` must rewrite all the
+        // way to `0`, not stop at the dangling `%a`.
+        let mut b = FunctionBuilder::new("f", &[Type::I64], Type::I64);
+        let a = b.binary(BinOp::Srem, Type::I64, Value::param(0), Value::i64(1));
+        let s = b.binary(BinOp::Sub, Type::I64, a, Value::i64(0));
+        b.ret(Some(s));
+        let mut f = b.finish();
+        assert_eq!(simplify_instructions(&mut f), 2);
+        verify_function(&f).unwrap();
+        assert_eq!(returned_value(&f), Value::i64(0));
     }
 
     #[test]

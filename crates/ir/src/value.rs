@@ -70,7 +70,17 @@ impl fmt::Display for Constant {
                 let v = f64::from_bits(*bits);
                 // Print with enough precision to round-trip exactly; the
                 // parser re-reads via `f64::from_str`.
-                if v.is_finite() && v == v.trunc() && v.abs() < 1e15 {
+                if v.is_nan() {
+                    // `{:?}` renders every NaN as `NaN`, erasing the sign
+                    // and payload bits (x86's `0.0 / 0.0` is the *negative*
+                    // quiet NaN `0xfff8…`). Spell non-canonical NaNs
+                    // bit-exactly so the round trip preserves them.
+                    if *bits == f64::NAN.to_bits() {
+                        write!(f, "NaN")
+                    } else {
+                        write!(f, "NaN(0x{bits:016x})")
+                    }
+                } else if v.is_finite() && v == v.trunc() && v.abs() < 1e15 {
                     write!(f, "{v:.1}")
                 } else {
                     write!(f, "{v:?}")

@@ -95,56 +95,90 @@ pub enum TokenKind {
     Eof,
 }
 
+impl TokenKind {
+    /// The canonical source spelling of keyword and operator tokens;
+    /// `None` for the data-carrying variants and [`TokenKind::Eof`].
+    pub fn fixed_text(&self) -> Option<&'static str> {
+        Some(match self {
+            TokenKind::Fn => "fn",
+            TokenKind::Let => "let",
+            TokenKind::If => "if",
+            TokenKind::Else => "else",
+            TokenKind::While => "while",
+            TokenKind::For => "for",
+            TokenKind::Return => "return",
+            TokenKind::Break => "break",
+            TokenKind::Continue => "continue",
+            TokenKind::True => "true",
+            TokenKind::False => "false",
+            TokenKind::TyInt => "int",
+            TokenKind::TyFloat => "float",
+            TokenKind::TyBool => "bool",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::LBrace => "{",
+            TokenKind::RBrace => "}",
+            TokenKind::LBracket => "[",
+            TokenKind::RBracket => "]",
+            TokenKind::Comma => ",",
+            TokenKind::Semi => ";",
+            TokenKind::Colon => ":",
+            TokenKind::Arrow => "->",
+            TokenKind::Assign => "=",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::Slash => "/",
+            TokenKind::Percent => "%",
+            TokenKind::EqEq => "==",
+            TokenKind::NotEq => "!=",
+            TokenKind::Lt => "<",
+            TokenKind::Le => "<=",
+            TokenKind::Gt => ">",
+            TokenKind::Ge => ">=",
+            TokenKind::AndAnd => "&&",
+            TokenKind::OrOr => "||",
+            TokenKind::Not => "!",
+            TokenKind::Ident(_) | TokenKind::Int(_) | TokenKind::Float(_) | TokenKind::Eof => {
+                return None
+            }
+        })
+    }
+
+    /// A source spelling that re-lexes to an equal token, if one exists
+    /// (`Eof` has none). Non-finite floats have no lexable spelling
+    /// either; the lexer never produces them, so they also yield `None`.
+    pub fn lexeme(&self) -> Option<String> {
+        match self {
+            TokenKind::Ident(s) => Some(s.clone()),
+            TokenKind::Int(v) => Some(v.to_string()),
+            TokenKind::Float(v) if v.is_finite() => Some(format!("{v:?}")),
+            TokenKind::Float(_) | TokenKind::Eof => None,
+            other => other.fixed_text().map(str::to_string),
+        }
+    }
+}
+
+/// Renders tokens back to lexable source text, one space apart, so that
+/// re-lexing yields the same token kinds. The round-trip oracle and the
+/// proptest suite lean on this.
+pub fn render_tokens(tokens: &[Token]) -> String {
+    tokens
+        .iter()
+        .filter_map(|t| t.kind.lexeme())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
 impl fmt::Display for TokenKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
             TokenKind::Int(v) => write!(f, "integer `{v}`"),
             TokenKind::Float(v) => write!(f, "float `{v}`"),
+            TokenKind::Eof => write!(f, "`end of input`"),
             other => {
-                let s = match other {
-                    TokenKind::Fn => "fn",
-                    TokenKind::Let => "let",
-                    TokenKind::If => "if",
-                    TokenKind::Else => "else",
-                    TokenKind::While => "while",
-                    TokenKind::For => "for",
-                    TokenKind::Return => "return",
-                    TokenKind::Break => "break",
-                    TokenKind::Continue => "continue",
-                    TokenKind::True => "true",
-                    TokenKind::False => "false",
-                    TokenKind::TyInt => "int",
-                    TokenKind::TyFloat => "float",
-                    TokenKind::TyBool => "bool",
-                    TokenKind::LParen => "(",
-                    TokenKind::RParen => ")",
-                    TokenKind::LBrace => "{",
-                    TokenKind::RBrace => "}",
-                    TokenKind::LBracket => "[",
-                    TokenKind::RBracket => "]",
-                    TokenKind::Comma => ",",
-                    TokenKind::Semi => ";",
-                    TokenKind::Colon => ":",
-                    TokenKind::Arrow => "->",
-                    TokenKind::Assign => "=",
-                    TokenKind::Plus => "+",
-                    TokenKind::Minus => "-",
-                    TokenKind::Star => "*",
-                    TokenKind::Slash => "/",
-                    TokenKind::Percent => "%",
-                    TokenKind::EqEq => "==",
-                    TokenKind::NotEq => "!=",
-                    TokenKind::Lt => "<",
-                    TokenKind::Le => "<=",
-                    TokenKind::Gt => ">",
-                    TokenKind::Ge => ">=",
-                    TokenKind::AndAnd => "&&",
-                    TokenKind::OrOr => "||",
-                    TokenKind::Not => "!",
-                    TokenKind::Eof => "end of input",
-                    _ => unreachable!(),
-                };
+                let s = other.fixed_text().expect("fixed token has a spelling");
                 write!(f, "`{s}`")
             }
         }
@@ -202,7 +236,7 @@ impl<'s> Lexer<'s> {
                 return Ok(out);
             };
             let kind = if c.is_ascii_alphabetic() || c == b'_' {
-                self.lex_word()
+                self.lex_word(line, col)?
             } else if c.is_ascii_digit() {
                 self.lex_number(line, col)?
             } else {
@@ -251,7 +285,7 @@ impl<'s> Lexer<'s> {
         }
     }
 
-    fn lex_word(&mut self) -> TokenKind {
+    fn lex_word(&mut self, line: usize, col: usize) -> Result<TokenKind, CompileError> {
         let start = self.pos;
         while let Some(c) = self.peek() {
             if c.is_ascii_alphanumeric() || c == b'_' {
@@ -260,8 +294,11 @@ impl<'s> Lexer<'s> {
                 break;
             }
         }
-        let word = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii word");
-        match word {
+        // Only ASCII bytes are consumed above, but never panic on the
+        // conversion: a lexer must reject bad input, not abort.
+        let word = std::str::from_utf8(&self.src[start..self.pos])
+            .map_err(|_| CompileError::new(line, col, "invalid UTF-8 in identifier"))?;
+        Ok(match word {
             "fn" => TokenKind::Fn,
             "let" | "var" => TokenKind::Let,
             "if" => TokenKind::If,
@@ -277,7 +314,7 @@ impl<'s> Lexer<'s> {
             "float" => TokenKind::TyFloat,
             "bool" => TokenKind::TyBool,
             _ => TokenKind::Ident(word.to_string()),
-        }
+        })
     }
 
     fn lex_number(&mut self, line: usize, col: usize) -> Result<TokenKind, CompileError> {
@@ -301,7 +338,8 @@ impl<'s> Lexer<'s> {
                 break;
             }
         }
-        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii number");
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .map_err(|_| CompileError::new(line, col, "invalid UTF-8 in number"))?;
         if is_float {
             text.parse::<f64>()
                 .map(TokenKind::Float)
@@ -358,12 +396,24 @@ impl<'s> Lexer<'s> {
                     return Err(CompileError::new(line, col, "expected `||`"));
                 }
             }
-            other => {
+            _ => {
+                // Decode the whole character so multi-byte UTF-8 (`é`,
+                // `λ`, …) is named faithfully in the error; casting the
+                // lead byte with `as char` printed mojibake. The
+                // remaining continuation bytes are consumed too, so one
+                // bad character yields one error, not a cascade.
+                let ch = std::str::from_utf8(&self.src[self.pos - 1..])
+                    .ok()
+                    .and_then(|s| s.chars().next())
+                    .unwrap_or(char::REPLACEMENT_CHARACTER);
+                for _ in 1..ch.len_utf8() {
+                    self.bump();
+                }
                 return Err(CompileError::new(
                     line,
                     col,
-                    format!("unexpected character `{}`", other as char),
-                ))
+                    format!("unexpected character `{ch}`"),
+                ));
             }
         };
         Ok(kind)
@@ -469,5 +519,30 @@ mod tests {
     fn rejects_unknown_character() {
         let err = Lexer::new("a $ b").tokenize().unwrap_err();
         assert!(err.message().contains("unexpected character"));
+    }
+
+    #[test]
+    fn non_ascii_input_is_a_spanned_error_not_a_panic() {
+        // Minimized fuzz repro: non-ASCII bytes in an identifier-like
+        // position must produce a positioned error naming the actual
+        // character, never a host panic or mojibake.
+        let err = Lexer::new("let héllo = 1;").tokenize().unwrap_err();
+        assert!(err.message().contains('é'), "got: {}", err.message());
+        assert_eq!((err.line(), err.col()), (1, 6));
+        for src in ["λ", "fn ∂f()", "x\u{00e9}", "１２３", "a\u{1F600}b"] {
+            let err = Lexer::new(src).tokenize().unwrap_err();
+            assert!(err.message().contains("unexpected character"));
+        }
+    }
+
+    #[test]
+    fn render_tokens_round_trips() {
+        let src = "fn main() -> int { let x = 1 + 2.5; return x; }";
+        let toks = Lexer::new(src).tokenize().unwrap();
+        let rendered = render_tokens(&toks);
+        let again = Lexer::new(&rendered).tokenize().unwrap();
+        let a: Vec<_> = toks.into_iter().map(|t| t.kind).collect();
+        let b: Vec<_> = again.into_iter().map(|t| t.kind).collect();
+        assert_eq!(a, b);
     }
 }

@@ -54,7 +54,7 @@ use ipas_ir::Module;
 
 pub use ast::{LangType, Program};
 pub use check::CheckedProgram;
-pub use lexer::Lexer;
+pub use lexer::{render_tokens, Lexer, Token, TokenKind};
 
 /// A frontend diagnostic with source position.
 #[derive(Debug, Clone, PartialEq, Eq)]

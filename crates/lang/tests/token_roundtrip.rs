@@ -1,0 +1,168 @@
+//! Property tests for the lexer's print→lex round trip.
+//!
+//! [`ipas_lang::render_tokens`] promises that rendering a token stream
+//! yields source that re-lexes to the same token kinds. The fuzz
+//! crate's round-trip oracle leans on this for whole programs; these
+//! properties pin it down at the token level, including the
+//! data-carrying variants (identifiers, integer and float literals with
+//! exponent notation) where the spelling is not a fixed string.
+
+use proptest::prelude::*;
+
+use ipas_lang::{render_tokens, Lexer, Token, TokenKind};
+
+fn kinds(tokens: &[Token]) -> Vec<TokenKind> {
+    tokens
+        .iter()
+        .map(|t| t.kind.clone())
+        .filter(|k| *k != TokenKind::Eof)
+        .collect()
+}
+
+/// Every keyword and operator token, by canonical spelling.
+fn fixed_token() -> BoxedStrategy<TokenKind> {
+    prop_oneof![
+        Just(TokenKind::Fn),
+        Just(TokenKind::Let),
+        Just(TokenKind::If),
+        Just(TokenKind::Else),
+        Just(TokenKind::While),
+        Just(TokenKind::For),
+        Just(TokenKind::Return),
+        Just(TokenKind::Break),
+        Just(TokenKind::Continue),
+        Just(TokenKind::True),
+        Just(TokenKind::False),
+        Just(TokenKind::TyInt),
+        Just(TokenKind::TyFloat),
+        Just(TokenKind::TyBool),
+        Just(TokenKind::LParen),
+        Just(TokenKind::RParen),
+        Just(TokenKind::LBrace),
+        Just(TokenKind::RBrace),
+        Just(TokenKind::LBracket),
+        Just(TokenKind::RBracket),
+        Just(TokenKind::Comma),
+        Just(TokenKind::Semi),
+        Just(TokenKind::Colon),
+        Just(TokenKind::Arrow),
+        Just(TokenKind::Assign),
+        Just(TokenKind::Plus),
+        Just(TokenKind::Minus),
+        Just(TokenKind::Star),
+        Just(TokenKind::Slash),
+        Just(TokenKind::Percent),
+        Just(TokenKind::EqEq),
+        Just(TokenKind::NotEq),
+        Just(TokenKind::Lt),
+        Just(TokenKind::Le),
+        Just(TokenKind::Gt),
+        Just(TokenKind::Ge),
+        Just(TokenKind::AndAnd),
+        Just(TokenKind::OrOr),
+        Just(TokenKind::Not),
+    ]
+}
+
+/// Identifiers that are not keywords: a trailing `_` de-keywords any
+/// unlucky draw (the lexer also maps the `var` alias to `let`, so that
+/// is excluded the same way).
+fn ident_token() -> BoxedStrategy<TokenKind> {
+    "[a-z_][a-z0-9_]{0,10}"
+        .prop_map(|s| {
+            let keyword = matches!(
+                s.as_str(),
+                "fn" | "let"
+                    | "var"
+                    | "if"
+                    | "else"
+                    | "while"
+                    | "for"
+                    | "return"
+                    | "break"
+                    | "continue"
+                    | "true"
+                    | "false"
+                    | "int"
+                    | "float"
+                    | "bool"
+            );
+            TokenKind::Ident(if keyword { format!("{s}_") } else { s })
+        })
+        .boxed()
+}
+
+/// Literal tokens as the lexer can actually produce them: unsigned
+/// integers (a leading `-` lexes as a separate `Minus`) and finite
+/// non-negative floats, whose `{:?}` spelling — including exponent
+/// notation like `5e-324` — re-parses to the identical bits.
+fn literal_token() -> BoxedStrategy<TokenKind> {
+    prop_oneof![
+        (0i64..i64::MAX).prop_map(TokenKind::Int),
+        any::<f64>().prop_map(|v| TokenKind::Float(v.abs())),
+        prop_oneof![
+            Just(5e-324f64),
+            Just(f64::MAX),
+            Just(f64::EPSILON),
+            Just(0.0),
+            Just(1e300),
+        ]
+        .prop_map(TokenKind::Float),
+    ]
+}
+
+fn token_stream() -> BoxedStrategy<Vec<TokenKind>> {
+    proptest::collection::vec(
+        prop_oneof![fixed_token(), fixed_token(), ident_token(), literal_token(),],
+        0..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// tokenize(render(tokens)) == tokens, for any stream of tokens the
+    /// lexer could itself emit.
+    #[test]
+    fn render_then_lex_is_identity(stream in token_stream()) {
+        let tokens: Vec<Token> = stream
+            .iter()
+            .map(|kind| Token { kind: kind.clone(), line: 1, col: 1 })
+            .collect();
+        let rendered = render_tokens(&tokens);
+        let relexed = Lexer::new(&rendered)
+            .tokenize()
+            .expect("rendered token stream must re-lex");
+        prop_assert_eq!(kinds(&relexed), stream);
+    }
+
+    /// For valid programs the full chain holds: tokenize → render →
+    /// tokenize is the identity on kinds, and a second render is a
+    /// fixpoint of the text.
+    #[test]
+    fn lex_render_lex_is_identity_on_programs(
+        n in 0i64..5,
+        f in 0.0f64..1e6,
+        name in "[a-z][a-z0-9_]{0,6}",
+    ) {
+        let src = format!(
+            "fn {name}(a: int) -> float {{\n\
+             \x20   let acc: float = {f:?};\n\
+             \x20   for (let i: int = 0; i < a; i = i + 1) {{\n\
+             \x20       acc = acc + itof(i % {m});\n\
+             \x20   }}\n\
+             \x20   return acc;\n\
+             }}\n\
+             fn main() -> int {{\n\
+             \x20   output_f({name}({n}));\n\
+             \x20   return 0;\n\
+             }}\n",
+            m = n.max(1),
+        );
+        let first = Lexer::new(&src).tokenize().expect("program lexes");
+        let rendered = render_tokens(&first);
+        let second = Lexer::new(&rendered).tokenize().expect("rendered source lexes");
+        prop_assert_eq!(kinds(&first), kinds(&second));
+        prop_assert_eq!(render_tokens(&second), rendered);
+    }
+}

@@ -26,7 +26,7 @@ use crate::hash::{hex, sha256};
 /// Envelope format version.
 pub const ENVELOPE_VERSION: u32 = 1;
 
-/// The four artifact kinds the pipeline persists.
+/// The five artifact kinds the pipeline persists.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum ArtifactKind {
     /// Labeled feature rows extracted from a training campaign.
@@ -37,15 +37,18 @@ pub enum ArtifactKind {
     CampaignSummary,
     /// A protected module in canonical IR text.
     ProtectedModule,
+    /// A fuzzing finding: the divergent input plus its minimized repro.
+    FuzzRepro,
 }
 
 impl ArtifactKind {
     /// All kinds, in listing order.
-    pub const ALL: [ArtifactKind; 4] = [
+    pub const ALL: [ArtifactKind; 5] = [
         ArtifactKind::TrainingSet,
         ArtifactKind::TrainedModel,
         ArtifactKind::CampaignSummary,
         ArtifactKind::ProtectedModule,
+        ArtifactKind::FuzzRepro,
     ];
 
     /// The on-disk directory / header tag for this kind.
@@ -55,6 +58,7 @@ impl ArtifactKind {
             ArtifactKind::TrainedModel => "trained-model",
             ArtifactKind::CampaignSummary => "campaign-summary",
             ArtifactKind::ProtectedModule => "protected-module",
+            ArtifactKind::FuzzRepro => "fuzz-repro",
         }
     }
 
@@ -70,6 +74,7 @@ impl ArtifactKind {
             ArtifactKind::TrainedModel => TrainedModel::SCHEMA,
             ArtifactKind::CampaignSummary => CampaignSummary::SCHEMA,
             ArtifactKind::ProtectedModule => ProtectedModule::SCHEMA,
+            ArtifactKind::FuzzRepro => FuzzRepro::SCHEMA,
         }
     }
 }
@@ -777,6 +782,96 @@ impl Payload for ProtectedModule {
     }
 }
 
+// ---------------------------------------------------------------------
+// FuzzRepro
+
+/// A fuzzing finding: which oracle diverged, the seed and case index
+/// that produced it, the full original input, and the delta-debugged
+/// minimal reproducer. Inputs are stored verbatim so a repro replays
+/// byte-identically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzRepro {
+    /// Oracle that flagged the divergence (`engine-diff`, `roundtrip`,
+    /// `passes`, `duplication`, `no-panic`).
+    pub oracle: String,
+    /// Input language: `scil` source or `ir` module text.
+    pub input_kind: String,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Case index within the campaign (seed + case replays the input).
+    pub case: u64,
+    /// The oracle's divergence report.
+    pub divergence: String,
+    /// The generated input that diverged, verbatim.
+    pub input: String,
+    /// The minimized input (equal to `input` if minimization failed to
+    /// shrink it), verbatim.
+    pub minimized: String,
+}
+
+/// Appends a counted multi-line text block (`key <lines>` then the
+/// verbatim lines) — the same shape `ProtectedModule` uses for IR text.
+/// Blocks are newline-normalized: decode always yields text whose every
+/// line (including the last) ends in `\n`.
+fn encode_block(out: &mut String, key: &str, text: &str) {
+    out.push_str(&format!("{key} {}\n", text.lines().count()));
+    out.push_str(text);
+    if !text.is_empty() && !text.ends_with('\n') {
+        out.push('\n');
+    }
+}
+
+fn decode_block<'a>(lines: &mut std::str::Lines<'a>, key: &str) -> Result<String, String> {
+    let n: usize = parse_num(expect_field(lines.next(), key)?, key)?;
+    let mut text = String::new();
+    for i in 0..n {
+        let line = lines
+            .next()
+            .ok_or_else(|| format!("`{key}` truncated: {i} of {n} lines present"))?;
+        text.push_str(line);
+        text.push('\n');
+    }
+    Ok(text)
+}
+
+impl Payload for FuzzRepro {
+    const KIND: ArtifactKind = ArtifactKind::FuzzRepro;
+    const SCHEMA: u32 = 1;
+
+    fn encode_body(&self, out: &mut String) {
+        out.push_str(&format!("oracle {}\n", self.oracle));
+        out.push_str(&format!("input-kind {}\n", self.input_kind));
+        out.push_str(&format!("seed {}\n", self.seed));
+        out.push_str(&format!("case {}\n", self.case));
+        encode_block(out, "divergence", &self.divergence);
+        encode_block(out, "input", &self.input);
+        encode_block(out, "minimized", &self.minimized);
+    }
+
+    fn decode_body(body: &str) -> Result<Self, String> {
+        let mut lines = body.lines();
+        let oracle = expect_field(lines.next(), "oracle")?.to_string();
+        let input_kind = expect_field(lines.next(), "input-kind")?.to_string();
+        let seed = parse_num(expect_field(lines.next(), "seed")?, "seed")?;
+        let case = parse_num(expect_field(lines.next(), "case")?, "case")?;
+        let divergence = decode_block(&mut lines, "divergence")?;
+        let input = decode_block(&mut lines, "input")?;
+        let minimized = decode_block(&mut lines, "minimized")?;
+        if lines.next().is_some() {
+            return Err("trailing data after minimized input".to_string());
+        }
+        Ok(FuzzRepro {
+            oracle,
+            input_kind,
+            seed,
+            case,
+            divergence,
+            input,
+            minimized,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -936,6 +1031,24 @@ mod tests {
         let (kind, schema) = inspect(&text, "<memory>").unwrap();
         assert_eq!(kind, ArtifactKind::TrainedModel);
         assert_eq!(schema, TrainedModel::SCHEMA);
+    }
+
+    #[test]
+    fn fuzz_repro_round_trips_verbatim() {
+        let r = FuzzRepro {
+            oracle: "engine-diff".into(),
+            input_kind: "ir".into(),
+            seed: 2016,
+            case: 17,
+            divergence: "status: reference Completed, compiled Trapped(OutOfBounds)\n".into(),
+            input: "fn @main() -> i64 {\nbb0:\n  ret 0\n}\n".into(),
+            minimized: "fn @main() -> i64 {\nbb0:\n  ret 0\n}\n".into(),
+        };
+        let back: FuzzRepro = decode(&encode(&r)).unwrap();
+        assert_eq!(back, r);
+        let (kind, schema) = inspect(&encode(&r), "<memory>").unwrap();
+        assert_eq!(kind, ArtifactKind::FuzzRepro);
+        assert_eq!(schema, FuzzRepro::SCHEMA);
     }
 
     #[test]

@@ -35,8 +35,8 @@ pub mod registry;
 pub mod store;
 
 pub use artifact::{
-    ArtifactKind, CampaignSummary, ProtectedModule, StoreError, TrainedModel, TrainingRow,
-    TrainingSet,
+    ArtifactKind, CampaignSummary, FuzzRepro, ProtectedModule, StoreError, TrainedModel,
+    TrainingRow, TrainingSet,
 };
 pub use hash::{Fingerprint, FingerprintBuilder};
 pub use registry::{Registry, RegistryEntry};

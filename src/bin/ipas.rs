@@ -18,6 +18,7 @@
 //!   ipas ir <file.scil>             # compile + print optimized IR
 //!   ipas inject <file.scil> --target K --bit B   # single fault run
 //!   ipas explain <file.scil> [--runs N]    # per-instruction decisions
+//!   ipas fuzz [--runs N] [--seed S] [--oracle NAME]   # differential fuzzing
 //! ```
 //!
 //! `--engine` selects the execution engine for every interpreted run:
@@ -86,7 +87,8 @@ fn usage() -> ExitCode {
          [--top N] [--tolerance T] [--seed S] [--out FILE] [--policy ipas|full|baseline] \
          [--model NAME|KEY] [--save-model NAME] [--target K] [--bit B]\n\
          \x20      [--engine reference|compiled]\n\
-         \x20      ipas models <list|verify|gc>   (requires IPAS_STORE_DIR)"
+         \x20      ipas models <list|verify|gc>   (requires IPAS_STORE_DIR)\n\
+         \x20      ipas fuzz [--runs N] [--seed S] [--oracle NAME]"
     );
     ExitCode::FAILURE
 }
@@ -355,6 +357,55 @@ fn execute(
     }
 }
 
+fn fuzz_command(args: &Args) -> ExitCode {
+    let runs = args.get("runs", 500u64);
+    let seed = args.get("seed", 2016u64);
+    let oracles = match args.flags.get("oracle") {
+        None => ipas::fuzz::OracleKind::ALL.to_vec(),
+        Some(name) => match ipas::fuzz::OracleKind::from_name(name) {
+            Some(o) => vec![o],
+            None => {
+                let known: Vec<&str> = ipas::fuzz::OracleKind::ALL
+                    .iter()
+                    .map(|o| o.name())
+                    .collect();
+                eprintln!(
+                    "ipas: unknown oracle `{name}`; expected one of {}",
+                    known.join(", ")
+                );
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let report = ipas::fuzz::run_fuzz(ipas::fuzz::FuzzConfig {
+        runs,
+        seed,
+        oracles,
+    });
+    println!("{}", report.summary());
+    for f in &report.findings {
+        eprintln!(
+            "\n[ipas] finding: {} oracle, case {} ({} input)",
+            f.oracle.name(),
+            f.case,
+            f.input_kind
+        );
+        eprintln!("  {}", f.divergence);
+        if let Some(key) = &f.store_key {
+            eprintln!("  repro persisted under store key {key}");
+        }
+        eprintln!("  minimized repro:");
+        for line in f.minimized.lines() {
+            eprintln!("    {line}");
+        }
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args = Args::parse();
     let Some(cmd) = args.positional.first() else {
@@ -372,6 +423,9 @@ fn main() -> ExitCode {
     };
     if cmd == "models" {
         return models_command(&args);
+    }
+    if cmd == "fuzz" {
+        return fuzz_command(&args);
     }
     let Some(path) = args.positional.get(1) else {
         return usage();

@@ -9,6 +9,7 @@
 pub use ipas_analysis as analysis;
 pub use ipas_core as core;
 pub use ipas_faultsim as faultsim;
+pub use ipas_fuzz as fuzz;
 pub use ipas_interp as interp;
 pub use ipas_ir as ir;
 pub use ipas_lang as lang;
