@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 
+use ipas_ir::passmgr::{Analysis, AnalysisManager};
 use ipas_ir::{Function, InstId, Value};
 
 /// Def-use information for one function: for every instruction that
@@ -49,6 +50,16 @@ impl DefUse {
     /// Number of uses of `def`'s result.
     pub fn num_uses(&self, def: InstId) -> usize {
         self.users(def).len()
+    }
+}
+
+impl Analysis for DefUse {
+    fn name() -> &'static str {
+        "defuse"
+    }
+
+    fn compute(func: &Function, _am: &mut AnalysisManager) -> Self {
+        DefUse::compute(func)
     }
 }
 

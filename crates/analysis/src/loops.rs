@@ -6,6 +6,7 @@
 //! block is within a loop") is membership in any natural loop.
 
 use ipas_ir::dom::DomTree;
+use ipas_ir::passmgr::{Analysis, AnalysisManager};
 use ipas_ir::{BlockId, Function};
 
 /// Per-block loop membership for one function.
@@ -19,6 +20,14 @@ impl LoopInfo {
     /// Computes loop membership for `func`.
     pub fn compute(func: &Function) -> Self {
         let dt = DomTree::compute(func);
+        Self::compute_with(func, &dt)
+    }
+
+    /// Computes loop membership reusing a caller-provided dominator
+    /// tree (which must be current for `func`). The pass manager's
+    /// [`ipas_ir::passmgr::AnalysisManager`] uses this so loop info
+    /// shares the cached tree instead of building its own.
+    pub fn compute_with(func: &Function, dt: &DomTree) -> Self {
         let preds = func.predecessors();
         let n = func.num_blocks();
         let mut in_loop = vec![false; n];
@@ -72,10 +81,47 @@ impl LoopInfo {
     }
 }
 
+impl Analysis for LoopInfo {
+    fn name() -> &'static str {
+        "loops"
+    }
+
+    fn compute(func: &Function, am: &mut AnalysisManager) -> Self {
+        let dt = am.get::<DomTree>(func);
+        LoopInfo::compute_with(func, &dt)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use ipas_ir::parser::parse_function;
+
+    #[test]
+    fn analysis_manager_shares_the_domtree() {
+        let f = parse_function(
+            r#"
+fn @f() {
+bb0:
+  br bb1
+bb1:
+  ret
+}
+"#,
+        )
+        .unwrap();
+        let mut am = AnalysisManager::new();
+        let before = DomTree::computations();
+        let li = am.get::<LoopInfo>(&f);
+        assert!(!li.is_in_loop(BlockId::new(0)));
+        // Loop info pulled the dominator tree through the manager: one
+        // compute total, and both analyses are now cached.
+        assert_eq!(DomTree::computations() - before, 1);
+        assert!(am.is_cached::<DomTree>());
+        assert!(am.is_cached::<LoopInfo>());
+        am.get::<LoopInfo>(&f);
+        assert_eq!(DomTree::computations() - before, 1);
+    }
 
     #[test]
     fn simple_while_loop() {

@@ -1,0 +1,222 @@
+//! Pass-pipeline throughput comparison: the historical free-function
+//! optimization loop vs the [`ipas_ir::passmgr::PassManager`], emitting
+//! `BENCH_passes.json`.
+//!
+//! For each of the five SciL workloads this harness compiles the raw
+//! (unoptimized) module once, then optimizes fresh clones of it through
+//! two equivalent pipelines:
+//!
+//! * **naive** — the historical hand-rolled loop of free functions:
+//!   mem2reg, then rounds of constfold/instsimplify/cse/dce/simplifycfg
+//!   until a round reports zero changes. Every dominator-tree consumer
+//!   recomputes its own tree, and the loop always runs one extra
+//!   all-no-op round to discover the fixpoint.
+//! * **manager** — `PassManager::standard()`: the same passes with
+//!   cached analyses, change-driven skipping, and no trailing no-op
+//!   round.
+//!
+//! The harness asserts the two produce *byte-identical* printed IR
+//! (otherwise the comparison is meaningless) and that the manager
+//! performs strictly fewer `DomTree::compute` calls, then reports
+//! best-of-reps wall time per workload and the geometric-mean speedup.
+//!
+//! ```text
+//! cargo run --release -p ipas-bench --bin bench_passes [-- out.json]
+//! ```
+//!
+//! Environment:
+//! * `IPAS_BENCH_RUNS` — optimize_module invocations per measurement
+//!   (default 40; the pipelines are fast, so one timing sample batches
+//!   many invocations).
+//! * `IPAS_BENCH_REPS` — interleaved repetitions; the fastest is
+//!   reported (default 3).
+//! * output path defaults to `BENCH_passes.json` in the current
+//!   directory; pass a path argument to override.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use ipas_ir::dom::DomTree;
+use ipas_ir::passes;
+use ipas_ir::passmgr::PassManager;
+use ipas_ir::{FuncId, Function, Module};
+use ipas_workloads::{sources, Kind};
+
+/// The historical `optimize_function` loop, verbatim: every pass is a
+/// free function recomputing its own analyses, and the loop exits only
+/// after a full round of zero-change passes.
+fn naive_optimize_function(func: &mut Function) {
+    passes::promote_memory_to_registers(func);
+    loop {
+        let folded = passes::constant_fold(func);
+        let simplified = passes::simplify_instructions(func);
+        let merged = passes::eliminate_common_subexpressions(func);
+        let removed = passes::eliminate_dead_code(func);
+        let blocks = passes::simplify_cfg(func);
+        if folded + simplified + merged + removed + blocks == 0 {
+            break;
+        }
+    }
+}
+
+fn naive_optimize_module(module: &mut Module) {
+    let ids: Vec<FuncId> = module.functions().map(|(id, _)| id).collect();
+    for id in ids {
+        naive_optimize_function(module.function_mut(id));
+    }
+}
+
+fn manager_optimize_module(module: &mut Module) -> (u64, u64) {
+    let mut pm = PassManager::standard();
+    pm.run_module(module)
+        .expect("default pipeline without verify-each cannot fail");
+    (pm.stats().executions, pm.stats().skipped)
+}
+
+struct Row {
+    name: &'static str,
+    naive_s: f64,
+    manager_s: f64,
+    dom_computes_naive: u64,
+    dom_computes_manager: u64,
+    executions: u64,
+    skipped: u64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.naive_s / self.manager_s
+    }
+}
+
+/// Times `runs` invocations of `optimize` on fresh clones of `base`.
+fn timed<F: FnMut(&mut Module)>(base: &Module, runs: usize, mut optimize: F) -> f64 {
+    let start = Instant::now();
+    for _ in 0..runs {
+        let mut m = base.clone();
+        optimize(&mut m);
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn bench_workload(kind: Kind, runs: usize, reps: usize) -> Row {
+    let base = ipas_lang::compile_unoptimized(sources::source(kind), kind.name())
+        .unwrap_or_else(|e| panic!("{} does not compile: {e}", kind.name()));
+
+    // Correctness gate: identical output, fewer dominator-tree builds.
+    let mut naive = base.clone();
+    let before = DomTree::computations();
+    naive_optimize_module(&mut naive);
+    let dom_computes_naive = DomTree::computations() - before;
+
+    let mut managed = base.clone();
+    let before = DomTree::computations();
+    let (executions, skipped) = manager_optimize_module(&mut managed);
+    let dom_computes_manager = DomTree::computations() - before;
+
+    assert_eq!(
+        naive.to_text(),
+        managed.to_text(),
+        "{}: pass manager diverged from the historical loop",
+        kind.name()
+    );
+    assert!(
+        dom_computes_manager < dom_computes_naive,
+        "{}: analysis caching did not reduce DomTree computes ({} vs {})",
+        kind.name(),
+        dom_computes_manager,
+        dom_computes_naive
+    );
+
+    // Interleaved best-of-reps timing (minimum estimates the code's
+    // cost rather than the machine's jitter).
+    let mut naive_s = f64::INFINITY;
+    let mut manager_s = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        naive_s = naive_s.min(timed(&base, runs, naive_optimize_module));
+        manager_s = manager_s.min(timed(&base, runs, |m| {
+            manager_optimize_module(m);
+        }));
+    }
+
+    Row {
+        name: kind.name(),
+        naive_s,
+        manager_s,
+        dom_computes_naive,
+        dom_computes_manager,
+        executions,
+        skipped,
+    }
+}
+
+fn main() {
+    let runs: usize = std::env::var("IPAS_BENCH_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40);
+    let reps: usize = std::env::var("IPAS_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_passes.json".to_string());
+
+    let mut rows = Vec::new();
+    for kind in Kind::ALL {
+        eprintln!(
+            "[bench_passes] {} ({runs} optimize_module calls x {reps} reps per pipeline)",
+            kind.name()
+        );
+        rows.push(bench_workload(kind, runs, reps));
+    }
+
+    let geomean = (rows.iter().map(|r| r.speedup().ln()).sum::<f64>() / rows.len() as f64).exp();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"pass-pipeline-throughput\",");
+    let _ = writeln!(json, "  \"runs_per_measure\": {runs},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    json.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"naive_s\": {:.4}, \"manager_s\": {:.4}, \
+             \"speedup\": {:.3}, \"dom_computes_naive\": {}, \"dom_computes_manager\": {}, \
+             \"executions\": {}, \"skipped\": {}}}{}",
+            r.name,
+            r.naive_s,
+            r.manager_s,
+            r.speedup(),
+            r.dom_computes_naive,
+            r.dom_computes_manager,
+            r.executions,
+            r.skipped,
+            if i + 1 < rows.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"geomean_speedup\": {geomean:.3}");
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write benchmark output");
+    eprintln!("[bench_passes] wrote {out_path}");
+    println!(
+        "{:<8} {:>9} {:>10} {:>8} {:>9} {:>11}",
+        "code", "naive_s", "manager_s", "speedup", "dom_naive", "dom_manager"
+    );
+    for r in &rows {
+        println!(
+            "{:<8} {:>9.4} {:>10.4} {:>7.2}x {:>9} {:>11}",
+            r.name,
+            r.naive_s,
+            r.manager_s,
+            r.speedup(),
+            r.dom_computes_naive,
+            r.dom_computes_manager
+        );
+    }
+    println!("geomean speedup: {geomean:.2}x");
+}

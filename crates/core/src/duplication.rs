@@ -18,7 +18,10 @@
 use std::collections::{HashMap, HashSet};
 
 use ipas_ir::inst::Callee;
+use ipas_ir::passmgr::{Changed, ModulePass};
 use ipas_ir::{FuncId, Inst, InstId, Intrinsic, Module, Type, Value};
+
+use crate::policy::ProtectionPolicy;
 
 /// Returns `true` if the duplication pass may duplicate `inst`:
 /// computation instructions and pure math calls.
@@ -189,6 +192,61 @@ pub fn protect_module_placed(
         ipas_ir::verify::verify_module(&out)
     );
     (out, stats)
+}
+
+/// The duplication transform packaged as a module-level pass for the
+/// [`ipas_ir::passmgr::PassManager`]: the protection pipeline is the
+/// (usually empty) function pipeline plus this pass, described as
+/// `"+duplicate"` in pipeline text and store memo keys.
+///
+/// The counters drained by [`ModulePass::report_stats`] mirror
+/// [`DuplicationStats`]: `considered`, `duplicated`, `checks`.
+pub struct DuplicationPass {
+    policy: ProtectionPolicy,
+    placement: CheckPlacement,
+    considered: u64,
+    duplicated: u64,
+    checks: u64,
+}
+
+impl DuplicationPass {
+    /// A pass applying `policy` with the default (path-end) check
+    /// placement.
+    pub fn new(policy: ProtectionPolicy) -> Self {
+        Self::with_placement(policy, CheckPlacement::default())
+    }
+
+    /// A pass applying `policy` with an explicit [`CheckPlacement`].
+    pub fn with_placement(policy: ProtectionPolicy, placement: CheckPlacement) -> Self {
+        DuplicationPass {
+            policy,
+            placement,
+            considered: 0,
+            duplicated: 0,
+            checks: 0,
+        }
+    }
+}
+
+impl ModulePass for DuplicationPass {
+    fn name(&self) -> &'static str {
+        "duplicate"
+    }
+
+    fn run(&mut self, module: &mut Module) -> Changed {
+        let (protected, stats) = self.policy.select_and_protect(module, self.placement);
+        *module = protected;
+        self.considered += stats.considered as u64;
+        self.duplicated += stats.duplicated as u64;
+        self.checks += stats.checks as u64;
+        Changed::from_count(stats.duplicated + stats.checks)
+    }
+
+    fn report_stats(&mut self, sink: &mut dyn FnMut(&'static str, u64)) {
+        sink("considered", std::mem::take(&mut self.considered));
+        sink("duplicated", std::mem::take(&mut self.duplicated));
+        sink("checks", std::mem::take(&mut self.checks));
+    }
 }
 
 fn check_intrinsic(ty: Type) -> Intrinsic {

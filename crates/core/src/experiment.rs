@@ -265,7 +265,7 @@ pub fn memoized_protect(
         let (m, stats) = policy.apply(module);
         return Ok((m, stats, ipas_store::CacheOutcome::Miss));
     };
-    let fp = memo::protect_fingerprint(module, policy.label(), model_key);
+    let fp = memo::protect_fingerprint(module, policy.label(), model_key, &policy.pipeline_text());
     let (artifact, outcome) = store
         .memoize(&Key::of(&fp), || {
             let (m, stats) = policy.apply(module);

@@ -84,13 +84,23 @@ pub fn training_fingerprint(
 }
 
 /// Fingerprint of a duplication pass: the source module, the policy
-/// tag, and (for classifier-driven policies) the key of the model that
-/// decides what to duplicate.
-pub fn protect_fingerprint(module: &Module, policy: &str, model_key: Option<&Key>) -> Fingerprint {
+/// tag, the canonical text of the protection pipeline that will run
+/// (e.g. `"+duplicate"`, from
+/// [`crate::policy::ProtectionPolicy::pipeline_text`]), and (for
+/// classifier-driven policies) the key of the model that decides what
+/// to duplicate. Including the pipeline text means reshaping the
+/// protection pipeline invalidates memoized protected modules.
+pub fn protect_fingerprint(
+    module: &Module,
+    policy: &str,
+    model_key: Option<&Key>,
+    pipeline: &str,
+) -> Fingerprint {
     FingerprintBuilder::new("duplication")
         .text("ir", &module.to_text())
         .text("policy", policy)
         .text("model", model_key.map(Key::as_str).unwrap_or("-"))
+        .text("pipeline", pipeline)
         .finish()
 }
 
@@ -318,13 +328,23 @@ mod tests {
     }
 
     #[test]
-    fn protect_fingerprint_tracks_model() {
+    fn protect_fingerprint_tracks_model_and_pipeline() {
         let m = sample_module();
         let k1 = Key::parse("aa").unwrap();
         let k2 = Key::parse("bb").unwrap();
-        let fp = protect_fingerprint(&m, "IPAS", Some(&k1));
-        assert_ne!(fp, protect_fingerprint(&m, "IPAS", Some(&k2)));
-        assert_ne!(fp, protect_fingerprint(&m, "baseline", Some(&k1)));
-        assert_ne!(fp, protect_fingerprint(&m, "IPAS", None));
+        let fp = protect_fingerprint(&m, "IPAS", Some(&k1), "+duplicate");
+        assert_ne!(fp, protect_fingerprint(&m, "IPAS", Some(&k2), "+duplicate"));
+        assert_ne!(
+            fp,
+            protect_fingerprint(&m, "baseline", Some(&k1), "+duplicate")
+        );
+        assert_ne!(fp, protect_fingerprint(&m, "IPAS", None, "+duplicate"));
+        assert_ne!(
+            fp,
+            protect_fingerprint(&m, "IPAS", Some(&k1), "dce+duplicate"),
+            "pipeline shape must change the key"
+        );
+        // Stability: same inputs, same key.
+        assert_eq!(fp, protect_fingerprint(&m, "IPAS", Some(&k1), "+duplicate"));
     }
 }

@@ -1,10 +1,13 @@
 //! Protection policies: which instructions get duplicated.
 
 use ipas_analysis::features::FeatureExtractor;
+use ipas_ir::passmgr::PassManager;
 use ipas_ir::Module;
 
 use crate::classifier::TrainedClassifier;
-use crate::duplication::{protect_module, DuplicationStats};
+use crate::duplication::{
+    protect_module_placed, CheckPlacement, DuplicationPass, DuplicationStats,
+};
 
 /// A rule mapping a module to its protected variant.
 #[derive(Debug, Clone)]
@@ -34,28 +37,79 @@ impl ProtectionPolicy {
         }
     }
 
-    /// Applies the policy to `module`, returning the protected module
-    /// and duplication statistics.
+    /// Builds the protection pipeline for this policy: an empty
+    /// function pipeline plus the [`DuplicationPass`] module pass. The
+    /// manager's [`PassManager::describe`] text (`"+duplicate"`) is
+    /// what [`ProtectionPolicy::pipeline_text`] feeds into store memo
+    /// keys.
+    pub fn manager(&self) -> PassManager {
+        let mut pm = PassManager::empty();
+        pm.add_module_pass(Box::new(DuplicationPass::new(self.clone())));
+        pm
+    }
+
+    /// Canonical text of the protection pipeline this policy runs
+    /// (`"+duplicate"`). Fingerprinted into memoized protected modules
+    /// so a change to the pipeline shape invalidates stale artifacts.
+    pub fn pipeline_text(&self) -> String {
+        self.manager().describe()
+    }
+
+    /// Applies the policy to `module` through the pass manager,
+    /// returning the protected module and the duplication statistics
+    /// recovered from the manager's per-pass counters.
     pub fn apply(&self, module: &Module) -> (Module, DuplicationStats) {
+        let mut pm = self.manager();
+        let mut out = module.clone();
+        pm.run_module(&mut out)
+            .expect("protection pipeline without verify-each cannot fail");
+        let stats = pm
+            .stats()
+            .pass("duplicate")
+            .map(|s| DuplicationStats {
+                considered: s.counter("considered") as usize,
+                duplicated: s.counter("duplicated") as usize,
+                checks: s.counter("checks") as usize,
+            })
+            .unwrap_or_default();
+        (out, stats)
+    }
+
+    /// The policy's instruction selector applied through
+    /// [`protect_module_placed`] — the raw transform behind
+    /// [`DuplicationPass`] and [`ProtectionPolicy::apply`].
+    pub(crate) fn select_and_protect(
+        &self,
+        module: &Module,
+        placement: CheckPlacement,
+    ) -> (Module, DuplicationStats) {
         match self {
             ProtectionPolicy::Unprotected => {
                 // Identity transform; the pass still counts duplicable
                 // instructions so reports stay consistent.
-                protect_module(module, &mut |_, _, _| false)
+                protect_module_placed(module, &mut |_, _, _| false, placement)
             }
-            ProtectionPolicy::FullDuplication => protect_module(module, &mut |_, _, _| true),
+            ProtectionPolicy::FullDuplication => {
+                protect_module_placed(module, &mut |_, _, _| true, placement)
+            }
             ProtectionPolicy::Ipas(model) => {
                 let extractor = FeatureExtractor::new(module);
-                protect_module(module, &mut |fid, iid, _| {
-                    model.predict_features(&extractor.extract(fid, iid))
-                })
+                protect_module_placed(
+                    module,
+                    &mut |fid, iid, _| model.predict_features(&extractor.extract(fid, iid)),
+                    placement,
+                )
             }
             ProtectionPolicy::Baseline(model) => {
                 let extractor = FeatureExtractor::new(module);
-                protect_module(module, &mut |fid, iid, _| {
-                    // Protect what is NOT predicted symptom-generating.
-                    !model.predict_features(&extractor.extract(fid, iid))
-                })
+                protect_module_placed(
+                    module,
+                    &mut |fid, iid, _| {
+                        // Protect what is NOT predicted symptom-generating.
+                        !model.predict_features(&extractor.extract(fid, iid))
+                    },
+                    placement,
+                )
             }
         }
     }
@@ -89,5 +143,31 @@ mod tests {
     fn labels() {
         assert_eq!(ProtectionPolicy::Unprotected.label(), "unprotected");
         assert_eq!(ProtectionPolicy::FullDuplication.label(), "full");
+    }
+
+    #[test]
+    fn pipeline_text_names_the_module_pass() {
+        assert_eq!(ProtectionPolicy::Unprotected.pipeline_text(), "+duplicate");
+        assert_eq!(
+            ProtectionPolicy::FullDuplication.pipeline_text(),
+            "+duplicate"
+        );
+    }
+
+    #[test]
+    fn apply_matches_the_raw_transform() {
+        let module = ipas_lang::compile(
+            "fn main() -> int { let x: int = mpi_rank(); return (x + 1) * (x + 2); }",
+        )
+        .unwrap();
+        for policy in [
+            ProtectionPolicy::Unprotected,
+            ProtectionPolicy::FullDuplication,
+        ] {
+            let (via_manager, stats) = policy.apply(&module);
+            let (raw, raw_stats) = policy.select_and_protect(&module, CheckPlacement::default());
+            assert_eq!(via_manager.to_text(), raw.to_text(), "{}", policy.label());
+            assert_eq!(stats, raw_stats, "{}", policy.label());
+        }
     }
 }

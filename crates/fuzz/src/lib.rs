@@ -19,9 +19,11 @@
 //!   returning a typed [`oracle::Divergence`] instead of asserting:
 //!   reference vs compiled engine (full `RunOutput` equality),
 //!   printer→parser round-trip, pass-pipeline semantic preservation
-//!   (mem2reg + LICM), duplication-transform identity under zero
-//!   faults, and no-panic (malformed input must surface as a typed
-//!   error or trap, never a host panic);
+//!   (the default pipeline plus seeded random pass orders through the
+//!   pass manager, divergences bisected to the first offending pass
+//!   application), duplication-transform identity under zero faults,
+//!   and no-panic (malformed input must surface as a typed error or
+//!   trap, never a host panic);
 //! * **minimizer** ([`minimize`]) — delta debugging over blocks and
 //!   instructions (and lines/bytes for textual inputs), re-verifying
 //!   every candidate so the minimized repro is still a valid program

@@ -14,6 +14,7 @@ use ipas_core::policy::ProtectionPolicy;
 use ipas_interp::{
     CompiledMachine, CompiledProgram, Injection, Machine, RtVal, RunConfig, RunOutput, RunStatus,
 };
+use ipas_ir::passmgr::{bisect_pipeline, PassManager, PipelineSpec};
 use ipas_ir::verify::verify_module;
 use ipas_ir::{parser::parse_module, Module};
 
@@ -26,8 +27,10 @@ pub enum OracleKind {
     EngineDiff,
     /// Printed IR must re-parse to a module that prints identically.
     Roundtrip,
-    /// mem2reg + LICM must preserve semantics (outputs, console,
-    /// status) on every function of the module.
+    /// The default optimization pipeline and randomized pipeline
+    /// orders (run through the pass manager) must preserve semantics
+    /// (outputs, console, status); a divergence is bisected to the
+    /// first diverging pass application.
     Passes,
     /// Full duplication with zero faults must be invisible: same
     /// outputs, same status, and never a spurious `Detected`.
@@ -289,7 +292,123 @@ fn baseline(module: &Module) -> Result<RunOutput, String> {
         .map_err(|e| format!("{e:?}"))
 }
 
-/// Oracle 3: the optimization pipeline preserves semantics.
+/// FNV-1a over the module text: a deterministic per-input seed for the
+/// randomized pipeline orders (same module → same orders → replayable
+/// findings).
+fn fnv1a(text: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in text.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// The pipelines the `passes` oracle exercises for one module: the
+/// default spec plus two seeded Fisher–Yates shuffles of every
+/// registered pass.
+fn passes_oracle_specs(module: &Module) -> Vec<PipelineSpec> {
+    let mut specs = vec![PipelineSpec::default_optimization()];
+    let mut state = fnv1a(&module.to_text()) | 1;
+    let mut names: Vec<&str> = ipas_ir::passmgr::pass_names().to_vec();
+    for _ in 0..2 {
+        for i in (1..names.len()).rev() {
+            let j = (xorshift(&mut state) % (i as u64 + 1)) as usize;
+            names.swap(i, j);
+        }
+        specs.push(PipelineSpec::parse(&names.join(",")).expect("registry names parse"));
+    }
+    specs
+}
+
+/// Runs one pipeline spec through the pass manager (with interleaved
+/// verification) and checks the result against the baseline semantic
+/// fingerprint (`want`; `None` when the baseline trapped — trapping
+/// executions are undefined behaviour, which the pipeline may
+/// legitimately delete, so only verifier cleanliness is required). A
+/// semantic divergence is bisected to the first diverging pass
+/// application.
+fn check_one_pipeline(
+    module: &Module,
+    spec: &PipelineSpec,
+    want: Option<&str>,
+) -> Option<Divergence> {
+    let mut pm = match PassManager::from_spec(spec) {
+        Ok(pm) => pm,
+        Err(e) => {
+            return Some(Divergence::new(
+                OracleKind::Passes,
+                format!("pipeline \"{spec}\" failed to build: {e}"),
+            ))
+        }
+    };
+    pm.set_verify_each(true);
+    let mut optimized = module.clone();
+    if let Err(e) = pm.run_module(&mut optimized) {
+        return Some(Divergence::new(
+            OracleKind::Passes,
+            format!("pipeline \"{spec}\" broke the verifier: {e}"),
+        ));
+    }
+    let want = want?;
+    let after = match baseline(&optimized) {
+        Ok(out) => out,
+        Err(e) => {
+            return Some(Divergence::new(
+                OracleKind::Passes,
+                format!("pipeline \"{spec}\": optimized module failed to run: {e}"),
+            ))
+        }
+    };
+    let fb = semantic_fingerprint(&after);
+    if fb == want {
+        return None;
+    }
+    // Localize: which pass application first changed observable
+    // behaviour? The bisection oracle accepts a module iff it still
+    // verifies and reproduces the baseline fingerprint.
+    let mut accept = |m: &Module| {
+        verify_module(m).is_ok()
+            && match Machine::new(m).run(&oracle_config()) {
+                Ok(out) => semantic_fingerprint(&out) == want,
+                Err(_) => false,
+            }
+    };
+    let located = match bisect_pipeline(module, spec, &mut accept) {
+        Ok(Some(report)) if report.execution_index > 0 => format!(
+            "first diverging application #{}: pass {} on function {}",
+            report.execution_index, report.pass, report.function
+        ),
+        Ok(Some(_)) => "input already fails the bisection oracle".to_string(),
+        Ok(None) => "bisection could not reproduce the divergence".to_string(),
+        Err(e) => format!("bisection failed: {e}"),
+    };
+    Some(Divergence::new(
+        OracleKind::Passes,
+        format!(
+            "{}\n{}",
+            diff_message(&format!("pipeline \"{spec}\" changed semantics"), want, &fb),
+            located
+        ),
+    ))
+}
+
+/// Oracle 3: optimization pipelines preserve semantics — the default
+/// spec plus seeded random pass orders, all executed through the
+/// [`PassManager`] with interleaved verification. Any divergence is
+/// bisected ([`bisect_pipeline`]) to name the first pass application
+/// after which the observable behaviour changed.
+///
+/// Baselines that hang or trap carry no defined semantics to preserve
+/// (a dead `sdiv 0, 0` is undefined behaviour that DCE may delete), so
+/// for those inputs only verifier cleanliness is enforced.
 pub fn check_passes(module: &Module) -> Option<Divergence> {
     let before = match baseline(module) {
         Ok(out) => out,
@@ -300,43 +419,13 @@ pub fn check_passes(module: &Module) -> Option<Divergence> {
             ))
         }
     };
-    // A hang baseline gives no semantics to preserve within budget.
-    if before.status == RunStatus::Hang {
-        return None;
-    }
-    let mut optimized = module.clone();
-    let ids: Vec<_> = optimized.functions().map(|(id, _)| id).collect();
-    for id in ids {
-        let f = optimized.function_mut(id);
-        ipas_ir::passes::mem2reg::promote_memory_to_registers(f);
-        ipas_ir::passes::licm::hoist_loop_invariants(f);
-    }
-    if let Err(e) = verify_module(&optimized) {
-        return Some(Divergence::new(
-            OracleKind::Passes,
-            format!(
-                "pass pipeline broke the verifier: {e:?}\n{}",
-                optimized.to_text()
-            ),
-        ));
-    }
-    let after = match baseline(&optimized) {
-        Ok(out) => out,
-        Err(e) => {
-            return Some(Divergence::new(
-                OracleKind::Passes,
-                format!("optimized module failed to run: {e}"),
-            ))
-        }
+    let want = match before.status {
+        RunStatus::Hang | RunStatus::Trapped(_) => None,
+        _ => Some(semantic_fingerprint(&before)),
     };
-    let (fa, fb) = (semantic_fingerprint(&before), semantic_fingerprint(&after));
-    if fa != fb {
-        return Some(Divergence::new(
-            OracleKind::Passes,
-            diff_message("mem2reg+LICM changed semantics", &fa, &fb),
-        ));
-    }
-    None
+    passes_oracle_specs(module)
+        .iter()
+        .find_map(|spec| check_one_pipeline(module, spec, want.as_deref()))
 }
 
 /// Oracle 4: full duplication under zero faults is invisible.
@@ -479,6 +568,36 @@ mod tests {
                 o.name()
             );
         }
+    }
+
+    #[test]
+    fn passes_oracle_orders_are_seeded_and_complete() {
+        let module = ipas_lang::compile(
+            "fn main() -> int { let s: int = 0;
+               for (let i: int = 0; i < 6; i = i + 1) { s = s + i * i; }
+               output_i(s); return 0; }",
+        )
+        .unwrap();
+        let a = passes_oracle_specs(&module);
+        let b = passes_oracle_specs(&module);
+        assert_eq!(a.len(), 3);
+        // Deterministic: same module, same orders.
+        let render = |specs: &[PipelineSpec]| -> Vec<String> {
+            specs.iter().map(|s| s.to_string()).collect()
+        };
+        assert_eq!(render(&a), render(&b));
+        assert_eq!(a[0].to_string(), ipas_ir::passmgr::DEFAULT_PIPELINE);
+        // Each shuffle covers every registered pass exactly once.
+        for spec in &a[1..] {
+            let text = spec.to_string();
+            let mut names: Vec<&str> = text.split(',').collect();
+            names.sort_unstable();
+            let mut all: Vec<&str> = ipas_ir::passmgr::pass_names().to_vec();
+            all.sort_unstable();
+            assert_eq!(names, all);
+        }
+        // And the whole oracle accepts a clean looping module.
+        assert!(check_passes(&module).is_none());
     }
 
     #[test]

@@ -4,7 +4,16 @@
 //! post-order of the CFG. Used by the verifier (SSA dominance checking),
 //! mem2reg (phi placement), and the loop analysis in `ipas-analysis`.
 
+use std::cell::Cell;
+
 use crate::function::{BlockId, Function};
+
+thread_local! {
+    /// Number of [`DomTree::compute`] calls on this thread. Thread-local
+    /// (not a process-wide atomic) so parallel test threads cannot skew
+    /// each other's before/after deltas.
+    static COMPUTATIONS: Cell<u64> = const { Cell::new(0) };
+}
 
 /// The dominator tree of a function's CFG.
 ///
@@ -24,6 +33,7 @@ pub struct DomTree {
 impl DomTree {
     /// Computes the dominator tree of `func`.
     pub fn compute(func: &Function) -> Self {
+        COMPUTATIONS.with(|c| c.set(c.get() + 1));
         let n = func.num_blocks();
         // DFS post-order.
         let mut visited = vec![false; n];
@@ -93,6 +103,14 @@ impl DomTree {
         idom[func.entry().index()] = None;
 
         DomTree { idom, rpo, rpo_pos }
+    }
+
+    /// Number of times [`DomTree::compute`] has run on the calling
+    /// thread. The pass manager's analysis caching is validated by
+    /// taking deltas of this counter around an optimization run (see
+    /// `bench_passes` and the workload pass-statistics tests).
+    pub fn computations() -> u64 {
+        COMPUTATIONS.with(Cell::get)
     }
 
     /// The immediate dominator of `bb` (`None` for the entry block and

@@ -50,6 +50,7 @@ pub mod inst;
 pub mod module;
 pub mod parser;
 pub mod passes;
+pub mod passmgr;
 pub mod printer;
 pub mod types;
 pub mod value;

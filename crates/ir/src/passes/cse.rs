@@ -59,6 +59,13 @@ fn key_of(inst: &Inst) -> Option<ExprKey> {
 /// Runs dominator-scoped CSE. Returns the number of instructions merged.
 pub fn eliminate_common_subexpressions(func: &mut Function) -> usize {
     let dt = DomTree::compute(func);
+    eliminate_common_subexpressions_with(func, &dt)
+}
+
+/// Runs dominator-scoped CSE reusing a caller-provided dominator tree
+/// (which must be current for `func`). Identical result to
+/// [`eliminate_common_subexpressions`].
+pub fn eliminate_common_subexpressions_with(func: &mut Function, dt: &DomTree) -> usize {
     let mut children: Vec<Vec<BlockId>> = vec![Vec::new(); func.num_blocks()];
     for bb in func.block_ids() {
         if let Some(parent) = dt.idom(bb) {

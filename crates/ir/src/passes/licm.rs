@@ -99,7 +99,14 @@ fn hoistable(inst: &Inst) -> bool {
 /// Hoists loop-invariant instructions. Returns the number moved.
 pub fn hoist_loop_invariants(func: &mut Function) -> usize {
     let dt = DomTree::compute(func);
-    let loops = find_loops(func, &dt);
+    hoist_loop_invariants_with(func, &dt)
+}
+
+/// Hoists loop-invariant instructions reusing a caller-provided
+/// dominator tree (which must be current for `func`). Identical result
+/// to [`hoist_loop_invariants`].
+pub fn hoist_loop_invariants_with(func: &mut Function, dt: &DomTree) -> usize {
+    let loops = find_loops(func, dt);
     let inst_blocks = func.inst_blocks();
     let mut moved = 0;
 

@@ -22,6 +22,22 @@ pub fn promote_memory_to_registers(func: &mut Function) -> usize {
         return 0;
     }
     let dt = DomTree::compute(func);
+    promote_candidates(func, &dt, candidates)
+}
+
+/// Runs mem2reg reusing a caller-provided dominator tree (which must be
+/// current for `func`). The pass manager uses this to share one cached
+/// tree across passes; the result is identical to
+/// [`promote_memory_to_registers`].
+pub fn promote_memory_to_registers_with(func: &mut Function, dt: &DomTree) -> usize {
+    let candidates = find_promotable(func);
+    if candidates.is_empty() {
+        return 0;
+    }
+    promote_candidates(func, dt, candidates)
+}
+
+fn promote_candidates(func: &mut Function, dt: &DomTree, candidates: Vec<(InstId, Type)>) -> usize {
     let df = dt.dominance_frontiers(func);
     let inst_blocks = func.inst_blocks();
 

@@ -6,6 +6,11 @@
 //! cleanups. The IPAS paper applies protection *after* user-level
 //! optimizations (Section 3, step 4), which is why the duplication pass in
 //! `ipas-core` consumes the output of this pipeline.
+//!
+//! Each pass is still available as a plain free function, but pipeline
+//! execution lives in [`crate::passmgr`]: the [`PassManager`] caches
+//! analyses across passes, reruns only passes whose inputs changed, and
+//! exposes per-pass wall time and named statistics.
 
 pub mod constfold;
 pub mod cse;
@@ -16,42 +21,38 @@ pub mod mem2reg;
 pub mod simplifycfg;
 
 pub use constfold::constant_fold;
-pub use cse::eliminate_common_subexpressions;
+pub use cse::{eliminate_common_subexpressions, eliminate_common_subexpressions_with};
 pub use dce::eliminate_dead_code;
 pub use instsimplify::simplify_instructions;
-pub use licm::hoist_loop_invariants;
-pub use mem2reg::promote_memory_to_registers;
-pub use simplifycfg::simplify_cfg;
+pub use licm::{hoist_loop_invariants, hoist_loop_invariants_with};
+pub use mem2reg::{promote_memory_to_registers, promote_memory_to_registers_with};
+pub use simplifycfg::{simplify_cfg, simplify_cfg_with_change};
 
 use crate::function::Function;
 use crate::module::Module;
+use crate::passmgr::PassManager;
 
 /// Runs the standard optimization pipeline on one function:
-/// mem2reg → (constant folding → algebraic simplification → CSE → DCE →
-/// CFG simplification) to fixpoint.
+/// mem2reg → fixpoint(constant folding, algebraic simplification, CSE,
+/// DCE, CFG simplification) — i.e. [`crate::passmgr::DEFAULT_PIPELINE`]
+/// through the [`PassManager`]. The output is byte-identical to the
+/// historical hand-rolled loop; the manager's change tracking only
+/// elides provably no-op reruns (see [`crate::passmgr`]).
 ///
 /// Protection (the IPAS duplication pass) must run *after* this
 /// pipeline: CSE in particular would merge shadow computations back
 /// into their originals, which is exactly the interaction §3 step 4 of
 /// the paper avoids by protecting post-optimization code.
 pub fn optimize_function(func: &mut Function) {
-    promote_memory_to_registers(func);
-    loop {
-        let folded = constant_fold(func);
-        let simplified = simplify_instructions(func);
-        let merged = eliminate_common_subexpressions(func);
-        let removed = eliminate_dead_code(func);
-        let blocks = simplify_cfg(func);
-        if folded == 0 && simplified == 0 && merged == 0 && removed == 0 && blocks == 0 {
-            break;
-        }
-    }
+    PassManager::standard()
+        .run_function(func)
+        .expect("default pipeline without verify-each cannot fail");
 }
 
-/// Runs [`optimize_function`] on every function of the module.
+/// Runs the standard pipeline on every function of the module through
+/// one [`PassManager`] (analysis caching and change tracking included).
 pub fn optimize_module(module: &mut Module) {
-    let ids: Vec<_> = module.functions().map(|(id, _)| id).collect();
-    for id in ids {
-        optimize_function(module.function_mut(id));
-    }
+    PassManager::standard()
+        .run_module(module)
+        .expect("default pipeline without verify-each cannot fail");
 }

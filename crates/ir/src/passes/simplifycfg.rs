@@ -23,18 +23,30 @@ use crate::value::Value;
 /// Simplifies `func`'s CFG to a fixpoint. Returns the number of blocks
 /// removed (by merging or unreachability).
 pub fn simplify_cfg(func: &mut Function) -> usize {
+    simplify_cfg_with_change(func).0
+}
+
+/// Like [`simplify_cfg`], but additionally reports whether the function
+/// was mutated *at all*. The block count alone is a false-negative
+/// change signal: branch threading can rewrite a `condbr` into a `br`
+/// (and phi repair can drop incomings) without removing any block. The
+/// pass manager's change-driven fixpoint needs the precise bit.
+pub fn simplify_cfg_with_change(func: &mut Function) -> (usize, bool) {
     let before = func.num_blocks();
+    let mut mutated = false;
     loop {
         let changed = thread_constant_branches(func)
             | repair_phis(func)
             | collapse_single_incoming_phis(func)
             | merge_linear_chains(func);
         prune_unreachable(func);
+        mutated |= changed;
         if !changed {
             break;
         }
     }
-    before - func.num_blocks()
+    let removed = before - func.num_blocks();
+    (removed, mutated || removed > 0)
 }
 
 /// Drops phi incomings whose source block is no longer a CFG

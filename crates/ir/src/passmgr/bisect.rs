@@ -1,0 +1,143 @@
+//! Pipeline bisection: isolating the first pass application that
+//! breaks a semantic oracle.
+//!
+//! Pass scheduling is fully deterministic, so "the run after `n` pass
+//! applications" is a well-defined, replayable state (see
+//! [`PassManager::set_execution_budget`]). Given an oracle that accepts
+//! or rejects a module, the bisector binary-searches the smallest
+//! execution prefix whose result the oracle rejects and names the
+//! application at the boundary — the compilation-steps-analysis recipe
+//! for localizing silently wrong passes.
+
+use crate::module::Module;
+use crate::passmgr::{PassManager, PassManagerError, PipelineSpec, TraceEntry};
+
+/// The isolated first-diverging pass application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BisectReport {
+    /// 1-based index of the diverging application in the execution
+    /// trace. 0 means the *unoptimized input* already fails the oracle
+    /// (the pipeline is innocent).
+    pub execution_index: u64,
+    /// Name of the diverging pass (empty when `execution_index` is 0).
+    pub pass: String,
+    /// Function the pass ran on (empty when `execution_index` is 0;
+    /// [`crate::passmgr::MODULE_SCOPE`] for module passes).
+    pub function: String,
+}
+
+fn run_prefix(
+    module: &Module,
+    spec: &PipelineSpec,
+    budget: Option<u64>,
+) -> Result<(Module, u64, Vec<TraceEntry>), PassManagerError> {
+    let mut pm = PassManager::from_spec(spec)?;
+    pm.set_trace(true);
+    pm.set_execution_budget(budget);
+    let mut out = module.clone();
+    pm.run_module(&mut out)?;
+    Ok((out, pm.stats().executions, pm.trace().to_vec()))
+}
+
+/// Runs `spec` over `module` and, if the optimized result fails
+/// `oracle`, isolates the first pass application after which the oracle
+/// rejects. Returns `Ok(None)` when the optimized module passes the
+/// oracle.
+///
+/// The oracle must be deterministic (it is consulted O(log n) times on
+/// replayed prefixes; `true` means "accepted").
+///
+/// # Errors
+///
+/// Propagates [`PassManagerError`] from pipeline construction (unknown
+/// pass names).
+pub fn bisect_pipeline(
+    module: &Module,
+    spec: &PipelineSpec,
+    oracle: &mut dyn FnMut(&Module) -> bool,
+) -> Result<Option<BisectReport>, PassManagerError> {
+    let (optimized, total, trace) = run_prefix(module, spec, None)?;
+    if oracle(&optimized) {
+        return Ok(None);
+    }
+    if !oracle(module) {
+        return Ok(Some(BisectReport {
+            execution_index: 0,
+            pass: String::new(),
+            function: String::new(),
+        }));
+    }
+    // Invariant: prefix `lo` is accepted, prefix `hi` is rejected.
+    let mut lo = 0u64;
+    let mut hi = total;
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        let (candidate, _, _) = run_prefix(module, spec, Some(mid))?;
+        if oracle(&candidate) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let entry = &trace[(hi - 1) as usize];
+    Ok(Some(BisectReport {
+        execution_index: hi,
+        pass: entry.pass.to_string(),
+        function: entry.function.clone(),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_module;
+
+    const SAMPLE: &str = r#"
+module "m"
+
+fn @f(i64) -> i64 {
+bb0:
+  %v0 = alloca i64, 1
+  store i64 7, %v0
+  %v1 = load i64, %v0
+  %v2 = add i64 %v1, 0
+  %v3 = mul i64 %v2, 2
+  ret %v3
+}
+"#;
+
+    #[test]
+    fn clean_pipeline_reports_nothing() {
+        let module = parse_module(SAMPLE).unwrap();
+        let spec = PipelineSpec::default_optimization();
+        let report = bisect_pipeline(&module, &spec, &mut |_| true).unwrap();
+        assert_eq!(report, None);
+    }
+
+    #[test]
+    fn isolates_the_first_rejected_application() {
+        let module = parse_module(SAMPLE).unwrap();
+        let spec = PipelineSpec::default_optimization();
+        // Synthetic oracle: reject any module in which the alloca is
+        // gone — i.e. the first mem2reg application "diverges". The
+        // bisector must name it.
+        let mut oracle = |m: &Module| m.to_text().contains("alloca");
+        let report = bisect_pipeline(&module, &spec, &mut oracle)
+            .unwrap()
+            .expect("oracle rejects the optimized module");
+        assert_eq!(report.execution_index, 1);
+        assert_eq!(report.pass, "mem2reg");
+        assert_eq!(report.function, "f");
+    }
+
+    #[test]
+    fn rejected_input_is_index_zero() {
+        let module = parse_module(SAMPLE).unwrap();
+        let spec = PipelineSpec::default_optimization();
+        let report = bisect_pipeline(&module, &spec, &mut |_| false)
+            .unwrap()
+            .expect("everything rejected");
+        assert_eq!(report.execution_index, 0);
+        assert!(report.pass.is_empty());
+    }
+}

@@ -1,0 +1,300 @@
+//! The pass-manager layer: cached analyses, change-driven fixpoints,
+//! textual pipeline specs, and per-pass observability.
+//!
+//! The layer has four pieces:
+//!
+//! * [`Pass`] / [`ModulePass`] — the unit of transformation. A pass
+//!   reports whether it *mutated* the function ([`Changed`]) and which
+//!   analyses its mutation [`PreservedAnalyses`].
+//! * [`AnalysisManager`] — lazily computes and caches analyses (the
+//!   dominator tree here; def-use and loop info from `ipas-analysis`)
+//!   keyed by type, so five passes share one `DomTree` instead of each
+//!   recomputing it.
+//! * [`PipelineSpec`] — a textual, round-trippable pipeline description
+//!   (`"mem2reg,fixpoint(constfold,instsimplify,cse,dce,simplifycfg)"`)
+//!   usable as a store memo key.
+//! * [`PassManager`] — executes a spec with a change-driven fixpoint
+//!   (a pass reruns only if something mutated since its last run),
+//!   optional interleaved verification, per-pass wall time and named
+//!   stat counters, and an execution budget that powers
+//!   [`bisect_pipeline`] — given a semantic oracle, it isolates the
+//!   first pass application that diverges.
+//!
+//! The default pipeline's output is byte-identical to the historical
+//! `optimize_function` free-function loop: every pass is idempotent, so
+//! skipping a pass when nothing mutated since its last complete run
+//! removes only no-op applications, never reorders mutating ones.
+
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::dom::DomTree;
+use crate::function::Function;
+use crate::module::Module;
+
+mod bisect;
+mod manager;
+mod pipeline;
+mod registry;
+
+pub use bisect::{bisect_pipeline, BisectReport};
+pub use manager::{PassManager, PassManagerError, PassStat, PipelineStats, TraceEntry};
+pub use pipeline::{PipelineItem, PipelineParseError, PipelineSpec, DEFAULT_PIPELINE};
+pub use registry::{create_pass, pass_descriptions, pass_names};
+
+/// Whether a pass application mutated the IR at all.
+///
+/// This is the precise signal driving the fixpoint: it must be `Yes`
+/// whenever *anything* changed, even if the pass's headline statistic is
+/// zero (e.g. CFG simplification threading a branch without removing a
+/// block).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Changed {
+    /// The function is bit-for-bit what it was before the run.
+    No,
+    /// Something was rewritten; dependent passes may find new work.
+    Yes,
+}
+
+impl Changed {
+    /// `Yes` iff `n > 0`. For passes whose statistic counts every
+    /// mutation (most of them).
+    pub fn from_count(n: usize) -> Self {
+        if n > 0 {
+            Changed::Yes
+        } else {
+            Changed::No
+        }
+    }
+
+    /// Returns `true` for [`Changed::Yes`].
+    pub fn is_yes(self) -> bool {
+        self == Changed::Yes
+    }
+}
+
+/// A function analysis that the [`AnalysisManager`] can lazily compute
+/// and cache.
+///
+/// Implemented by [`DomTree`] here and by `DefUse` / `LoopInfo` in
+/// `ipas-analysis` (the trait lives in `ipas-ir` so the dependency
+/// direction stays analysis → ir).
+pub trait Analysis: Sized + 'static {
+    /// Stable snake-case name (for diagnostics and stats).
+    fn name() -> &'static str;
+
+    /// Computes the analysis from scratch. May request *other* analyses
+    /// through `am` (e.g. loop info builds on the dominator tree).
+    fn compute(func: &Function, am: &mut AnalysisManager) -> Self;
+}
+
+impl Analysis for DomTree {
+    fn name() -> &'static str {
+        "domtree"
+    }
+
+    fn compute(func: &Function, _am: &mut AnalysisManager) -> Self {
+        DomTree::compute(func)
+    }
+}
+
+/// The set of analyses a pass's mutation leaves valid.
+///
+/// A pass that only rewrites operands or unlinks non-terminator
+/// instructions keeps the dominator tree; a CFG-restructuring pass
+/// preserves nothing. Returned by [`Pass::preserved`] and consumed by
+/// [`AnalysisManager::retain`].
+#[derive(Debug, Clone, Copy)]
+pub struct PreservedAnalyses {
+    all: bool,
+    // Inline storage: `preserved()` is built on every mutating pass
+    // application, so it must not heap-allocate.
+    kept: [Option<TypeId>; Self::MAX_KEPT],
+    len: usize,
+}
+
+impl PreservedAnalyses {
+    /// The most analyses one pass can preserve by name (there are only
+    /// three registered analyses; `all()` covers "everything").
+    const MAX_KEPT: usize = 4;
+
+    /// Every cached analysis stays valid (the pass did not mutate, or
+    /// mutates nothing analyses look at).
+    pub fn all() -> Self {
+        PreservedAnalyses {
+            all: true,
+            kept: [None; Self::MAX_KEPT],
+            len: 0,
+        }
+    }
+
+    /// No cached analysis survives.
+    pub fn none() -> Self {
+        PreservedAnalyses {
+            all: false,
+            kept: [None; Self::MAX_KEPT],
+            len: 0,
+        }
+    }
+
+    /// Marks analysis `A` as preserved.
+    ///
+    /// # Panics
+    ///
+    /// When more than [`Self::MAX_KEPT`] analyses are named — use
+    /// [`PreservedAnalyses::all`] instead at that point.
+    pub fn preserve<A: Analysis>(mut self) -> Self {
+        assert!(
+            self.len < Self::MAX_KEPT,
+            "too many preserved analyses; use PreservedAnalyses::all()"
+        );
+        self.kept[self.len] = Some(TypeId::of::<A>());
+        self.len += 1;
+        self
+    }
+
+    /// Returns `true` if analysis `A` survives.
+    pub fn preserves<A: Analysis>(&self) -> bool {
+        self.keeps(TypeId::of::<A>())
+    }
+
+    fn keeps(&self, id: TypeId) -> bool {
+        self.all || self.kept[..self.len].contains(&Some(id))
+    }
+}
+
+/// Lazily computes and caches analyses for one function.
+///
+/// Results are handed out as `Rc` so a pass can hold the dominator tree
+/// while mutating the function (the contract being that a pass using a
+/// cached analysis must not invalidate it mid-run — all seven builtin
+/// passes read the tree before mutating in ways that preserve it).
+#[derive(Default)]
+pub struct AnalysisManager {
+    cache: HashMap<TypeId, Rc<dyn Any>>,
+}
+
+impl AnalysisManager {
+    /// An empty manager (nothing cached).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns analysis `A` for `func`, computing and caching it on the
+    /// first request.
+    pub fn get<A: Analysis>(&mut self, func: &Function) -> Rc<A> {
+        if let Some(hit) = self.cached::<A>() {
+            return hit;
+        }
+        let computed = Rc::new(A::compute(func, self));
+        self.cache.insert(TypeId::of::<A>(), computed.clone());
+        computed
+    }
+
+    /// Returns analysis `A` only if already cached.
+    pub fn cached<A: Analysis>(&self) -> Option<Rc<A>> {
+        self.cache
+            .get(&TypeId::of::<A>())
+            .map(|rc| rc.clone().downcast::<A>().expect("cache keyed by TypeId"))
+    }
+
+    /// Returns `true` if analysis `A` is currently cached.
+    pub fn is_cached<A: Analysis>(&self) -> bool {
+        self.cache.contains_key(&TypeId::of::<A>())
+    }
+
+    /// Drops every cached analysis.
+    pub fn invalidate_all(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Drops every cached analysis *not* named by `preserved`.
+    pub fn retain(&mut self, preserved: &PreservedAnalyses) {
+        if preserved.all {
+            return;
+        }
+        self.cache.retain(|id, _| preserved.keeps(*id));
+    }
+}
+
+/// A function-level transformation usable by the [`PassManager`].
+pub trait Pass {
+    /// Stable name; also the spelling used in [`PipelineSpec`] text.
+    fn name(&self) -> &'static str;
+
+    /// Runs the pass. Must return [`Changed::Yes`] iff the function was
+    /// mutated in any way.
+    fn run(&mut self, func: &mut Function, am: &mut AnalysisManager) -> Changed;
+
+    /// Analyses that survive this pass's mutations. Consulted only
+    /// after a run that returned [`Changed::Yes`]; an unchanged run
+    /// preserves everything by definition.
+    fn preserved(&self) -> PreservedAnalyses {
+        PreservedAnalyses::none()
+    }
+
+    /// Drains the named statistic counters accumulated by the most
+    /// recent [`Pass::run`] into `sink` (e.g. `sink("allocas-promoted",
+    /// 3)`). A pass that reports counters must report them on *every*
+    /// run, even at zero: the fixpoint treats "any reported counter
+    /// nonzero" as its progress signal (falling back to the change bit
+    /// for passes that report nothing), which is exactly the exit
+    /// condition of the historical optimization loop.
+    fn report_stats(&mut self, sink: &mut dyn FnMut(&'static str, u64)) {
+        let _ = sink;
+    }
+}
+
+/// A module-level transformation (sees the whole [`Module`], e.g. the
+/// IPAS duplication pass whose instruction selector needs cross-function
+/// feature extraction). Module passes run after the function pipeline.
+pub trait ModulePass {
+    /// Stable name (appears in pipeline descriptions as `+name`).
+    fn name(&self) -> &'static str;
+
+    /// Runs the pass over the whole module.
+    fn run(&mut self, module: &mut Module) -> Changed;
+
+    /// Drains named statistic counters from the most recent run into
+    /// `sink`.
+    fn report_stats(&mut self, sink: &mut dyn FnMut(&'static str, u64)) {
+        let _ = sink;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_function;
+
+    #[test]
+    fn analysis_manager_caches_domtree() {
+        let f = parse_function("fn @f() {\nbb0:\n  ret\n}").unwrap();
+        let mut am = AnalysisManager::new();
+        let before = DomTree::computations();
+        let a = am.get::<DomTree>(&f);
+        let b = am.get::<DomTree>(&f);
+        assert_eq!(DomTree::computations() - before, 1, "second get is a hit");
+        assert!(Rc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn retain_respects_preserved_sets() {
+        let f = parse_function("fn @f() {\nbb0:\n  ret\n}").unwrap();
+        let mut am = AnalysisManager::new();
+        am.get::<DomTree>(&f);
+        am.retain(&PreservedAnalyses::none().preserve::<DomTree>());
+        assert!(am.is_cached::<DomTree>(), "preserved analysis survives");
+        am.retain(&PreservedAnalyses::all());
+        assert!(am.is_cached::<DomTree>(), "preserve-all survives");
+        am.retain(&PreservedAnalyses::none());
+        assert!(!am.is_cached::<DomTree>(), "unpreserved analysis dropped");
+    }
+
+    #[test]
+    fn changed_from_count() {
+        assert!(!Changed::from_count(0).is_yes());
+        assert!(Changed::from_count(2).is_yes());
+    }
+}

@@ -1,0 +1,286 @@
+//! Textual pipeline specifications.
+//!
+//! Grammar (whitespace around tokens is ignored):
+//!
+//! ```text
+//! pipeline := item (',' item)*          -- may be empty
+//! item     := passname                  -- [a-z0-9_]+
+//!           | 'fixpoint(' pipeline ')'
+//! ```
+//!
+//! [`PipelineSpec::parse`] and the `Display` impl round-trip: parsing
+//! canonical text yields an equal spec, and the canonical text is what
+//! the store uses inside memo keys, so one pipeline has exactly one
+//! fingerprint.
+
+use std::fmt;
+
+/// The default optimization pipeline — the spelling of the historical
+/// `optimize_function`: promote memory once, then run the cleanup
+/// passes to a change-driven fixpoint.
+pub const DEFAULT_PIPELINE: &str = "mem2reg,fixpoint(constfold,instsimplify,cse,dce,simplifycfg)";
+
+/// One element of a pipeline: a named pass or a fixpoint group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineItem {
+    /// A single application of the named pass.
+    Pass(String),
+    /// Run the inner items repeatedly until none of them mutates.
+    Fixpoint(Vec<PipelineItem>),
+}
+
+impl fmt::Display for PipelineItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineItem::Pass(name) => f.write_str(name),
+            PipelineItem::Fixpoint(items) => {
+                f.write_str("fixpoint(")?;
+                write_items(f, items)?;
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+fn write_items(f: &mut fmt::Formatter<'_>, items: &[PipelineItem]) -> fmt::Result {
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            f.write_str(",")?;
+        }
+        write!(f, "{item}")?;
+    }
+    Ok(())
+}
+
+/// A parsed, printable pipeline description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineSpec {
+    items: Vec<PipelineItem>,
+}
+
+impl PipelineSpec {
+    /// The empty pipeline (used when only module passes run, e.g. the
+    /// protection pipeline).
+    pub fn empty() -> Self {
+        PipelineSpec { items: Vec::new() }
+    }
+
+    /// The default optimization pipeline ([`DEFAULT_PIPELINE`]).
+    pub fn default_optimization() -> Self {
+        // Built structurally (not parsed) because `optimize_module`
+        // constructs one per call; a round-trip test pins this to
+        // `DEFAULT_PIPELINE`.
+        PipelineSpec {
+            items: vec![
+                PipelineItem::Pass("mem2reg".to_string()),
+                PipelineItem::Fixpoint(vec![
+                    PipelineItem::Pass("constfold".to_string()),
+                    PipelineItem::Pass("instsimplify".to_string()),
+                    PipelineItem::Pass("cse".to_string()),
+                    PipelineItem::Pass("dce".to_string()),
+                    PipelineItem::Pass("simplifycfg".to_string()),
+                ]),
+            ],
+        }
+    }
+
+    /// Builds a spec from items directly (used by the fuzz oracle to
+    /// assemble randomized orders).
+    pub fn from_items(items: Vec<PipelineItem>) -> Self {
+        PipelineSpec { items }
+    }
+
+    /// The top-level items.
+    pub fn items(&self) -> &[PipelineItem] {
+        &self.items
+    }
+
+    /// Parses a pipeline spec. Pass *names* are checked for shape only
+    /// (lowercase identifiers); whether a name denotes a registered
+    /// pass is decided by [`crate::passmgr::PassManager::from_spec`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a positioned [`PipelineParseError`] on malformed text.
+    pub fn parse(text: &str) -> Result<Self, PipelineParseError> {
+        let mut p = Parser {
+            text,
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        if p.at_end() {
+            return Ok(PipelineSpec::empty());
+        }
+        let items = p.parse_items(0)?;
+        p.skip_ws();
+        if !p.at_end() {
+            return Err(p.error("trailing input after pipeline"));
+        }
+        Ok(PipelineSpec { items })
+    }
+}
+
+impl fmt::Display for PipelineSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_items(f, &self.items)
+    }
+}
+
+/// A positioned pipeline-spec syntax error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineParseError {
+    /// Byte offset of the error in the input.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for PipelineParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pipeline spec error at byte {}: {}",
+            self.position, self.message
+        )
+    }
+}
+
+impl std::error::Error for PipelineParseError {}
+
+const MAX_NESTING: usize = 16;
+
+struct Parser<'a> {
+    text: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn error(&self, message: &str) -> PipelineParseError {
+        PipelineParseError {
+            position: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    /// Parses a comma-separated item list, stopping at `)` or
+    /// end-of-input (the caller checks which one is legal).
+    fn parse_items(&mut self, depth: usize) -> Result<Vec<PipelineItem>, PipelineParseError> {
+        let mut items = vec![self.parse_item(depth)?];
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                    items.push(self.parse_item(depth)?);
+                }
+                _ => return Ok(items),
+            }
+        }
+    }
+
+    fn parse_item(&mut self, depth: usize) -> Result<PipelineItem, PipelineParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'a'..=b'z' | b'0'..=b'9' | b'_')) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.error("expected a pass name or `fixpoint(`"));
+        }
+        let word = &self.text[start..self.pos];
+        self.skip_ws();
+        if word == "fixpoint" && self.peek() == Some(b'(') {
+            if depth + 1 > MAX_NESTING {
+                return Err(self.error("fixpoint groups nested too deeply"));
+            }
+            self.pos += 1;
+            let inner = self.parse_items(depth + 1)?;
+            self.skip_ws();
+            if self.peek() != Some(b')') {
+                return Err(self.error("expected `)` closing fixpoint group"));
+            }
+            self.pos += 1;
+            return Ok(PipelineItem::Fixpoint(inner));
+        }
+        if word == "fixpoint" {
+            return Err(self.error("`fixpoint` must be followed by `(`"));
+        }
+        Ok(PipelineItem::Pass(word.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_round_trips() {
+        let spec = PipelineSpec::parse(DEFAULT_PIPELINE).unwrap();
+        assert_eq!(spec.to_string(), DEFAULT_PIPELINE);
+        assert_eq!(PipelineSpec::parse(&spec.to_string()).unwrap(), spec);
+        // The structurally-built default is the same spec.
+        assert_eq!(PipelineSpec::default_optimization(), spec);
+    }
+
+    #[test]
+    fn whitespace_is_canonicalized() {
+        let spec = PipelineSpec::parse(" mem2reg ,\n fixpoint( dce , simplifycfg ) ").unwrap();
+        assert_eq!(spec.to_string(), "mem2reg,fixpoint(dce,simplifycfg)");
+    }
+
+    #[test]
+    fn nested_fixpoints_round_trip() {
+        let text = "fixpoint(constfold,fixpoint(dce,cse),simplifycfg)";
+        let spec = PipelineSpec::parse(text).unwrap();
+        assert_eq!(spec.to_string(), text);
+    }
+
+    #[test]
+    fn empty_pipeline_is_allowed() {
+        let spec = PipelineSpec::parse("").unwrap();
+        assert!(spec.items().is_empty());
+        assert_eq!(spec.to_string(), "");
+        assert_eq!(PipelineSpec::parse("  \n ").unwrap(), PipelineSpec::empty());
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        for bad in [
+            "mem2reg,",
+            ",dce",
+            "fixpoint",
+            "fixpoint(",
+            "fixpoint)",
+            "fixpoint(dce",
+            "fixpoint()",
+            "dce)",
+            "dce extra",
+            "Mem2Reg",
+        ] {
+            assert!(PipelineSpec::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_positioned() {
+        let err = PipelineSpec::parse("dce,!").unwrap_err();
+        assert_eq!(err.position, 4);
+        assert!(err.to_string().contains("byte 4"));
+    }
+}

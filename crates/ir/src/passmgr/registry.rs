@@ -1,0 +1,285 @@
+//! The registry of builtin function passes.
+//!
+//! Each wrapper adapts one of the free-function passes in
+//! [`crate::passes`] to the [`Pass`] trait: it pulls cached analyses
+//! from the [`AnalysisManager`], reports a precise [`Changed`] signal,
+//! declares what it preserves, and feeds its headline statistic to the
+//! manager's named counters.
+
+use crate::dom::DomTree;
+use crate::function::Function;
+use crate::passes;
+use crate::passmgr::{AnalysisManager, Changed, Pass, PreservedAnalyses};
+
+/// Names of every registered pass, in the order `ipas passes list`
+/// shows them (default-pipeline order, then opt-in passes).
+pub fn pass_names() -> &'static [&'static str] {
+    &[
+        "mem2reg",
+        "constfold",
+        "instsimplify",
+        "cse",
+        "dce",
+        "simplifycfg",
+        "licm",
+    ]
+}
+
+/// `(name, one-line description)` for every registered pass.
+pub fn pass_descriptions() -> &'static [(&'static str, &'static str)] {
+    &[
+        (
+            "mem2reg",
+            "promote single-slot allocas to SSA registers (phi placement at dominance frontiers)",
+        ),
+        (
+            "constfold",
+            "fold operations whose operands are all constants (division by zero excluded)",
+        ),
+        (
+            "instsimplify",
+            "algebraic identities: x+0, x*1, x-x, select c,x,x, reflexive icmp, ...",
+        ),
+        (
+            "cse",
+            "dominator-scoped common-subexpression elimination over pure instructions",
+        ),
+        (
+            "dce",
+            "mark-and-sweep dead-code elimination from side-effecting roots",
+        ),
+        (
+            "simplifycfg",
+            "branch threading, linear-chain merging, unreachable-block pruning",
+        ),
+        (
+            "licm",
+            "hoist pure, non-trapping loop-invariant instructions into preheaders (opt-in)",
+        ),
+    ]
+}
+
+/// Instantiates the registered pass called `name`, or `None` if no such
+/// pass exists.
+pub fn create_pass(name: &str) -> Option<Box<dyn Pass>> {
+    match name {
+        "mem2reg" => Some(Box::new(Mem2RegPass::default())),
+        "constfold" => Some(Box::new(ConstFoldPass::default())),
+        "instsimplify" => Some(Box::new(InstSimplifyPass::default())),
+        "cse" => Some(Box::new(CsePass::default())),
+        "dce" => Some(Box::new(DcePass::default())),
+        "simplifycfg" => Some(Box::new(SimplifyCfgPass::default())),
+        "licm" => Some(Box::new(LicmPass::default())),
+        _ => None,
+    }
+}
+
+/// mem2reg inserts phis and unlinks loads/stores/allocas in existing
+/// blocks — the CFG (and so the dominator tree) is untouched.
+#[derive(Default)]
+struct Mem2RegPass {
+    promoted: u64,
+}
+
+impl Pass for Mem2RegPass {
+    fn name(&self) -> &'static str {
+        "mem2reg"
+    }
+
+    fn run(&mut self, func: &mut Function, am: &mut AnalysisManager) -> Changed {
+        let dt = am.get::<DomTree>(func);
+        let n = passes::promote_memory_to_registers_with(func, &dt);
+        self.promoted += n as u64;
+        Changed::from_count(n)
+    }
+
+    fn preserved(&self) -> PreservedAnalyses {
+        PreservedAnalyses::none().preserve::<DomTree>()
+    }
+
+    fn report_stats(&mut self, sink: &mut dyn FnMut(&'static str, u64)) {
+        sink("allocas-promoted", std::mem::take(&mut self.promoted));
+    }
+}
+
+/// Constant folding rewrites operands and unlinks value-producing
+/// instructions; terminators (and thus the CFG) stay.
+#[derive(Default)]
+struct ConstFoldPass {
+    folded: u64,
+}
+
+impl Pass for ConstFoldPass {
+    fn name(&self) -> &'static str {
+        "constfold"
+    }
+
+    fn run(&mut self, func: &mut Function, _am: &mut AnalysisManager) -> Changed {
+        let n = passes::constant_fold(func);
+        self.folded += n as u64;
+        Changed::from_count(n)
+    }
+
+    fn preserved(&self) -> PreservedAnalyses {
+        PreservedAnalyses::none().preserve::<DomTree>()
+    }
+
+    fn report_stats(&mut self, sink: &mut dyn FnMut(&'static str, u64)) {
+        sink("insts-folded", std::mem::take(&mut self.folded));
+    }
+}
+
+/// Algebraic simplification: operand rewrites + unlinking, CFG intact.
+#[derive(Default)]
+struct InstSimplifyPass {
+    simplified: u64,
+}
+
+impl Pass for InstSimplifyPass {
+    fn name(&self) -> &'static str {
+        "instsimplify"
+    }
+
+    fn run(&mut self, func: &mut Function, _am: &mut AnalysisManager) -> Changed {
+        let n = passes::simplify_instructions(func);
+        self.simplified += n as u64;
+        Changed::from_count(n)
+    }
+
+    fn preserved(&self) -> PreservedAnalyses {
+        PreservedAnalyses::none().preserve::<DomTree>()
+    }
+
+    fn report_stats(&mut self, sink: &mut dyn FnMut(&'static str, u64)) {
+        sink("insts-simplified", std::mem::take(&mut self.simplified));
+    }
+}
+
+/// CSE merges pure instructions; blocks and edges are untouched.
+#[derive(Default)]
+struct CsePass {
+    merged: u64,
+}
+
+impl Pass for CsePass {
+    fn name(&self) -> &'static str {
+        "cse"
+    }
+
+    fn run(&mut self, func: &mut Function, am: &mut AnalysisManager) -> Changed {
+        let dt = am.get::<DomTree>(func);
+        let n = passes::eliminate_common_subexpressions_with(func, &dt);
+        self.merged += n as u64;
+        Changed::from_count(n)
+    }
+
+    fn preserved(&self) -> PreservedAnalyses {
+        PreservedAnalyses::none().preserve::<DomTree>()
+    }
+
+    fn report_stats(&mut self, sink: &mut dyn FnMut(&'static str, u64)) {
+        sink("insts-merged", std::mem::take(&mut self.merged));
+    }
+}
+
+/// DCE unlinks non-terminator instructions only; CFG intact.
+#[derive(Default)]
+struct DcePass {
+    removed: u64,
+}
+
+impl Pass for DcePass {
+    fn name(&self) -> &'static str {
+        "dce"
+    }
+
+    fn run(&mut self, func: &mut Function, _am: &mut AnalysisManager) -> Changed {
+        let n = passes::eliminate_dead_code(func);
+        self.removed += n as u64;
+        Changed::from_count(n)
+    }
+
+    fn preserved(&self) -> PreservedAnalyses {
+        PreservedAnalyses::none().preserve::<DomTree>()
+    }
+
+    fn report_stats(&mut self, sink: &mut dyn FnMut(&'static str, u64)) {
+        sink("insts-removed", std::mem::take(&mut self.removed));
+    }
+}
+
+/// CFG simplification restructures blocks and edges — nothing survives.
+/// Its headline count (blocks removed) under-reports mutation (branch
+/// threading removes no block), so the wrapper uses the precise change
+/// bit from [`passes::simplify_cfg_with_change`].
+#[derive(Default)]
+struct SimplifyCfgPass {
+    blocks_removed: u64,
+}
+
+impl Pass for SimplifyCfgPass {
+    fn name(&self) -> &'static str {
+        "simplifycfg"
+    }
+
+    fn run(&mut self, func: &mut Function, _am: &mut AnalysisManager) -> Changed {
+        let (removed, mutated) = passes::simplify_cfg_with_change(func);
+        self.blocks_removed += removed as u64;
+        if mutated {
+            Changed::Yes
+        } else {
+            Changed::No
+        }
+    }
+
+    fn report_stats(&mut self, sink: &mut dyn FnMut(&'static str, u64)) {
+        sink("blocks-removed", std::mem::take(&mut self.blocks_removed));
+    }
+}
+
+/// LICM moves instructions between existing blocks; CFG intact.
+#[derive(Default)]
+struct LicmPass {
+    hoisted: u64,
+}
+
+impl Pass for LicmPass {
+    fn name(&self) -> &'static str {
+        "licm"
+    }
+
+    fn run(&mut self, func: &mut Function, am: &mut AnalysisManager) -> Changed {
+        let dt = am.get::<DomTree>(func);
+        let n = passes::hoist_loop_invariants_with(func, &dt);
+        self.hoisted += n as u64;
+        Changed::from_count(n)
+    }
+
+    fn preserved(&self) -> PreservedAnalyses {
+        PreservedAnalyses::none().preserve::<DomTree>()
+    }
+
+    fn report_stats(&mut self, sink: &mut dyn FnMut(&'static str, u64)) {
+        sink("insts-hoisted", std::mem::take(&mut self.hoisted));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_pass_instantiates() {
+        for &name in pass_names() {
+            let p = create_pass(name).expect("registered pass instantiates");
+            assert_eq!(p.name(), name);
+        }
+        assert!(create_pass("nosuchpass").is_none());
+    }
+
+    #[test]
+    fn descriptions_cover_every_pass() {
+        let described: Vec<&str> = pass_descriptions().iter().map(|(n, _)| *n).collect();
+        assert_eq!(described, pass_names());
+    }
+}

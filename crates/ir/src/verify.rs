@@ -55,7 +55,7 @@ impl std::error::Error for VerifyError {}
 /// Returns the first violation found.
 pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
     for (_, func) in module.functions() {
-        verify_function_inner(func, Some(module))?;
+        verify_function_inner(func, Some(module), None)?;
     }
     Ok(())
 }
@@ -68,10 +68,27 @@ pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
 ///
 /// Returns the first violation found.
 pub fn verify_function(func: &Function) -> Result<(), VerifyError> {
-    verify_function_inner(func, None)
+    verify_function_inner(func, None, None)
 }
 
-fn verify_function_inner(func: &Function, module: Option<&Module>) -> Result<(), VerifyError> {
+/// Like [`verify_function`], but borrows a caller-provided dominator
+/// tree for the SSA-dominance checks instead of recomputing one. The
+/// tree must be current for `func`; the pass manager's `--verify-each`
+/// mode uses this so interleaved verification does not recompute the
+/// tree once per pass application.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn verify_function_with(func: &Function, dt: &DomTree) -> Result<(), VerifyError> {
+    verify_function_inner(func, None, Some(dt))
+}
+
+fn verify_function_inner(
+    func: &Function,
+    module: Option<&Module>,
+    cached_dom: Option<&DomTree>,
+) -> Result<(), VerifyError> {
     let name = func.name();
     let err = |msg: String| Err(VerifyError::new(name, msg));
 
@@ -363,7 +380,14 @@ fn verify_function_inner(func: &Function, module: Option<&Module>) -> Result<(),
     }
 
     // --- SSA dominance. ---------------------------------------------------
-    let dt = DomTree::compute(func);
+    let storage;
+    let dt = match cached_dom {
+        Some(dt) => dt,
+        None => {
+            storage = DomTree::compute(func);
+            &storage
+        }
+    };
     let inst_blocks = func.inst_blocks();
     for bb in func.block_ids() {
         if !dt.is_reachable(bb) {

@@ -50,6 +50,7 @@ pub mod lexer;
 pub mod lower;
 pub mod parser;
 
+use ipas_ir::passmgr::PipelineSpec;
 use ipas_ir::Module;
 
 pub use ast::{LangType, Program};
@@ -117,10 +118,35 @@ pub fn compile(source: &str) -> Result<Module, CompileError> {
 ///
 /// Same conditions as [`compile`].
 pub fn compile_named(source: &str, name: &str) -> Result<Module, CompileError> {
+    compile_with_pipeline(source, name, &PipelineSpec::default_optimization())
+}
+
+/// Like [`compile_named`], running an explicit optimization
+/// [`PipelineSpec`] through the [`ipas_ir::passmgr::PassManager`]
+/// instead of the default pipeline. An empty spec skips optimization
+/// entirely (equivalent to [`compile_unoptimized`]).
+///
+/// # Errors
+///
+/// Same conditions as [`compile`].
+///
+/// # Panics
+///
+/// Panics when `spec` names an unknown pass or the optimized module
+/// fails verification — both indicate a caller/compiler bug, not a
+/// source-program error.
+pub fn compile_with_pipeline(
+    source: &str,
+    name: &str,
+    spec: &PipelineSpec,
+) -> Result<Module, CompileError> {
     let program = parser::parse_program(source)?;
     let checked = check::check(&program)?;
     let mut module = lower::lower(&checked, name);
-    ipas_ir::passes::optimize_module(&mut module);
+    let mut pm = ipas_ir::passmgr::PassManager::from_spec(spec)
+        .unwrap_or_else(|e| panic!("invalid optimization pipeline: {e}"));
+    pm.run_module(&mut module)
+        .expect("pipeline without verify-each cannot fail");
     ipas_ir::verify::verify_module(&module)
         .unwrap_or_else(|e| panic!("frontend produced invalid IR: {e}"));
     Ok(module)

@@ -266,3 +266,32 @@ fn main() -> int {
 "#);
     assert_eq!(out.outputs.as_floats(), vec![240.0]);
 }
+
+#[test]
+fn compile_with_pipeline_threads_the_spec() {
+    use ipas_ir::passmgr::PipelineSpec;
+
+    let src = "fn main() -> int { let x: int = 2 + 3; return x * 4; }";
+    // The default spec reproduces compile() byte-for-byte.
+    let spec = PipelineSpec::default_optimization();
+    let via_spec = ipas_lang::compile_with_pipeline(src, "scil", &spec).expect("compiles");
+    let via_default = ipas_lang::compile(src).expect("compiles");
+    assert_eq!(via_spec.to_text(), via_default.to_text());
+    // An empty spec skips optimization: the raw lowering keeps allocas.
+    let raw =
+        ipas_lang::compile_with_pipeline(src, "scil", &PipelineSpec::empty()).expect("compiles");
+    assert_eq!(
+        raw.to_text(),
+        ipas_lang::compile_unoptimized(src, "scil")
+            .expect("compiles")
+            .to_text()
+    );
+    assert!(raw.to_text().contains("alloca"));
+    assert!(!via_spec.to_text().contains("alloca"));
+    // Both run to the same result.
+    let a = Machine::new(&raw).run(&RunConfig::default()).expect("runs");
+    let b = Machine::new(&via_spec)
+        .run(&RunConfig::default())
+        .expect("runs");
+    assert_eq!(a.status, b.status);
+}

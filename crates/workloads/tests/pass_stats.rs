@@ -1,0 +1,161 @@
+//! Golden per-workload pass-statistics snapshots.
+//!
+//! The default pipeline's behaviour on the five SciL workloads is
+//! pinned three ways: the printed IR must be byte-identical to the
+//! historical free-function optimization loop, analysis caching must
+//! strictly reduce `DomTree::compute` calls, and every pass's named
+//! counters must match the recorded snapshot. A snapshot diff means a
+//! pass (or the frontend lowering feeding it) changed behaviour — if
+//! intentional, re-record from this test's failure output.
+
+use ipas_ir::dom::DomTree;
+use ipas_ir::passes;
+use ipas_ir::passmgr::PassManager;
+use ipas_ir::{FuncId, Module};
+use ipas_workloads::{sources, Kind};
+
+/// The historical `optimize_function` loop, verbatim.
+fn naive_optimize_module(module: &mut Module) {
+    let ids: Vec<FuncId> = module.functions().map(|(id, _)| id).collect();
+    for id in ids {
+        let func = module.function_mut(id);
+        passes::promote_memory_to_registers(func);
+        loop {
+            let folded = passes::constant_fold(func);
+            let simplified = passes::simplify_instructions(func);
+            let merged = passes::eliminate_common_subexpressions(func);
+            let removed = passes::eliminate_dead_code(func);
+            let blocks = passes::simplify_cfg(func);
+            if folded + simplified + merged + removed + blocks == 0 {
+                break;
+            }
+        }
+    }
+}
+
+struct Snapshot {
+    kind: Kind,
+    executions: u64,
+    skipped: u64,
+    /// `(counter, value)` for each pass's headline statistic.
+    counters: &'static [(&'static str, u64)],
+}
+
+/// Recorded from a known-good run (see module docs for re-recording).
+const SNAPSHOTS: &[Snapshot] = &[
+    Snapshot {
+        kind: Kind::Comd,
+        executions: 20,
+        skipped: 2,
+        counters: &[
+            ("allocas-promoted", 49),
+            ("insts-folded", 0),
+            ("insts-simplified", 0),
+            ("insts-merged", 32),
+            ("insts-removed", 32),
+            ("blocks-removed", 6),
+        ],
+    },
+    Snapshot {
+        kind: Kind::Hpccg,
+        executions: 30,
+        skipped: 3,
+        counters: &[
+            ("allocas-promoted", 47),
+            ("insts-folded", 0),
+            ("insts-simplified", 0),
+            ("insts-merged", 11),
+            ("insts-removed", 12),
+            ("blocks-removed", 7),
+        ],
+    },
+    Snapshot {
+        kind: Kind::Amg,
+        executions: 70,
+        skipped: 7,
+        counters: &[
+            ("allocas-promoted", 76),
+            ("insts-folded", 1),
+            ("insts-simplified", 0),
+            ("insts-merged", 68),
+            ("insts-removed", 24),
+            ("blocks-removed", 11),
+        ],
+    },
+    Snapshot {
+        kind: Kind::Fft,
+        executions: 50,
+        skipped: 5,
+        counters: &[
+            ("allocas-promoted", 67),
+            ("insts-folded", 1),
+            ("insts-simplified", 0),
+            ("insts-merged", 32),
+            ("insts-removed", 33),
+            ("blocks-removed", 13),
+        ],
+    },
+    Snapshot {
+        kind: Kind::Is,
+        executions: 16,
+        skipped: 1,
+        counters: &[
+            ("allocas-promoted", 15),
+            ("insts-folded", 1),
+            ("insts-simplified", 0),
+            ("insts-merged", 2),
+            ("insts-removed", 3),
+            ("blocks-removed", 4),
+        ],
+    },
+];
+
+#[test]
+fn snapshots_cover_every_workload() {
+    let snapped: Vec<Kind> = SNAPSHOTS.iter().map(|s| s.kind).collect();
+    assert_eq!(snapped, Kind::ALL.to_vec());
+}
+
+#[test]
+fn default_pipeline_matches_golden_stats_and_naive_output() {
+    for snap in SNAPSHOTS {
+        let name = snap.kind.name();
+        let base = ipas_lang::compile_unoptimized(sources::source(snap.kind), name)
+            .unwrap_or_else(|e| panic!("{name} does not compile: {e}"));
+
+        let mut naive = base.clone();
+        let before = DomTree::computations();
+        naive_optimize_module(&mut naive);
+        let dom_naive = DomTree::computations() - before;
+
+        let mut managed = base.clone();
+        let mut pm = PassManager::standard();
+        let before = DomTree::computations();
+        pm.run_module(&mut managed)
+            .expect("default pipeline without verify-each cannot fail");
+        let dom_managed = DomTree::computations() - before;
+
+        assert_eq!(
+            managed.to_text(),
+            naive.to_text(),
+            "{name}: pass manager diverged from the historical loop"
+        );
+        assert!(
+            dom_managed < dom_naive,
+            "{name}: analysis caching did not reduce DomTree computes \
+             ({dom_managed} vs {dom_naive})"
+        );
+
+        let stats = pm.stats();
+        assert_eq!(stats.executions, snap.executions, "{name}: executions");
+        assert_eq!(stats.skipped, snap.skipped, "{name}: skipped");
+        let actual: Vec<(&str, u64)> = stats
+            .passes()
+            .flat_map(|(_, s)| s.counters().iter().copied())
+            .collect();
+        assert_eq!(
+            actual, snap.counters,
+            "{name}: pass counters drifted from the golden snapshot"
+        );
+    }
+}

@@ -15,7 +15,12 @@
 //!              [--save-model NAME]
 //!   ipas models <list|verify|gc>   # requires IPAS_STORE_DIR
 //!   ipas run <file.scil>            # compile + execute, print outputs
-//!   ipas ir <file.scil>             # compile + print optimized IR
+//!   ipas ir <file.scil> [--passes SPEC] [--stats] [--verify-each]
+//!                                   # compile + print optimized IR
+//!                                   # (--stats prints per-pass JSON)
+//!   ipas passes list                # registered passes + default pipeline
+//!   ipas passes verify [--passes SPEC]  # run the 5 workloads with
+//!                                   # verification after every pass
 //!   ipas inject <file.scil> --target K --bit B   # single fault run
 //!   ipas explain <file.scil> [--runs N]    # per-instruction decisions
 //!   ipas fuzz [--runs N] [--seed S] [--oracle NAME]   # differential fuzzing
@@ -61,10 +66,15 @@ impl Args {
     fn parse() -> Self {
         let mut positional = Vec::new();
         let mut flags = std::collections::HashMap::new();
-        let mut it = std::env::args().skip(1);
+        let mut it = std::env::args().skip(1).peekable();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
-                let value = it.next().unwrap_or_default();
+                // Valueless flags (--stats, --verify-each) must not
+                // swallow a following flag as their value.
+                let value = match it.peek() {
+                    Some(next) if !next.starts_with("--") => it.next().unwrap_or_default(),
+                    _ => String::new(),
+                };
                 flags.insert(name.to_string(), value);
             } else {
                 positional.push(a);
@@ -87,6 +97,8 @@ fn usage() -> ExitCode {
          [--top N] [--tolerance T] [--seed S] [--out FILE] [--policy ipas|full|baseline] \
          [--model NAME|KEY] [--save-model NAME] [--target K] [--bit B]\n\
          \x20      [--engine reference|compiled]\n\
+         \x20      ipas ir <file.scil> [--passes SPEC] [--stats] [--verify-each]\n\
+         \x20      ipas passes <list|verify> [--passes SPEC]\n\
          \x20      ipas models <list|verify|gc>   (requires IPAS_STORE_DIR)\n\
          \x20      ipas fuzz [--runs N] [--seed S] [--oracle NAME]"
     );
@@ -406,6 +418,124 @@ fn fuzz_command(args: &Args) -> ExitCode {
     }
 }
 
+/// `ipas passes <list|verify>` — introspection over the pass-manager
+/// registry. `list` prints every registered pass; `verify` compiles the
+/// five paper workloads unoptimized and runs the pipeline (default or
+/// `--passes SPEC`) with verification interleaved after every pass
+/// application.
+fn passes_command(args: &Args) -> ExitCode {
+    use ipas::ir::passmgr::{pass_descriptions, PassManager, PipelineSpec, DEFAULT_PIPELINE};
+    let action = args.positional.get(1).map(String::as_str).unwrap_or("list");
+    match action {
+        "list" => {
+            println!("registered function passes:");
+            for (name, what) in pass_descriptions() {
+                println!("  {name:<14} {what}");
+            }
+            println!("module passes:");
+            println!(
+                "  {:<14} IPAS selective duplication (appended by protection policies)",
+                "duplicate"
+            );
+            println!("default pipeline: {DEFAULT_PIPELINE}");
+            ExitCode::SUCCESS
+        }
+        "verify" => {
+            let spec = match args.flags.get("passes") {
+                None => PipelineSpec::default_optimization(),
+                Some(text) => match PipelineSpec::parse(text) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("ipas: invalid --passes spec: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+            };
+            let mut failed = false;
+            for kind in ipas::workloads::Kind::ALL {
+                let src = ipas::workloads::sources::source(kind);
+                let mut module = match ipas::lang::compile_unoptimized(src, kind.name()) {
+                    Ok(m) => m,
+                    Err(e) => {
+                        eprintln!("[ipas] {}: does not compile: {e}", kind.name());
+                        failed = true;
+                        continue;
+                    }
+                };
+                let mut pm = match PassManager::from_spec(&spec) {
+                    Ok(pm) => pm,
+                    Err(e) => {
+                        eprintln!("ipas: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                pm.set_verify_each(true);
+                match pm.run_module(&mut module) {
+                    Ok(_) => eprintln!(
+                        "[ipas] {}: ok — {} pass executions, {} skipped, verified after each",
+                        kind.name(),
+                        pm.stats().executions,
+                        pm.stats().skipped
+                    ),
+                    Err(e) => {
+                        eprintln!("[ipas] {}: FAILED: {e}", kind.name());
+                        failed = true;
+                    }
+                }
+            }
+            if failed {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        _ => usage(),
+    }
+}
+
+/// `ipas ir` with pipeline flags: compiles the program *unoptimized*,
+/// runs the requested pipeline through the pass manager, then prints
+/// the optimized IR — or, with `--stats`, the per-pass statistics JSON.
+fn ir_pipeline_command(args: &Args, source: &str, path: &str) -> ExitCode {
+    use ipas::ir::passmgr::{PassManager, PipelineSpec};
+    let spec = match args.flags.get("passes") {
+        None => PipelineSpec::default_optimization(),
+        Some(text) => match PipelineSpec::parse(text) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("ipas: invalid --passes spec: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let mut module = match ipas::lang::compile_unoptimized(source, "scil") {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("ipas: {path}:{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut pm = match PassManager::from_spec(&spec) {
+        Ok(pm) => pm,
+        Err(e) => {
+            eprintln!("ipas: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    pm.set_verify_each(args.flags.contains_key("verify-each"));
+    pm.set_timing(args.flags.contains_key("stats"));
+    if let Err(e) = pm.run_module(&mut module) {
+        eprintln!("ipas: pipeline failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    if args.flags.contains_key("stats") {
+        println!("{}", pm.stats().to_json(&pm.describe()));
+    } else {
+        print!("{module}");
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = Args::parse();
     let Some(cmd) = args.positional.first() else {
@@ -426,6 +556,9 @@ fn main() -> ExitCode {
     }
     if cmd == "fuzz" {
         return fuzz_command(&args);
+    }
+    if cmd == "passes" {
+        return passes_command(&args);
     }
     let Some(path) = args.positional.get(1) else {
         return usage();
@@ -453,8 +586,13 @@ fn main() -> ExitCode {
 
     match cmd.as_str() {
         "ir" => {
-            print!("{module}");
-            ExitCode::SUCCESS
+            let pipeline_flags = ["passes", "stats", "verify-each"];
+            if pipeline_flags.iter().any(|f| args.flags.contains_key(*f)) {
+                ir_pipeline_command(&args, &source, path)
+            } else {
+                print!("{module}");
+                ExitCode::SUCCESS
+            }
         }
         "run" => {
             let out = execute(&module, engine, &RunConfig::default())
