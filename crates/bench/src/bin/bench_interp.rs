@@ -53,6 +53,7 @@ fn one_campaign(
         seed: 2016,
         threads: 1,
         engine,
+        ..CampaignConfig::default()
     };
     let start = Instant::now();
     let result = run_campaign(workload, &config).expect("campaign completes");

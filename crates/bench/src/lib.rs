@@ -31,7 +31,7 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use ipas_core::{run_experiment, ExperimentOptions, ExperimentResult};
-use ipas_faultsim::{margin_of_error, Engine, Outcome};
+use ipas_faultsim::{margin_of_error, Engine, FaultModel, Outcome};
 use ipas_svm::GridOptions;
 use ipas_workloads::Kind;
 
@@ -83,6 +83,7 @@ impl Profile {
                 engine: Engine::default(),
                 journal_dir: journal_dir_from_env(),
                 store_dir: store_dir_from_env(),
+                fault_model: FaultModel::default(),
             },
             Profile::Default => ExperimentOptions {
                 training_runs: 600,
@@ -99,6 +100,7 @@ impl Profile {
                 engine: Engine::default(),
                 journal_dir: journal_dir_from_env(),
                 store_dir: store_dir_from_env(),
+                fault_model: FaultModel::default(),
             },
             Profile::Paper => ExperimentOptions {
                 training_runs: 2500,
@@ -110,6 +112,7 @@ impl Profile {
                 engine: Engine::default(),
                 journal_dir: journal_dir_from_env(),
                 store_dir: store_dir_from_env(),
+                fault_model: FaultModel::default(),
             },
         }
     }
@@ -382,6 +385,7 @@ pub fn protect_with_named_config(
         seed: opts.seed,
         threads: opts.threads,
         engine: opts.engine,
+        fault_model: opts.fault_model,
     };
     let campaign_fp = ipas_core::campaign_fingerprint(&workload.module, &train_cfg);
     // The campaign, training set, and models share keys with the cached

@@ -12,7 +12,7 @@ use std::time::{Duration, Instant};
 
 use ipas_faultsim::{
     run_campaign_with, CampaignConfig, CampaignError, CampaignOptions, CampaignResult, Engine,
-    JournalError, Outcome, Workload, WorkloadError,
+    FaultModel, JournalError, Outcome, Workload, WorkloadError,
 };
 use ipas_store::{Key, ProtectedModule, Store, StoreError, TrainingSet};
 use ipas_svm::GridOptions;
@@ -53,6 +53,10 @@ pub struct ExperimentOptions {
     /// Engines are bit-identical, so this never changes results or
     /// store fingerprints — only wall-clock time.
     pub engine: Engine,
+    /// Fault model for all campaigns (training and evaluation). Unlike
+    /// the engine this *does* change results, so it is part of every
+    /// campaign fingerprint and journal identity.
+    pub fault_model: FaultModel,
 }
 
 impl Default for ExperimentOptions {
@@ -67,6 +71,7 @@ impl Default for ExperimentOptions {
             journal_dir: None,
             store_dir: None,
             engine: Engine::default(),
+            fault_model: FaultModel::default(),
         }
     }
 }
@@ -360,6 +365,7 @@ pub fn run_experiment(
         seed: opts.seed,
         threads: opts.threads,
         engine: opts.engine,
+        fault_model: opts.fault_model,
     };
     let campaign_fp = memo::campaign_fingerprint(&workload.module, &train_cfg);
     let run_training = || -> Result<TrainingSet, ExperimentError> {
@@ -423,6 +429,7 @@ pub fn run_experiment(
         seed: opts.seed ^ 0x00C0_FFEE,
         threads: opts.threads,
         engine: opts.engine,
+        fault_model: opts.fault_model,
     };
 
     let (unprot_module, unprot_stats) = ProtectionPolicy::Unprotected.apply(&workload.module);

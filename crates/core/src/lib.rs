@@ -50,6 +50,7 @@
 pub mod classifier;
 pub mod duplication;
 pub mod experiment;
+pub mod faultmodels;
 pub mod memo;
 pub mod policy;
 pub mod selection;
@@ -63,9 +64,11 @@ pub use experiment::{
     campaign_journal_path, evaluate_variant, memoized_protect, run_experiment, ExperimentOptions,
     ExperimentResult, VariantResult,
 };
+pub use faultmodels::{compare_fault_models, model_breakdown, render_model_table, ModelBreakdown};
 pub use memo::{
     campaign_fingerprint, dataset_from_artifact, eval_fingerprint, memoized_models,
-    module_fingerprint, protect_fingerprint, training_fingerprint, training_set_artifact,
+    module_fingerprint, protect_fingerprint, summary_fingerprint, training_fingerprint,
+    training_set_artifact,
 };
 pub use policy::ProtectionPolicy;
 pub use selection::ideal_point_index;

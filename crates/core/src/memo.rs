@@ -15,7 +15,7 @@
 //! more cores — or re-run under `--engine reference` — must still hit.
 
 use ipas_analysis::{Feature, FEATURE_SCHEMA_VERSION};
-use ipas_faultsim::{CampaignConfig, CampaignResult, Outcome, Workload};
+use ipas_faultsim::{CampaignConfig, CampaignResult, FaultModel, Outcome, Workload};
 use ipas_ir::Module;
 use ipas_store::{
     CacheOutcome, Fingerprint, FingerprintBuilder, Key, MemoError, Store, StoreError, TrainedModel,
@@ -40,12 +40,27 @@ pub fn module_fingerprint(module: &Module) -> Fingerprint {
 /// `engine`: both engines produce byte-identical records, so a cached
 /// campaign is valid whichever engine computed it.
 pub fn campaign_fingerprint(module: &Module, config: &CampaignConfig) -> Fingerprint {
-    FingerprintBuilder::new("training-campaign")
-        .text("ir", &module.to_text())
-        .u64("runs", config.runs as u64)
-        .u64("seed", config.seed)
-        .u64("feature-schema", u64::from(FEATURE_SCHEMA_VERSION))
-        .finish()
+    fault_model_field(
+        FingerprintBuilder::new("training-campaign")
+            .text("ir", &module.to_text())
+            .u64("runs", config.runs as u64)
+            .u64("seed", config.seed)
+            .u64("feature-schema", u64::from(FEATURE_SCHEMA_VERSION)),
+        config.fault_model,
+    )
+    .finish()
+}
+
+/// Adds the campaign's fault model to a fingerprint. The field is
+/// omitted for [`FaultModel::SingleBit`] so every key minted before the
+/// model knob existed stays addressable; any other model adds the field
+/// and therefore can never alias a single-bit artifact.
+fn fault_model_field(b: FingerprintBuilder, model: FaultModel) -> FingerprintBuilder {
+    if model == FaultModel::SingleBit {
+        b
+    } else {
+        b.text("fault-model", &model.to_string())
+    }
 }
 
 fn grid_fields(b: FingerprintBuilder, grid: &GridOptions) -> FingerprintBuilder {
@@ -114,13 +129,33 @@ pub fn eval_fingerprint(
     name: &str,
     config: &CampaignConfig,
 ) -> Fingerprint {
-    FingerprintBuilder::new("eval-campaign")
-        .text("reference-ir", &reference.to_text())
-        .text("variant-ir", &variant.to_text())
-        .text("variant", name)
-        .u64("runs", config.runs as u64)
-        .u64("seed", config.seed)
-        .finish()
+    fault_model_field(
+        FingerprintBuilder::new("eval-campaign")
+            .text("reference-ir", &reference.to_text())
+            .text("variant-ir", &variant.to_text())
+            .text("variant", name)
+            .u64("runs", config.runs as u64)
+            .u64("seed", config.seed),
+        config.fault_model,
+    )
+    .finish()
+}
+
+/// Fingerprint of a standalone `ipas campaign` summary: the module, the
+/// workload name, and the plan-determining knobs. Lives in its own
+/// domain (`cli-campaign`) so it can never collide with the
+/// training-campaign keys, which store [`TrainingSet`] artifacts rather
+/// than summaries.
+pub fn summary_fingerprint(module: &Module, name: &str, config: &CampaignConfig) -> Fingerprint {
+    fault_model_field(
+        FingerprintBuilder::new("cli-campaign")
+            .text("ir", &module.to_text())
+            .text("workload", name)
+            .u64("runs", config.runs as u64)
+            .u64("seed", config.seed),
+        config.fault_model,
+    )
+    .finish()
 }
 
 /// Builds the [`TrainingSet`] artifact from a finished training
@@ -290,6 +325,61 @@ mod tests {
         );
         let other = ipas_lang::compile("fn main() -> int { output_i(1); return 0; }").unwrap();
         assert_ne!(fp, campaign_fingerprint(&other, &base));
+    }
+
+    #[test]
+    fn fault_model_distinguishes_keys_but_single_bit_is_legacy_stable() {
+        let m = sample_module();
+        let base = CampaignConfig {
+            runs: 100,
+            seed: 7,
+            threads: 1,
+            ..CampaignConfig::default()
+        };
+        let single = campaign_fingerprint(&m, &base);
+        // Every non-default model mints a distinct key — mixed-model
+        // artifacts can never alias.
+        let mut seen = vec![single];
+        for model in FaultModel::ALL.into_iter().skip(1) {
+            let fp = campaign_fingerprint(
+                &m,
+                &CampaignConfig {
+                    fault_model: model,
+                    ..base
+                },
+            );
+            assert!(!seen.contains(&fp), "{model} aliases another model's key");
+            seen.push(fp);
+        }
+        // Two burst widths are two different models.
+        let b2 = campaign_fingerprint(
+            &m,
+            &CampaignConfig {
+                fault_model: FaultModel::MultiBitBurst { width: 2 },
+                ..base
+            },
+        );
+        let b3 = campaign_fingerprint(
+            &m,
+            &CampaignConfig {
+                fault_model: FaultModel::MultiBitBurst { width: 3 },
+                ..base
+            },
+        );
+        assert_ne!(b2, b3);
+        // Summary keys live in their own domain.
+        assert_ne!(summary_fingerprint(&m, "cli", &base), single);
+        assert_ne!(
+            summary_fingerprint(&m, "cli", &base),
+            summary_fingerprint(
+                &m,
+                "cli",
+                &CampaignConfig {
+                    fault_model: FaultModel::BranchFlip,
+                    ..base
+                }
+            )
+        );
     }
 
     #[test]

@@ -22,10 +22,13 @@ use std::sync::Mutex;
 
 use ipas_ir::{FuncId, InstId};
 
-use crate::{HarnessFailure, InjectionRecord, Outcome, SamplingMode};
+use crate::{FaultModel, HarnessFailure, InjectionRecord, Outcome, SamplingMode};
 
 /// Journal format version, bumped on incompatible line-format changes.
-const FORMAT_VERSION: u64 = 1;
+/// Version 2 added the fault model to the header and a per-record
+/// schema version (`v`) plus fault model; version-1 journals are
+/// rejected with a typed mismatch rather than silently merged.
+const FORMAT_VERSION: u64 = 2;
 
 /// Why a journal could not be used.
 #[derive(Debug)]
@@ -101,6 +104,10 @@ pub struct JournalHeader {
     pub runs: usize,
     /// Site sampling mode.
     pub sampling: SamplingMode,
+    /// The fault model every plan of the campaign applies. Journals
+    /// never mix models: a resume under a different model is a typed
+    /// mismatch.
+    pub fault_model: FaultModel,
     /// Eligible dynamic results of the clean run (workload fingerprint:
     /// a changed module draws different plans for the same seed).
     pub eligible_results: u64,
@@ -309,6 +316,7 @@ fn encode_header(h: &JournalHeader) -> String {
         .num("seed", h.seed)
         .num("runs", h.runs as u64)
         .str("sampling", sampling_label(h.sampling))
+        .str("model", &h.fault_model.to_string())
         .num("eligible", h.eligible_results)
         .num("nominal", h.nominal_insts)
         .finish()
@@ -316,7 +324,9 @@ fn encode_header(h: &JournalHeader) -> String {
 
 fn encode_record(plan: usize, r: &InjectionRecord) -> String {
     LineBuilder::new("record")
+        .num("v", FORMAT_VERSION)
         .num("plan", plan as u64)
+        .str("model", &r.model.to_string())
         .num("func", r.site.0.index() as u64)
         .num("inst", r.site.1.index() as u64)
         .num("target", r.target)
@@ -476,6 +486,30 @@ fn parse_journal(text: &str, expect: &JournalHeader) -> Result<ResumeState, Jour
         match kind {
             "record" => {
                 let missing = || corrupt("record line missing a field".into());
+                // Records carry their own schema version and fault
+                // model: a record written under a different schema or
+                // model must never merge into this campaign's resume
+                // set, even if the header happens to agree.
+                let v = fields.num("v").unwrap_or(0);
+                if v != FORMAT_VERSION {
+                    return Err(JournalError::Mismatch {
+                        field: "record schema version",
+                        journal: v.to_string(),
+                        campaign: FORMAT_VERSION.to_string(),
+                    });
+                }
+                let model: FaultModel = fields
+                    .str("model")
+                    .unwrap_or("")
+                    .parse()
+                    .map_err(|e: String| corrupt(e))?;
+                if model != expect.fault_model {
+                    return Err(JournalError::Mismatch {
+                        field: "record fault model",
+                        journal: model.to_string(),
+                        campaign: expect.fault_model.to_string(),
+                    });
+                }
                 let plan = fields.num("plan").ok_or_else(missing)? as usize;
                 if plan >= expect.runs {
                     return Err(corrupt(format!(
@@ -488,6 +522,7 @@ fn parse_journal(text: &str, expect: &JournalHeader) -> Result<ResumeState, Jour
                     .and_then(parse_outcome)
                     .ok_or_else(|| corrupt("unknown outcome".into()))?;
                 let record = InjectionRecord {
+                    model,
                     site: (
                         FuncId::new(fields.num("func").ok_or_else(missing)? as usize),
                         InstId::new(fields.num("inst").ok_or_else(missing)? as usize),
@@ -549,7 +584,7 @@ fn check_header(fields: &Fields, expect: &JournalHeader) -> Result<(), JournalEr
             FORMAT_VERSION.to_string(),
         );
     }
-    let checks: [(&'static str, String, String); 7] = [
+    let checks: [(&'static str, String, String); 8] = [
         (
             "workload",
             fields.str("workload").unwrap_or("").to_string(),
@@ -574,6 +609,11 @@ fn check_header(fields: &Fields, expect: &JournalHeader) -> Result<(), JournalEr
             "sampling mode",
             fields.str("sampling").unwrap_or("").to_string(),
             sampling_label(expect.sampling).to_string(),
+        ),
+        (
+            "fault model",
+            fields.str("model").unwrap_or("").to_string(),
+            expect.fault_model.to_string(),
         ),
         (
             "eligible results",
@@ -605,6 +645,7 @@ mod tests {
             seed: 7,
             runs: 16,
             sampling: SamplingMode::DynamicUniform,
+            fault_model: FaultModel::SingleBit,
             eligible_results: 100,
             nominal_insts: 500,
         }
@@ -612,6 +653,7 @@ mod tests {
 
     fn record(plan: usize) -> InjectionRecord {
         InjectionRecord {
+            model: FaultModel::SingleBit,
             site: (FuncId::new(1), InstId::new(2 + plan)),
             target: 40 + plan as u64,
             bit: 13,
@@ -676,6 +718,100 @@ mod tests {
     }
 
     #[test]
+    fn rejects_mismatched_fault_model_header() {
+        let path = temp_path("model-mismatch");
+        let _ = std::fs::remove_file(&path);
+        drop(CampaignJournal::open(&path, &header()).expect("fresh"));
+        let other = JournalHeader {
+            fault_model: FaultModel::BranchFlip,
+            ..header()
+        };
+        match CampaignJournal::open(&path, &other) {
+            Err(JournalError::Mismatch {
+                field: "fault model",
+                journal,
+                campaign,
+            }) => {
+                assert_eq!(journal, "single-bit");
+                assert_eq!(campaign, "branch-flip");
+            }
+            other => panic!("expected fault-model mismatch, got {other:?}"),
+        }
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn rejects_record_from_different_model_or_schema() {
+        // A record whose model disagrees with the (matching) header is
+        // a typed mismatch — never silently merged.
+        let path = temp_path("record-model");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (journal, _) = CampaignJournal::open(&path, &header()).expect("fresh");
+            journal.append_record(0, &record(0)).expect("append");
+        }
+        let mut text = std::fs::read_to_string(&path).expect("read");
+        text.push_str(&encode_record(
+            1,
+            &InjectionRecord {
+                model: FaultModel::StuckValue,
+                ..record(1)
+            },
+        ));
+        // Pad with a valid line so the mixed record is not a torn tail.
+        text.push_str(&encode_record(2, &record(2)));
+        std::fs::write(&path, &text).expect("write");
+        match CampaignJournal::open(&path, &header()) {
+            Err(JournalError::Mismatch {
+                field: "record fault model",
+                ..
+            }) => {}
+            other => panic!("expected record fault-model mismatch, got {other:?}"),
+        }
+
+        // A record written under an older per-record schema (no `v`
+        // field) is a schema-version mismatch.
+        let mut old_schema = String::new();
+        {
+            let h = header();
+            old_schema.push_str(&encode_header(&h));
+        }
+        old_schema.push_str(
+            "{\"kind\":\"record\",\"plan\":0,\"func\":1,\"inst\":2,\"target\":40,\
+             \"bit\":13,\"outcome\":\"masked\",\"insts\":501,\"latency\":17,\
+             \"attempts\":1}\n",
+        );
+        old_schema.push_str(&encode_record(1, &record(1)));
+        std::fs::write(&path, &old_schema).expect("write");
+        match CampaignJournal::open(&path, &header()) {
+            Err(JournalError::Mismatch {
+                field: "record schema version",
+                ..
+            }) => {}
+            other => panic!("expected record schema mismatch, got {other:?}"),
+        }
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn rejects_version_one_journal() {
+        let path = temp_path("v1");
+        let _ = std::fs::remove_file(&path);
+        let v1_header = "{\"kind\":\"header\",\"version\":1,\"workload\":\"sum\",\
+             \"entry\":\"main\",\"seed\":7,\"runs\":16,\"sampling\":\"dynamic\",\
+             \"eligible\":100,\"nominal\":500}\n";
+        std::fs::write(&path, v1_header).expect("write");
+        match CampaignJournal::open(&path, &header()) {
+            Err(JournalError::Mismatch {
+                field: "format version",
+                ..
+            }) => {}
+            other => panic!("expected format-version mismatch, got {other:?}"),
+        }
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
     fn tolerates_torn_final_line_only() {
         let path = temp_path("torn");
         let _ = std::fs::remove_file(&path);
@@ -690,9 +826,12 @@ mod tests {
         assert_eq!(resume.len(), 1);
 
         // The same garbage before a valid line is corruption.
-        let torn_middle = text.replace(
-            "{\"kind\":\"record\",\"plan\":0",
-            "{\"kind\":\"rec,\n{\"kind\":\"record\",\"plan\":0",
+        let record_prefix = "{\"kind\":\"record\",\"v\":";
+        assert!(text.contains(record_prefix), "record prefix drifted");
+        let torn_middle = text.replacen(
+            record_prefix,
+            &format!("{{\"kind\":\"rec,\n{record_prefix}"),
+            1,
         );
         std::fs::write(&path, &torn_middle).expect("write");
         match CampaignJournal::open(&path, &header()) {

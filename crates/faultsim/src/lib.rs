@@ -80,7 +80,7 @@ use ipas_interp::{
 use ipas_ir::{FuncId, InstId, Module};
 use rand::{Rng, SeedableRng};
 
-pub use ipas_interp::Engine;
+pub use ipas_interp::{Engine, FaultModel, SiteClass};
 pub use journal::{CampaignJournal, JournalError, JournalHeader, ResumeState};
 
 /// The four §5.5 outcome categories of one fault-injection run.
@@ -228,6 +228,15 @@ pub struct Workload {
     pub nominal_insts: u64,
     /// Eligible (injectable) dynamic results in the clean run.
     pub eligible_results: u64,
+    /// `load` executions in the clean run (the
+    /// [`FaultModel::LoadValue`] sample space).
+    pub loads: u64,
+    /// `store` executions in the clean run (the
+    /// [`FaultModel::StoreValue`] sample space).
+    pub stores: u64,
+    /// Conditional-branch decisions in the clean run (the
+    /// [`FaultModel::BranchFlip`] sample space).
+    pub cond_branches: u64,
     /// Golden outputs of the clean run.
     pub golden: OutputStream,
 }
@@ -297,8 +306,21 @@ impl Workload {
             verifier,
             nominal_insts: golden.dynamic_insts,
             eligible_results: golden.eligible_results,
+            loads: golden.loads,
+            stores: golden.stores,
+            cond_branches: golden.cond_branches,
             golden: golden.outputs,
         })
+    }
+
+    /// Size of the clean run's dynamic sample space for one site class.
+    pub fn dynamic_sites(&self, class: SiteClass) -> u64 {
+        match class {
+            SiteClass::Value => self.eligible_results,
+            SiteClass::Load => self.loads,
+            SiteClass::Store => self.stores,
+            SiteClass::Branch => self.cond_branches,
+        }
     }
 
     /// Re-prepares this workload around a transformed (protected) module,
@@ -321,6 +343,9 @@ impl Workload {
             verifier: std::sync::Arc::clone(&self.verifier),
             nominal_insts: golden.dynamic_insts,
             eligible_results: golden.eligible_results,
+            loads: golden.loads,
+            stores: golden.stores,
+            cond_branches: golden.cond_branches,
             golden: golden.outputs,
         })
     }
@@ -355,6 +380,12 @@ pub struct CampaignConfig {
     /// bit-identical (same records for the same seed), so this is a
     /// pure throughput knob; the pre-decoded engine is the default.
     pub engine: Engine,
+    /// The fault being modeled by every plan of the campaign. The
+    /// default, [`FaultModel::SingleBit`], reproduces the paper's
+    /// protocol bit-for-bit: a single-bit campaign draws the identical
+    /// plan sequence (and therefore records) it drew before the model
+    /// knob existed.
+    pub fault_model: FaultModel,
 }
 
 impl Default for CampaignConfig {
@@ -364,6 +395,7 @@ impl Default for CampaignConfig {
             seed: 0,
             threads: 0,
             engine: Engine::default(),
+            fault_model: FaultModel::default(),
         }
     }
 }
@@ -473,6 +505,19 @@ pub enum CampaignError {
         /// Number of plan indices without a record or failure.
         missing: usize,
     },
+    /// The clean run never exercised the selected fault model's site
+    /// class, so there is nothing to sample.
+    NoDynamicSites {
+        /// The model whose sample space is empty.
+        model: FaultModel,
+    },
+    /// Static-site-uniform sampling enumerates value-producing
+    /// instructions, which only value-class models can target.
+    UnsupportedSampling {
+        /// The non-value model that was combined with
+        /// [`SamplingMode::StaticUniform`].
+        model: FaultModel,
+    },
 }
 
 impl fmt::Display for CampaignError {
@@ -488,6 +533,15 @@ impl fmt::Display for CampaignError {
             CampaignError::Incomplete { missing } => {
                 write!(f, "campaign left {missing} plan indices unprocessed")
             }
+            CampaignError::NoDynamicSites { model } => write!(
+                f,
+                "fault model {model} has no sites to sample: the clean run executed no {}",
+                model.site_class().label()
+            ),
+            CampaignError::UnsupportedSampling { model } => write!(
+                f,
+                "static-site sampling only supports value-class fault models, not {model}"
+            ),
         }
     }
 }
@@ -510,11 +564,14 @@ impl From<JournalError> for CampaignError {
 /// One injection run's record.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct InjectionRecord {
+    /// The fault model the plan applied.
+    pub model: FaultModel,
     /// The static instruction whose dynamic instance was corrupted.
     pub site: (FuncId, InstId),
-    /// The dynamic eligible-result index targeted.
+    /// The dynamic index targeted within the model's site class.
     pub target: u64,
-    /// The bit flipped (before width reduction).
+    /// The model's corruption parameter (bit line, burst origin, stuck
+    /// line+polarity; unused by branch flips).
     pub bit: u32,
     /// The classified outcome.
     pub outcome: Outcome,
@@ -571,9 +628,13 @@ impl CampaignResult {
 }
 
 /// Binomial 95% margin of error for proportion `p` over `n` samples.
+///
+/// Degenerate inputs — no samples, or a proportion outside `[0, 1]`
+/// (where the binomial variance is undefined) — report 0.0 rather than
+/// a NaN that would poison downstream table math.
 pub fn margin_of_error(p: f64, n: usize) -> f64 {
-    if n == 0 {
-        return 1.0;
+    if n == 0 || !(0.0..=1.0).contains(&p) {
+        return 0.0;
     }
     1.96 * (p * (1.0 - p) / n as f64).sqrt()
 }
@@ -679,22 +740,40 @@ pub fn run_campaign_with(
     // set is independent of scheduling — and of resume state: a resumed
     // campaign draws the identical plan list and simply skips the
     // journaled indices.
+    // The draw sequence below is byte-compatible with the pre-model
+    // runtime for `FaultModel::SingleBit`: same RNG, same integer
+    // widths (u64 space, u32 bit), same per-plan draw order — so
+    // existing single-bit journals and golden records stay valid.
+    let model = config.fault_model;
     let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
     let plans: Vec<Injection> = match options.sampling {
-        SamplingMode::DynamicUniform => (0..config.runs)
-            .map(|_| {
-                Injection::at_global_index(
-                    rng.gen_range(0..workload.eligible_results),
-                    rng.gen_range(0..64),
-                )
-            })
-            .collect(),
+        SamplingMode::DynamicUniform => {
+            let space = workload.dynamic_sites(model.site_class());
+            if space == 0 {
+                return Err(CampaignError::NoDynamicSites { model });
+            }
+            let domain = model.bit_domain();
+            (0..config.runs)
+                .map(|_| {
+                    Injection::for_model(model, rng.gen_range(0..space), rng.gen_range(0..domain))
+                })
+                .collect()
+        }
         SamplingMode::StaticUniform => {
+            if !model.injects_values() {
+                return Err(CampaignError::UnsupportedSampling { model });
+            }
+            let domain = model.bit_domain();
             let profile = profile_sites(workload)?;
             (0..config.runs)
                 .map(|_| {
                     let (site, count) = profile[rng.gen_range(0..profile.len())];
-                    Injection::at_site(site, rng.gen_range(0..count), rng.gen_range(0..64))
+                    Injection {
+                        target: rng.gen_range(0..count),
+                        bit: rng.gen_range(0..domain),
+                        site: Some(site),
+                        model,
+                    }
                 })
                 .collect()
         }
@@ -708,6 +787,7 @@ pub fn run_campaign_with(
                 seed: config.seed,
                 runs: config.runs,
                 sampling: options.sampling,
+                fault_model: config.fault_model,
                 eligible_results: workload.eligible_results,
                 nominal_insts: workload.nominal_insts,
             };
@@ -896,6 +976,7 @@ fn classify_plan(
         .ok_or_else(|| "reached injection recorded no position".to_string())?;
     let outcome = classify(&out, &*workload.verifier);
     Ok(InjectionRecord {
+        model: plan.model,
         site,
         target: plan.target,
         bit: plan.bit,

@@ -127,7 +127,22 @@ fn margin_of_error_formula() {
     let moe = margin_of_error(0.05, 1024);
     assert!((moe - 0.01335).abs() < 0.0005, "{moe}");
     assert_eq!(margin_of_error(0.0, 100), 0.0);
-    assert_eq!(margin_of_error(0.5, 0), 1.0);
+    assert_eq!(margin_of_error(1.0, 100), 0.0);
+}
+
+#[test]
+fn margin_of_error_degenerate_inputs_are_zero_not_nan() {
+    // Zero samples: the variance term divides by n, so the old code
+    // returned NaN (and before that, a meaningless 1.0). Degenerate
+    // inputs must report an exact 0.0 so table math stays finite.
+    assert_eq!(margin_of_error(0.5, 0), 0.0);
+    assert_eq!(margin_of_error(0.0, 0), 0.0);
+    // Proportions outside [0, 1] put a negative value under the square
+    // root; 0.0, never NaN.
+    assert_eq!(margin_of_error(-0.1, 64), 0.0);
+    assert_eq!(margin_of_error(1.5, 64), 0.0);
+    assert_eq!(margin_of_error(f64::NAN, 64), 0.0);
+    assert!(!margin_of_error(0.5, 0).is_nan());
 }
 
 #[test]

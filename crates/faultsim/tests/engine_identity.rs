@@ -13,7 +13,7 @@ use std::time::Duration;
 
 use ipas_faultsim::{
     run_campaign, run_campaign_with, CampaignConfig, CampaignOptions, CampaignResult, Engine,
-    GoldenToleranceVerifier, Outcome, OutputVerifier, RetryPolicy, Workload,
+    FaultModel, GoldenToleranceVerifier, Outcome, OutputVerifier, RetryPolicy, Workload,
 };
 use ipas_interp::RunOutput;
 
@@ -60,6 +60,16 @@ fn workload(name: &str, src: &str) -> Workload {
 /// Runs the same campaign across both engines and threads {1, 4} and
 /// asserts all four results are byte-identical.
 fn assert_engine_identity(w: &Workload, runs: usize, seed: u64) -> CampaignResult {
+    assert_engine_identity_model(w, runs, seed, FaultModel::SingleBit)
+}
+
+/// [`assert_engine_identity`] under an explicit fault model.
+fn assert_engine_identity_model(
+    w: &Workload,
+    runs: usize,
+    seed: u64,
+    fault_model: FaultModel,
+) -> CampaignResult {
     let mut results: Vec<(String, CampaignResult)> = Vec::new();
     for engine in Engine::ALL {
         for threads in [1usize, 4] {
@@ -70,6 +80,7 @@ fn assert_engine_identity(w: &Workload, runs: usize, seed: u64) -> CampaignResul
                     seed,
                     threads,
                     engine,
+                    fault_model,
                 },
             )
             .expect("campaign completes");
@@ -107,6 +118,36 @@ fn campaign_records_are_engine_and_thread_invariant() {
     assert!(
         hang.count(Outcome::Symptom) > 0,
         "budget hangs must classify as symptoms under both engines"
+    );
+}
+
+/// Campaign-scale bit identity for every pluggable fault model: the
+/// pointer workload exercises all four site classes (value results,
+/// loads, stores, conditional branches), and each model's campaign must
+/// be byte-identical across engine × thread-count, at multiple seeds.
+#[test]
+fn every_fault_model_is_engine_and_thread_invariant() {
+    let w = workload("ptr", PTR_SRC);
+    for model in FaultModel::ALL {
+        for seed in [7u64, 20260809] {
+            let r = assert_engine_identity_model(&w, 40, seed, model);
+            assert_eq!(r.records.len(), 40, "{model}/seed {seed}: lost records");
+            for rec in &r.records {
+                assert_eq!(
+                    rec.model, model,
+                    "{model}/seed {seed}: record carries wrong model"
+                );
+            }
+        }
+    }
+    // Wider bursts draw from the same plan sequence but corrupt more
+    // bits; the campaigns must differ (the width genuinely matters) and
+    // still be engine-invariant.
+    let burst5 = assert_engine_identity_model(&w, 40, 7, FaultModel::MultiBitBurst { width: 5 });
+    let burst2 = assert_engine_identity_model(&w, 40, 7, FaultModel::MultiBitBurst { width: 2 });
+    assert_ne!(
+        burst5.records, burst2.records,
+        "burst width must change campaign outcomes"
     );
 }
 
@@ -162,6 +203,7 @@ fn panicking_verifier_fails_identically_on_both_engines() {
             seed: 17,
             threads: 2,
             engine,
+            ..CampaignConfig::default()
         };
         let r = run_campaign_with(&w, &cfg, &options).expect("campaign completes despite panics");
         assert_eq!(r.records.len() + r.harness_failures.len(), 48);
@@ -201,6 +243,7 @@ fn watchdog_deadline_is_engine_invariant() {
             seed: 3,
             threads: 2,
             engine,
+            ..CampaignConfig::default()
         };
         let guarded = run_campaign_with(&w, &cfg, &options).expect("guarded campaign completes");
         let plain = run_campaign(&w, &cfg).expect("plain campaign completes");
@@ -240,6 +283,7 @@ fn expired_deadline_hangs_every_run_on_both_engines() {
             seed: 5,
             threads: 2,
             engine,
+            ..CampaignConfig::default()
         };
         let r = run_campaign_with(&w, &cfg, &options).expect("campaign completes");
         assert_eq!(

@@ -1,0 +1,164 @@
+//! Backward-compatibility golden test for the default fault model.
+//!
+//! The pluggable fault-model plumbing must not perturb the paper's
+//! single-bit protocol: the RNG draw sequence, site enumeration, and
+//! corruption semantics all predate the `FaultModel` knob, so a
+//! `--fault-model single-bit` campaign has to reproduce the exact
+//! record stream the pre-fault-model code emitted. The expected tuples
+//! below were captured from that code (runs=32, seed=20260809,
+//! threads=1) and are frozen here verbatim — they cannot be
+//! regenerated, only matched. Any diff means the single-bit path is no
+//! longer byte-identical to published artifacts.
+
+use ipas_faultsim::{
+    run_campaign, CampaignConfig, Engine, FaultModel, GoldenToleranceVerifier, Outcome, Workload,
+};
+
+const SUM_SRC: &str = r#"
+fn main() -> int {
+    let s: int = 0;
+    for (let i: int = 0; i < 200; i = i + 1) {
+        s = s + i * i - i / 3;
+    }
+    output_i(s);
+    return 0;
+}
+"#;
+
+const PTR_SRC: &str = r#"
+fn main() -> int {
+    let a: [int] = new_int(64);
+    for (let i: int = 0; i < 64; i = i + 1) { a[i] = i * 3; }
+    let s: int = 0;
+    for (let i: int = 0; i < 64; i = i + 1) { s = s + a[i]; }
+    output_i(s);
+    free_arr(a);
+    return 0;
+}
+"#;
+
+/// `(func_idx, inst_idx, target, bit, outcome, dynamic_insts, attempts)`
+/// per record, in campaign order. Latency is excluded (wall-clock).
+type GoldenRecord = (usize, usize, u64, u32, Outcome, u64, u32);
+
+/// Captured from the pre-fault-model seed revision; see module docs.
+const SUM_GOLDEN: [GoldenRecord; 32] = [
+    (0, 11, 685, 47, Outcome::Soc, 2007, 1),
+    (0, 19, 197, 45, Outcome::Soc, 337, 1),
+    (0, 19, 683, 37, Outcome::Soc, 1147, 1),
+    (0, 6, 576, 6, Outcome::Soc, 967, 1),
+    (0, 11, 79, 52, Outcome::Soc, 2007, 1),
+    (0, 15, 454, 0, Outcome::Soc, 2007, 1),
+    (0, 11, 133, 32, Outcome::Soc, 2007, 1),
+    (0, 19, 839, 58, Outcome::Soc, 1407, 1),
+    (0, 14, 549, 43, Outcome::Soc, 2007, 1),
+    (0, 12, 242, 54, Outcome::Soc, 2007, 1),
+    (0, 11, 133, 37, Outcome::Soc, 2007, 1),
+    (0, 11, 325, 27, Outcome::Soc, 2007, 1),
+    (0, 11, 757, 17, Outcome::Soc, 2007, 1),
+    (0, 6, 474, 4, Outcome::Soc, 797, 1),
+    (0, 19, 725, 50, Outcome::Soc, 1217, 1),
+    (0, 14, 69, 55, Outcome::Soc, 2007, 1),
+    (0, 12, 566, 58, Outcome::Soc, 2007, 1),
+    (0, 14, 519, 54, Outcome::Soc, 2007, 1),
+    (0, 14, 1173, 17, Outcome::Soc, 2007, 1),
+    (0, 19, 299, 18, Outcome::Soc, 507, 1),
+    (0, 6, 864, 41, Outcome::Soc, 1447, 1),
+    (0, 6, 498, 10, Outcome::Soc, 837, 1),
+    (0, 12, 1190, 29, Outcome::Soc, 2007, 1),
+    (0, 14, 663, 47, Outcome::Soc, 2007, 1),
+    (0, 12, 848, 30, Outcome::Soc, 2007, 1),
+    (0, 19, 41, 26, Outcome::Soc, 77, 1),
+    (0, 6, 1014, 6, Outcome::Soc, 1697, 1),
+    (0, 19, 713, 60, Outcome::Soc, 1197, 1),
+    (0, 15, 694, 28, Outcome::Soc, 2007, 1),
+    (0, 15, 490, 52, Outcome::Soc, 2007, 1),
+    (0, 6, 666, 53, Outcome::Soc, 1117, 1),
+    (0, 15, 664, 20, Outcome::Soc, 2007, 1),
+];
+
+/// Captured from the pre-fault-model seed revision; see module docs.
+const PTR_GOLDEN: [GoldenRecord; 32] = [
+    (0, 27, 294, 47, Outcome::Soc, 606, 1),
+    (0, 18, 84, 45, Outcome::Soc, 757, 1),
+    (0, 34, 292, 37, Outcome::Soc, 1101, 1),
+    (0, 14, 247, 6, Outcome::Soc, 1101, 1),
+    (0, 12, 34, 52, Outcome::Symptom, 72, 1),
+    (0, 12, 194, 0, Outcome::Symptom, 392, 1),
+    (0, 8, 57, 32, Outcome::Soc, 701, 1),
+    (0, 32, 359, 58, Outcome::Symptom, 749, 1),
+    (0, 14, 235, 43, Outcome::Soc, 1101, 1),
+    (0, 18, 104, 54, Outcome::Soc, 797, 1),
+    (0, 8, 57, 37, Outcome::Soc, 701, 1),
+    (0, 14, 139, 27, Outcome::Soc, 1101, 1),
+    (0, 34, 324, 17, Outcome::Soc, 1101, 1),
+    (0, 14, 203, 4, Outcome::Soc, 1101, 1),
+    (0, 32, 311, 50, Outcome::Symptom, 641, 1),
+    (0, 8, 29, 55, Outcome::Soc, 645, 1),
+    (0, 12, 242, 58, Outcome::Symptom, 488, 1),
+    (0, 12, 222, 54, Outcome::Symptom, 448, 1),
+    (0, 32, 503, 17, Outcome::Symptom, 1073, 1),
+    (0, 18, 128, 18, Outcome::Soc, 845, 1),
+    (0, 27, 370, 41, Outcome::Soc, 777, 1),
+    (0, 8, 213, 10, Outcome::Soc, 1013, 1),
+    (0, 27, 510, 29, Outcome::Soc, 1092, 1),
+    (0, 34, 284, 47, Outcome::Soc, 1101, 1),
+    (0, 34, 364, 30, Outcome::Soc, 1101, 1),
+    (0, 8, 17, 26, Outcome::Soc, 621, 1),
+    (0, 32, 435, 6, Outcome::Soc, 1101, 1),
+    (0, 38, 305, 60, Outcome::Soc, 633, 1),
+    (0, 38, 297, 28, Outcome::Soc, 615, 1),
+    (0, 12, 210, 52, Outcome::Symptom, 424, 1),
+    (0, 38, 285, 53, Outcome::Soc, 588, 1),
+    (0, 38, 285, 20, Outcome::Soc, 588, 1),
+];
+
+fn assert_matches_golden(src: &str, name: &str, golden: &[GoldenRecord]) {
+    let module = ipas_lang::compile(src).unwrap();
+    let workload = Workload::serial(name, module, GoldenToleranceVerifier::EXACT).unwrap();
+    for engine in Engine::ALL {
+        let config = CampaignConfig {
+            runs: 32,
+            seed: 20260809,
+            threads: 1,
+            engine,
+            fault_model: FaultModel::SingleBit,
+        };
+        let result = run_campaign(&workload, &config).expect("campaign completes");
+        assert!(
+            result.harness_failures.is_empty(),
+            "{name}/{engine}: unexpected harness failures"
+        );
+        assert_eq!(result.records.len(), golden.len(), "{name}/{engine}");
+        for (i, (rec, want)) in result.records.iter().zip(golden).enumerate() {
+            let got = (
+                rec.site.0.index(),
+                rec.site.1.index(),
+                rec.target,
+                rec.bit,
+                rec.outcome,
+                rec.dynamic_insts,
+                rec.attempts,
+            );
+            assert_eq!(
+                got, *want,
+                "{name}/{engine}: record {i} diverged from the pre-fault-model capture"
+            );
+            assert_eq!(
+                rec.model,
+                FaultModel::SingleBit,
+                "{name}/{engine}: record {i}"
+            );
+        }
+    }
+}
+
+/// A `--fault-model single-bit` campaign (and the default, which must
+/// be the same thing) reproduces pre-fault-model campaigns byte for
+/// byte on both engines.
+#[test]
+fn single_bit_campaigns_match_pre_fault_model_capture() {
+    assert_eq!(CampaignConfig::default().fault_model, FaultModel::SingleBit);
+    assert_matches_golden(SUM_SRC, "sum", &SUM_GOLDEN);
+    assert_matches_golden(PTR_SRC, "ptr", &PTR_GOLDEN);
+}

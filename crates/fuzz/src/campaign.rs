@@ -10,13 +10,16 @@
 //! process.
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
+use ipas_interp::FaultModel;
 use ipas_store::{FingerprintBuilder, FuzzRepro, Store};
 
-use crate::minimize::{minimize_module, minimize_text};
+use crate::minimize::{minimize_module_with, minimize_text};
 use crate::mutate::mutate;
-use crate::oracle::{check_module, check_no_panic_ir, check_no_panic_scil, Divergence, OracleKind};
+use crate::oracle::{
+    check_module_with, check_no_panic_ir, check_no_panic_scil, Divergence, OracleKind,
+};
 use crate::{ir_gen, scil_gen};
 
 /// Campaign parameters.
@@ -28,6 +31,10 @@ pub struct FuzzConfig {
     pub seed: u64,
     /// Oracles to run (defaults to all five).
     pub oracles: Vec<OracleKind>,
+    /// Pins the engine-diff fault model; `None` draws a fresh model
+    /// from the case RNG for every case, so a long campaign sweeps all
+    /// of them.
+    pub fault_model: Option<FaultModel>,
 }
 
 impl Default for FuzzConfig {
@@ -36,7 +43,22 @@ impl Default for FuzzConfig {
             runs: 200,
             seed: 2016,
             oracles: OracleKind::ALL.to_vec(),
+            fault_model: None,
         }
+    }
+}
+
+/// Draws a fault model from the case RNG (burst widths 2..=8).
+fn draw_model(rng: &mut StdRng) -> FaultModel {
+    match rng.gen_range(0..6u32) {
+        0 => FaultModel::SingleBit,
+        1 => FaultModel::MultiBitBurst {
+            width: rng.gen_range(2..9),
+        },
+        2 => FaultModel::StuckValue,
+        3 => FaultModel::LoadValue,
+        4 => FaultModel::StoreValue,
+        _ => FaultModel::BranchFlip,
     }
 }
 
@@ -167,8 +189,15 @@ impl Campaign {
     }
 
     /// Runs every configured module-level oracle on `module`,
-    /// minimizing and recording each divergence.
-    fn check_module_case(&mut self, case: u64, input_kind: &'static str, module: &ipas_ir::Module) {
+    /// minimizing and recording each divergence. The engine-diff
+    /// oracle injects under `model`; the others ignore it.
+    fn check_module_case(
+        &mut self,
+        case: u64,
+        input_kind: &'static str,
+        module: &ipas_ir::Module,
+        model: FaultModel,
+    ) {
         let oracles: Vec<OracleKind> = self
             .config
             .oracles
@@ -178,8 +207,8 @@ impl Campaign {
             .collect();
         for oracle in oracles {
             self.bump(oracle);
-            if let Some(d) = check_module(oracle, module) {
-                let (min_module, _stats) = minimize_module(module, oracle);
+            if let Some(d) = check_module_with(oracle, module, model) {
+                let (min_module, _stats) = minimize_module_with(module, oracle, model);
                 self.record(case, input_kind, module.to_text(), min_module.to_text(), d);
             }
         }
@@ -230,15 +259,19 @@ pub fn run_fuzz(config: FuzzConfig) -> FuzzReport {
     for case in 0..campaign.config.runs {
         campaign.report.cases += 1;
         let mut rng = StdRng::seed_from_u64(mix(campaign.config.seed ^ mix(case)));
+        let model = campaign
+            .config
+            .fault_model
+            .unwrap_or_else(|| draw_model(&mut rng));
         match case % 3 {
             0 if want_modules => {
                 let module = ir_gen::gen_module(&mut rng);
-                campaign.check_module_case(case, "ir", &module);
+                campaign.check_module_case(case, "ir", &module, model);
             }
             1 if want_modules => {
                 let src = scil_gen::gen_program(&mut rng);
                 match ipas_lang::compile(&src) {
-                    Ok(module) => campaign.check_module_case(case, "scil", &module),
+                    Ok(module) => campaign.check_module_case(case, "scil", &module, model),
                     Err(e) => {
                         // The generator promises type-correct output; a
                         // rejection is itself a finding against it.
@@ -273,7 +306,7 @@ mod tests {
         let config = FuzzConfig {
             runs: 30,
             seed: 2016,
-            oracles: OracleKind::ALL.to_vec(),
+            ..FuzzConfig::default()
         };
         let a = run_fuzz(config.clone());
         let b = run_fuzz(config);
@@ -296,6 +329,7 @@ mod tests {
             runs: 9,
             seed: 1,
             oracles: vec![OracleKind::Roundtrip],
+            fault_model: None,
         });
         assert_eq!(report.checks.len(), 1);
         let (o, n) = report.checks[0];

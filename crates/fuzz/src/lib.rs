@@ -42,5 +42,6 @@ pub mod oracle;
 pub mod scil_gen;
 
 pub use campaign::{run_fuzz, FuzzConfig, FuzzFinding, FuzzReport};
-pub use minimize::{minimize_module, minimize_text, MinimizeStats};
+pub use ipas_interp::FaultModel;
+pub use minimize::{minimize_module, minimize_module_with, minimize_text, MinimizeStats};
 pub use oracle::{Divergence, OracleKind};

@@ -16,7 +16,8 @@
 use ipas_ir::verify::verify_module;
 use ipas_ir::{Function, Inst, InstId, Module, Type, Value};
 
-use crate::oracle::{check_module, OracleKind};
+use crate::oracle::{check_module_with, OracleKind};
+use ipas_interp::FaultModel;
 
 /// Counters describing one minimization run.
 #[derive(Copy, Clone, Debug, Default)]
@@ -122,6 +123,7 @@ fn drop_insts(module: &Module, fid: ipas_ir::FuncId, chunk: &[InstId]) -> Module
 
 struct Minimizer {
     oracle: OracleKind,
+    model: FaultModel,
     stats: MinimizeStats,
 }
 
@@ -130,7 +132,8 @@ impl Minimizer {
     /// the same oracle.
     fn accept(&mut self, cand: &Module) -> bool {
         self.stats.candidates += 1;
-        let ok = verify_module(cand).is_ok() && check_module(self.oracle, cand).is_some();
+        let ok = verify_module(cand).is_ok()
+            && check_module_with(self.oracle, cand, self.model).is_some();
         if ok {
             self.stats.accepted += 1;
         }
@@ -238,11 +241,22 @@ impl Minimizer {
 /// on `oracle`. The input must already diverge; if it does not, it is
 /// returned unchanged.
 pub fn minimize_module(module: &Module, oracle: OracleKind) -> (Module, MinimizeStats) {
+    minimize_module_with(module, oracle, FaultModel::SingleBit)
+}
+
+/// [`minimize_module`] under an explicit fault model, so a divergence
+/// found under (say) a burst model keeps reproducing while it shrinks.
+pub fn minimize_module_with(
+    module: &Module,
+    oracle: OracleKind,
+    model: FaultModel,
+) -> (Module, MinimizeStats) {
     let mut m = Minimizer {
         oracle,
+        model,
         stats: MinimizeStats::default(),
     };
-    if check_module(oracle, module).is_none() {
+    if check_module_with(oracle, module, model).is_none() {
         return (module.clone(), m.stats);
     }
     let mut current = module.clone();

@@ -12,7 +12,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use ipas_core::policy::ProtectionPolicy;
 use ipas_interp::{
-    CompiledMachine, CompiledProgram, Injection, Machine, RtVal, RunConfig, RunOutput, RunStatus,
+    CompiledMachine, CompiledProgram, FaultModel, Injection, Machine, RtVal, RunConfig, RunOutput,
+    RunStatus, SiteClass,
 };
 use ipas_ir::passmgr::{bisect_pipeline, PassManager, PipelineSpec};
 use ipas_ir::verify::verify_module;
@@ -112,6 +113,11 @@ fn fingerprint(out: &RunOutput) -> String {
     let _ = writeln!(s, "status {}", fmt_status(&out.status));
     let _ = writeln!(s, "dynamic-insts {}", out.dynamic_insts);
     let _ = writeln!(s, "eligible-results {}", out.eligible_results);
+    let _ = writeln!(
+        s,
+        "loads {} stores {} cond-branches {}",
+        out.loads, out.stores, out.cond_branches
+    );
     let _ = writeln!(s, "output-ints {:?}", out.outputs.as_ints());
     let bits: Vec<String> = out
         .outputs
@@ -148,8 +154,19 @@ fn diff_message(label: &str, a: &str, b: &str) -> String {
     format!("{label}:\n--- reference ---\n{a}--- candidate ---\n{b}")
 }
 
-/// Oracle 1: reference vs compiled engine, clean and under injection.
+/// Oracle 1: reference vs compiled engine, clean and under injection,
+/// using the default single-bit fault model.
 pub fn check_engine_diff(module: &Module) -> Option<Divergence> {
+    check_engine_diff_model(module, FaultModel::SingleBit)
+}
+
+/// [`check_engine_diff`] under a specific fault model: the injected
+/// runs corrupt whatever site class the model targets (value results,
+/// loads, stores, or branch decisions), and both engines must still
+/// agree bit-for-bit. Models whose site class the module never
+/// exercises fall back to single-bit value flips so every case still
+/// checks *something* under injection.
+pub fn check_engine_diff_model(module: &Module, model: FaultModel) -> Option<Divergence> {
     let cfg = oracle_config();
     let reference = match Machine::new(module).run(&cfg) {
         Ok(out) => out,
@@ -179,19 +196,36 @@ pub fn check_engine_diff(module: &Module) -> Option<Divergence> {
         ));
     }
 
-    // A few deterministic injected runs across the eligible-result
-    // space: both engines must corrupt the same dynamic result the
-    // same way and then agree on everything downstream.
+    // A few deterministic injected runs across the model's sample
+    // space: both engines must corrupt the same dynamic event the same
+    // way and then agree on everything downstream.
     if reference.eligible_results == 0 || reference.status == RunStatus::Hang {
         return None;
     }
+    let space = match model.site_class() {
+        SiteClass::Value => reference.eligible_results,
+        SiteClass::Load => reference.loads,
+        SiteClass::Store => reference.stores,
+        SiteClass::Branch => reference.cond_branches,
+    };
+    let model = if space == 0 {
+        FaultModel::SingleBit
+    } else {
+        model
+    };
+    let space = if space == 0 {
+        reference.eligible_results
+    } else {
+        space
+    };
+    let domain = model.bit_domain();
     let budget = RunConfig::budget_from_nominal(reference.dynamic_insts);
     for k in 0..3u64 {
-        let target = (reference.eligible_results * (2 * k + 1)) / 6;
-        let bit = [0u32, 31, 63][k as usize % 3];
+        let target = (space * (2 * k + 1)) / 6;
+        let bit = [0u32, domain / 2, domain - 1][k as usize % 3];
         let inj_cfg = RunConfig {
             max_insts: budget,
-            injection: Some(Injection::at_global_index(target, bit)),
+            injection: Some(Injection::for_model(model, target, bit)),
             ..RunConfig::default()
         };
         let r = Machine::new(module).run(&inj_cfg);
@@ -203,7 +237,9 @@ pub fn check_engine_diff(module: &Module) -> Option<Divergence> {
                     return Some(Divergence::new(
                         OracleKind::EngineDiff,
                         diff_message(
-                            &format!("injected run (target {target}, bit {bit}) diverged"),
+                            &format!(
+                                "injected run (model {model}, target {target}, bit {bit}) diverged"
+                            ),
                             &fa,
                             &fb,
                         ),
@@ -214,7 +250,8 @@ pub fn check_engine_diff(module: &Module) -> Option<Divergence> {
                 return Some(Divergence::new(
                     OracleKind::EngineDiff,
                     format!(
-                        "injected run (target {target}, bit {bit}): reference {:?} vs compiled {:?}",
+                        "injected run (model {model}, target {target}, bit {bit}): \
+                         reference {:?} vs compiled {:?}",
                         r.err(),
                         f.err()
                     ),
@@ -534,10 +571,20 @@ pub fn check_no_panic_ir(text: &str) -> Option<Divergence> {
 }
 
 /// Runs one module-level oracle (everything except no-panic, which
-/// operates on text).
+/// operates on text) under the default single-bit fault model.
 pub fn check_module(oracle: OracleKind, module: &Module) -> Option<Divergence> {
+    check_module_with(oracle, module, FaultModel::SingleBit)
+}
+
+/// [`check_module`] with an explicit fault model; only the engine-diff
+/// oracle injects faults, so the other oracles ignore it.
+pub fn check_module_with(
+    oracle: OracleKind,
+    module: &Module,
+    model: FaultModel,
+) -> Option<Divergence> {
     match oracle {
-        OracleKind::EngineDiff => check_engine_diff(module),
+        OracleKind::EngineDiff => check_engine_diff_model(module, model),
         OracleKind::Roundtrip => check_roundtrip(module),
         OracleKind::Passes => check_passes(module),
         OracleKind::Duplication => check_duplication(module),
@@ -598,6 +645,44 @@ mod tests {
         }
         // And the whole oracle accepts a clean looping module.
         assert!(check_passes(&module).is_none());
+    }
+
+    #[test]
+    fn engine_diff_accepts_every_fault_model() {
+        // Regression guard for the model-aware engine-diff oracle: a
+        // kernel that exercises every site class (values, loads,
+        // stores, branches) must stay bit-identical across engines
+        // under injection from every fault model.
+        let module = ipas_lang::compile(
+            "fn main() -> int { let n: int = 16;
+               let a: [int] = new_int(n);
+               for (let i: int = 0; i < n; i = i + 1) { a[i] = i * 7 - 3; }
+               let s: int = 0;
+               for (let i: int = 0; i < n; i = i + 1) { s = s + a[i]; }
+               output_i(s); free_arr(a); return 0; }",
+        )
+        .unwrap();
+        for model in FaultModel::ALL {
+            assert!(
+                check_engine_diff_model(&module, model).is_none(),
+                "engines diverged under fault model {model}"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_diff_falls_back_when_site_class_is_empty() {
+        // Straight-line code executes no branches/loads/stores; the
+        // oracle must fall back to single-bit rather than divide by a
+        // zero-sized sample space or skip injection entirely.
+        let module = ipas_lang::compile("fn main() -> int { output_i(6 * 7); return 0; }").unwrap();
+        for model in [
+            FaultModel::BranchFlip,
+            FaultModel::LoadValue,
+            FaultModel::StoreValue,
+        ] {
+            assert!(check_engine_diff_model(&module, model).is_none());
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@ use ipas_fuzz::oracle::{
     check_duplication, check_engine_diff, check_no_panic_ir, check_no_panic_scil, check_passes,
     check_roundtrip,
 };
-use ipas_fuzz::{run_fuzz, FuzzConfig, OracleKind};
+use ipas_fuzz::{run_fuzz, FuzzConfig};
 use ipas_interp::{Machine, RunConfig, RunStatus, Trap};
 use ipas_ir::{FunctionBuilder, Intrinsic, Module, Type, Value};
 
@@ -168,7 +168,7 @@ fn smoke_campaign_prefix_is_clean() {
     let report = run_fuzz(FuzzConfig {
         runs: 45,
         seed: 2016,
-        oracles: OracleKind::ALL.to_vec(),
+        ..FuzzConfig::default()
     });
     assert_eq!(report.cases, 45);
     assert!(

@@ -224,6 +224,8 @@ enum CInst {
         rhs: u32,
         dst: u32,
         site: InstId,
+        /// The folded `condbr`'s own [`InstId`] (branch-class site).
+        br_site: InstId,
         then_edge: u32,
         else_edge: u32,
     },
@@ -234,6 +236,8 @@ enum CInst {
         rhs: u32,
         dst: u32,
         site: InstId,
+        /// The folded `condbr`'s own [`InstId`] (branch-class site).
+        br_site: InstId,
         then_edge: u32,
         else_edge: u32,
     },
@@ -261,6 +265,8 @@ enum CInst {
         rhs: u32,
         dst: u32,
         site: InstId,
+        /// The folded `store`'s own [`InstId`] (store-class site).
+        store_site: InstId,
         addr: u32,
     },
     /// `sitofp`.
@@ -305,6 +311,7 @@ enum CInst {
     Load {
         addr: u32,
         dst: u32,
+        site: InstId,
         /// `1` for bool loads (canonicalizes, like the reference's
         /// `from_bits`), all-ones otherwise.
         mask: u64,
@@ -312,6 +319,7 @@ enum CInst {
     Store {
         value: u32,
         addr: u32,
+        site: InstId,
     },
     Gep {
         base: u32,
@@ -339,6 +347,8 @@ enum CInst {
         index: u32,
         gep_dst: u32,
         site: InstId,
+        /// The folded `load`'s own [`InstId`] (load-class site).
+        load_site: InstId,
         load_dst: u32,
         mask: u64,
     },
@@ -348,6 +358,8 @@ enum CInst {
         offset: i64,
         gep_dst: u32,
         site: InstId,
+        /// The folded `load`'s own [`InstId`] (load-class site).
+        load_site: InstId,
         load_dst: u32,
         mask: u64,
     },
@@ -360,6 +372,8 @@ enum CInst {
         index: u32,
         gep_dst: u32,
         site: InstId,
+        /// The folded `store`'s own [`InstId`] (store-class site).
+        store_site: InstId,
         value: u32,
     },
     /// Constant-index [`CInst::GepStore`].
@@ -368,6 +382,8 @@ enum CInst {
         offset: i64,
         gep_dst: u32,
         site: InstId,
+        /// The folded `store`'s own [`InstId`] (store-class site).
+        store_site: InstId,
         value: u32,
     },
     Call {
@@ -385,6 +401,7 @@ enum CInst {
     },
     CondBr {
         cond: u32,
+        site: InstId,
         then_edge: u32,
         else_edge: u32,
     },
@@ -631,6 +648,7 @@ fn compile_function(fid: FuncId, func: &Function) -> CompiledFunction {
                             rhs,
                             dst,
                             site: id,
+                            store_site: insts[k + 1],
                             addr: slots.opnd(*addr),
                         },
                         (Type::F64, _) => CInst::FBin {
@@ -689,6 +707,7 @@ fn compile_function(fid: FuncId, func: &Function) -> CompiledFunction {
                             rhs,
                             dst,
                             site: id,
+                            br_site: insts[k + 1],
                             then_edge: lower_edge(
                                 func, &mut slots, &block_pc, &mut edges, bb, *then_bb,
                             ),
@@ -721,6 +740,7 @@ fn compile_function(fid: FuncId, func: &Function) -> CompiledFunction {
                             rhs,
                             dst,
                             site: id,
+                            br_site: insts[k + 1],
                             then_edge: lower_edge(
                                 func, &mut slots, &block_pc, &mut edges, bb, *then_bb,
                             ),
@@ -769,11 +789,13 @@ fn compile_function(fid: FuncId, func: &Function) -> CompiledFunction {
                 Inst::Load { ty, addr } => CInst::Load {
                     addr: slots.opnd(*addr),
                     dst,
+                    site: id,
                     mask: if *ty == Type::Bool { 1 } else { u64::MAX },
                 },
                 Inst::Store { value, addr, .. } => CInst::Store {
                     value: slots.opnd(*value),
                     addr: slots.opnd(*addr),
+                    site: id,
                 },
                 Inst::Gep { base, index, .. } => {
                     let base = slots.opnd(*base);
@@ -804,6 +826,7 @@ fn compile_function(fid: FuncId, func: &Function) -> CompiledFunction {
                             offset,
                             gep_dst: dst,
                             site: id,
+                            load_site: insts[k + 1],
                             load_dst: slot_of[insts[k + 1].index()],
                             mask: if *ty == Type::Bool { 1 } else { u64::MAX },
                         },
@@ -812,6 +835,7 @@ fn compile_function(fid: FuncId, func: &Function) -> CompiledFunction {
                             index: slots.opnd(*index),
                             gep_dst: dst,
                             site: id,
+                            load_site: insts[k + 1],
                             load_dst: slot_of[insts[k + 1].index()],
                             mask: if *ty == Type::Bool { 1 } else { u64::MAX },
                         },
@@ -820,6 +844,7 @@ fn compile_function(fid: FuncId, func: &Function) -> CompiledFunction {
                             offset,
                             gep_dst: dst,
                             site: id,
+                            store_site: insts[k + 1],
                             value: slots.opnd(*value),
                         },
                         (None, Some(Inst::Store { value, .. })) => CInst::GepStore {
@@ -827,6 +852,7 @@ fn compile_function(fid: FuncId, func: &Function) -> CompiledFunction {
                             index: slots.opnd(*index),
                             gep_dst: dst,
                             site: id,
+                            store_site: insts[k + 1],
                             value: slots.opnd(*value),
                         },
                         (_, Some(_)) => unreachable!("gep only fuses with load/store"),
@@ -860,6 +886,7 @@ fn compile_function(fid: FuncId, func: &Function) -> CompiledFunction {
                     else_bb,
                 } => CInst::CondBr {
                     cond: slots.opnd(*cond),
+                    site: id,
                     then_edge: lower_edge(func, &mut slots, &block_pc, &mut edges, bb, *then_bb),
                     else_edge: lower_edge(func, &mut slots, &block_pc, &mut edges, bb, *else_bb),
                 },
@@ -1181,6 +1208,7 @@ impl<'p> CompiledMachine<'p> {
                     rhs,
                     dst,
                     site,
+                    store_site,
                     addr,
                 } => {
                     let a = f64::from_bits(self.read(base, *lhs));
@@ -1200,7 +1228,8 @@ impl<'p> CompiledMachine<'p> {
                     // writes the possibly-flipped image just produced.
                     hot.tick(state)?;
                     let a = self.read(base, *addr);
-                    state.memory.store(a, bits).map_err(Stop::Trap)?;
+                    let stored = hot.store_bits(state, f.fid, *store_site, bits);
+                    state.memory.store(a, stored).map_err(Stop::Trap)?;
                 }
                 CInst::BBin {
                     op,
@@ -1252,6 +1281,7 @@ impl<'p> CompiledMachine<'p> {
                     rhs,
                     dst,
                     site,
+                    br_site,
                     then_edge,
                     else_edge,
                 } => {
@@ -1262,7 +1292,8 @@ impl<'p> CompiledMachine<'p> {
                     self.write(base, *dst, bits);
                     // The folded condbr is still its own instruction.
                     hot.tick(state)?;
-                    let edge = if bits != 0 { *then_edge } else { *else_edge };
+                    let taken = hot.branch_edge(state, f.fid, *br_site, bits != 0);
+                    let edge = if taken { *then_edge } else { *else_edge };
                     pc = self.take_edge(hot, &f.edges, base, edge);
                 }
                 CInst::FcmpBr {
@@ -1271,6 +1302,7 @@ impl<'p> CompiledMachine<'p> {
                     rhs,
                     dst,
                     site,
+                    br_site,
                     then_edge,
                     else_edge,
                 } => {
@@ -1280,7 +1312,8 @@ impl<'p> CompiledMachine<'p> {
                     let bits = hot.inject(state, f.fid, *site, W1, v);
                     self.write(base, *dst, bits);
                     hot.tick(state)?;
-                    let edge = if bits != 0 { *then_edge } else { *else_edge };
+                    let taken = hot.branch_edge(state, f.fid, *br_site, bits != 0);
+                    let edge = if taken { *then_edge } else { *else_edge };
                     pc = self.take_edge(hot, &f.edges, base, edge);
                 }
                 CInst::CastSitofp { arg, dst, site } => {
@@ -1321,13 +1354,20 @@ impl<'p> CompiledMachine<'p> {
                     self.allocas.push(p);
                     self.write(base, *dst, p);
                 }
-                CInst::Load { addr, dst, mask } => {
+                CInst::Load {
+                    addr,
+                    dst,
+                    site,
+                    mask,
+                } => {
                     let a = self.read(base, *addr);
                     let bits = state.memory.load(a).map_err(Stop::Trap)?;
+                    let bits = hot.load_bits(state, f.fid, *site, bits);
                     self.write(base, *dst, bits & mask);
                 }
-                CInst::Store { value, addr } => {
+                CInst::Store { value, addr, site } => {
                     let v = self.read(base, *value);
+                    let v = hot.store_bits(state, f.fid, *site, v);
                     let a = self.read(base, *addr);
                     state.memory.store(a, v).map_err(Stop::Trap)?;
                 }
@@ -1358,6 +1398,7 @@ impl<'p> CompiledMachine<'p> {
                     index,
                     gep_dst,
                     site,
+                    load_site,
                     load_dst,
                     mask,
                 } => {
@@ -1369,6 +1410,7 @@ impl<'p> CompiledMachine<'p> {
                     // The folded load is still its own instruction.
                     hot.tick(state)?;
                     let bits = state.memory.load(addr).map_err(Stop::Trap)?;
+                    let bits = hot.load_bits(state, f.fid, *load_site, bits);
                     self.write(base, *load_dst, bits & mask);
                 }
                 CInst::GepConstLoad {
@@ -1376,6 +1418,7 @@ impl<'p> CompiledMachine<'p> {
                     offset,
                     gep_dst,
                     site,
+                    load_site,
                     load_dst,
                     mask,
                 } => {
@@ -1384,6 +1427,7 @@ impl<'p> CompiledMachine<'p> {
                     self.write(base, *gep_dst, addr);
                     hot.tick(state)?;
                     let bits = state.memory.load(addr).map_err(Stop::Trap)?;
+                    let bits = hot.load_bits(state, f.fid, *load_site, bits);
                     self.write(base, *load_dst, bits & mask);
                 }
                 CInst::GepStore {
@@ -1391,6 +1435,7 @@ impl<'p> CompiledMachine<'p> {
                     index,
                     gep_dst,
                     site,
+                    store_site,
                     value,
                 } => {
                     let p = self.read(base, *b);
@@ -1402,6 +1447,7 @@ impl<'p> CompiledMachine<'p> {
                     self.write(base, *gep_dst, addr);
                     hot.tick(state)?;
                     let val = self.read(base, *value);
+                    let val = hot.store_bits(state, f.fid, *store_site, val);
                     state.memory.store(addr, val).map_err(Stop::Trap)?;
                 }
                 CInst::GepConstStore {
@@ -1409,6 +1455,7 @@ impl<'p> CompiledMachine<'p> {
                     offset,
                     gep_dst,
                     site,
+                    store_site,
                     value,
                 } => {
                     let v = gep_const_addr(self.read(base, *b), *offset);
@@ -1416,6 +1463,7 @@ impl<'p> CompiledMachine<'p> {
                     self.write(base, *gep_dst, addr);
                     hot.tick(state)?;
                     let val = self.read(base, *value);
+                    let val = hot.store_bits(state, f.fid, *store_site, val);
                     state.memory.store(addr, val).map_err(Stop::Trap)?;
                 }
                 CInst::Call {
@@ -1471,10 +1519,12 @@ impl<'p> CompiledMachine<'p> {
                 }
                 CInst::CondBr {
                     cond,
+                    site,
                     then_edge,
                     else_edge,
                 } => {
                     let c = self.read(base, *cond) != 0;
+                    let c = hot.branch_edge(state, f.fid, *site, c);
                     let edge = if c { *then_edge } else { *else_edge };
                     pc = self.take_edge(hot, &f.edges, base, edge);
                 }
@@ -1489,7 +1539,7 @@ impl<'p> CompiledMachine<'p> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::machine::{maybe_inject, Injection, Machine, RunStatus};
+    use crate::machine::{maybe_inject, FaultModel, Injection, Machine, RunStatus, SiteClass};
     use ipas_ir::parser::parse_module;
     use std::time::Duration;
 
@@ -1506,6 +1556,9 @@ mod tests {
         assert_eq!(a.status, b.status);
         assert_eq!(a.dynamic_insts, b.dynamic_insts);
         assert_eq!(a.eligible_results, b.eligible_results);
+        assert_eq!(a.loads, b.loads);
+        assert_eq!(a.stores, b.stores);
+        assert_eq!(a.cond_branches, b.cond_branches);
         assert_eq!(a.outputs, b.outputs);
         assert_eq!(a.console, b.console);
         assert_eq!(a.injected_site, b.injected_site);
@@ -1588,6 +1641,81 @@ bb3:
                 assert_eq!(flipped, RtVal::from_bits(value.ty(), flipped_bits));
                 assert_eq!(s1.eligible_results, s2.eligible_results);
                 assert_eq!(s1.injected_site, s2.injected_site);
+            }
+        }
+    }
+
+    /// Every fault model must preserve the bit-identity contract: for
+    /// each model, sweep a spread of targets and bits over a workload
+    /// that exercises loads, stores, and conditional branches, and
+    /// assert the reference and pre-decoded engines produce the same
+    /// corrupted execution (including the per-class dynamic counters).
+    #[test]
+    fn fault_model_sweep_matches_reference() {
+        let src = r#"
+fn @main() -> i64 {
+bb0:
+  %v0 = call malloc(64) -> ptr
+  br bb1
+bb1:
+  %v1 = phi i64 [bb0: 0, bb2: %v6]
+  %v2 = icmp slt %v1, 8
+  condbr %v2, bb2, bb3
+bb2:
+  %v3 = gep i64 %v0, %v1
+  %v4 = mul i64 %v1, 3
+  store i64 %v4, %v3
+  %v5 = load i64, %v3
+  %v6 = add i64 %v1, 1
+  br bb1
+bb3:
+  br bb4
+bb4:
+  %v7 = phi i64 [bb3: 0, bb5: %v11]
+  %v8 = phi i64 [bb3: 0, bb5: %v12]
+  %v9 = icmp slt %v7, 8
+  condbr %v9, bb5, bb6
+bb5:
+  %v10 = gep i64 %v0, %v7
+  %v13 = load i64, %v10
+  %v12 = add i64 %v8, %v13
+  %v11 = add i64 %v7, 1
+  br bb4
+bb6:
+  %v14 = call free(%v0) -> void
+  %v15 = call output_i64(%v8) -> void
+  ret %v8
+}
+"#;
+        let clean = {
+            let module = parse_module(src).unwrap();
+            Machine::new(&module).run(&RunConfig::default()).unwrap()
+        };
+        assert!(clean.loads > 0, "workload must execute loads");
+        assert!(clean.stores > 0, "workload must execute stores");
+        assert!(clean.cond_branches > 0, "workload must branch");
+        for model in FaultModel::ALL {
+            let space = match model.site_class() {
+                SiteClass::Value => clean.eligible_results,
+                SiteClass::Load => clean.loads,
+                SiteClass::Store => clean.stores,
+                SiteClass::Branch => clean.cond_branches,
+            };
+            assert!(space > 0, "{model}: no eligible sites");
+            for target in [0, space / 3, space / 2, space - 1] {
+                for bit in [0u32, 5, 33, 63, 97] {
+                    let bit = bit % model.bit_domain();
+                    let config = RunConfig {
+                        injection: Some(Injection::for_model(model, target, bit)),
+                        ..RunConfig::default()
+                    };
+                    let (a, b) = both(src, &config);
+                    assert_identical(&a, &b);
+                    assert!(
+                        a.injected_site.is_some(),
+                        "{model}: target {target} never fired"
+                    );
+                }
             }
         }
     }

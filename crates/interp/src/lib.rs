@@ -59,7 +59,8 @@ pub mod trap;
 pub use compiled::{CompiledMachine, CompiledProgram, Engine};
 pub use env::{Env, SerialEnv};
 pub use machine::{
-    is_fault_site, Injection, Machine, OutputStream, RunConfig, RunError, RunOutput, RunStatus,
+    is_fault_site, FaultModel, Injection, Machine, OutputStream, RunConfig, RunError, RunOutput,
+    RunStatus, SiteClass,
 };
 pub use memory::{gep_addr, Memory, POISON_ADDR};
 pub use rtval::RtVal;

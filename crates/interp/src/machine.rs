@@ -41,40 +41,239 @@ pub fn is_fault_site(inst: &Inst) -> bool {
     }
 }
 
-/// A single planned bit flip: corrupt the result of the `target`-th
-/// dynamically executed eligible instruction (0-based), flipping `bit`.
+/// The dynamic site class a fault model samples from.
 ///
-/// With `site` unset, `target` indexes the run's *global* sequence of
-/// eligible results (dynamic-instance-uniform sampling). With `site`
-/// set, `target` counts only executions of that static instruction
-/// (used by static-site-uniform sampling campaigns).
+/// The paper's model (and [`FaultModel::SingleBit`]) corrupts *register
+/// results* of value-producing instructions. The extended models add
+/// three further classes with their own dynamic counters, so every
+/// model enumerates a deterministic, engine-independent sample space.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum SiteClass {
+    /// Results of eligible value-producing instructions
+    /// (see [`is_fault_site`]).
+    Value,
+    /// Executions of `load` instructions.
+    Load,
+    /// Executions of `store` instructions.
+    Store,
+    /// Executions of conditional branches (including branches fused
+    /// into compare-and-branch instructions by the pre-decoded engine).
+    Branch,
+}
+
+impl SiteClass {
+    /// Human-readable class name for diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            SiteClass::Value => "eligible value results",
+            SiteClass::Load => "load executions",
+            SiteClass::Store => "store executions",
+            SiteClass::Branch => "conditional-branch executions",
+        }
+    }
+}
+
+/// What kind of hardware fault an injection plan models.
+///
+/// `SingleBit` is the paper's model and the default; the other variants
+/// extend campaigns to the faults the paper scopes out (multi-bit
+/// upsets, ECC gaps on the memory path, control-flow errors). Each
+/// model samples its own [`SiteClass`] and applies its own corruption,
+/// but all of them are deterministic and bit-identical across the
+/// reference and pre-decoded engines.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub enum FaultModel {
+    /// Flip one bit of a computed register result (paper §3).
+    #[default]
+    SingleBit,
+    /// Flip `width` adjacent bits (modulo the result width) of a
+    /// computed register result — a multi-bit upset.
+    MultiBitBurst {
+        /// Number of adjacent bit lines upset together (≥ 1).
+        width: u32,
+    },
+    /// Force one bit of a computed register result to a fixed polarity
+    /// (a stuck-at line). The plan's `bit` encodes line and polarity;
+    /// when the bit already holds the stuck value the fault is a no-op
+    /// and trivially masked, as on real hardware.
+    StuckValue,
+    /// Flip one bit of the raw 64-bit image returned by a `load`,
+    /// before type masking — an ECC gap on the read path.
+    LoadValue,
+    /// Flip one bit of the raw 64-bit image written by a `store` — an
+    /// ECC gap on the write path.
+    StoreValue,
+    /// Invert one dynamic conditional-branch decision, steering
+    /// execution down the wrong edge (including its phi moves).
+    BranchFlip,
+}
+
+impl FaultModel {
+    /// Canonical representative of every model, for sweeps and fuzzing.
+    pub const ALL: [FaultModel; 6] = [
+        FaultModel::SingleBit,
+        FaultModel::MultiBitBurst { width: 2 },
+        FaultModel::StuckValue,
+        FaultModel::LoadValue,
+        FaultModel::StoreValue,
+        FaultModel::BranchFlip,
+    ];
+
+    /// The dynamic site class this model's `target` indexes.
+    pub fn site_class(self) -> SiteClass {
+        match self {
+            FaultModel::SingleBit | FaultModel::MultiBitBurst { .. } | FaultModel::StuckValue => {
+                SiteClass::Value
+            }
+            FaultModel::LoadValue => SiteClass::Load,
+            FaultModel::StoreValue => SiteClass::Store,
+            FaultModel::BranchFlip => SiteClass::Branch,
+        }
+    }
+
+    /// `true` when the model corrupts register results (the class the
+    /// paper's sampling and static-site campaigns enumerate).
+    pub fn injects_values(self) -> bool {
+        self.site_class() == SiteClass::Value
+    }
+
+    /// Exclusive upper bound for drawing the plan's `bit` field.
+    /// `StuckValue` draws from 128: the low 6 bits select the line, bit
+    /// 6 the polarity. `BranchFlip` carries no bit at all.
+    pub fn bit_domain(self) -> u32 {
+        match self {
+            FaultModel::StuckValue => 128,
+            FaultModel::BranchFlip => 1,
+            _ => 64,
+        }
+    }
+
+    /// Applies this model's corruption to a `width`-bit register image.
+    /// This is the single implementation both engines route through, so
+    /// the corrupted image is engine-independent by construction. For
+    /// `SingleBit` it is exactly the legacy `bits ^ (1 << (bit % width))`.
+    pub fn corrupt_bits(self, bit: u32, width: u32, bits: u64) -> u64 {
+        match self {
+            FaultModel::SingleBit | FaultModel::LoadValue | FaultModel::StoreValue => {
+                bits ^ (1u64 << (bit % width))
+            }
+            FaultModel::MultiBitBurst { width: burst } => {
+                // OR-accumulating the mask flips each line at most once,
+                // so a burst wider than the value (e.g. any burst on a
+                // bool) degrades to flipping every line once.
+                let mut mask = 0u64;
+                for k in 0..burst.max(1) {
+                    mask |= 1u64 << ((bit + k) % width);
+                }
+                bits ^ mask
+            }
+            FaultModel::StuckValue => {
+                let line = (bit & 63) % width;
+                if bit & 64 != 0 {
+                    bits | (1u64 << line)
+                } else {
+                    bits & !(1u64 << line)
+                }
+            }
+            FaultModel::BranchFlip => bits ^ 1,
+        }
+    }
+}
+
+impl fmt::Display for FaultModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultModel::SingleBit => write!(f, "single-bit"),
+            FaultModel::MultiBitBurst { width } => write!(f, "burst{width}"),
+            FaultModel::StuckValue => write!(f, "stuck-value"),
+            FaultModel::LoadValue => write!(f, "load-value"),
+            FaultModel::StoreValue => write!(f, "store-value"),
+            FaultModel::BranchFlip => write!(f, "branch-flip"),
+        }
+    }
+}
+
+impl std::str::FromStr for FaultModel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "single-bit" => return Ok(FaultModel::SingleBit),
+            "stuck-value" => return Ok(FaultModel::StuckValue),
+            "load-value" => return Ok(FaultModel::LoadValue),
+            "store-value" => return Ok(FaultModel::StoreValue),
+            "branch-flip" => return Ok(FaultModel::BranchFlip),
+            _ => {}
+        }
+        if let Some(w) = s.strip_prefix("burst") {
+            let width: u32 = w
+                .parse()
+                .map_err(|_| format!("invalid burst width `{w}` in fault model `{s}`"))?;
+            if !(1..=64).contains(&width) {
+                return Err(format!("burst width {width} out of range 1..=64"));
+            }
+            return Ok(FaultModel::MultiBitBurst { width });
+        }
+        Err(format!(
+            "unknown fault model `{s}` (expected single-bit, burst<W>, stuck-value, \
+             load-value, store-value, or branch-flip)"
+        ))
+    }
+}
+
+/// A single planned fault: corrupt the `target`-th dynamic event of the
+/// plan's [`FaultModel`] site class (0-based), using `bit` as the
+/// model's corruption parameter.
+///
+/// For value-class models with `site` unset, `target` indexes the run's
+/// *global* sequence of eligible results (dynamic-instance-uniform
+/// sampling). With `site` set, `target` counts only executions of that
+/// static instruction (used by static-site-uniform sampling campaigns;
+/// value-class models only). Load/store/branch models index their own
+/// dynamic counters.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct Injection {
-    /// 0-based index into the targeted sequence of eligible results.
+    /// 0-based index into the targeted sequence of dynamic events.
     pub target: u64,
-    /// Bit to flip; reduced modulo the result type's bit width.
+    /// The model's corruption parameter (bit line, burst origin,
+    /// stuck line+polarity); unused by [`FaultModel::BranchFlip`].
     pub bit: u32,
     /// Restrict counting to one static instruction.
     pub site: Option<(FuncId, InstId)>,
+    /// The fault being modeled.
+    pub model: FaultModel,
 }
 
 impl Injection {
-    /// A global-index injection (the default FlipIt-style plan).
+    /// A global-index single-bit injection (the default FlipIt-style
+    /// plan).
     pub fn at_global_index(target: u64, bit: u32) -> Self {
         Injection {
             target,
             bit,
             site: None,
+            model: FaultModel::SingleBit,
         }
     }
 
-    /// An injection into the `instance`-th execution of one static
-    /// instruction.
+    /// A single-bit injection into the `instance`-th execution of one
+    /// static instruction.
     pub fn at_site(site: (FuncId, InstId), instance: u64, bit: u32) -> Self {
         Injection {
             target: instance,
             bit,
             site: Some(site),
+            model: FaultModel::SingleBit,
+        }
+    }
+
+    /// A global-index injection under an arbitrary fault model.
+    pub fn for_model(model: FaultModel, target: u64, bit: u32) -> Self {
+        Injection {
+            target,
+            bit,
+            site: None,
+            model,
         }
     }
 }
@@ -216,8 +415,16 @@ pub struct RunOutput {
     /// Total dynamic instructions executed.
     pub dynamic_insts: u64,
     /// Eligible (injectable) results produced — the sample space for
-    /// statistical fault injection.
+    /// statistical fault injection under value-class fault models.
     pub eligible_results: u64,
+    /// Dynamic `load` executions — the [`FaultModel::LoadValue`] space.
+    pub loads: u64,
+    /// Dynamic `store` executions — the [`FaultModel::StoreValue`]
+    /// space.
+    pub stores: u64,
+    /// Dynamic conditional-branch decisions — the
+    /// [`FaultModel::BranchFlip`] space.
+    pub cond_branches: u64,
     /// The verified output stream.
     pub outputs: OutputStream,
     /// Lines printed via `print_*` intrinsics.
@@ -276,6 +483,14 @@ pub(crate) struct RunState<'e> {
     pub(crate) console: Vec<String>,
     pub(crate) dynamic_insts: u64,
     pub(crate) eligible_results: u64,
+    /// Dynamic `load` executions (the [`SiteClass::Load`] sample space).
+    pub(crate) loads: u64,
+    /// Dynamic `store` executions (the [`SiteClass::Store`] space).
+    pub(crate) stores: u64,
+    /// Dynamic conditional-branch decisions (the [`SiteClass::Branch`]
+    /// space). Fused compare-and-branch instructions count once, same
+    /// as the reference `condbr` they decode from.
+    pub(crate) cond_branches: u64,
     pub(crate) max_insts: u64,
     pub(crate) deadline: Option<Instant>,
     pub(crate) injection: Option<Injection>,
@@ -293,11 +508,33 @@ pub(crate) struct RunState<'e> {
     pub(crate) next_stop: u64,
     /// Global eligible-result index the compiled engine's injection
     /// fast path compares against (`u64::MAX` when no global-index
-    /// injection is armed).
+    /// value-class injection is armed).
     pub(crate) fast_target: u64,
+    /// Load-execution index at which a [`FaultModel::LoadValue`] plan
+    /// fires (`u64::MAX` when none is armed).
+    pub(crate) load_target: u64,
+    /// Store-execution index for [`FaultModel::StoreValue`] plans.
+    pub(crate) store_target: u64,
+    /// Branch-decision index for [`FaultModel::BranchFlip`] plans.
+    pub(crate) branch_target: u64,
     /// True when injection bookkeeping needs the full path: site
     /// profiling or a site-restricted plan.
     pub(crate) slow_inject: bool,
+}
+
+/// The armed target for one site class, or `u64::MAX` when the plan
+/// does not sample that class. Site-restricted plans are value-class
+/// only, so class targets ignore them.
+fn class_target(injection: Option<Injection>, class: SiteClass) -> u64 {
+    match injection {
+        Some(Injection {
+            site: None,
+            target,
+            model,
+            ..
+        }) if model.site_class() == class => target,
+        _ => u64::MAX,
+    }
 }
 
 impl<'e> RunState<'e> {
@@ -310,6 +547,9 @@ impl<'e> RunState<'e> {
             console: Vec::new(),
             dynamic_insts: 0,
             eligible_results: 0,
+            loads: 0,
+            stores: 0,
+            cond_branches: 0,
             max_insts: config.max_insts,
             deadline: config.wall_limit.map(|limit| Instant::now() + limit),
             injection: config.injection,
@@ -320,12 +560,10 @@ impl<'e> RunState<'e> {
             site_profile: std::collections::HashMap::new(),
             env,
             next_stop: POISON_POLL_INTERVAL.min(config.max_insts.saturating_add(1)),
-            fast_target: match config.injection {
-                Some(Injection {
-                    site: None, target, ..
-                }) => target,
-                _ => u64::MAX,
-            },
+            fast_target: class_target(config.injection, SiteClass::Value),
+            load_target: class_target(config.injection, SiteClass::Load),
+            store_target: class_target(config.injection, SiteClass::Store),
+            branch_target: class_target(config.injection, SiteClass::Branch),
             slow_inject: config.profile_sites
                 || matches!(config.injection, Some(Injection { site: Some(_), .. })),
         }
@@ -357,6 +595,9 @@ impl<'e> RunState<'e> {
             status,
             dynamic_insts: self.dynamic_insts,
             eligible_results: self.eligible_results,
+            loads: self.loads,
+            stores: self.stores,
+            cond_branches: self.cond_branches,
             outputs: self.outputs,
             console: self.console,
             injected_site: self.injected_site,
@@ -421,14 +662,77 @@ pub(crate) fn maybe_inject(
         _ => n,
     };
     match state.injection {
-        Some(inj) if inj.target == counter => {
+        Some(inj) if inj.model.injects_values() && inj.target == counter => {
             state.injected_site = Some((fid, id));
             state.injected_at_inst = Some(state.dynamic_insts);
             let width = value.ty().bit_width().max(1);
-            value.flip_bit(inj.bit % width)
+            RtVal::from_bits(
+                value.ty(),
+                inj.model.corrupt_bits(inj.bit, width, value.bits()),
+            )
         }
         _ => value,
     }
+}
+
+/// Counts one `load` execution and corrupts its raw image when a
+/// [`FaultModel::LoadValue`] plan targets it. Runs *before* type
+/// masking, so both engines see the same post-corruption image.
+#[inline]
+pub(crate) fn maybe_corrupt_load(
+    state: &mut RunState<'_>,
+    fid: FuncId,
+    id: InstId,
+    bits: u64,
+) -> u64 {
+    let n = state.loads;
+    state.loads = n + 1;
+    if n != state.load_target {
+        return bits;
+    }
+    let inj = state.injection.expect("load target armed without a plan");
+    state.injected_site = Some((fid, id));
+    state.injected_at_inst = Some(state.dynamic_insts);
+    inj.model.corrupt_bits(inj.bit, 64, bits)
+}
+
+/// Counts one `store` execution and corrupts the image being written
+/// when a [`FaultModel::StoreValue`] plan targets it.
+#[inline]
+pub(crate) fn maybe_corrupt_store(
+    state: &mut RunState<'_>,
+    fid: FuncId,
+    id: InstId,
+    bits: u64,
+) -> u64 {
+    let n = state.stores;
+    state.stores = n + 1;
+    if n != state.store_target {
+        return bits;
+    }
+    let inj = state.injection.expect("store target armed without a plan");
+    state.injected_site = Some((fid, id));
+    state.injected_at_inst = Some(state.dynamic_insts);
+    inj.model.corrupt_bits(inj.bit, 64, bits)
+}
+
+/// Counts one conditional-branch decision and inverts it when a
+/// [`FaultModel::BranchFlip`] plan targets it.
+#[inline]
+pub(crate) fn maybe_flip_branch(
+    state: &mut RunState<'_>,
+    fid: FuncId,
+    id: InstId,
+    taken: bool,
+) -> bool {
+    let n = state.cond_branches;
+    state.cond_branches = n + 1;
+    if n != state.branch_target {
+        return taken;
+    }
+    state.injected_site = Some((fid, id));
+    state.injected_at_inst = Some(state.dynamic_insts);
+    !taken
 }
 
 /// Register-resident image of the per-instruction counters, for the
@@ -450,7 +754,13 @@ pub(crate) struct HotCounters {
     pub(crate) dynamic_insts: u64,
     next_stop: u64,
     eligible_results: u64,
+    loads: u64,
+    stores: u64,
+    cond_branches: u64,
     fast_target: u64,
+    load_target: u64,
+    store_target: u64,
+    branch_target: u64,
     slow_inject: bool,
 }
 
@@ -460,7 +770,13 @@ impl HotCounters {
             dynamic_insts: state.dynamic_insts,
             next_stop: state.next_stop,
             eligible_results: state.eligible_results,
+            loads: state.loads,
+            stores: state.stores,
+            cond_branches: state.cond_branches,
             fast_target: state.fast_target,
+            load_target: state.load_target,
+            store_target: state.store_target,
+            branch_target: state.branch_target,
             slow_inject: state.slow_inject,
         }
     }
@@ -468,6 +784,9 @@ impl HotCounters {
     pub(crate) fn flush(&self, state: &mut RunState<'_>) {
         state.dynamic_insts = self.dynamic_insts;
         state.eligible_results = self.eligible_results;
+        state.loads = self.loads;
+        state.stores = self.stores;
+        state.cond_branches = self.cond_branches;
     }
 
     /// Exact-cadence budget/poll charge for the compiled engine.
@@ -530,10 +849,69 @@ impl HotCounters {
             Some(inj) => {
                 state.injected_site = Some((fid, id));
                 state.injected_at_inst = Some(self.dynamic_insts);
-                bits ^ (1u64 << (inj.bit % width))
+                inj.model.corrupt_bits(inj.bit, width, bits)
             }
             None => bits,
         }
+    }
+
+    /// Bit-image twin of [`maybe_corrupt_load`].
+    #[inline]
+    pub(crate) fn load_bits(
+        &mut self,
+        state: &mut RunState<'_>,
+        fid: FuncId,
+        id: InstId,
+        bits: u64,
+    ) -> u64 {
+        let n = self.loads;
+        self.loads = n + 1;
+        if n != self.load_target {
+            return bits;
+        }
+        let inj = state.injection.expect("load target armed without a plan");
+        state.injected_site = Some((fid, id));
+        state.injected_at_inst = Some(self.dynamic_insts);
+        inj.model.corrupt_bits(inj.bit, 64, bits)
+    }
+
+    /// Bit-image twin of [`maybe_corrupt_store`].
+    #[inline]
+    pub(crate) fn store_bits(
+        &mut self,
+        state: &mut RunState<'_>,
+        fid: FuncId,
+        id: InstId,
+        bits: u64,
+    ) -> u64 {
+        let n = self.stores;
+        self.stores = n + 1;
+        if n != self.store_target {
+            return bits;
+        }
+        let inj = state.injection.expect("store target armed without a plan");
+        state.injected_site = Some((fid, id));
+        state.injected_at_inst = Some(self.dynamic_insts);
+        inj.model.corrupt_bits(inj.bit, 64, bits)
+    }
+
+    /// Twin of [`maybe_flip_branch`] for the pre-decoded engine.
+    #[inline]
+    pub(crate) fn branch_edge(
+        &mut self,
+        state: &mut RunState<'_>,
+        fid: FuncId,
+        id: InstId,
+        taken: bool,
+    ) -> bool {
+        let n = self.cond_branches;
+        self.cond_branches = n + 1;
+        if n != self.branch_target {
+            return taken;
+        }
+        state.injected_site = Some((fid, id));
+        state.injected_at_inst = Some(self.dynamic_insts);
+        !taken
     }
 }
 
@@ -583,10 +961,10 @@ fn inject_slow_bits(
         _ => n,
     };
     match state.injection {
-        Some(inj) if inj.target == counter => {
+        Some(inj) if inj.model.injects_values() && inj.target == counter => {
             state.injected_site = Some((fid, id));
             state.injected_at_inst = Some(state.dynamic_insts);
-            bits ^ (1u64 << (inj.bit % width))
+            inj.model.corrupt_bits(inj.bit, width, bits)
         }
         _ => bits,
     }
@@ -749,6 +1127,7 @@ impl<'m> Machine<'m> {
                         else_bb,
                     } => {
                         let c = self.eval(func, &regs, args, *cond).as_bool();
+                        let c = maybe_flip_branch(state, fid, id, c);
                         prev_block = Some(block);
                         block = if c { *then_bb } else { *else_bb };
                         continue 'outer;
@@ -760,16 +1139,18 @@ impl<'m> Machine<'m> {
                     Inst::Store { value, addr, .. } => {
                         let v = self.eval(func, &regs, args, *value);
                         let a = self.eval(func, &regs, args, *addr).as_ptr();
-                        if let Err(t) = state.memory.store(a, v.bits()) {
+                        let bits = maybe_corrupt_store(state, fid, id, v.bits());
+                        if let Err(t) = state.memory.store(a, bits) {
                             break 'outer Err(Stop::Trap(t));
                         }
                     }
                     _ => {
-                        let result =
-                            match self.exec_value_inst(state, func, &regs, args, inst, depth) {
-                                Ok(v) => v,
-                                Err(stop) => break 'outer Err(stop),
-                            };
+                        let result = match self
+                            .exec_value_inst(state, func, fid, id, &regs, args, inst, depth)
+                        {
+                            Ok(v) => v,
+                            Err(stop) => break 'outer Err(stop),
+                        };
                         let result = if is_fault_site(inst) {
                             maybe_inject(state, fid, id, result)
                         } else {
@@ -807,10 +1188,13 @@ impl<'m> Machine<'m> {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn exec_value_inst(
         &self,
         state: &mut RunState<'_>,
         func: &Function,
+        fid: FuncId,
+        id: InstId,
         regs: &[RtVal],
         args: &[RtVal],
         inst: &Inst,
@@ -861,6 +1245,7 @@ impl<'m> Machine<'m> {
             Inst::Load { ty, addr } => {
                 let a = self.eval(func, regs, args, *addr).as_ptr();
                 let bits = state.memory.load(a).map_err(Stop::Trap)?;
+                let bits = maybe_corrupt_load(state, fid, id, bits);
                 Ok(RtVal::from_bits(*ty, bits))
             }
             Inst::Gep { base, index, .. } => {

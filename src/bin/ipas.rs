@@ -23,8 +23,17 @@
 //!                                   # verification after every pass
 //!   ipas inject <file.scil> --target K --bit B   # single fault run
 //!   ipas explain <file.scil> [--runs N]    # per-instruction decisions
+//!   ipas campaign <file.scil> [--runs N] [--seed S] [--fault-model M|all]
+//!                 [--journal FILE]  # raw campaign, SOC/DDC/benign breakdown
 //!   ipas fuzz [--runs N] [--seed S] [--oracle NAME]   # differential fuzzing
 //! ```
+//!
+//! `--fault-model` (on `campaign`, `train`, `protect`, `explain`, and
+//! `fuzz`) selects what each injection corrupts: `single-bit`
+//! (default), `burst<W>` (W adjacent bits), `stuck-value`,
+//! `load-value`, `store-value`, or `branch-flip`. `ipas campaign
+//! --fault-model all` compares every model side by side. See
+//! `docs/fault-models.md`.
 //!
 //! `--engine` selects the execution engine for every interpreted run:
 //! `compiled` (default; the pre-decoded engine) or `reference` (the
@@ -48,11 +57,15 @@
 use std::process::ExitCode;
 
 use ipas::core::{
-    campaign_fingerprint, dataset_from_artifact, eval_fingerprint, evaluate_variant,
-    memoized_models, memoized_protect, train_top_configs, training_fingerprint,
-    training_set_artifact, LabelKind, ProtectionPolicy, TrainedClassifier,
+    campaign_fingerprint, compare_fault_models, dataset_from_artifact, eval_fingerprint,
+    evaluate_variant, memoized_models, memoized_protect, render_model_table, summary_fingerprint,
+    train_top_configs, training_fingerprint, training_set_artifact, LabelKind, ProtectionPolicy,
+    TrainedClassifier,
 };
-use ipas::faultsim::{run_campaign, CampaignConfig, CampaignResult, Engine, Outcome, Workload};
+use ipas::faultsim::{
+    margin_of_error, run_campaign, run_campaign_with, CampaignConfig, CampaignOptions,
+    CampaignResult, Engine, FaultModel, Outcome, Workload,
+};
 use ipas::interp::{CompiledMachine, CompiledProgram, Injection, Machine, RunConfig};
 use ipas::store::{CacheOutcome, CampaignSummary, Key, Store, TrainedModel, TrainingSet};
 use ipas::svm::{Dataset, GridOptions};
@@ -93,16 +106,32 @@ impl Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: ipas <protect|train|run|ir|inject|explain> <file.scil> [--runs N] [--eval N] \
-         [--top N] [--tolerance T] [--seed S] [--out FILE] [--policy ipas|full|baseline] \
-         [--model NAME|KEY] [--save-model NAME] [--target K] [--bit B]\n\
-         \x20      [--engine reference|compiled]\n\
+        "usage: ipas <protect|train|run|ir|inject|explain|campaign> <file.scil> [--runs N] \
+         [--eval N] [--top N] [--tolerance T] [--seed S] [--out FILE] \
+         [--policy ipas|full|baseline] [--model NAME|KEY] [--save-model NAME] [--target K] \
+         [--bit B]\n\
+         \x20      [--engine reference|compiled] [--fault-model M]\n\
+         \x20      ipas campaign <file.scil> [--runs N] [--seed S] [--fault-model M|all]\n\
+         \x20                    [--journal FILE]   # raw campaign + SOC/DDC/benign breakdown\n\
          \x20      ipas ir <file.scil> [--passes SPEC] [--stats] [--verify-each]\n\
          \x20      ipas passes <list|verify> [--passes SPEC]\n\
          \x20      ipas models <list|verify|gc>   (requires IPAS_STORE_DIR)\n\
-         \x20      ipas fuzz [--runs N] [--seed S] [--oracle NAME]"
+         \x20      ipas fuzz [--runs N] [--seed S] [--oracle NAME] [--fault-model M]\n\
+         fault models M: single-bit (default), burst<W>, stuck-value, load-value, store-value, \
+         branch-flip"
     );
     ExitCode::FAILURE
+}
+
+/// Parses `--fault-model` (default single-bit).
+fn parse_fault_model(args: &Args) -> Result<FaultModel, ExitCode> {
+    match args.flags.get("fault-model") {
+        None => Ok(FaultModel::default()),
+        Some(v) => v.parse().map_err(|e: String| {
+            eprintln!("ipas: {e}");
+            ExitCode::FAILURE
+        }),
+    }
 }
 
 /// Opens the store named by `IPAS_STORE_DIR`, exiting loudly on error.
@@ -369,6 +398,146 @@ fn execute(
     }
 }
 
+/// `ipas campaign` — a raw fault-injection campaign (no training, no
+/// protection) with a SOC/DDC/Benign breakdown. `--fault-model all`
+/// runs one campaign per model and prints the comparison table with
+/// per-model classifier F-scores against the single-bit baseline.
+fn campaign_command(args: &Args, module: ipas::ir::Module, engine: Engine) -> ExitCode {
+    let runs = args.get("runs", 400usize);
+    let seed = args.get("seed", 2016u64);
+    let tolerance = args.get("tolerance", 1e-9f64);
+    let workload = match Workload::serial("cli", module, tolerance) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("ipas: golden run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "[ipas] golden run: {} dynamic insts — {} value sites, {} loads, {} stores, {} branches",
+        workload.nominal_insts,
+        workload.eligible_results,
+        workload.loads,
+        workload.stores,
+        workload.cond_branches
+    );
+
+    if args.flags.get("fault-model").map(String::as_str) == Some("all") {
+        if args.flags.contains_key("journal") {
+            eprintln!("ipas: --journal is per-model; use a single --fault-model with it");
+            return ExitCode::FAILURE;
+        }
+        let base = CampaignConfig {
+            runs,
+            seed,
+            threads: 0,
+            engine,
+            fault_model: FaultModel::default(),
+        };
+        eprintln!(
+            "[ipas] comparing {} fault models, {runs} injections each ...",
+            FaultModel::ALL.len()
+        );
+        match compare_fault_models(&workload, &base, &FaultModel::ALL, &GridOptions::quick()) {
+            Ok(rows) => {
+                print!("{}", render_model_table(&rows));
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("ipas: campaign failed: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        let fault_model = match parse_fault_model(args) {
+            Ok(m) => m,
+            Err(code) => return code,
+        };
+        let config = CampaignConfig {
+            runs,
+            seed,
+            threads: 0,
+            engine,
+            fault_model,
+        };
+        let options = CampaignOptions {
+            journal: args
+                .flags
+                .get("journal")
+                .map(std::path::PathBuf::from)
+                .filter(|p| !p.as_os_str().is_empty()),
+            ..CampaignOptions::default()
+        };
+        let store = match store_from_env() {
+            Ok(s) => s,
+            Err(code) => return code,
+        };
+        let run = || -> Result<CampaignSummary, String> {
+            eprintln!("[ipas] campaign: {runs} {fault_model} injections ...");
+            let result = run_campaign_with(&workload, &config, &options)
+                .map_err(|e| format!("campaign failed: {e}"))?;
+            if result.resumed > 0 {
+                eprintln!(
+                    "[ipas] journal: {} records resumed from disk",
+                    result.resumed
+                );
+            }
+            Ok(summarize("cli", &config, &result))
+        };
+        // Journaled runs always execute (the journal file is the
+        // point); otherwise the summary memoizes under a model-aware
+        // key when a store is configured.
+        let summary = match (&store, options.journal.is_none()) {
+            (Some(store), true) => {
+                let fp = summary_fingerprint(&workload.module, "cli", &config);
+                let key = Key::of(&fp);
+                match store.memoize(&key, run) {
+                    Ok((summary, outcome)) => {
+                        log_stage("campaign", outcome, &key);
+                        Ok(summary)
+                    }
+                    Err(ipas::store::MemoError::Store(e)) => {
+                        Err(format!("artifact store failed: {e}"))
+                    }
+                    Err(ipas::store::MemoError::Compute(e)) => Err(e),
+                }
+            }
+            _ => run(),
+        };
+        let summary = match summary {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("ipas: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        // §5.5 outcome slots: [symptom, detected, masked, soc].
+        let classified: u64 = summary.counts.iter().sum();
+        let soc = summary.counts[3];
+        let ddc = summary.counts[0] + summary.counts[1];
+        let benign = summary.counts[2];
+        let moe = margin_of_error(summary.fraction(3), classified as usize);
+        println!(
+            "model {fault_model}: {classified} classified runs, {} harness failures",
+            summary.harness_failures
+        );
+        println!(
+            "  SOC    {soc:>6}  ({:.2}% ± {:.2}%)",
+            summary.fraction(3) * 100.0,
+            moe * 100.0
+        );
+        println!(
+            "  DDC    {ddc:>6}  (detected {} + symptom {})",
+            summary.counts[1], summary.counts[0]
+        );
+        println!("  benign {benign:>6}");
+        if let Some(path) = &options.journal {
+            eprintln!("[ipas] journal written to {}", path.display());
+        }
+        ExitCode::SUCCESS
+    }
+}
+
 fn fuzz_command(args: &Args) -> ExitCode {
     let runs = args.get("runs", 500u64);
     let seed = args.get("seed", 2016u64);
@@ -389,10 +558,21 @@ fn fuzz_command(args: &Args) -> ExitCode {
             }
         },
     };
+    let fault_model = match args.flags.get("fault-model") {
+        None => None,
+        Some(v) => match v.parse::<FaultModel>() {
+            Ok(m) => Some(m),
+            Err(e) => {
+                eprintln!("ipas: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
     let report = ipas::fuzz::run_fuzz(ipas::fuzz::FuzzConfig {
         runs,
         seed,
         oracles,
+        fault_model,
     });
     println!("{}", report.summary());
     for f in &report.findings {
@@ -565,7 +745,7 @@ fn main() -> ExitCode {
     };
     if !matches!(
         cmd.as_str(),
-        "protect" | "train" | "run" | "ir" | "inject" | "explain"
+        "protect" | "train" | "run" | "ir" | "inject" | "explain" | "campaign"
     ) {
         return usage();
     }
@@ -585,6 +765,7 @@ fn main() -> ExitCode {
     };
 
     match cmd.as_str() {
+        "campaign" => campaign_command(&args, module, engine),
         "ir" => {
             let pipeline_flags = ["passes", "stats", "verify-each"];
             if pipeline_flags.iter().any(|f| args.flags.contains_key(*f)) {
@@ -638,6 +819,10 @@ fn main() -> ExitCode {
         "explain" => {
             let runs = args.get("runs", 400usize);
             let seed = args.get("seed", 2016u64);
+            let fault_model = match parse_fault_model(&args) {
+                Ok(m) => m,
+                Err(code) => return code,
+            };
             let workload = match Workload::serial("cli", module, args.get("tolerance", 1e-9f64)) {
                 Ok(w) => w,
                 Err(e) => {
@@ -653,6 +838,7 @@ fn main() -> ExitCode {
                     seed,
                     threads: 0,
                     engine,
+                    fault_model,
                 },
             ) {
                 Ok(campaign) => campaign,
@@ -726,6 +912,10 @@ fn main() -> ExitCode {
             let runs = args.get("runs", 400usize);
             let top = args.get("top", 3usize);
             let seed = args.get("seed", 2016u64);
+            let fault_model = match parse_fault_model(&args) {
+                Ok(m) => m,
+                Err(code) => return code,
+            };
             let policy_name = args
                 .flags
                 .get("policy")
@@ -761,6 +951,7 @@ fn main() -> ExitCode {
                 seed,
                 threads: 0,
                 engine,
+                fault_model,
             };
             let set = match training_stage(store.as_ref(), &workload, &config) {
                 Ok(set) => set,
@@ -813,6 +1004,10 @@ fn main() -> ExitCode {
             let eval_runs = args.get("eval", 192usize);
             let top = args.get("top", 3usize);
             let seed = args.get("seed", 2016u64);
+            let fault_model = match parse_fault_model(&args) {
+                Ok(m) => m,
+                Err(code) => return code,
+            };
             let policy_name = args
                 .flags
                 .get("policy")
@@ -870,6 +1065,7 @@ fn main() -> ExitCode {
                             seed,
                             threads: 0,
                             engine,
+                            fault_model,
                         };
                         let set = match training_stage(store.as_ref(), &workload, &config) {
                             Ok(set) => set,
@@ -943,6 +1139,7 @@ fn main() -> ExitCode {
                 seed: seed ^ 0xE7A1,
                 threads: 0,
                 engine,
+                fault_model,
             };
             if store.is_some() {
                 let unprot = match eval_stage(
