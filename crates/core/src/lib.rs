@@ -51,6 +51,7 @@ pub mod classifier;
 pub mod duplication;
 pub mod experiment;
 pub mod faultmodels;
+pub mod jobspec;
 pub mod memo;
 pub mod policy;
 pub mod selection;

@@ -22,7 +22,7 @@ use std::sync::Mutex;
 
 use ipas_ir::{FuncId, InstId};
 
-use crate::{FaultModel, HarnessFailure, InjectionRecord, Outcome, SamplingMode};
+use crate::{FaultModel, HarnessFailure, InjectionRecord, Outcome, PlanOutcome, SamplingMode};
 
 /// Journal format version, bumped on incompatible line-format changes.
 /// Version 2 added the fault model to the header and a per-record
@@ -214,6 +214,29 @@ impl CampaignJournal {
         self.append_line(&encode_failure(failure))
     }
 
+    /// Appends a whole chunk of completed plans in one write + flush.
+    ///
+    /// This is the chunked-execution writer: a worker that finished a
+    /// stolen chunk checkpoints all of its outcomes with a single
+    /// syscall instead of one write per plan. The buffer is written
+    /// sequentially, so a crash mid-append can only tear the *final*
+    /// line on disk — exactly the torn-tail shape resume already
+    /// tolerates; every complete line before the tear is recovered.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CampaignJournal::append_record`].
+    pub fn append_outcomes(&self, outcomes: &[(usize, PlanOutcome)]) -> Result<(), JournalError> {
+        if outcomes.is_empty() {
+            return Ok(());
+        }
+        let mut buf = String::with_capacity(outcomes.len() * 128);
+        for (plan, outcome) in outcomes {
+            buf.push_str(&outcome_line(*plan, outcome));
+        }
+        self.append_line(&buf)
+    }
+
     fn append_line(&self, line: &str) -> Result<(), JournalError> {
         // Recover the file from a poisoned lock: the holder only ever
         // writes a complete line or fails, and a torn tail is tolerated
@@ -336,6 +359,18 @@ fn encode_record(plan: usize, r: &InjectionRecord) -> String {
         .num("latency", r.latency)
         .num("attempts", r.attempts as u64)
         .finish()
+}
+
+/// Encodes one completed plan as its journal line (newline-terminated).
+///
+/// This is the journal-v2 wire format: the serving layer streams these
+/// exact lines to watching clients, so a journal on disk and a watched
+/// event stream are byte-interchangeable.
+pub fn outcome_line(plan: usize, outcome: &PlanOutcome) -> String {
+    match outcome {
+        PlanOutcome::Record(record) => encode_record(plan, record),
+        PlanOutcome::Failure(failure) => encode_failure(failure),
+    }
 }
 
 fn encode_failure(f: &HarnessFailure) -> String {
@@ -839,6 +874,84 @@ mod tests {
             other => panic!("expected corruption at line 2, got {other:?}"),
         }
         std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn chunked_append_resumes_after_torn_chunk() {
+        // The chunked writer emits several lines in one write. A crash
+        // mid-write tears the buffer at an arbitrary byte offset — but
+        // the tear is always at the *end* of the file, so resume must
+        // recover every complete line of the chunk and drop only the
+        // torn tail.
+        let path = temp_path("torn-chunk");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (journal, _) = CampaignJournal::open(&path, &header()).expect("fresh");
+            let chunk: Vec<(usize, PlanOutcome)> = vec![
+                (0, PlanOutcome::Record(record(0))),
+                (1, PlanOutcome::Record(record(1))),
+                (
+                    2,
+                    PlanOutcome::Failure(HarnessFailure {
+                        plan_index: 2,
+                        target: 7,
+                        bit: 3,
+                        attempts: 3,
+                        error: "boom".into(),
+                    }),
+                ),
+                (3, PlanOutcome::Record(record(3))),
+            ];
+            journal.append_outcomes(&chunk).expect("chunk append");
+            journal
+                .append_outcomes(&[])
+                .expect("empty chunk is a no-op");
+        }
+        let full = std::fs::read_to_string(&path).expect("read");
+        assert_eq!(full.lines().count(), 5, "header + 4 outcome lines");
+
+        // Tear the final record mid-line (crash during the chunk write).
+        let keep = full.len() - 25;
+        std::fs::write(&path, &full.as_bytes()[..keep]).expect("tear");
+        let (_j, resume) = CampaignJournal::open(&path, &header()).expect("torn chunk tolerated");
+        assert_eq!(resume.len(), 3, "complete lines of the chunk survive");
+        assert_eq!(resume.records[&0], record(0));
+        assert_eq!(resume.records[&1], record(1));
+        assert_eq!(resume.failures[&2].error, "boom");
+        assert!(!resume.contains(3), "torn final record is re-executed");
+
+        // Tear exactly on a line boundary: the last line is simply
+        // missing, nothing is unparsable, and resume still works.
+        let boundary = full
+            .char_indices()
+            .filter(|&(_, c)| c == '\n')
+            .map(|(i, _)| i + 1)
+            .nth(3)
+            .expect("fourth newline");
+        std::fs::write(&path, &full.as_bytes()[..boundary]).expect("boundary tear");
+        let (_j, resume) = CampaignJournal::open(&path, &header()).expect("boundary tolerated");
+        assert_eq!(resume.len(), 3);
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn outcome_line_matches_single_append_encoding() {
+        // The public wire encoder and the journal's own appends must
+        // stay byte-identical: the serving layer streams outcome_line
+        // output while the journal file is written through
+        // append_record/append_outcomes.
+        let rec_line = outcome_line(4, &PlanOutcome::Record(record(4)));
+        assert_eq!(rec_line, encode_record(4, &record(4)));
+        let failure = HarnessFailure {
+            plan_index: 9,
+            target: 1,
+            bit: 2,
+            attempts: 3,
+            error: "e".into(),
+        };
+        let fail_line = outcome_line(9, &PlanOutcome::Failure(failure.clone()));
+        assert_eq!(fail_line, encode_failure(&failure));
+        assert!(rec_line.ends_with('\n') && fail_line.ends_with('\n'));
     }
 
     #[test]

@@ -73,15 +73,12 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
-use ipas_interp::{
-    CompiledMachine, CompiledProgram, Injection, Machine, OutputStream, RtVal, RunConfig, RunError,
-    RunOutput, RunStatus,
-};
+use ipas_interp::{Machine, OutputStream, RtVal, RunConfig, RunError, RunOutput, RunStatus};
 use ipas_ir::{FuncId, InstId, Module};
 use rand::{Rng, SeedableRng};
 
-pub use ipas_interp::{Engine, FaultModel, SiteClass};
-pub use journal::{CampaignJournal, JournalError, JournalHeader, ResumeState};
+pub use ipas_interp::{CompiledMachine, CompiledProgram, Engine, FaultModel, Injection, SiteClass};
+pub use journal::{outcome_line, CampaignJournal, JournalError, JournalHeader, ResumeState};
 
 /// The four §5.5 outcome categories of one fault-injection run.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -695,9 +692,160 @@ pub fn run_campaign_sampled(
 }
 
 /// A completed plan index: either classified or degraded.
-enum Slot {
+///
+/// This is the unit the campaign runtime journals and the serving layer
+/// streams: one pre-drawn plan either produced an [`InjectionRecord`]
+/// or exhausted its retry budget as a [`HarnessFailure`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanOutcome {
+    /// The plan was executed and classified.
     Record(InjectionRecord),
+    /// The plan exhausted its retry budget without classifying.
     Failure(HarnessFailure),
+}
+
+/// Pre-draws the full injection plan list for a campaign.
+///
+/// All plans come from one RNG seeded with [`CampaignConfig::seed`], so
+/// the plan list is a pure function of (workload, config, sampling) —
+/// independent of thread count, scheduling, chunking, and resume state.
+/// A resumed or chunked campaign re-draws the identical list and skips
+/// the indices it already has.
+///
+/// The draw sequence is byte-compatible with the pre-model runtime for
+/// [`FaultModel::SingleBit`]: same RNG, same integer widths (u64 space,
+/// u32 bit), same per-plan draw order — so existing single-bit journals
+/// and golden records stay valid.
+///
+/// # Errors
+///
+/// [`CampaignError::NoDynamicSites`] when the model's sample space is
+/// empty; [`CampaignError::UnsupportedSampling`] for static-site
+/// sampling of non-value models; [`CampaignError::Run`] /
+/// [`CampaignError::MissingProfile`] when static-site profiling fails.
+pub fn draw_plans(
+    workload: &Workload,
+    config: &CampaignConfig,
+    sampling: SamplingMode,
+) -> Result<Vec<Injection>, CampaignError> {
+    let model = config.fault_model;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    match sampling {
+        SamplingMode::DynamicUniform => {
+            let space = workload.dynamic_sites(model.site_class());
+            if space == 0 {
+                return Err(CampaignError::NoDynamicSites { model });
+            }
+            let domain = model.bit_domain();
+            Ok((0..config.runs)
+                .map(|_| {
+                    Injection::for_model(model, rng.gen_range(0..space), rng.gen_range(0..domain))
+                })
+                .collect())
+        }
+        SamplingMode::StaticUniform => {
+            if !model.injects_values() {
+                return Err(CampaignError::UnsupportedSampling { model });
+            }
+            let domain = model.bit_domain();
+            let profile = profile_sites(workload)?;
+            Ok((0..config.runs)
+                .map(|_| {
+                    let (site, count) = profile[rng.gen_range(0..profile.len())];
+                    Injection {
+                        target: rng.gen_range(0..count),
+                        bit: rng.gen_range(0..domain),
+                        site: Some(site),
+                        model,
+                    }
+                })
+                .collect())
+        }
+    }
+}
+
+/// Executes individual pre-drawn plans against one workload, with the
+/// full resilient-runtime behavior (panic isolation, deterministic
+/// jittered retries, wall-clock watchdog) of [`run_campaign_with`].
+///
+/// One executor is one worker's execution context: it owns a private
+/// machine (resettable when compiled), so a pool splits a plan list
+/// into chunks and gives each worker its own executor. Executing the
+/// same `(plan_index, plan)` on any executor built from the same
+/// campaign inputs yields the identical [`PlanOutcome`] — chunking is
+/// invisible in the results.
+pub struct PlanExecutor<'w> {
+    workload: &'w Workload,
+    runner: Runner<'w>,
+    seed: u64,
+    retry: RetryPolicy,
+    run_deadline: Option<Duration>,
+    budget: u64,
+}
+
+impl<'w> PlanExecutor<'w> {
+    /// Builds an executor for one worker. Pass the campaign's shared
+    /// [`CompiledProgram`] lowering to run on the compiled engine, or
+    /// `None` for the reference tree-walker.
+    pub fn new(
+        workload: &'w Workload,
+        seed: u64,
+        options: &CampaignOptions,
+        compiled: Option<&'w CompiledProgram>,
+    ) -> Self {
+        PlanExecutor {
+            workload,
+            runner: match compiled {
+                Some(program) => Runner::Compiled(CompiledMachine::new(program)),
+                None => Runner::Reference(&workload.module),
+            },
+            seed,
+            retry: options.retry,
+            run_deadline: options.run_deadline,
+            budget: RunConfig::budget_from_nominal(workload.nominal_insts),
+        }
+    }
+
+    /// Executes one plan under panic isolation and the retry policy.
+    /// Never fails: an unclassifiable plan degrades to
+    /// [`PlanOutcome::Failure`].
+    pub fn execute(&mut self, plan_index: usize, plan: Injection) -> PlanOutcome {
+        let max_attempts = self.retry.max_attempts.max(1);
+        let mut last_error = String::new();
+        for attempt in 1..=max_attempts {
+            // Every attempt starts from pristine machine state: the
+            // reference machine is rebuilt (it is stateless) and the
+            // compiled machine resets itself on entry, so a panicking
+            // attempt cannot leak state into the retry. The verifier
+            // runs inside the same isolation boundary — a panic in user
+            // verification code is a harness failure, not an abort.
+            let attempt_result = catch_unwind(AssertUnwindSafe(|| {
+                classify_plan(
+                    self.workload,
+                    &mut self.runner,
+                    self.run_deadline,
+                    self.budget,
+                    plan,
+                    attempt,
+                )
+            }));
+            match attempt_result {
+                Ok(Ok(record)) => return PlanOutcome::Record(record),
+                Ok(Err(message)) => last_error = message,
+                Err(payload) => last_error = format!("panicked: {}", panic_message(&payload)),
+            }
+            if attempt < max_attempts {
+                std::thread::sleep(backoff_delay(&self.retry, self.seed, plan_index, attempt));
+            }
+        }
+        PlanOutcome::Failure(HarnessFailure {
+            plan_index,
+            target: plan.target,
+            bit: plan.bit,
+            attempts: max_attempts,
+            error: last_error,
+        })
+    }
 }
 
 /// One worker's execution engine. The compiled variant holds a
@@ -740,44 +888,7 @@ pub fn run_campaign_with(
     // set is independent of scheduling — and of resume state: a resumed
     // campaign draws the identical plan list and simply skips the
     // journaled indices.
-    // The draw sequence below is byte-compatible with the pre-model
-    // runtime for `FaultModel::SingleBit`: same RNG, same integer
-    // widths (u64 space, u32 bit), same per-plan draw order — so
-    // existing single-bit journals and golden records stay valid.
-    let model = config.fault_model;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
-    let plans: Vec<Injection> = match options.sampling {
-        SamplingMode::DynamicUniform => {
-            let space = workload.dynamic_sites(model.site_class());
-            if space == 0 {
-                return Err(CampaignError::NoDynamicSites { model });
-            }
-            let domain = model.bit_domain();
-            (0..config.runs)
-                .map(|_| {
-                    Injection::for_model(model, rng.gen_range(0..space), rng.gen_range(0..domain))
-                })
-                .collect()
-        }
-        SamplingMode::StaticUniform => {
-            if !model.injects_values() {
-                return Err(CampaignError::UnsupportedSampling { model });
-            }
-            let domain = model.bit_domain();
-            let profile = profile_sites(workload)?;
-            (0..config.runs)
-                .map(|_| {
-                    let (site, count) = profile[rng.gen_range(0..profile.len())];
-                    Injection {
-                        target: rng.gen_range(0..count),
-                        bit: rng.gen_range(0..domain),
-                        site: Some(site),
-                        model,
-                    }
-                })
-                .collect()
-        }
-    };
+    let plans = draw_plans(workload, config, options.sampling)?;
 
     let (journal, resume) = match &options.journal {
         Some(path) => {
@@ -798,19 +909,19 @@ pub fn run_campaign_with(
     };
     let resumed = resume.len();
 
-    let slots: Vec<Mutex<Option<Slot>>> = (0..plans.len()).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<PlanOutcome>>> =
+        (0..plans.len()).map(|_| Mutex::new(None)).collect();
     let ResumeState { records, failures } = resume;
     for (i, record) in records {
-        *lock_ignoring_poison(&slots[i]) = Some(Slot::Record(record));
+        *lock_ignoring_poison(&slots[i]) = Some(PlanOutcome::Record(record));
     }
     for (i, failure) in failures {
-        *lock_ignoring_poison(&slots[i]) = Some(Slot::Failure(failure));
+        *lock_ignoring_poison(&slots[i]) = Some(PlanOutcome::Failure(failure));
     }
     let pending: Vec<usize> = (0..plans.len())
         .filter(|i| lock_ignoring_poison(&slots[*i]).is_none())
         .collect();
 
-    let budget = RunConfig::budget_from_nominal(workload.nominal_insts);
     let threads = if config.threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -833,10 +944,8 @@ pub fn run_campaign_with(
     std::thread::scope(|scope| {
         for _ in 0..threads.max(1) {
             scope.spawn(|| {
-                let mut runner = match &compiled {
-                    Some(program) => Runner::Compiled(CompiledMachine::new(program)),
-                    None => Runner::Reference(&workload.module),
-                };
+                let mut executor =
+                    PlanExecutor::new(workload, config.seed, options, compiled.as_ref());
                 loop {
                     if abort.load(Ordering::Relaxed) {
                         break;
@@ -846,19 +955,11 @@ pub fn run_campaign_with(
                         break;
                     }
                     let i = pending[n];
-                    let slot = execute_plan(
-                        workload,
-                        &mut runner,
-                        config.seed,
-                        options,
-                        budget,
-                        i,
-                        plans[i],
-                    );
+                    let slot = executor.execute(i, plans[i]);
                     if let Some(journal) = &journal {
                         let written = match &slot {
-                            Slot::Record(record) => journal.append_record(i, record),
-                            Slot::Failure(failure) => journal.append_failure(failure),
+                            PlanOutcome::Record(record) => journal.append_record(i, record),
+                            PlanOutcome::Failure(failure) => journal.append_failure(failure),
                         };
                         if let Err(e) = written {
                             // Losing the checkpoint makes further work
@@ -884,8 +985,8 @@ pub fn run_campaign_with(
     let mut missing = 0usize;
     for slot in slots {
         match slot.into_inner().unwrap_or_else(|e| e.into_inner()) {
-            Some(Slot::Record(record)) => records.push(record),
-            Some(Slot::Failure(failure)) => harness_failures.push(failure),
+            Some(PlanOutcome::Record(record)) => records.push(record),
+            Some(PlanOutcome::Failure(failure)) => harness_failures.push(failure),
             None => missing += 1,
         }
     }
@@ -909,51 +1010,11 @@ fn lock_ignoring_poison<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-/// Executes one plan under panic isolation and the retry policy.
-fn execute_plan(
-    workload: &Workload,
-    runner: &mut Runner<'_>,
-    seed: u64,
-    options: &CampaignOptions,
-    budget: u64,
-    plan_index: usize,
-    plan: Injection,
-) -> Slot {
-    let max_attempts = options.retry.max_attempts.max(1);
-    let mut last_error = String::new();
-    for attempt in 1..=max_attempts {
-        // Every attempt starts from pristine machine state: the
-        // reference machine is rebuilt (it is stateless) and the
-        // compiled machine resets itself on entry, so a panicking
-        // attempt cannot leak state into the retry. The verifier runs
-        // inside the same isolation boundary — a panic in user
-        // verification code is a harness failure, not an abort.
-        let attempt_result = catch_unwind(AssertUnwindSafe(|| {
-            classify_plan(workload, &mut *runner, options, budget, plan, attempt)
-        }));
-        match attempt_result {
-            Ok(Ok(record)) => return Slot::Record(record),
-            Ok(Err(message)) => last_error = message,
-            Err(payload) => last_error = format!("panicked: {}", panic_message(&payload)),
-        }
-        if attempt < max_attempts {
-            std::thread::sleep(backoff_delay(&options.retry, seed, plan_index, attempt));
-        }
-    }
-    Slot::Failure(HarnessFailure {
-        plan_index,
-        target: plan.target,
-        bit: plan.bit,
-        attempts: max_attempts,
-        error: last_error,
-    })
-}
-
 /// One isolated attempt: run the interpreter and classify the output.
 fn classify_plan(
     workload: &Workload,
     runner: &mut Runner<'_>,
-    options: &CampaignOptions,
+    run_deadline: Option<Duration>,
     budget: u64,
     plan: Injection,
     attempt: u32,
@@ -965,7 +1026,7 @@ fn classify_plan(
             max_insts: budget,
             injection: Some(plan),
             profile_sites: false,
-            wall_limit: options.run_deadline,
+            wall_limit: run_deadline,
         })
         .map_err(|e| format!("interpreter rejected the run: {e}"))?;
     let site = out

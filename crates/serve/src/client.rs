@@ -1,0 +1,221 @@
+//! Client side of the serve protocol: one request per connection.
+//!
+//! Streaming calls split their output: artifact payloads go to the
+//! `out` writer (stdout in the CLI) byte-for-byte, progress and journal
+//! events go to the `log` writer (stderr), so piping a protected module
+//! straight into a file works.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+
+use ipas_core::jobspec::JobSpec;
+use ipas_store::Fields;
+
+use crate::proto;
+use crate::ServeError;
+
+/// A client handle bound to a daemon socket path.
+#[derive(Debug, Clone)]
+pub struct Client {
+    socket: PathBuf,
+}
+
+/// Outcome of a streaming call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobOutcome {
+    /// The job id the daemon assigned (deterministic per spec).
+    pub id: String,
+    /// Whether the submission coalesced onto an existing job.
+    pub coalesced: bool,
+}
+
+impl Client {
+    /// Binds a client to `socket` (no connection is made yet).
+    pub fn new(socket: impl AsRef<Path>) -> Self {
+        Client {
+            socket: socket.as_ref().to_path_buf(),
+        }
+    }
+
+    fn connect(&self) -> Result<(BufReader<UnixStream>, UnixStream), ServeError> {
+        let stream = UnixStream::connect(&self.socket)
+            .map_err(|e| ServeError::io(self.socket.clone(), e))?;
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| ServeError::io(self.socket.clone(), e))?,
+        );
+        Ok((reader, stream))
+    }
+
+    /// Sends one request line and reads one response line.
+    fn round_trip(&self, request: &str) -> Result<String, ServeError> {
+        let (mut reader, mut writer) = self.connect()?;
+        writer
+            .write_all(request.as_bytes())
+            .and_then(|()| writer.flush())
+            .map_err(|e| ServeError::io(self.socket.clone(), e))?;
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| ServeError::io(self.socket.clone(), e))?;
+        check_error(&line)?;
+        Ok(line)
+    }
+
+    /// Submits a job. With `watch`, streams events until the job ends:
+    /// the result payload goes to `out`, everything else to `log`.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, daemon refusals, and job failures.
+    pub fn submit(
+        &self,
+        spec: &JobSpec,
+        watch: bool,
+        out: &mut impl Write,
+        log: &mut impl Write,
+    ) -> Result<JobOutcome, ServeError> {
+        let mut request = spec.encode("submit");
+        if watch {
+            // Splice the watch flag into the submit line.
+            request.truncate(request.trim_end().len() - 1);
+            request.push_str(",\"watch\":1}\n");
+        }
+        let (mut reader, mut writer) = self.connect()?;
+        writer
+            .write_all(request.as_bytes())
+            .and_then(|()| writer.flush())
+            .map_err(|e| ServeError::io(self.socket.clone(), e))?;
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| ServeError::io(self.socket.clone(), e))?;
+        check_error(&line)?;
+        let ack = Fields::parse(line.trim_end())
+            .filter(|f| f.kind() == "accepted")
+            .ok_or_else(|| ServeError::Protocol(format!("unexpected ack {line:?}")))?;
+        let outcome = JobOutcome {
+            id: ack
+                .str("id")
+                .ok_or_else(|| ServeError::Protocol("ack without id".into()))?
+                .to_string(),
+            coalesced: ack.num("coalesced") == Some(1),
+        };
+        if watch {
+            stream_to_end(&mut reader, out, log)?;
+        }
+        Ok(outcome)
+    }
+
+    /// One-line progress snapshot for a job id.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures and unknown-job refusals.
+    pub fn status(&self, id: &str) -> Result<String, ServeError> {
+        self.round_trip(&proto::id_request_line("status", id))
+    }
+
+    /// Streams an existing job's events from the beginning (replay +
+    /// live) until it ends.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, unknown-job refusals, and job failures.
+    pub fn watch(
+        &self,
+        id: &str,
+        out: &mut impl Write,
+        log: &mut impl Write,
+    ) -> Result<(), ServeError> {
+        let (mut reader, mut writer) = self.connect()?;
+        writer
+            .write_all(proto::id_request_line("watch", id).as_bytes())
+            .and_then(|()| writer.flush())
+            .map_err(|e| ServeError::io(self.socket.clone(), e))?;
+        stream_to_end(&mut reader, out, log)
+    }
+
+    /// Requests cancellation; returns the post-cancel status line.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures and unknown-job refusals.
+    pub fn cancel(&self, id: &str) -> Result<String, ServeError> {
+        self.round_trip(&proto::id_request_line("cancel", id))
+    }
+
+    /// Daemon-wide counters line.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn stats(&self) -> Result<String, ServeError> {
+        self.round_trip(&proto::bare_request_line("stats"))
+    }
+
+    /// Asks the daemon to shut down gracefully; returns its final
+    /// counters line.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn shutdown(&self) -> Result<String, ServeError> {
+        self.round_trip(&proto::bare_request_line("shutdown"))
+    }
+}
+
+fn check_error(line: &str) -> Result<(), ServeError> {
+    if let Some(fields) = Fields::parse(line.trim_end()) {
+        if fields.kind() == "error" {
+            return Err(ServeError::Refused(
+                fields.str("reason").unwrap_or("unknown").to_string(),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Reads event lines until the stream ends, demultiplexing payload vs
+/// progress. Returns an error when the job failed or the stream ended
+/// without a terminal event.
+fn stream_to_end(
+    reader: &mut impl BufRead,
+    out: &mut impl Write,
+    log: &mut impl Write,
+) -> Result<(), ServeError> {
+    let io = |e: std::io::Error| ServeError::Protocol(format!("stream failed: {e}"));
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).map_err(io)? == 0 {
+            return Err(ServeError::Protocol(
+                "stream ended without a terminal event".into(),
+            ));
+        }
+        let Some(fields) = Fields::parse(line.trim_end()) else {
+            continue;
+        };
+        match fields.kind() {
+            "result" => {
+                out.write_all(fields.str("payload").unwrap_or_default().as_bytes())
+                    .map_err(io)?;
+                return Ok(());
+            }
+            "failed" => {
+                return Err(ServeError::JobFailed(
+                    fields.str("reason").unwrap_or("unknown").to_string(),
+                ));
+            }
+            "error" => {
+                return Err(ServeError::Refused(
+                    fields.str("reason").unwrap_or("unknown").to_string(),
+                ));
+            }
+            _ => {
+                log.write_all(line.as_bytes()).map_err(io)?;
+            }
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Job state shared between the daemon's execution tasks and its
+//! connection handlers.
+//!
+//! A [`Job`] is one deduplicated unit of work. Every subscriber —
+//! the submitting client, later identical submissions that coalesced
+//! onto it, `watch` connections — reads the same [`EventLog`], so all
+//! of them observe a byte-identical stream: replayed history first,
+//! then live events, closed by a terminal `result` or `failed` line.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+use ipas_core::jobspec::JobSpec;
+
+/// Lifecycle of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, checkpointed, waiting for a worker.
+    Queued,
+    /// At least one chunk has started executing.
+    Running,
+    /// Finished; the result event holds the artifact payload.
+    Done,
+    /// Terminated with an error (recorded in [`Progress::error`]).
+    Failed,
+    /// Canceled by a client before completion.
+    Canceled,
+}
+
+impl JobState {
+    /// Stable wire label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Canceled => "canceled",
+        }
+    }
+
+    /// Whether the job will make no further progress.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed | JobState::Canceled)
+    }
+}
+
+/// Mutable progress snapshot of a job.
+#[derive(Debug, Clone)]
+pub struct Progress {
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Plans executed by *this* daemon process.
+    pub executed: usize,
+    /// Total plans of the campaign (0 until prepared).
+    pub total: usize,
+    /// Plans recovered from the checkpoint journal instead of being
+    /// re-executed.
+    pub resumed: usize,
+    /// Failure reason when [`JobState::Failed`].
+    pub error: Option<String>,
+}
+
+/// An append-only, replayable event stream with blocking reads.
+///
+/// Writers push newline-terminated flat-JSON lines; readers poll
+/// [`EventLog::next`] with their own cursor, blocking for live events
+/// until the log is closed. History is never discarded, so a late
+/// subscriber replays the identical stream an early one saw.
+#[derive(Debug, Default)]
+pub struct EventLog {
+    lines: Mutex<(Vec<String>, bool)>,
+    bell: Condvar,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl EventLog {
+    /// Appends one event line (must be newline-terminated) and wakes
+    /// blocked readers. Ignored after close.
+    pub fn push(&self, line: String) {
+        let mut guard = lock(&self.lines);
+        if !guard.1 {
+            guard.0.push(line);
+            self.bell.notify_all();
+        }
+    }
+
+    /// Closes the log: readers drain the remaining history and then see
+    /// end-of-stream. Idempotent.
+    pub fn close(&self) {
+        lock(&self.lines).1 = true;
+        self.bell.notify_all();
+    }
+
+    /// Returns the event at `cursor`, blocking while the log is open
+    /// and the cursor is at the tip. `None` means the log closed and
+    /// history is exhausted.
+    pub fn next(&self, cursor: usize) -> Option<String> {
+        let mut guard = lock(&self.lines);
+        loop {
+            if cursor < guard.0.len() {
+                return Some(guard.0[cursor].clone());
+            }
+            if guard.1 {
+                return None;
+            }
+            guard = self.bell.wait(guard).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Number of events currently in the log.
+    pub fn len(&self) -> usize {
+        lock(&self.lines).0.len()
+    }
+
+    /// Whether the log has no events yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One deduplicated job: its immutable spec plus shared mutable state.
+#[derive(Debug)]
+pub struct Job {
+    /// Deterministic id ([`JobSpec::job_id`]); the dedup key.
+    pub id: String,
+    /// The work description.
+    pub spec: JobSpec,
+    /// Mutable progress, behind a lock.
+    pub progress: Mutex<Progress>,
+    /// The shared subscriber stream.
+    pub events: EventLog,
+    /// Cooperative cancellation flag checked by chunk tasks.
+    pub cancel: AtomicBool,
+}
+
+impl Job {
+    /// Creates a queued job for `spec`.
+    pub fn new(spec: JobSpec) -> Self {
+        Job {
+            id: spec.job_id(),
+            spec,
+            progress: Mutex::new(Progress {
+                state: JobState::Queued,
+                executed: 0,
+                total: 0,
+                resumed: 0,
+                error: None,
+            }),
+            events: EventLog::default(),
+            cancel: AtomicBool::new(false),
+        }
+    }
+
+    /// Snapshot of the current progress.
+    pub fn progress(&self) -> Progress {
+        lock(&self.progress).clone()
+    }
+
+    /// Mutates progress under the lock.
+    pub fn update<R>(&self, f: impl FnOnce(&mut Progress) -> R) -> R {
+        f(&mut lock(&self.progress))
+    }
+
+    /// Whether cancellation was requested.
+    pub fn canceled(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+
+    /// Requests cancellation (chunks drain cooperatively).
+    pub fn request_cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipas_core::jobspec::{JobKind, JobSpec};
+
+    fn spec() -> JobSpec {
+        JobSpec::new(
+            JobKind::Campaign,
+            "t",
+            "wl",
+            "fn main() -> int { output_i(1); return 0; }",
+        )
+    }
+
+    #[test]
+    fn event_log_replays_history_to_late_readers() {
+        let log = EventLog::default();
+        log.push("a\n".to_string());
+        log.push("b\n".to_string());
+        log.close();
+        log.push("after-close\n".to_string());
+        assert_eq!(log.next(0).as_deref(), Some("a\n"));
+        assert_eq!(log.next(1).as_deref(), Some("b\n"));
+        assert_eq!(log.next(2), None);
+    }
+
+    #[test]
+    fn event_log_blocks_until_pushed_or_closed() {
+        let log = EventLog::default();
+        std::thread::scope(|scope| {
+            let reader = scope.spawn(|| (log.next(0), log.next(1)));
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            log.push("live\n".to_string());
+            log.close();
+            let (first, second) = reader.join().unwrap();
+            assert_eq!(first.as_deref(), Some("live\n"));
+            assert_eq!(second, None);
+        });
+    }
+
+    #[test]
+    fn job_ids_and_state_transitions() {
+        let job = Job::new(spec());
+        assert_eq!(job.id, spec().job_id());
+        assert_eq!(job.progress().state, JobState::Queued);
+        assert!(!JobState::Running.is_terminal());
+        assert!(JobState::Done.is_terminal());
+        job.update(|p| p.state = JobState::Done);
+        assert_eq!(job.progress().state, JobState::Done);
+        assert!(!job.canceled());
+        job.request_cancel();
+        assert!(job.canceled());
+    }
+}

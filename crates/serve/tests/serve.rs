@@ -1,0 +1,216 @@
+//! End-to-end daemon tests over a real Unix socket: request
+//! coalescing with byte-identical responses, graceful shutdown with
+//! journal-backed restart-resume, and tenant quotas.
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use ipas_core::jobspec::{JobKind, JobSpec};
+use ipas_serve::{run_daemon, Client, DaemonConfig, ServeError};
+use ipas_store::Fields;
+
+const SOURCE: &str = "fn main() -> int { let s: int = 0;
+    for (let i: int = 0; i < 300; i = i + 1) { s = s + i * i; }
+    output_i(s); return 0; }";
+
+fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("ipas-serve-tests")
+        .join(format!("{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn config(dir: &Path, threads: usize, chunk: usize) -> DaemonConfig {
+    DaemonConfig {
+        socket: dir.join("serve.sock"),
+        state_dir: dir.join("state"),
+        threads,
+        shards: threads,
+        chunk,
+        quota_runs: 0,
+    }
+}
+
+/// Starts the daemon in a thread and waits for the socket to accept.
+fn start_daemon(
+    config: DaemonConfig,
+) -> (std::thread::JoinHandle<ipas_serve::DaemonReport>, Client) {
+    let socket = config.socket.clone();
+    let handle = std::thread::spawn(move || run_daemon(config).expect("daemon runs"));
+    let client = Client::new(&socket);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if socket.exists() && client.stats().is_ok() {
+            return (handle, client);
+        }
+        assert!(Instant::now() < deadline, "daemon never came up");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn field(line: &str, key: &str) -> u64 {
+    Fields::parse(line.trim_end())
+        .and_then(|f| f.num(key))
+        .unwrap_or_else(|| panic!("no field {key:?} in {line:?}"))
+}
+
+#[test]
+fn concurrent_identical_submissions_run_one_campaign_byte_identically() {
+    let dir = test_dir("coalesce");
+    let (daemon, client) = start_daemon(config(&dir, 2, 8));
+
+    let mut spec = JobSpec::new(JobKind::Protect, "acme", "sumsq", SOURCE);
+    spec.policy = "full".to_string();
+    spec.runs = 64;
+    spec.seed = 3;
+
+    let results: Vec<(Vec<u8>, bool)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let client = client.clone();
+                let spec = spec.clone();
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut log = Vec::new();
+                    let outcome = client
+                        .submit(&spec, true, &mut out, &mut log)
+                        .expect("submission succeeds");
+                    assert_eq!(outcome.id, spec.job_id());
+                    (out, outcome.coalesced)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let leaders = results.iter().filter(|(_, coalesced)| !coalesced).count();
+    assert_eq!(leaders, 1, "exactly one submission created the job");
+    let payload = &results[0].0;
+    assert!(!payload.is_empty());
+    let text = String::from_utf8_lossy(payload);
+    assert!(text.contains("policy full"), "payload: {text}");
+    assert!(
+        text.contains("fn @main"),
+        "payload carries the protected IR"
+    );
+    for (other, _) in &results[1..] {
+        assert_eq!(other, payload, "all subscribers get identical bytes");
+    }
+
+    // The dedup invariant: four submissions, one campaign's worth of
+    // injections executed.
+    let stats = client.stats().unwrap();
+    assert_eq!(field(&stats, "executed_runs"), 64);
+    assert_eq!(field(&stats, "jobs"), 1);
+
+    client.shutdown().unwrap();
+    let report = daemon.join().unwrap();
+    assert_eq!(report.executed_runs, 64);
+    assert_eq!(report.jobs, 1);
+}
+
+#[test]
+fn graceful_shutdown_drains_and_restart_resumes_from_journal() {
+    let dir = test_dir("resume");
+    let cfg = config(&dir, 1, 4);
+
+    // Phase 1: submit a large campaign and shut down immediately — the
+    // single worker can only finish its in-flight chunk.
+    let (daemon, client) = start_daemon(cfg.clone());
+    let mut spec = JobSpec::new(JobKind::Campaign, "acme", "sumsq", SOURCE);
+    spec.runs = 4000;
+    spec.seed = 9;
+    let outcome = client
+        .submit(&spec, false, &mut Vec::new(), &mut Vec::new())
+        .unwrap();
+    assert!(!outcome.coalesced);
+    client.shutdown().unwrap();
+    let report_a = daemon.join().unwrap();
+    assert!(
+        (report_a.executed_runs as usize) < spec.runs,
+        "daemon A must stop mid-job for this test to exercise resume \
+         (executed {})",
+        report_a.executed_runs
+    );
+    let checkpoint = cfg
+        .state_dir
+        .join("jobs")
+        .join(format!("{}.job", spec.job_id()));
+    assert!(checkpoint.exists(), "unfinished job keeps its checkpoint");
+
+    // Phase 2: a fresh daemon on the same state restores the job and
+    // finishes exactly the remaining plans.
+    let (daemon, client) = start_daemon(cfg.clone());
+    let mut out = Vec::new();
+    client
+        .watch(&spec.job_id(), &mut out, &mut Vec::new())
+        .expect("restored job completes");
+    let text = String::from_utf8_lossy(&out);
+    assert!(text.contains("runs 4000"), "payload: {text}");
+    let status = client.status(&spec.job_id()).unwrap();
+    assert_eq!(
+        field(&status, "resumed"),
+        report_a.executed_runs,
+        "every journaled plan was recovered, none re-executed"
+    );
+    client.shutdown().unwrap();
+    let report_b = daemon.join().unwrap();
+    assert_eq!(
+        report_a.executed_runs + report_b.executed_runs,
+        spec.runs as u64,
+        "the two processes together execute each plan exactly once"
+    );
+    assert!(!checkpoint.exists(), "finished job clears its checkpoint");
+
+    // Phase 3: resubmitting the finished spec performs zero new
+    // injections — the journal is the campaign cache across restarts.
+    let (daemon, client) = start_daemon(cfg);
+    let mut again = Vec::new();
+    client
+        .submit(&spec, true, &mut again, &mut Vec::new())
+        .unwrap();
+    assert_eq!(again, out, "replayed artifact is byte-identical");
+    let stats = client.stats().unwrap();
+    assert_eq!(field(&stats, "executed_runs"), 0);
+    client.shutdown().unwrap();
+    daemon.join().unwrap();
+}
+
+#[test]
+fn tenant_quotas_refuse_over_budget_submissions() {
+    let dir = test_dir("quota");
+    let mut cfg = config(&dir, 2, 8);
+    cfg.quota_runs = 100;
+    let (daemon, client) = start_daemon(cfg);
+
+    let mut spec = JobSpec::new(JobKind::Campaign, "smalltenant", "sumsq", SOURCE);
+    spec.runs = 80;
+    client
+        .submit(&spec, true, &mut Vec::new(), &mut Vec::new())
+        .unwrap();
+
+    // A different job for the same tenant blows the 100-run budget...
+    let mut over = spec.clone();
+    over.seed = 1;
+    let refused = over.clone();
+    match client.submit(&refused, false, &mut Vec::new(), &mut Vec::new()) {
+        Err(ServeError::Refused(reason)) => assert!(reason.contains("quota"), "{reason}"),
+        other => panic!("expected quota refusal, got {other:?}"),
+    }
+
+    // ...but another tenant has its own ledger, and resubmitting the
+    // *identical* first job coalesces without a fresh charge.
+    over.tenant = "bigtenant".to_string();
+    client
+        .submit(&over, true, &mut Vec::new(), &mut Vec::new())
+        .unwrap();
+    let outcome = client
+        .submit(&spec, false, &mut Vec::new(), &mut Vec::new())
+        .unwrap();
+    assert!(outcome.coalesced);
+
+    client.shutdown().unwrap();
+    daemon.join().unwrap();
+}

@@ -1,0 +1,166 @@
+//! Single-flight request coalescing.
+//!
+//! When several threads want the same expensive, deterministic artifact
+//! at the same time, only one should compute it. [`SingleFlight`] keys
+//! in-progress computations by string: the first caller to
+//! [`SingleFlight::begin`] a key becomes the **leader** and computes;
+//! later callers become **followers**, blocking until the leader
+//! finishes and then reading the leader's stored result (see
+//! [`crate::Store::memoize_shared`]). Leadership releases on drop, so a
+//! panicking leader wakes its followers instead of deadlocking them —
+//! one of them retries as the new leader.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One in-progress computation: followers wait on `done`.
+#[derive(Debug, Default)]
+struct FlightSlot {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// A keyed single-flight table (see module docs).
+#[derive(Debug, Default)]
+pub struct SingleFlight {
+    inflight: Mutex<HashMap<String, Arc<FlightSlot>>>,
+}
+
+/// The caller's role for one [`SingleFlight::begin`] call.
+///
+/// Holding a leader entry marks the key in flight; dropping it (after
+/// computing, or by unwinding) releases the key and wakes all
+/// followers. A follower entry is returned only *after* the leader
+/// finished, and carries no obligations.
+#[derive(Debug)]
+pub struct FlightEntry<'f> {
+    flight: &'f SingleFlight,
+    key: String,
+    leader: bool,
+}
+
+impl FlightEntry<'_> {
+    /// Whether this caller must compute the value.
+    pub fn is_leader(&self) -> bool {
+        self.leader
+    }
+}
+
+impl Drop for FlightEntry<'_> {
+    fn drop(&mut self) {
+        if !self.leader {
+            return;
+        }
+        let slot = self
+            .flight
+            .inflight
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&self.key);
+        if let Some(slot) = slot {
+            *slot.done.lock().unwrap_or_else(|e| e.into_inner()) = true;
+            slot.cv.notify_all();
+        }
+    }
+}
+
+impl SingleFlight {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        SingleFlight::default()
+    }
+
+    /// Joins the flight for `key`: returns a leader entry immediately
+    /// when no computation is in progress, otherwise blocks until the
+    /// current leader finishes and returns a follower entry.
+    pub fn begin(&self, key: &str) -> FlightEntry<'_> {
+        let slot = {
+            let mut inflight = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+            match inflight.get(key) {
+                Some(slot) => Arc::clone(slot),
+                None => {
+                    inflight.insert(key.to_string(), Arc::new(FlightSlot::default()));
+                    return FlightEntry {
+                        flight: self,
+                        key: key.to_string(),
+                        leader: true,
+                    };
+                }
+            }
+        };
+        let mut done = slot.done.lock().unwrap_or_else(|e| e.into_inner());
+        while !*done {
+            done = slot.cv.wait(done).unwrap_or_else(|e| e.into_inner());
+        }
+        FlightEntry {
+            flight: self,
+            key: key.to_string(),
+            leader: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn single_caller_is_leader() {
+        let flight = SingleFlight::new();
+        assert!(flight.begin("k").is_leader());
+        // Leadership released on drop: leading again works.
+        assert!(flight.begin("k").is_leader());
+    }
+
+    #[test]
+    fn concurrent_callers_coalesce_to_one_leader() {
+        let flight = SingleFlight::new();
+        let leaders = AtomicUsize::new(0);
+        let computed = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let entry = flight.begin("job");
+                    if entry.is_leader() {
+                        leaders.fetch_add(1, Ordering::SeqCst);
+                        // Simulate the expensive compute while leading.
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                        computed.fetch_add(1, Ordering::SeqCst);
+                    } else {
+                        // A follower only observes a *finished* leader.
+                        assert_eq!(computed.load(Ordering::SeqCst), 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(leaders.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_interfere() {
+        let flight = SingleFlight::new();
+        let a = flight.begin("a");
+        let b = flight.begin("b");
+        assert!(a.is_leader() && b.is_leader());
+    }
+
+    #[test]
+    fn panicking_leader_wakes_followers() {
+        let flight = Arc::new(SingleFlight::new());
+        let f2 = Arc::clone(&flight);
+        std::thread::scope(|scope| {
+            let panicker = scope.spawn(move || {
+                let _entry = f2.begin("k");
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                panic!("leader died");
+            });
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            // This would deadlock forever if the leader's unwind did
+            // not release the key.
+            let entry = flight.begin("k");
+            assert!(!entry.is_leader());
+            assert!(panicker.join().is_err());
+        });
+    }
+}

@@ -30,7 +30,9 @@
 //! (see [`STORE_DIR_ENV`]), mirroring `IPAS_JOURNAL_DIR`.
 
 pub mod artifact;
+pub mod flight;
 pub mod hash;
+pub mod json;
 pub mod registry;
 pub mod store;
 
@@ -38,8 +40,10 @@ pub use artifact::{
     ArtifactKind, CampaignSummary, FuzzRepro, ProtectedModule, StoreError, TrainedModel,
     TrainingRow, TrainingSet,
 };
+pub use flight::{FlightEntry, SingleFlight};
 pub use hash::{Fingerprint, FingerprintBuilder};
+pub use json::{Fields, LineBuilder};
 pub use registry::{Registry, RegistryEntry};
 pub use store::{
-    CacheOutcome, Entry, GcReport, Key, MemoError, Store, VerifyReport, STORE_DIR_ENV,
+    CacheOutcome, Entry, GcReport, Key, MemoError, PinGuard, Store, VerifyReport, STORE_DIR_ENV,
 };

@@ -39,7 +39,7 @@ pub struct Registry {
     tmp_dir: PathBuf,
 }
 
-fn valid_name(name: &str) -> bool {
+pub(crate) fn valid_name(name: &str) -> bool {
     !name.is_empty()
         && name.len() <= 64
         && name
@@ -122,9 +122,16 @@ impl Registry {
                 sanitize_note(&e.note)
             ));
         }
-        let tmp = self
-            .tmp_dir
-            .join(format!("registry-{}.tmp", std::process::id()));
+        // The staging name carries a per-process counter as well as the
+        // pid: two registries (or two threads on one registry) writing
+        // concurrently in the same process must never share a staging
+        // file, or one rename publishes the other's half-written text.
+        static WRITE_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let tmp = self.tmp_dir.join(format!(
+            "registry-{}-{}.tmp",
+            std::process::id(),
+            WRITE_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
         fs::write(&tmp, &text).map_err(|e| StoreError::Io {
             path: tmp.clone(),
             error: e,

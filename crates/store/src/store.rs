@@ -18,13 +18,17 @@
 //! processes both compute the same deterministic artifact and the
 //! second rename wins with identical bytes.
 
+use std::collections::HashMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use crate::artifact::{decode_from, encode, inspect, ArtifactKind, Payload, StoreError};
+use crate::flight::SingleFlight;
 use crate::hash::Fingerprint;
-use crate::registry::Registry;
+use crate::registry::{valid_name, Registry};
 
 /// Environment variable naming the store directory (mirrors
 /// `IPAS_JOURNAL_DIR`).
@@ -108,8 +112,12 @@ pub struct VerifyReport {
 /// What [`Store::gc`] did.
 #[derive(Debug, Default)]
 pub struct GcReport {
-    /// Objects kept because the registry references them.
+    /// Objects kept because a registry (root or tenant) references them.
     pub kept: usize,
+    /// Objects kept because a live [`PinGuard`] marked them in use.
+    pub in_use: usize,
+    /// Stale staging files swept from `tmp/` (left by crashed writers).
+    pub stale_tmp: usize,
     /// Objects removed (kind, key).
     pub removed: Vec<(ArtifactKind, Key)>,
 }
@@ -124,28 +132,76 @@ pub enum CacheOutcome {
     /// An artifact existed but was damaged or version-skewed; it was
     /// recomputed and overwritten.
     Recovered,
+    /// Another thread was already computing the same key
+    /// ([`Store::memoize_shared`]); this caller waited for it and read
+    /// its stored result instead of recomputing.
+    Coalesced,
 }
 
 impl CacheOutcome {
     /// `true` when the stage's compute step was skipped.
     pub fn is_hit(self) -> bool {
-        matches!(self, CacheOutcome::Hit)
+        matches!(self, CacheOutcome::Hit | CacheOutcome::Coalesced)
     }
 
-    /// Log label (`hit` / `miss` / `recovered`).
+    /// Log label (`hit` / `miss` / `recovered` / `coalesced`).
     pub fn label(self) -> &'static str {
         match self {
             CacheOutcome::Hit => "hit",
             CacheOutcome::Miss => "miss",
             CacheOutcome::Recovered => "recovered",
+            CacheOutcome::Coalesced => "coalesced",
         }
     }
 }
 
+/// In-process pin table: (kind tag, key) → number of live guards.
+type PinTable = Arc<Mutex<HashMap<(&'static str, String), usize>>>;
+
+/// Marks one object as in use for as long as the guard lives:
+/// [`Store::gc`] will not remove a pinned object. Obtained from
+/// [`Store::pin`]; dropping the guard unpins (pins are reference
+/// counted, so overlapping guards on one key compose).
+#[derive(Debug)]
+pub struct PinGuard {
+    pins: PinTable,
+    kind: &'static str,
+    key: String,
+}
+
+impl Drop for PinGuard {
+    fn drop(&mut self) {
+        let mut pins = self.pins.lock().unwrap_or_else(|e| e.into_inner());
+        let slot = (self.kind, std::mem::take(&mut self.key));
+        if let Some(count) = pins.get_mut(&slot) {
+            *count -= 1;
+            if *count == 0 {
+                pins.remove(&slot);
+            }
+        }
+    }
+}
+
+/// Staging files older than this are considered abandoned by a crashed
+/// writer and swept by [`Store::gc`]. Generous enough that no live
+/// writer holds a staging file this long.
+const STALE_TMP_AGE: Duration = Duration::from_secs(15 * 60);
+
 /// A content-addressed artifact store rooted at a directory.
+///
+/// Clones share the same root *and* the same in-process pin table, so a
+/// store handed to worker threads protects their in-flight artifacts
+/// from a concurrent [`Store::gc`] on any other clone.
 #[derive(Debug, Clone)]
 pub struct Store {
     root: PathBuf,
+    /// The registry backing [`Store::registry`]: the shared root
+    /// `registry.tsv`, or a per-tenant file under `registries/`.
+    registry_file: PathBuf,
+    /// Tenant namespace, when scoped via [`Store::for_tenant`].
+    tenant: Option<String>,
+    /// Objects currently in use by this process (see [`Store::pin`]).
+    pins: PinTable,
 }
 
 fn io_err(path: &Path, error: std::io::Error) -> StoreError {
@@ -167,7 +223,64 @@ impl Store {
             let dir = root.join(sub);
             fs::create_dir_all(&dir).map_err(|e| io_err(&dir, e))?;
         }
-        Ok(Store { root })
+        let registry_file = root.join("registry.tsv");
+        Ok(Store {
+            root,
+            registry_file,
+            tenant: None,
+            pins: Arc::default(),
+        })
+    }
+
+    /// Scopes this store to a tenant namespace.
+    ///
+    /// Tenants share the object pool (content addressing dedups
+    /// identical artifacts across tenants for free) but each gets a
+    /// private registry at `registries/<tenant>.tsv` — names registered
+    /// by one tenant are invisible to the others, and every tenant
+    /// registry is a gc root alongside the shared one. The returned
+    /// store shares this store's pin table.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::BadName`] for an invalid tenant name (same rules
+    /// as registry names); [`StoreError::Io`] when the registries
+    /// directory cannot be created.
+    pub fn for_tenant(&self, tenant: &str) -> Result<Store, StoreError> {
+        if !valid_name(tenant) {
+            return Err(StoreError::BadName(tenant.to_string()));
+        }
+        let dir = self.root.join("registries");
+        fs::create_dir_all(&dir).map_err(|e| io_err(&dir, e))?;
+        Ok(Store {
+            root: self.root.clone(),
+            registry_file: dir.join(format!("{tenant}.tsv")),
+            tenant: Some(tenant.to_string()),
+            pins: Arc::clone(&self.pins),
+        })
+    }
+
+    /// The tenant this store is scoped to, if any.
+    pub fn tenant(&self) -> Option<&str> {
+        self.tenant.as_deref()
+    }
+
+    /// Pins an object as in use: [`Store::gc`] keeps it while the
+    /// returned guard lives, even when no registry references it. Used
+    /// around compute-then-register windows, where a concurrent gc
+    /// would otherwise reap a freshly computed artifact before its
+    /// registry entry lands. Pins are per-process (shared across
+    /// clones of this store), not persisted.
+    pub fn pin(&self, kind: ArtifactKind, key: &Key) -> PinGuard {
+        let mut pins = self.pins.lock().unwrap_or_else(|e| e.into_inner());
+        *pins
+            .entry((kind.tag(), key.as_str().to_string()))
+            .or_insert(0) += 1;
+        PinGuard {
+            pins: Arc::clone(&self.pins),
+            kind: kind.tag(),
+            key: key.as_str().to_string(),
+        }
     }
 
     /// Opens the store named by `IPAS_STORE_DIR`, if set.
@@ -188,9 +301,10 @@ impl Store {
         &self.root
     }
 
-    /// The model registry of this store.
+    /// The model registry of this store (the tenant's registry when
+    /// scoped via [`Store::for_tenant`]).
     pub fn registry(&self) -> Registry {
-        Registry::new(self.root.join("registry.tsv"), self.root.join("tmp"))
+        Registry::new(self.registry_file.clone(), self.root.join("tmp"))
     }
 
     /// The on-disk path of an artifact (whether or not it exists).
@@ -328,31 +442,102 @@ impl Store {
         Ok(reports)
     }
 
-    /// Garbage-collects the memo cache: every object not referenced by
-    /// the model registry is removed. Registered models (and any other
-    /// registry-referenced artifact) survive; memoized stage outputs
-    /// are cache and will be re-derived on the next cold run.
+    /// Every registry whose entries are gc roots: the shared root
+    /// registry plus every tenant registry under `registries/`.
+    fn root_registries(&self) -> Result<Vec<Registry>, StoreError> {
+        let mut out = vec![Registry::new(
+            self.root.join("registry.tsv"),
+            self.root.join("tmp"),
+        )];
+        let dir = self.root.join("registries");
+        let iter = match fs::read_dir(&dir) {
+            Ok(it) => it,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+            Err(e) => return Err(io_err(&dir, e)),
+        };
+        let mut tenant_files: Vec<PathBuf> = Vec::new();
+        for dent in iter {
+            let dent = dent.map_err(|e| io_err(&dir, e))?;
+            let path = dent.path();
+            if path.extension().and_then(|e| e.to_str()) == Some("tsv") {
+                tenant_files.push(path);
+            }
+        }
+        tenant_files.sort();
+        for path in tenant_files {
+            out.push(Registry::new(path, self.root.join("tmp")));
+        }
+        Ok(out)
+    }
+
+    /// Garbage-collects the memo cache: every object that is neither
+    /// referenced by a registry (the shared root registry or any tenant
+    /// registry) nor pinned by a live [`PinGuard`] in this process is
+    /// removed. Registered artifacts survive; memoized stage outputs
+    /// are cache and will be re-derived on the next cold run. Abandoned
+    /// staging files in `tmp/` (older than 15 minutes — a crashed
+    /// writer's leftovers, never a live write) are swept too.
     ///
     /// # Errors
     ///
     /// [`StoreError::Io`].
     pub fn gc(&self) -> Result<GcReport, StoreError> {
-        let live: std::collections::HashSet<(ArtifactKind, String)> = self
-            .registry()
-            .entries()?
-            .into_iter()
-            .map(|e| (e.kind, e.key.as_str().to_string()))
-            .collect();
+        let mut live: std::collections::HashSet<(&'static str, String)> =
+            std::collections::HashSet::new();
+        for registry in self.root_registries()? {
+            for e in registry.entries()? {
+                live.insert((e.kind.tag(), e.key.as_str().to_string()));
+            }
+        }
         let mut report = GcReport::default();
         for entry in self.list()? {
-            if live.contains(&(entry.kind, entry.key.as_str().to_string())) {
+            let slot = (entry.kind.tag(), entry.key.as_str().to_string());
+            if live.contains(&slot) {
                 report.kept += 1;
+            } else if self
+                .pins
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .contains_key(&slot)
+            {
+                // Pinned: some thread is between computing this object
+                // and registering/consuming it. Taking the lock per
+                // entry (rather than snapshotting) keeps the check
+                // current against pins taken while gc walks the store.
+                report.in_use += 1;
             } else {
                 self.remove(entry.kind, &entry.key)?;
                 report.removed.push((entry.kind, entry.key));
             }
         }
+        report.stale_tmp = self.sweep_stale_tmp()?;
         Ok(report)
+    }
+
+    /// Removes staging files whose age exceeds [`STALE_TMP_AGE`].
+    fn sweep_stale_tmp(&self) -> Result<usize, StoreError> {
+        let dir = self.root.join("tmp");
+        let iter = match fs::read_dir(&dir) {
+            Ok(it) => it,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(io_err(&dir, e)),
+        };
+        let mut swept = 0;
+        for dent in iter {
+            let dent = dent.map_err(|e| io_err(&dir, e))?;
+            let stale = dent
+                .metadata()
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|t| t.elapsed().ok())
+                .is_some_and(|age| age > STALE_TMP_AGE);
+            // A vanished file was renamed into place or swept by a
+            // concurrent gc — either way it is no longer stale.
+            if stale && fs::remove_file(dent.path()).is_ok() {
+                swept += 1;
+            }
+        }
+        Ok(swept)
     }
 
     /// Memoizes one pipeline stage: returns the cached payload for
@@ -370,6 +555,11 @@ impl Store {
         key: &Key,
         compute: impl FnOnce() -> Result<P, E>,
     ) -> Result<(P, CacheOutcome), MemoError<E>> {
+        // Pin for the whole hit-check/compute/put window so a
+        // concurrent gc on another thread cannot reap the object
+        // between this stage producing it and the caller using or
+        // registering it.
+        let _pin = self.pin(P::KIND, key);
         let mut outcome = CacheOutcome::Miss;
         match self.get::<P>(key) {
             Ok(Some(p)) => return Ok((p, CacheOutcome::Hit)),
@@ -383,6 +573,48 @@ impl Store {
         let payload = compute().map_err(MemoError::Compute)?;
         self.put(key, &payload).map_err(MemoError::Store)?;
         Ok((payload, outcome))
+    }
+
+    /// [`Store::memoize`] with cross-thread coalescing: when several
+    /// threads memoize the same key concurrently, exactly one (the
+    /// single-flight leader) runs `compute`; the others block until it
+    /// finishes and read its stored artifact, reported as
+    /// [`CacheOutcome::Coalesced`]. A failed leader does not poison the
+    /// key — a waiting follower simply becomes the next leader and
+    /// retries the computation.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Store::memoize`].
+    pub fn memoize_shared<P: Payload, E>(
+        &self,
+        flight: &SingleFlight,
+        key: &Key,
+        compute: impl FnOnce() -> Result<P, E>,
+    ) -> Result<(P, CacheOutcome), MemoError<E>> {
+        let _pin = self.pin(P::KIND, key);
+        let flight_key = format!("{}/{}", P::KIND.tag(), key.as_str());
+        let mut compute = Some(compute);
+        loop {
+            let entry = flight.begin(&flight_key);
+            if entry.is_leader() {
+                // `compute` is consumed at most once: only the leader
+                // arm runs it, and a leader always returns.
+                return self.memoize(key, compute.take().expect("one leader run"));
+            }
+            drop(entry);
+            // The leader finished (or died): serve its result when it
+            // landed; otherwise loop and contend for leadership.
+            match self.get::<P>(key) {
+                Ok(Some(p)) => return Ok((p, CacheOutcome::Coalesced)),
+                Ok(None) => {}
+                Err(StoreError::Io { path, error }) => {
+                    return Err(MemoError::Store(StoreError::Io { path, error }))
+                }
+                // Damaged entry: contend for leadership to recover it.
+                Err(_) => {}
+            }
+        }
     }
 }
 

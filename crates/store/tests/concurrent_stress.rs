@@ -1,0 +1,180 @@
+//! Concurrency stress for the store: many worker threads putting,
+//! getting, memoizing, registering, and garbage-collecting against one
+//! root at once. The invariants under test:
+//!
+//! * a reader never observes a torn artifact — every `get` either
+//!   misses or decodes a checksum-intact payload (tmp+rename writes);
+//! * `gc` never removes a registered object, an object pinned by a live
+//!   [`PinGuard`], or another tenant's registered objects;
+//! * `memoize_shared` coalesces concurrent identical requests to one
+//!   compute and hands every caller the identical payload.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Barrier;
+
+use ipas_store::{ArtifactKind, CacheOutcome, CampaignSummary, Key, SingleFlight, Store};
+
+fn tmp_store(name: &str) -> Store {
+    let dir = std::env::temp_dir()
+        .join("ipas-store-stress")
+        .join(format!("{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    Store::open(dir).unwrap()
+}
+
+fn summary(seed: u64) -> CampaignSummary {
+    CampaignSummary {
+        workload: "stress".into(),
+        runs: 128,
+        seed,
+        nominal_insts: 4096,
+        counts: [1, 2, 3, 4],
+        harness_failures: 0,
+    }
+}
+
+#[test]
+fn concurrent_put_get_gc_never_tears_or_reaps_live_objects() {
+    let store = tmp_store("putgetgc");
+    let registered = Key::parse("feedbead").unwrap();
+    store.put(&registered, &summary(1)).unwrap();
+    store
+        .registry()
+        .register("keep", ArtifactKind::CampaignSummary, &registered, "")
+        .unwrap();
+    let pinned = Key::parse("cafe0001").unwrap();
+    store.put(&pinned, &summary(2)).unwrap();
+    let _pin = store.pin(ArtifactKind::CampaignSummary, &pinned);
+
+    let barrier = Barrier::new(10);
+    std::thread::scope(|scope| {
+        // 8 writers hammer per-thread keys while reading the shared
+        // registered/pinned objects; 2 gc threads sweep concurrently.
+        for t in 0..8u64 {
+            let store = store.clone();
+            let barrier = &barrier;
+            let registered = registered.clone();
+            let pinned = pinned.clone();
+            scope.spawn(move || {
+                barrier.wait();
+                let key = Key::parse(&format!("aa{t:02}")).unwrap();
+                for round in 0..40 {
+                    store.put(&key, &summary(t)).unwrap();
+                    // Own key may have been gc'd between put and get
+                    // (it is unregistered); a hit must decode intact.
+                    if let Some(back) = store.get::<CampaignSummary>(&key).unwrap() {
+                        assert_eq!(back, summary(t), "torn read on round {round}");
+                    }
+                    let kept = store.get::<CampaignSummary>(&registered).unwrap();
+                    assert_eq!(kept, Some(summary(1)), "registered object vanished");
+                    let held = store.get::<CampaignSummary>(&pinned).unwrap();
+                    assert_eq!(held, Some(summary(2)), "pinned object vanished");
+                }
+            });
+        }
+        for _ in 0..2 {
+            let store = store.clone();
+            let barrier = &barrier;
+            scope.spawn(move || {
+                barrier.wait();
+                for _ in 0..40 {
+                    store.gc().unwrap();
+                }
+            });
+        }
+    });
+
+    drop(_pin);
+    let report = store.gc().unwrap();
+    assert!(store.contains(ArtifactKind::CampaignSummary, &registered));
+    assert!(
+        !store.contains(ArtifactKind::CampaignSummary, &pinned),
+        "unpinned unregistered object must be collected; report: {report:?}"
+    );
+}
+
+#[test]
+fn memoize_shared_coalesces_concurrent_identical_requests() {
+    let store = tmp_store("coalesce");
+    let flight = SingleFlight::new();
+    let key = Key::parse("0ddba11").unwrap();
+    let computes = AtomicUsize::new(0);
+    let coalesced = AtomicUsize::new(0);
+    let barrier = Barrier::new(8);
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let store = store.clone();
+            let (flight, key) = (&flight, &key);
+            let (computes, coalesced, barrier) = (&computes, &coalesced, &barrier);
+            scope.spawn(move || {
+                barrier.wait();
+                let (payload, outcome) = store
+                    .memoize_shared::<CampaignSummary, ()>(flight, key, || {
+                        computes.fetch_add(1, Ordering::SeqCst);
+                        // Widen the window so followers really overlap.
+                        std::thread::sleep(std::time::Duration::from_millis(25));
+                        Ok(summary(77))
+                    })
+                    .unwrap();
+                assert_eq!(payload, summary(77), "every caller gets identical bytes");
+                if outcome == CacheOutcome::Coalesced {
+                    coalesced.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+        }
+    });
+    assert_eq!(computes.load(Ordering::SeqCst), 1, "exactly one compute");
+    assert!(
+        coalesced.load(Ordering::SeqCst) >= 1,
+        "at least one concurrent caller must coalesce"
+    );
+}
+
+#[test]
+fn tenant_registries_are_isolated_but_share_objects_and_gc_roots() {
+    let store = tmp_store("tenants");
+    let alice = store.for_tenant("alice").unwrap();
+    let bob = store.for_tenant("bob").unwrap();
+    assert_eq!(alice.tenant(), Some("alice"));
+    assert!(store.for_tenant("../evil").is_err());
+
+    // Identical content under one key: the object pool is shared.
+    let shared = Key::parse("c0ffee").unwrap();
+    alice.put(&shared, &summary(5)).unwrap();
+    assert_eq!(
+        bob.get::<CampaignSummary>(&shared).unwrap(),
+        Some(summary(5))
+    );
+
+    // Registrations are namespaced...
+    let alices = Key::parse("a11ce").unwrap();
+    alice.put(&alices, &summary(6)).unwrap();
+    alice
+        .registry()
+        .register("model", ArtifactKind::CampaignSummary, &alices, "")
+        .unwrap();
+    assert!(bob.registry().lookup("model").unwrap().is_none());
+    assert!(alice.registry().lookup("model").unwrap().is_some());
+
+    // ...but every tenant registry is a gc root, from any handle.
+    let report = bob.gc().unwrap();
+    assert!(store.contains(ArtifactKind::CampaignSummary, &alices));
+    assert!(
+        report.removed.iter().any(|(_, k)| *k == shared),
+        "unregistered shared object is collected; report: {report:?}"
+    );
+}
+
+#[test]
+fn failed_leader_does_not_poison_the_flight_key() {
+    let store = tmp_store("failedleader");
+    let flight = SingleFlight::new();
+    let key = Key::parse("5add").unwrap();
+    let res = store.memoize_shared::<CampaignSummary, &str>(&flight, &key, || Err("boom"));
+    assert!(matches!(res, Err(ipas_store::MemoError::Compute("boom"))));
+    // The next caller leads again and succeeds.
+    let (_, outcome) = store
+        .memoize_shared::<CampaignSummary, ()>(&flight, &key, || Ok(summary(9)))
+        .unwrap();
+    assert_eq!(outcome, CacheOutcome::Miss);
+}

@@ -26,6 +26,11 @@
 //!   ipas campaign <file.scil> [--runs N] [--seed S] [--fault-model M|all]
 //!                 [--journal FILE]  # raw campaign, SOC/DDC/benign breakdown
 //!   ipas fuzz [--runs N] [--seed S] [--oracle NAME]   # differential fuzzing
+//!   ipas serve [--socket PATH] [--state DIR] [--threads N] [--shards N]
+//!              [--chunk N] [--quota-runs N]   # campaign daemon (see
+//!                                             # docs/serving.md)
+//!   ipas client <submit <file.scil>|status ID|watch ID|cancel ID|stats|shutdown>
+//!               [--socket PATH] [--kind K] [--watch] [--tenant T] ...
 //! ```
 //!
 //! `--fault-model` (on `campaign`, `train`, `protect`, `explain`, and
@@ -117,6 +122,11 @@ fn usage() -> ExitCode {
          \x20      ipas passes <list|verify> [--passes SPEC]\n\
          \x20      ipas models <list|verify|gc>   (requires IPAS_STORE_DIR)\n\
          \x20      ipas fuzz [--runs N] [--seed S] [--oracle NAME] [--fault-model M]\n\
+         \x20      ipas serve [--socket PATH] [--state DIR] [--threads N] [--shards N]\n\
+         \x20                 [--chunk N] [--quota-runs N]   # campaign daemon\n\
+         \x20      ipas client <submit <file.scil>|status ID|watch ID|cancel ID|stats|shutdown>\n\
+         \x20                  [--socket PATH] [--kind campaign|protect|train|eval] [--watch]\n\
+         \x20                  [--tenant T] [--name N] [--module-key KEY] [--deadline-ms MS]\n\
          fault models M: single-bit (default), burst<W>, stuck-value, load-value, store-value, \
          branch-flip"
     );
@@ -370,8 +380,11 @@ fn models_command(args: &Args) -> ExitCode {
                 println!("removed {:<18} {key}", kind.tag());
             }
             eprintln!(
-                "[ipas] gc: kept {} registered, removed {} unreferenced",
+                "[ipas] gc: kept {} registered, {} in use, swept {} stale tmp, \
+                 removed {} unreferenced",
                 report.kept,
+                report.in_use,
+                report.stale_tmp,
                 report.removed.len()
             );
             ExitCode::SUCCESS
@@ -716,6 +729,182 @@ fn ir_pipeline_command(args: &Args, source: &str, path: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `ipas serve`: run the campaign daemon until SIGTERM/SIGINT or a
+/// client-requested shutdown, then print what it did.
+fn serve_command(args: &Args) -> ExitCode {
+    let config = ipas::serve::DaemonConfig {
+        socket: args.get("socket", "ipas-serve.sock".to_string()).into(),
+        state_dir: args.get("state", "ipas-serve-state".to_string()).into(),
+        threads: args.get("threads", 0usize),
+        shards: args.get("shards", 0usize),
+        chunk: args.get("chunk", 32usize),
+        quota_runs: args.get("quota-runs", 0u64),
+    };
+    eprintln!(
+        "[ipas] serve: listening on {} (state {})",
+        config.socket.display(),
+        config.state_dir.display()
+    );
+    match ipas::serve::run_daemon(config) {
+        Ok(report) => {
+            eprintln!(
+                "[ipas] serve: exiting — {} jobs, {} injection runs executed, \
+                 {} tasks abandoned for restart-resume",
+                report.jobs, report.executed_runs, report.abandoned_tasks
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("ipas: serve failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `ipas client <submit|status|watch|cancel|stats|shutdown>`: talk to a
+/// running daemon. Artifact payloads go to stdout, progress to stderr.
+fn client_command(args: &Args) -> ExitCode {
+    use ipas::core::jobspec::{JobKind, JobSpec};
+
+    let Some(action) = args.positional.get(1).map(String::as_str) else {
+        eprintln!("ipas: client needs an action (submit|status|watch|cancel|stats|shutdown)");
+        return ExitCode::FAILURE;
+    };
+    let client = ipas::serve::Client::new(args.get("socket", "ipas-serve.sock".to_string()));
+    let fail = |e: ipas::serve::ServeError| {
+        eprintln!("ipas: {e}");
+        ExitCode::FAILURE
+    };
+    match action {
+        "submit" => {
+            let Some(path) = args.positional.get(2) else {
+                eprintln!("ipas: client submit needs a <file.scil> argument");
+                return ExitCode::FAILURE;
+            };
+            let source = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("ipas: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let kind_label = args.get("kind", "protect".to_string());
+            let Some(kind) = JobKind::from_label(&kind_label) else {
+                eprintln!(
+                    "ipas: unknown job kind `{kind_label}` (expected \
+                     campaign|protect|train|eval)"
+                );
+                return ExitCode::FAILURE;
+            };
+            let default_name = std::path::Path::new(path)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "job".to_string());
+            let mut spec = JobSpec::new(
+                kind,
+                &args.get("tenant", "default".to_string()),
+                &args.get("name", default_name),
+                &source,
+            );
+            spec.runs = args.get("runs", 400usize);
+            spec.eval_runs = args.get("eval", spec.runs);
+            spec.top = args.get("top", 1usize);
+            spec.seed = args.get("seed", 2016u64);
+            spec.tolerance = args.get("tolerance", 1e-9f64);
+            spec.policy = args.get("policy", "ipas".to_string());
+            spec.deadline_ms = args.get("deadline-ms", 0u64);
+            spec.engine = match args.flags.get("engine") {
+                None => Engine::default(),
+                Some(v) => match v.parse() {
+                    Ok(engine) => engine,
+                    Err(e) => {
+                        eprintln!("ipas: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+            };
+            spec.fault_model = match parse_fault_model(args) {
+                Ok(fm) => fm,
+                Err(code) => return code,
+            };
+            spec.module_key = args.flags.get("module-key").cloned();
+            if let Err(e) = spec.validate() {
+                eprintln!("ipas: invalid job: {e}");
+                return ExitCode::FAILURE;
+            }
+            let watch = args.flags.contains_key("watch");
+            let mut stdout = std::io::stdout();
+            let mut stderr = std::io::stderr();
+            match client.submit(&spec, watch, &mut stdout, &mut stderr) {
+                Ok(outcome) => {
+                    eprintln!(
+                        "[ipas] client: job {} {}",
+                        outcome.id,
+                        if outcome.coalesced {
+                            "coalesced onto an identical in-flight job"
+                        } else {
+                            "accepted"
+                        }
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(e),
+            }
+        }
+        "status" | "cancel" => {
+            let Some(id) = args.positional.get(2) else {
+                eprintln!("ipas: client {action} needs a <job-id> argument");
+                return ExitCode::FAILURE;
+            };
+            let result = if action == "status" {
+                client.status(id)
+            } else {
+                client.cancel(id)
+            };
+            match result {
+                Ok(line) => {
+                    print!("{line}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(e),
+            }
+        }
+        "watch" => {
+            let Some(id) = args.positional.get(2) else {
+                eprintln!("ipas: client watch needs a <job-id> argument");
+                return ExitCode::FAILURE;
+            };
+            let mut stdout = std::io::stdout();
+            let mut stderr = std::io::stderr();
+            match client.watch(id, &mut stdout, &mut stderr) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => fail(e),
+            }
+        }
+        "stats" | "shutdown" => {
+            let result = if action == "stats" {
+                client.stats()
+            } else {
+                client.shutdown()
+            };
+            match result {
+                Ok(line) => {
+                    print!("{line}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(e),
+            }
+        }
+        other => {
+            eprintln!(
+                "ipas: unknown client action `{other}` \
+                 (expected submit|status|watch|cancel|stats|shutdown)"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args = Args::parse();
     let Some(cmd) = args.positional.first() else {
@@ -739,6 +928,12 @@ fn main() -> ExitCode {
     }
     if cmd == "passes" {
         return passes_command(&args);
+    }
+    if cmd == "serve" {
+        return serve_command(&args);
+    }
+    if cmd == "client" {
+        return client_command(&args);
     }
     let Some(path) = args.positional.get(1) else {
         return usage();
@@ -776,8 +971,13 @@ fn main() -> ExitCode {
             }
         }
         "run" => {
-            let out = execute(&module, engine, &RunConfig::default())
-                .expect("main() exists in compiled modules");
+            let out = match execute(&module, engine, &RunConfig::default()) {
+                Ok(out) => out,
+                Err(e) => {
+                    eprintln!("ipas: run failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             for v in out.outputs.as_ints() {
                 println!("{v}");
             }
@@ -793,7 +993,7 @@ fn main() -> ExitCode {
         "inject" => {
             let target = args.get("target", 0u64);
             let bit = args.get("bit", 0u32);
-            let out = execute(
+            let out = match execute(
                 &module,
                 engine,
                 &RunConfig {
@@ -801,8 +1001,13 @@ fn main() -> ExitCode {
                     max_insts: 500_000_000,
                     ..RunConfig::default()
                 },
-            )
-            .expect("main() exists in compiled modules");
+            ) {
+                Ok(out) => out,
+                Err(e) => {
+                    eprintln!("ipas: injected run failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             eprintln!(
                 "[ipas] injected bit {bit} at eligible result {target} (site {:?})",
                 out.injected_site
@@ -856,10 +1061,16 @@ fn main() -> ExitCode {
                 eprintln!("ipas: degenerate training labels; raise --runs");
                 return ExitCode::FAILURE;
             }
-            let model = train_top_configs(&data, &GridOptions::quick(), 1)
+            let model = match train_top_configs(&data, &GridOptions::quick(), 1)
                 .into_iter()
                 .next()
-                .expect("grid is non-empty");
+            {
+                Some(model) => model,
+                None => {
+                    eprintln!("ipas: training produced no model (empty grid)");
+                    return ExitCode::FAILURE;
+                }
+            };
             let extractor = ipas::analysis::FeatureExtractor::new(&workload.module);
             // Observed outcomes per site, for context next to predictions.
             let mut observed: std::collections::HashMap<_, [usize; 4]> =
@@ -975,7 +1186,10 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let best = &models[0];
+            let Some(best) = models.first() else {
+                eprintln!("ipas: training produced no model (empty grid)");
+                return ExitCode::FAILURE;
+            };
             eprintln!(
                 "[ipas] best config: C={:.1} gamma={:.4} F-score={:.3} ({} support vectors)",
                 best.score().params.c,
@@ -1089,7 +1303,10 @@ fn main() -> ExitCode {
                                 return ExitCode::FAILURE;
                             }
                         };
-                        let best = models.into_iter().next().expect("grid is non-empty");
+                        let Some(best) = models.into_iter().next() else {
+                            eprintln!("ipas: training produced no model (empty grid)");
+                            return ExitCode::FAILURE;
+                        };
                         (best, best_key)
                     };
                     eprintln!(

@@ -14,6 +14,7 @@ pub use ipas_interp as interp;
 pub use ipas_ir as ir;
 pub use ipas_lang as lang;
 pub use ipas_mpisim as mpisim;
+pub use ipas_serve as serve;
 pub use ipas_store as store;
 pub use ipas_svm as svm;
 pub use ipas_workloads as workloads;
