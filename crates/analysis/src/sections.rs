@@ -1,0 +1,384 @@
+//! Section partitioning for compositional injection campaigns.
+//!
+//! A *section* is the unit at which injection results are cached and
+//! recombined: each function contributes one "body" section (its blocks
+//! outside every natural loop) plus one section per *maximal top-level
+//! loop nest* (overlapping natural loops — nested loops, shared
+//! headers — are unioned into one nest). Loop detection uses the same
+//! back-edge definition as [`crate::loops::LoopInfo`], so section
+//! boundaries track exactly the loop-nest boundaries the rest of the
+//! pipeline reasons about.
+//!
+//! Section identities are deterministic: sections are numbered in
+//! flattened module order (functions in module order; within a
+//! function, the body section first, then nests by first block), and a
+//! section's label (`@f`, `@f/loop0`, ...) plus its printed block text
+//! (via [`ipas_ir::printer::print_block`]) give it a stable content
+//! fingerprint. The golden partition snapshot test in `ipas-faultsim`
+//! pins both, because any silent drift would invalidate every cached
+//! per-section campaign artifact.
+
+use std::collections::HashMap;
+
+use ipas_ir::dom::DomTree;
+use ipas_ir::passmgr::{Analysis, AnalysisManager};
+use ipas_ir::{BlockId, FuncId, Function, InstId, Module};
+
+/// One function's blocks grouped into sections (see module docs).
+#[derive(Debug, Clone)]
+pub struct FuncSections {
+    /// Blocks outside every natural loop, in layout order. Empty when
+    /// every block of the function sits inside a loop.
+    pub body: Vec<BlockId>,
+    /// Maximal top-level loop nests, ordered by first block; each
+    /// nest's blocks are in layout order.
+    pub nests: Vec<Vec<BlockId>>,
+}
+
+impl FuncSections {
+    /// Computes the section grouping for `func`.
+    pub fn compute(func: &Function) -> Self {
+        let dt = DomTree::compute(func);
+        Self::compute_with(func, &dt)
+    }
+
+    /// Computes the section grouping reusing a caller-provided
+    /// dominator tree (which must be current for `func`).
+    ///
+    /// Back edges and natural-loop bodies are found exactly as
+    /// [`crate::loops::LoopInfo::compute_with`] finds them; on top of
+    /// that, overlapping loop bodies are unioned so each maximal nest
+    /// becomes one section.
+    pub fn compute_with(func: &Function, dt: &DomTree) -> Self {
+        let preds = func.predecessors();
+        let n = func.num_blocks();
+        // Union-find over per-back-edge loop ids; every block holds the
+        // id of some loop containing it (or none).
+        let mut parent: Vec<usize> = Vec::new();
+        let mut loop_of: Vec<Option<usize>> = vec![None; n];
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]]; // path halving
+                x = parent[x];
+            }
+            x
+        }
+
+        for tail in func.block_ids() {
+            if !dt.is_reachable(tail) {
+                continue;
+            }
+            for header in func.successors(tail) {
+                if !dt.dominates(header, tail) {
+                    continue;
+                }
+                // Natural loop of the back edge: the header plus every
+                // block reaching `tail` without passing through it.
+                let mut body = vec![false; n];
+                body[header.index()] = true;
+                let mut stack = vec![tail];
+                while let Some(bb) = stack.pop() {
+                    if body[bb.index()] {
+                        continue;
+                    }
+                    body[bb.index()] = true;
+                    for &p in &preds[bb.index()] {
+                        stack.push(p);
+                    }
+                }
+                let id = parent.len();
+                parent.push(id);
+                for (i, member) in body.iter().enumerate() {
+                    if !*member {
+                        continue;
+                    }
+                    if let Some(old) = loop_of[i] {
+                        // This block already belongs to another loop:
+                        // the two overlap, so they share a nest.
+                        let a = find(&mut parent, id);
+                        let b = find(&mut parent, old);
+                        parent[a.max(b)] = a.min(b);
+                    }
+                    loop_of[i] = Some(id);
+                }
+            }
+        }
+
+        // Group blocks by nest root, discovering nests in layout order
+        // of their first block.
+        let mut body = Vec::new();
+        let mut nests: Vec<Vec<BlockId>> = Vec::new();
+        let mut nest_index: HashMap<usize, usize> = HashMap::new();
+        for bb in func.block_ids() {
+            match loop_of[bb.index()] {
+                None => body.push(bb),
+                Some(id) => {
+                    let root = find(&mut parent, id);
+                    let k = *nest_index.entry(root).or_insert_with(|| {
+                        nests.push(Vec::new());
+                        nests.len() - 1
+                    });
+                    nests[k].push(bb);
+                }
+            }
+        }
+        FuncSections { body, nests }
+    }
+
+    /// Total sections this function contributes (body, when non-empty,
+    /// plus one per nest).
+    pub fn num_sections(&self) -> usize {
+        usize::from(!self.body.is_empty()) + self.nests.len()
+    }
+}
+
+impl Analysis for FuncSections {
+    fn name() -> &'static str {
+        "sections"
+    }
+
+    fn compute(func: &Function, am: &mut AnalysisManager) -> Self {
+        let dt = am.get::<DomTree>(func);
+        FuncSections::compute_with(func, &dt)
+    }
+}
+
+/// One section of a module partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Section {
+    /// Containing function.
+    pub func: FuncId,
+    /// The function's name (for labels and reports).
+    pub func_name: String,
+    /// Stable display label: `@f` for a function body, `@f/loopK` for
+    /// its K-th maximal loop nest.
+    pub label: String,
+    /// The section's blocks, in layout order.
+    pub blocks: Vec<BlockId>,
+}
+
+/// A whole-module section partition with deterministic section ids
+/// (positions in [`SectionPartition::sections`], flattened module
+/// order).
+#[derive(Debug, Clone)]
+pub struct SectionPartition {
+    sections: Vec<Section>,
+    /// Per function (by id index): linked instruction → section id.
+    inst_section: Vec<HashMap<InstId, usize>>,
+}
+
+impl SectionPartition {
+    /// Partitions every function of `module` into sections.
+    pub fn compute(module: &Module) -> Self {
+        let mut sections = Vec::new();
+        let mut inst_section = Vec::new();
+        for (fid, func) in module.functions() {
+            let fs = FuncSections::compute(func);
+            let mut map = HashMap::new();
+            let mut push = |blocks: &[BlockId], label: String, map: &mut HashMap<InstId, usize>| {
+                let id = sections.len();
+                for &bb in blocks {
+                    for &inst in func.block(bb).insts() {
+                        map.insert(inst, id);
+                    }
+                }
+                sections.push(Section {
+                    func: fid,
+                    func_name: func.name().to_string(),
+                    label,
+                    blocks: blocks.to_vec(),
+                });
+            };
+            if !fs.body.is_empty() {
+                push(&fs.body, format!("@{}", func.name()), &mut map);
+            }
+            for (k, nest) in fs.nests.iter().enumerate() {
+                push(nest, format!("@{}/loop{k}", func.name()), &mut map);
+            }
+            inst_section.push(map);
+        }
+        SectionPartition {
+            sections,
+            inst_section,
+        }
+    }
+
+    /// The sections, indexed by section id.
+    pub fn sections(&self) -> &[Section] {
+        &self.sections
+    }
+
+    /// Number of sections.
+    pub fn len(&self) -> usize {
+        self.sections.len()
+    }
+
+    /// True for a module with no sections (no functions).
+    pub fn is_empty(&self) -> bool {
+        self.sections.is_empty()
+    }
+
+    /// The section containing instruction `inst` of function `fid`, or
+    /// `None` for an unknown site.
+    pub fn section_of(&self, fid: FuncId, inst: InstId) -> Option<usize> {
+        self.inst_section.get(fid.index())?.get(&inst).copied()
+    }
+
+    /// The canonical content text of section `id`: its label followed
+    /// by each block printed exactly as in the module's canonical text.
+    /// This — not the whole function — is what a section fingerprint
+    /// hashes, so an edit inside one loop nest leaves the sibling
+    /// sections' fingerprints untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of range or `module` is not the module
+    /// this partition was computed from.
+    pub fn section_text(&self, module: &Module, id: usize) -> String {
+        let section = &self.sections[id];
+        let func = module.function(section.func);
+        let mut out = format!("section {}\n", section.label);
+        for &bb in &section.blocks {
+            out.push_str(&ipas_ir::printer::print_block(func, bb, Some(module)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipas_ir::parser::{parse_function, parse_module};
+
+    #[test]
+    fn straight_line_function_is_one_body_section() {
+        let f = parse_function("fn @f() {\nbb0:\n  br bb1\nbb1:\n  ret\n}\n").unwrap();
+        let fs = FuncSections::compute(&f);
+        assert_eq!(fs.body.len(), 2);
+        assert!(fs.nests.is_empty());
+        assert_eq!(fs.num_sections(), 1);
+    }
+
+    #[test]
+    fn nested_loops_form_one_nest_siblings_two() {
+        // bb1..bb4 form an outer loop containing an inner loop
+        // (bb2/bb3); they must union into ONE nest.
+        let f = parse_function(
+            r#"
+fn @f(i64) {
+bb0:
+  br bb1
+bb1:
+  %v0 = phi i64 [bb0: 0, bb4: %v5]
+  %v1 = icmp slt %v0, %arg0
+  condbr %v1, bb2, bb5
+bb2:
+  %v2 = phi i64 [bb1: 0, bb3: %v4]
+  %v3 = icmp slt %v2, %arg0
+  condbr %v3, bb3, bb4
+bb3:
+  %v4 = add i64 %v2, 1
+  br bb2
+bb4:
+  %v5 = add i64 %v0, 1
+  br bb1
+bb5:
+  ret
+}
+"#,
+        )
+        .unwrap();
+        let fs = FuncSections::compute(&f);
+        assert_eq!(fs.nests.len(), 1, "nested loops are one maximal nest");
+        assert_eq!(fs.nests[0].len(), 4);
+        assert_eq!(fs.body.len(), 2, "entry + exit");
+
+        // Two sequential (sibling) loops stay two nests.
+        let g = parse_function(
+            r#"
+fn @g(i64) {
+bb0:
+  br bb1
+bb1:
+  %v0 = phi i64 [bb0: 0, bb2: %v2]
+  %v1 = icmp slt %v0, %arg0
+  condbr %v1, bb2, bb3
+bb2:
+  %v2 = add i64 %v0, 1
+  br bb1
+bb3:
+  br bb4
+bb4:
+  %v3 = phi i64 [bb3: 0, bb5: %v5]
+  %v4 = icmp slt %v3, %arg0
+  condbr %v4, bb5, bb6
+bb5:
+  %v5 = add i64 %v3, 1
+  br bb4
+bb6:
+  ret
+}
+"#,
+        )
+        .unwrap();
+        let gs = FuncSections::compute(&g);
+        assert_eq!(gs.nests.len(), 2, "sibling loops are separate nests");
+        assert_eq!(gs.num_sections(), 3);
+    }
+
+    #[test]
+    fn partition_ids_labels_and_lookup_are_deterministic() {
+        let module = parse_module(
+            r#"
+module "m"
+
+fn @main() -> i64 {
+bb0:
+  br bb1
+bb1:
+  %v0 = phi i64 [bb0: 0, bb2: %v3]
+  %v1 = phi i64 [bb0: 0, bb2: %v4]
+  %v2 = icmp slt %v0, 4
+  condbr %v2, bb2, bb3
+bb2:
+  %v3 = add i64 %v0, 1
+  %v4 = add i64 %v1, %v0
+  br bb1
+bb3:
+  ret %v1
+}
+
+fn @leaf() -> i64 {
+bb0:
+  %v0 = add i64 2, 3
+  ret %v0
+}
+"#,
+        )
+        .unwrap();
+        let p = SectionPartition::compute(&module);
+        let labels: Vec<&str> = p.sections().iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(labels, ["@main", "@main/loop0", "@leaf"]);
+
+        // Instruction lookup: every instruction of every block maps to
+        // the section owning that block; unknown functions map to none.
+        for (id, section) in p.sections().iter().enumerate() {
+            let func = module.function(section.func);
+            for &bb in &section.blocks {
+                for &inst in func.block(bb).insts() {
+                    assert_eq!(p.section_of(section.func, inst), Some(id));
+                }
+            }
+        }
+        assert_eq!(p.section_of(FuncId::new(9), InstId::new(0)), None);
+
+        // Section text renders the label plus the exact printed blocks.
+        let text = p.section_text(&module, 1);
+        assert!(text.starts_with("section @main/loop0\n"), "{text}");
+        assert!(text.contains("icmp slt"), "{text}");
+        assert!(
+            !text.contains("ret"),
+            "exit block leaked into the nest: {text}"
+        );
+    }
+}

@@ -107,6 +107,11 @@ pub struct JobSpec {
     /// Store key of the protected module to evaluate
     /// ([`JobKind::Eval`] only).
     pub module_key: Option<String>,
+    /// Run the campaign section-granularly ([`JobKind::Campaign`]
+    /// only): plans are grouped by loop-nest section, chunks align to
+    /// section boundaries, and journal records carry section tags — the
+    /// serving-side face of incremental re-analysis.
+    pub sections: bool,
 }
 
 impl JobSpec {
@@ -128,6 +133,7 @@ impl JobSpec {
             policy: "ipas".to_string(),
             deadline_ms: 0,
             module_key: None,
+            sections: false,
         }
     }
 
@@ -152,6 +158,9 @@ impl JobSpec {
         }
         if self.kind == JobKind::Eval && self.module_key.is_none() {
             return Err("eval jobs need a module key".to_string());
+        }
+        if self.sections && self.kind != JobKind::Campaign {
+            return Err("sectional execution only applies to campaign jobs".to_string());
         }
         if !matches!(
             self.policy.as_str(),
@@ -181,6 +190,11 @@ impl JobSpec {
         if let Some(key) = &self.module_key {
             b = b.text("module-key", key);
         }
+        // Added like `module-key`: only present when set, so every job
+        // id minted before the flag existed stays stable.
+        if self.sections {
+            b = b.bool("sections", true);
+        }
         b.finish()
     }
 
@@ -209,6 +223,9 @@ impl JobSpec {
             .num("deadline_ms", self.deadline_ms);
         if let Some(key) = &self.module_key {
             b = b.str("module_key", key);
+        }
+        if self.sections {
+            b = b.num("sections", 1);
         }
         b.finish()
     }
@@ -258,6 +275,7 @@ impl JobSpec {
             policy: str_field("policy")?,
             deadline_ms: num_field("deadline_ms")?,
             module_key: fields.str("module_key").map(str::to_string),
+            sections: fields.num("sections").unwrap_or(0) != 0,
         };
         spec.validate()?;
         Ok(spec)
@@ -373,6 +391,25 @@ mod tests {
         let mut bad = spec();
         bad.policy = "mystery".to_string();
         assert!(bad.validate().is_err());
+        let mut bad = spec();
+        bad.sections = true;
+        assert!(bad.validate().is_err(), "sectional protect job");
+    }
+
+    #[test]
+    fn sections_flag_round_trips_and_splits_the_job_id() {
+        let mut s = spec();
+        s.kind = JobKind::Campaign;
+        let plain_id = s.job_id();
+        let plain_line = s.encode("submit");
+        s.sections = true;
+        assert!(s.validate().is_ok());
+        assert_ne!(s.job_id(), plain_id, "sectional work is different work");
+        let back = JobSpec::decode(&s.encode("submit"), "submit").unwrap();
+        assert_eq!(back, s);
+        // Lines minted before the flag existed decode as non-sectional.
+        let legacy = JobSpec::decode(&plain_line, "submit").unwrap();
+        assert!(!legacy.sections);
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! Golden snapshot of the section partition for the five paper
+//! workloads.
+//!
+//! Incremental reuse keys on section ids and content fingerprints, so
+//! both must stay stable across refactors of the partitioner, the IR
+//! printer, and the compilation pipeline: a drift silently invalidates
+//! every stored baseline (all sections re-execute — correct but
+//! expensive) and, worse, a drift that *collides* labels could splice
+//! the wrong cached profile. Each line below freezes one section as
+//! `workload section-id label fingerprint-prefix`. Regenerate only for
+//! a deliberate partition or pipeline change, and say so in the commit:
+//! run the test and copy the `actual` block from the failure message.
+
+use ipas_analysis::sections::SectionPartition;
+use ipas_core::section_fingerprint;
+use ipas_workloads::Kind;
+
+/// Captured from the current partitioner + pipeline; see module docs.
+const EXPECTED: &[&str] = &[
+    "CoMD 0 @lj_forces fc9f30230320ea0e",
+    "CoMD 1 @lj_forces/loop0 cdcce4844ad162ea",
+    "CoMD 2 @lj_forces/loop1 d8201d93b61ae472",
+    "CoMD 3 @main 2247707f2af27dce",
+    "CoMD 4 @main/loop0 f90e4291a0fc5870",
+    "CoMD 5 @main/loop1 1d26eba2a224c6cd",
+    "HPCCG 0 @apply_stencil 2e0f6f118ca69460",
+    "HPCCG 1 @apply_stencil/loop0 eaa81c068d9ebc9b",
+    "HPCCG 2 @dot_part 8730a77985ba5217",
+    "HPCCG 3 @dot_part/loop0 88a9c019e2dcc0c4",
+    "HPCCG 4 @main e54bdb1e8779673d",
+    "HPCCG 5 @main/loop0 4683847f993a5dc6",
+    "HPCCG 6 @main/loop1 7dc1e440e3e89830",
+    "HPCCG 7 @main/loop2 8ce697e64403b108",
+    "HPCCG 8 @main/loop3 784dfcc7898a1374",
+    "AMG 0 @smooth 6e4b5c41cca01491",
+    "AMG 1 @smooth/loop0 ab033ff09d112751",
+    "AMG 2 @residual 7508a3cdf57418eb",
+    "AMG 3 @residual/loop0 1ca389b40290b3ab",
+    "AMG 4 @restrict_to bbcc8fcb006d37cf",
+    "AMG 5 @restrict_to/loop0 5f886357d7cb2dd0",
+    "AMG 6 @prolong_add 49bd0696eea40d39",
+    "AMG 7 @prolong_add/loop0 877271617b2c583f",
+    "AMG 8 @zero_fill e6c82537d9f91d0b",
+    "AMG 9 @zero_fill/loop0 bc9accd46f7d89f4",
+    "AMG 10 @norm_part a8b8f89510708b7e",
+    "AMG 11 @norm_part/loop0 d002e575fd7f37ce",
+    "AMG 12 @main 97f6f1032453e93c",
+    "AMG 13 @main/loop0 ba85e317a2ed3677",
+    "AMG 14 @main/loop1 25b796fb35dfecd7",
+    "FFT 0 @bit_reverse 5d9c93942295f50b",
+    "FFT 1 @bit_reverse/loop0 3d160d20d9765eb5",
+    "FFT 2 @fft_row 4a92cd89fcd3ca2b",
+    "FFT 3 @fft_row/loop0 2eddef23130e4ad4",
+    "FFT 4 @fft_row/loop1 e1316be238ee01bf",
+    "FFT 5 @transpose c439810c6b58868b",
+    "FFT 6 @transpose/loop0 ec941fb4b194dcc0",
+    "FFT 7 @fft2d 8dc9dc58b905db17",
+    "FFT 8 @fft2d/loop0 f17cf40ac715e90d",
+    "FFT 9 @fft2d/loop1 141b38a77944f0cb",
+    "FFT 10 @main 8db24bb497464884",
+    "FFT 11 @main/loop0 d4b25bf755a17b88",
+    "FFT 12 @main/loop1 12998a3827b899dc",
+    "FFT 13 @main/loop2 b12062a10c8d2a9b",
+    "FFT 14 @main/loop3 a3ca5dc94a80ebee",
+    "IS 0 @key_hash fbc507db8b8fdb25",
+    "IS 1 @main a6d0bbf58d98ba67",
+    "IS 2 @main/loop0 19cd565ca5550ac0",
+    "IS 3 @main/loop1 764b82a939c430db",
+    "IS 4 @main/loop2 a0ce5ae16bbd5819",
+];
+
+fn actual() -> Vec<String> {
+    let mut lines = Vec::new();
+    for kind in Kind::ALL {
+        let workload = kind.build(kind.base_input()).expect("workload builds");
+        let partition = SectionPartition::compute(&workload.module);
+        for id in 0..partition.len() {
+            let section = &partition.sections()[id];
+            let fp = section_fingerprint(&workload.module, &partition, id);
+            lines.push(format!(
+                "{} {id} {} {}",
+                kind.name(),
+                section.label,
+                fp.short()
+            ));
+        }
+    }
+    lines
+}
+
+#[test]
+fn paper_workload_partitions_match_the_frozen_snapshot() {
+    let actual = actual();
+    let expected: Vec<String> = EXPECTED.iter().map(|s| s.to_string()).collect();
+    assert_eq!(
+        expected,
+        actual,
+        "section partition drifted from the frozen snapshot.\n\
+         actual:\n{}",
+        actual.join("\n")
+    );
+}
+
+/// Labels are the human handle in reuse logs and journals — within one
+/// workload they must be unique, or two sections become
+/// indistinguishable in reports.
+#[test]
+fn section_labels_are_unique_per_workload() {
+    for kind in Kind::ALL {
+        let workload = kind.build(kind.base_input()).expect("workload builds");
+        let partition = SectionPartition::compute(&workload.module);
+        let mut labels: Vec<&str> = partition
+            .sections()
+            .iter()
+            .map(|s| s.label.as_str())
+            .collect();
+        labels.sort_unstable();
+        let before = labels.len();
+        labels.dedup();
+        assert_eq!(before, labels.len(), "{}: duplicate labels", kind.name());
+    }
+}

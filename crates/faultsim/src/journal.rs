@@ -28,7 +28,14 @@ use crate::{FaultModel, HarnessFailure, InjectionRecord, Outcome, PlanOutcome, S
 /// Version 2 added the fault model to the header and a per-record
 /// schema version (`v`) plus fault model; version-1 journals are
 /// rejected with a typed mismatch rather than silently merged.
-const FORMAT_VERSION: u64 = 2;
+/// Version 3 lets records carry an optional section id (`sec`) for
+/// section-granular campaigns; version-2 journals (headers and
+/// records) are still accepted on resume because every v2 line parses
+/// identically under v3 — the section id is simply absent.
+const FORMAT_VERSION: u64 = 3;
+
+/// The newest *previous* format this version can still resume from.
+const COMPAT_VERSION: u64 = 2;
 
 /// Why a journal could not be used.
 #[derive(Debug)]
@@ -122,6 +129,10 @@ pub struct ResumeState {
     pub records: HashMap<usize, InjectionRecord>,
     /// Plan indices that exhausted their retry budget.
     pub failures: HashMap<usize, HarnessFailure>,
+    /// Section ids carried by v3 section-tagged records, keyed by plan
+    /// index. Plans journaled by a non-sectional campaign (or under the
+    /// v2 format) are absent here.
+    pub sections: HashMap<usize, u32>,
 }
 
 impl ResumeState {
@@ -202,7 +213,22 @@ impl CampaignJournal {
     /// [`JournalError::Io`] when the append fails; the campaign should
     /// stop rather than continue without its checkpoint.
     pub fn append_record(&self, plan: usize, record: &InjectionRecord) -> Result<(), JournalError> {
-        self.append_line(&encode_record(plan, record))
+        self.append_line(&encode_record(plan, record, None))
+    }
+
+    /// Appends one classified record tagged with the section it was
+    /// executed under (section-granular campaigns) and flushes it.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CampaignJournal::append_record`].
+    pub fn append_record_in_section(
+        &self,
+        plan: usize,
+        record: &InjectionRecord,
+        section: u32,
+    ) -> Result<(), JournalError> {
+        self.append_line(&encode_record(plan, record, Some(section)))
     }
 
     /// Appends one harness failure and flushes it to disk.
@@ -227,12 +253,27 @@ impl CampaignJournal {
     ///
     /// Same conditions as [`CampaignJournal::append_record`].
     pub fn append_outcomes(&self, outcomes: &[(usize, PlanOutcome)]) -> Result<(), JournalError> {
+        self.append_outcomes_in_section(outcomes, None)
+    }
+
+    /// Like [`CampaignJournal::append_outcomes`], tagging each record of
+    /// the chunk with a section id when `section` is set. Section-aligned
+    /// chunks have one section, so the tag applies to the whole chunk.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CampaignJournal::append_record`].
+    pub fn append_outcomes_in_section(
+        &self,
+        outcomes: &[(usize, PlanOutcome)],
+        section: Option<u32>,
+    ) -> Result<(), JournalError> {
         if outcomes.is_empty() {
             return Ok(());
         }
         let mut buf = String::with_capacity(outcomes.len() * 128);
         for (plan, outcome) in outcomes {
-            buf.push_str(&outcome_line(*plan, outcome));
+            buf.push_str(&outcome_line_in_section(*plan, outcome, section));
         }
         self.append_line(&buf)
     }
@@ -252,30 +293,16 @@ impl CampaignJournal {
 }
 
 fn sampling_label(mode: SamplingMode) -> &'static str {
-    match mode {
-        SamplingMode::DynamicUniform => "dynamic",
-        SamplingMode::StaticUniform => "static",
-    }
+    mode.wire()
 }
 
 fn outcome_label(outcome: Outcome) -> &'static str {
     // Stable wire names, independent of the display labels.
-    match outcome {
-        Outcome::Symptom => "symptom",
-        Outcome::Detected => "detected",
-        Outcome::Masked => "masked",
-        Outcome::Soc => "soc",
-    }
+    outcome.wire()
 }
 
 fn parse_outcome(label: &str) -> Option<Outcome> {
-    match label {
-        "symptom" => Some(Outcome::Symptom),
-        "detected" => Some(Outcome::Detected),
-        "masked" => Some(Outcome::Masked),
-        "soc" => Some(Outcome::Soc),
-        _ => None,
-    }
+    Outcome::from_wire(label)
 }
 
 // ---------------------------------------------------------------------
@@ -345,8 +372,8 @@ fn encode_header(h: &JournalHeader) -> String {
         .finish()
 }
 
-fn encode_record(plan: usize, r: &InjectionRecord) -> String {
-    LineBuilder::new("record")
+fn encode_record(plan: usize, r: &InjectionRecord, section: Option<u32>) -> String {
+    let mut b = LineBuilder::new("record")
         .num("v", FORMAT_VERSION)
         .num("plan", plan as u64)
         .str("model", &r.model.to_string())
@@ -357,18 +384,28 @@ fn encode_record(plan: usize, r: &InjectionRecord) -> String {
         .str("outcome", outcome_label(r.outcome))
         .num("insts", r.dynamic_insts)
         .num("latency", r.latency)
-        .num("attempts", r.attempts as u64)
-        .finish()
+        .num("attempts", r.attempts as u64);
+    if let Some(sec) = section {
+        b = b.num("sec", sec as u64);
+    }
+    b.finish()
 }
 
 /// Encodes one completed plan as its journal line (newline-terminated).
 ///
-/// This is the journal-v2 wire format: the serving layer streams these
+/// This is the journal wire format: the serving layer streams these
 /// exact lines to watching clients, so a journal on disk and a watched
 /// event stream are byte-interchangeable.
 pub fn outcome_line(plan: usize, outcome: &PlanOutcome) -> String {
+    outcome_line_in_section(plan, outcome, None)
+}
+
+/// Like [`outcome_line`], tagging a record with its section id when
+/// `section` is set (harness failures are never section-tagged: their
+/// plan index already identifies them).
+pub fn outcome_line_in_section(plan: usize, outcome: &PlanOutcome, section: Option<u32>) -> String {
     match outcome {
-        PlanOutcome::Record(record) => encode_record(plan, record),
+        PlanOutcome::Record(record) => encode_record(plan, record, section),
         PlanOutcome::Failure(failure) => encode_failure(failure),
     }
 }
@@ -526,7 +563,7 @@ fn parse_journal(text: &str, expect: &JournalHeader) -> Result<ResumeState, Jour
                 // model must never merge into this campaign's resume
                 // set, even if the header happens to agree.
                 let v = fields.num("v").unwrap_or(0);
-                if v != FORMAT_VERSION {
+                if v != FORMAT_VERSION && v != COMPAT_VERSION {
                     return Err(JournalError::Mismatch {
                         field: "record schema version",
                         journal: v.to_string(),
@@ -571,6 +608,20 @@ fn parse_journal(text: &str, expect: &JournalHeader) -> Result<ResumeState, Jour
                 };
                 resume.failures.remove(&plan);
                 resume.records.insert(plan, record);
+                // Section tags exist only in the v3 format; a stray
+                // `sec` on a v2 record is ignored rather than trusted.
+                if v == FORMAT_VERSION {
+                    match fields.num("sec") {
+                        Some(sec) => {
+                            resume.sections.insert(plan, sec as u32);
+                        }
+                        None => {
+                            resume.sections.remove(&plan);
+                        }
+                    }
+                } else {
+                    resume.sections.remove(&plan);
+                }
             }
             "harness_error" => {
                 let missing = || corrupt("harness_error line missing a field".into());
@@ -612,7 +663,7 @@ fn check_header(fields: &Fields, expect: &JournalHeader) -> Result<(), JournalEr
         })
     };
     let version = fields.num("version").unwrap_or(0);
-    if version != FORMAT_VERSION {
+    if version != FORMAT_VERSION && version != COMPAT_VERSION {
         return mismatch(
             "format version",
             version.to_string(),
@@ -792,9 +843,10 @@ mod tests {
                 model: FaultModel::StuckValue,
                 ..record(1)
             },
+            None,
         ));
         // Pad with a valid line so the mixed record is not a torn tail.
-        text.push_str(&encode_record(2, &record(2)));
+        text.push_str(&encode_record(2, &record(2), None));
         std::fs::write(&path, &text).expect("write");
         match CampaignJournal::open(&path, &header()) {
             Err(JournalError::Mismatch {
@@ -816,7 +868,7 @@ mod tests {
              \"bit\":13,\"outcome\":\"masked\",\"insts\":501,\"latency\":17,\
              \"attempts\":1}\n",
         );
-        old_schema.push_str(&encode_record(1, &record(1)));
+        old_schema.push_str(&encode_record(1, &record(1), None));
         std::fs::write(&path, &old_schema).expect("write");
         match CampaignJournal::open(&path, &header()) {
             Err(JournalError::Mismatch {
@@ -842,6 +894,137 @@ mod tests {
                 ..
             }) => {}
             other => panic!("expected format-version mismatch, got {other:?}"),
+        }
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn resumes_version_two_journal() {
+        // A journal written by the previous (v2) format resumes under
+        // v3: same header fields, records without section tags.
+        let path = temp_path("v2-compat");
+        let _ = std::fs::remove_file(&path);
+        let mut text = String::from(
+            "{\"kind\":\"header\",\"version\":2,\"workload\":\"sum\",\
+             \"entry\":\"main\",\"seed\":7,\"runs\":16,\"sampling\":\"dynamic\",\
+             \"model\":\"single-bit\",\"eligible\":100,\"nominal\":500}\n",
+        );
+        text.push_str(
+            "{\"kind\":\"record\",\"v\":2,\"plan\":3,\"model\":\"single-bit\",\
+             \"func\":1,\"inst\":5,\"target\":43,\"bit\":13,\"outcome\":\"masked\",\
+             \"insts\":501,\"latency\":17,\"attempts\":1}\n",
+        );
+        // A stray `sec` on a v2 record is not trusted: v2 writers never
+        // emitted one, so it cannot mean what v3 means by it.
+        text.push_str(
+            "{\"kind\":\"record\",\"v\":2,\"plan\":4,\"model\":\"single-bit\",\
+             \"func\":1,\"inst\":6,\"target\":44,\"bit\":13,\"outcome\":\"masked\",\
+             \"insts\":501,\"latency\":17,\"attempts\":1,\"sec\":9}\n",
+        );
+        std::fs::write(&path, &text).expect("write");
+        let (journal, resume) = CampaignJournal::open(&path, &header()).expect("v2 resumes");
+        assert_eq!(resume.len(), 2);
+        assert_eq!(resume.records[&3], record(3));
+        assert!(resume.sections.is_empty(), "v2 records carry no sections");
+        // Continuing the campaign appends v3 records into the same file,
+        // and the mixed-version journal still resumes.
+        journal
+            .append_record_in_section(5, &record(5), 1)
+            .expect("append");
+        drop(journal);
+        let (_j, resume) = CampaignJournal::open(&path, &header()).expect("mixed resumes");
+        assert_eq!(resume.len(), 3);
+        assert_eq!(resume.sections.get(&5), Some(&1));
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn section_tags_round_trip_and_tolerate_torn_tail() {
+        let path = temp_path("sections");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (journal, _) = CampaignJournal::open(&path, &header()).expect("fresh");
+            journal
+                .append_record_in_section(0, &record(0), 2)
+                .expect("append");
+            let chunk: Vec<(usize, PlanOutcome)> = vec![
+                (1, PlanOutcome::Record(record(1))),
+                (
+                    2,
+                    PlanOutcome::Failure(HarnessFailure {
+                        plan_index: 2,
+                        target: 7,
+                        bit: 3,
+                        attempts: 3,
+                        error: "boom".into(),
+                    }),
+                ),
+                (3, PlanOutcome::Record(record(3))),
+            ];
+            journal
+                .append_outcomes_in_section(&chunk, Some(5))
+                .expect("chunk append");
+        }
+        let (_j, resume) = CampaignJournal::open(&path, &header()).expect("reopen");
+        assert_eq!(resume.len(), 4);
+        assert_eq!(resume.sections.get(&0), Some(&2));
+        assert_eq!(resume.sections.get(&1), Some(&5));
+        assert_eq!(resume.sections.get(&3), Some(&5));
+        assert!(
+            !resume.sections.contains_key(&2),
+            "harness failures are never section-tagged"
+        );
+
+        // Tearing the final (section-tagged) record drops only that
+        // plan; earlier section tags survive.
+        let full = std::fs::read_to_string(&path).expect("read");
+        std::fs::write(&path, &full.as_bytes()[..full.len() - 20]).expect("tear");
+        let (_j, resume) = CampaignJournal::open(&path, &header()).expect("torn tolerated");
+        assert_eq!(resume.len(), 3);
+        assert_eq!(resume.sections.get(&1), Some(&5));
+        assert!(!resume.contains(3), "torn section-tagged record re-runs");
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn rejects_section_tagged_record_drift() {
+        // Model and schema drift are caught on section-tagged records
+        // exactly as on plain ones.
+        let path = temp_path("sec-drift");
+        let _ = std::fs::remove_file(&path);
+        let mut text = encode_header(&header());
+        text.push_str(&encode_record(
+            0,
+            &InjectionRecord {
+                model: FaultModel::StuckValue,
+                ..record(0)
+            },
+            Some(1),
+        ));
+        text.push_str(&encode_record(1, &record(1), Some(1)));
+        std::fs::write(&path, &text).expect("write");
+        match CampaignJournal::open(&path, &header()) {
+            Err(JournalError::Mismatch {
+                field: "record fault model",
+                ..
+            }) => {}
+            other => panic!("expected fault-model mismatch, got {other:?}"),
+        }
+
+        let mut text = encode_header(&header());
+        text.push_str(
+            "{\"kind\":\"record\",\"v\":1,\"plan\":0,\"model\":\"single-bit\",\
+             \"func\":1,\"inst\":2,\"target\":40,\"bit\":13,\"outcome\":\"masked\",\
+             \"insts\":501,\"latency\":17,\"attempts\":1,\"sec\":0}\n",
+        );
+        text.push_str(&encode_record(1, &record(1), Some(1)));
+        std::fs::write(&path, &text).expect("write");
+        match CampaignJournal::open(&path, &header()) {
+            Err(JournalError::Mismatch {
+                field: "record schema version",
+                ..
+            }) => {}
+            other => panic!("expected schema mismatch, got {other:?}"),
         }
         std::fs::remove_file(&path).expect("cleanup");
     }
@@ -941,7 +1124,7 @@ mod tests {
         // output while the journal file is written through
         // append_record/append_outcomes.
         let rec_line = outcome_line(4, &PlanOutcome::Record(record(4)));
-        assert_eq!(rec_line, encode_record(4, &record(4)));
+        assert_eq!(rec_line, encode_record(4, &record(4), None));
         let failure = HarnessFailure {
             plan_index: 9,
             target: 1,

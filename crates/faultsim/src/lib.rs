@@ -65,6 +65,7 @@
 #![warn(missing_docs)]
 
 mod journal;
+pub mod sections;
 
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -78,7 +79,10 @@ use ipas_ir::{FuncId, InstId, Module};
 use rand::{Rng, SeedableRng};
 
 pub use ipas_interp::{CompiledMachine, CompiledProgram, Engine, FaultModel, Injection, SiteClass};
-pub use journal::{outcome_line, CampaignJournal, JournalError, JournalHeader, ResumeState};
+pub use journal::{
+    outcome_line, outcome_line_in_section, CampaignJournal, JournalError, JournalHeader,
+    ResumeState,
+};
 
 /// The four §5.5 outcome categories of one fault-injection run.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -111,6 +115,23 @@ impl Outcome {
             Outcome::Masked => "masked",
             Outcome::Soc => "SOC",
         }
+    }
+
+    /// Stable wire token, shared by the campaign journal and the stored
+    /// section-profile artifacts (all-lowercase, unlike
+    /// [`Outcome::label`]'s display form).
+    pub fn wire(self) -> &'static str {
+        match self {
+            Outcome::Symptom => "symptom",
+            Outcome::Detected => "detected",
+            Outcome::Masked => "masked",
+            Outcome::Soc => "soc",
+        }
+    }
+
+    /// Parses a [`Outcome::wire`] token.
+    pub fn from_wire(token: &str) -> Option<Outcome> {
+        Outcome::ALL.into_iter().find(|o| o.wire() == token)
     }
 }
 
@@ -515,6 +536,20 @@ pub enum CampaignError {
         /// [`SamplingMode::StaticUniform`].
         model: FaultModel,
     },
+    /// Section-granular campaigns resolve dynamic targets through the
+    /// eligible-result trace, which only value-class models sample.
+    UnsupportedSectional {
+        /// The non-value model requested for a sectional campaign.
+        model: FaultModel,
+    },
+    /// A compositional invariant was violated: the eligible trace, the
+    /// section partition, and the plan list disagreed (e.g. a target
+    /// beyond the trace, a site outside the partition, or a plan index
+    /// spliced twice).
+    Composition {
+        /// What disagreed.
+        message: String,
+    },
 }
 
 impl fmt::Display for CampaignError {
@@ -539,6 +574,13 @@ impl fmt::Display for CampaignError {
                 f,
                 "static-site sampling only supports value-class fault models, not {model}"
             ),
+            CampaignError::UnsupportedSectional { model } => write!(
+                f,
+                "section-granular campaigns only support value-class fault models, not {model}"
+            ),
+            CampaignError::Composition { message } => {
+                write!(f, "campaign composition failed: {message}")
+            }
         }
     }
 }
@@ -651,6 +693,26 @@ pub enum SamplingMode {
     /// Uniform over executed static instructions, then uniform over
     /// that instruction's dynamic instances.
     StaticUniform,
+}
+
+impl SamplingMode {
+    /// Stable wire token, shared by the campaign journal and the stored
+    /// section-index artifacts.
+    pub fn wire(self) -> &'static str {
+        match self {
+            SamplingMode::DynamicUniform => "dynamic",
+            SamplingMode::StaticUniform => "static",
+        }
+    }
+
+    /// Parses a [`SamplingMode::wire`] token.
+    pub fn from_wire(token: &str) -> Option<SamplingMode> {
+        match token {
+            "dynamic" => Some(SamplingMode::DynamicUniform),
+            "static" => Some(SamplingMode::StaticUniform),
+            _ => None,
+        }
+    }
 }
 
 /// Runs a statistical fault-injection campaign against `workload`.
@@ -911,7 +973,11 @@ pub fn run_campaign_with(
 
     let slots: Vec<Mutex<Option<PlanOutcome>>> =
         (0..plans.len()).map(|_| Mutex::new(None)).collect();
-    let ResumeState { records, failures } = resume;
+    let ResumeState {
+        records,
+        failures,
+        sections: _,
+    } = resume;
     for (i, record) in records {
         *lock_ignoring_poison(&slots[i]) = Some(PlanOutcome::Record(record));
     }
@@ -1026,6 +1092,7 @@ fn classify_plan(
             max_insts: budget,
             injection: Some(plan),
             profile_sites: false,
+            trace_eligible: false,
             wall_limit: run_deadline,
         })
         .map_err(|e| format!("interpreter rejected the run: {e}"))?;

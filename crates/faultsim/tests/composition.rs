@@ -1,0 +1,109 @@
+//! Compositional equivalence of sectional campaigns.
+//!
+//! A section-granular campaign is a *partition* of the monolithic plan
+//! list, not a different experiment: the plans are drawn once from the
+//! campaign seed, grouped by section, executed group by group, and
+//! spliced back in plan order. These tests pin that contract on the
+//! five paper workloads under both execution engines — the composed
+//! result must be byte-identical to the monolithic campaign: the same
+//! records (site, target, bit, outcome, dynamic instructions, latency,
+//! attempts), the same harness-failure set, and therefore the same
+//! SOC/DDC/benign counts.
+
+use ipas_faultsim::sections::run_campaign_sectional;
+use ipas_faultsim::{
+    run_campaign_with, CampaignConfig, CampaignOptions, Engine, FaultModel, Outcome,
+};
+use ipas_workloads::Kind;
+
+const RUNS: usize = 18;
+const SEED: u64 = 20260809;
+
+#[test]
+fn sectional_campaigns_match_monolithic_on_every_paper_workload() {
+    let options = CampaignOptions::default();
+    for kind in Kind::ALL {
+        let workload = kind.build(kind.base_input()).expect("workload builds");
+        for engine in Engine::ALL {
+            let config = CampaignConfig {
+                runs: RUNS,
+                seed: SEED,
+                threads: 2,
+                engine,
+                fault_model: FaultModel::default(),
+            };
+            let mono = run_campaign_with(&workload, &config, &options).expect("monolithic runs");
+            let comp =
+                run_campaign_sectional(&workload, &config, &options).expect("sectional runs");
+
+            // The partition must be real — a paper workload is never a
+            // single section, otherwise the test degenerates.
+            assert!(
+                comp.partition.len() > 1,
+                "{}: expected a multi-section partition, got {}",
+                kind.name(),
+                comp.partition.len()
+            );
+            let assigned: usize = (0..comp.partition.len() as u32)
+                .map(|s| comp.plans_in_section(s))
+                .sum();
+            assert_eq!(
+                assigned,
+                RUNS,
+                "{}/{engine}: every plan belongs to exactly one section",
+                kind.name()
+            );
+
+            // Byte-identical composition: records carry the spliced
+            // plan order, so plain equality covers ordering too.
+            assert_eq!(
+                mono.records,
+                comp.result.records,
+                "{}/{engine}: composed records diverge from monolithic",
+                kind.name()
+            );
+            assert_eq!(
+                mono.harness_failures,
+                comp.result.harness_failures,
+                "{}/{engine}: composed failures diverge from monolithic",
+                kind.name()
+            );
+            assert_eq!(mono.nominal_insts, comp.result.nominal_insts);
+            for outcome in Outcome::ALL {
+                assert_eq!(
+                    mono.count(outcome),
+                    comp.result.count(outcome),
+                    "{}/{engine}: {outcome:?} count diverges",
+                    kind.name()
+                );
+            }
+        }
+    }
+}
+
+/// The composed result must be a function of the seed exactly like the
+/// monolithic one: a different seed changes both identically, and the
+/// sectional path introduces no seed-dependence of its own.
+#[test]
+fn sectional_composition_tracks_the_seed() {
+    let workload = Kind::Fft.build(Kind::Fft.base_input()).expect("fft builds");
+    let options = CampaignOptions::default();
+    let config = |seed: u64| CampaignConfig {
+        runs: RUNS,
+        seed,
+        threads: 2,
+        engine: Engine::default(),
+        fault_model: FaultModel::default(),
+    };
+    let a = run_campaign_sectional(&workload, &config(SEED), &options).expect("seed A runs");
+    let b = run_campaign_sectional(&workload, &config(SEED + 1), &options).expect("seed B runs");
+    assert_ne!(
+        a.result.records, b.result.records,
+        "different seeds must draw different plans"
+    );
+    let mono = run_campaign_with(&workload, &config(SEED + 1), &options).expect("monolithic runs");
+    assert_eq!(
+        mono.records, b.result.records,
+        "seed B composes identically to its monolithic campaign"
+    );
+}

@@ -1862,6 +1862,30 @@ bb0:
     }
 
     #[test]
+    fn eligible_trace_matches_reference() {
+        let config = RunConfig {
+            trace_eligible: true,
+            ..RunConfig::default()
+        };
+        let (a, b) = both(LOOP_SRC, &config);
+        assert_identical(&a, &b);
+        let trace = a.eligible_trace.expect("trace requested");
+        assert_eq!(trace, b.eligible_trace.expect("trace requested"));
+        // The RLE runs cover the eligible sequence exactly, and the
+        // encoding is maximal (no two adjacent runs share a site).
+        assert_eq!(
+            trace.iter().map(|&(_, _, n)| n).sum::<u64>(),
+            a.eligible_results
+        );
+        for w in trace.windows(2) {
+            assert_ne!((w[0].0, w[0].1), (w[1].0, w[1].1), "non-maximal run");
+        }
+        // Without the flag, no trace is produced.
+        let (c, _) = both(LOOP_SRC, &RunConfig::default());
+        assert!(c.eligible_trace.is_none());
+    }
+
+    #[test]
     fn entry_errors_match_reference() {
         let module = parse_module("fn @foo(i64) {\nbb0:\n  ret\n}\n").unwrap();
         let prog = CompiledProgram::compile(&module);

@@ -44,6 +44,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
+use ipas_analysis::sections::SectionPartition;
 use ipas_core::classifier::{train_top_configs, TrainedClassifier};
 use ipas_core::experiment::memoized_protect;
 use ipas_core::jobspec::{JobKind, JobSpec};
@@ -53,10 +54,11 @@ use ipas_core::memo::{
 };
 use ipas_core::policy::ProtectionPolicy;
 use ipas_core::training::LabelKind;
+use ipas_faultsim::sections::assign_sections;
 use ipas_faultsim::{
-    draw_plans, outcome_line, CampaignConfig, CampaignJournal, CampaignOptions, CampaignResult,
-    CompiledProgram, Engine, Injection, JournalHeader, Outcome, PlanExecutor, PlanOutcome,
-    ResumeState, Workload,
+    draw_plans, outcome_line_in_section, CampaignConfig, CampaignJournal, CampaignOptions,
+    CampaignResult, CompiledProgram, Engine, Injection, JournalHeader, Outcome, PlanExecutor,
+    PlanOutcome, ResumeState, Workload,
 };
 use ipas_store::{
     ArtifactKind, CampaignSummary, Fingerprint, Key, ProtectedModule, SingleFlight, Store,
@@ -145,6 +147,10 @@ struct RunCtx {
     workload: Workload,
     compiled: Option<CompiledProgram>,
     plans: Vec<Injection>,
+    /// Section id per plan for sectional jobs ([`JobSpec::sections`]):
+    /// chunks then align to section boundaries and journal records
+    /// carry section tags.
+    assignment: Option<Vec<u32>>,
     slots: Vec<Mutex<Option<PlanOutcome>>>,
     journal: CampaignJournal,
     remaining_chunks: AtomicUsize,
@@ -352,6 +358,15 @@ impl Daemon {
         options.journal = Some(self.journal_path(&job.id));
         let plans = draw_plans(&workload, &config, options.sampling)
             .map_err(|e| format!("plan drawing failed: {e}"))?;
+        let assignment = if spec.sections {
+            let partition = SectionPartition::compute(&workload.module);
+            Some(
+                assign_sections(&workload, &partition, &plans)
+                    .map_err(|e| format!("section assignment failed: {e}"))?,
+            )
+        } else {
+            None
+        };
         let header = JournalHeader {
             workload: workload.name.clone(),
             entry: workload.entry.clone(),
@@ -367,7 +382,11 @@ impl Daemon {
             .map_err(|e| format!("journal failed: {e}"))?;
         let slots: Vec<Mutex<Option<PlanOutcome>>> =
             (0..plans.len()).map(|_| Mutex::new(None)).collect();
-        let ResumeState { records, failures } = resume;
+        let ResumeState {
+            records,
+            failures,
+            sections: _,
+        } = resume;
         let resumed = records.len() + failures.len();
         for (i, record) in records {
             *lock(&slots[i]) = Some(PlanOutcome::Record(record));
@@ -391,6 +410,7 @@ impl Daemon {
             workload,
             compiled,
             plans,
+            assignment,
             slots,
             journal,
             remaining_chunks: AtomicUsize::new(0),
@@ -408,10 +428,30 @@ impl Daemon {
             self.scheduler.submit(move || daemon.finalize(ctx));
             return;
         }
-        let chunks: Vec<Vec<usize>> = pending
-            .chunks(self.config.chunk.max(1))
-            .map(|c| c.to_vec())
-            .collect();
+        let chunk_size = self.config.chunk.max(1);
+        let chunks: Vec<Vec<usize>> = match &ctx.assignment {
+            // Sectional jobs: a stealable chunk never crosses a section
+            // boundary, so every journal write of a chunk shares one
+            // section tag and per-section progress is a chunk count.
+            // Oversized sections still split at the configured size.
+            Some(assignment) => {
+                let sections = assignment
+                    .iter()
+                    .map(|&s| s as usize + 1)
+                    .max()
+                    .unwrap_or(0);
+                let mut by_section: Vec<Vec<usize>> = vec![Vec::new(); sections];
+                for &i in &pending {
+                    by_section[assignment[i] as usize].push(i);
+                }
+                by_section
+                    .iter()
+                    .flat_map(|sec| sec.chunks(chunk_size))
+                    .map(|c| c.to_vec())
+                    .collect()
+            }
+            None => pending.chunks(chunk_size).map(|c| c.to_vec()).collect(),
+        };
         ctx.remaining_chunks.store(chunks.len(), Ordering::SeqCst);
         // Block-distribute across shards so every worker has stealable
         // pieces of this job from the start.
@@ -436,9 +476,12 @@ impl Daemon {
                 .iter()
                 .map(|&i| (i, executor.execute(i, ctx.plans[i])))
                 .collect();
+            // Chunks of sectional jobs are section-aligned, so one tag
+            // covers the whole write.
+            let section = ctx.assignment.as_ref().map(|a| a[chunk[0]]);
             // One write per chunk: a torn write can only tear the final
             // line, which journal resume tolerates.
-            if let Err(e) = ctx.journal.append_outcomes(&outcomes) {
+            if let Err(e) = ctx.journal.append_outcomes_in_section(&outcomes, section) {
                 ctx.job.update(|p| {
                     p.error
                         .get_or_insert_with(|| format!("journal write failed: {e}"));
@@ -446,7 +489,9 @@ impl Daemon {
                 ctx.job.request_cancel();
             } else {
                 for (i, outcome) in outcomes {
-                    ctx.job.events.push(outcome_line(i, &outcome));
+                    ctx.job
+                        .events
+                        .push(outcome_line_in_section(i, &outcome, section));
                     *lock(&ctx.slots[i]) = Some(outcome);
                 }
                 self.executed_runs

@@ -178,6 +178,66 @@ fn graceful_shutdown_drains_and_restart_resumes_from_journal() {
     daemon.join().unwrap();
 }
 
+const TWO_FN_SOURCE: &str = "fn sq(n: int) -> int {
+    let s: int = 0;
+    for (let i: int = 0; i < n; i = i + 1) { s = s + i * i; }
+    return s;
+}
+fn main() -> int {
+    output_i(sq(40));
+    let b: int = 0;
+    for (let j: int = 0; j < 25; j = j + 1) { b = b + j * 3; }
+    output_i(b);
+    return 0;
+}";
+
+#[test]
+fn sectional_jobs_tag_the_journal_and_keep_the_summary_identical() {
+    let dir = test_dir("sections");
+    let cfg = config(&dir, 2, 8);
+    let (daemon, client) = start_daemon(cfg.clone());
+
+    let mut plain = JobSpec::new(JobKind::Campaign, "acme", "twofn", TWO_FN_SOURCE);
+    plain.runs = 48;
+    plain.seed = 7;
+    let mut sectional = plain.clone();
+    sectional.sections = true;
+    assert_ne!(
+        plain.job_id(),
+        sectional.job_id(),
+        "sectional work has its own job id"
+    );
+
+    let mut out_plain = Vec::new();
+    client
+        .submit(&plain, true, &mut out_plain, &mut Vec::new())
+        .unwrap();
+    let mut out_sectional = Vec::new();
+    client
+        .submit(&sectional, true, &mut out_sectional, &mut Vec::new())
+        .unwrap();
+    assert_eq!(
+        out_sectional, out_plain,
+        "section-aligned chunking is invisible in the summary"
+    );
+
+    let journal = |id: &str| {
+        std::fs::read_to_string(cfg.state_dir.join("journals").join(format!("{id}.jsonl")))
+            .expect("journal written")
+    };
+    assert!(
+        journal(&sectional.job_id()).contains("\"sec\":"),
+        "sectional records carry section tags"
+    );
+    assert!(
+        !journal(&plain.job_id()).contains("\"sec\":"),
+        "plain records stay untagged"
+    );
+
+    client.shutdown().unwrap();
+    daemon.join().unwrap();
+}
+
 #[test]
 fn tenant_quotas_refuse_over_budget_submissions() {
     let dir = test_dir("quota");

@@ -25,6 +25,10 @@
 //!   ipas explain <file.scil> [--runs N]    # per-instruction decisions
 //!   ipas campaign <file.scil> [--runs N] [--seed S] [--fault-model M|all]
 //!                 [--journal FILE]  # raw campaign, SOC/DDC/benign breakdown
+//!                 [--sections] [--incremental [--baseline KEY]]
+//!                                   # section-granular execution; incremental
+//!                                   # reuses unchanged sections from the
+//!                                   # store (see docs/incremental.md)
 //!   ipas fuzz [--runs N] [--seed S] [--oracle NAME]   # differential fuzzing
 //!   ipas serve [--socket PATH] [--state DIR] [--threads N] [--shards N]
 //!              [--chunk N] [--quota-runs N]   # campaign daemon (see
@@ -63,9 +67,9 @@ use std::process::ExitCode;
 
 use ipas::core::{
     campaign_fingerprint, compare_fault_models, dataset_from_artifact, eval_fingerprint,
-    evaluate_variant, memoized_models, memoized_protect, render_model_table, summary_fingerprint,
-    train_top_configs, training_fingerprint, training_set_artifact, LabelKind, ProtectionPolicy,
-    TrainedClassifier,
+    evaluate_variant, memoized_models, memoized_protect, render_model_table,
+    run_campaign_incremental, summary_fingerprint, train_top_configs, training_fingerprint,
+    training_set_artifact, LabelKind, ProtectionPolicy, TrainedClassifier,
 };
 use ipas::faultsim::{
     margin_of_error, run_campaign, run_campaign_with, CampaignConfig, CampaignOptions,
@@ -118,6 +122,8 @@ fn usage() -> ExitCode {
          \x20      [--engine reference|compiled] [--fault-model M]\n\
          \x20      ipas campaign <file.scil> [--runs N] [--seed S] [--fault-model M|all]\n\
          \x20                    [--journal FILE]   # raw campaign + SOC/DDC/benign breakdown\n\
+         \x20                    [--sections] [--incremental [--baseline KEY]]\n\
+         \x20                    # section-granular / reuse unchanged sections from the store\n\
          \x20      ipas ir <file.scil> [--passes SPEC] [--stats] [--verify-each]\n\
          \x20      ipas passes <list|verify> [--passes SPEC]\n\
          \x20      ipas models <list|verify|gc>   (requires IPAS_STORE_DIR)\n\
@@ -127,6 +133,7 @@ fn usage() -> ExitCode {
          \x20      ipas client <submit <file.scil>|status ID|watch ID|cancel ID|stats|shutdown>\n\
          \x20                  [--socket PATH] [--kind campaign|protect|train|eval] [--watch]\n\
          \x20                  [--tenant T] [--name N] [--module-key KEY] [--deadline-ms MS]\n\
+         \x20                  [--sections]   # campaign jobs: section-aligned chunks\n\
          fault models M: single-bit (default), burst<W>, stuck-value, load-value, store-value, \
          branch-flip"
     );
@@ -411,6 +418,32 @@ fn execute(
     }
 }
 
+/// Prints the SOC/DDC/benign breakdown to stdout. Shared verbatim by
+/// the classic, `--sections`, and `--incremental` campaign paths so
+/// their stdout can be compared byte for byte.
+fn print_breakdown(fault_model: FaultModel, summary: &CampaignSummary) {
+    // §5.5 outcome slots: [symptom, detected, masked, soc].
+    let classified: u64 = summary.counts.iter().sum();
+    let soc = summary.counts[3];
+    let ddc = summary.counts[0] + summary.counts[1];
+    let benign = summary.counts[2];
+    let moe = margin_of_error(summary.fraction(3), classified as usize);
+    println!(
+        "model {fault_model}: {classified} classified runs, {} harness failures",
+        summary.harness_failures
+    );
+    println!(
+        "  SOC    {soc:>6}  ({:.2}% ± {:.2}%)",
+        summary.fraction(3) * 100.0,
+        moe * 100.0
+    );
+    println!(
+        "  DDC    {ddc:>6}  (detected {} + symptom {})",
+        summary.counts[1], summary.counts[0]
+    );
+    println!("  benign {benign:>6}");
+}
+
 /// `ipas campaign` — a raw fault-injection campaign (no training, no
 /// protection) with a SOC/DDC/Benign breakdown. `--fault-model all`
 /// runs one campaign per model and prints the comparison table with
@@ -485,6 +518,12 @@ fn campaign_command(args: &Args, module: ipas::ir::Module, engine: Engine) -> Ex
             Ok(s) => s,
             Err(code) => return code,
         };
+        if args.flags.contains_key("incremental") || args.flags.contains_key("baseline") {
+            return incremental_campaign(args, &workload, &config, &options, store);
+        }
+        if args.flags.contains_key("sections") {
+            return sectional_campaign(&workload, &config, &options);
+        }
         let run = || -> Result<CampaignSummary, String> {
             eprintln!("[ipas] campaign: {runs} {fault_model} injections ...");
             let result = run_campaign_with(&workload, &config, &options)
@@ -524,31 +563,117 @@ fn campaign_command(args: &Args, module: ipas::ir::Module, engine: Engine) -> Ex
                 return ExitCode::FAILURE;
             }
         };
-        // §5.5 outcome slots: [symptom, detected, masked, soc].
-        let classified: u64 = summary.counts.iter().sum();
-        let soc = summary.counts[3];
-        let ddc = summary.counts[0] + summary.counts[1];
-        let benign = summary.counts[2];
-        let moe = margin_of_error(summary.fraction(3), classified as usize);
-        println!(
-            "model {fault_model}: {classified} classified runs, {} harness failures",
-            summary.harness_failures
-        );
-        println!(
-            "  SOC    {soc:>6}  ({:.2}% ± {:.2}%)",
-            summary.fraction(3) * 100.0,
-            moe * 100.0
-        );
-        println!(
-            "  DDC    {ddc:>6}  (detected {} + symptom {})",
-            summary.counts[1], summary.counts[0]
-        );
-        println!("  benign {benign:>6}");
+        print_breakdown(fault_model, &summary);
         if let Some(path) = &options.journal {
             eprintln!("[ipas] journal written to {}", path.display());
         }
         ExitCode::SUCCESS
     }
+}
+
+/// `ipas campaign --sections`: the same campaign executed section by
+/// section — partition the module, run each section's plan slice,
+/// splice. The partition shape goes to stderr; stdout stays
+/// byte-identical to the classic path.
+fn sectional_campaign(
+    workload: &Workload,
+    config: &CampaignConfig,
+    options: &CampaignOptions,
+) -> ExitCode {
+    eprintln!(
+        "[ipas] campaign: {} {} injections across sections ...",
+        config.runs, config.fault_model
+    );
+    let campaign = match ipas::faultsim::sections::run_campaign_sectional(workload, config, options)
+    {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("ipas: campaign failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "[ipas] sections: {} sections, {} plans",
+        campaign.partition.len(),
+        campaign.assignment.len()
+    );
+    if campaign.result.resumed > 0 {
+        eprintln!(
+            "[ipas] journal: {} records resumed from disk",
+            campaign.result.resumed
+        );
+    }
+    let summary = summarize("cli", config, &campaign.result);
+    print_breakdown(config.fault_model, &summary);
+    if let Some(path) = &options.journal {
+        eprintln!("[ipas] journal written to {}", path.display());
+    }
+    ExitCode::SUCCESS
+}
+
+/// `ipas campaign --incremental [--baseline KEY]`: section-granular
+/// campaign that stores one profile per section and, given a baseline
+/// (a prior run's section-index key), reuses profiles for sections
+/// whose code and plan slice are unchanged. Reuse statistics and the
+/// new baseline key go to stderr; stdout stays byte-identical to a
+/// from-scratch campaign on the same module.
+fn incremental_campaign(
+    args: &Args,
+    workload: &Workload,
+    config: &CampaignConfig,
+    options: &CampaignOptions,
+    store: Option<Store>,
+) -> ExitCode {
+    let Some(store) = store else {
+        eprintln!("ipas: --incremental needs IPAS_STORE_DIR (section profiles live in the store)");
+        return ExitCode::FAILURE;
+    };
+    let baseline = match args.flags.get("baseline") {
+        None => None,
+        Some(v) => match Key::parse(v) {
+            Ok(k) => Some(k),
+            Err(e) => {
+                eprintln!("ipas: bad --baseline: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    eprintln!(
+        "[ipas] campaign: {} {} injections, incremental ...",
+        config.runs, config.fault_model
+    );
+    let outcome =
+        match run_campaign_incremental(&store, workload, config, options, baseline.as_ref()) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("ipas: campaign failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    eprintln!(
+        "[ipas] incremental: sections reused {} of {}",
+        outcome.sections_reused, outcome.sections_total
+    );
+    eprintln!(
+        "[ipas] incremental: injections executed {} of {}",
+        outcome.injections_executed, outcome.injections_total
+    );
+    eprintln!(
+        "[ipas] incremental: baseline {} (pass via --baseline next run)",
+        outcome.index_key.as_str()
+    );
+    if outcome.result.resumed > 0 {
+        eprintln!(
+            "[ipas] journal: {} records resumed from disk",
+            outcome.result.resumed
+        );
+    }
+    let summary = summarize("cli", config, &outcome.result);
+    print_breakdown(config.fault_model, &summary);
+    if let Some(path) = &options.journal {
+        eprintln!("[ipas] journal written to {}", path.display());
+    }
+    ExitCode::SUCCESS
 }
 
 fn fuzz_command(args: &Args) -> ExitCode {
@@ -828,6 +953,7 @@ fn client_command(args: &Args) -> ExitCode {
                 Err(code) => return code,
             };
             spec.module_key = args.flags.get("module-key").cloned();
+            spec.sections = args.flags.contains_key("sections");
             if let Err(e) = spec.validate() {
                 eprintln!("ipas: invalid job: {e}");
                 return ExitCode::FAILURE;
