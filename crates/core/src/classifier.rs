@@ -40,6 +40,14 @@ impl TrainedClassifier {
         self.svm.predict(&row)
     }
 
+    /// Signed SVM decision value for a raw (unstandardized) feature
+    /// slice. Zero is the decision boundary; |value| is the margin that
+    /// adaptive campaigns use to rank per-instruction uncertainty.
+    pub fn decision_raw(&self, features: &[f64]) -> f64 {
+        let row = self.scaler.transform_row(features);
+        self.svm.decision_function(&row)
+    }
+
     /// Exports this classifier as a store artifact. All floats are
     /// carried as bit patterns, so `from_export(export(m))` yields a
     /// model with bit-identical decision function.

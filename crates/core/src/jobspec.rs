@@ -112,6 +112,12 @@ pub struct JobSpec {
     /// section boundaries, and journal records carry section tags — the
     /// serving-side face of incremental re-analysis.
     pub sections: bool,
+    /// Run the campaign adaptively ([`JobKind::Campaign`] only): a
+    /// uniform seed round, then margin-weighted rounds drawn by a
+    /// classifier retrained on the labels so far, chunks aligned to
+    /// round boundaries, and journal records tagged with their round.
+    /// Mutually exclusive with [`JobSpec::sections`].
+    pub adaptive: bool,
 }
 
 impl JobSpec {
@@ -134,6 +140,7 @@ impl JobSpec {
             deadline_ms: 0,
             module_key: None,
             sections: false,
+            adaptive: false,
         }
     }
 
@@ -161,6 +168,12 @@ impl JobSpec {
         }
         if self.sections && self.kind != JobKind::Campaign {
             return Err("sectional execution only applies to campaign jobs".to_string());
+        }
+        if self.adaptive && self.kind != JobKind::Campaign {
+            return Err("adaptive sampling only applies to campaign jobs".to_string());
+        }
+        if self.adaptive && self.sections {
+            return Err("adaptive and sectional execution are mutually exclusive".to_string());
         }
         if !matches!(
             self.policy.as_str(),
@@ -195,6 +208,9 @@ impl JobSpec {
         if self.sections {
             b = b.bool("sections", true);
         }
+        if self.adaptive {
+            b = b.bool("adaptive", true);
+        }
         b.finish()
     }
 
@@ -226,6 +242,9 @@ impl JobSpec {
         }
         if self.sections {
             b = b.num("sections", 1);
+        }
+        if self.adaptive {
+            b = b.num("adaptive", 1);
         }
         b.finish()
     }
@@ -276,6 +295,7 @@ impl JobSpec {
             deadline_ms: num_field("deadline_ms")?,
             module_key: fields.str("module_key").map(str::to_string),
             sections: fields.num("sections").unwrap_or(0) != 0,
+            adaptive: fields.num("adaptive").unwrap_or(0) != 0,
         };
         spec.validate()?;
         Ok(spec)
@@ -394,6 +414,14 @@ mod tests {
         let mut bad = spec();
         bad.sections = true;
         assert!(bad.validate().is_err(), "sectional protect job");
+        let mut bad = spec();
+        bad.adaptive = true;
+        assert!(bad.validate().is_err(), "adaptive protect job");
+        let mut bad = spec();
+        bad.kind = JobKind::Campaign;
+        bad.adaptive = true;
+        bad.sections = true;
+        assert!(bad.validate().is_err(), "adaptive + sectional campaign");
     }
 
     #[test]
@@ -410,6 +438,22 @@ mod tests {
         // Lines minted before the flag existed decode as non-sectional.
         let legacy = JobSpec::decode(&plain_line, "submit").unwrap();
         assert!(!legacy.sections);
+    }
+
+    #[test]
+    fn adaptive_flag_round_trips_and_splits_the_job_id() {
+        let mut s = spec();
+        s.kind = JobKind::Campaign;
+        let plain_id = s.job_id();
+        let plain_line = s.encode("submit");
+        s.adaptive = true;
+        assert!(s.validate().is_ok());
+        assert_ne!(s.job_id(), plain_id, "adaptive work is different work");
+        let back = JobSpec::decode(&s.encode("submit"), "submit").unwrap();
+        assert_eq!(back, s);
+        // Lines minted before the flag existed decode as non-adaptive.
+        let legacy = JobSpec::decode(&plain_line, "submit").unwrap();
+        assert!(!legacy.adaptive);
     }
 
     #[test]

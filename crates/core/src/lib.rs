@@ -47,6 +47,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod classifier;
 pub mod duplication;
 pub mod experiment;
@@ -58,6 +59,10 @@ pub mod policy;
 pub mod selection;
 pub mod training;
 
+pub use adaptive::{
+    binary_entropy, run_campaign_adaptive, AdaptiveDriver, AdaptiveParams, AdaptiveResult,
+    RoundSampling, RoundSummary,
+};
 pub use classifier::{train_top_configs, TrainedClassifier};
 pub use duplication::{
     duplicable, protect_module, protect_module_placed, CheckPlacement, DuplicationStats,

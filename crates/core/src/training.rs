@@ -17,7 +17,8 @@ pub enum LabelKind {
 }
 
 impl LabelKind {
-    fn label(self, outcome: Outcome) -> bool {
+    /// Whether `outcome` is a positive example under this label kind.
+    pub fn label(self, outcome: Outcome) -> bool {
         match self {
             LabelKind::SocGenerating => outcome == Outcome::Soc,
             LabelKind::SymptomGenerating => outcome == Outcome::Symptom,

@@ -1,0 +1,165 @@
+//! Adaptive-campaign determinism suite: a given `(seed, config)` must
+//! produce byte-identical records and journal bytes across engines and
+//! thread counts, and a journal truncated mid-round must resume to the
+//! same campaign as an uninterrupted run.
+
+use std::path::PathBuf;
+
+use ipas_core::{run_campaign_adaptive, AdaptiveParams, AdaptiveResult};
+use ipas_faultsim::{CampaignConfig, CampaignOptions, Engine, GoldenToleranceVerifier, Workload};
+
+const SRC: &str = "fn main() -> int {
+    let s: int = 0;
+    let a: [int] = new_int(40);
+    for (let i: int = 0; i < 40; i = i + 1) { a[i] = i * 5 - 7; }
+    for (let i: int = 0; i < 40; i = i + 1) { s = s + a[i] * a[i]; }
+    output_i(s);
+    free_arr(a);
+    return 0;
+}";
+
+fn workload() -> Workload {
+    let module = ipas_lang::compile(SRC).expect("compiles");
+    Workload::serial("adaptive-det", module, GoldenToleranceVerifier::EXACT).expect("prepares")
+}
+
+fn params() -> AdaptiveParams {
+    let mut p = AdaptiveParams::for_budget(60);
+    p.round_runs = 12;
+    p
+}
+
+fn temp_journal(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("ipas-adaptive-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(format!(
+        "{tag}-{}-{:?}.jsonl",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn run(
+    engine: Engine,
+    threads: usize,
+    journal: Option<PathBuf>,
+) -> (AdaptiveResult, Option<String>) {
+    let w = workload();
+    let config = CampaignConfig {
+        runs: 60,
+        seed: 21,
+        threads,
+        engine,
+        ..CampaignConfig::default()
+    };
+    let options = CampaignOptions {
+        journal: journal.clone(),
+        ..CampaignOptions::default()
+    };
+    let out =
+        run_campaign_adaptive(&w, &config, &options, &params()).expect("adaptive campaign runs");
+    let text = journal.map(|p| std::fs::read_to_string(p).expect("journal readable"));
+    (out, text)
+}
+
+#[test]
+fn records_and_journal_bytes_match_across_engines_and_threads() {
+    let mut baseline: Option<(AdaptiveResult, String)> = None;
+    for engine in [Engine::Reference, Engine::Compiled] {
+        for threads in [1usize, 4] {
+            let path = temp_journal(&format!("matrix-{}-{threads}", engine.label()));
+            let (out, text) = run(engine, threads, Some(path.clone()));
+            let text = text.unwrap();
+            match &baseline {
+                None => baseline = Some((out, text)),
+                Some((base, base_text)) => {
+                    assert_eq!(
+                        out.result.records,
+                        base.result.records,
+                        "records diverge on {} x{threads}",
+                        engine.label()
+                    );
+                    assert_eq!(
+                        &text,
+                        base_text,
+                        "journal bytes diverge on {} x{threads}",
+                        engine.label()
+                    );
+                    assert_eq!(out.rounds.len(), base.rounds.len());
+                    assert_eq!(out.stopped_early, base.stopped_early);
+                    for (a, b) in out.rounds.iter().zip(&base.rounds) {
+                        assert_eq!(a.sampling, b.sampling);
+                        assert_eq!(a.drawn, b.drawn);
+                        assert!((a.entropy - b.entropy).abs() < 1e-12);
+                    }
+                }
+            }
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+}
+
+#[test]
+fn mid_round_truncation_resumes_to_the_uninterrupted_campaign() {
+    // Uninterrupted reference run.
+    let full_path = temp_journal("full");
+    let (full, full_text) = run(Engine::Compiled, 2, Some(full_path.clone()));
+    let full_text = full_text.unwrap();
+
+    // Simulate a kill mid-round-1: keep the header, all of round 0, and
+    // 5 of round 1's 12 records.
+    let keep = 1 + 12 + 5;
+    let truncated: String = full_text
+        .lines()
+        .take(keep)
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let resume_path = temp_journal("resume");
+    std::fs::write(&resume_path, truncated).expect("write truncated journal");
+
+    let (resumed, _) = run(Engine::Compiled, 2, Some(resume_path.clone()));
+    assert_eq!(
+        resumed.result.records, full.result.records,
+        "resumed campaign diverges from the uninterrupted one"
+    );
+    assert_eq!(resumed.result.resumed, 17, "all journaled plans recovered");
+    assert_eq!(resumed.rounds.len(), full.rounds.len());
+    for (a, b) in resumed.rounds.iter().zip(&full.rounds) {
+        assert_eq!(
+            a.sampling, b.sampling,
+            "round {} re-drew differently",
+            a.round
+        );
+        assert!((a.entropy - b.entropy).abs() < 1e-12);
+    }
+    assert_eq!(
+        resumed.rounds[0].resumed, 12,
+        "round 0 came entirely from the journal"
+    );
+    assert_eq!(resumed.rounds[1].resumed, 5);
+    assert_eq!(resumed.rounds[1].executed, 7);
+
+    // The resumed journal holds the same record *set*; only the lines
+    // of the torn round are reordered (resumed entries were already on
+    // disk before the fresh ones were appended).
+    let resumed_text = std::fs::read_to_string(&resume_path).expect("journal readable");
+    let mut full_lines: Vec<&str> = full_text.lines().collect();
+    let mut resumed_lines: Vec<&str> = resumed_text.lines().collect();
+    full_lines.sort_unstable();
+    resumed_lines.sort_unstable();
+    assert_eq!(resumed_lines, full_lines, "journal contents diverge");
+
+    let _ = std::fs::remove_file(&full_path);
+    let _ = std::fs::remove_file(&resume_path);
+}
+
+#[test]
+fn journal_free_runs_match_journaled_runs() {
+    let path = temp_journal("plain");
+    let (journaled, _) = run(Engine::Reference, 1, Some(path.clone()));
+    let (plain, _) = run(Engine::Reference, 4, None);
+    assert_eq!(plain.result.records, journaled.result.records);
+    let _ = std::fs::remove_file(&path);
+}

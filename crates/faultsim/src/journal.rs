@@ -120,6 +120,12 @@ pub struct JournalHeader {
     pub eligible_results: u64,
     /// Dynamic instruction count of the clean run (fingerprint).
     pub nominal_insts: u64,
+    /// Plans per adaptive round, when the campaign draws its plans in
+    /// margin-weighted rounds. `None` for classic campaigns — the field
+    /// is omitted from the header line, so pre-adaptive journals are
+    /// byte-identical and still resume. Record `sec` tags then carry
+    /// the round index instead of a section id.
+    pub round_runs: Option<usize>,
 }
 
 /// Entries recovered from an existing journal, keyed by plan index.
@@ -359,7 +365,7 @@ impl LineBuilder {
 }
 
 fn encode_header(h: &JournalHeader) -> String {
-    LineBuilder::new("header")
+    let mut b = LineBuilder::new("header")
         .num("version", FORMAT_VERSION)
         .str("workload", &h.workload)
         .str("entry", &h.entry)
@@ -368,8 +374,13 @@ fn encode_header(h: &JournalHeader) -> String {
         .str("sampling", sampling_label(h.sampling))
         .str("model", &h.fault_model.to_string())
         .num("eligible", h.eligible_results)
-        .num("nominal", h.nominal_insts)
-        .finish()
+        .num("nominal", h.nominal_insts);
+    // Added like the record `sec` tag: only present on adaptive
+    // campaigns, so classic journals stay byte-identical.
+    if let Some(rounds) = h.round_runs {
+        b = b.num("rounds", rounds as u64);
+    }
+    b.finish()
 }
 
 fn encode_record(plan: usize, r: &InjectionRecord, section: Option<u32>) -> String {
@@ -717,6 +728,20 @@ fn check_header(fields: &Fields, expect: &JournalHeader) -> Result<(), JournalEr
             return mismatch(field, journal, campaign);
         }
     }
+    // The round size is optional (absent on classic campaigns); an
+    // adaptive resume must agree on it, because round boundaries decide
+    // which journaled labels feed which round's retraining.
+    let display = |r: Option<u64>| match r {
+        Some(n) => n.to_string(),
+        None => "absent".to_string(),
+    };
+    if fields.num("rounds") != expect.round_runs.map(|r| r as u64) {
+        return mismatch(
+            "round size",
+            display(fields.num("rounds")),
+            display(expect.round_runs.map(|r| r as u64)),
+        );
+    }
     Ok(())
 }
 
@@ -734,6 +759,7 @@ mod tests {
             fault_model: FaultModel::SingleBit,
             eligible_results: 100,
             nominal_insts: 500,
+            round_runs: None,
         }
     }
 
@@ -1025,6 +1051,47 @@ mod tests {
                 ..
             }) => {}
             other => panic!("expected schema mismatch, got {other:?}"),
+        }
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn round_size_header_pins_adaptive_identity() {
+        // Classic headers never emit the field, so pre-adaptive
+        // journals stay byte-identical.
+        assert!(!encode_header(&header()).contains("rounds"));
+
+        let path = temp_path("rounds");
+        let _ = std::fs::remove_file(&path);
+        let adaptive = JournalHeader {
+            round_runs: Some(8),
+            ..header()
+        };
+        drop(CampaignJournal::open(&path, &adaptive).expect("fresh"));
+        // Same round size resumes; a classic campaign or a different
+        // round size is a typed mismatch.
+        drop(CampaignJournal::open(&path, &adaptive).expect("same rounds resume"));
+        match CampaignJournal::open(&path, &header()) {
+            Err(JournalError::Mismatch {
+                field: "round size",
+                journal,
+                campaign,
+            }) => {
+                assert_eq!(journal, "8");
+                assert_eq!(campaign, "absent");
+            }
+            other => panic!("expected round-size mismatch, got {other:?}"),
+        }
+        let smaller = JournalHeader {
+            round_runs: Some(4),
+            ..header()
+        };
+        match CampaignJournal::open(&path, &smaller) {
+            Err(JournalError::Mismatch {
+                field: "round size",
+                ..
+            }) => {}
+            other => panic!("expected round-size mismatch, got {other:?}"),
         }
         std::fs::remove_file(&path).expect("cleanup");
     }

@@ -65,6 +65,7 @@
 #![warn(missing_docs)]
 
 mod journal;
+pub mod rounds;
 pub mod sections;
 
 use std::fmt;
@@ -963,6 +964,7 @@ pub fn run_campaign_with(
                 fault_model: config.fault_model,
                 eligible_results: workload.eligible_results,
                 nominal_insts: workload.nominal_insts,
+                round_runs: None,
             };
             let (journal, resume) = CampaignJournal::open(path, &header)?;
             (Some(journal), resume)

@@ -233,6 +233,7 @@ pub fn execute_sections(
                 fault_model: config.fault_model,
                 eligible_results: workload.eligible_results,
                 nominal_insts: workload.nominal_insts,
+                round_runs: None,
             };
             let (journal, resume) = CampaignJournal::open(path, &header)?;
             (Some(journal), resume)

@@ -190,8 +190,14 @@ fn stream_to_end(
     loop {
         let mut line = String::new();
         if reader.read_line(&mut line).map_err(io)? == 0 {
+            // EOF before a `result`/`failed` event: the daemon died (or
+            // dropped the connection) mid-stream. Surfacing an error
+            // here is what keeps a truncated event log from passing for
+            // a finished job.
             return Err(ServeError::Protocol(
-                "stream ended without a terminal event".into(),
+                "daemon closed the stream before the job finished; \
+                 the event log above is truncated, not complete"
+                    .into(),
             ));
         }
         let Some(fields) = Fields::parse(line.trim_end()) else {
@@ -217,5 +223,50 @@ fn stream_to_end(
                 log.write_all(line.as_bytes()).map_err(io)?;
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn truncated_streams_error_instead_of_passing_for_complete() {
+        // A daemon that dies mid-job leaves the watcher with progress
+        // events but no terminal `result`/`failed` line.
+        let partial = "{\"kind\":\"progress\",\"executed\":8,\"total\":64,\"resumed\":0}\n\
+                       {\"kind\":\"outcome\",\"plan\":0,\"out\":\"masked\"}\n";
+        let mut out = Vec::new();
+        let mut log = Vec::new();
+        let err = stream_to_end(&mut Cursor::new(partial), &mut out, &mut log)
+            .expect_err("truncated stream must not look finished");
+        match err {
+            ServeError::Protocol(reason) => {
+                assert!(reason.contains("truncated"), "unhelpful message: {reason}");
+                assert!(
+                    reason.contains("before the job finished"),
+                    "unhelpful message: {reason}"
+                );
+            }
+            other => panic!("expected a protocol error, got {other:?}"),
+        }
+        assert!(out.is_empty(), "no payload was emitted");
+        assert_eq!(
+            String::from_utf8(log).unwrap().lines().count(),
+            2,
+            "the partial events still reach the log"
+        );
+    }
+
+    #[test]
+    fn complete_streams_split_payload_from_log() {
+        let full = "{\"kind\":\"progress\",\"executed\":64,\"total\":64,\"resumed\":0}\n\
+                    {\"kind\":\"result\",\"id\":\"ab\",\"payload\":\"summary text\"}\n";
+        let mut out = Vec::new();
+        let mut log = Vec::new();
+        stream_to_end(&mut Cursor::new(full), &mut out, &mut log).expect("stream completes");
+        assert_eq!(out, b"summary text");
+        assert!(String::from_utf8(log).unwrap().contains("progress"));
     }
 }

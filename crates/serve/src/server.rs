@@ -45,6 +45,7 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
 use ipas_analysis::sections::SectionPartition;
+use ipas_core::adaptive::{AdaptiveDriver, AdaptiveParams};
 use ipas_core::classifier::{train_top_configs, TrainedClassifier};
 use ipas_core::experiment::memoized_protect;
 use ipas_core::jobspec::{JobKind, JobSpec};
@@ -57,8 +58,8 @@ use ipas_core::training::LabelKind;
 use ipas_faultsim::sections::assign_sections;
 use ipas_faultsim::{
     draw_plans, outcome_line_in_section, CampaignConfig, CampaignJournal, CampaignOptions,
-    CampaignResult, CompiledProgram, Engine, Injection, JournalHeader, Outcome, PlanExecutor,
-    PlanOutcome, ResumeState, Workload,
+    CampaignResult, CompiledProgram, Engine, Injection, InjectionRecord, JournalHeader, Outcome,
+    PlanExecutor, PlanOutcome, ResumeState, Workload,
 };
 use ipas_store::{
     ArtifactKind, CampaignSummary, Fingerprint, Key, ProtectedModule, SingleFlight, Store,
@@ -146,11 +147,23 @@ struct RunCtx {
     job: Arc<Job>,
     workload: Workload,
     compiled: Option<CompiledProgram>,
-    plans: Vec<Injection>,
+    /// Every plan drawn so far. Classic jobs draw the full list during
+    /// prepare; adaptive jobs ([`JobSpec::adaptive`]) grow it round by
+    /// round, so reads go through the lock.
+    plans: Mutex<Vec<Injection>>,
     /// Section id per plan for sectional jobs ([`JobSpec::sections`]):
     /// chunks then align to section boundaries and journal records
     /// carry section tags.
     assignment: Option<Vec<u32>>,
+    /// The round planner for adaptive jobs: between rounds it retrains
+    /// on the labels so far and draws the next margin-weighted round.
+    adaptive: Option<Mutex<AdaptiveDriver>>,
+    /// Round size for adaptive jobs; plan `i` belongs to round
+    /// `i / round_runs` (only the final round can be short).
+    round_runs: Option<usize>,
+    /// One slot per *possible* plan (`config.runs`); adaptive jobs that
+    /// stop early leave the tail untouched and finalize over
+    /// `plans.len()` only.
     slots: Vec<Mutex<Option<PlanOutcome>>>,
     journal: CampaignJournal,
     remaining_chunks: AtomicUsize,
@@ -323,6 +336,7 @@ impl Daemon {
             return;
         }
         match self.prepare_ctx(&job) {
+            Ok(ctx) if ctx.adaptive.is_some() => self.advance_round(ctx),
             Ok(ctx) => self.dispatch_chunks(ctx),
             Err(reason) => self.fail(&job, reason),
         }
@@ -337,7 +351,13 @@ impl Daemon {
         // Eval jobs run the campaign against the stored protected
         // variant, keeping the reference verifier.
         let workload = if spec.kind == JobKind::Eval {
-            let key_text = spec.module_key.as_deref().expect("validated eval spec");
+            // Checkpoints are decoded without re-validation, so a
+            // hand-edited `.job` file can reach this point without a
+            // module key; fail the job instead of killing the worker.
+            let key_text = spec
+                .module_key
+                .as_deref()
+                .ok_or_else(|| "eval job is missing its module key".to_string())?;
             let key = Key::parse(key_text).map_err(|e| format!("bad module key: {e}"))?;
             let artifact = self
                 .store
@@ -355,9 +375,26 @@ impl Daemon {
         };
         let config = spec.campaign_config();
         let mut options = spec.campaign_options();
-        options.journal = Some(self.journal_path(&job.id));
-        let plans = draw_plans(&workload, &config, options.sampling)
-            .map_err(|e| format!("plan drawing failed: {e}"))?;
+        let journal_path = self.journal_path(&job.id);
+        options.journal = Some(journal_path.clone());
+        // Adaptive jobs draw nothing up front: the driver draws round
+        // by round as labels accumulate (see `advance_round`).
+        let adaptive = if spec.adaptive {
+            let params = AdaptiveParams::for_budget(config.runs);
+            Some(
+                AdaptiveDriver::new(&workload, &config, params)
+                    .map_err(|e| format!("adaptive setup failed: {e}"))?,
+            )
+        } else {
+            None
+        };
+        let round_runs = adaptive.as_ref().map(|d| d.params().round_runs);
+        let plans = if spec.adaptive {
+            Vec::new()
+        } else {
+            draw_plans(&workload, &config, options.sampling)
+                .map_err(|e| format!("plan drawing failed: {e}"))?
+        };
         let assignment = if spec.sections {
             let partition = SectionPartition::compute(&workload.module);
             Some(
@@ -376,12 +413,18 @@ impl Daemon {
             fault_model: config.fault_model,
             eligible_results: workload.eligible_results,
             nominal_insts: workload.nominal_insts,
+            round_runs,
         };
-        let journal_path = options.journal.clone().expect("journal just set");
         let (journal, resume) = CampaignJournal::open(&journal_path, &header)
             .map_err(|e| format!("journal failed: {e}"))?;
+        // Adaptive slots cover the whole budget; rounds fill a prefix.
+        let slot_count = if spec.adaptive {
+            config.runs
+        } else {
+            plans.len()
+        };
         let slots: Vec<Mutex<Option<PlanOutcome>>> =
-            (0..plans.len()).map(|_| Mutex::new(None)).collect();
+            (0..slot_count).map(|_| Mutex::new(None)).collect();
         let ResumeState {
             records,
             failures,
@@ -409,8 +452,10 @@ impl Daemon {
             job: Arc::clone(job),
             workload,
             compiled,
-            plans,
+            plans: Mutex::new(plans),
             assignment,
+            adaptive: adaptive.map(Mutex::new),
+            round_runs,
             slots,
             journal,
             remaining_chunks: AtomicUsize::new(0),
@@ -419,8 +464,65 @@ impl Daemon {
         }))
     }
 
+    /// Adaptive task: retrains on every label collected so far, draws
+    /// the next margin-weighted round, and dispatches its chunks — or
+    /// hands off to finalize when the driver stops (entropy stability
+    /// or budget). Fully journal-resumed rounds are replayed inline
+    /// without touching the scheduler.
+    fn advance_round(self: Arc<Daemon>, ctx: Arc<RunCtx>) {
+        let Some(driver) = &ctx.adaptive else {
+            let daemon = Arc::clone(&self);
+            self.scheduler.submit(move || daemon.finalize(ctx));
+            return;
+        };
+        loop {
+            if ctx.job.canceled() {
+                let daemon = Arc::clone(&self);
+                self.scheduler.submit(move || daemon.finalize(ctx));
+                return;
+            }
+            let base = lock(&ctx.plans).len();
+            let labeled: Vec<(usize, InjectionRecord)> = (0..base)
+                .filter_map(|i| match *lock(&ctx.slots[i]) {
+                    Some(PlanOutcome::Record(record)) => Some((i, record)),
+                    _ => None,
+                })
+                .collect();
+            let next = lock(driver).next_round(&labeled);
+            let Some((_round, _sampling, round_plans)) = next else {
+                let daemon = Arc::clone(&self);
+                self.scheduler.submit(move || daemon.finalize(ctx));
+                return;
+            };
+            let drawn = base + round_plans.len();
+            lock(&ctx.plans).extend(round_plans);
+            ctx.job.update(|p| p.total = drawn);
+            let pending: Vec<usize> = (base..drawn)
+                .filter(|i| lock(&ctx.slots[*i]).is_none())
+                .collect();
+            if pending.is_empty() {
+                // The whole round was resumed from the journal; replay
+                // the next draw against the now-complete labels.
+                continue;
+            }
+            // Chunks stay inside the round, so every journal write of a
+            // chunk shares one round tag.
+            let chunk_size = self.config.chunk.max(1);
+            let chunks: Vec<Vec<usize>> = pending.chunks(chunk_size).map(|c| c.to_vec()).collect();
+            ctx.remaining_chunks.store(chunks.len(), Ordering::SeqCst);
+            for (i, chunk) in chunks.into_iter().enumerate() {
+                let daemon = Arc::clone(&self);
+                let ctx = Arc::clone(&ctx);
+                self.scheduler
+                    .submit_to(i, move || daemon.run_chunk(ctx, chunk));
+            }
+            return;
+        }
+    }
+
     fn dispatch_chunks(self: Arc<Daemon>, ctx: Arc<RunCtx>) {
-        let pending: Vec<usize> = (0..ctx.plans.len())
+        let drawn = lock(&ctx.plans).len();
+        let pending: Vec<usize> = (0..drawn)
             .filter(|i| lock(&ctx.slots[*i]).is_none())
             .collect();
         if pending.is_empty() {
@@ -472,13 +574,23 @@ impl Daemon {
                 &ctx.options,
                 ctx.compiled.as_ref(),
             );
+            let chunk_plans: Vec<Injection> = {
+                let plans = lock(&ctx.plans);
+                chunk.iter().map(|&i| plans[i]).collect()
+            };
             let outcomes: Vec<(usize, PlanOutcome)> = chunk
                 .iter()
-                .map(|&i| (i, executor.execute(i, ctx.plans[i])))
+                .zip(&chunk_plans)
+                .map(|(&i, &plan)| (i, executor.execute(i, plan)))
                 .collect();
-            // Chunks of sectional jobs are section-aligned, so one tag
-            // covers the whole write.
-            let section = ctx.assignment.as_ref().map(|a| a[chunk[0]]);
+            // Chunks of sectional jobs are section-aligned and chunks
+            // of adaptive jobs round-aligned, so one tag covers the
+            // whole write.
+            let section = match (&ctx.assignment, ctx.round_runs) {
+                (Some(assignment), _) => Some(assignment[chunk[0]]),
+                (None, Some(round_runs)) => Some((chunk[0] / round_runs) as u32),
+                (None, None) => None,
+            };
             // One write per chunk: a torn write can only tear the final
             // line, which journal resume tolerates.
             if let Err(e) = ctx.journal.append_outcomes_in_section(&outcomes, section) {
@@ -507,7 +619,11 @@ impl Daemon {
         }
         if ctx.remaining_chunks.fetch_sub(1, Ordering::AcqRel) == 1 {
             let daemon = Arc::clone(&self);
-            self.scheduler.submit(move || daemon.finalize(ctx));
+            if ctx.adaptive.is_some() {
+                self.scheduler.submit(move || daemon.advance_round(ctx));
+            } else {
+                self.scheduler.submit(move || daemon.finalize(ctx));
+            }
         }
     }
 
@@ -523,10 +639,13 @@ impl Daemon {
             }
             return;
         }
-        let mut records = Vec::with_capacity(ctx.plans.len());
+        // Adaptive jobs that stop early drew fewer plans than the
+        // budget-sized slot vector; only drawn plans count.
+        let drawn = lock(&ctx.plans).len();
+        let mut records = Vec::with_capacity(drawn);
         let mut harness_failures = Vec::new();
         let mut missing = 0usize;
-        for slot in &ctx.slots {
+        for slot in &ctx.slots[..drawn] {
             match lock(slot).clone() {
                 Some(PlanOutcome::Record(record)) => records.push(record),
                 Some(PlanOutcome::Failure(failure)) => harness_failures.push(failure),

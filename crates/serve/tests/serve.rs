@@ -239,6 +239,105 @@ fn sectional_jobs_tag_the_journal_and_keep_the_summary_identical() {
 }
 
 #[test]
+fn adaptive_jobs_round_tag_the_journal_and_resume_across_restarts() {
+    let dir = test_dir("adaptive");
+    let cfg = config(&dir, 2, 8);
+    let (daemon, client) = start_daemon(cfg.clone());
+
+    let mut spec = JobSpec::new(JobKind::Campaign, "acme", "sumsq", SOURCE);
+    spec.runs = 64;
+    spec.seed = 5;
+    spec.adaptive = true;
+
+    let mut out = Vec::new();
+    client
+        .submit(&spec, true, &mut out, &mut Vec::new())
+        .expect("adaptive campaign completes");
+    let text = String::from_utf8_lossy(&out);
+    assert!(text.contains("workload sumsq"), "payload: {text}");
+
+    let journal_path = cfg
+        .state_dir
+        .join("journals")
+        .join(format!("{}.jsonl", spec.job_id()));
+    let journal = std::fs::read_to_string(&journal_path).expect("journal written");
+    assert!(
+        journal.lines().next().unwrap().contains("\"rounds\":"),
+        "adaptive header pins the round size"
+    );
+    assert!(
+        journal.contains("\"sec\":"),
+        "adaptive records carry round tags"
+    );
+    client.shutdown().unwrap();
+    let report_a = daemon.join().unwrap();
+
+    // A fresh daemon replaying the same spec resumes every plan from
+    // the journal and re-executes nothing.
+    let (daemon, client) = start_daemon(cfg);
+    let mut again = Vec::new();
+    client
+        .submit(&spec, true, &mut again, &mut Vec::new())
+        .expect("resumed adaptive campaign completes");
+    assert_eq!(again, out, "resumed artifact is byte-identical");
+    let stats = client.stats().unwrap();
+    assert_eq!(field(&stats, "executed_runs"), 0, "all plans resumed");
+    client.shutdown().unwrap();
+    daemon.join().unwrap();
+    assert!(report_a.executed_runs > 0);
+}
+
+#[test]
+fn bad_eval_specs_fail_the_job_instead_of_killing_the_worker() {
+    let dir = test_dir("badeval");
+    let cfg = config(&dir, 2, 8);
+
+    // A crafted checkpoint: an eval spec whose module key was stripped
+    // by hand. Decode-time validation rejects it, so a restarting
+    // daemon must drop it instead of wedging (and even if one slipped
+    // through, prepare now fails the job rather than panicking).
+    let mut crafted = JobSpec::new(JobKind::Eval, "acme", "sumsq", SOURCE);
+    crafted.module_key = Some("deadbeefdeadbeef".to_string());
+    let line = crafted.encode("jobspec");
+    let stripped = {
+        let start = line.find(",\"module_key\"").expect("field present");
+        // The key is the last field, so cut up to the closing brace.
+        let end = line[start + 1..]
+            .find(",\"")
+            .map(|o| o + start + 1)
+            .unwrap_or_else(|| line.rfind('}').unwrap());
+        format!("{}{}", &line[..start], &line[end..])
+    };
+    assert!(!stripped.contains("module_key"));
+    let jobs_dir = cfg.state_dir.join("jobs");
+    std::fs::create_dir_all(&jobs_dir).unwrap();
+    let checkpoint = jobs_dir.join(format!("{}.job", crafted.job_id()));
+    std::fs::write(&checkpoint, &stripped).unwrap();
+
+    let (daemon, client) = start_daemon(cfg);
+    assert!(
+        !checkpoint.exists(),
+        "invalid checkpoint dropped at restore"
+    );
+    let stats = client.stats().unwrap();
+    assert_eq!(field(&stats, "jobs"), 0, "crafted job never admitted");
+
+    // An eval spec that validates but references a module the store has
+    // never seen reaches prepare; the job must fail with a clear event,
+    // not kill the worker (which would hang this watch forever).
+    match client.submit(&crafted, true, &mut Vec::new(), &mut Vec::new()) {
+        Err(ServeError::JobFailed(reason)) => {
+            assert!(reason.contains("module"), "unhelpful reason: {reason}")
+        }
+        other => panic!("expected a failed event, got {other:?}"),
+    }
+    // The daemon is still healthy after the failed job.
+    client.stats().expect("daemon still serving");
+    client.shutdown().unwrap();
+    daemon.join().unwrap();
+}
+
+#[test]
 fn tenant_quotas_refuse_over_budget_submissions() {
     let dir = test_dir("quota");
     let mut cfg = config(&dir, 2, 8);

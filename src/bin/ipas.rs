@@ -29,6 +29,9 @@
 //!                                   # section-granular execution; incremental
 //!                                   # reuses unchanged sections from the
 //!                                   # store (see docs/incremental.md)
+//!                 [--adaptive [--round-runs N] [--entropy-tol T] [--patience P]]
+//!                                   # margin-driven active-learning rounds
+//!                                   # (see docs/active-learning.md)
 //!   ipas fuzz [--runs N] [--seed S] [--oracle NAME]   # differential fuzzing
 //!   ipas serve [--socket PATH] [--state DIR] [--threads N] [--shards N]
 //!              [--chunk N] [--quota-runs N]   # campaign daemon (see
@@ -67,9 +70,10 @@ use std::process::ExitCode;
 
 use ipas::core::{
     campaign_fingerprint, compare_fault_models, dataset_from_artifact, eval_fingerprint,
-    evaluate_variant, memoized_models, memoized_protect, render_model_table,
+    evaluate_variant, memoized_models, memoized_protect, render_model_table, run_campaign_adaptive,
     run_campaign_incremental, summary_fingerprint, train_top_configs, training_fingerprint,
-    training_set_artifact, LabelKind, ProtectionPolicy, TrainedClassifier,
+    training_set_artifact, AdaptiveParams, AdaptiveResult, LabelKind, ProtectionPolicy,
+    TrainedClassifier,
 };
 use ipas::faultsim::{
     margin_of_error, run_campaign, run_campaign_with, CampaignConfig, CampaignOptions,
@@ -124,6 +128,8 @@ fn usage() -> ExitCode {
          \x20                    [--journal FILE]   # raw campaign + SOC/DDC/benign breakdown\n\
          \x20                    [--sections] [--incremental [--baseline KEY]]\n\
          \x20                    # section-granular / reuse unchanged sections from the store\n\
+         \x20                    [--adaptive [--round-runs N] [--entropy-tol T] [--patience P]]\n\
+         \x20                    # margin-driven active-learning rounds (also on `train`)\n\
          \x20      ipas ir <file.scil> [--passes SPEC] [--stats] [--verify-each]\n\
          \x20      ipas passes <list|verify> [--passes SPEC]\n\
          \x20      ipas models <list|verify|gc>   (requires IPAS_STORE_DIR)\n\
@@ -134,6 +140,7 @@ fn usage() -> ExitCode {
          \x20                  [--socket PATH] [--kind campaign|protect|train|eval] [--watch]\n\
          \x20                  [--tenant T] [--name N] [--module-key KEY] [--deadline-ms MS]\n\
          \x20                  [--sections]   # campaign jobs: section-aligned chunks\n\
+         \x20                  [--adaptive]   # campaign jobs: active-learning rounds\n\
          fault models M: single-bit (default), burst<W>, stuck-value, load-value, store-value, \
          branch-flip"
     );
@@ -473,6 +480,10 @@ fn campaign_command(args: &Args, module: ipas::ir::Module, engine: Engine) -> Ex
             eprintln!("ipas: --journal is per-model; use a single --fault-model with it");
             return ExitCode::FAILURE;
         }
+        if args.flags.contains_key("adaptive") {
+            eprintln!("ipas: --adaptive needs a single --fault-model, not `all`");
+            return ExitCode::FAILURE;
+        }
         let base = CampaignConfig {
             runs,
             seed,
@@ -518,6 +529,19 @@ fn campaign_command(args: &Args, module: ipas::ir::Module, engine: Engine) -> Ex
             Ok(s) => s,
             Err(code) => return code,
         };
+        if args.flags.contains_key("adaptive") {
+            if args.flags.contains_key("sections")
+                || args.flags.contains_key("incremental")
+                || args.flags.contains_key("baseline")
+            {
+                eprintln!(
+                    "ipas: --adaptive draws its own round-by-round plans and cannot \
+                     combine with --sections or --incremental"
+                );
+                return ExitCode::FAILURE;
+            }
+            return adaptive_campaign(args, &workload, &config, &options);
+        }
         if args.flags.contains_key("incremental") || args.flags.contains_key("baseline") {
             return incremental_campaign(args, &workload, &config, &options, store);
         }
@@ -569,6 +593,81 @@ fn campaign_command(args: &Args, module: ipas::ir::Module, engine: Engine) -> Ex
         }
         ExitCode::SUCCESS
     }
+}
+
+/// Reads `--round-runs`, `--entropy-tol`, and `--patience` over the
+/// budget defaults, shared by `ipas campaign --adaptive` and
+/// `ipas train --adaptive`.
+fn adaptive_params(args: &Args, runs: usize) -> AdaptiveParams {
+    let mut params = AdaptiveParams::for_budget(runs);
+    params.round_runs = args.get("round-runs", params.round_runs).max(1);
+    params.entropy_tol = args.get("entropy-tol", params.entropy_tol);
+    params.patience = args.get("patience", params.patience);
+    params
+}
+
+/// Per-round stderr report shared by the adaptive campaign and train
+/// paths.
+fn print_rounds(out: &AdaptiveResult, budget: usize) {
+    for r in &out.rounds {
+        eprintln!(
+            "[ipas] round {}: {} plans ({}), label entropy {:.3}, \
+             {} resumed, {} executed",
+            r.round,
+            r.drawn,
+            r.sampling.label(),
+            r.entropy,
+            r.resumed,
+            r.executed
+        );
+    }
+    let drawn: usize = out.rounds.iter().map(|r| r.drawn).sum();
+    eprintln!(
+        "[ipas] adaptive: {} rounds, {drawn} of {budget} budgeted runs{}",
+        out.rounds.len(),
+        if out.stopped_early {
+            " (stopped early: label entropy stable)"
+        } else {
+            ""
+        }
+    );
+}
+
+/// `ipas campaign --adaptive`: a uniform seed round, then rounds drawn
+/// from a margin-weighted site distribution under a freshly retrained
+/// classifier, stopping when the label entropy stabilizes. Round
+/// reports go to stderr; stdout keeps the shared breakdown format.
+fn adaptive_campaign(
+    args: &Args,
+    workload: &Workload,
+    config: &CampaignConfig,
+    options: &CampaignOptions,
+) -> ExitCode {
+    let params = adaptive_params(args, config.runs);
+    eprintln!(
+        "[ipas] campaign: adaptive, budget {} {} injections in rounds of {} ...",
+        config.runs, config.fault_model, params.round_runs
+    );
+    let out = match run_campaign_adaptive(workload, config, options, &params) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("ipas: campaign failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print_rounds(&out, config.runs);
+    if out.result.resumed > 0 {
+        eprintln!(
+            "[ipas] journal: {} records resumed from disk",
+            out.result.resumed
+        );
+    }
+    let summary = summarize("cli", config, &out.result);
+    print_breakdown(config.fault_model, &summary);
+    if let Some(path) = &options.journal {
+        eprintln!("[ipas] journal written to {}", path.display());
+    }
+    ExitCode::SUCCESS
 }
 
 /// `ipas campaign --sections`: the same campaign executed section by
@@ -954,6 +1053,7 @@ fn client_command(args: &Args) -> ExitCode {
             };
             spec.module_key = args.flags.get("module-key").cloned();
             spec.sections = args.flags.contains_key("sections");
+            spec.adaptive = args.flags.contains_key("adaptive");
             if let Err(e) = spec.validate() {
                 eprintln!("ipas: invalid job: {e}");
                 return ExitCode::FAILURE;
@@ -1275,6 +1375,14 @@ fn main() -> ExitCode {
                 eprintln!("ipas: --save-model needs IPAS_STORE_DIR to point at an artifact store");
                 return ExitCode::FAILURE;
             }
+            let adaptive = args.flags.contains_key("adaptive");
+            if adaptive && save_as.is_some() {
+                // Adaptive data collection bypasses the memoized stages
+                // (its sampling depends on live labels), so there is no
+                // stored artifact for the registry to reference.
+                eprintln!("ipas: --save-model is not supported with --adaptive yet");
+                return ExitCode::FAILURE;
+            }
 
             let workload = match Workload::serial("cli", module, tolerance) {
                 Ok(w) => w,
@@ -1290,16 +1398,43 @@ fn main() -> ExitCode {
                 engine,
                 fault_model,
             };
-            let set = match training_stage(store.as_ref(), &workload, &config) {
-                Ok(set) => set,
-                Err(e) => {
-                    eprintln!("ipas: {e}");
-                    return ExitCode::FAILURE;
+            let set = if adaptive {
+                let params = adaptive_params(&args, runs);
+                eprintln!(
+                    "[ipas] training campaign: adaptive, budget {runs} injections \
+                     in rounds of {} ...",
+                    params.round_runs
+                );
+                match run_campaign_adaptive(
+                    &workload,
+                    &config,
+                    &CampaignOptions::default(),
+                    &params,
+                ) {
+                    Ok(out) => {
+                        print_rounds(&out, runs);
+                        training_set_artifact(&workload, &out.result)
+                    }
+                    Err(e) => {
+                        eprintln!("ipas: training campaign failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else {
+                match training_stage(store.as_ref(), &workload, &config) {
+                    Ok(set) => set,
+                    Err(e) => {
+                        eprintln!("ipas: {e}");
+                        return ExitCode::FAILURE;
+                    }
                 }
             };
             let campaign_fp = campaign_fingerprint(&workload.module, &config);
+            // Adaptive training sets are sampling-dependent, so they
+            // must not share the uniform campaign's memoization keys.
+            let model_store = if adaptive { None } else { store.as_ref() };
             let (models, best_key) = match classifier_stage(
-                store.as_ref(),
+                model_store,
                 &set,
                 &campaign_fp,
                 label,
